@@ -1,0 +1,93 @@
+// Ablation: PCC hash-collision behaviour (§IV).
+//
+// The paper argues collisions are rare and benign (a collision only
+// over-enhances a buffer). This bench sweeps the PCC multiplier and the
+// instrumentation strategy over batches of random call-graph DAGs,
+// counting same-target encoding collisions among exhaustively enumerated
+// contexts, and times plan computation to show the optimizations' analysis
+// cost is negligible.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "cce/encoders.hpp"
+#include "cce/sample_graphs.hpp"
+#include "cce/verify.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using ht::support::pad_left;
+using ht::support::pad_right;
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: PCC multiplier and collision behaviour ==\n\n");
+  std::printf("%s %s %s %s %s\n", pad_right("multiplier", 11).c_str(),
+              pad_right("strategy", 12).c_str(), pad_left("contexts", 10).c_str(),
+              pad_left("distinct", 10).c_str(), pad_left("collisions", 11).c_str());
+  std::printf("%s\n", std::string(58, '-').c_str());
+
+  ht::cce::RandomDagParams params;
+  params.layers = 7;
+  params.functions_per_layer = 5;
+  params.max_fanout = 3;
+  params.target_count = 3;
+
+  for (std::uint64_t multiplier : {1ULL, 2ULL, 3ULL, 7ULL}) {
+    for (ht::cce::Strategy strategy : ht::cce::kAllStrategies) {
+      std::size_t contexts = 0, distinct = 0, collisions = 0;
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ht::support::Rng rng(seed);
+        const ht::cce::RandomDag dag = ht::cce::make_random_dag(rng, params);
+        const auto plan = ht::cce::compute_plan(dag.graph, dag.targets, strategy);
+        ht::cce::PccParams pcc;
+        pcc.multiplier = multiplier;
+        const ht::cce::PccEncoder encoder(plan, pcc);
+        const auto report =
+            ht::cce::analyze_collisions(dag.graph, dag.root, dag.targets, encoder);
+        contexts += report.contexts;
+        distinct += report.distinct_encodings;
+        collisions += report.colliding_pairs;
+      }
+      std::printf("%s %s %s %s %s\n", pad_right(std::to_string(multiplier), 11).c_str(),
+                  pad_right(std::string(strategy_name(strategy)), 12).c_str(),
+                  pad_left(std::to_string(contexts), 10).c_str(),
+                  pad_left(std::to_string(distinct), 10).c_str(),
+                  pad_left(std::to_string(collisions), 11).c_str());
+    }
+  }
+
+  // Plan-computation cost: the offline analysis price of each optimization.
+  std::printf("\n%s %s\n", pad_right("strategy", 12).c_str(),
+              pad_left("plan time / graph", 18).c_str());
+  std::printf("%s\n", std::string(32, '-').c_str());
+  for (ht::cce::Strategy strategy : ht::cce::kAllStrategies) {
+    ht::support::Rng rng(99);
+    ht::cce::RandomDagParams big = params;
+    big.layers = 12;
+    big.functions_per_layer = 40;
+    const ht::cce::RandomDag dag = ht::cce::make_random_dag(rng, big);
+    const auto start = std::chrono::steady_clock::now();
+    constexpr int kReps = 50;
+    for (int i = 0; i < kReps; ++i) {
+      const auto plan = ht::cce::compute_plan(dag.graph, dag.targets, strategy);
+      if (plan.instrumented.empty()) std::abort();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(end - start).count() / kReps;
+    char cell[32];
+    std::snprintf(cell, sizeof(cell), "%.1f us", us);
+    std::printf("%s %s\n",
+                pad_right(std::string(strategy_name(strategy)), 12).c_str(),
+                pad_left(cell, 18).c_str());
+  }
+  std::printf(
+      "\nexpected: zero same-target collisions at 64-bit width for every\n"
+      "multiplier (even 1: the additive-like degenerate case still separates\n"
+      "instrumented subsequences with distinct constants) and microsecond-\n"
+      "scale plan computation.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces §VIII-B1: execution-time overhead of the calling-context
+// encoding algorithms (paper: FCS 2.4%, TCS 0.6%, Slim 0.5%, Incremental
+// 0.4% on SPEC CPU2006 INT — about a 6x reduction from FCS to Incremental).
+//
+// Two views are reported per strategy, aggregated over the 12 SPEC-like
+// workloads:
+//   1. executed encoding operations (the deterministic cost driver:
+//      instrumented call sites actually run), normalized to FCS;
+//   2. wall-clock slowdown of the instrumented interpreter run over the
+//      uninstrumented run.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cce/encoders.hpp"
+#include "cce/strategies.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/null_backend.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "workload/spec_profiles.hpp"
+
+#include <chrono>
+
+namespace {
+
+using ht::cce::Strategy;
+using ht::support::pad_left;
+using ht::support::pad_right;
+
+double time_run(ht::progmodel::Interpreter& interp, int reps) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = interp.run(ht::progmodel::Input{});
+    const auto end = std::chrono::steady_clock::now();
+    if (!result.completed) std::abort();
+    best = std::min(best, std::chrono::duration<double>(end - start).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== HeapTherapy+ §VIII-B1: calling-context encoding overhead ==\n");
+  std::printf("(paper: FCS 2.4%% / TCS 0.6%% / Slim 0.5%% / Incremental 0.4%%, ~6x)\n\n");
+
+  struct Totals {
+    std::uint64_t ops = 0;
+    double time = 0;
+  };
+  Totals totals[4];
+  double baseline_time = 0;
+  double stack_walk_time = 0;
+  std::uint64_t stack_walk_frames = 0;
+
+  std::printf("%s %s %s %s %s %s\n", pad_right("benchmark", 16).c_str(),
+              pad_left("FCS ops", 12).c_str(), pad_left("TCS ops", 12).c_str(),
+              pad_left("Slim ops", 12).c_str(), pad_left("Incr ops", 12).c_str(),
+              pad_left("Incr/FCS", 9).c_str());
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  for (const auto& profile : ht::workload::spec_profiles()) {
+    const ht::progmodel::Program program = ht::workload::make_spec_program(profile);
+    ht::progmodel::NullBackend backend;
+
+    // Uninstrumented baseline (native execution).
+    ht::progmodel::Interpreter native(program, nullptr, backend);
+    baseline_time += time_run(native, 5);
+
+    // The gdb-style stack-walking baseline the paper argues against.
+    {
+      ht::progmodel::Interpreter walker(program, nullptr, backend);
+      ht::progmodel::RunOptions walk_options;
+      walk_options.stack_walk = true;
+      double best = 1e100;
+      for (int r = 0; r < 5; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = walker.run(ht::progmodel::Input{}, walk_options);
+        const auto end = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(end - start).count());
+        if (r == 0) stack_walk_frames += result.walked_frames;
+      }
+      stack_walk_time += best;
+    }
+
+    std::uint64_t ops[4] = {0, 0, 0, 0};
+    for (int s = 0; s < 4; ++s) {
+      const Strategy strategy = ht::cce::kAllStrategies[s];
+      const auto plan = ht::cce::compute_plan(program.graph(),
+                                              program.alloc_targets(), strategy);
+      const ht::cce::PccEncoder encoder(plan);
+      ht::progmodel::Interpreter interp(program, &encoder, backend);
+      totals[s].time += time_run(interp, 5);
+      const auto result = interp.run(ht::progmodel::Input{});
+      ops[s] = result.encoding_ops;
+      totals[s].ops += ops[s];
+    }
+    std::printf("%s %s %s %s %s %s\n", pad_right(profile.name, 16).c_str(),
+                pad_left(ht::support::with_commas(ops[0]), 12).c_str(),
+                pad_left(ht::support::with_commas(ops[1]), 12).c_str(),
+                pad_left(ht::support::with_commas(ops[2]), 12).c_str(),
+                pad_left(ht::support::with_commas(ops[3]), 12).c_str(),
+                pad_left(ops[0] ? std::to_string(ops[3] * 100 / ops[0]) + "%"
+                                : "-",
+                         9)
+                    .c_str());
+  }
+
+  std::printf("\n%s %s %s %s\n", pad_right("strategy", 12).c_str(),
+              pad_left("total encoding ops", 20).c_str(),
+              pad_left("ops vs FCS", 12).c_str(),
+              pad_left("wall slowdown", 14).c_str());
+  std::printf("%s\n", std::string(62, '-').c_str());
+  for (int s = 0; s < 4; ++s) {
+    const double ops_ratio =
+        totals[0].ops ? static_cast<double>(totals[s].ops) /
+                            static_cast<double>(totals[0].ops)
+                      : 0;
+    const double slowdown =
+        baseline_time > 0 ? (totals[s].time - baseline_time) / baseline_time : 0;
+    std::printf("%s %s %s %s\n",
+                pad_right(std::string(strategy_name(ht::cce::kAllStrategies[s])), 12)
+                    .c_str(),
+                pad_left(ht::support::with_commas(totals[s].ops), 20).c_str(),
+                pad_left(ht::support::format_percent(ops_ratio - 1.0), 12).c_str(),
+                pad_left(ht::support::format_percent(slowdown), 14).c_str());
+  }
+  const double walk_slowdown =
+      baseline_time > 0 ? (stack_walk_time - baseline_time) / baseline_time : 0;
+  std::printf("%s %s %s %s\n", pad_right("StackWalk", 12).c_str(),
+              pad_left(ht::support::with_commas(stack_walk_frames) + " frames", 20)
+                  .c_str(),
+              pad_left("-", 12).c_str(),
+              pad_left(ht::support::format_percent(walk_slowdown), 14).c_str());
+
+  const double reduction =
+      totals[3].ops ? static_cast<double>(totals[0].ops) /
+                          static_cast<double>(totals[3].ops)
+                    : 0;
+  std::printf("\nFCS -> Incremental encoding-op reduction: %.1fx (paper: ~6x)\n",
+              reduction);
+  std::printf("stack walking visits %s frames where Incremental executes %s ops\n",
+              ht::support::with_commas(stack_walk_frames).c_str(),
+              ht::support::with_commas(totals[3].ops).c_str());
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Fig. 8: normalized execution-time overhead on the SPEC-like
+// workloads under five configurations:
+//   native           — std::malloc, no interception        (baseline = 1.0)
+//   interposition    — forward-only GuardedAllocator       (paper: +1.9%)
+//   0 patches        — full metadata, empty patch table    (paper: +4.3%)
+//   1 patch          — overflow patch at the median-frequency CCID (+4.7%)
+//   5 patches        — five median-frequency CCIDs         (paper: +5.2%)
+//
+// Patch selection follows the paper's protocol (§VIII-B2): rank the
+// workload's allocation-time CCIDs by frequency, pick the median ones, and
+// treat those buffers as vulnerable to overflow (the most expensive type).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "patch/patch_table.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "workload/alloc_trace.hpp"
+
+namespace {
+
+using ht::patch::Patch;
+using ht::patch::PatchTable;
+using ht::support::pad_left;
+using ht::support::pad_right;
+using ht::workload::Trace;
+using ht::workload::TraceMode;
+
+PatchTable make_median_patches(const Trace& trace, std::size_t count) {
+  std::vector<Patch> patches;
+  for (std::uint64_t ccid : ht::workload::median_frequency_ccids(trace, count)) {
+    // A trace site may allocate through any of the three APIs.
+    for (auto fn : {ht::progmodel::AllocFn::kMalloc, ht::progmodel::AllocFn::kCalloc,
+                    ht::progmodel::AllocFn::kRealloc}) {
+      patches.push_back(Patch{fn, ccid, ht::patch::kOverflow});
+    }
+  }
+  return PatchTable(patches, /*freeze=*/true);
+}
+
+double best_of(const Trace& trace, TraceMode mode,
+               ht::runtime::GuardedAllocator* allocator, int reps) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    best = std::min(best, ht::workload::run_trace(trace, mode, allocator).seconds);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== HeapTherapy+ Fig. 8: normalized execution-time overhead ==\n");
+  std::printf(
+      "(paper: interposition +1.9%%, 0 patches +4.3%%, 1 patch +4.7%%, 5 "
+      "patches +5.2%%; 400.perlbench is the outlier)\n\n");
+  std::printf("%s %s %s %s %s\n", pad_right("benchmark", 16).c_str(),
+              pad_left("interpose", 10).c_str(), pad_left("0 patches", 10).c_str(),
+              pad_left("1 patch", 10).c_str(), pad_left("5 patches", 10).c_str());
+  std::printf("%s\n", std::string(60, '-').c_str());
+
+  constexpr int kReps = 5;
+  double geo[4] = {0, 0, 0, 0};
+  int rows = 0;
+
+  for (const auto& profile : ht::workload::spec_profiles()) {
+    const Trace trace = ht::workload::make_trace(profile);
+    // Warm caches and the allocator's arenas before any timed run.
+    (void)ht::workload::run_trace(trace, TraceMode::kNative);
+    const double native = best_of(trace, TraceMode::kNative, nullptr, kReps);
+
+    ht::runtime::GuardedAllocatorConfig forward;
+    forward.forward_only = true;
+    ht::runtime::GuardedAllocator interpose_alloc(nullptr, forward);
+    const double interpose =
+        best_of(trace, TraceMode::kGuarded, &interpose_alloc, kReps);
+
+    const PatchTable empty({}, /*freeze=*/true);
+    ht::runtime::GuardedAllocator zero_alloc(&empty);
+    const double zero = best_of(trace, TraceMode::kGuarded, &zero_alloc, kReps);
+
+    const PatchTable one_table = make_median_patches(trace, 1);
+    ht::runtime::GuardedAllocator one_alloc(&one_table);
+    const double one = best_of(trace, TraceMode::kGuarded, &one_alloc, kReps);
+
+    const PatchTable five_table = make_median_patches(trace, 5);
+    ht::runtime::GuardedAllocator five_alloc(&five_table);
+    const double five = best_of(trace, TraceMode::kGuarded, &five_alloc, kReps);
+
+    const double overheads[4] = {
+        ht::support::overhead_fraction(native, interpose),
+        ht::support::overhead_fraction(native, zero),
+        ht::support::overhead_fraction(native, one),
+        ht::support::overhead_fraction(native, five),
+    };
+    for (int i = 0; i < 4; ++i) geo[i] += std::log1p(std::max(overheads[i], -0.5));
+    ++rows;
+    std::printf("%s %s %s %s %s\n", pad_right(profile.name, 16).c_str(),
+                pad_left(ht::support::format_percent(overheads[0]), 10).c_str(),
+                pad_left(ht::support::format_percent(overheads[1]), 10).c_str(),
+                pad_left(ht::support::format_percent(overheads[2]), 10).c_str(),
+                pad_left(ht::support::format_percent(overheads[3]), 10).c_str());
+  }
+
+  std::printf("%s\n", std::string(60, '-').c_str());
+  std::printf("%s", pad_right("geomean", 16).c_str());
+  for (int i = 0; i < 4; ++i) {
+    std::printf(" %s",
+                pad_left(ht::support::format_percent(std::expm1(geo[i] / rows)), 10)
+                    .c_str());
+  }
+  std::printf("\n(paper bars: +1.9%% / +4.3%% / +4.7%% / +5.2%%)\n");
+  return 0;
+}

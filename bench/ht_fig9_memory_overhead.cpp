@@ -1,0 +1,112 @@
+// Reproduces Fig. 9: normalized memory (RSS) overhead of HeapTherapy+ on
+// the SPEC-like workloads.
+//
+// Protocol mirrors the paper: sample VmRSS from /proc/self/status (the
+// paper samples at 30 Hz; we sample densely because the runs are short)
+// while the workload runs, and compare against native execution. Two
+// adjustments for the scaled-down substrate, both documented in
+// EXPERIMENTS.md:
+//   - each configuration runs in a fork()ed child and the child's pre-run
+//     RSS is subtracted, so the measurement is the *heap* footprint rather
+//     than the (dominating) process baseline;
+//   - the live set is amplified 16x so the resident heap is large enough
+//     to measure (the paper's workloads hold far more live data than our
+//     1/1000-scaled traces).
+// The paper's average is +4.3%, attributed to per-buffer metadata; guard
+// pages are virtual and never add RSS.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "patch/patch_table.hpp"
+#include "support/rss.hpp"
+#include "support/str.hpp"
+#include "workload/alloc_trace.hpp"
+
+namespace {
+
+using ht::support::pad_left;
+using ht::support::pad_right;
+
+/// Runs the trace in a forked child; returns average sampled RSS growth
+/// over the child's pre-run baseline, in KiB. Returns <= 0 on failure.
+double net_rss_of_run(const ht::workload::Trace& trace, bool guarded) {
+  int fds[2];
+  if (pipe(fds) != 0) return 0;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return 0;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const double baseline = static_cast<double>(ht::support::current_rss_kib());
+    double mean_rss = 0;
+    {
+      ht::support::RssSampler sampler(400.0);  // dense sampling: short runs
+      if (guarded) {
+        ht::runtime::GuardedAllocator allocator;
+        for (int r = 0; r < 3; ++r) {
+          (void)ht::workload::run_trace(trace, ht::workload::TraceMode::kGuarded,
+                                        &allocator);
+        }
+      } else {
+        for (int r = 0; r < 3; ++r) {
+          (void)ht::workload::run_trace(trace, ht::workload::TraceMode::kNative);
+        }
+      }
+      mean_rss = sampler.stop().mean();
+    }
+    const double net = mean_rss - baseline;
+    (void)!write(fds[1], &net, sizeof(net));
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  double net = 0;
+  (void)!read(fds[0], &net, sizeof(net));
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== HeapTherapy+ Fig. 9: normalized memory (RSS) overhead ==\n");
+  std::printf(
+      "(paper: average +4.3%%, from self-maintained per-buffer metadata;\n"
+      " measured here as net heap RSS with a 16x-amplified live set)\n\n");
+  std::printf("%s %s %s %s\n", pad_right("benchmark", 16).c_str(),
+              pad_left("native KiB", 12).c_str(),
+              pad_left("heaptherapy KiB", 16).c_str(),
+              pad_left("overhead", 10).c_str());
+  std::printf("%s\n", std::string(58, '-').c_str());
+
+  double sum_overhead = 0;
+  int rows = 0;
+  for (ht::workload::SpecProfile profile : ht::workload::spec_profiles()) {
+    profile.live_set = std::min<std::uint32_t>(profile.live_set * 16, 16384);
+    const auto trace = ht::workload::make_trace(profile);
+    const double native = net_rss_of_run(trace, /*guarded=*/false);
+    const double guarded = net_rss_of_run(trace, /*guarded=*/true);
+    const double overhead =
+        native > 16 ? (guarded - native) / native : 0;  // skip sub-page noise
+    sum_overhead += overhead;
+    ++rows;
+    std::printf("%s %s %s %s\n", pad_right(profile.name, 16).c_str(),
+                pad_left(std::to_string(static_cast<long>(native)), 12).c_str(),
+                pad_left(std::to_string(static_cast<long>(guarded)), 16).c_str(),
+                pad_left(ht::support::format_percent(overhead), 10).c_str());
+  }
+  std::printf("%s\n", std::string(58, '-').c_str());
+  std::printf("%s %s\n", pad_right("average", 46).c_str(),
+              pad_left(ht::support::format_percent(sum_overhead / rows), 10).c_str());
+  std::printf("(paper average: +4.3%%; guard pages are virtual and cost no RSS)\n");
+  return 0;
+}

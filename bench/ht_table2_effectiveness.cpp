@@ -1,0 +1,76 @@
+// Reproduces Table II + §VIII-A: end-to-end effectiveness on the CVE-like
+// corpus and the SAMATE-like suite.
+//
+// For every program: benign input generates no patch; the attack input
+// generates the expected patch type(s); with the patch deployed through the
+// config file, the online defense blocks the attack while the benign input
+// still runs — the paper's effectiveness claims, regenerated.
+#include <cstdio>
+#include <string>
+
+#include "corpus/effectiveness.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using ht::corpus::EffectivenessResult;
+using ht::support::pad_left;
+using ht::support::pad_right;
+
+void print_row(const EffectivenessResult& r, const std::string& reference) {
+  std::printf("%s %s %s %s %s %s %s %s\n",
+              pad_right(r.name, 22).c_str(), pad_right(reference, 34).c_str(),
+              pad_left(ht::patch::vuln_mask_to_string(r.expected_mask), 20).c_str(),
+              pad_left(r.benign_clean ? "yes" : "NO", 7).c_str(),
+              pad_left(r.detected ? ht::patch::vuln_mask_to_string(r.patch_mask)
+                                  : "MISSED",
+                       20)
+                  .c_str(),
+              pad_left(r.attack_effect_unpatched ? "yes" : "no", 9).c_str(),
+              pad_left(r.attack_blocked_patched ? "yes" : "NO", 8).c_str(),
+              pad_left(r.pass() ? "PASS" : "FAIL", 6).c_str());
+}
+
+void print_header(const char* title) {
+  std::printf("\n%s\n", title);
+  std::printf("%s %s %s %s %s %s %s %s\n", pad_right("program", 22).c_str(),
+              pad_right("reference", 34).c_str(),
+              pad_left("expected", 20).c_str(), pad_left("benign", 7).c_str(),
+              pad_left("patch generated", 20).c_str(),
+              pad_left("raw-attack", 9).c_str(), pad_left("blocked", 8).c_str(),
+              pad_left("result", 6).c_str());
+  std::printf("%s\n", std::string(132, '-').c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== HeapTherapy+ Table II: effectiveness ==\n");
+  std::printf(
+      "pipeline: offline shadow-memory analysis -> {FUN, CCID, T} patch -> "
+      "config file -> online code-less defense\n");
+
+  int passed = 0, total = 0;
+
+  print_header("-- Table II corpus (CVE-like programs) --");
+  const auto corpus = ht::corpus::make_table2_corpus();
+  for (const auto& program : corpus) {
+    const EffectivenessResult r = ht::corpus::evaluate_effectiveness(program);
+    print_row(r, program.reference);
+    passed += r.pass();
+    ++total;
+  }
+
+  print_header("-- SAMATE-like suite (23 cases) --");
+  const auto samate = ht::corpus::make_samate_suite();
+  for (const auto& program : samate) {
+    const EffectivenessResult r = ht::corpus::evaluate_effectiveness(program);
+    print_row(r, program.reference);
+    passed += r.pass();
+    ++total;
+  }
+
+  std::printf("\nsummary: %d/%d programs patched and protected", passed, total);
+  std::printf("  (paper: patches generated and attacks prevented for all)\n");
+  return passed == total ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Heartbleed demo (§VIII-A): the paper's flagship case.
+//
+// The Heartbleed twin has a 34 KB response buffer and an attacker-declared
+// length of up to 64 KB. Below 34 KB the attack is a pure uninitialized
+// read (stale heap — key material — leaks); above it, a mix of uninit read
+// and overread. The demo shows:
+//   - offline analysis classifying the attack as UNINIT|OVERFLOW from one
+//     attack input,
+//   - the online defense leaking "no data ... except for the zeros filled
+//     in the buffers" once the patch is installed,
+//   - a second, different attack input (the paper tried several) still
+//     being blocked by the same patch.
+#include <cstdio>
+
+#include "analysis/patch_generator.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/interpreter.hpp"
+#include "runtime/guarded_backend.hpp"
+
+using namespace ht;
+
+namespace {
+
+runtime::DefenseObservations replay(const corpus::VulnerableProgram& v,
+                                    const cce::Encoder& encoder,
+                                    const patch::PatchTable* table,
+                                    const progmodel::Input& input) {
+  runtime::GuardedAllocator allocator(table);
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter interp(v.program, &encoder, backend);
+  (void)interp.run(input);
+  return backend.observations();
+}
+
+void report(const char* label, const runtime::DefenseObservations& obs,
+            std::uint64_t legit) {
+  const std::uint64_t stolen =
+      obs.leaked_nonzero_bytes > legit ? obs.leaked_nonzero_bytes - legit : 0;
+  std::printf("%-28s stolen bytes: %-7llu zero-filled bytes: %-7llu overread %s\n",
+              label, static_cast<unsigned long long>(stolen),
+              static_cast<unsigned long long>(obs.leaked_zero_bytes),
+              obs.oob_reads_blocked > 0   ? "BLOCKED"
+              : obs.oob_reads_landed > 0  ? "leaked"
+                                          : "none");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Heartbleed (CVE-2014-0160) through HeapTherapy+ ==\n\n");
+  const corpus::VulnerableProgram v = corpus::make_heartbleed();
+
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+
+  // Offline phase: one attack input suffices.
+  const auto analysis = analysis::analyze_attack(v.program, &encoder, v.attack);
+  std::printf("offline analysis of one malicious heartbeat:\n");
+  for (const auto& p : analysis.patches) {
+    std::printf("  patch { FUN=%s, CCID=0x%016llx, T=%s }\n",
+                std::string(progmodel::alloc_fn_name(p.fn)).c_str(),
+                static_cast<unsigned long long>(p.ccid),
+                patch::vuln_mask_to_string(p.vuln_mask).c_str());
+  }
+  std::printf("  (paper: 'correctly identified it as a mix of uninitialized"
+              " read and overflow')\n\n");
+
+  const patch::PatchTable table(analysis.patches, /*freeze=*/true);
+
+  // The classic 64 KB heartbeat.
+  report("unpatched, 64KB heartbeat:",
+         replay(v, encoder, nullptr, v.attack), v.legit_nonzero_leak);
+  report("patched,   64KB heartbeat:",
+         replay(v, encoder, &table, v.attack), v.legit_nonzero_leak);
+
+  // A different attack input: 20 KB, below the buffer size — pure
+  // uninitialized read, same vulnerable context, same patch.
+  const progmodel::Input second_attack{{1024, 20 * 1024}};
+  report("unpatched, 20KB heartbeat:",
+         replay(v, encoder, nullptr, second_attack), v.legit_nonzero_leak);
+  report("patched,   20KB heartbeat:",
+         replay(v, encoder, &table, second_attack), v.legit_nonzero_leak);
+
+  // Benign heartbeat still served.
+  report("patched,   benign beat:   ",
+         replay(v, encoder, &table, v.benign), v.benign.params[0]);
+
+  std::printf("\n'no data was leaked except for the zeros filled in the"
+              " buffers' — §VIII-A\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// The operational patch workflow, file system and all — what a deployment
+// would actually script (§III, §V, §VI):
+//
+//   vendor side:   replay attack -> patches -> write patches.cfg
+//   operator side: load patches.cfg -> frozen table -> protected service
+//
+// Demonstrated on the bc-1.06 twin (BugBench overflow), including the §IX
+// scenario: a *second* exploit through a different calling context starts a
+// new defense-generation cycle, and the config file simply accumulates the
+// new patch.
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/patch_generator.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "patch/config_file.hpp"
+#include "progmodel/builder.hpp"
+#include "progmodel/interpreter.hpp"
+#include "runtime/guarded_backend.hpp"
+
+using namespace ht;
+
+namespace {
+
+/// A bc-like program with *two* distinct call paths to the vulnerable
+/// allocation, so two different attack inputs exploit two CCIDs (§IX).
+struct TwoPathBc {
+  progmodel::Program program;
+  progmodel::Input benign{{512, 0}};
+  progmodel::Input attack_path_one{{600, 0}};  // overflow via parse_expression
+  progmodel::Input attack_path_two{{512, 600}};  // overflow via parse_function
+};
+
+TwoPathBc make_two_path_bc() {
+  progmodel::ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto parse_expr = b.function("parse_expression");
+  const auto parse_func = b.function("parse_function");
+  const auto push = b.function("bc_push_numbers");
+  b.call(main_fn, parse_expr);
+  b.call(main_fn, parse_func);
+  // Same textual helper, two calling contexts.
+  b.call(parse_expr, push);
+  b.call(parse_func, push);
+  b.alloc(push, progmodel::AllocFn::kMalloc, progmodel::Value(512), 0);
+  // input[0] sizes the write on path one, input[1] on path two: the
+  // interpreter runs push twice (once per caller), writing each length.
+  b.write(push, 0, progmodel::Value(0), progmodel::Value::input(0));
+  b.write(push, 0, progmodel::Value(0), progmodel::Value::input(1));
+  b.free(push, 0);
+  TwoPathBc out;
+  out.program = b.build();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::string config_path =
+      (std::filesystem::temp_directory_path() / "heaptherapy_patches.cfg").string();
+  std::remove(config_path.c_str());
+
+  const TwoPathBc bc = make_two_path_bc();
+  const auto plan = cce::compute_plan(bc.program.graph(), bc.program.alloc_targets(),
+                                      cce::Strategy::kSlim);
+  const cce::PccEncoder encoder(plan);
+
+  std::printf("== cycle 1: first exploit reported ==\n");
+  const auto first = analysis::analyze_attack(bc.program, &encoder, bc.attack_path_one);
+  std::printf("offline analysis: %zu patch(es)\n", first.patches.size());
+  if (!patch::save_config_file(config_path, first.patches)) return 1;
+  std::printf("wrote %s\n\n", config_path.c_str());
+
+  // Operator deploys.
+  auto deploy = [&](const char* label) {
+    const auto loaded = patch::load_config_file(config_path);
+    if (!loaded || !loaded->ok()) {
+      std::printf("config load failed\n");
+      std::exit(1);
+    }
+    const patch::PatchTable table(loaded->patches, /*freeze=*/true);
+    runtime::GuardedAllocator allocator(&table);
+    runtime::GuardedBackend backend(allocator);
+    progmodel::Interpreter online(bc.program, &encoder, backend);
+    (void)online.run(bc.attack_path_one);
+    (void)online.run(bc.attack_path_two);
+    const auto& obs = backend.observations();
+    std::printf("%s: path-one overflow %s, path-two overflow %s\n", label,
+                obs.oob_writes_blocked > 0 ? "BLOCKED" : "not blocked",
+                obs.oob_writes_landed > 0 ? "LANDED" : "blocked/absent");
+  };
+  deploy("with 1 patch    ");
+
+  std::printf("\n== cycle 2: attacker pivots to the second calling context ==\n");
+  std::printf("(§IX: 'our system simply treats it as a new vulnerability and\n"
+              " starts another defense generation cycle')\n");
+  const auto second =
+      analysis::analyze_attack(bc.program, &encoder, bc.attack_path_two);
+  // Accumulate: old patches + new ones into the same config file.
+  auto loaded = patch::load_config_file(config_path);
+  std::vector<patch::Patch> all = loaded ? loaded->patches : std::vector<patch::Patch>{};
+  for (const auto& p : second.patches) {
+    if (std::find(all.begin(), all.end(), p) == all.end()) all.push_back(p);
+  }
+  if (!patch::save_config_file(config_path, all)) return 1;
+  std::printf("config now holds %zu patches\n", all.size());
+  deploy("with all patches");
+
+  std::printf("\nbenign run under full config: ");
+  {
+    const auto final_cfg = patch::load_config_file(config_path);
+    const patch::PatchTable table(final_cfg->patches, /*freeze=*/true);
+    runtime::GuardedAllocator allocator(&table);
+    runtime::GuardedBackend backend(allocator);
+    progmodel::Interpreter online(bc.program, &encoder, backend);
+    const auto result = online.run(bc.benign);
+    std::printf("%s\n", result.completed ? "clean" : "FAILED");
+  }
+  std::remove(config_path.c_str());
+  return 0;
+}

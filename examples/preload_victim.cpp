@@ -1,0 +1,48 @@
+// A deliberately tiny "victim" binary with NO HeapTherapy+ linkage, used to
+// demonstrate the LD_PRELOAD deployment path (§VII):
+//
+//   # generate a patch for the victim's one allocation context (ccid 0 —
+//   # the victim is uninstrumented, so every allocation reports CCID 0):
+//   cat > /tmp/patches.cfg <<EOF
+//   version 1
+//   patch malloc 0x0000000000000000 UNINIT
+//   EOF
+//   env HEAPTHERAPY_CONFIG=/tmp/patches.cfg
+//       LD_PRELOAD=$PWD/build/src/runtime/libheaptherapy_preload.so
+//       ./build/examples/preload_victim        (one command line)
+//
+// Without the preload, the second allocation prints stale bytes recycled
+// from the freed "secret" buffer; with the preload + UNINIT patch it prints
+// zeros — the zero-fill defense working inside an ordinary process.
+// An instrumented build would additionally update the shim's thread-local
+// `ht_cc_current` so patches can target individual allocation contexts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int main() {
+  constexpr std::size_t kSize = 4096;
+
+  // A "secret" lands on the heap and is freed without scrubbing. The
+  // volatile writes keep the compiler from eliminating the "dead" stores
+  // before free() — real key material is of course always written.
+  char* secret = static_cast<char*>(std::malloc(kSize));
+  if (secret == nullptr) return 1;
+  volatile char* vsecret = secret;
+  for (std::size_t i = 0; i < kSize; ++i) vsecret[i] = 'K';
+  std::free(secret);
+
+  // The next same-size allocation recycles the chunk (glibc tcache);
+  // reading it before initialization is the classic uninit-read leak.
+  char* reused = static_cast<char*>(std::malloc(kSize));
+  if (reused == nullptr) return 1;
+  std::size_t stale = 0;
+  for (std::size_t i = 0; i < kSize; ++i) stale += (reused[i] == 'K');
+  std::printf("stale secret bytes visible in fresh allocation: %zu / %zu\n",
+              stale, kSize);
+  std::printf(stale == 0
+                  ? "=> zero-fill defense active (HeapTherapy+ preloaded)\n"
+                  : "=> leak present (run under the preload shim to fix)\n");
+  std::free(reused);
+  return stale == 0 ? 0 : 2;
+}

@@ -1,0 +1,67 @@
+// Quickstart: patch one heap overflow end-to-end in ~60 lines of API use.
+//
+//   1. Describe (or load) the vulnerable program.
+//   2. Pick an encoding strategy and instrument (compute_plan + PccEncoder).
+//   3. Replay the attack offline -> patches {FUN, CCID, T}.
+//   4. Save/load the config file (code-less deployment).
+//   5. Run online with the patch table: the attack is blocked, the benign
+//      workload is untouched.
+#include <cstdio>
+
+#include "analysis/patch_generator.hpp"
+#include "patch/config_file.hpp"
+#include "progmodel/builder.hpp"
+#include "progmodel/interpreter.hpp"
+#include "runtime/guarded_backend.hpp"
+
+using namespace ht;
+
+int main() {
+  // (1) A tiny program with a classic bug: a 64-byte buffer written with an
+  // input-controlled length.
+  progmodel::ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto handler = b.function("handle_request");
+  b.call(main_fn, handler);
+  b.alloc(handler, progmodel::AllocFn::kMalloc, progmodel::Value(64), /*slot=*/0);
+  b.write(handler, 0, progmodel::Value(0), progmodel::Value::input(0));
+  b.free(handler, 0);
+  const progmodel::Program program = b.build();
+
+  // (2) Targeted calling-context encoding: Incremental gives the smallest
+  // instrumentation set; patches are keyed on {FUN, CCID}.
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  std::printf("instrumented %zu of %zu call sites (%s)\n",
+              plan.instrumented_count(), program.graph().call_site_count(),
+              std::string(cce::strategy_name(plan.strategy)).c_str());
+
+  // (3) Offline: replay the attack input (writes 80 bytes into 64).
+  const auto report =
+      analysis::analyze_attack(program, &encoder, progmodel::Input{{80}});
+  std::printf("offline analysis: %zu patch(es) generated\n", report.patches.size());
+
+  // (4) Code-less deployment: the patch is just configuration.
+  const std::string config = patch::serialize_config(report.patches);
+  std::printf("---- patches.cfg ----\n%s---------------------\n", config.c_str());
+  const patch::ParseResult loaded = patch::parse_config(config);
+
+  // (5) Online: the hardened allocator enforces the patch.
+  const patch::PatchTable table(loaded.patches, /*freeze=*/true);
+  runtime::GuardedAllocator allocator(&table);
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter online(program, &encoder, backend);
+
+  (void)online.run(progmodel::Input{{80}});  // the attack, replayed online
+  std::printf("attack replay: %llu overflow write(s) blocked by guard page\n",
+              static_cast<unsigned long long>(
+                  backend.observations().oob_writes_blocked));
+
+  (void)online.run(progmodel::Input{{64}});  // the benign workload
+  std::printf("benign replay: %llu overflow(s) blocked (expected 0 new)\n",
+              static_cast<unsigned long long>(
+                  backend.observations().oob_writes_blocked));
+  std::printf("done: code-less patch deployed and enforced.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Protecting a running service: the deployment story end to end, with
+// throughput before/after — the operational scenario of §VIII-B2.
+//
+//   1. A vulnerability report arrives for the service's request handler
+//      (an overread of the response body buffer).
+//   2. Offline: replay the attack against the handler model -> patch.
+//   3. Deploy: the service loads the config at startup (here: pass the
+//      frozen table to its workers).
+//   4. Measure: requests/second with and without the defense, and what the
+//      defense costs relative to the unprotected service.
+#include <cstdio>
+
+#include "analysis/patch_generator.hpp"
+#include "patch/config_file.hpp"
+#include "progmodel/builder.hpp"
+#include "workload/service_workload.hpp"
+
+using namespace ht;
+
+namespace {
+
+/// A model of the nginx-like handler's vulnerable path: the response buffer
+/// (allocated at the service's kRespCcid context, 0x1103 in the workload)
+/// is sent with an attacker-influenced length.
+struct HandlerModel {
+  progmodel::Program program;
+  progmodel::Input benign{{512, 512}};
+  progmodel::Input attack{{512, 4096}};
+};
+
+HandlerModel make_handler_model() {
+  progmodel::ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto handler = b.function("handle_request");
+  b.call(main_fn, handler);
+  b.alloc(handler, progmodel::AllocFn::kMalloc, progmodel::Value::input(0), 0);
+  b.write(handler, 0, progmodel::Value(0), progmodel::Value::input(0));
+  b.read(handler, 0, progmodel::Value(0), progmodel::Value::input(1),
+         progmodel::ReadUse::kSyscall);
+  b.free(handler, 0);
+  HandlerModel m;
+  m.program = b.build();
+  return m;
+}
+
+double throughput(ht::workload::ServiceConfig config) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    best = std::max(best, ht::workload::run_service(config).requests_per_second);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== protecting a live service with a code-less patch ==\n\n");
+
+  // 1-2) Vulnerability report -> offline analysis -> patch.
+  const HandlerModel model = make_handler_model();
+  const auto plan = cce::compute_plan(model.program.graph(),
+                                      model.program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  const auto analysis = analysis::analyze_attack(model.program, &encoder, model.attack);
+  std::printf("offline analysis produced %zu patch(es):\n%s\n",
+              analysis.patches.size(),
+              patch::serialize_config(analysis.patches).c_str());
+
+  // 3) Deployment: in the real system this is the config file the preload
+  // shim reads; here the service workers take the frozen table directly.
+  // The workload's response-buffer context is 0x1103; patch it for overflow
+  // (the handler model's CCID differs from the workload's synthetic CCIDs,
+  // so deploy the type against the known vulnerable context).
+  std::vector<patch::Patch> deployed{
+      {progmodel::AllocFn::kMalloc, 0x1103, patch::kOverflow}};
+  for (const auto& p : analysis.patches) deployed.push_back(p);
+  const patch::PatchTable table(deployed, /*freeze=*/true);
+
+  // 4) Throughput before/after.
+  workload::ServiceConfig base;
+  base.kind = workload::ServiceKind::kNginxLike;
+  base.requests = 60000;
+  base.concurrency = 8;
+
+  workload::ServiceConfig native = base;
+  const double rps_native = throughput(native);
+
+  workload::ServiceConfig unpatched = base;
+  unpatched.use_heaptherapy = true;
+  const patch::PatchTable empty({}, /*freeze=*/true);
+  unpatched.patches = &empty;
+  const double rps_unpatched = throughput(unpatched);
+
+  workload::ServiceConfig patched = base;
+  patched.use_heaptherapy = true;
+  patched.patches = &table;
+  const double rps_patched = throughput(patched);
+
+  std::printf("service throughput (nginx-like, %u workers):\n", base.concurrency);
+  std::printf("  native (vulnerable):           %10.0f req/s\n", rps_native);
+  std::printf("  heaptherapy, no patches:       %10.0f req/s  (%+.1f%%)\n",
+              rps_unpatched, (rps_unpatched / rps_native - 1) * 100);
+  std::printf("  guard-page patch (hot ctx):    %10.0f req/s  (%+.1f%%)\n",
+              rps_patched, (rps_patched / rps_native - 1) * 100);
+  std::printf(
+      "\nthe patched context here is the *hottest* allocation in the service\n"
+      "(one response buffer per request), so two mprotect calls per request\n"
+      "bite hard — the paper's point that guard pages are 'prohibitively\n"
+      "expensive' unless precisely applied (§VI). Real vulnerable contexts\n"
+      "are rarely the hottest; when they are, deploy the canary fallback:\n\n");
+
+  // The detect-on-free canary: same patch, a fraction of the cost.
+  // (This is a beyond-paper extension; see DESIGN.md §5b.)
+  workload::ServiceConfig canary_cfg = base;
+  canary_cfg.use_heaptherapy = true;
+  canary_cfg.patches = &table;
+  canary_cfg.defenses.use_guard_pages = false;
+  canary_cfg.defenses.use_canaries = true;
+  const double rps_canary = throughput(canary_cfg);
+  std::printf("  canary patch (detect-on-free): %10.0f req/s  (%+.1f%%)\n",
+              rps_canary, (rps_canary / rps_native - 1) * 100);
+  std::printf(
+      "\noperator's choice per context: fault-on-touch (guard page) or\n"
+      "detect-on-free (canary) — both deployed by editing a config file.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/input_search.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+/// Interesting per-parameter candidates: range ends, near-ends, and powers
+/// of two inside the range — where off-by-one and size-confusion bugs live.
+std::vector<std::uint64_t> boundary_values(const ParamRange& range) {
+  std::vector<std::uint64_t> values{range.lo, range.hi};
+  if (range.hi > range.lo) {
+    values.push_back(range.lo + 1);
+    values.push_back(range.hi - 1);
+    const std::uint64_t mid = range.lo + (range.hi - range.lo) / 2;
+    values.push_back(mid);
+    for (std::uint64_t p = 1; p != 0 && p <= range.hi; p <<= 1) {
+      if (p >= range.lo) values.push_back(p);
+      if (p > range.lo && p - 1 >= range.lo && p - 1 <= range.hi) {
+        values.push_back(p - 1);
+      }
+    }
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace
+
+InputSearchResult search_attack_input(const progmodel::Program& program,
+                                      const cce::Encoder* encoder,
+                                      const std::vector<ParamRange>& space,
+                                      const InputSearchOptions& options) {
+  InputSearchResult result;
+  support::Rng rng(options.seed);
+
+  const auto try_input = [&](const progmodel::Input& input) -> bool {
+    if (result.runs >= options.max_runs) return false;
+    ++result.runs;
+    AnalysisReport report =
+        analyze_attack(program, encoder, input, options.analysis);
+    if (report.attack_detected()) {
+      result.attack_input = input;
+      result.report = std::move(report);
+      return true;
+    }
+    return false;
+  };
+
+  // Phase 1: boundary combinations, one parameter stressed at a time while
+  // the others sit at their midpoint (covers the common single-length-field
+  // bugs with O(params x boundaries) runs, not a cross product).
+  progmodel::Input base;
+  for (const ParamRange& range : space) {
+    base.params.push_back(range.lo + (range.hi - range.lo) / 2);
+  }
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    for (std::uint64_t value : boundary_values(space[i])) {
+      progmodel::Input candidate = base;
+      candidate.params[i] = value;
+      if (try_input(candidate)) return result;
+      if (result.runs >= options.max_runs) return result;
+    }
+  }
+
+  // Phase 2: pairwise boundary stress (two parameters at extremes), for
+  // bugs needing two coordinates (e.g. Heartbleed's payload+response).
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    for (std::size_t j = i + 1; j < space.size(); ++j) {
+      for (std::uint64_t vi : {space[i].lo, space[i].hi}) {
+        for (std::uint64_t vj : {space[j].lo, space[j].hi}) {
+          progmodel::Input candidate = base;
+          candidate.params[i] = vi;
+          candidate.params[j] = vj;
+          if (try_input(candidate)) return result;
+          if (result.runs >= options.max_runs) return result;
+        }
+      }
+    }
+  }
+
+  // Phase 3: uniform random until the budget runs out.
+  while (result.runs < options.max_runs) {
+    progmodel::Input candidate;
+    for (const ParamRange& range : space) {
+      candidate.params.push_back(rng.range(range.lo, range.hi));
+    }
+    if (try_input(candidate)) return result;
+  }
+  return result;
+}
+
+}  // namespace ht::analysis

@@ -1,0 +1,48 @@
+// Attack-input search: find an input that triggers a heap vulnerability.
+//
+// The paper assumes a collected attack input (or "steps to reproduce",
+// §III footnote). In practice the reproduction step itself is often a
+// search; this module automates it for synthetic programs: given per-
+// parameter ranges, it replays candidate inputs under the shadow heap until
+// one produces a warning, preferring boundary values (where length/size
+// bugs live) before random sampling. The found input feeds straight into
+// analyze_attack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/patch_generator.hpp"
+
+namespace ht::analysis {
+
+struct ParamRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  ///< inclusive
+};
+
+struct InputSearchOptions {
+  std::uint64_t max_runs = 256;  ///< replay budget
+  std::uint64_t seed = 1;
+  AnalysisConfig analysis;
+};
+
+struct InputSearchResult {
+  /// The first vulnerability-triggering input found, if any.
+  std::optional<progmodel::Input> attack_input;
+  /// The analysis of that input (patches etc.); meaningful iff found.
+  AnalysisReport report;
+  std::uint64_t runs = 0;
+
+  [[nodiscard]] bool found() const noexcept { return attack_input.has_value(); }
+};
+
+/// Searches `space` (one range per input parameter) for an attack input.
+/// Deterministic per seed. Boundary candidates (lo, hi, hi-1, lo+1, powers
+/// of two inside the range) are tried before uniform random draws.
+[[nodiscard]] InputSearchResult search_attack_input(
+    const progmodel::Program& program, const cce::Encoder* encoder,
+    const std::vector<ParamRange>& space, const InputSearchOptions& options = {});
+
+}  // namespace ht::analysis

@@ -1,0 +1,119 @@
+#include "analysis/patch_generator.hpp"
+
+#include "support/hash.hpp"
+
+namespace ht::analysis {
+
+using progmodel::AccessKind;
+
+std::uint8_t vuln_bit_for(AccessKind kind) noexcept {
+  switch (kind) {
+    case AccessKind::kOverflow: return patch::kOverflow;
+    case AccessKind::kUseAfterFree: return patch::kUseAfterFree;
+    case AccessKind::kUninitRead: return patch::kUninitRead;
+    case AccessKind::kOk:
+    case AccessKind::kWild:
+    case AccessKind::kBlockedByGuard:
+      return 0;
+  }
+  return 0;
+}
+
+std::vector<patch::Patch> patches_from_violations(
+    const std::vector<progmodel::Violation>& violations, std::size_t* unattributed) {
+  std::vector<patch::Patch> patches;
+  std::size_t wild = 0;
+  for (const progmodel::Violation& v : violations) {
+    const std::uint8_t bit = vuln_bit_for(v.outcome.kind);
+    if (bit == 0) {
+      ++wild;
+      continue;
+    }
+    bool merged = false;
+    for (patch::Patch& p : patches) {
+      if (p.fn == v.outcome.victim_fn && p.ccid == v.outcome.victim_ccid) {
+        p.vuln_mask |= bit;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      patches.push_back(patch::Patch{v.outcome.victim_fn, v.outcome.victim_ccid, bit});
+    }
+  }
+  if (unattributed != nullptr) *unattributed = wild;
+  return patches;
+}
+
+AnalysisReport analyze_attack(const progmodel::Program& program,
+                              const cce::Encoder* encoder,
+                              const progmodel::Input& attack_input,
+                              const AnalysisConfig& config) {
+  shadow::SimHeap heap(config.heap);
+  progmodel::Interpreter interp(program, encoder, heap);
+  AnalysisReport report;
+  report.run = interp.run(attack_input, config.run);
+  report.patches = patches_from_violations(report.run.violations, &report.unattributed);
+  return report;
+}
+
+AnalysisReport analyze_attack_set(const progmodel::Program& program,
+                                  const cce::Encoder* encoder,
+                                  const std::vector<progmodel::Input>& inputs,
+                                  const AnalysisConfig& config) {
+  AnalysisReport merged;
+  bool first = true;
+  for (const progmodel::Input& input : inputs) {
+    AnalysisReport partial = analyze_attack(program, encoder, input, config);
+    if (first) {
+      merged.run = std::move(partial.run);
+      first = false;
+    }
+    merged.unattributed += partial.unattributed;
+    for (const patch::Patch& p : partial.patches) {
+      bool merged_in = false;
+      for (patch::Patch& existing : merged.patches) {
+        if (existing.fn == p.fn && existing.ccid == p.ccid) {
+          existing.vuln_mask |= p.vuln_mask;
+          merged_in = true;
+          break;
+        }
+      }
+      if (!merged_in) merged.patches.push_back(p);
+    }
+  }
+  return merged;
+}
+
+AnalysisReport analyze_attack_partitioned(const progmodel::Program& program,
+                                          const cce::Encoder* encoder,
+                                          const progmodel::Input& attack_input,
+                                          std::uint32_t subspaces,
+                                          const AnalysisConfig& config) {
+  if (subspaces == 0) subspaces = 1;
+  AnalysisReport merged;
+  for (std::uint32_t i = 0; i < subspaces; ++i) {
+    AnalysisConfig run_config = config;
+    run_config.heap.quarantine_filter = [subspaces, i](std::uint64_t ccid) {
+      return support::mix64(ccid) % subspaces == i;
+    };
+    AnalysisReport partial =
+        analyze_attack(program, encoder, attack_input, run_config);
+    if (i == 0) merged.run = std::move(partial.run);
+    merged.unattributed += partial.unattributed;
+    for (const patch::Patch& p : partial.patches) {
+      bool merged_in = false;
+      for (patch::Patch& existing : merged.patches) {
+        if (existing.fn == p.fn && existing.ccid == p.ccid) {
+          existing.vuln_mask |= p.vuln_mask;
+          merged_in = true;
+          break;
+        }
+      }
+      if (!merged_in) merged.patches.push_back(p);
+    }
+  }
+  return merged;
+}
+
+}  // namespace ht::analysis

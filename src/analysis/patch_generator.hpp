@@ -1,0 +1,71 @@
+// Offline attack analysis and patch generation (§V).
+//
+// Runs the vulnerable (instrumented) program on the attack input against the
+// shadow-memory heap, resumes past warnings so one input can expose several
+// vulnerabilities (the Heartbleed case), then folds the warnings into
+// patches: one {FUN, CCID, T} per victim allocation context, with the
+// vulnerability-type bits OR-ed across warnings — the "script that processes
+// the many warnings according to the origin" from the paper.
+#pragma once
+
+#include <vector>
+
+#include "cce/encoders.hpp"
+#include "patch/patch.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/program.hpp"
+#include "shadow/sim_heap.hpp"
+
+namespace ht::analysis {
+
+struct AnalysisConfig {
+  shadow::SimHeapConfig heap;
+  progmodel::RunOptions run;
+};
+
+struct AnalysisReport {
+  /// The full offline run (violations carry victim CCIDs and functions).
+  progmodel::RunResult run;
+  /// Deduplicated patches, in first-detection order.
+  std::vector<patch::Patch> patches;
+  /// Violations that could not be attributed to a buffer (wild accesses);
+  /// these cannot be patched by allocation-context defenses.
+  std::size_t unattributed = 0;
+
+  [[nodiscard]] bool attack_detected() const noexcept { return !patches.empty(); }
+};
+
+/// Converts a backend violation kind to the patch type bit (0 if the kind
+/// carries no patchable type, e.g. wild accesses).
+[[nodiscard]] std::uint8_t vuln_bit_for(progmodel::AccessKind kind) noexcept;
+
+/// Folds a run's violations into deduplicated patches.
+[[nodiscard]] std::vector<patch::Patch> patches_from_violations(
+    const std::vector<progmodel::Violation>& violations, std::size_t* unattributed);
+
+/// One offline analysis execution: replay `attack_input` and generate
+/// patches. The encoder must be the same one the online system will use —
+/// CCIDs in patches only match if encoding is identical across phases.
+[[nodiscard]] AnalysisReport analyze_attack(const progmodel::Program& program,
+                                            const cce::Encoder* encoder,
+                                            const progmodel::Input& attack_input,
+                                            const AnalysisConfig& config = {});
+
+/// Analyzes several collected inputs (the paper gathered multiple attack
+/// inputs from the Internet for Heartbleed, §VIII-A) and merges the
+/// resulting patches: duplicate {FUN, CCID} keys OR their masks. The run
+/// field holds the first input's run; `unattributed` sums across inputs.
+[[nodiscard]] AnalysisReport analyze_attack_set(
+    const progmodel::Program& program, const cce::Encoder* encoder,
+    const std::vector<progmodel::Input>& inputs, const AnalysisConfig& config = {});
+
+/// §IX multi-execution replay for memory-constrained UAF analysis: the CCID
+/// space is divided into `subspaces` partitions; execution i quarantines
+/// only buffers whose CCID falls into partition i, so each execution needs
+/// roughly 1/N of the quarantine memory. Patches are merged across runs.
+[[nodiscard]] AnalysisReport analyze_attack_partitioned(
+    const progmodel::Program& program, const cce::Encoder* encoder,
+    const progmodel::Input& attack_input, std::uint32_t subspaces,
+    const AnalysisConfig& config = {});
+
+}  // namespace ht::analysis

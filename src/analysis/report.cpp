@@ -1,0 +1,85 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "progmodel/interpreter.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string render_report(const progmodel::Program& program,
+                          const cce::Encoder& encoder,
+                          const progmodel::Input& attack_input,
+                          const AnalysisReport& report,
+                          const ReportOptions& options) {
+  std::ostringstream os;
+  os << "== HeapTherapy+ dynamic analysis report ==\n";
+  os << "run: " << (report.run.completed ? "completed" : "aborted") << ", "
+     << report.run.total_allocs() << " allocations, " << report.run.free_count
+     << " frees, " << report.run.violations.size() << " warning(s)\n\n";
+
+  // Decoded patches.
+  const cce::TargetedDecoder decoder(program.graph(), program.entry(),
+                                     program.alloc_targets(), encoder,
+                                     options.decoder_context_limit);
+  os << "patches (" << report.patches.size() << "):\n";
+  for (const patch::Patch& p : report.patches) {
+    os << "  { FUN=" << progmodel::alloc_fn_name(p.fn) << ", CCID=" << hex(p.ccid)
+       << ", T=" << patch::vuln_mask_to_string(p.vuln_mask) << " }\n";
+    const cce::FunctionId target = program.alloc_fn_node(p.fn);
+    if (target != cce::kInvalidFunction) {
+      if (const auto context = decoder.decode(target, p.ccid)) {
+        os << "      allocated at: "
+           << cce::TargetedDecoder::format_context(program.graph(),
+                                                   program.entry(), *context)
+           << (decoder.ambiguous(target, p.ccid) ? "  (note: CCID collision)"
+                                                 : "")
+           << "\n";
+      } else {
+        os << "      allocated at: <context not reachable statically>\n";
+      }
+    }
+  }
+  if (report.unattributed > 0) {
+    os << "  (+" << report.unattributed
+       << " wild access(es) not attributable to any buffer)\n";
+  }
+
+  if (options.include_violations && !report.run.violations.empty()) {
+    os << "\nwarnings:\n";
+    for (const progmodel::Violation& v : report.run.violations) {
+      os << "  " << progmodel::access_kind_name(v.outcome.kind) << " ("
+         << (v.outcome.is_write ? "write" : "read") << ") in "
+         << program.graph().function_name(v.in_function) << ", victim CCID "
+         << hex(v.outcome.victim_ccid) << "\n";
+    }
+  }
+
+  if (options.include_leaks) {
+    // Re-run the attack to collect end-of-run heap state for leak checking.
+    shadow::SimHeap heap;
+    progmodel::Interpreter interp(program, &encoder, heap);
+    (void)interp.run(attack_input);
+    const auto leaks = heap.leak_report();
+    os << "\nleak summary: " << leaks.leaks.size() << " buffer(s), "
+       << leaks.total_bytes << " byte(s) still reachable at exit\n";
+    for (const auto& leak : leaks.leaks) {
+      os << "  " << leak.bytes << " bytes from "
+         << progmodel::alloc_fn_name(leak.fn) << " at CCID " << hex(leak.ccid)
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ht::analysis

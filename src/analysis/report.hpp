@@ -1,0 +1,35 @@
+// Human-readable rendering of the offline dynamic-analysis report.
+//
+// The paper's Offline Patch Generator "generates the patch as part of the
+// dynamic analysis report" (§V). This renders that report: the generated
+// patches with their allocation contexts decoded back to call chains (via
+// the TargetedDecoder), the raw warnings, and the leak summary — what a
+// vendor's security engineer would read before shipping the config file.
+#pragma once
+
+#include <string>
+
+#include "analysis/patch_generator.hpp"
+#include "cce/targeted_decoder.hpp"
+#include "progmodel/program.hpp"
+#include "shadow/sim_heap.hpp"
+
+namespace ht::analysis {
+
+struct ReportOptions {
+  bool include_violations = true;
+  bool include_leaks = true;
+  std::size_t decoder_context_limit = 1 << 16;
+};
+
+/// Renders the analysis of `program` under `encoder`. The same analysis
+/// configuration used for `report` should be passed so the leak summary is
+/// consistent; the leak section is produced by re-running the attack (the
+/// report is an offline artifact — a second heavyweight run is fine).
+[[nodiscard]] std::string render_report(const progmodel::Program& program,
+                                        const cce::Encoder& encoder,
+                                        const progmodel::Input& attack_input,
+                                        const AnalysisReport& report,
+                                        const ReportOptions& options = {});
+
+}  // namespace ht::analysis

@@ -1,0 +1,182 @@
+#include "cce/call_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+namespace ht::cce {
+
+FunctionId CallGraph::add_function(std::string name) {
+  if (name.empty()) throw std::invalid_argument("function name must be non-empty");
+  if (find_function(name).has_value()) {
+    throw std::invalid_argument("duplicate function name: " + name);
+  }
+  const auto id = static_cast<FunctionId>(names_.size());
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+CallSiteId CallGraph::add_call_site(FunctionId caller, FunctionId callee) {
+  if (caller >= names_.size() || callee >= names_.size()) {
+    throw std::out_of_range("call site references unknown function");
+  }
+  const auto id = static_cast<CallSiteId>(sites_.size());
+  sites_.push_back(CallSite{id, caller, callee});
+  out_[caller].push_back(id);
+  in_[callee].push_back(id);
+  return id;
+}
+
+std::optional<FunctionId> CallGraph::find_function(std::string_view name) const {
+  for (FunctionId f = 0; f < names_.size(); ++f) {
+    if (names_[f] == name) return f;
+  }
+  return std::nullopt;
+}
+
+bool CallGraph::has_cycle() const {
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(names_.size(), Mark::White);
+  // Iterative DFS with explicit stack to survive deep graphs.
+  struct Frame {
+    FunctionId node;
+    std::size_t next_edge;
+  };
+  for (FunctionId start = 0; start < names_.size(); ++start) {
+    if (mark[start] != Mark::White) continue;
+    std::vector<Frame> stack{{start, 0}};
+    mark[start] = Mark::Grey;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge < out_[frame.node].size()) {
+        const FunctionId callee = sites_[out_[frame.node][frame.next_edge++]].callee;
+        if (mark[callee] == Mark::Grey) return true;
+        if (mark[callee] == Mark::White) {
+          mark[callee] = Mark::Grey;
+          stack.push_back({callee, 0});
+        }
+      } else {
+        mark[frame.node] = Mark::Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool CallGraph::is_valid_context(const CallingContext& context, FunctionId root) const {
+  FunctionId at = root;
+  for (CallSiteId s : context) {
+    if (s >= sites_.size()) return false;
+    if (sites_[s].caller != at) return false;
+    at = sites_[s].callee;
+  }
+  return true;
+}
+
+std::string CallGraph::to_dot(const std::vector<FunctionId>& highlight_targets,
+                              const std::vector<bool>* instrumented) const {
+  std::ostringstream os;
+  os << "digraph callgraph {\n";
+  for (FunctionId f = 0; f < names_.size(); ++f) {
+    const bool is_target = std::find(highlight_targets.begin(), highlight_targets.end(),
+                                     f) != highlight_targets.end();
+    os << "  f" << f << " [label=\"" << names_[f] << "\"";
+    if (is_target) os << ", shape=doublecircle, style=filled, fillcolor=lightblue";
+    os << "];\n";
+  }
+  for (const CallSite& s : sites_) {
+    os << "  f" << s.caller << " -> f" << s.callee << " [label=\"cs" << s.id << "\"";
+    if (instrumented != nullptr && s.id < instrumented->size() && (*instrumented)[s.id]) {
+      os << ", color=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Reachability compute_reachability(const CallGraph& graph,
+                                  const std::vector<FunctionId>& targets) {
+  Reachability r;
+  r.reaches_target.assign(graph.function_count(), false);
+  r.site_reaches_target.assign(graph.call_site_count(), false);
+
+  std::deque<FunctionId> queue;
+  for (FunctionId t : targets) {
+    if (t >= graph.function_count()) throw std::out_of_range("unknown target function");
+    if (!r.reaches_target[t]) {
+      r.reaches_target[t] = true;
+      queue.push_back(t);
+    }
+  }
+  while (!queue.empty()) {
+    const FunctionId n = queue.front();
+    queue.pop_front();
+    for (CallSiteId s : graph.incoming(n)) {
+      const FunctionId caller = graph.site(s).caller;
+      if (!r.reaches_target[caller]) {
+        r.reaches_target[caller] = true;
+        queue.push_back(caller);
+      }
+    }
+  }
+  for (const CallSite& s : graph.sites()) {
+    r.site_reaches_target[s.id] = r.reaches_target[s.callee];
+  }
+  return r;
+}
+
+namespace {
+
+void enumerate_rec(const CallGraph& graph, FunctionId at, FunctionId target,
+                   const std::vector<bool>& reaches, std::vector<unsigned>& visits,
+                   unsigned max_cycle_visits, CallingContext& path,
+                   std::vector<CallingContext>& out, std::size_t limit) {
+  if (at == target) {
+    if (out.size() >= limit) {
+      throw std::length_error("enumerate_contexts: context count exceeds limit");
+    }
+    out.push_back(path);
+    // A target may itself call onward back into the graph; contexts end at
+    // the target, so do not recurse past it.
+    return;
+  }
+  for (CallSiteId s : graph.outgoing(at)) {
+    const FunctionId callee = graph.site(s).callee;
+    // Prune subgraphs that cannot reach the target: they contribute no
+    // contexts and can be exponentially large (or cyclic).
+    if (!reaches[callee]) continue;
+    if (visits[callee] > max_cycle_visits) continue;
+    ++visits[callee];
+    path.push_back(s);
+    enumerate_rec(graph, callee, target, reaches, visits, max_cycle_visits, path,
+                  out, limit);
+    path.pop_back();
+    --visits[callee];
+  }
+}
+
+}  // namespace
+
+std::vector<CallingContext> enumerate_contexts(const CallGraph& graph, FunctionId root,
+                                               FunctionId target, std::size_t limit,
+                                               unsigned max_cycle_visits) {
+  if (root >= graph.function_count() || target >= graph.function_count()) {
+    throw std::out_of_range("enumerate_contexts: unknown function");
+  }
+  std::vector<CallingContext> out;
+  CallingContext path;
+  const Reachability reach = compute_reachability(graph, {target});
+  if (!reach.reaches_target[root]) return out;
+  std::vector<unsigned> visits(graph.function_count(), 0);
+  visits[root] = 1;
+  enumerate_rec(graph, root, target, reach.reaches_target, visits, max_cycle_visits,
+                path, out, limit);
+  return out;
+}
+
+}  // namespace ht::cce

@@ -1,0 +1,110 @@
+// Call-graph representation for targeted calling-context encoding.
+//
+// The paper's encoding optimizations (§IV) are pure call-graph algorithms:
+// given a graph G = (V, E) where nodes are functions and edges are *call
+// sites* (a caller may contain several distinct call sites to the same
+// callee, and each is a separate edge), and a set of target functions
+// (allocation APIs for HeapTherapy+), decide which call sites must be
+// instrumented with an encoding update.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::cce {
+
+using FunctionId = std::uint32_t;
+using CallSiteId = std::uint32_t;
+
+inline constexpr FunctionId kInvalidFunction = UINT32_MAX;
+inline constexpr CallSiteId kInvalidCallSite = UINT32_MAX;
+
+/// One call-graph edge: a static call site inside `caller` invoking `callee`.
+struct CallSite {
+  CallSiteId id = kInvalidCallSite;
+  FunctionId caller = kInvalidFunction;
+  FunctionId callee = kInvalidFunction;
+};
+
+/// A calling context: the sequence of call sites on the stack, outermost
+/// first. The final site's callee is the context's target function.
+using CallingContext = std::vector<CallSiteId>;
+
+/// Immutable-after-build directed multigraph of functions and call sites.
+///
+/// Invariants:
+///  - function ids are dense [0, function_count)
+///  - call-site ids are dense [0, call_site_count)
+///  - adjacency lists are kept in insertion order (deterministic iteration)
+class CallGraph {
+ public:
+  /// Registers a function; names must be unique and non-empty.
+  FunctionId add_function(std::string name);
+
+  /// Registers a call site from `caller` to `callee` (both must exist).
+  CallSiteId add_call_site(FunctionId caller, FunctionId callee);
+
+  [[nodiscard]] std::size_t function_count() const noexcept { return names_.size(); }
+  [[nodiscard]] std::size_t call_site_count() const noexcept { return sites_.size(); }
+
+  [[nodiscard]] const std::string& function_name(FunctionId f) const { return names_.at(f); }
+  [[nodiscard]] std::optional<FunctionId> find_function(std::string_view name) const;
+
+  [[nodiscard]] const CallSite& site(CallSiteId s) const { return sites_.at(s); }
+  [[nodiscard]] const std::vector<CallSiteId>& outgoing(FunctionId f) const {
+    return out_.at(f);
+  }
+  [[nodiscard]] const std::vector<CallSiteId>& incoming(FunctionId f) const {
+    return in_.at(f);
+  }
+
+  /// All call sites, id order.
+  [[nodiscard]] const std::vector<CallSite>& sites() const noexcept { return sites_; }
+
+  /// True if the graph (viewed as a function-level digraph) has a cycle,
+  /// i.e. the program is (mutually) recursive.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// True if `context` is a well-formed path in this graph: consecutive
+  /// sites chain caller->callee and the path starts at `root`.
+  [[nodiscard]] bool is_valid_context(const CallingContext& context,
+                                      FunctionId root) const;
+
+  /// Graphviz dump (functions as nodes, call sites as labeled edges) for
+  /// debugging and the encoding_optimizer example.
+  [[nodiscard]] std::string to_dot(const std::vector<FunctionId>& highlight_targets = {},
+                                   const std::vector<bool>* instrumented = nullptr) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<CallSite> sites_;
+  std::vector<std::vector<CallSiteId>> out_;
+  std::vector<std::vector<CallSiteId>> in_;
+};
+
+/// Per-function reachability to a target set.
+struct Reachability {
+  /// reaches_target[f] == true iff f is a target or some path of calls from
+  /// f arrives at a target.
+  std::vector<bool> reaches_target;
+  /// site_reaches_target[s] == true iff the edge's callee is a target or can
+  /// reach one — i.e. site s may appear in some calling context of a target.
+  std::vector<bool> site_reaches_target;
+};
+
+/// Backward BFS over incoming edges from every target (handles cycles).
+[[nodiscard]] Reachability compute_reachability(const CallGraph& graph,
+                                                const std::vector<FunctionId>& targets);
+
+/// Enumerate every calling context from `root` to `target`, for ground-truth
+/// checks and decoding in tests. Recursion is bounded: a cycle may be taken
+/// at most `max_cycle_visits` times per path. Results are capped at `limit`
+/// contexts (throws std::length_error beyond it, to catch runaway graphs).
+[[nodiscard]] std::vector<CallingContext> enumerate_contexts(
+    const CallGraph& graph, FunctionId root, FunctionId target,
+    std::size_t limit = 1 << 20, unsigned max_cycle_visits = 1);
+
+}  // namespace ht::cce

@@ -1,0 +1,185 @@
+#include "cce/encoders.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "support/hash.hpp"
+
+namespace ht::cce {
+
+std::uint64_t Encoder::encode(const CallingContext& context) const noexcept {
+  std::uint64_t v = 0;
+  for (CallSiteId s : context) {
+    if (plan_.is_instrumented(s)) v = apply(v, s);
+  }
+  return v;
+}
+
+PccEncoder::PccEncoder(InstrumentationPlan plan, PccParams params)
+    : Encoder(std::move(plan)), params_(params) {
+  if (params_.multiplier == 0) {
+    throw EncodingError("PCC multiplier must be non-zero");
+  }
+}
+
+std::uint64_t PccEncoder::site_constant(CallSiteId site) const noexcept {
+  return support::mix64(params_.salt ^ (static_cast<std::uint64_t>(site) + 1));
+}
+
+std::uint64_t PccEncoder::apply(std::uint64_t v, CallSiteId site) const noexcept {
+  return params_.multiplier * v + site_constant(site);
+}
+
+namespace {
+
+/// Reverse topological order of the functions that reach a target,
+/// restricted to reaching edges. Throws EncodingError on cycles.
+std::vector<FunctionId> reverse_topo_order(const CallGraph& graph,
+                                           const Reachability& reach,
+                                           const std::vector<bool>& is_target) {
+  const std::size_t n = graph.function_count();
+  // Kahn's algorithm over the reaching subgraph. Edges out of targets are
+  // excluded: contexts terminate at the first target reached.
+  std::vector<std::size_t> out_degree(n, 0);
+  for (const CallSite& s : graph.sites()) {
+    if (!reach.reaches_target[s.caller] || is_target[s.caller]) continue;
+    if (reach.site_reaches_target[s.id]) ++out_degree[s.caller];
+  }
+  std::deque<FunctionId> ready;
+  std::size_t member_count = 0;
+  for (FunctionId f = 0; f < n; ++f) {
+    if (!reach.reaches_target[f]) continue;
+    ++member_count;
+    if (out_degree[f] == 0) ready.push_back(f);  // targets and leaves
+  }
+  std::vector<FunctionId> order;
+  order.reserve(member_count);
+  while (!ready.empty()) {
+    const FunctionId f = ready.front();
+    ready.pop_front();
+    order.push_back(f);
+    for (CallSiteId s : graph.incoming(f)) {
+      const FunctionId caller = graph.site(s).caller;
+      if (!reach.reaches_target[caller] || is_target[caller]) continue;
+      if (!reach.site_reaches_target[s]) continue;
+      if (--out_degree[caller] == 0) ready.push_back(caller);
+    }
+  }
+  if (order.size() != member_count) {
+    throw EncodingError(
+        "AdditiveEncoder requires an acyclic target-reaching call graph "
+        "(recursive programs need the PCC encoder)");
+  }
+  return order;
+}
+
+}  // namespace
+
+AdditiveEncoder::AdditiveEncoder(const CallGraph& graph,
+                                 const std::vector<FunctionId>& targets,
+                                 InstrumentationPlan plan, FunctionId root)
+    : Encoder(std::move(plan)), graph_(graph), root_(root) {
+  if (this->plan().strategy == Strategy::kIncremental) {
+    throw EncodingError(
+        "AdditiveEncoder does not support the Incremental plan; use PccEncoder "
+        "and key lookups on {target_fn, CCID}");
+  }
+  if (root >= graph.function_count()) {
+    throw EncodingError("AdditiveEncoder: unknown root function");
+  }
+  is_target_.assign(graph.function_count(), false);
+  for (FunctionId t : targets) {
+    if (t >= graph.function_count()) {
+      throw EncodingError("AdditiveEncoder: unknown target function");
+    }
+    is_target_[t] = true;
+  }
+
+  const Reachability reach = compute_reachability(graph, targets);
+  increments_.assign(graph.call_site_count(), 0);
+  num_paths_.assign(graph.function_count(), 0);
+
+  // Ball-Larus numbering in reverse topological order: targets have exactly
+  // one (empty) context suffix; every other reaching node sums its reaching
+  // out-edges, assigning each edge the prefix-sum increment.
+  for (FunctionId f : reverse_topo_order(graph, reach, is_target_)) {
+    if (is_target_[f]) {
+      num_paths_[f] = 1;
+      continue;
+    }
+    std::uint64_t acc = 0;
+    for (CallSiteId s : graph.outgoing(f)) {
+      if (!reach.site_reaches_target[s]) continue;
+      const std::uint64_t callee_paths = num_paths_[graph.site(s).callee];
+      if (acc > std::numeric_limits<std::uint64_t>::max() - callee_paths) {
+        throw EncodingError("AdditiveEncoder: context count overflows 64 bits");
+      }
+      increments_[s] = acc;
+      acc += callee_paths;
+    }
+    num_paths_[f] = acc;
+  }
+
+  // Sanity: every instrumented site the plan selects must be a reaching
+  // site; FCS plans legitimately include non-reaching sites, whose
+  // increments stay 0 and therefore never perturb encodings.
+}
+
+std::uint64_t AdditiveEncoder::apply(std::uint64_t v, CallSiteId site) const noexcept {
+  return v + (site < increments_.size() ? increments_[site] : 0);
+}
+
+std::uint64_t AdditiveEncoder::num_contexts() const noexcept {
+  return is_target_[root_] ? 1 : num_paths_[root_];
+}
+
+std::uint64_t AdditiveEncoder::increment(CallSiteId site) const noexcept {
+  return site < increments_.size() ? increments_[site] : 0;
+}
+
+std::optional<CallingContext> AdditiveEncoder::decode(std::uint64_t v) const {
+  if (v >= num_contexts()) return std::nullopt;
+  CallingContext context;
+  FunctionId at = root_;
+  std::uint64_t remaining = v;
+  while (!is_target_[at]) {
+    // Choose the reaching out-edge with the greatest increment <= remaining;
+    // increments partition [0, num_paths_[at]) by construction.
+    CallSiteId best = kInvalidCallSite;
+    std::uint64_t best_inc = 0;
+    for (CallSiteId s : graph_.outgoing(at)) {
+      const FunctionId callee = graph_.site(s).callee;
+      if (num_paths_[callee] == 0 && !is_target_[callee]) continue;  // non-reaching
+      const std::uint64_t inc = increments_[s];
+      if (inc <= remaining && (best == kInvalidCallSite || inc >= best_inc)) {
+        best = s;
+        best_inc = inc;
+      }
+    }
+    if (best == kInvalidCallSite) return std::nullopt;  // corrupt value
+    context.push_back(best);
+    remaining -= best_inc;
+    at = graph_.site(best).callee;
+  }
+  return remaining == 0 ? std::optional<CallingContext>(context) : std::nullopt;
+}
+
+bool CcidRegister::on_call(CallSiteId site) {
+  saved_.push_back(v_);
+  if (encoder_->plan().is_instrumented(site)) {
+    v_ = encoder_->apply(v_, site);
+    ++ops_;
+    return true;
+  }
+  return false;
+}
+
+void CcidRegister::on_return() {
+  if (saved_.empty()) throw std::logic_error("CcidRegister: return without call");
+  v_ = saved_.back();
+  saved_.pop_back();
+}
+
+}  // namespace ht::cce

@@ -1,0 +1,150 @@
+// Calling-context encoders.
+//
+// An encoder maintains a single integer register V that continuously holds
+// the encoding (CCID) of the current calling context. Only *instrumented*
+// call sites (per an InstrumentationPlan) update V:
+//
+//  - PccEncoder (§IV, after [Bond&McKinley, PCC]): V' = m*V + c_site, with
+//    m = 3 and a per-call-site constant. Probabilistically unique; collisions
+//    are benign for HeapTherapy+ (a collision merely over-enhances a buffer).
+//  - AdditiveEncoder (PCCE/DeltaPath-style): V' = V + inc_site, with
+//    Ball-Larus-style increments computed on the target-reaching sub-DAG so
+//    that every calling context ending at a target receives a *unique* value
+//    in [0, num_contexts), and decoding is exact.
+//
+// The additive encoder naturally assigns increment 0 to the sole reaching
+// out-edge of a non-branching node, which is precisely why the Slim
+// optimization (§IV-B) is lossless: pruned sites had zero increments anyway.
+// The Incremental plan (§IV-C) prunes false-branching nodes whose additive
+// increments are non-zero, so AdditiveEncoder rejects Incremental plans; use
+// PccEncoder for Incremental (as HeapTherapy+ itself does) where the
+// {target_fn, CCID} pair restores distinguishability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cce/call_graph.hpp"
+#include "cce/strategies.hpp"
+
+namespace ht::cce {
+
+/// Abstract encoder: a pure function (V, call site) -> V', plus the plan
+/// that says which sites apply it.
+class Encoder {
+ public:
+  explicit Encoder(InstrumentationPlan plan) : plan_(std::move(plan)) {}
+  virtual ~Encoder() = default;
+
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+
+  /// Register update performed at an instrumented call site.
+  [[nodiscard]] virtual std::uint64_t apply(std::uint64_t v,
+                                            CallSiteId site) const noexcept = 0;
+
+  [[nodiscard]] const InstrumentationPlan& plan() const noexcept { return plan_; }
+
+  /// Folds `apply` over the instrumented sites of a whole context,
+  /// starting from the entry value 0. This equals the value the runtime
+  /// register V holds when the target function is entered.
+  [[nodiscard]] std::uint64_t encode(const CallingContext& context) const noexcept;
+
+ private:
+  InstrumentationPlan plan_;
+};
+
+/// Parameters for the probabilistic encoder. The paper fixes multiplier 3;
+/// the ablation bench sweeps it.
+struct PccParams {
+  std::uint64_t multiplier = 3;
+  std::uint64_t salt = 0x48542b5eedULL;  // deterministic per-site constants
+};
+
+class PccEncoder final : public Encoder {
+ public:
+  PccEncoder(InstrumentationPlan plan, PccParams params = {});
+
+  [[nodiscard]] std::uint64_t apply(std::uint64_t v,
+                                    CallSiteId site) const noexcept override;
+
+  /// The per-call-site constant c (deterministic across runs).
+  [[nodiscard]] std::uint64_t site_constant(CallSiteId site) const noexcept;
+
+  [[nodiscard]] const PccParams& params() const noexcept { return params_; }
+
+ private:
+  PccParams params_;
+};
+
+/// Exact, decodable encoder (Ball-Larus numbering over the target-reaching
+/// sub-DAG). Throws EncodingError if the reaching subgraph is cyclic or the
+/// plan strategy is Incremental (see file comment).
+class AdditiveEncoder final : public Encoder {
+ public:
+  AdditiveEncoder(const CallGraph& graph, const std::vector<FunctionId>& targets,
+                  InstrumentationPlan plan, FunctionId root);
+
+  [[nodiscard]] std::uint64_t apply(std::uint64_t v,
+                                    CallSiteId site) const noexcept override;
+
+  /// Number of calling contexts from the root to any target; encodings are
+  /// unique in [0, num_contexts()).
+  [[nodiscard]] std::uint64_t num_contexts() const noexcept;
+
+  /// Exact inverse of encode(): reconstructs the context with value `v`
+  /// starting at the root. Returns nullopt for out-of-range values.
+  [[nodiscard]] std::optional<CallingContext> decode(std::uint64_t v) const;
+
+  /// The additive increment for a site (0 for pruned / non-reaching sites).
+  [[nodiscard]] std::uint64_t increment(CallSiteId site) const noexcept;
+
+ private:
+  const CallGraph& graph_;
+  FunctionId root_;
+  std::vector<bool> is_target_;
+  std::vector<std::uint64_t> increments_;  // by CallSiteId
+  std::vector<std::uint64_t> num_paths_;   // by FunctionId, paths to any target
+};
+
+/// Thrown when an encoder cannot be constructed for a graph/plan combo.
+class EncodingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runtime register semantics shared by the interpreter and tests: V plus a
+/// shadow stack of saved values so returns restore the caller's encoding —
+/// the behavioural equivalent of PCC's "read V into a local t at the
+/// prologue, recompute V from t before each call site".
+class CcidRegister {
+ public:
+  explicit CcidRegister(const Encoder& encoder) : encoder_(&encoder) {}
+
+  /// Enter a call through `site`. Returns true if the site was instrumented
+  /// (i.e. an encoding operation executed) so callers can count work.
+  bool on_call(CallSiteId site);
+  /// Matching return from the most recent call.
+  void on_return();
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return v_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return saved_.size(); }
+  /// Encoding operations executed so far (the overhead driver of §VIII-B1).
+  [[nodiscard]] std::uint64_t ops() const noexcept { return ops_; }
+
+  void reset() {
+    v_ = 0;
+    saved_.clear();
+    ops_ = 0;
+  }
+
+ private:
+  const Encoder* encoder_;
+  std::uint64_t v_ = 0;
+  std::vector<std::uint64_t> saved_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace ht::cce

@@ -1,0 +1,111 @@
+#include "cce/plan_io.hpp"
+
+#include <sstream>
+
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace ht::cce {
+
+std::uint64_t graph_fingerprint(const CallGraph& graph) {
+  std::uint64_t h = support::fnv1a64("ht-callgraph-v1");
+  for (FunctionId f = 0; f < graph.function_count(); ++f) {
+    h = support::hash_combine(h, support::fnv1a64(graph.function_name(f)));
+  }
+  for (const CallSite& s : graph.sites()) {
+    h = support::hash_combine(h, (static_cast<std::uint64_t>(s.caller) << 32) |
+                                     s.callee);
+  }
+  return h;
+}
+
+std::string serialize_plan(const InstrumentationPlan& plan, const CallGraph& graph) {
+  std::ostringstream os;
+  os << "# HeapTherapy+ instrumentation plan\n";
+  os << "version 1\n";
+  os << "strategy " << strategy_name(plan.strategy) << "\n";
+  char hex[24];
+  std::snprintf(hex, sizeof(hex), "0x%016llx",
+                static_cast<unsigned long long>(graph_fingerprint(graph)));
+  os << "graph " << hex << "\n";
+  os << "sites " << graph.call_site_count() << "\n";
+  os << "instrumented";
+  for (CallSiteId s = 0; s < plan.instrumented.size(); ++s) {
+    if (plan.instrumented[s]) os << ' ' << s;
+  }
+  os << "\n";
+  return os.str();
+}
+
+PlanParseResult parse_plan(std::string_view text, const CallGraph& graph) {
+  PlanParseResult result;
+  InstrumentationPlan plan;
+  plan.instrumented.assign(graph.call_site_count(), false);
+  bool version_ok = false, strategy_ok = false, graph_ok = false, sites_ok = false;
+
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    const std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string_view> fields;
+    for (std::string_view f : support::split(line, ' ')) {
+      if (!support::trim(f).empty()) fields.push_back(support::trim(f));
+    }
+    if (fields.empty()) continue;
+
+    if (fields[0] == "version") {
+      version_ok = fields.size() == 2 && support::parse_u64(fields[1]) == 1;
+      if (!version_ok) {
+        result.error = "unsupported plan version";
+        return result;
+      }
+    } else if (fields[0] == "strategy") {
+      for (Strategy s : kAllStrategies) {
+        if (fields.size() == 2 && fields[1] == strategy_name(s)) {
+          plan.strategy = s;
+          strategy_ok = true;
+        }
+      }
+      if (!strategy_ok) {
+        result.error = "unknown strategy";
+        return result;
+      }
+    } else if (fields[0] == "graph") {
+      const auto fp = fields.size() == 2 ? support::parse_u64(fields[1])
+                                         : std::nullopt;
+      if (!fp || *fp != graph_fingerprint(graph)) {
+        result.error = "graph fingerprint mismatch: plan was computed for a "
+                       "different program";
+        return result;
+      }
+      graph_ok = true;
+    } else if (fields[0] == "sites") {
+      const auto n = fields.size() == 2 ? support::parse_u64(fields[1])
+                                        : std::nullopt;
+      if (!n || *n != graph.call_site_count()) {
+        result.error = "call-site count mismatch";
+        return result;
+      }
+      sites_ok = true;
+    } else if (fields[0] == "instrumented") {
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const auto id = support::parse_u64(fields[i]);
+        if (!id || *id >= graph.call_site_count()) {
+          result.error = "instrumented site id out of range";
+          return result;
+        }
+        plan.instrumented[*id] = true;
+      }
+    } else {
+      result.error = "unknown directive '" + std::string(fields[0]) + "'";
+      return result;
+    }
+  }
+  if (!version_ok || !strategy_ok || !graph_ok || !sites_ok) {
+    result.error = "plan file incomplete (version/strategy/graph/sites required)";
+    return result;
+  }
+  result.plan = std::move(plan);
+  return result;
+}
+
+}  // namespace ht::cce

@@ -1,0 +1,47 @@
+// Instrumentation-plan persistence.
+//
+// Program instrumentation "is an one-time effort" (§III-B): the pass
+// computes which call sites carry encoding updates and that decision must
+// be reproducible across the offline and online phases — patches only match
+// if both phases encode identically. This module serializes a plan together
+// with a fingerprint of the call graph it was computed for, so a stale plan
+// (the program changed) is rejected at load instead of silently producing
+// mismatched CCIDs.
+//
+// Format (text, versioned like the patch config):
+//   # HeapTherapy+ instrumentation plan
+//   version 1
+//   strategy Incremental
+//   graph <fnv64 of the graph structure>
+//   sites <total call sites>
+//   instrumented <id> <id> ...        (may repeat; ids in any order)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cce/call_graph.hpp"
+#include "cce/strategies.hpp"
+
+namespace ht::cce {
+
+/// Stable fingerprint of a call graph's structure (functions by name,
+/// call sites by (caller, callee) in id order). Two graphs with the same
+/// fingerprint encode identically.
+[[nodiscard]] std::uint64_t graph_fingerprint(const CallGraph& graph);
+
+/// Serializes a plan for `graph`.
+[[nodiscard]] std::string serialize_plan(const InstrumentationPlan& plan,
+                                         const CallGraph& graph);
+
+struct PlanParseResult {
+  std::optional<InstrumentationPlan> plan;  ///< set on success
+  std::string error;                        ///< set on failure
+};
+
+/// Parses a serialized plan and validates it against `graph` (fingerprint
+/// and site-count must match).
+[[nodiscard]] PlanParseResult parse_plan(std::string_view text,
+                                         const CallGraph& graph);
+
+}  // namespace ht::cce

@@ -1,0 +1,49 @@
+#include "cce/sample_graphs.hpp"
+
+#include <string>
+
+namespace ht::cce {
+
+RandomDag make_random_dag(support::Rng& rng, const RandomDagParams& params) {
+  RandomDag dag;
+  const std::uint32_t layers = params.layers < 2 ? 2 : params.layers;
+  const std::uint32_t per_layer =
+      params.functions_per_layer < 1 ? 1 : params.functions_per_layer;
+
+  // Layer 0 holds only the root; the last layer holds the targets.
+  std::vector<std::vector<FunctionId>> layer_funcs(layers);
+  dag.root = dag.graph.add_function("main");
+  layer_funcs[0].push_back(dag.root);
+  for (std::uint32_t layer = 1; layer + 1 < layers; ++layer) {
+    for (std::uint32_t j = 0; j < per_layer; ++j) {
+      layer_funcs[layer].push_back(
+          dag.graph.add_function("f" + std::to_string(layer) + "_" + std::to_string(j)));
+    }
+  }
+  const std::uint32_t targets = params.target_count < 1 ? 1 : params.target_count;
+  for (std::uint32_t j = 0; j < targets; ++j) {
+    const FunctionId t = dag.graph.add_function("target" + std::to_string(j));
+    layer_funcs[layers - 1].push_back(t);
+    dag.targets.push_back(t);
+  }
+
+  // Wire call sites layer by layer. Every function gets at least one
+  // out-edge into a later layer so all interior functions reach a target.
+  for (std::uint32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (FunctionId caller : layer_funcs[layer]) {
+      const std::uint32_t fanout =
+          1 + static_cast<std::uint32_t>(rng.below(params.max_fanout < 1 ? 1 : params.max_fanout));
+      for (std::uint32_t k = 0; k < fanout; ++k) {
+        std::uint32_t callee_layer = layer + 1;
+        if (callee_layer + 1 < layers && rng.chance(params.skip_layer_probability)) {
+          ++callee_layer;
+        }
+        const auto& pool = layer_funcs[callee_layer];
+        dag.graph.add_call_site(caller, pool[rng.index(pool.size())]);
+      }
+    }
+  }
+  return dag;
+}
+
+}  // namespace ht::cce

@@ -1,0 +1,74 @@
+// Reference graphs used in tests, benches and the encoding_optimizer
+// example — including a reconstruction of the paper's Fig. 2.
+#pragma once
+
+#include <cstdint>
+
+#include "cce/call_graph.hpp"
+#include "support/rng.hpp"
+
+namespace ht::cce {
+
+/// The worked example of §IV (Fig. 2), reconstructed to satisfy every
+/// statement in the text:
+///  - TCS prunes exactly the edges DH and HI (§IV-A);
+///  - Slim additionally prunes exactly the call sites of the non-branching
+///    nodes B and E (§IV-B);
+///  - Incremental instruments exactly {AB, AC, CE, CF}: A and C are true
+///    branching nodes ("its two outgoing edges can reach T1"), F is a false
+///    branching node, and the two calling contexts that reach T2 are
+///    distinguished by AB vs AC alone (§IV-C).
+struct Fig2Graph {
+  CallGraph graph;
+  FunctionId a, b, c, d, e, f, h, i, t1, t2;
+  CallSiteId ab, ac, bf, ce, cf, et1, ft1, ft2, dh, hi;
+
+  [[nodiscard]] std::vector<FunctionId> targets() const { return {t1, t2}; }
+};
+
+[[nodiscard]] inline Fig2Graph make_fig2_graph() {
+  Fig2Graph g;
+  g.a = g.graph.add_function("A");
+  g.b = g.graph.add_function("B");
+  g.c = g.graph.add_function("C");
+  g.d = g.graph.add_function("D");
+  g.e = g.graph.add_function("E");
+  g.f = g.graph.add_function("F");
+  g.h = g.graph.add_function("H");
+  g.i = g.graph.add_function("I");
+  g.t1 = g.graph.add_function("T1");
+  g.t2 = g.graph.add_function("T2");
+  g.ab = g.graph.add_call_site(g.a, g.b);
+  g.ac = g.graph.add_call_site(g.a, g.c);
+  g.bf = g.graph.add_call_site(g.b, g.f);
+  g.ce = g.graph.add_call_site(g.c, g.e);
+  g.cf = g.graph.add_call_site(g.c, g.f);
+  g.et1 = g.graph.add_call_site(g.e, g.t1);
+  g.ft1 = g.graph.add_call_site(g.f, g.t1);
+  g.ft2 = g.graph.add_call_site(g.f, g.t2);
+  g.dh = g.graph.add_call_site(g.d, g.h);
+  g.hi = g.graph.add_call_site(g.h, g.i);
+  return g;
+}
+
+/// Parameters for random layered DAG generation (property tests, ablations).
+struct RandomDagParams {
+  std::uint32_t layers = 6;
+  std::uint32_t functions_per_layer = 5;
+  std::uint32_t max_fanout = 3;       ///< call sites per function (>=1)
+  std::uint32_t target_count = 2;     ///< targets placed in the last layer
+  double skip_layer_probability = 0.2;  ///< edge may jump one layer ahead
+};
+
+struct RandomDag {
+  CallGraph graph;
+  FunctionId root;
+  std::vector<FunctionId> targets;
+};
+
+/// Builds a random layered DAG: functions in layer k call functions in layer
+/// k+1 (or k+2 with `skip_layer_probability`); targets live in the final
+/// layer and every function in the penultimate layers can reach them.
+[[nodiscard]] RandomDag make_random_dag(support::Rng& rng, const RandomDagParams& params);
+
+}  // namespace ht::cce

@@ -1,0 +1,148 @@
+#include "cce/strategies.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace ht::cce {
+
+std::string_view strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kFcs: return "FCS";
+    case Strategy::kTcs: return "TCS";
+    case Strategy::kSlim: return "Slim";
+    case Strategy::kIncremental: return "Incremental";
+  }
+  return "?";
+}
+
+std::size_t InstrumentationPlan::instrumented_count() const {
+  return static_cast<std::size_t>(
+      std::count(instrumented.begin(), instrumented.end(), true));
+}
+
+double InstrumentationPlan::instrumented_fraction() const {
+  if (instrumented.empty()) return 0.0;
+  return static_cast<double>(instrumented_count()) /
+         static_cast<double>(instrumented.size());
+}
+
+namespace {
+
+/// Per-target backward reachability over functions (handles cycles).
+std::vector<bool> reaches_single_target(const CallGraph& graph, FunctionId target) {
+  std::vector<bool> reach(graph.function_count(), false);
+  std::deque<FunctionId> queue;
+  reach[target] = true;
+  queue.push_back(target);
+  while (!queue.empty()) {
+    const FunctionId n = queue.front();
+    queue.pop_front();
+    for (CallSiteId s : graph.incoming(n)) {
+      const FunctionId caller = graph.site(s).caller;
+      if (!reach[caller]) {
+        reach[caller] = true;
+        queue.push_back(caller);
+      }
+    }
+  }
+  return reach;
+}
+
+InstrumentationPlan make_empty_plan(const CallGraph& graph, Strategy strategy) {
+  InstrumentationPlan plan;
+  plan.strategy = strategy;
+  plan.instrumented.assign(graph.call_site_count(), false);
+  return plan;
+}
+
+}  // namespace
+
+std::vector<NodeClassification> classify_nodes(const CallGraph& graph,
+                                               const std::vector<FunctionId>& targets) {
+  std::vector<NodeClassification> nodes(graph.function_count());
+
+  const Reachability any = compute_reachability(graph, targets);
+  for (FunctionId f = 0; f < graph.function_count(); ++f) {
+    for (CallSiteId s : graph.outgoing(f)) {
+      if (any.site_reaches_target[s]) nodes[f].reaching_out_edges.push_back(s);
+    }
+    nodes[f].branching = nodes[f].reaching_out_edges.size() >= 2;
+  }
+
+  // True branching: >=2 out-edges reach the *same* target. Deduplicate the
+  // target list so a repeated target does not double-count.
+  std::vector<FunctionId> unique_targets = targets;
+  std::sort(unique_targets.begin(), unique_targets.end());
+  unique_targets.erase(std::unique(unique_targets.begin(), unique_targets.end()),
+                       unique_targets.end());
+  for (FunctionId t : unique_targets) {
+    const std::vector<bool> reach_t = reaches_single_target(graph, t);
+    for (FunctionId f = 0; f < graph.function_count(); ++f) {
+      if (nodes[f].true_branching) continue;
+      std::size_t reaching = 0;
+      for (CallSiteId s : graph.outgoing(f)) {
+        if (reach_t[graph.site(s).callee]) ++reaching;
+      }
+      if (reaching >= 2) nodes[f].true_branching = true;
+    }
+  }
+  return nodes;
+}
+
+InstrumentationPlan compute_plan(const CallGraph& graph,
+                                 const std::vector<FunctionId>& targets,
+                                 Strategy strategy) {
+  for (FunctionId t : targets) {
+    if (t >= graph.function_count()) {
+      throw std::out_of_range("compute_plan: unknown target function");
+    }
+  }
+  InstrumentationPlan plan = make_empty_plan(graph, strategy);
+
+  switch (strategy) {
+    case Strategy::kFcs: {
+      plan.instrumented.assign(graph.call_site_count(), true);
+      return plan;
+    }
+    case Strategy::kTcs: {
+      const Reachability r = compute_reachability(graph, targets);
+      plan.instrumented = r.site_reaches_target;
+      return plan;
+    }
+    case Strategy::kSlim: {
+      const auto nodes = classify_nodes(graph, targets);
+      for (FunctionId f = 0; f < graph.function_count(); ++f) {
+        if (!nodes[f].branching) continue;
+        for (CallSiteId s : nodes[f].reaching_out_edges) plan.instrumented[s] = true;
+      }
+      return plan;
+    }
+    case Strategy::kIncremental: {
+      // Algorithm 1: process each target incrementally; instrument the
+      // reaching out-edge sets of true branching nodes (relative to that
+      // target); union over targets.
+      std::vector<FunctionId> unique_targets = targets;
+      std::sort(unique_targets.begin(), unique_targets.end());
+      unique_targets.erase(
+          std::unique(unique_targets.begin(), unique_targets.end()),
+          unique_targets.end());
+      for (FunctionId t : unique_targets) {
+        const std::vector<bool> reach_t = reaches_single_target(graph, t);
+        for (FunctionId f = 0; f < graph.function_count(); ++f) {
+          std::vector<CallSiteId> reaching_edges;
+          for (CallSiteId s : graph.outgoing(f)) {
+            if (reach_t[graph.site(s).callee]) reaching_edges.push_back(s);
+          }
+          if (reaching_edges.size() > 1) {
+            for (CallSiteId s : reaching_edges) plan.instrumented[s] = true;
+          }
+        }
+      }
+      return plan;
+    }
+  }
+  throw std::logic_error("compute_plan: unknown strategy");
+}
+
+}  // namespace ht::cce

@@ -1,0 +1,69 @@
+// Instrumentation strategies: FCS and the three targeted optimizations.
+//
+// §IV of the paper. Given a call graph and the set of target functions
+// (for HeapTherapy+: the heap allocation APIs), each strategy selects the
+// set of call sites that receive an encoding update:
+//
+//  - FCS (Full Call Site): every call site — the baseline enforced by the
+//    original PCC / PCCE / DeltaPath encoders.
+//  - TCS (Targeted Call Site): only call sites that may appear in a calling
+//    context of a target function (backward reachability, §IV-A).
+//  - Slim: TCS minus call sites in *non-branching* nodes — nodes with at
+//    most one outgoing edge that reaches a target; such sites cannot affect
+//    distinguishability of encodings (§IV-B).
+//  - Incremental: only call sites in *true branching* nodes — nodes with two
+//    or more outgoing edges that reach the *same* target (Algorithm 1,
+//    §IV-C). Consumers must then key defenses on the {target_fn, CCID} pair
+//    rather than the CCID alone, which HeapTherapy+'s patch table does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cce/call_graph.hpp"
+
+namespace ht::cce {
+
+enum class Strategy : std::uint8_t { kFcs, kTcs, kSlim, kIncremental };
+
+[[nodiscard]] std::string_view strategy_name(Strategy s) noexcept;
+inline constexpr Strategy kAllStrategies[] = {Strategy::kFcs, Strategy::kTcs,
+                                              Strategy::kSlim, Strategy::kIncremental};
+
+/// The output of a strategy: which call sites carry an encoding update.
+struct InstrumentationPlan {
+  Strategy strategy = Strategy::kFcs;
+  /// Indexed by CallSiteId.
+  std::vector<bool> instrumented;
+
+  [[nodiscard]] std::size_t instrumented_count() const;
+  [[nodiscard]] bool is_instrumented(CallSiteId s) const {
+    return s < instrumented.size() && instrumented[s];
+  }
+  /// Instrumented fraction of all call sites; the paper uses this as the
+  /// proxy driver for binary-size increase (Table III).
+  [[nodiscard]] double instrumented_fraction() const;
+};
+
+/// Computes the instrumentation plan for `strategy`.
+/// Targets must be valid functions of `graph`; duplicates are tolerated.
+[[nodiscard]] InstrumentationPlan compute_plan(const CallGraph& graph,
+                                               const std::vector<FunctionId>& targets,
+                                               Strategy strategy);
+
+/// Classification used by Slim/Incremental, exposed for tests and the
+/// encoding_optimizer example.
+struct NodeClassification {
+  /// Out-edges of the node that can reach (or are) a target.
+  std::vector<CallSiteId> reaching_out_edges;
+  /// Slim's notion: >= 2 out-edges reach *some* target.
+  bool branching = false;
+  /// Incremental's notion: >= 2 out-edges reach the *same* target.
+  bool true_branching = false;
+};
+
+[[nodiscard]] std::vector<NodeClassification> classify_nodes(
+    const CallGraph& graph, const std::vector<FunctionId>& targets);
+
+}  // namespace ht::cce

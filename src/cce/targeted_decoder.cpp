@@ -1,0 +1,45 @@
+#include "cce/targeted_decoder.hpp"
+
+#include <sstream>
+
+namespace ht::cce {
+
+TargetedDecoder::TargetedDecoder(const CallGraph& graph, FunctionId root,
+                                 const std::vector<FunctionId>& targets,
+                                 const Encoder& encoder, std::size_t context_limit,
+                                 unsigned max_cycle_visits) {
+  for (FunctionId target : targets) {
+    const auto contexts =
+        enumerate_contexts(graph, root, target, context_limit, max_cycle_visits);
+    for (const CallingContext& context : contexts) {
+      const Key key{target, encoder.encode(context)};
+      auto [it, inserted] = index_.try_emplace(key, Entry{context, false});
+      if (!inserted) it->second.collided = true;
+      ++contexts_;
+    }
+  }
+}
+
+std::optional<CallingContext> TargetedDecoder::decode(FunctionId target,
+                                                      std::uint64_t ccid) const {
+  const auto it = index_.find(Key{target, ccid});
+  if (it == index_.end()) return std::nullopt;
+  return it->second.context;
+}
+
+bool TargetedDecoder::ambiguous(FunctionId target, std::uint64_t ccid) const {
+  const auto it = index_.find(Key{target, ccid});
+  return it != index_.end() && it->second.collided;
+}
+
+std::string TargetedDecoder::format_context(const CallGraph& graph, FunctionId root,
+                                            const CallingContext& context) {
+  std::ostringstream os;
+  os << graph.function_name(root);
+  for (CallSiteId s : context) {
+    os << " -> " << graph.function_name(graph.site(s).callee);
+  }
+  return os.str();
+}
+
+}  // namespace ht::cce

@@ -1,0 +1,74 @@
+// TargetedDecoder: decode {target function, CCID} pairs back to calling
+// contexts.
+//
+// PCC "does not support decoding" (§II-B) — but HeapTherapy+ only ever needs
+// to decode CCIDs of *target* functions (to tell an analyst which allocation
+// context a patch protects). Because the target set is known, the decoder
+// can enumerate every calling context per target once, encode each with the
+// deployed encoder, and invert the mapping. This also restores decoding for
+// the Incremental strategy, where a raw CCID alone is ambiguous across
+// targets but the {target, CCID} pair is not.
+//
+// Cost model: one-time O(#contexts) construction (the offline side can
+// afford it); O(1) lookups. Recursive programs are handled by bounding
+// cycle unrollings, like the offline analyzer itself.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cce/call_graph.hpp"
+#include "cce/encoders.hpp"
+
+namespace ht::cce {
+
+class TargetedDecoder {
+ public:
+  /// Enumerates all contexts from `root` to each target (bounded by
+  /// `context_limit` and `max_cycle_visits`) and indexes their encodings.
+  /// Throws std::length_error if a target exceeds the context limit.
+  TargetedDecoder(const CallGraph& graph, FunctionId root,
+                  const std::vector<FunctionId>& targets, const Encoder& encoder,
+                  std::size_t context_limit = 1 << 16,
+                  unsigned max_cycle_visits = 1);
+
+  /// The context that produces `ccid` when reaching `target`, or nullopt.
+  /// If several contexts collide on the same CCID (possible for PCC with
+  /// astronomically low probability), the first enumerated one is returned
+  /// and `ambiguous` reports the collision.
+  [[nodiscard]] std::optional<CallingContext> decode(FunctionId target,
+                                                     std::uint64_t ccid) const;
+
+  /// True if `ccid` maps to more than one context of `target`.
+  [[nodiscard]] bool ambiguous(FunctionId target, std::uint64_t ccid) const;
+
+  /// Number of indexed contexts across all targets.
+  [[nodiscard]] std::size_t context_count() const noexcept { return contexts_; }
+
+  /// Renders a context as "main -> f -> malloc" using function names.
+  [[nodiscard]] static std::string format_context(const CallGraph& graph,
+                                                  FunctionId root,
+                                                  const CallingContext& context);
+
+ private:
+  struct Key {
+    FunctionId target;
+    std::uint64_t ccid;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return static_cast<std::size_t>(k.ccid * 0x9e3779b97f4a7c15ULL ^ k.target);
+    }
+  };
+  struct Entry {
+    CallingContext context;
+    bool collided = false;
+  };
+  std::unordered_map<Key, Entry, KeyHash> index_;
+  std::size_t contexts_ = 0;
+};
+
+}  // namespace ht::cce

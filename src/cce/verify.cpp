@@ -1,0 +1,60 @@
+#include "cce/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace ht::cce {
+
+std::vector<CallSiteId> instrumented_subsequence(const InstrumentationPlan& plan,
+                                                 const CallingContext& context) {
+  std::vector<CallSiteId> out;
+  out.reserve(context.size());
+  for (CallSiteId s : context) {
+    if (plan.is_instrumented(s)) out.push_back(s);
+  }
+  return out;
+}
+
+DistinguishabilityReport verify_plan_distinguishability(
+    const CallGraph& graph, FunctionId root, const std::vector<FunctionId>& targets,
+    const InstrumentationPlan& plan, std::size_t context_limit) {
+  DistinguishabilityReport report;
+  for (FunctionId t : targets) {
+    const auto contexts = enumerate_contexts(graph, root, t, context_limit);
+    report.contexts += contexts.size();
+    // Group by instrumented subsequence; any group of size > 1 is ambiguity.
+    std::map<std::vector<CallSiteId>, std::size_t> groups;
+    for (const auto& ctx : contexts) {
+      ++groups[instrumented_subsequence(plan, ctx)];
+    }
+    for (const auto& [subseq, n] : groups) {
+      if (n > 1) report.ambiguous_pairs += n * (n - 1) / 2;
+    }
+  }
+  return report;
+}
+
+CollisionReport analyze_collisions(const CallGraph& graph, FunctionId root,
+                                   const std::vector<FunctionId>& targets,
+                                   const Encoder& encoder, std::size_t context_limit) {
+  CollisionReport report;
+  std::unordered_map<std::uint64_t, std::size_t> global;
+  for (FunctionId t : targets) {
+    const auto contexts = enumerate_contexts(graph, root, t, context_limit);
+    report.contexts += contexts.size();
+    std::unordered_map<std::uint64_t, std::size_t> per_target;
+    for (const auto& ctx : contexts) {
+      const std::uint64_t enc = encoder.encode(ctx);
+      ++per_target[enc];
+      ++global[enc];
+    }
+    for (const auto& [enc, n] : per_target) {
+      if (n > 1) report.colliding_pairs += n * (n - 1) / 2;
+    }
+  }
+  report.distinct_encodings = global.size();
+  return report;
+}
+
+}  // namespace ht::cce

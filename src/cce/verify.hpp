@@ -1,0 +1,60 @@
+// Verification and collision-analysis utilities for encoding plans.
+//
+// The correctness claim behind the targeted optimizations (§IV) is a
+// graph-theoretic lemma: two distinct calling contexts that end at the same
+// target function must diverge at a node whose diverging out-edges both
+// reach that target — i.e. at a *true branching* node, which every strategy
+// (TCS ⊇ Slim ⊇ Incremental) instruments. Hence the *subsequences of
+// instrumented call sites* differ, and any injective-per-sequence encoder
+// distinguishes the contexts (exactly for Additive, probabilistically for
+// PCC). These helpers check that lemma on concrete graphs and quantify PCC
+// collision behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cce/call_graph.hpp"
+#include "cce/encoders.hpp"
+#include "cce/strategies.hpp"
+
+namespace ht::cce {
+
+/// The subsequence of `context` consisting of its instrumented sites.
+[[nodiscard]] std::vector<CallSiteId> instrumented_subsequence(
+    const InstrumentationPlan& plan, const CallingContext& context);
+
+struct DistinguishabilityReport {
+  /// Total contexts enumerated across all targets.
+  std::size_t contexts = 0;
+  /// Pairs of same-target contexts whose instrumented subsequences collide.
+  /// Must be zero for a sound plan on the given graph.
+  std::size_t ambiguous_pairs = 0;
+
+  [[nodiscard]] bool sound() const noexcept { return ambiguous_pairs == 0; }
+};
+
+/// Enumerates every context from `root` to each target (cycle-bounded) and
+/// checks pairwise that same-target contexts keep distinct instrumented
+/// subsequences under `plan`.
+[[nodiscard]] DistinguishabilityReport verify_plan_distinguishability(
+    const CallGraph& graph, FunctionId root, const std::vector<FunctionId>& targets,
+    const InstrumentationPlan& plan, std::size_t context_limit = 1 << 16);
+
+struct CollisionReport {
+  std::size_t contexts = 0;
+  std::size_t distinct_encodings = 0;
+  /// Context pairs (same target) that share an encoding.
+  std::size_t colliding_pairs = 0;
+};
+
+/// Encodes every enumerated context and counts same-target encoding
+/// collisions — the event that, per §IV, merely over-enhances a buffer.
+[[nodiscard]] CollisionReport analyze_collisions(const CallGraph& graph,
+                                                 FunctionId root,
+                                                 const std::vector<FunctionId>& targets,
+                                                 const Encoder& encoder,
+                                                 std::size_t context_limit = 1 << 16);
+
+}  // namespace ht::cce

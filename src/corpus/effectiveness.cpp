@@ -1,0 +1,125 @@
+#include "corpus/effectiveness.hpp"
+
+#include "patch/config_file.hpp"
+#include "progmodel/interpreter.hpp"
+
+namespace ht::corpus {
+
+namespace {
+
+/// Did the attack achieve any of its effects, per vulnerability class?
+bool attack_effect_observed(std::uint8_t mask, const runtime::DefenseObservations& obs,
+                            std::uint64_t legit_leak) {
+  bool observed = false;
+  if (mask & patch::kOverflow) {
+    observed |= obs.oob_writes_landed > 0 || obs.oob_reads_landed > 0;
+  }
+  if (mask & patch::kUseAfterFree) {
+    observed |= obs.stale_hits_reused > 0;
+  }
+  if (mask & patch::kUninitRead) {
+    observed |= obs.leaked_nonzero_bytes > legit_leak;
+  }
+  return observed;
+}
+
+/// Did the defenses neutralize every attack effect?
+bool attack_blocked(std::uint8_t mask, const runtime::DefenseObservations& obs,
+                    std::uint64_t legit_leak) {
+  if ((mask & patch::kOverflow) &&
+      (obs.oob_writes_landed > 0 || obs.oob_reads_landed > 0)) {
+    return false;  // some out-of-bounds access still landed
+  }
+  if ((mask & patch::kUseAfterFree) && obs.stale_hits_reused > 0) {
+    return false;  // a dangling access still reached re-owned memory
+  }
+  if ((mask & patch::kUninitRead) && obs.leaked_nonzero_bytes > legit_leak) {
+    return false;  // stale bytes still escaped
+  }
+  return true;
+}
+
+runtime::DefenseObservations run_online(const VulnerableProgram& v,
+                                        const cce::Encoder& encoder,
+                                        const patch::PatchTable* table,
+                                        const progmodel::Input& input,
+                                        std::uint64_t quota,
+                                        bool* completed_clean = nullptr) {
+  runtime::GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = quota;
+  runtime::GuardedAllocator allocator(table, config);
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter interp(v.program, &encoder, backend);
+  const progmodel::RunResult result = interp.run(input);
+  if (completed_clean != nullptr) {
+    // "Clean" online means the program ran to completion; blocked accesses
+    // are the defense working, not a program failure.
+    *completed_clean = result.completed;
+  }
+  return backend.observations();
+}
+
+}  // namespace
+
+EffectivenessResult evaluate_effectiveness(const VulnerableProgram& v,
+                                           const EffectivenessOptions& options) {
+  EffectivenessResult result;
+  result.name = v.name;
+  result.expected_mask = v.expected_mask;
+
+  const auto plan =
+      cce::compute_plan(v.program.graph(), v.program.alloc_targets(), options.strategy);
+  const cce::PccEncoder encoder(plan);
+
+  // 1) Benign input: the offline analyzer must stay silent.
+  const analysis::AnalysisReport benign_report =
+      analysis::analyze_attack(v.program, &encoder, v.benign);
+  result.benign_clean = !benign_report.attack_detected();
+
+  // 2) Attack input: patches out.
+  const analysis::AnalysisReport attack_report =
+      analysis::analyze_attack(v.program, &encoder, v.attack);
+  result.detected = attack_report.attack_detected();
+  result.patch_count = attack_report.patches.size();
+  for (const patch::Patch& p : attack_report.patches) result.patch_mask |= p.vuln_mask;
+
+  // 3) Deployment path: serialize -> parse (the config file is the ABI).
+  const patch::ParseResult reloaded =
+      patch::parse_config(patch::serialize_config(attack_report.patches));
+  result.config_round_trip =
+      reloaded.ok() && reloaded.patches == attack_report.patches;
+
+  // 4) Online, unpatched: the attack's effect is real.
+  result.unpatched_obs = run_online(v, encoder, nullptr, v.attack,
+                                    options.quarantine_quota_bytes);
+  result.attack_effect_unpatched = attack_effect_observed(
+      v.expected_mask, result.unpatched_obs, v.legit_nonzero_leak);
+
+  // 5) Online, patched: the attack's effect is gone.
+  const patch::PatchTable table(reloaded.patches, /*freeze=*/true);
+  result.patched_obs =
+      run_online(v, encoder, &table, v.attack, options.quarantine_quota_bytes);
+  result.attack_blocked_patched =
+      attack_blocked(v.expected_mask, result.patched_obs, v.legit_nonzero_leak);
+
+  // 6) Online, patched, benign input: zero false positives.
+  bool benign_completed = false;
+  (void)run_online(v, encoder, &table, v.benign, options.quarantine_quota_bytes,
+                   &benign_completed);
+  result.benign_runs_patched = benign_completed;
+
+  return result;
+}
+
+std::vector<EffectivenessResult> evaluate_corpus(
+    const std::vector<VulnerableProgram>& corpus,
+    const EffectivenessOptions& options) {
+  std::vector<EffectivenessResult> results;
+  results.reserve(corpus.size());
+  for (const VulnerableProgram& v : corpus) {
+    results.push_back(evaluate_effectiveness(v, options));
+  }
+  return results;
+}
+
+}  // namespace ht::corpus

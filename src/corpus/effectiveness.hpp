@@ -1,0 +1,63 @@
+// End-to-end effectiveness evaluation (§VIII-A / Table II).
+//
+// For one vulnerable program, the harness runs the paper's whole pipeline:
+//   1. benign input through offline analysis  -> must produce no patch;
+//   2. attack input through offline analysis  -> patches {FUN, CCID, T};
+//   3. patches serialized through the config file and reloaded (the
+//      code-less deployment path);
+//   4. attack replayed online WITHOUT patches -> attack effects observed;
+//   5. attack replayed online WITH patches    -> attack effects absent;
+//   6. benign input replayed online WITH patches -> still runs clean
+//      (zero false positives: enhancement never breaks the program).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/patch_generator.hpp"
+#include "cce/strategies.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "runtime/guarded_backend.hpp"
+
+namespace ht::corpus {
+
+struct EffectivenessResult {
+  std::string name;
+  std::uint8_t expected_mask = 0;
+
+  // Offline phase.
+  bool benign_clean = false;     ///< no patch generated from the benign input
+  bool detected = false;         ///< attack input produced >= 1 patch
+  std::uint8_t patch_mask = 0;   ///< union of generated patch masks
+  std::size_t patch_count = 0;
+  bool config_round_trip = false;  ///< patches survived the config file
+
+  // Online phase.
+  bool attack_effect_unpatched = false;  ///< attack observable without patches
+  bool attack_blocked_patched = false;   ///< attack effects absent with patches
+  bool benign_runs_patched = false;      ///< benign input clean under patches
+  runtime::DefenseObservations unpatched_obs;
+  runtime::DefenseObservations patched_obs;
+
+  [[nodiscard]] bool pass() const noexcept {
+    return benign_clean && detected && (patch_mask & expected_mask) == expected_mask &&
+           config_round_trip && attack_blocked_patched && benign_runs_patched;
+  }
+};
+
+struct EffectivenessOptions {
+  cce::Strategy strategy = cce::Strategy::kIncremental;
+  /// Online quarantine quota for UAF deferral.
+  std::uint64_t quarantine_quota_bytes = 16ULL << 20;
+};
+
+/// Runs the full pipeline for one corpus entry.
+[[nodiscard]] EffectivenessResult evaluate_effectiveness(
+    const VulnerableProgram& program, const EffectivenessOptions& options = {});
+
+/// Convenience: evaluate a whole corpus.
+[[nodiscard]] std::vector<EffectivenessResult> evaluate_corpus(
+    const std::vector<VulnerableProgram>& corpus,
+    const EffectivenessOptions& options = {});
+
+}  // namespace ht::corpus

@@ -1,0 +1,139 @@
+#include "corpus/extended_corpus.hpp"
+
+#include "progmodel/builder.hpp"
+
+namespace ht::corpus {
+
+using progmodel::AllocFn;
+using progmodel::Input;
+using progmodel::ProgramBuilder;
+using progmodel::ReadUse;
+using progmodel::Value;
+
+VulnerableProgram make_eternalblue_like() {
+  // srv!SrvOs2FeaListToNt-style: the NT FEA list buffer is sized from the
+  // (attacker-controlled) converted size field, but the conversion loop
+  // copies the OS/2 list's full length.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto smb = b.function("smb_dispatch");
+  const auto convert = b.function("os2fea_to_ntfea");
+  b.call(main_fn, smb);
+  b.call(smb, convert);
+  // The incoming OS/2 FEA list (attacker bytes).
+  b.alloc(convert, AllocFn::kMalloc, Value(4096), 0);
+  b.write(convert, 0, Value(0), Value(4096));
+  // Destination sized from the *converted* size field = input0.
+  b.alloc(convert, AllocFn::kMalloc, Value::input(0), 1);
+  // The copy uses the OS/2 length = input1.
+  b.copy(convert, 0, Value(0), 1, Value(0), Value::input(1));
+  b.free(convert, 0);
+  b.free(convert, 1);
+
+  VulnerableProgram v;
+  v.name = "eternalblue-like";
+  v.reference = "MS17-010 size-confusion overwrite (paper §I)";
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{4096, 4096}};
+  v.attack = Input{{1024, 4096}};  // dst sized 1 KB, 4 KB copied
+  return v;
+}
+
+VulnerableProgram make_realloc_confusion() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto engine = b.function("script_engine");
+  const auto shrink = b.function("table_compact");
+  b.call(main_fn, engine);
+  // The table starts large and fully initialized.
+  b.alloc(engine, AllocFn::kMalloc, Value(1024), 0);
+  b.write(engine, 0, Value(0), Value(1024));
+  b.call(engine, shrink);
+  // Compaction shrinks via realloc to the attacker-declared element count...
+  b.realloc(shrink, 0, Value::input(0));
+  // ...but the writer still uses the stale (old) length.
+  b.write(shrink, 0, Value(0), Value::input(1));
+  b.free(shrink, 0);
+
+  VulnerableProgram v;
+  v.name = "realloc-confusion";
+  v.reference = "realloc size-confusion (scripting-engine heap style)";
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{1024, 1024}};
+  v.attack = Input{{256, 1024}};  // shrunk to 256, still writes 1024
+  return v;
+}
+
+VulnerableProgram make_session_uaf() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto accept = b.function("accept_connection");
+  const auto error_path = b.function("protocol_error");
+  const auto event_loop = b.function("event_loop_tick");
+  b.call(main_fn, accept);
+  b.alloc(accept, AllocFn::kCalloc, Value(320), 0);  // the session object
+  b.write(accept, 0, Value(0), Value(320));
+  b.call(main_fn, error_path);
+  b.free(error_path, 0);  // session destroyed on protocol error...
+  b.call(main_fn, event_loop);
+  // ...the attacker grooms the freed slot with a same-size allocation...
+  b.alloc(event_loop, AllocFn::kCalloc, Value(320), 1);
+  b.write(event_loop, 1, Value(0), Value(320));
+  // ...and a queued callback still dereferences the dead session.
+  b.begin_loop(event_loop, Value::input(0));
+  b.read(event_loop, 0, Value(16), Value(8), ReadUse::kAddress);  // vtable-ish
+  b.end_loop(event_loop);
+  b.free(event_loop, 1);
+
+  VulnerableProgram v;
+  v.name = "session-uaf";
+  v.reference = "server session recycling use-after-free";
+  v.expected_mask = patch::kUseAfterFree;
+  v.program = b.build();
+  v.benign = Input{{0}};
+  v.attack = Input{{1}};
+  return v;
+}
+
+VulnerableProgram make_double_trouble() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto parse = b.function("parse_request");
+  const auto respond = b.function("build_response");
+  b.call(main_fn, parse);
+  // Scratch buffer: initialized only as far as the request declares.
+  b.alloc(parse, AllocFn::kMalloc, Value(512), 0);
+  b.write(parse, 0, Value(0), Value::input(0));
+  b.call(main_fn, respond);
+  // Response buffer sized from another attacker field; the serializer
+  // emits the whole scratch buffer (uninit read) into it (overflow when
+  // undersized).
+  b.alloc(respond, AllocFn::kMalloc, Value::input(1), 1);
+  b.copy(respond, 0, Value(0), 1, Value(0), Value(512));
+  b.read(respond, 1, Value(0), Value::input(1), ReadUse::kSyscall);
+  b.free(respond, 0);
+  b.free(respond, 1);
+
+  VulnerableProgram v;
+  v.name = "double-trouble";
+  v.reference = "one input, two vulnerable buffers (§V multi-vuln handling)";
+  v.expected_mask = patch::kUninitRead | patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{512, 512}};
+  v.attack = Input{{64, 128}};  // 64 init of 512 scratch; 128-byte response
+  v.legit_nonzero_leak = 64;
+  return v;
+}
+
+std::vector<VulnerableProgram> make_extended_corpus() {
+  std::vector<VulnerableProgram> corpus;
+  corpus.push_back(make_eternalblue_like());
+  corpus.push_back(make_realloc_confusion());
+  corpus.push_back(make_session_uaf());
+  corpus.push_back(make_double_trouble());
+  return corpus;
+}
+
+}  // namespace ht::corpus

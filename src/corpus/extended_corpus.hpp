@@ -1,0 +1,37 @@
+// Extended corpus: attack scenarios beyond the paper's Table II, built on
+// the same mechanics the paper motivates in §I (EternalBlue/WannaCry) and
+// §IX (multi-context exploits). Used by the extended effectiveness bench
+// and the vulnerability-triage example.
+#pragma once
+
+#include "corpus/vulnerable_programs.hpp"
+
+namespace ht::corpus {
+
+/// EternalBlue-style (MS17-010) size-confusion overwrite: the SMB
+/// conversion routine sizes the destination from one attacker field but
+/// copies a length from another, overwriting the adjacent allocation —
+/// the overflow WannaCry used for control-flow hijack (paper §I).
+[[nodiscard]] VulnerableProgram make_eternalblue_like();
+
+/// Realloc size-confusion (scripting-engine heap style): a table is
+/// shrunk via realloc but the stale element count keeps writing at the old
+/// length — an overflow whose vulnerable buffer is realloc-allocated, so
+/// the patch must key on {FUN=realloc, CCID}.
+[[nodiscard]] VulnerableProgram make_realloc_confusion();
+
+/// Session recycling UAF (server-style): a connection object is freed on
+/// error but the event loop still delivers one callback to it after an
+/// attacker-groomed allocation took its place.
+[[nodiscard]] VulnerableProgram make_session_uaf();
+
+/// Two vulnerabilities in one request path: an uninit-read of a parser
+/// scratch buffer *and* an overflow of the output buffer, exercising
+/// multi-patch generation from a single input (§V "How to handle multiple
+/// vulnerabilities").
+[[nodiscard]] VulnerableProgram make_double_trouble();
+
+/// All extended scenarios.
+[[nodiscard]] std::vector<VulnerableProgram> make_extended_corpus();
+
+}  // namespace ht::corpus

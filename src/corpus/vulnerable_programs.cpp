@@ -1,0 +1,428 @@
+#include "corpus/vulnerable_programs.hpp"
+
+#include "progmodel/builder.hpp"
+
+namespace ht::corpus {
+
+using progmodel::AllocFn;
+using progmodel::Input;
+using progmodel::ProgramBuilder;
+using progmodel::ReadUse;
+using progmodel::Value;
+
+VulnerableProgram make_heartbleed() {
+  // OpenSSL's tls1_process_heartbeat: the response buffer is 34 KB; the
+  // attacker-declared payload length (up to 64 KB) is trusted, so the
+  // response echoes `response_len` bytes out of a buffer holding only
+  // `payload_len` fresh bytes — leaking stale heap (keys) and overreading.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto server = b.function("tls_server_loop");
+  const auto load_keys = b.function("load_private_keys");
+  const auto heartbeat = b.function("tls1_process_heartbeat");
+  b.call(main_fn, server);
+  b.call(server, load_keys);
+  // Key material fills a 34 KB buffer that is later freed — the memory the
+  // response buffer will recycle.
+  b.alloc(load_keys, AllocFn::kMalloc, Value(34 * 1024), 0);
+  b.write(load_keys, 0, Value(0), Value(34 * 1024));
+  b.free(load_keys, 0);
+  b.call(server, heartbeat);
+  // The response buffer: same size class, allocated per heartbeat request.
+  b.alloc(heartbeat, AllocFn::kMalloc, Value(34 * 1024), 1);
+  b.write(heartbeat, 1, Value(0), Value::input(0));              // echo payload
+  b.read(heartbeat, 1, Value(0), Value::input(1), ReadUse::kSyscall);  // send()
+  b.free(heartbeat, 1);
+
+  VulnerableProgram v;
+  v.name = "heartbleed";
+  v.reference = "CVE-2014-0160";
+  v.expected_mask = patch::kUninitRead | patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{1024, 1024}};
+  v.attack = Input{{1024, 64 * 1024}};  // the classic 64 KB heartbeat
+  v.legit_nonzero_leak = 1024;          // only the echoed payload is legit
+  return v;
+}
+
+VulnerableProgram make_bc() {
+  // bc-1.06 (BugBench): more_arrays() under-allocates; storing the parsed
+  // numbers runs past the array end and corrupts adjacent data.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto read_line = b.function("read_line");
+  const auto parse = b.function("parse_expression");
+  const auto push = b.function("bc_push_numbers");
+  b.call(main_fn, read_line);
+  b.call(read_line, parse);
+  b.call(parse, push);
+  b.alloc(push, AllocFn::kMalloc, Value(64 * 8), 0);  // 64-slot array
+  b.write(push, 0, Value(0), Value::input(0));        // input-driven fill
+  b.read(push, 0, Value(0), Value(64), ReadUse::kBranch);
+  b.free(push, 0);
+
+  VulnerableProgram v;
+  v.name = "bc-1.06";
+  v.reference = "BugBench heap overflow";
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{64 * 8}};
+  v.attack = Input{{64 * 8 + 64}};  // writes 8 slots past the end
+  return v;
+}
+
+VulnerableProgram make_ghostxps() {
+  // GhostXPS 9.21: a glyph table is only partially initialized for some
+  // crafted documents, and rendering consumes the uninitialized entries.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto parse = b.function("xps_parse_document");
+  const auto glyphs = b.function("xps_load_glyphs");
+  const auto render = b.function("xps_render_page");
+  b.call(main_fn, parse);
+  b.call(parse, glyphs);
+  b.alloc(glyphs, AllocFn::kMalloc, Value(4096), 0);
+  b.write(glyphs, 0, Value(0), Value::input(0));  // init only what the doc declares
+  b.call(parse, render);
+  // Rendering emits the glyph data into the output document (leaves the
+  // process), so uninitialized entries are an information leak.
+  b.read(render, 0, Value(0), Value::input(1), ReadUse::kSyscall);
+  b.free(render, 0);
+
+  VulnerableProgram v;
+  v.name = "ghostxps-9.21";
+  v.reference = "CVE-2017-9740";
+  v.expected_mask = patch::kUninitRead;
+  v.program = b.build();
+  v.benign = Input{{4096, 4096}};
+  v.attack = Input{{512, 2048}};  // renders past the initialized prefix
+  v.legit_nonzero_leak = 512;     // the declared glyphs are legitimate output
+  return v;
+}
+
+VulnerableProgram make_optipng() {
+  // optipng-0.6.4: the palette buffer is freed during a reduction pass but
+  // a stale pointer writes into it afterwards; a crafted PNG grooms the
+  // freed slot to take control of the reused memory.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto optimize = b.function("opng_optimize");
+  const auto reduce = b.function("opng_reduce_palette");
+  const auto iterate = b.function("opng_iterate");
+  b.call(main_fn, optimize);
+  b.call(optimize, reduce);
+  b.alloc(reduce, AllocFn::kMalloc, Value(1024), 0);  // the palette
+  b.write(reduce, 0, Value(0), Value(1024));
+  b.free(reduce, 0);  // freed during reduction...
+  b.call(optimize, iterate);
+  // ...the crafted image triggers an allocation that grooms the slot...
+  b.alloc(iterate, AllocFn::kMalloc, Value(1024), 1);
+  // ...and the stale palette pointer is written through (0 times = benign).
+  b.begin_loop(iterate, Value::input(0));
+  b.write(iterate, 0, Value(0), Value(64));
+  b.end_loop(iterate);
+  b.free(iterate, 1);
+
+  VulnerableProgram v;
+  v.name = "optipng-0.6.4";
+  v.reference = "CVE-2015-7801";
+  v.expected_mask = patch::kUseAfterFree;
+  v.program = b.build();
+  v.benign = Input{{0}};
+  v.attack = Input{{1}};
+  return v;
+}
+
+VulnerableProgram make_tiff() {
+  // LibTIFF 4.0.8: t2p_write_pdf copies a full tile into a destination
+  // sized from attacker-controlled header fields.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto tiff2pdf = b.function("t2p_write_pdf");
+  const auto sample = b.function("t2p_sample_realize");
+  b.call(main_fn, tiff2pdf);
+  b.call(tiff2pdf, sample);
+  b.alloc(sample, AllocFn::kMalloc, Value(2048), 0);  // the source tile
+  b.write(sample, 0, Value(0), Value(2048));
+  // Destination sized from the crafted header.
+  b.alloc(sample, AllocFn::kMalloc, Value::input(0), 1);
+  b.copy(sample, 0, Value(0), 1, Value(0), Value(2048));
+  b.free(sample, 0);
+  b.free(sample, 1);
+
+  VulnerableProgram v;
+  v.name = "tiff-4.0.8";
+  v.reference = "CVE-2017-9935";
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{2048}};
+  v.attack = Input{{512}};  // undersized destination
+  return v;
+}
+
+VulnerableProgram make_wavpack() {
+  // wavpack 5.1.0: metadata blocks are freed during parsing but decoded
+  // afterwards through a dangling pointer (a read-side UAF).
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto parse = b.function("parse_wavpack_header");
+  const auto meta = b.function("read_metadata_buff");
+  const auto decode = b.function("unpack_samples");
+  b.call(main_fn, parse);
+  b.call(parse, meta);
+  b.alloc(meta, AllocFn::kMalloc, Value(256), 0);
+  b.write(meta, 0, Value(0), Value(256));
+  b.free(meta, 0);  // crafted file frees the block early
+  b.call(main_fn, decode);
+  b.alloc(decode, AllocFn::kMalloc, Value(256), 1);  // decoder work buffer (grooms)
+  b.begin_loop(decode, Value::input(0));
+  b.read(decode, 0, Value(0), Value(128), ReadUse::kBranch);  // dangling read
+  b.end_loop(decode);
+  b.free(decode, 1);
+
+  VulnerableProgram v;
+  v.name = "wavpack-5.1.0";
+  v.reference = "CVE-2018-7253";
+  v.expected_mask = patch::kUseAfterFree;
+  v.program = b.build();
+  v.benign = Input{{0}};
+  v.attack = Input{{1}};
+  return v;
+}
+
+VulnerableProgram make_libming() {
+  // libming 0.4.8: parseSWF_ACTIONRECORD overflows an action buffer whose
+  // length field comes from the file.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto parse_swf = b.function("parseSWF");
+  const auto parse_action = b.function("parseSWF_ACTIONRECORD");
+  b.call(main_fn, parse_swf);
+  b.call(parse_swf, parse_action);
+  b.alloc(parse_action, AllocFn::kCalloc, Value(128), 0);
+  b.write(parse_action, 0, Value(0), Value::input(0));
+  b.free(parse_action, 0);
+
+  VulnerableProgram v;
+  v.name = "libming-0.4.8";
+  v.reference = "CVE-2018-7877";
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{128}};
+  v.attack = Input{{200}};
+  return v;
+}
+
+std::vector<VulnerableProgram> make_table2_corpus() {
+  std::vector<VulnerableProgram> corpus;
+  corpus.push_back(make_heartbleed());
+  corpus.push_back(make_bc());
+  corpus.push_back(make_ghostxps());
+  corpus.push_back(make_optipng());
+  corpus.push_back(make_tiff());
+  corpus.push_back(make_wavpack());
+  corpus.push_back(make_libming());
+  return corpus;
+}
+
+namespace {
+
+/// Small helpers for the SAMATE-like suite. Every case routes its
+/// allocation through a two-level call chain so CCIDs are non-trivial.
+
+VulnerableProgram samate_overflow_write(int id, AllocFn fn, std::uint64_t size) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("process");
+  b.call(main_fn, worker);
+  b.alloc(worker, fn, Value(size), 0, Value(fn == AllocFn::kMemalign ? 64 : 0));
+  b.write(worker, 0, Value(0), Value::input(0));
+  b.free(worker, 0);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = "overflow-write/" + std::string(progmodel::alloc_fn_name(fn));
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{size}};
+  v.attack = Input{{size + 16}};
+  return v;
+}
+
+VulnerableProgram samate_overread(int id, AllocFn fn, std::uint64_t size) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("serialize");
+  b.call(main_fn, worker);
+  b.alloc(worker, fn, Value(size), 0, Value(fn == AllocFn::kMemalign ? 32 : 0));
+  b.write(worker, 0, Value(0), Value(size));
+  b.read(worker, 0, Value(0), Value::input(0), ReadUse::kSyscall);
+  b.free(worker, 0);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = "overread/" + std::string(progmodel::alloc_fn_name(fn));
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{size}};
+  v.attack = Input{{size + 32}};
+  v.legit_nonzero_leak = size;
+  return v;
+}
+
+VulnerableProgram samate_overflow_copy(int id, AllocFn fn) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("transform");
+  b.call(main_fn, worker);
+  b.alloc(worker, fn, Value(512), 0);
+  b.write(worker, 0, Value(0), Value(512));
+  b.alloc(worker, fn, Value::input(0), 1);
+  b.copy(worker, 0, Value(0), 1, Value(0), Value(512));
+  b.free(worker, 0);
+  b.free(worker, 1);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = "overflow-copy/" + std::string(progmodel::alloc_fn_name(fn));
+  v.expected_mask = patch::kOverflow;
+  v.program = b.build();
+  v.benign = Input{{512}};
+  v.attack = Input{{128}};
+  return v;
+}
+
+VulnerableProgram samate_uaf(int id, AllocFn fn, bool write_side, bool groom) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("session");
+  const auto late = b.function("finalize");
+  b.call(main_fn, worker);
+  b.alloc(worker, fn, Value(192), 0, Value(fn == AllocFn::kMemalign ? 32 : 0));
+  b.write(worker, 0, Value(0), Value(192));
+  b.free(worker, 0);
+  b.call(main_fn, late);
+  if (groom) b.alloc(late, fn, Value(192), 1, Value(fn == AllocFn::kMemalign ? 32 : 0));
+  b.begin_loop(late, Value::input(0));
+  if (write_side) {
+    b.write(late, 0, Value(0), Value(32));
+  } else {
+    b.read(late, 0, Value(0), Value(32), ReadUse::kBranch);
+  }
+  b.end_loop(late);
+  if (groom) b.free(late, 1);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = std::string("uaf-") + (write_side ? "write" : "read") + "/" +
+                std::string(progmodel::alloc_fn_name(fn));
+  v.expected_mask = patch::kUseAfterFree;
+  v.program = b.build();
+  v.benign = Input{{0}};
+  v.attack = Input{{1}};
+  return v;
+}
+
+VulnerableProgram samate_uninit(int id, AllocFn fn, ReadUse use) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("build_record");
+  const auto emit = b.function("emit_record");
+  b.call(main_fn, worker);
+  b.alloc(worker, fn, Value(512), 0, Value(fn == AllocFn::kMemalign ? 64 : 0));
+  b.write(worker, 0, Value(0), Value::input(0));
+  b.call(main_fn, emit);
+  b.read(emit, 0, Value(0), Value(512), use);
+  b.free(emit, 0);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = std::string("uninit-") + std::string(progmodel::read_use_name(use)) +
+                "/" + std::string(progmodel::alloc_fn_name(fn));
+  v.expected_mask = patch::kUninitRead;
+  v.program = b.build();
+  v.benign = Input{{512}};
+  v.attack = Input{{64}};
+  if (use == ReadUse::kSyscall) v.legit_nonzero_leak = 64;
+  return v;
+}
+
+VulnerableProgram samate_uninit_via_copy(int id) {
+  // Uninitialized data copied into a second buffer before the checked use:
+  // exercises origin tracking end-to-end.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("assemble");
+  const auto sender = b.function("send_packet");
+  b.call(main_fn, worker);
+  b.alloc(worker, AllocFn::kMalloc, Value(256), 0);  // the vulnerable source
+  b.write(worker, 0, Value(0), Value::input(0));
+  b.alloc(worker, AllocFn::kMalloc, Value(256), 1);  // the packet
+  b.copy(worker, 0, Value(0), 1, Value(0), Value(256));
+  b.call(main_fn, sender);
+  b.read(sender, 1, Value(0), Value(256), ReadUse::kSyscall);
+  b.free(sender, 0);
+  b.free(sender, 1);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = "uninit-via-copy/origin-tracking";
+  v.expected_mask = patch::kUninitRead;
+  v.program = b.build();
+  v.benign = Input{{256}};
+  v.attack = Input{{32}};
+  v.legit_nonzero_leak = 32;
+  return v;
+}
+
+VulnerableProgram samate_uninit_realloc_growth(int id) {
+  // realloc growth leaves the added region uninitialized; the patch must
+  // key on the realloc-time context ({FUN=realloc, CCID}).
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("grow_table");
+  b.call(main_fn, worker);
+  b.alloc(worker, AllocFn::kMalloc, Value(64), 0);
+  b.write(worker, 0, Value(0), Value(64));
+  b.realloc(worker, 0, Value(256));
+  b.read(worker, 0, Value(0), Value::input(0), ReadUse::kBranch);
+  b.free(worker, 0);
+  VulnerableProgram v;
+  v.name = "samate-" + std::to_string(id);
+  v.reference = "uninit-realloc-growth";
+  v.expected_mask = patch::kUninitRead;
+  v.program = b.build();
+  v.benign = Input{{64}};
+  v.attack = Input{{256}};
+  return v;
+}
+
+}  // namespace
+
+std::vector<VulnerableProgram> make_samate_suite() {
+  std::vector<VulnerableProgram> suite;
+  int id = 1;
+  // 9 overflow cases.
+  for (AllocFn fn : {AllocFn::kMalloc, AllocFn::kCalloc, AllocFn::kMemalign}) {
+    suite.push_back(samate_overflow_write(id++, fn, 128));
+  }
+  for (AllocFn fn : {AllocFn::kMalloc, AllocFn::kCalloc, AllocFn::kMemalign}) {
+    suite.push_back(samate_overread(id++, fn, 96));
+  }
+  suite.push_back(samate_overflow_copy(id++, AllocFn::kMalloc));
+  suite.push_back(samate_overflow_copy(id++, AllocFn::kCalloc));
+  suite.push_back(samate_overflow_write(id++, AllocFn::kMalloc, 4096));
+  // 7 use-after-free cases.
+  suite.push_back(samate_uaf(id++, AllocFn::kMalloc, /*write=*/true, /*groom=*/true));
+  suite.push_back(samate_uaf(id++, AllocFn::kMalloc, /*write=*/false, /*groom=*/true));
+  suite.push_back(samate_uaf(id++, AllocFn::kCalloc, /*write=*/true, /*groom=*/true));
+  suite.push_back(samate_uaf(id++, AllocFn::kCalloc, /*write=*/false, /*groom=*/true));
+  suite.push_back(samate_uaf(id++, AllocFn::kMemalign, /*write=*/true, /*groom=*/true));
+  suite.push_back(samate_uaf(id++, AllocFn::kMalloc, /*write=*/true, /*groom=*/false));
+  suite.push_back(samate_uaf(id++, AllocFn::kMalloc, /*write=*/false, /*groom=*/false));
+  // 7 uninitialized-read cases.
+  suite.push_back(samate_uninit(id++, AllocFn::kMalloc, ReadUse::kBranch));
+  suite.push_back(samate_uninit(id++, AllocFn::kMalloc, ReadUse::kAddress));
+  suite.push_back(samate_uninit(id++, AllocFn::kMalloc, ReadUse::kSyscall));
+  suite.push_back(samate_uninit(id++, AllocFn::kMemalign, ReadUse::kBranch));
+  suite.push_back(samate_uninit(id++, AllocFn::kAlignedAlloc, ReadUse::kSyscall));
+  suite.push_back(samate_uninit_via_copy(id++));
+  suite.push_back(samate_uninit_realloc_growth(id++));
+  return suite;
+}
+
+}  // namespace ht::corpus

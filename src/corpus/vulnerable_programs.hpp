@@ -1,0 +1,74 @@
+// The vulnerable-program corpus: synthetic twins of the paper's Table II.
+//
+// Each corpus entry models the *mechanics* of one real CVE/bug the paper
+// evaluated on — buffer sizes, attacker-controlled lengths, the free/reuse
+// discipline — as a synthetic program with one benign input and one attack
+// input. What Table II measures is whether the pipeline (offline analysis ->
+// patch -> online defense) detects the class and then blocks the attack;
+// the twins exercise exactly those code paths end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "patch/patch.hpp"
+#include "progmodel/program.hpp"
+
+namespace ht::corpus {
+
+struct VulnerableProgram {
+  std::string name;       ///< e.g. "heartbleed"
+  std::string reference;  ///< e.g. "CVE-2014-0160"
+  /// Vulnerability-type bits the offline analysis is expected to find.
+  std::uint8_t expected_mask = 0;
+  progmodel::Program program;
+  progmodel::Input benign;
+  progmodel::Input attack;
+  /// For leak-based attacks: the number of nonzero bytes the program
+  /// legitimately emits on the attack input (e.g. the echoed payload).
+  /// Any nonzero leak beyond this is stolen data.
+  std::uint64_t legit_nonzero_leak = 0;
+};
+
+/// Heartbleed twin (CVE-2014-0160): a 34 KB response buffer, an
+/// attacker-controlled length of up to 64 KB, heap pre-warmed with key
+/// material. Inputs: [payload_len, response_len]. Attack leaks stale
+/// secrets (uninit read) and overreads past the buffer (§VIII-A).
+[[nodiscard]] VulnerableProgram make_heartbleed();
+
+/// bc-1.06 twin (BugBench): the arbitrary-precision calculator's array
+/// overflow — a fixed 64-slot array, input-driven element count.
+[[nodiscard]] VulnerableProgram make_bc();
+
+/// GhostXPS 9.21 twin (CVE-2017-9740): uninitialized read of a glyph
+/// buffer whose initialization is input-dependent.
+[[nodiscard]] VulnerableProgram make_ghostxps();
+
+/// optipng-0.6.4 twin (CVE-2015-7801): use-after-free of the palette
+/// buffer with attacker grooming of the freed slot.
+[[nodiscard]] VulnerableProgram make_optipng();
+
+/// LibTIFF 4.0.8 twin (CVE-2017-9935): heap overflow in t2p_write_pdf —
+/// an oversized copy into an undersized destination.
+[[nodiscard]] VulnerableProgram make_tiff();
+
+/// wavpack 5.1.0 twin (CVE-2018-7253): use-after-free read during
+/// metadata parsing.
+[[nodiscard]] VulnerableProgram make_wavpack();
+
+/// libming 0.4.8 twin (CVE-2018-7877): buffer overflow while parsing an
+/// SWF action record.
+[[nodiscard]] VulnerableProgram make_libming();
+
+/// The whole Table II corpus, in the paper's row order.
+[[nodiscard]] std::vector<VulnerableProgram> make_table2_corpus();
+
+/// The SAMATE-like suite: 23 small vulnerable cases spanning overflow
+/// (write/read/copy paths), use-after-free (write/read, grooming and not)
+/// and uninitialized read (branch/syscall/copy-then-use), across malloc,
+/// calloc, memalign and realloc allocations — the coverage role of the
+/// paper's NIST SAMATE evaluation.
+[[nodiscard]] std::vector<VulnerableProgram> make_samate_suite();
+
+}  // namespace ht::corpus

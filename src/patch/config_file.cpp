@@ -1,0 +1,112 @@
+#include "patch/config_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/str.hpp"
+
+namespace ht::patch {
+
+namespace {
+
+std::optional<progmodel::AllocFn> alloc_fn_from_name(std::string_view name) {
+  for (progmodel::AllocFn fn : progmodel::kAllAllocFns) {
+    if (progmodel::alloc_fn_name(fn) == name) return fn;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string serialize_config(const std::vector<Patch>& patches) {
+  std::ostringstream os;
+  os << "# HeapTherapy+ patch configuration\n";
+  os << "version 1\n";
+  for (const Patch& p : patches) {
+    char ccid_hex[32];
+    std::snprintf(ccid_hex, sizeof(ccid_hex), "0x%016llx",
+                  static_cast<unsigned long long>(p.ccid));
+    os << "patch " << progmodel::alloc_fn_name(p.fn) << ' ' << ccid_hex << ' '
+       << vuln_mask_to_string(p.vuln_mask) << '\n';
+  }
+  return os.str();
+}
+
+ParseResult parse_config(std::string_view text) {
+  ParseResult result;
+  std::size_t line_no = 0;
+  bool version_seen = false;
+
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto error = [&](const std::string& message) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": " + message);
+    };
+
+    if (support::starts_with(line, "version")) {
+      const auto fields = support::split(line, ' ');
+      if (fields.size() < 2 || support::parse_u64(fields[1]) != 1) {
+        error("unsupported config version");
+      } else {
+        version_seen = true;
+      }
+      continue;
+    }
+    if (!support::starts_with(line, "patch")) {
+      error("unknown directive");
+      continue;
+    }
+
+    // patch <fn> <ccid> <mask>
+    std::vector<std::string_view> fields;
+    for (std::string_view f : support::split(line, ' ')) {
+      if (!support::trim(f).empty()) fields.push_back(support::trim(f));
+    }
+    if (fields.size() != 4) {
+      error("expected: patch <alloc_fn> <ccid> <vuln_mask>");
+      continue;
+    }
+    const auto fn = alloc_fn_from_name(fields[1]);
+    if (!fn) {
+      error("unknown allocation function '" + std::string(fields[1]) + "'");
+      continue;
+    }
+    const auto ccid = support::parse_u64(fields[2]);
+    if (!ccid) {
+      error("bad CCID '" + std::string(fields[2]) + "'");
+      continue;
+    }
+    std::uint8_t mask = 0;
+    if (!vuln_mask_from_string(fields[3], mask)) {
+      error("bad vulnerability mask '" + std::string(fields[3]) + "'");
+      continue;
+    }
+    result.patches.push_back(Patch{*fn, *ccid, mask});
+  }
+
+  if (!result.patches.empty() && !version_seen) {
+    result.errors.push_back("missing 'version' directive");
+  }
+  return result;
+}
+
+bool save_config_file(const std::string& path, const std::vector<Patch>& patches) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << serialize_config(patches);
+  return static_cast<bool>(out);
+}
+
+std::optional<ParseResult> load_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_config(buffer.str());
+}
+
+}  // namespace ht::patch

@@ -1,0 +1,42 @@
+// Patch configuration files — the deployment vehicle of code-less patching.
+//
+// The offline patch generator appends patches here; the online defense
+// library reads the file at program start (§VI). Text format, one patch per
+// line, stable across versions:
+//
+//   # HeapTherapy+ patch configuration
+//   version 1
+//   patch <alloc_fn> <ccid> <vuln_mask>
+//
+// e.g. "patch malloc 0x1f3a77b2c4d5e6f7 OVERFLOW|UNINIT".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "patch/patch.hpp"
+
+namespace ht::patch {
+
+/// Serializes patches (stable ordering preserved) to config-file text.
+[[nodiscard]] std::string serialize_config(const std::vector<Patch>& patches);
+
+struct ParseResult {
+  std::vector<Patch> patches;
+  std::vector<std::string> errors;  ///< "line N: message" diagnostics
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses config-file text. Unknown lines/fields produce diagnostics but do
+/// not abort the parse — a malformed line must never disable the valid
+/// patches around it (defense availability beats strictness).
+[[nodiscard]] ParseResult parse_config(std::string_view text);
+
+/// Convenience file I/O. Load returns nullopt if the file cannot be read.
+[[nodiscard]] bool save_config_file(const std::string& path,
+                                    const std::vector<Patch>& patches);
+[[nodiscard]] std::optional<ParseResult> load_config_file(const std::string& path);
+
+}  // namespace ht::patch

@@ -1,0 +1,38 @@
+#include "patch/patch.hpp"
+
+#include "support/str.hpp"
+
+namespace ht::patch {
+
+std::string vuln_mask_to_string(std::uint8_t mask) {
+  std::string out;
+  const auto append = [&out](std::string_view token) {
+    if (!out.empty()) out += '|';
+    out += token;
+  };
+  if (mask & kOverflow) append("OVERFLOW");
+  if (mask & kUseAfterFree) append("UAF");
+  if (mask & kUninitRead) append("UNINIT");
+  if (out.empty()) out = "NONE";
+  return out;
+}
+
+bool vuln_mask_from_string(std::string_view text, std::uint8_t& mask) {
+  mask = 0;
+  if (support::trim(text) == "NONE") return true;
+  for (std::string_view token : support::split(text, '|')) {
+    token = support::trim(token);
+    if (token == "OVERFLOW") {
+      mask |= kOverflow;
+    } else if (token == "UAF") {
+      mask |= kUseAfterFree;
+    } else if (token == "UNINIT") {
+      mask |= kUninitRead;
+    } else {
+      return false;
+    }
+  }
+  return mask != 0;
+}
+
+}  // namespace ht::patch

@@ -1,0 +1,44 @@
+// Heap patches: the paper's central artifact.
+//
+// A patch is the tuple {FUN, CCID, T} (§V): the allocation function used to
+// request the vulnerable buffer, the allocation-time calling-context ID, and
+// a three-bit vulnerability-type mask (Overflow, Use-after-Free,
+// Uninitialized-Read). Patches are *configuration*, not code — installing
+// one never alters program logic, which is what makes code-less patching
+// safe to deploy (§I "Heap Patches as Configuration").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "progmodel/values.hpp"
+
+namespace ht::patch {
+
+/// Vulnerability-type bits (the "T" field; §V). A buffer may be vulnerable
+/// to several types at once — e.g. Heartbleed is uninit-read + overread.
+enum VulnBits : std::uint8_t {
+  kOverflow = 1u << 0,       ///< overwrite or overread past the buffer end
+  kUseAfterFree = 1u << 1,   ///< access to freed memory
+  kUninitRead = 1u << 2,     ///< checked use of uninitialized data
+};
+
+inline constexpr std::uint8_t kAllVulnBits = kOverflow | kUseAfterFree | kUninitRead;
+
+/// Human-readable form, e.g. "OVERFLOW|UAF". Empty mask -> "NONE".
+[[nodiscard]] std::string vuln_mask_to_string(std::uint8_t mask);
+
+/// Inverse of vuln_mask_to_string; returns false on unknown token.
+[[nodiscard]] bool vuln_mask_from_string(std::string_view text, std::uint8_t& mask);
+
+/// One heap patch.
+struct Patch {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  std::uint8_t vuln_mask = 0;
+
+  bool operator==(const Patch&) const = default;
+};
+
+}  // namespace ht::patch

@@ -1,0 +1,127 @@
+#include "patch/patch_table.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "support/hash.hpp"
+
+namespace ht::patch {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t PatchTable::slot_hash(progmodel::AllocFn fn,
+                                    std::uint64_t ccid) noexcept {
+  // CCIDs are arithmetic accumulations — mix before probing. The function
+  // tag keeps {FUN, CCID} pairs distinct (required by Incremental encoding).
+  std::uint64_t h =
+      support::mix64(ccid ^ (static_cast<std::uint64_t>(fn) << 56));
+  return h == 0 ? 1 : h;  // reserve 0 for "empty slot"
+}
+
+PatchTable::PatchTable(const std::vector<Patch>& patches, bool freeze) {
+  // Low load factor (<= 25%) keeps probe sequences short on the hot path.
+  buckets_ = round_up_pow2(patches.size() * 4 + 8);
+  const std::size_t bytes = buckets_ * sizeof(Slot);
+
+  if (freeze) {
+    const std::size_t page = 4096;
+    mapped_bytes_ = (bytes + page - 1) / page * page;
+    void* mem = ::mmap(nullptr, mapped_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc();
+    slots_ = static_cast<Slot*>(mem);
+  } else {
+    slots_ = new Slot[buckets_];
+  }
+  std::memset(static_cast<void*>(slots_), 0, buckets_ * sizeof(Slot));
+
+  for (const Patch& p : patches) insert(p);
+
+  if (freeze) {
+    ::mprotect(slots_, mapped_bytes_, PROT_READ);
+    frozen_ = true;
+  }
+}
+
+void PatchTable::insert(const Patch& p) noexcept {
+  const std::uint64_t h = slot_hash(p.fn, p.ccid);
+  std::size_t i = static_cast<std::size_t>(h) & (buckets_ - 1);
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.key_hash == 0) {
+      slot.key_hash = h;
+      slot.ccid = p.ccid;
+      slot.fn = static_cast<std::uint8_t>(p.fn);
+      slot.mask = p.vuln_mask;
+      ++count_;
+      return;
+    }
+    if (slot.key_hash == h && slot.ccid == p.ccid &&
+        slot.fn == static_cast<std::uint8_t>(p.fn)) {
+      slot.mask |= p.vuln_mask;  // duplicate key: merge vulnerability types
+      return;
+    }
+    i = (i + 1) & (buckets_ - 1);
+  }
+}
+
+std::uint8_t PatchTable::lookup(progmodel::AllocFn fn,
+                                std::uint64_t ccid) const noexcept {
+  const std::uint64_t h = slot_hash(fn, ccid);
+  std::size_t i = static_cast<std::size_t>(h) & (buckets_ - 1);
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (slot.key_hash == 0) return 0;
+    if (slot.key_hash == h && slot.ccid == ccid &&
+        slot.fn == static_cast<std::uint8_t>(fn)) {
+      return slot.mask;
+    }
+    i = (i + 1) & (buckets_ - 1);
+  }
+}
+
+void PatchTable::release() noexcept {
+  if (slots_ == nullptr) return;
+  if (mapped_bytes_ != 0) {
+    ::munmap(slots_, mapped_bytes_);
+  } else {
+    delete[] slots_;
+  }
+  slots_ = nullptr;
+  buckets_ = count_ = mapped_bytes_ = 0;
+  frozen_ = false;
+}
+
+PatchTable::~PatchTable() { release(); }
+
+PatchTable::PatchTable(PatchTable&& other) noexcept
+    : slots_(std::exchange(other.slots_, nullptr)),
+      buckets_(std::exchange(other.buckets_, 0)),
+      count_(std::exchange(other.count_, 0)),
+      mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      frozen_(std::exchange(other.frozen_, false)) {}
+
+PatchTable& PatchTable::operator=(PatchTable&& other) noexcept {
+  if (this != &other) {
+    release();
+    slots_ = std::exchange(other.slots_, nullptr);
+    buckets_ = std::exchange(other.buckets_, 0);
+    count_ = std::exchange(other.count_, 0);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    frozen_ = std::exchange(other.frozen_, false);
+  }
+  return *this;
+}
+
+}  // namespace ht::patch

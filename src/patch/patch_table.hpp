@@ -1,0 +1,62 @@
+// The read-only patch hash table of the online defense generator (§VI).
+//
+// Keys are {allocation function, CCID}; values are vulnerability masks.
+// Lookup is O(1) open addressing and happens on *every* allocation the
+// process makes, so the probe loop is branch-light and the table is sized
+// to a low load factor. After initialization the backing pages are frozen
+// read-only with mprotect — "once the hash table is initialized, its memory
+// pages are set as read only" — so a heap attack cannot disable deployed
+// patches by corrupting the table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "patch/patch.hpp"
+
+namespace ht::patch {
+
+class PatchTable {
+ public:
+  /// Builds the table from `patches`. Duplicate {fn, ccid} keys OR their
+  /// masks together. If `freeze` is true the storage is mmap-backed and
+  /// mprotect'ed read-only after construction.
+  explicit PatchTable(const std::vector<Patch>& patches, bool freeze = false);
+  ~PatchTable();
+
+  PatchTable(const PatchTable&) = delete;
+  PatchTable& operator=(const PatchTable&) = delete;
+  PatchTable(PatchTable&& other) noexcept;
+  PatchTable& operator=(PatchTable&& other) noexcept;
+
+  /// The vulnerability mask for this allocation, or 0 (not vulnerable).
+  /// This is the per-allocation hot path.
+  [[nodiscard]] std::uint8_t lookup(progmodel::AllocFn fn,
+                                    std::uint64_t ccid) const noexcept;
+
+  [[nodiscard]] std::size_t patch_count() const noexcept { return count_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  struct Slot {
+    std::uint64_t key_hash = 0;  ///< 0 = empty (hash is forced non-zero)
+    std::uint64_t ccid = 0;
+    std::uint8_t fn = 0;
+    std::uint8_t mask = 0;
+  };
+
+  static std::uint64_t slot_hash(progmodel::AllocFn fn, std::uint64_t ccid) noexcept;
+  void insert(const Patch& p) noexcept;
+  void release() noexcept;
+
+  Slot* slots_ = nullptr;
+  std::size_t buckets_ = 0;   ///< power of two
+  std::size_t count_ = 0;
+  std::size_t mapped_bytes_ = 0;  ///< nonzero iff mmap-backed
+  bool frozen_ = false;
+};
+
+}  // namespace ht::patch

@@ -1,0 +1,97 @@
+// Allocator backend interface: the seam between synthetic programs and the
+// two heap substrates.
+//
+// The same program runs against
+//   - shadow::SimHeap   (offline phase: shadow memory, red zones, precise
+//                        detection — the Valgrind-equivalent), and
+//   - runtime::GuardedBackend (online phase: the real hardened allocator
+//                        enforcing patch-driven defenses).
+// This mirrors the paper's architecture where one instrumented binary is
+// used for both offline patch generation and online protection (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "progmodel/values.hpp"
+
+namespace ht::progmodel {
+
+/// What a memory access did, as observed by the backend.
+enum class AccessKind : std::uint8_t {
+  kOk,             ///< clean access
+  kOverflow,       ///< touched a red zone / past the buffer end (overread too)
+  kUseAfterFree,   ///< touched freed (quarantined) memory
+  kUninitRead,     ///< checked use of uninitialized bits
+  kWild,           ///< address owned by no live or quarantined buffer
+  kBlockedByGuard, ///< online defense: guard page stopped the access
+};
+
+[[nodiscard]] constexpr std::string_view access_kind_name(AccessKind k) noexcept {
+  switch (k) {
+    case AccessKind::kOk: return "ok";
+    case AccessKind::kOverflow: return "overflow";
+    case AccessKind::kUseAfterFree: return "use-after-free";
+    case AccessKind::kUninitRead: return "uninitialized-read";
+    case AccessKind::kWild: return "wild";
+    case AccessKind::kBlockedByGuard: return "blocked-by-guard-page";
+  }
+  return "?";
+}
+
+/// Outcome of one access. For violations, identifies the *victim* buffer —
+/// via origin tracking for uninitialized reads — so the patch generator can
+/// recover the allocation-time calling context (§V).
+struct AccessOutcome {
+  AccessKind kind = AccessKind::kOk;
+  bool is_write = false;
+  /// Allocation-time CCID of the victim buffer (valid unless kWild).
+  std::uint64_t victim_ccid = 0;
+  /// Allocation function of the victim buffer.
+  AllocFn victim_fn = AllocFn::kMalloc;
+
+  [[nodiscard]] bool ok() const noexcept { return kind == AccessKind::kOk; }
+};
+
+/// Abstract heap used by the interpreter. Addresses are opaque 64-bit
+/// values: simulated VAs for SimHeap, real pointers for the online backend.
+class AllocatorBackend {
+ public:
+  virtual ~AllocatorBackend() = default;
+
+  /// Allocates via `fn`. `alignment` is meaningful for memalign-family
+  /// calls (0 = natural). `ccid` is the allocation-time calling context id
+  /// read from the encoding register. Returns 0 on failure.
+  virtual std::uint64_t allocate(AllocFn fn, std::uint64_t size,
+                                 std::uint64_t alignment, std::uint64_t ccid) = 0;
+
+  /// realloc semantics (§V "How to handle realloc"): content preserved,
+  /// CCID re-tagged with the realloc-time context. Returns new address.
+  virtual std::uint64_t reallocate(std::uint64_t addr, std::uint64_t new_size,
+                                   std::uint64_t ccid) = 0;
+
+  /// free(). Freed memory must not be considered accessible afterwards.
+  virtual void deallocate(std::uint64_t addr) = 0;
+
+  /// Write `len` bytes at addr+offset (attacker- or program-controlled).
+  virtual AccessOutcome write(std::uint64_t addr, std::uint64_t offset,
+                              std::uint64_t len) = 0;
+
+  /// Read `len` bytes at addr+offset with the given use.
+  virtual AccessOutcome read(std::uint64_t addr, std::uint64_t offset,
+                             std::uint64_t len, ReadUse use) = 0;
+
+  /// memcpy-like transfer that propagates validity/origin state.
+  virtual AccessOutcome copy(std::uint64_t src, std::uint64_t src_off,
+                             std::uint64_t dst, std::uint64_t dst_off,
+                             std::uint64_t len) = 0;
+
+  /// One access can raise several warnings (e.g. Heartbleed's oversized
+  /// read is an uninitialized read *and* an overread). The primary warning
+  /// is the method's return value; any further warnings are queued here and
+  /// drained by the interpreter after each access. Default: none.
+  virtual std::vector<AccessOutcome> drain_pending_violations() { return {}; }
+};
+
+}  // namespace ht::progmodel

@@ -1,0 +1,175 @@
+#include "progmodel/builder.hpp"
+
+#include <stdexcept>
+
+namespace ht::progmodel {
+
+ProgramBuilder::ProgramBuilder() = default;
+
+cce::FunctionId ProgramBuilder::function(std::string name) {
+  const cce::FunctionId f = program_.graph_.add_function(std::move(name));
+  program_.bodies_.emplace_back();
+  open_loops_.emplace_back();
+  if (program_.entry_ == cce::kInvalidFunction) program_.entry_ = f;
+  return f;
+}
+
+void ProgramBuilder::set_entry(cce::FunctionId f) {
+  if (f >= program_.graph_.function_count()) {
+    throw std::out_of_range("set_entry: unknown function");
+  }
+  program_.entry_ = f;
+}
+
+cce::FunctionId ProgramBuilder::ensure_alloc_node(AllocFn fn) {
+  cce::FunctionId& node = program_.alloc_nodes_[static_cast<std::size_t>(fn)];
+  if (node == cce::kInvalidFunction) {
+    node = program_.graph_.add_function(std::string(alloc_fn_name(fn)));
+    program_.bodies_.emplace_back();
+    open_loops_.emplace_back();
+    program_.alloc_targets_.push_back(node);
+  }
+  return node;
+}
+
+cce::FunctionId ProgramBuilder::ensure_free_node() {
+  if (program_.free_node_ == cce::kInvalidFunction) {
+    program_.free_node_ = program_.graph_.add_function("free");
+    program_.bodies_.emplace_back();
+    open_loops_.emplace_back();
+  }
+  return program_.free_node_;
+}
+
+void ProgramBuilder::note_slot(std::uint32_t slot) {
+  if (slot + 1 > program_.slot_count_) program_.slot_count_ = slot + 1;
+}
+
+// Appends into the innermost open loop of f, or f's top-level body.
+//
+// Pointer safety relies on strict stack discipline: while a loop is open,
+// every append targets *its* body, so no vector that holds a still-open
+// loop's Action is ever grown.
+Action& ProgramBuilder::append(cce::FunctionId f, Action action) {
+  if (built_) throw std::logic_error("ProgramBuilder: already built");
+  if (f >= program_.bodies_.size()) throw std::out_of_range("append: unknown function");
+  std::vector<Action>& dest =
+      open_loops_[f].empty() ? program_.bodies_[f] : open_loops_[f].back()->body;
+  dest.push_back(std::move(action));
+  return dest.back();
+}
+
+cce::CallSiteId ProgramBuilder::call(cce::FunctionId f, cce::FunctionId callee) {
+  Action a;
+  a.kind = Action::Kind::kCall;
+  a.site = program_.graph_.add_call_site(f, callee);
+  append(f, std::move(a));
+  return program_.graph_.sites().back().id;
+}
+
+cce::CallSiteId ProgramBuilder::alloc(cce::FunctionId f, AllocFn fn, Value size,
+                                      std::uint32_t slot, Value alignment) {
+  const cce::FunctionId node = ensure_alloc_node(fn);
+  Action a;
+  a.kind = Action::Kind::kAlloc;
+  a.site = program_.graph_.add_call_site(f, node);
+  a.alloc_fn = fn;
+  a.size = size;
+  a.alignment = alignment;
+  a.slot = slot;
+  note_slot(slot);
+  const cce::CallSiteId site = a.site;
+  append(f, std::move(a));
+  return site;
+}
+
+cce::CallSiteId ProgramBuilder::realloc(cce::FunctionId f, std::uint32_t slot,
+                                        Value new_size) {
+  const cce::FunctionId node = ensure_alloc_node(AllocFn::kRealloc);
+  Action a;
+  a.kind = Action::Kind::kRealloc;
+  a.site = program_.graph_.add_call_site(f, node);
+  a.alloc_fn = AllocFn::kRealloc;
+  a.size = new_size;
+  a.slot = slot;
+  note_slot(slot);
+  const cce::CallSiteId site = a.site;
+  append(f, std::move(a));
+  return site;
+}
+
+void ProgramBuilder::free(cce::FunctionId f, std::uint32_t slot) {
+  const cce::FunctionId node = ensure_free_node();
+  Action a;
+  a.kind = Action::Kind::kFree;
+  a.site = program_.graph_.add_call_site(f, node);
+  a.slot = slot;
+  note_slot(slot);
+  append(f, std::move(a));
+}
+
+void ProgramBuilder::write(cce::FunctionId f, std::uint32_t slot, Value offset,
+                           Value length) {
+  Action a;
+  a.kind = Action::Kind::kWrite;
+  a.slot = slot;
+  a.offset = offset;
+  a.size = length;
+  note_slot(slot);
+  append(f, std::move(a));
+}
+
+void ProgramBuilder::read(cce::FunctionId f, std::uint32_t slot, Value offset,
+                          Value length, ReadUse use) {
+  Action a;
+  a.kind = Action::Kind::kRead;
+  a.slot = slot;
+  a.offset = offset;
+  a.size = length;
+  a.use = use;
+  note_slot(slot);
+  append(f, std::move(a));
+}
+
+void ProgramBuilder::copy(cce::FunctionId f, std::uint32_t src_slot, Value src_offset,
+                          std::uint32_t dst_slot, Value dst_offset, Value length) {
+  Action a;
+  a.kind = Action::Kind::kCopy;
+  a.src_slot = src_slot;
+  a.src_offset = src_offset;
+  a.slot = dst_slot;
+  a.offset = dst_offset;
+  a.size = length;
+  note_slot(src_slot);
+  note_slot(dst_slot);
+  append(f, std::move(a));
+}
+
+void ProgramBuilder::begin_loop(cce::FunctionId f, Value count) {
+  Action a;
+  a.kind = Action::Kind::kLoop;
+  a.count = count;
+  Action& stored = append(f, std::move(a));
+  open_loops_[f].push_back(&stored);
+}
+
+void ProgramBuilder::end_loop(cce::FunctionId f) {
+  if (f >= open_loops_.size() || open_loops_[f].empty()) {
+    throw std::logic_error("end_loop without begin_loop");
+  }
+  open_loops_[f].pop_back();
+}
+
+Program ProgramBuilder::build() {
+  if (built_) throw std::logic_error("ProgramBuilder: already built");
+  if (program_.entry_ == cce::kInvalidFunction) {
+    throw std::logic_error("ProgramBuilder: no entry function");
+  }
+  for (const auto& loops : open_loops_) {
+    if (!loops.empty()) throw std::logic_error("ProgramBuilder: unclosed loop");
+  }
+  built_ = true;
+  return std::move(program_);
+}
+
+}  // namespace ht::progmodel

@@ -1,0 +1,65 @@
+// Fluent construction of synthetic programs.
+//
+// The builder owns the call-graph bookkeeping: every kCall/kAlloc/kRealloc
+// action gets a dedicated call site (a distinct static call location), so
+// the resulting graph is exactly what an instrumentation pass would see.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "progmodel/program.hpp"
+
+namespace ht::progmodel {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+
+  /// Declares a synthetic function. The first declared function is the
+  /// entry point unless set_entry overrides it.
+  cce::FunctionId function(std::string name);
+  void set_entry(cce::FunctionId f);
+
+  /// Appends "call callee" to f's body; returns the fresh call site.
+  cce::CallSiteId call(cce::FunctionId f, cce::FunctionId callee);
+
+  /// Appends an allocation through a fresh call site to the AllocFn node.
+  /// Stores the buffer address into `slot`.
+  cce::CallSiteId alloc(cce::FunctionId f, AllocFn fn, Value size,
+                        std::uint32_t slot, Value alignment = Value(0));
+
+  /// Appends realloc(slot, new_size) through a fresh call site.
+  cce::CallSiteId realloc(cce::FunctionId f, std::uint32_t slot, Value new_size);
+
+  /// Appends free(slot) through a fresh call site to the free() node.
+  void free(cce::FunctionId f, std::uint32_t slot);
+
+  void write(cce::FunctionId f, std::uint32_t slot, Value offset, Value length);
+  void read(cce::FunctionId f, std::uint32_t slot, Value offset, Value length,
+            ReadUse use);
+  void copy(cce::FunctionId f, std::uint32_t src_slot, Value src_offset,
+            std::uint32_t dst_slot, Value dst_offset, Value length);
+
+  /// Loop scoping: actions appended between begin_loop/end_loop nest inside
+  /// the loop body. Loops may nest.
+  void begin_loop(cce::FunctionId f, Value count);
+  void end_loop(cce::FunctionId f);
+
+  /// Finalizes. Throws std::logic_error on open loops or missing entry.
+  [[nodiscard]] Program build();
+
+ private:
+  Action& append(cce::FunctionId f, Action action);
+  cce::FunctionId ensure_alloc_node(AllocFn fn);
+  cce::FunctionId ensure_free_node();
+  void note_slot(std::uint32_t slot);
+
+  Program program_;
+  // Per-function stack of currently-open loops, as indices into the chain
+  // of nested bodies.
+  std::vector<std::vector<Action*>> open_loops_;
+  bool built_ = false;
+};
+
+}  // namespace ht::progmodel

@@ -1,0 +1,167 @@
+#include "progmodel/interpreter.hpp"
+
+#include <stdexcept>
+
+#include "support/hash.hpp"
+
+namespace ht::progmodel {
+
+Interpreter::Interpreter(const Program& program, const cce::Encoder* encoder,
+                         AllocatorBackend& backend)
+    : program_(program),
+      encoder_(encoder),
+      backend_(backend),
+      fallback_(cce::InstrumentationPlan{}),
+      reg_(encoder != nullptr ? *encoder : static_cast<const cce::Encoder&>(fallback_)) {}
+
+RunResult Interpreter::run(const Input& input, const RunOptions& options) {
+  input_ = &input;
+  options_ = options;
+  result_ = RunResult{};
+  slots_.assign(program_.slot_count(), 0);
+  reg_.reset();
+  site_stack_.clear();
+  aborted_ = false;
+
+  const bool finished = exec_body(program_.entry(), program_.body(program_.entry()));
+  result_.completed = finished && !aborted_;
+  result_.encoding_ops = reg_.ops();
+  input_ = nullptr;
+  return std::move(result_);
+}
+
+std::uint64_t Interpreter::current_ccid() noexcept {
+  if (!options_.stack_walk) return reg_.value();
+  // The expensive baseline: fold the whole active call-site chain, exactly
+  // as an FCS PCC encoder would have done incrementally. The walk itself is
+  // the cost being modeled (one "frame visit" per stack entry).
+  std::uint64_t v = 0;
+  for (cce::CallSiteId site : site_stack_) {
+    v = 3 * v + support::mix64(0x48542b5eedULL ^ (static_cast<std::uint64_t>(site) + 1));
+    ++result_.walked_frames;
+  }
+  return v;
+}
+
+void Interpreter::record_access(cce::FunctionId f, const AccessOutcome& outcome) {
+  record_one(f, outcome);
+  for (const AccessOutcome& extra : backend_.drain_pending_violations()) {
+    record_one(f, extra);
+  }
+}
+
+void Interpreter::record_one(cce::FunctionId f, const AccessOutcome& outcome) {
+  if (outcome.ok()) return;
+  if (outcome.kind == AccessKind::kBlockedByGuard) {
+    ++result_.blocked_accesses;
+    return;
+  }
+  result_.violations.push_back(Violation{outcome, f});
+  if (options_.stop_on_violation) aborted_ = true;
+}
+
+bool Interpreter::exec_body(cce::FunctionId f, const std::vector<Action>& body) {
+  for (const Action& action : body) {
+    if (aborted_) return false;
+    if (!exec_action(f, action)) return false;
+  }
+  return true;
+}
+
+bool Interpreter::exec_action(cce::FunctionId f, const Action& action) {
+  if (++result_.steps > options_.max_steps) {
+    aborted_ = true;
+    return false;
+  }
+  const Input& input = *input_;
+
+  switch (action.kind) {
+    case Action::Kind::kCall: {
+      ++result_.calls;
+      reg_.on_call(action.site);
+      if (options_.stack_walk) site_stack_.push_back(action.site);
+      const cce::FunctionId callee = program_.graph().site(action.site).callee;
+      const bool ok = exec_body(callee, program_.body(callee));
+      if (options_.stack_walk) site_stack_.pop_back();
+      reg_.on_return();
+      return ok;
+    }
+    case Action::Kind::kAlloc: {
+      ++result_.calls;
+      reg_.on_call(action.site);
+      if (options_.stack_walk) site_stack_.push_back(action.site);
+      const std::uint64_t ccid = current_ccid();
+      if (options_.stack_walk) site_stack_.pop_back();
+      const std::uint64_t addr =
+          backend_.allocate(action.alloc_fn, action.size.resolve(input),
+                            action.alignment.resolve(input), ccid);
+      reg_.on_return();
+      if (addr == 0) {
+        aborted_ = true;  // OOM / backend refusal is fatal for the run
+        return false;
+      }
+      slots_[action.slot] = addr;
+      ++result_.alloc_counts[static_cast<std::size_t>(action.alloc_fn)];
+      ++result_.alloc_sites[AllocSiteKey{action.alloc_fn, ccid}];
+      return true;
+    }
+    case Action::Kind::kRealloc: {
+      ++result_.calls;
+      reg_.on_call(action.site);
+      if (options_.stack_walk) site_stack_.push_back(action.site);
+      const std::uint64_t ccid = current_ccid();
+      if (options_.stack_walk) site_stack_.pop_back();
+      const std::uint64_t addr =
+          backend_.reallocate(slots_[action.slot], action.size.resolve(input), ccid);
+      reg_.on_return();
+      if (addr == 0) {
+        aborted_ = true;
+        return false;
+      }
+      slots_[action.slot] = addr;
+      ++result_.alloc_counts[static_cast<std::size_t>(AllocFn::kRealloc)];
+      ++result_.alloc_sites[AllocSiteKey{AllocFn::kRealloc, ccid}];
+      return true;
+    }
+    case Action::Kind::kFree: {
+      ++result_.calls;
+      reg_.on_call(action.site);
+      backend_.deallocate(slots_[action.slot]);
+      reg_.on_return();
+      ++result_.free_count;
+      // The slot intentionally keeps the stale address: later actions on it
+      // model dangling-pointer use.
+      return true;
+    }
+    case Action::Kind::kWrite: {
+      record_access(f, backend_.write(slots_[action.slot],
+                                      action.offset.resolve(input),
+                                      action.size.resolve(input)));
+      return true;
+    }
+    case Action::Kind::kRead: {
+      record_access(f, backend_.read(slots_[action.slot],
+                                     action.offset.resolve(input),
+                                     action.size.resolve(input), action.use));
+      return true;
+    }
+    case Action::Kind::kCopy: {
+      record_access(f, backend_.copy(slots_[action.src_slot],
+                                     action.src_offset.resolve(input),
+                                     slots_[action.slot],
+                                     action.offset.resolve(input),
+                                     action.size.resolve(input)));
+      return true;
+    }
+    case Action::Kind::kLoop: {
+      const std::uint64_t count = action.count.resolve(input);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (!exec_body(f, action.body)) return false;
+      }
+      return true;
+    }
+  }
+  throw std::logic_error("Interpreter: unknown action kind");
+}
+
+}  // namespace ht::progmodel

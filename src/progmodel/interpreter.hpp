@@ -1,0 +1,114 @@
+// Interpreter: executes a synthetic Program against an AllocatorBackend
+// while maintaining the calling-context encoding register.
+//
+// This is the reproduction's equivalent of *running the instrumented
+// binary*: encoding updates execute at exactly the call sites the
+// InstrumentationPlan selected, allocations read the register the way the
+// interposed malloc does, and memory actions flow to whichever heap
+// substrate (offline shadow heap / online hardened allocator) is plugged in.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cce/encoders.hpp"
+#include "progmodel/backend.hpp"
+#include "progmodel/program.hpp"
+
+namespace ht::progmodel {
+
+/// A violation observed during a run, tagged with the function whose body
+/// performed the access.
+struct Violation {
+  AccessOutcome outcome;
+  cce::FunctionId in_function = cce::kInvalidFunction;
+};
+
+/// Allocation-site statistics key: the {FUN, CCID} pair of §V's patches.
+struct AllocSiteKey {
+  AllocFn fn = AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+
+  bool operator==(const AllocSiteKey&) const = default;
+};
+
+struct AllocSiteKeyHash {
+  std::size_t operator()(const AllocSiteKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        (k.ccid * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(k.fn));
+  }
+};
+
+struct RunOptions {
+  /// Abort the run after this many executed actions (runaway guard).
+  std::uint64_t max_steps = 500'000'000;
+  /// Stop at the first violation instead of resuming (§V resumes by
+  /// default so one attack input can reveal multiple vulnerabilities).
+  bool stop_on_violation = false;
+  /// Compute CCIDs by *walking the call stack* at every allocation instead
+  /// of reading the encoding register — the expensive gdb-style baseline
+  /// the paper contrasts encoding against (§IV: "simple call stack walking
+  /// ... would incur a large overhead"). O(depth) per allocation; the
+  /// resulting CCIDs equal what an FCS PCC encoder would produce, so
+  /// patches remain interchangeable between the two modes.
+  bool stack_walk = false;
+};
+
+struct RunResult {
+  bool completed = false;
+  std::uint64_t steps = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t encoding_ops = 0;  ///< executed instrumented call sites
+  std::uint64_t walked_frames = 0;  ///< frames visited by stack-walk mode
+  std::uint64_t alloc_counts[5] = {0, 0, 0, 0, 0};  ///< by AllocFn
+  std::uint64_t free_count = 0;
+  std::uint64_t blocked_accesses = 0;  ///< online guard-page interventions
+  std::vector<Violation> violations;
+  /// Allocations per {FUN, CCID}; drives the paper's median-frequency
+  /// vulnerable-CCID selection protocol (§VIII-B2) and Table IV.
+  std::unordered_map<AllocSiteKey, std::uint64_t, AllocSiteKeyHash> alloc_sites;
+
+  [[nodiscard]] std::uint64_t total_allocs() const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : alloc_counts) total += c;
+    return total;
+  }
+  [[nodiscard]] bool clean() const noexcept { return completed && violations.empty(); }
+};
+
+class Interpreter {
+ public:
+  /// `encoder` may be null: the program then runs uninstrumented (native
+  /// baseline) and every allocation reports CCID 0.
+  Interpreter(const Program& program, const cce::Encoder* encoder,
+              AllocatorBackend& backend);
+
+  [[nodiscard]] RunResult run(const Input& input, const RunOptions& options = {});
+
+ private:
+  bool exec_body(cce::FunctionId f, const std::vector<Action>& body);
+  bool exec_action(cce::FunctionId f, const Action& action);
+  void record_access(cce::FunctionId f, const AccessOutcome& outcome);
+  void record_one(cce::FunctionId f, const AccessOutcome& outcome);
+  [[nodiscard]] std::uint64_t current_ccid() noexcept;
+
+  const Program& program_;
+  const cce::Encoder* encoder_;
+  AllocatorBackend& backend_;
+  /// Used when no encoder is supplied: an empty plan instruments nothing,
+  /// so the register stays 0 and no encoding ops are counted.
+  cce::PccEncoder fallback_;
+
+  // Per-run state.
+  const Input* input_ = nullptr;
+  RunOptions options_;
+  RunResult result_;
+  std::vector<std::uint64_t> slots_;
+  cce::CcidRegister reg_;
+  /// Active call-site stack, maintained only in stack-walk mode.
+  std::vector<cce::CallSiteId> site_stack_;
+  bool aborted_ = false;
+};
+
+}  // namespace ht::progmodel

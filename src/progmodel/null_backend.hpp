@@ -1,0 +1,60 @@
+// NullBackend: the no-op heap.
+//
+// Hands out bump-allocated fake addresses and reports every access as clean.
+// Used where only the *calling/encoding* behaviour of a run matters — the
+// §VIII-B1 encoding-overhead benches and interpreter unit tests — so heap
+// bookkeeping does not pollute the measurement.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "progmodel/backend.hpp"
+
+namespace ht::progmodel {
+
+class NullBackend final : public AllocatorBackend {
+ public:
+  std::uint64_t allocate(AllocFn fn, std::uint64_t size, std::uint64_t alignment,
+                         std::uint64_t ccid) override {
+    (void)fn;
+    (void)ccid;
+    if (alignment > 1) next_ = (next_ + alignment - 1) / alignment * alignment;
+    const std::uint64_t addr = next_;
+    next_ += size > 0 ? size : 1;
+    sizes_[addr] = size;
+    ++live_;
+    return addr;
+  }
+
+  std::uint64_t reallocate(std::uint64_t addr, std::uint64_t new_size,
+                           std::uint64_t ccid) override {
+    sizes_.erase(addr);
+    --live_;
+    return allocate(AllocFn::kRealloc, new_size, 0, ccid);
+  }
+
+  void deallocate(std::uint64_t addr) override {
+    if (sizes_.erase(addr) > 0) --live_;
+  }
+
+  AccessOutcome write(std::uint64_t, std::uint64_t, std::uint64_t) override {
+    return {};
+  }
+  AccessOutcome read(std::uint64_t, std::uint64_t, std::uint64_t, ReadUse) override {
+    return {};
+  }
+  AccessOutcome copy(std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                     std::uint64_t) override {
+    return {};
+  }
+
+  [[nodiscard]] std::uint64_t live_buffers() const noexcept { return live_; }
+
+ private:
+  std::uint64_t next_ = 0x1000;
+  std::uint64_t live_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> sizes_;
+};
+
+}  // namespace ht::progmodel

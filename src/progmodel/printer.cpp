@@ -1,0 +1,106 @@
+#include "progmodel/printer.hpp"
+
+#include <sstream>
+
+namespace ht::progmodel {
+
+namespace {
+
+std::string value_to_text(const Value& v) {
+  // Input references render as $N; literals as decimal. Value does not
+  // expose its payload directly, so probe with a sentinel input.
+  if (v.is_input()) {
+    // Find the index by resolving against increasing-size inputs.
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      Input probe;
+      probe.params.assign(i + 1, 0);
+      probe.params[i] = 1;
+      try {
+        if (v.resolve(probe) == 1) return "$" + std::to_string(i);
+      } catch (const std::out_of_range&) {
+        // keep growing the probe
+      }
+    }
+    return "$?";
+  }
+  Input empty;
+  return std::to_string(v.resolve(empty));
+}
+
+void render_body(const Program& program, const std::vector<Action>& body,
+                 int indent, std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const Action& action : body) {
+    if (action.kind == Action::Kind::kLoop) {
+      os << pad << "loop " << value_to_text(action.count) << " {\n";
+      render_body(program, action.body, indent + 1, os);
+      os << pad << "}\n";
+    } else {
+      os << pad << action_to_text(program, action) << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string action_to_text(const Program& program, const Action& action) {
+  std::ostringstream os;
+  const auto callee_name = [&](cce::CallSiteId site) {
+    return program.graph().function_name(program.graph().site(site).callee);
+  };
+  switch (action.kind) {
+    case Action::Kind::kCall:
+      os << "call " << callee_name(action.site) << "  # cs" << action.site;
+      break;
+    case Action::Kind::kAlloc:
+      os << "s" << action.slot << " = " << alloc_fn_name(action.alloc_fn) << "("
+         << value_to_text(action.size);
+      if (action.alloc_fn == AllocFn::kMemalign ||
+          action.alloc_fn == AllocFn::kAlignedAlloc) {
+        os << ", align=" << value_to_text(action.alignment);
+      }
+      os << ")  # cs" << action.site;
+      break;
+    case Action::Kind::kRealloc:
+      os << "s" << action.slot << " = realloc(s" << action.slot << ", "
+         << value_to_text(action.size) << ")  # cs" << action.site;
+      break;
+    case Action::Kind::kFree:
+      os << "free(s" << action.slot << ")";
+      break;
+    case Action::Kind::kWrite:
+      os << "write(s" << action.slot << ", off=" << value_to_text(action.offset)
+         << ", len=" << value_to_text(action.size) << ")";
+      break;
+    case Action::Kind::kRead:
+      os << "read(s" << action.slot << ", off=" << value_to_text(action.offset)
+         << ", len=" << value_to_text(action.size) << ", use="
+         << read_use_name(action.use) << ")";
+      break;
+    case Action::Kind::kCopy:
+      os << "copy(s" << action.src_slot << "+" << value_to_text(action.src_offset)
+         << " -> s" << action.slot << "+" << value_to_text(action.offset)
+         << ", len=" << value_to_text(action.size) << ")";
+      break;
+    case Action::Kind::kLoop:
+      os << "loop " << value_to_text(action.count) << " { ... }";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_text(const Program& program) {
+  std::ostringstream os;
+  for (cce::FunctionId f = 0; f < program.graph().function_count(); ++f) {
+    const auto& body = program.body(f);
+    const bool is_api = body.empty() && f != program.entry();
+    if (is_api) continue;  // allocation-API nodes have no body
+    os << program.graph().function_name(f);
+    if (f == program.entry()) os << " (entry)";
+    os << ":\n";
+    render_body(program, body, 1, os);
+  }
+  return os.str();
+}
+
+}  // namespace ht::progmodel

@@ -1,0 +1,18 @@
+// Textual rendering of synthetic programs — the "disassembly" used in
+// reports, examples and failing-test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "progmodel/program.hpp"
+
+namespace ht::progmodel {
+
+/// Renders the whole program: one block per function, one line per action,
+/// loops indented. Deterministic (suitable for golden tests).
+[[nodiscard]] std::string to_text(const Program& program);
+
+/// Renders a single action (no trailing newline).
+[[nodiscard]] std::string action_to_text(const Program& program, const Action& action);
+
+}  // namespace ht::progmodel

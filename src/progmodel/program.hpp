@@ -1,0 +1,93 @@
+// Synthetic program representation.
+//
+// A Program is a call graph (functions + call sites) plus a body — an action
+// sequence — per function. It is the reproduction's stand-in for an
+// instrumented C/C++ binary: the call graph feeds the §IV encoding
+// algorithms, and the interpreter executes bodies while maintaining the
+// CCID register exactly where the LLVM pass would have inserted updates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cce/call_graph.hpp"
+#include "progmodel/values.hpp"
+
+namespace ht::progmodel {
+
+/// One step of a function body. A tagged struct (rather than std::variant)
+/// keeps bodies POD-walkable; `body` is only populated for kLoop.
+struct Action {
+  enum class Kind : std::uint8_t {
+    kCall,     ///< invoke another synthetic function through `site`
+    kAlloc,    ///< call an allocation API through `site`, store into `slot`
+    kRealloc,  ///< realloc the buffer in `slot` through `site`
+    kFree,     ///< free the buffer in `slot`
+    kWrite,    ///< write [offset, offset+length) of the buffer in `slot`
+    kRead,     ///< read  [offset, offset+length) with `use`
+    kCopy,     ///< copy between two buffers (propagates validity/origins)
+    kLoop,     ///< run `body` `count` times
+  };
+
+  Kind kind = Kind::kCall;
+
+  // kCall / kAlloc / kRealloc: the call-graph edge being taken.
+  cce::CallSiteId site = cce::kInvalidCallSite;
+
+  // kAlloc: which API; also implied by the callee function.
+  AllocFn alloc_fn = AllocFn::kMalloc;
+
+  // Buffer slots (virtual registers holding buffer addresses).
+  std::uint32_t slot = 0;      ///< primary slot (dest for kAlloc/kCopy)
+  std::uint32_t src_slot = 0;  ///< kCopy source
+
+  Value size;       ///< kAlloc/kRealloc size; kWrite/kRead/kCopy length
+  Value alignment;  ///< kAlloc alignment (memalign family)
+  Value offset;     ///< kWrite/kRead offset; kCopy dest offset
+  Value src_offset; ///< kCopy source offset
+  ReadUse use = ReadUse::kData;  ///< kRead
+
+  Value count;  ///< kLoop trip count
+  std::vector<Action> body;  ///< kLoop body
+};
+
+/// A complete synthetic program. Built via ProgramBuilder; immutable after.
+class Program {
+ public:
+  [[nodiscard]] const cce::CallGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] cce::FunctionId entry() const noexcept { return entry_; }
+  [[nodiscard]] const std::vector<Action>& body(cce::FunctionId f) const {
+    return bodies_.at(f);
+  }
+
+  /// The allocation-API functions present in this program — the encoding
+  /// target set (§IV-A: "we are only interested in calling contexts when
+  /// the allocation APIs are invoked").
+  [[nodiscard]] const std::vector<cce::FunctionId>& alloc_targets() const noexcept {
+    return alloc_targets_;
+  }
+  /// The graph node for a specific allocation API, or kInvalidFunction.
+  [[nodiscard]] cce::FunctionId alloc_fn_node(AllocFn fn) const noexcept {
+    return alloc_nodes_[static_cast<std::size_t>(fn)];
+  }
+  /// The graph node representing free(), or kInvalidFunction if unused.
+  [[nodiscard]] cce::FunctionId free_node() const noexcept { return free_node_; }
+
+  /// Number of buffer slots the interpreter must provision.
+  [[nodiscard]] std::uint32_t slot_count() const noexcept { return slot_count_; }
+
+ private:
+  friend class ProgramBuilder;
+  cce::CallGraph graph_;
+  std::vector<std::vector<Action>> bodies_;
+  cce::FunctionId entry_ = cce::kInvalidFunction;
+  std::vector<cce::FunctionId> alloc_targets_;
+  cce::FunctionId alloc_nodes_[5] = {cce::kInvalidFunction, cce::kInvalidFunction,
+                                     cce::kInvalidFunction, cce::kInvalidFunction,
+                                     cce::kInvalidFunction};
+  cce::FunctionId free_node_ = cce::kInvalidFunction;
+  std::uint32_t slot_count_ = 0;
+};
+
+}  // namespace ht::progmodel

@@ -1,0 +1,400 @@
+#include "progmodel/program_io.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "progmodel/builder.hpp"
+#include "support/str.hpp"
+
+namespace ht::progmodel {
+
+namespace {
+
+std::string value_text(const Value& v) {
+  if (v.is_input()) {
+    // Recover the parameter index by probing (Value is deliberately opaque).
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      Input probe;
+      probe.params.assign(i + 1, 0);
+      probe.params[i] = 1;
+      try {
+        if (v.resolve(probe) == 1) return "$" + std::to_string(i);
+      } catch (const std::out_of_range&) {
+      }
+    }
+    return "$?";
+  }
+  const Input empty;
+  return std::to_string(v.resolve(empty));
+}
+
+void serialize_body(const Program& program, const std::vector<Action>& body,
+                    int indent, std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  for (const Action& a : body) {
+    switch (a.kind) {
+      case Action::Kind::kCall:
+        os << pad << "call "
+           << program.graph().function_name(program.graph().site(a.site).callee)
+           << "\n";
+        break;
+      case Action::Kind::kAlloc:
+        os << pad << "s" << a.slot << " = " << alloc_fn_name(a.alloc_fn) << "("
+           << value_text(a.size);
+        if (a.alloc_fn == AllocFn::kMemalign ||
+            a.alloc_fn == AllocFn::kAlignedAlloc) {
+          os << ", align=" << value_text(a.alignment);
+        }
+        os << ")\n";
+        break;
+      case Action::Kind::kRealloc:
+        os << pad << "s" << a.slot << " = realloc(s" << a.slot << ", "
+           << value_text(a.size) << ")\n";
+        break;
+      case Action::Kind::kFree:
+        os << pad << "free(s" << a.slot << ")\n";
+        break;
+      case Action::Kind::kWrite:
+        os << pad << "write(s" << a.slot << ", " << value_text(a.offset) << ", "
+           << value_text(a.size) << ")\n";
+        break;
+      case Action::Kind::kRead:
+        os << pad << "read(s" << a.slot << ", " << value_text(a.offset) << ", "
+           << value_text(a.size) << ", " << read_use_name(a.use) << ")\n";
+        break;
+      case Action::Kind::kCopy:
+        os << pad << "copy(s" << a.src_slot << "+" << value_text(a.src_offset)
+           << " -> s" << a.slot << "+" << value_text(a.offset) << ", "
+           << value_text(a.size) << ")\n";
+        break;
+      case Action::Kind::kLoop:
+        os << pad << "loop " << value_text(a.count) << " {\n";
+        serialize_body(program, a.body, indent + 1, os);
+        os << pad << "}\n";
+        break;
+    }
+  }
+}
+
+bool is_alloc_api_node(const Program& program, cce::FunctionId f) {
+  for (AllocFn fn : kAllAllocFns) {
+    if (program.alloc_fn_node(fn) == f) return true;
+  }
+  return f == program.free_node();
+}
+
+}  // namespace
+
+std::string serialize_program(const Program& program) {
+  std::ostringstream os;
+  os << "# HeapTherapy+ program\n";
+  os << "program v1\n";
+  os << "entry " << program.graph().function_name(program.entry()) << "\n";
+  for (cce::FunctionId f = 0; f < program.graph().function_count(); ++f) {
+    if (is_alloc_api_node(program, f)) continue;  // implicit nodes
+    os << "fn " << program.graph().function_name(f) << " {\n";
+    serialize_body(program, program.body(f), 1, os);
+    os << "}\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Parser state: a two-pass design. Pass 1 declares every `fn` so forward
+/// calls resolve; pass 2 appends statements in order.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lines_(support::split(text, '\n')) {}
+
+  ProgramParseResult run() {
+    ProgramParseResult result;
+    if (!declare_functions()) {
+      result.error = error_;
+      return result;
+    }
+    if (!parse_bodies()) {
+      result.error = error_;
+      return result;
+    }
+    if (!entry_name_.empty()) {
+      const auto id = find_function(entry_name_);
+      if (!id) {
+        result.error = "entry function '" + entry_name_ + "' not declared";
+        return result;
+      }
+      builder_.set_entry(*id);
+    }
+    try {
+      result.program = builder_.build();
+    } catch (const std::exception& e) {
+      result.error = e.what();
+    }
+    return result;
+  }
+
+ private:
+  bool fail(std::size_t line_no, const std::string& message) {
+    error_ = "line " + std::to_string(line_no + 1) + ": " + message;
+    return false;
+  }
+
+  std::optional<cce::FunctionId> find_function(std::string_view name) {
+    for (std::size_t i = 0; i < fn_names_.size(); ++i) {
+      if (fn_names_[i] == name) return fn_ids_[i];
+    }
+    return std::nullopt;
+  }
+
+  bool declare_functions() {
+    bool version_seen = false;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::string_view line = support::trim(lines_[i]);
+      if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+        line = support::trim(line.substr(0, hash));
+      }
+      if (line.empty()) continue;
+      if (support::starts_with(line, "program ")) {
+        if (support::trim(line.substr(8)) != "v1") {
+          return fail(i, "unsupported program version");
+        }
+        version_seen = true;
+      } else if (support::starts_with(line, "fn ")) {
+        std::string_view rest = support::trim(line.substr(3));
+        if (rest.empty() || rest.back() != '{') return fail(i, "expected 'fn name {'");
+        rest.remove_suffix(1);
+        const std::string name(support::trim(rest));
+        if (name.empty()) return fail(i, "function name missing");
+        if (find_function(name)) return fail(i, "duplicate function '" + name + "'");
+        fn_names_.push_back(name);
+        fn_ids_.push_back(builder_.function(name));
+      }
+    }
+    if (!version_seen) {
+      error_ = "missing 'program v1' header";
+      return false;
+    }
+    if (fn_names_.empty()) {
+      error_ = "no functions declared";
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<Value> parse_value(std::string_view text) {
+    text = support::trim(text);
+    if (!text.empty() && text.front() == '$') {
+      const auto idx = support::parse_u64(text.substr(1));
+      if (!idx || *idx > UINT32_MAX) return std::nullopt;
+      return Value::input(static_cast<std::uint32_t>(*idx));
+    }
+    const auto literal = support::parse_u64(text);
+    if (!literal) return std::nullopt;
+    return Value(*literal);
+  }
+
+  std::optional<std::uint32_t> parse_slot(std::string_view text) {
+    text = support::trim(text);
+    if (text.size() < 2 || text.front() != 's') return std::nullopt;
+    const auto n = support::parse_u64(text.substr(1));
+    if (!n || *n > UINT32_MAX) return std::nullopt;
+    return static_cast<std::uint32_t>(*n);
+  }
+
+  /// Splits "name(arg1, arg2, ...)" into name and args.
+  static bool split_call(std::string_view text, std::string_view& name,
+                         std::vector<std::string_view>& args) {
+    const std::size_t open = text.find('(');
+    if (open == std::string_view::npos || text.back() != ')') return false;
+    name = support::trim(text.substr(0, open));
+    const std::string_view inner = text.substr(open + 1, text.size() - open - 2);
+    args.clear();
+    if (!support::trim(inner).empty()) {
+      for (std::string_view a : support::split(inner, ',')) {
+        args.push_back(support::trim(a));
+      }
+    }
+    return true;
+  }
+
+  bool parse_statement(std::size_t i, cce::FunctionId fn, std::string_view line) {
+    if (support::starts_with(line, "call ")) {
+      const auto callee = find_function(support::trim(line.substr(5)));
+      if (!callee) return fail(i, "call to undeclared function");
+      builder_.call(fn, *callee);
+      return true;
+    }
+    if (support::starts_with(line, "loop ")) {
+      std::string_view rest = support::trim(line.substr(5));
+      if (rest.empty() || rest.back() != '{') return fail(i, "expected 'loop N {'");
+      rest.remove_suffix(1);
+      const auto count = parse_value(rest);
+      if (!count) return fail(i, "bad loop count");
+      builder_.begin_loop(fn, *count);
+      ++open_loops_;
+      return true;
+    }
+    if (line == "}") {
+      if (open_loops_ == 0) return fail(i, "unmatched '}'");
+      builder_.end_loop(fn);
+      --open_loops_;
+      return true;
+    }
+
+    // Assignment forms: sN = api(...).
+    if (const std::size_t eq = line.find('='); eq != std::string_view::npos &&
+                                               line.find("->") == std::string_view::npos) {
+      const auto slot = parse_slot(line.substr(0, eq));
+      if (!slot) return fail(i, "bad slot on lhs");
+      std::string_view name;
+      std::vector<std::string_view> args;
+      if (!split_call(support::trim(line.substr(eq + 1)), name, args)) {
+        return fail(i, "malformed allocation call");
+      }
+      if (name == "realloc") {
+        if (args.size() != 2) return fail(i, "realloc takes (sN, size)");
+        const auto src = parse_slot(args[0]);
+        const auto size = parse_value(args[1]);
+        if (!src || *src != *slot || !size) return fail(i, "bad realloc operands");
+        builder_.realloc(fn, *slot, *size);
+        return true;
+      }
+      std::optional<AllocFn> api;
+      for (AllocFn candidate : kAllAllocFns) {
+        if (name == alloc_fn_name(candidate)) api = candidate;
+      }
+      if (!api || *api == AllocFn::kRealloc) return fail(i, "unknown allocation API");
+      const bool aligned =
+          *api == AllocFn::kMemalign || *api == AllocFn::kAlignedAlloc;
+      if (args.size() != (aligned ? 2u : 1u)) return fail(i, "bad argument count");
+      const auto size = parse_value(args[0]);
+      if (!size) return fail(i, "bad size");
+      Value alignment(0);
+      if (aligned) {
+        const std::string_view a = args[1];
+        if (!support::starts_with(a, "align=")) return fail(i, "expected align=");
+        const auto av = parse_value(a.substr(6));
+        if (!av) return fail(i, "bad alignment");
+        alignment = *av;
+      }
+      builder_.alloc(fn, *api, *size, *slot, alignment);
+      return true;
+    }
+
+    // copy(sA+off -> sB+off, len)
+    if (support::starts_with(line, "copy(")) {
+      std::string_view name;
+      std::vector<std::string_view> args;
+      // Re-split manually: the arrow contains no comma, so split_call works
+      // with args[0] = "sA+off -> sB+off", args[1] = len.
+      if (!split_call(line, name, args) || args.size() != 2) {
+        return fail(i, "malformed copy");
+      }
+      const std::size_t arrow = args[0].find("->");
+      if (arrow == std::string_view::npos) return fail(i, "copy needs '->'");
+      const auto parse_side =
+          [&](std::string_view side) -> std::optional<std::pair<std::uint32_t, Value>> {
+        const std::size_t plus = side.find('+');
+        if (plus == std::string_view::npos) return std::nullopt;
+        const auto slot = parse_slot(side.substr(0, plus));
+        const auto off = parse_value(side.substr(plus + 1));
+        if (!slot || !off) return std::nullopt;
+        return std::make_pair(*slot, *off);
+      };
+      const auto src = parse_side(support::trim(args[0].substr(0, arrow)));
+      const auto dst = parse_side(support::trim(args[0].substr(arrow + 2)));
+      const auto len = parse_value(args[1]);
+      if (!src || !dst || !len) return fail(i, "bad copy operands");
+      builder_.copy(fn, src->first, src->second, dst->first, dst->second, *len);
+      return true;
+    }
+
+    // write / read / free.
+    std::string_view name;
+    std::vector<std::string_view> args;
+    if (!split_call(line, name, args)) return fail(i, "unrecognized statement");
+    if (name == "free" && args.size() == 1) {
+      const auto slot = parse_slot(args[0]);
+      if (!slot) return fail(i, "bad slot");
+      builder_.free(fn, *slot);
+      return true;
+    }
+    if (name == "write" && args.size() == 3) {
+      const auto slot = parse_slot(args[0]);
+      const auto off = parse_value(args[1]);
+      const auto len = parse_value(args[2]);
+      if (!slot || !off || !len) return fail(i, "bad write operands");
+      builder_.write(fn, *slot, *off, *len);
+      return true;
+    }
+    if (name == "read" && args.size() == 4) {
+      const auto slot = parse_slot(args[0]);
+      const auto off = parse_value(args[1]);
+      const auto len = parse_value(args[2]);
+      std::optional<ReadUse> use;
+      for (ReadUse candidate : {ReadUse::kData, ReadUse::kBranch, ReadUse::kAddress,
+                                ReadUse::kSyscall}) {
+        if (args[3] == read_use_name(candidate)) use = candidate;
+      }
+      if (!slot || !off || !len || !use) return fail(i, "bad read operands");
+      builder_.read(fn, *slot, *off, *len, *use);
+      return true;
+    }
+    return fail(i, "unrecognized statement");
+  }
+
+  bool parse_bodies() {
+    // A sentinel instead of std::optional sidesteps a GCC
+    // -Wmaybe-uninitialized false positive on the optional's payload.
+    cce::FunctionId current = cce::kInvalidFunction;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::string_view line = support::trim(lines_[i]);
+      // Strip trailing comments.
+      if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+        line = support::trim(line.substr(0, hash));
+      }
+      if (line.empty()) continue;
+      if (support::starts_with(line, "program ")) continue;
+      if (support::starts_with(line, "entry ")) {
+        entry_name_ = std::string(support::trim(line.substr(6)));
+        continue;
+      }
+      if (support::starts_with(line, "fn ")) {
+        if (current != cce::kInvalidFunction) return fail(i, "nested 'fn'");
+        std::string_view rest = support::trim(line.substr(3));
+        rest.remove_suffix(1);  // validated in pass 1
+        current = find_function(support::trim(rest)).value_or(cce::kInvalidFunction);
+        continue;
+      }
+      if (line == "}" && current != cce::kInvalidFunction && open_loops_ == 0) {
+        current = cce::kInvalidFunction;
+        continue;
+      }
+      if (current == cce::kInvalidFunction) {
+        return fail(i, "statement outside a function");
+      }
+      if (!parse_statement(i, current, line)) return false;
+    }
+    if (current != cce::kInvalidFunction) {
+      error_ = "unterminated function body";
+      return false;
+    }
+    return true;
+  }
+
+  std::vector<std::string_view> lines_;
+  ProgramBuilder builder_;
+  std::vector<std::string> fn_names_;
+  std::vector<cce::FunctionId> fn_ids_;
+  std::string entry_name_;
+  std::size_t open_loops_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ProgramParseResult parse_program(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace ht::progmodel

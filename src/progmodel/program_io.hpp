@@ -1,0 +1,49 @@
+// Program text format: synthetic programs as data files (.htp).
+//
+// A bug report's "steps to reproduce" (§III, footnote 2) becomes a file:
+// the vendor ships the vulnerable-path model, anyone replays it through the
+// offline analyzer (see tools/htrun). Round-trip guarantee: parse(serialize
+// (p)) builds a program with an identical call graph, bodies, entry and
+// slot usage — and therefore identical CCIDs under any encoder.
+//
+// Grammar (one statement per line; '#' comments; call sites are created in
+// statement order, which is what makes the round trip CCID-exact):
+//
+//   program v1
+//   entry <function>
+//   fn <name> {
+//     call <function>
+//     s<N> = malloc(<value>)            | calloc(<value>)
+//     s<N> = memalign(<value>, align=<value>) | aligned_alloc(...)
+//     s<N> = realloc(s<N>, <value>)
+//     free(s<N>)
+//     write(s<N>, <value>, <value>)               # offset, length
+//     read(s<N>, <value>, <value>, <use>)         # use: data|branch|address|syscall
+//     copy(s<N>+<value> -> s<N>+<value>, <value>) # src+off -> dst+off, length
+//     loop <value> {
+//       ...
+//     }
+//   }
+//
+// <value> is a decimal literal or $<index> (run-input parameter).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "progmodel/program.hpp"
+
+namespace ht::progmodel {
+
+/// Renders a program in the .htp format above.
+[[nodiscard]] std::string serialize_program(const Program& program);
+
+struct ProgramParseResult {
+  std::optional<Program> program;
+  std::string error;  ///< "line N: message" on failure
+};
+
+/// Parses .htp text. Returns an error (never throws) on malformed input.
+[[nodiscard]] ProgramParseResult parse_program(std::string_view text);
+
+}  // namespace ht::progmodel

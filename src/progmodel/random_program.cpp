@@ -1,0 +1,72 @@
+#include "progmodel/random_program.hpp"
+
+#include <string>
+#include <vector>
+
+#include "progmodel/builder.hpp"
+
+namespace ht::progmodel {
+
+Program make_random_program(support::Rng& rng, const RandomProgramParams& params) {
+  ProgramBuilder b;
+  const std::uint32_t layers = params.layers < 2 ? 2 : params.layers;
+  const std::uint32_t per_layer =
+      params.functions_per_layer < 1 ? 1 : params.functions_per_layer;
+
+  std::vector<std::vector<cce::FunctionId>> layer_funcs(layers);
+  const cce::FunctionId entry = b.function("main");
+  layer_funcs[0].push_back(entry);
+  for (std::uint32_t layer = 1; layer < layers; ++layer) {
+    for (std::uint32_t j = 0; j < per_layer; ++j) {
+      layer_funcs[layer].push_back(
+          b.function("f" + std::to_string(layer) + "_" + std::to_string(j)));
+    }
+  }
+
+  // Leaf bodies: each leaf allocates, initializes, reads back and frees its
+  // buffers. Slots are globally unique per (leaf, alloc index) so parallel
+  // call paths never clobber each other's addresses mid-flight (slots are
+  // global registers in the interpreter).
+  std::uint32_t next_slot = 0;
+  for (cce::FunctionId leaf : layer_funcs[layers - 1]) {
+    const std::uint32_t allocs = params.allocs_per_leaf < 1 ? 1 : params.allocs_per_leaf;
+    if (params.loop_count > 1) b.begin_loop(leaf, Value(params.loop_count));
+    std::vector<std::uint32_t> slots;
+    for (std::uint32_t i = 0; i < allocs; ++i) {
+      const std::uint32_t slot = next_slot++;
+      slots.push_back(slot);
+      const std::uint64_t size =
+          8 + rng.below(params.max_alloc_size < 8 ? 8 : params.max_alloc_size - 7);
+      if (rng.chance(params.memalign_probability)) {
+        // memalign alignment: power of two in [16, 256].
+        const std::uint64_t align = 16ULL << rng.below(5);
+        b.alloc(leaf, AllocFn::kMemalign, Value(size), slot, Value(align));
+      } else if (rng.chance(params.calloc_probability)) {
+        b.alloc(leaf, AllocFn::kCalloc, Value(size), slot);
+      } else {
+        b.alloc(leaf, AllocFn::kMalloc, Value(size), slot);
+      }
+      // Initialize fully, then read back a prefix as checked data.
+      b.write(leaf, slot, Value(0), Value(size));
+      b.read(leaf, slot, Value(0), Value(size / 2 ? size / 2 : 1), ReadUse::kBranch);
+    }
+    for (std::uint32_t slot : slots) b.free(leaf, slot);
+    if (params.loop_count > 1) b.end_loop(leaf);
+  }
+
+  // Interior wiring: every non-leaf calls `calls_per_function` random
+  // functions in the next layer.
+  for (std::uint32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (cce::FunctionId caller : layer_funcs[layer]) {
+      const std::uint32_t calls =
+          params.calls_per_function < 1 ? 1 : params.calls_per_function;
+      for (std::uint32_t k = 0; k < calls; ++k) {
+        const auto& pool = layer_funcs[layer + 1];
+        b.call(caller, pool[rng.index(pool.size())]);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace ht::progmodel

@@ -1,0 +1,105 @@
+// Value model for synthetic programs.
+//
+// Synthetic programs stand in for the paper's instrumented C/C++ binaries
+// (the LLVM-pass substrate). Program actions reference sizes, offsets and
+// counts either as literals or as *input parameters*, so one program can be
+// driven by both benign and attack inputs — exactly how the offline patch
+// generator replays an attack input against the vulnerable program.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace ht::progmodel {
+
+/// The heap-allocation API family HeapTherapy+ intercepts (§VI).
+enum class AllocFn : std::uint8_t {
+  kMalloc,
+  kCalloc,
+  kRealloc,
+  kMemalign,
+  kAlignedAlloc,
+};
+
+inline constexpr AllocFn kAllAllocFns[] = {AllocFn::kMalloc, AllocFn::kCalloc,
+                                           AllocFn::kRealloc, AllocFn::kMemalign,
+                                           AllocFn::kAlignedAlloc};
+
+[[nodiscard]] constexpr std::string_view alloc_fn_name(AllocFn fn) noexcept {
+  switch (fn) {
+    case AllocFn::kMalloc: return "malloc";
+    case AllocFn::kCalloc: return "calloc";
+    case AllocFn::kRealloc: return "realloc";
+    case AllocFn::kMemalign: return "memalign";
+    case AllocFn::kAlignedAlloc: return "aligned_alloc";
+  }
+  return "?";
+}
+
+/// How a read's result is used. Mirrors §V: V-bits are checked only when a
+/// value decides control flow, forms a memory address, or crosses into the
+/// kernel (syscall) — plain data copies merely propagate V-bits, which is
+/// what makes padding reads (paper Fig. 4) legal.
+enum class ReadUse : std::uint8_t {
+  kData,     ///< copy/compute only; propagates validity, never warns
+  kBranch,   ///< decides control flow (e.g. jnz)
+  kAddress,  ///< used as a memory address
+  kSyscall,  ///< passed to the kernel (includes network sends / leaks)
+};
+
+[[nodiscard]] constexpr std::string_view read_use_name(ReadUse use) noexcept {
+  switch (use) {
+    case ReadUse::kData: return "data";
+    case ReadUse::kBranch: return "branch";
+    case ReadUse::kAddress: return "address";
+    case ReadUse::kSyscall: return "syscall";
+  }
+  return "?";
+}
+
+/// A run input: attack inputs and benign inputs are both just parameter
+/// vectors interpreted by the program's Value references.
+struct Input {
+  std::vector<std::uint64_t> params;
+
+  [[nodiscard]] std::uint64_t param(std::size_t i) const {
+    if (i >= params.size()) {
+      throw std::out_of_range("Input: missing parameter " + std::to_string(i));
+    }
+    return params[i];
+  }
+};
+
+/// A literal or a reference to an input parameter.
+class Value {
+ public:
+  constexpr Value() : kind_(Kind::kLiteral), payload_(0) {}
+  template <std::integral T>
+  constexpr Value(T literal)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kLiteral), payload_(static_cast<std::uint64_t>(literal)) {}
+
+  /// A reference to input parameter `index`.
+  [[nodiscard]] static constexpr Value input(std::uint32_t index) {
+    Value v;
+    v.kind_ = Kind::kInput;
+    v.payload_ = index;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t resolve(const Input& in) const {
+    return kind_ == Kind::kLiteral ? payload_
+                                   : in.param(static_cast<std::size_t>(payload_));
+  }
+
+  [[nodiscard]] constexpr bool is_input() const noexcept { return kind_ == Kind::kInput; }
+
+ private:
+  enum class Kind : std::uint8_t { kLiteral, kInput };
+  Kind kind_;
+  std::uint64_t payload_;
+};
+
+}  // namespace ht::progmodel

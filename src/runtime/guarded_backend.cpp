@@ -1,0 +1,258 @@
+#include "runtime/guarded_backend.hpp"
+
+#include <cstring>
+
+namespace ht::runtime {
+
+using progmodel::AccessKind;
+using progmodel::AccessOutcome;
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+namespace {
+
+AccessOutcome outcome_of(AccessKind kind, bool is_write) {
+  AccessOutcome out;
+  out.kind = kind;
+  out.is_write = is_write;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t GuardedBackend::make_handle(std::uint64_t addr, std::uint16_t gen) {
+  return (static_cast<std::uint64_t>(gen) << kGenShift) | addr;
+}
+
+std::uint64_t GuardedBackend::handle_addr(std::uint64_t handle) {
+  return handle & ((1ULL << kGenShift) - 1);
+}
+
+std::uint16_t GuardedBackend::handle_gen(std::uint64_t handle) {
+  return static_cast<std::uint16_t>(handle >> kGenShift);
+}
+
+std::uint64_t GuardedBackend::allocate(AllocFn fn, std::uint64_t size,
+                                       std::uint64_t alignment, std::uint64_t ccid) {
+  void* p = nullptr;
+  switch (fn) {
+    case AllocFn::kMalloc: p = allocator_.malloc(size, ccid); break;
+    case AllocFn::kCalloc: p = allocator_.calloc(1, size, ccid); break;
+    case AllocFn::kRealloc: p = allocator_.realloc(nullptr, size, ccid); break;
+    case AllocFn::kMemalign: p = allocator_.memalign(alignment, size, ccid); break;
+    case AllocFn::kAlignedAlloc:
+      p = allocator_.aligned_alloc(alignment, size, ccid);
+      break;
+  }
+  if (p == nullptr) return 0;
+  const auto addr = reinterpret_cast<std::uint64_t>(p);
+  const std::uint16_t gen = ++generation_;
+  live_[addr] = BufferInfo{size, allocator_.applied_mask(p), gen};
+  return make_handle(addr, gen);
+}
+
+std::uint64_t GuardedBackend::reallocate(std::uint64_t handle, std::uint64_t new_size,
+                                         std::uint64_t ccid) {
+  const std::uint64_t addr = handle_addr(handle);
+  void* old_ptr = reinterpret_cast<void*>(addr);
+  if (handle != 0) {
+    const auto it = live_.find(addr);
+    if (it == live_.end() || it->second.gen != handle_gen(handle)) {
+      return 0;  // realloc through a stale pointer: refuse
+    }
+    freed_[addr] = it->second;
+    live_.erase(it);
+  } else {
+    old_ptr = nullptr;
+  }
+  void* p = allocator_.realloc(old_ptr, new_size, ccid);
+  if (p == nullptr) return 0;
+  const auto new_addr = reinterpret_cast<std::uint64_t>(p);
+  const std::uint16_t gen = ++generation_;
+  live_[new_addr] = BufferInfo{new_size, allocator_.applied_mask(p), gen};
+  return make_handle(new_addr, gen);
+}
+
+void GuardedBackend::deallocate(std::uint64_t handle) {
+  if (handle == 0) return;
+  const std::uint64_t addr = handle_addr(handle);
+  const auto it = live_.find(addr);
+  if (it == live_.end() || it->second.gen != handle_gen(handle)) {
+    return;  // stale/double free: never forwarded to the real allocator
+  }
+  freed_[addr] = it->second;
+  live_.erase(it);
+  allocator_.free(reinterpret_cast<void*>(addr));
+}
+
+GuardedBackend::Lookup GuardedBackend::find(std::uint64_t handle) const {
+  Lookup out;
+  const std::uint64_t addr = handle_addr(handle);
+  const std::uint16_t gen = handle_gen(handle);
+  if (const auto it = live_.find(addr); it != live_.end()) {
+    if (it->second.gen == gen) {
+      out.owner = Owner::kLive;
+      out.info = it->second;
+      return out;
+    }
+    // The address is live under a *different* generation: the pointer is
+    // dangling and the memory has been reused by a new owner.
+    out.owner = Owner::kReused;
+    out.info = it->second;  // the new owner's extent bounds physical access
+    if (const auto fit = freed_.find(addr); fit != freed_.end()) {
+      out.stale_info = fit->second;  // the dangling pointer's old identity
+    }
+    return out;
+  }
+  if (const auto fit = freed_.find(addr); fit != freed_.end()) {
+    if (fit->second.gen == gen) {
+      out.owner = Owner::kFreed;
+      out.info = fit->second;
+      return out;
+    }
+  }
+  return out;
+}
+
+AccessOutcome GuardedBackend::write(std::uint64_t handle, std::uint64_t offset,
+                                    std::uint64_t len) {
+  const Lookup lookup = find(handle);
+  switch (lookup.owner) {
+    case Owner::kUnknown:
+      return outcome_of(AccessKind::kWild, /*is_write=*/true);
+    case Owner::kFreed: {
+      // Dangling pointer into memory nobody has reused yet.
+      if ((lookup.info.mask & patch::kUseAfterFree) != 0) {
+        ++obs_.stale_hits_quarantine;  // defused: block is parked in quarantine
+      } else {
+        ++obs_.stale_hits_wild;  // back at the allocator; corruption of free
+                                 // metadata is possible but not re-ownable
+      }
+      return outcome_of(AccessKind::kOk, /*is_write=*/true);
+    }
+    case Owner::kReused: {
+      // The attack case: the dangling write lands in another live buffer.
+      ++obs_.stale_hits_reused;
+      const std::uint64_t addr = handle_addr(handle);
+      const std::uint64_t size = lookup.info.size;  // new owner's size
+      const std::uint64_t in_bounds =
+          offset >= size ? 0 : std::min(len, size - offset);
+      if (in_bounds > 0) {
+        std::memset(reinterpret_cast<char*>(addr) + offset, kFillByte, in_bounds);
+      }
+      return outcome_of(AccessKind::kOk, /*is_write=*/true);
+    }
+    case Owner::kLive:
+      break;
+  }
+  char* base = reinterpret_cast<char*>(handle_addr(handle));
+  const std::uint64_t size = lookup.info.size;
+  const std::uint64_t in_bounds = offset >= size ? 0 : std::min(len, size - offset);
+  if (in_bounds > 0) std::memset(base + offset, kFillByte, in_bounds);
+  if (in_bounds == len) return {};
+  // Out-of-bounds tail.
+  if ((lookup.info.mask & patch::kOverflow) != 0) {
+    ++obs_.oob_writes_blocked;  // the guard page faults the store
+    return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/true);
+  }
+  ++obs_.oob_writes_landed;  // silent adjacent-data corruption (simulated)
+  return {};
+}
+
+AccessOutcome GuardedBackend::read(std::uint64_t handle, std::uint64_t offset,
+                                   std::uint64_t len, ReadUse use) {
+  const Lookup lookup = find(handle);
+  switch (lookup.owner) {
+    case Owner::kUnknown:
+      return outcome_of(AccessKind::kWild, /*is_write=*/false);
+    case Owner::kFreed: {
+      if ((lookup.info.mask & patch::kUseAfterFree) != 0) {
+        ++obs_.stale_hits_quarantine;
+      } else {
+        ++obs_.stale_hits_wild;
+      }
+      return outcome_of(AccessKind::kOk, /*is_write=*/false);
+    }
+    case Owner::kReused: {
+      ++obs_.stale_hits_reused;  // dangling read of another object's data
+      if (use == ReadUse::kSyscall) {
+        const std::uint64_t size = lookup.info.size;
+        const std::uint64_t in_bounds =
+            offset >= size ? 0 : std::min(len, size - offset);
+        obs_.leaked_nonzero_bytes += in_bounds;  // another object's bytes escape
+      }
+      return outcome_of(AccessKind::kOk, /*is_write=*/false);
+    }
+    case Owner::kLive:
+      break;
+  }
+  const char* base = reinterpret_cast<const char*>(handle_addr(handle));
+  const std::uint64_t size = lookup.info.size;
+  const std::uint64_t in_bounds = offset >= size ? 0 : std::min(len, size - offset);
+  if (use == ReadUse::kSyscall) {
+    // Leak accounting: every byte that escapes through a syscall is either
+    // stale garbage / program data (nonzero) or the zero-fill defense.
+    for (std::uint64_t i = 0; i < in_bounds; ++i) {
+      if (base[offset + i] == 0) {
+        ++obs_.leaked_zero_bytes;
+      } else {
+        ++obs_.leaked_nonzero_bytes;
+      }
+    }
+  }
+  if (in_bounds == len) return {};
+  if ((lookup.info.mask & patch::kOverflow) != 0) {
+    ++obs_.oob_reads_blocked;
+    return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/false);
+  }
+  ++obs_.oob_reads_landed;
+  if (use == ReadUse::kSyscall) {
+    // The overread tail exposes unknown adjacent memory; count it as
+    // leaked garbage without physically touching it.
+    obs_.leaked_nonzero_bytes += len - in_bounds;
+  }
+  return {};
+}
+
+AccessOutcome GuardedBackend::copy(std::uint64_t src, std::uint64_t src_off,
+                                   std::uint64_t dst, std::uint64_t dst_off,
+                                   std::uint64_t len) {
+  const Lookup s = find(src);
+  const Lookup d = find(dst);
+  if (s.owner == Owner::kUnknown || d.owner == Owner::kUnknown) {
+    return outcome_of(AccessKind::kWild, /*is_write=*/true);
+  }
+  // Dangling endpoints route through the same accounting as read/write.
+  if (s.owner != Owner::kLive) return read(src, src_off, len, ReadUse::kData);
+  if (d.owner != Owner::kLive) return write(dst, dst_off, 0);
+
+  const std::uint64_t src_ok =
+      src_off >= s.info.size ? 0 : std::min(len, s.info.size - src_off);
+  const std::uint64_t dst_ok =
+      dst_off >= d.info.size ? 0 : std::min(len, d.info.size - dst_off);
+  const std::uint64_t effective = std::min(src_ok, dst_ok);
+  if (effective > 0) {
+    std::memmove(reinterpret_cast<char*>(handle_addr(dst)) + dst_off,
+                 reinterpret_cast<const char*>(handle_addr(src)) + src_off,
+                 effective);
+  }
+  if (effective == len) return {};
+  // The shorter side determines which violation fires first.
+  const bool src_limited = src_ok < len && src_ok <= dst_ok;
+  if (src_limited) {
+    if ((s.info.mask & patch::kOverflow) != 0) {
+      ++obs_.oob_reads_blocked;
+      return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/false);
+    }
+    ++obs_.oob_reads_landed;
+    return {};
+  }
+  if ((d.info.mask & patch::kOverflow) != 0) {
+    ++obs_.oob_writes_blocked;
+    return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/true);
+  }
+  ++obs_.oob_writes_landed;
+  return {};
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,106 @@
+// GuardedBackend: runs synthetic programs on the *real* hardened allocator
+// and records what each defense did — the observable side of Table II.
+//
+// Memory semantics are physical: in-bounds writes really store bytes,
+// in-bounds reads really load them, so an uninit-read "leak" genuinely
+// returns either stale garbage (unpatched) or the zero-fill (patched).
+// The two cases a real process could not survive are simulated at the
+// boundary instead of executed:
+//   - a store into a PROT_NONE guard page would SIGSEGV; the backend
+//     reports kBlockedByGuard instead of faulting (a fork-based death test
+//     verifies the real fault separately);
+//   - an unpatched out-of-bounds store would corrupt the process's own
+//     allocator; the backend counts it as landed without executing it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "progmodel/backend.hpp"
+#include "runtime/guarded_allocator.hpp"
+
+namespace ht::runtime {
+
+/// What the defenses (or their absence) did during a run. The Table II
+/// effectiveness harness derives attack success/failure from these.
+struct DefenseObservations {
+  // Contiguous overflow outcomes.
+  std::uint64_t oob_writes_blocked = 0;  ///< guard page stopped the store
+  std::uint64_t oob_writes_landed = 0;   ///< unpatched: adjacent data corrupted
+  std::uint64_t oob_reads_blocked = 0;
+  std::uint64_t oob_reads_landed = 0;
+  // Dangling-pointer outcomes.
+  std::uint64_t stale_hits_quarantine = 0;  ///< defused: memory not yet reused
+  std::uint64_t stale_hits_reused = 0;      ///< attack success: memory re-owned
+  std::uint64_t stale_hits_wild = 0;        ///< freed to allocator, not re-owned
+  // Information-leak accounting over syscall-use reads.
+  std::uint64_t leaked_nonzero_bytes = 0;  ///< stale/garbage bytes that escaped
+  std::uint64_t leaked_zero_bytes = 0;     ///< zero-filled bytes (defense working)
+};
+
+class GuardedBackend final : public progmodel::AllocatorBackend {
+ public:
+  explicit GuardedBackend(GuardedAllocator& allocator) : allocator_(allocator) {}
+
+  std::uint64_t allocate(progmodel::AllocFn fn, std::uint64_t size,
+                         std::uint64_t alignment, std::uint64_t ccid) override;
+  std::uint64_t reallocate(std::uint64_t addr, std::uint64_t new_size,
+                           std::uint64_t ccid) override;
+  void deallocate(std::uint64_t addr) override;
+  progmodel::AccessOutcome write(std::uint64_t addr, std::uint64_t offset,
+                                 std::uint64_t len) override;
+  progmodel::AccessOutcome read(std::uint64_t addr, std::uint64_t offset,
+                                std::uint64_t len, progmodel::ReadUse use) override;
+  progmodel::AccessOutcome copy(std::uint64_t src, std::uint64_t src_off,
+                                std::uint64_t dst, std::uint64_t dst_off,
+                                std::uint64_t len) override;
+
+  [[nodiscard]] const DefenseObservations& observations() const noexcept {
+    return obs_;
+  }
+  [[nodiscard]] GuardedAllocator& allocator() noexcept { return allocator_; }
+
+  /// The fill byte used by program writes (nonzero so stale data is
+  /// distinguishable from the zero-fill defense).
+  static constexpr std::uint8_t kFillByte = 0xA5;
+
+  /// The real memory behind a handle (handles carry a provenance tag in
+  /// their top bits and must not be dereferenced directly). Test aid.
+  [[nodiscard]] const char* memory(std::uint64_t handle) const noexcept {
+    return reinterpret_cast<const char*>(handle & ((1ULL << 48) - 1));
+  }
+
+ private:
+  struct BufferInfo {
+    std::uint64_t size = 0;
+    std::uint8_t mask = 0;  ///< applied defense mask
+    std::uint16_t gen = 0;  ///< allocation generation (pointer provenance)
+  };
+
+  /// Handles returned to programs are real addresses tagged with a 16-bit
+  /// generation in the top bits (x86-64 user VAs fit in 48). The tag is the
+  /// pointer's *provenance*: after free and reuse, the stale handle's
+  /// generation no longer matches the new owner's, which is exactly how a
+  /// dangling pointer differs from a fresh one to the same address.
+  static constexpr unsigned kGenShift = 48;
+  [[nodiscard]] static std::uint64_t make_handle(std::uint64_t addr,
+                                                 std::uint16_t gen);
+  [[nodiscard]] static std::uint64_t handle_addr(std::uint64_t handle);
+  [[nodiscard]] static std::uint16_t handle_gen(std::uint64_t handle);
+
+  enum class Owner : std::uint8_t { kLive, kFreed, kReused, kUnknown };
+  struct Lookup {
+    Owner owner = Owner::kUnknown;
+    BufferInfo info;        ///< current owner (kReused: the *new* owner)
+    BufferInfo stale_info;  ///< kReused: the dangling pointer's old identity
+  };
+  [[nodiscard]] Lookup find(std::uint64_t handle) const;
+
+  GuardedAllocator& allocator_;
+  std::unordered_map<std::uint64_t, BufferInfo> live_;   // by address
+  std::unordered_map<std::uint64_t, BufferInfo> freed_;  // by address
+  std::uint16_t generation_ = 0;
+  DefenseObservations obs_;
+};
+
+}  // namespace ht::runtime

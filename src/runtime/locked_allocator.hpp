@@ -1,0 +1,63 @@
+// LockedAllocator: a mutex-serialized facade over GuardedAllocator for
+// callers that share one allocator across threads (the preload shim's
+// strategy, packaged for library users).
+//
+// The per-thread-instance model (used by the service workload) scales
+// better; this wrapper exists for host programs whose allocation flows
+// cannot be partitioned per thread. The lock is recursive because
+// quarantine bookkeeping inside the allocator may allocate and re-enter.
+#pragma once
+
+#include <mutex>
+
+#include "runtime/guarded_allocator.hpp"
+
+namespace ht::runtime {
+
+class LockedAllocator {
+ public:
+  explicit LockedAllocator(const patch::PatchTable* patches = nullptr,
+                           GuardedAllocatorConfig config = {},
+                           UnderlyingAllocator underlying = process_allocator())
+      : inner_(patches, config, underlying) {}
+
+  [[nodiscard]] void* malloc(std::uint64_t size, std::uint64_t ccid) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.malloc(size, ccid);
+  }
+  [[nodiscard]] void* calloc(std::uint64_t count, std::uint64_t size,
+                             std::uint64_t ccid) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.calloc(count, size, ccid);
+  }
+  [[nodiscard]] void* memalign(std::uint64_t alignment, std::uint64_t size,
+                               std::uint64_t ccid) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.memalign(alignment, size, ccid);
+  }
+  [[nodiscard]] void* aligned_alloc(std::uint64_t alignment, std::uint64_t size,
+                                    std::uint64_t ccid) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.aligned_alloc(alignment, size, ccid);
+  }
+  [[nodiscard]] void* realloc(void* p, std::uint64_t new_size, std::uint64_t ccid) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.realloc(p, new_size, ccid);
+  }
+  void free(void* p) {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    inner_.free(p);
+  }
+
+  /// Snapshot of the inner stats (copied under the lock).
+  [[nodiscard]] AllocatorStats stats_snapshot() const {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.stats();
+  }
+
+ private:
+  mutable std::recursive_mutex mutex_;
+  GuardedAllocator inner_;
+};
+
+}  // namespace ht::runtime

@@ -1,0 +1,98 @@
+#include "runtime/metadata.hpp"
+
+namespace ht::runtime {
+
+namespace {
+constexpr std::uint64_t kVulnMaskBits = 0x7;
+constexpr std::uint64_t kAlignedBit = 1ULL << 3;
+// Guarded layout.
+constexpr unsigned kGuardFrameShift = 4;
+constexpr std::uint64_t kGuardFrameMask = (1ULL << 36) - 1;
+constexpr unsigned kGuardAlignShift = 40;
+// Plain layout.
+constexpr unsigned kSizeShift = 4;
+constexpr std::uint64_t kSizeMask = (1ULL << 48) - 1;
+constexpr unsigned kPlainAlignShift = 52;
+constexpr std::uint64_t kAlignMask = 0x3f;
+constexpr std::uint64_t kCanaryBit = 1ULL << 58;
+}  // namespace
+
+std::uint64_t encode_metadata(const MetadataWord& m) {
+  if (m.vuln_mask > kVulnMaskBits) {
+    throw std::invalid_argument("metadata: vuln mask exceeds 3 bits");
+  }
+  if (m.align_log2 > kAlignMask) {
+    throw std::invalid_argument("metadata: alignment exponent exceeds 6 bits");
+  }
+  std::uint64_t word = m.vuln_mask;
+  if (m.aligned) word |= kAlignedBit;
+
+  if (m.has_guard()) {
+    if (m.guard_page_addr % kPageSize != 0) {
+      throw std::invalid_argument("metadata: guard page address not page aligned");
+    }
+    const std::uint64_t frame = m.guard_page_addr / kPageSize;
+    if (frame > kGuardFrameMask) {
+      throw std::invalid_argument("metadata: guard page beyond 48-bit VA space");
+    }
+    word |= frame << kGuardFrameShift;
+    word |= static_cast<std::uint64_t>(m.align_log2) << kGuardAlignShift;
+  } else {
+    if (m.user_size > kSizeMask) {
+      throw std::invalid_argument("metadata: user size exceeds 48 bits");
+    }
+    word |= m.user_size << kSizeShift;
+    word |= static_cast<std::uint64_t>(m.align_log2) << kPlainAlignShift;
+    if (m.canary) word |= kCanaryBit;
+  }
+  return word;
+}
+
+MetadataWord decode_metadata(std::uint64_t word) noexcept {
+  MetadataWord m;
+  m.vuln_mask = static_cast<std::uint8_t>(word & kVulnMaskBits);
+  m.aligned = (word & kAlignedBit) != 0;
+  if (m.has_guard()) {
+    m.guard_page_addr = ((word >> kGuardFrameShift) & kGuardFrameMask) * kPageSize;
+    m.align_log2 = static_cast<std::uint8_t>((word >> kGuardAlignShift) & kAlignMask);
+  } else {
+    m.user_size = (word >> kSizeShift) & kSizeMask;
+    m.align_log2 = static_cast<std::uint8_t>((word >> kPlainAlignShift) & kAlignMask);
+    m.canary = (word & kCanaryBit) != 0;
+  }
+  return m;
+}
+
+std::uint64_t normalize_alignment(std::uint64_t alignment) noexcept {
+  if (alignment <= 16) return 0;  // plain structures already give 16
+  std::uint64_t pow2 = 16;
+  while (pow2 < alignment) pow2 <<= 1;
+  return pow2;
+}
+
+BufferLayout compute_layout(std::uint64_t size, std::uint64_t alignment, bool guard,
+                            bool canary) {
+  BufferLayout layout;
+  layout.guarded = guard;
+  const std::uint64_t align = normalize_alignment(alignment);
+  if (align == 0) {
+    // Structures 1 / 2: a 16-byte header keeps the user pointer 16-aligned.
+    layout.user_offset = kPlainHeader;
+    layout.raw_alignment = 0;
+  } else {
+    // Structures 3 / 4: the header is the padding field of size A; the
+    // underlying allocation is A-aligned so user = raw + A is too.
+    layout.user_offset = align;
+    layout.raw_alignment = align;
+  }
+  layout.raw_size = layout.user_offset + size;
+  if (canary && !guard) layout.raw_size += sizeof(std::uint64_t);
+  if (guard) {
+    // Padding up to the next page boundary (worst case kPageSize-1) plus
+    // the guard page itself; see file comment for the bound argument.
+    layout.raw_size += (kPageSize - 1) + kPageSize;
+  }
+  return layout;
+}
+
+}  // namespace ht::runtime

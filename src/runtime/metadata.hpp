@@ -1,0 +1,98 @@
+// The per-buffer metadata word and buffer layouts (§VI, Fig. 6).
+//
+// HeapTherapy+ maintains its own heap metadata so the defense never touches
+// allocator internals. Every buffer carries one 64-bit metadata word placed
+// immediately before the user pointer. Bit layout (paper Fig. 6):
+//
+//   bit 0        OVERFLOW   (guard page present)
+//   bit 1        UAF        (defer reuse on free)
+//   bit 2        UNINIT     (buffer was zero-filled)
+//   bit 3        ALIGNED    (memalign-family allocation)
+//   guarded buffers  (OVERFLOW set — Structures 2 and 4):
+//     bits 4..39   guard-page frame number (48-bit VA, 4 KiB pages -> 36 bits)
+//     bits 40..45  log2(alignment)         (0 when not ALIGNED)
+//     user size lives in the first word of the guard page
+//   plain buffers    (Structures 1 and 3):
+//     bits 4..51   user buffer size (48 bits)
+//     bits 52..57  log2(alignment)
+//     bit  58      canary planted after the user buffer (extension)
+//
+// Buffer layouts:
+//   Structure 1:  [hdr 16B | user]                                (plain)
+//   Structure 2:  [hdr 16B | user | pad | guard page 4K]          (overflow)
+//   Structure 3:  [pad A-8 | meta | user(A-aligned)]              (aligned)
+//   Structure 4:  [pad A-8 | meta | user | pad | guard page 4K]   (both)
+// The metadata word always sits at (user - 8). The 16-byte header of the
+// non-aligned structures keeps the user pointer 16-byte aligned, matching
+// glibc's malloc contract.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ht::runtime {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr std::uint64_t kPlainHeader = 16;
+inline constexpr std::uint64_t kMaxPlainSize = (1ULL << 48) - 1;
+
+/// Decoded form of the metadata word.
+struct MetadataWord {
+  std::uint8_t vuln_mask = 0;   ///< patch::VulnBits (3 bits)
+  bool aligned = false;
+  std::uint8_t align_log2 = 0;  ///< log2(alignment); 0 when !aligned
+  /// User size; authoritative only for non-guarded buffers (guarded buffers
+  /// store the size in the guard page's first word).
+  std::uint64_t user_size = 0;
+  /// Guard page address; authoritative only for guarded buffers.
+  std::uint64_t guard_page_addr = 0;
+  /// Extension: a canary word follows the user buffer (plain layouts only).
+  bool canary = false;
+
+  [[nodiscard]] bool has_guard() const noexcept { return vuln_mask & 1u; }
+};
+
+/// Encodes; throws std::invalid_argument when a field exceeds its bit budget
+/// (size >= 2^48, guard address >= 2^48 or unaligned, align_log2 >= 64).
+[[nodiscard]] std::uint64_t encode_metadata(const MetadataWord& m);
+
+/// Exact inverse of encode_metadata for valid words.
+[[nodiscard]] MetadataWord decode_metadata(std::uint64_t word) noexcept;
+
+/// How much raw memory to request and where the user region lives.
+struct BufferLayout {
+  std::uint64_t raw_size = 0;       ///< bytes to request from the allocator
+  std::uint64_t raw_alignment = 0;  ///< 0 = plain malloc; else memalign
+  std::uint64_t user_offset = 0;    ///< user pointer = raw + user_offset
+  bool guarded = false;
+};
+
+/// Computes the layout for an allocation of `size` bytes. `alignment` == 0
+/// requests a plain buffer; otherwise it must be a power of two (>= 16
+/// after normalization). `guard` appends a guard page (Structures 2/4);
+/// `canary` reserves a trailing canary word (mutually exclusive with guard).
+[[nodiscard]] BufferLayout compute_layout(std::uint64_t size, std::uint64_t alignment,
+                                          bool guard, bool canary = false);
+
+/// First page boundary at or after the end of the user buffer — where the
+/// guard page is placed.
+[[nodiscard]] constexpr std::uint64_t guard_page_address(std::uint64_t user_addr,
+                                                         std::uint64_t size) noexcept {
+  return (user_addr + size + kPageSize - 1) / kPageSize * kPageSize;
+}
+
+/// Normalizes a requested alignment: powers of two below 16 are served by
+/// the plain (non-aligned) structures; larger values round up to the next
+/// power of two.
+[[nodiscard]] std::uint64_t normalize_alignment(std::uint64_t alignment) noexcept;
+
+[[nodiscard]] constexpr std::uint8_t log2_u64(std::uint64_t pow2) noexcept {
+  std::uint8_t n = 0;
+  while (pow2 > 1) {
+    pow2 >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,205 @@
+// heaptherapy_preload: the deployable interposition library (§VI-VII).
+//
+// Build product: libheaptherapy_preload.so. Loaded before libc (via
+// LD_PRELOAD or LDLIBS), its exported malloc family shadows libc's, so every
+// allocation in the host process flows through a global GuardedAllocator.
+//
+//  - Patches are read from the file named by $HEAPTHERAPY_CONFIG in a
+//    constructor function, into a table whose pages are then frozen
+//    read-only (§VI).
+//  - The current CCID is the thread-local `ht_cc_current`, exported with C
+//    linkage; the instrumentation pass (our progmodel interpreter stands in
+//    for it; a real LLVM pass would emit the same symbol) keeps it updated.
+//  - The real allocation work is delegated to glibc's __libc_* entry points
+//    — calling std::malloc here would recurse into ourselves.
+//
+// Internal allocations made by this library (quarantine bookkeeping) do go
+// through the interposed malloc; they take the unpatched fast path and
+// terminate, so the recursion is depth-one and benign.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <climits>
+#include <cstring>
+#include <mutex>
+#include <new>
+
+#include "patch/config_file.hpp"
+#include "patch/patch_table.hpp"
+#include "runtime/guarded_allocator.hpp"
+
+// glibc's real entry points.
+extern "C" {
+void* __libc_malloc(size_t);
+void __libc_free(void*);
+void* __libc_realloc(void*, size_t);
+void* __libc_memalign(size_t, size_t);
+
+/// The calling-context register maintained by instrumented code.
+__thread std::uint64_t ht_cc_current = 0;
+}
+
+namespace {
+
+using ht::patch::PatchTable;
+using ht::runtime::GuardedAllocator;
+using ht::runtime::GuardedAllocatorConfig;
+using ht::runtime::UnderlyingAllocator;
+
+// Recursive: quarantine bookkeeping inside the allocator may allocate,
+// re-entering the interposed malloc on the same thread.
+std::recursive_mutex& allocator_mutex() {
+  static std::recursive_mutex m;
+  return m;
+}
+
+UnderlyingAllocator libc_allocator() {
+  UnderlyingAllocator u;
+  u.malloc_fn = &__libc_malloc;
+  u.free_fn = &__libc_free;
+  u.realloc_fn = &__libc_realloc;
+  u.memalign_fn = &__libc_memalign;
+  return u;
+}
+
+// Storage with trivial destruction: the allocator must survive until the
+// very last free in the process, so it is constructed in-place and never
+// destroyed (static-destruction-order fiasco avoidance).
+alignas(PatchTable) unsigned char table_storage[sizeof(PatchTable)];
+alignas(GuardedAllocator) unsigned char allocator_storage[sizeof(GuardedAllocator)];
+PatchTable* g_table = nullptr;
+GuardedAllocator* g_allocator = nullptr;
+// True while the global allocator (or its replacement during init) is being
+// constructed. The constructors themselves allocate (quarantine
+// bookkeeping), and those allocations re-enter the interposed malloc; they
+// must fall straight through to libc or the bootstrap recurses forever.
+bool g_constructing = false;
+
+GuardedAllocator& allocator() {
+  if (g_allocator == nullptr) {
+    // First call can arrive before the constructor function runs (the
+    // dynamic loader allocates); bootstrap with an empty table.
+    g_constructing = true;
+    std::vector<ht::patch::Patch> none;
+    g_table = new (table_storage) PatchTable(none, /*freeze=*/true);
+    g_allocator =
+        new (allocator_storage) GuardedAllocator(g_table, {}, libc_allocator());
+    g_constructing = false;
+  }
+  return *g_allocator;
+}
+
+__attribute__((constructor)) void heaptherapy_init() {
+  const char* path = std::getenv("HEAPTHERAPY_CONFIG");
+  std::vector<ht::patch::Patch> patches;
+  if (path != nullptr) {
+    if (const auto loaded = ht::patch::load_config_file(path)) {
+      patches = loaded->patches;
+      for (const std::string& err : loaded->errors) {
+        std::fprintf(stderr, "heaptherapy: config %s: %s\n", path, err.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "heaptherapy: cannot read config %s\n", path);
+    }
+  }
+  GuardedAllocatorConfig config;
+  if (const char* quota = std::getenv("HEAPTHERAPY_QUARANTINE")) {
+    config.quarantine_quota_bytes = std::strtoull(quota, nullptr, 10);
+  }
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  // Rebuilding over a bootstrapped instance intentionally leaks its (tiny)
+  // internal state; outstanding buffers keep working because the header
+  // tags and layouts are instance-independent.
+  g_constructing = true;
+  g_table = new (table_storage) PatchTable(patches, /*freeze=*/true);
+  g_allocator =
+      new (allocator_storage) GuardedAllocator(g_table, config, libc_allocator());
+  g_constructing = false;
+}
+
+}  // namespace
+
+extern "C" {
+
+void* malloc(size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_malloc(size);
+  return allocator().malloc(size, ht_cc_current);
+}
+
+void* calloc(size_t count, size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) {
+    void* p = (size != 0 && count > SIZE_MAX / size) ? nullptr
+                                                     : __libc_malloc(count * size);
+    if (p != nullptr) std::memset(p, 0, count * size);
+    return p;
+  }
+  return allocator().calloc(count, size, ht_cc_current);
+}
+
+void* realloc(void* p, size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_realloc(p, size);
+  return allocator().realloc(p, size, ht_cc_current);
+}
+
+void* memalign(size_t alignment, size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_memalign(alignment, size);
+  return allocator().memalign(alignment, size, ht_cc_current);
+}
+
+void* aligned_alloc(size_t alignment, size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_memalign(alignment, size);
+  return allocator().aligned_alloc(alignment, size, ht_cc_current);
+}
+
+int posix_memalign(void** out, size_t alignment, size_t size) {
+  // glibc declares `out` nonnull, but a defensive shim verifies anyway;
+  // read through a volatile copy so the check is not "optimized" into a
+  // -Wnonnull-compare warning.
+  void** volatile out_checked = out;
+  if (out_checked == nullptr || alignment % sizeof(void*) != 0 ||
+      (alignment & (alignment - 1)) != 0) {
+    return 22;  // EINVAL
+  }
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  void* p = allocator().memalign(alignment, size, ht_cc_current);
+  if (p == nullptr) return 12;  // ENOMEM
+  *out = p;
+  return 0;
+}
+
+void* valloc(size_t size) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_memalign(4096, size);
+  return allocator().memalign(4096, size, ht_cc_current);
+}
+
+void* pvalloc(size_t size) {
+  const size_t rounded = (size + 4095) / 4096 * 4096;
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_memalign(4096, rounded);
+  return allocator().memalign(4096, rounded, ht_cc_current);
+}
+
+void* reallocarray(void* p, size_t count, size_t size) {
+  if (size != 0 && count > SIZE_MAX / size) return nullptr;
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) return __libc_realloc(p, count * size);
+  return allocator().realloc(p, count * size, ht_cc_current);
+}
+
+void free(void* p) {
+  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  if (g_constructing) {
+    // Only construction-phase (untagged) allocations can be freed here.
+    if (p != nullptr) __libc_free(p);
+    return;
+  }
+  allocator().free(p);
+}
+
+}  // extern "C"

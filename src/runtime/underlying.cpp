@@ -1,0 +1,27 @@
+#include "runtime/underlying.hpp"
+
+#include <cstdlib>
+
+namespace ht::runtime {
+
+namespace {
+
+void* process_memalign(std::size_t alignment, std::size_t size) {
+  void* out = nullptr;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  if (::posix_memalign(&out, alignment, size) != 0) return nullptr;
+  return out;
+}
+
+}  // namespace
+
+UnderlyingAllocator process_allocator() noexcept {
+  UnderlyingAllocator u;
+  u.malloc_fn = &std::malloc;
+  u.free_fn = &std::free;
+  u.realloc_fn = &std::realloc;
+  u.memalign_fn = &process_memalign;
+  return u;
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,29 @@
+// The underlying allocator seam (§VI / §VII).
+//
+// HeapTherapy+ sits *in front of* whatever allocator the process uses and
+// calls its real entry points for the actual memory: "Our implementation of
+// malloc and free, in addition to enforcing the protection, invokes libc
+// APIs to perform the real allocation/deallocation." This struct is that
+// seam: the in-process library binds it to std::malloc and friends, while
+// the LD_PRELOAD shim binds it to glibc's __libc_* symbols (our exported
+// malloc shadows the libc one there, so calling std::malloc would recurse).
+#pragma once
+
+#include <cstddef>
+
+namespace ht::runtime {
+
+struct UnderlyingAllocator {
+  void* (*malloc_fn)(std::size_t) = nullptr;
+  void (*free_fn)(void*) = nullptr;
+  void* (*realloc_fn)(void*, std::size_t) = nullptr;
+  /// posix_memalign-style aligned allocation (alignment a power of two and
+  /// a multiple of sizeof(void*)).
+  void* (*memalign_fn)(std::size_t alignment, std::size_t size) = nullptr;
+};
+
+/// Bound to the process allocator via std:: entry points. Safe everywhere
+/// except inside the preload shim.
+[[nodiscard]] UnderlyingAllocator process_allocator() noexcept;
+
+}  // namespace ht::runtime

@@ -1,0 +1,89 @@
+#include "shadow/shadow_memory.hpp"
+
+namespace ht::shadow {
+
+namespace {
+constexpr std::uint64_t page_base(std::uint64_t addr) noexcept {
+  return addr & ~(ShadowMemory::kPageSize - 1);
+}
+constexpr std::uint64_t page_offset(std::uint64_t addr) noexcept {
+  return addr & (ShadowMemory::kPageSize - 1);
+}
+}  // namespace
+
+ShadowMemory::Page* ShadowMemory::find_page(std::uint64_t addr) const noexcept {
+  const auto it = pages_.find(page_base(addr));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+ShadowMemory::Page& ShadowMemory::ensure_page(std::uint64_t addr) {
+  auto& slot = pages_[page_base(addr)];
+  if (!slot) slot = std::make_unique<Page>();
+  return *slot;
+}
+
+bool ShadowMemory::accessible(std::uint64_t addr) const noexcept {
+  const Page* page = find_page(addr);
+  if (page == nullptr) return false;
+  const std::uint64_t off = page_offset(addr);
+  return (page->abits[off / 8] >> (off % 8)) & 1;
+}
+
+std::uint8_t ShadowMemory::vbits(std::uint64_t addr) const noexcept {
+  const Page* page = find_page(addr);
+  return page == nullptr ? 0 : page->vbits[page_offset(addr)];
+}
+
+OriginId ShadowMemory::origin(std::uint64_t addr) const noexcept {
+  const Page* page = find_page(addr);
+  return page == nullptr ? kNoOrigin : page->origins[page_offset(addr)];
+}
+
+void ShadowMemory::set_accessible(std::uint64_t addr, std::uint64_t len, bool value) {
+  for (std::uint64_t a = addr; a < addr + len; ++a) {
+    Page& page = ensure_page(a);
+    const std::uint64_t off = page_offset(a);
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << (off % 8));
+    if (value) {
+      page.abits[off / 8] |= bit;
+    } else {
+      page.abits[off / 8] &= static_cast<std::uint8_t>(~bit);
+    }
+  }
+}
+
+void ShadowMemory::set_valid(std::uint64_t addr, std::uint64_t len, bool value) {
+  const std::uint8_t bits = value ? 0xff : 0x00;
+  for (std::uint64_t a = addr; a < addr + len; ++a) {
+    ensure_page(a).vbits[page_offset(a)] = bits;
+  }
+}
+
+void ShadowMemory::set_vbits(std::uint64_t addr, std::uint8_t bits) {
+  ensure_page(addr).vbits[page_offset(addr)] = bits;
+}
+
+void ShadowMemory::set_origin(std::uint64_t addr, std::uint64_t len, OriginId origin) {
+  for (std::uint64_t a = addr; a < addr + len; ++a) {
+    ensure_page(a).origins[page_offset(a)] = origin;
+  }
+}
+
+void ShadowMemory::copy_shadow(std::uint64_t src, std::uint64_t dst,
+                               std::uint64_t len) {
+  for (std::uint64_t i = 0; i < len; ++i) {
+    Page& dpage = ensure_page(dst + i);
+    const std::uint64_t doff = page_offset(dst + i);
+    const Page* spage = find_page(src + i);
+    if (spage == nullptr) {
+      dpage.vbits[doff] = 0;
+      dpage.origins[doff] = kNoOrigin;
+    } else {
+      const std::uint64_t soff = page_offset(src + i);
+      dpage.vbits[doff] = spage->vbits[soff];
+      dpage.origins[doff] = spage->origins[soff];
+    }
+  }
+}
+
+}  // namespace ht::shadow

@@ -1,0 +1,67 @@
+// Shadow memory: per-byte Accessibility bits, per-bit Validity bits, and
+// per-byte origin tags over a simulated 64-bit address space.
+//
+// This is the reproduction's Memcheck-equivalent (§V, Fig. 3):
+//  - the A-bit says whether a byte may be touched at all (red zones and
+//    freed memory are inaccessible);
+//  - the V-bits say, bit-precisely, whether the byte holds initialized
+//    data (so overlapping struct padding can stay invalid while its
+//    neighbours are valid);
+//  - the origin tag names the heap buffer whose allocation produced the
+//    (in)validity, so an uninitialized-read warning can be traced back to
+//    its vulnerable buffer ("origin tracking").
+//
+// Storage is paged and demand-allocated: untouched address space costs
+// nothing, mirroring how Valgrind shadows sparse layouts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace ht::shadow {
+
+/// Identifies the buffer that owns a byte's validity history. 0 = none.
+using OriginId = std::uint32_t;
+inline constexpr OriginId kNoOrigin = 0;
+
+class ShadowMemory {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// Per-byte queries. Unmapped shadow reads as inaccessible / invalid.
+  [[nodiscard]] bool accessible(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint8_t vbits(std::uint64_t addr) const noexcept;
+  [[nodiscard]] bool fully_valid(std::uint64_t addr) const noexcept {
+    return vbits(addr) == 0xff;
+  }
+  [[nodiscard]] OriginId origin(std::uint64_t addr) const noexcept;
+
+  /// Range updates (len may span pages).
+  void set_accessible(std::uint64_t addr, std::uint64_t len, bool value);
+  void set_valid(std::uint64_t addr, std::uint64_t len, bool value);
+  void set_vbits(std::uint64_t addr, std::uint8_t bits);
+  void set_origin(std::uint64_t addr, std::uint64_t len, OriginId origin);
+
+  /// Copies validity bits *and* origin tags — the V-bit propagation that
+  /// runs on every data move (§V). Ranges must not overlap.
+  void copy_shadow(std::uint64_t src, std::uint64_t dst, std::uint64_t len);
+
+  /// Number of shadow pages materialized (for memory accounting tests).
+  [[nodiscard]] std::size_t mapped_pages() const noexcept { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::array<std::uint8_t, kPageSize> vbits{};   // 0 = invalid
+    std::array<std::uint8_t, kPageSize / 8> abits{};  // bitmask, 0 = inaccessible
+    std::array<OriginId, kPageSize> origins{};
+  };
+
+  [[nodiscard]] Page* find_page(std::uint64_t addr) const noexcept;
+  Page& ensure_page(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace ht::shadow

@@ -1,0 +1,267 @@
+#include "shadow/sim_heap.hpp"
+
+#include <algorithm>
+
+namespace ht::shadow {
+
+using progmodel::AccessKind;
+using progmodel::AccessOutcome;
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+namespace {
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
+  return alignment <= 1 ? value : (value + alignment - 1) / alignment * alignment;
+}
+}  // namespace
+
+SimHeap::SimHeap(SimHeapConfig config) : config_(config), cursor_(config.base_address) {}
+
+std::uint64_t SimHeap::allocate(AllocFn fn, std::uint64_t size,
+                                std::uint64_t alignment, std::uint64_t ccid) {
+  // Refuse requests that could not exist in a 48-bit VA space (and would
+  // wrap the simulated cursor): the backend contract is 0 on failure.
+  constexpr std::uint64_t kVaLimit = 1ULL << 48;
+  if (size >= kVaLimit || alignment >= kVaLimit || cursor_ >= kVaLimit ||
+      size + 2 * config_.redzone_bytes + alignment >= kVaLimit - cursor_) {
+    return 0;
+  }
+  // Minimum 16-byte alignment mirrors glibc; memalign honors the request.
+  const std::uint64_t align = std::max<std::uint64_t>(alignment, 16);
+  const std::uint64_t user = align_up(cursor_ + config_.redzone_bytes, align);
+  const std::uint64_t region_start = user - config_.redzone_bytes;
+  const std::uint64_t region_end = user + size + config_.redzone_bytes;
+  cursor_ = region_end;
+
+  BufferRecord rec;
+  rec.id = static_cast<OriginId>(records_.size() + 1);
+  rec.user_addr = user;
+  rec.size = size;
+  rec.alignment = alignment;
+  rec.ccid = ccid;
+  rec.fn = fn;
+  rec.state = BufferRecord::State::kLive;
+  rec.region_start = region_start;
+  rec.region_end = region_end;
+  records_.push_back(rec);
+  by_region_[region_start] = rec.id;
+
+  // User bytes: accessible; calloc returns zeroed (valid) memory, every
+  // other API returns uninitialized (invalid) memory. Red zones stay
+  // inaccessible (the shadow default).
+  shadow_.set_accessible(user, size, true);
+  shadow_.set_valid(user, size, fn == AllocFn::kCalloc);
+  shadow_.set_origin(user, size, rec.id);
+  live_bytes_ += size;
+  return user;
+}
+
+std::uint64_t SimHeap::reallocate(std::uint64_t addr, std::uint64_t new_size,
+                                  std::uint64_t ccid) {
+  if (addr == 0) return allocate(AllocFn::kRealloc, new_size, 0, ccid);
+  const BufferRecord* old_rec = record_for_user_addr(addr);
+  if (old_rec == nullptr || old_rec->state != BufferRecord::State::kLive) {
+    ++invalid_frees_;  // realloc of a bad pointer is an invalid free
+    return 0;
+  }
+  const OriginId old_id = old_rec->id;
+  const std::uint64_t old_size = old_rec->size;
+  const std::uint64_t old_user = old_rec->user_addr;
+
+  // New buffer tagged with the realloc-time CCID (§V: "the allocation-time
+  // CCID associated with the buffer is also updated upon realloc").
+  const std::uint64_t new_user = allocate(AllocFn::kRealloc, new_size, 0, ccid);
+
+  // Preserve content state: V-bits and origins move with the data. If the
+  // buffer grew, the added region stays accessible-but-invalid; if it
+  // shrank, the cut-off region simply is not copied (it became
+  // inaccessible along with the old buffer).
+  shadow_.copy_shadow(old_user, new_user, std::min(old_size, new_size));
+
+  // Retire the old buffer through the free path (quarantined like free()).
+  deallocate(old_user);
+  (void)old_id;
+  return new_user;
+}
+
+void SimHeap::deallocate(std::uint64_t addr) {
+  if (addr == 0) return;  // free(NULL) is a no-op
+  const BufferRecord* rec_ptr = record_for_user_addr(addr);
+  if (rec_ptr == nullptr || rec_ptr->state != BufferRecord::State::kLive) {
+    ++invalid_frees_;  // double free or wild free
+    return;
+  }
+  BufferRecord& rec = records_[rec_ptr->id - 1];
+  rec.state = BufferRecord::State::kQuarantined;
+  shadow_.set_accessible(rec.user_addr, rec.size, false);
+  live_bytes_ -= rec.size;
+  if (config_.quarantine_filter && !config_.quarantine_filter(rec.ccid)) {
+    // Outside this execution's CCID subspace (§IX): release immediately.
+    rec.state = BufferRecord::State::kReleased;
+    by_region_.erase(rec.region_start);
+    return;
+  }
+  quarantine_.push_back(rec.id);
+  quarantine_bytes_ += rec.size;
+  while (quarantine_bytes_ > config_.quarantine_quota_bytes && !quarantine_.empty()) {
+    release_oldest_quarantined();
+  }
+}
+
+void SimHeap::release_oldest_quarantined() {
+  const OriginId id = quarantine_.front();
+  quarantine_.pop_front();
+  BufferRecord& rec = records_[id - 1];
+  rec.state = BufferRecord::State::kReleased;
+  quarantine_bytes_ -= rec.size;
+  // Released regions leave the ownership map: subsequent accesses are wild
+  // (undetectable), exactly the quota limitation §IX discusses.
+  by_region_.erase(rec.region_start);
+}
+
+SimHeap::ByteClass SimHeap::classify(std::uint64_t addr) const {
+  ByteClass out;
+  auto it = by_region_.upper_bound(addr);
+  if (it == by_region_.begin()) return out;
+  --it;
+  const BufferRecord& rec = records_[it->second - 1];
+  if (addr >= rec.region_end) return out;  // in the gap past this region
+  out.owner = &rec;
+  out.in_user_region = addr >= rec.user_addr && addr < rec.user_addr + rec.size;
+  return out;
+}
+
+AccessOutcome SimHeap::violation(AccessKind kind, bool is_write,
+                                 const BufferRecord* victim) const {
+  AccessOutcome out;
+  out.kind = kind;
+  out.is_write = is_write;
+  if (victim != nullptr) {
+    out.victim_ccid = victim->ccid;
+    out.victim_fn = victim->fn;
+  }
+  return out;
+}
+
+SimHeap::AccessScan SimHeap::scan_accessible(std::uint64_t addr, std::uint64_t len,
+                                             bool is_write) {
+  AccessScan scan;
+  scan.accessible_len = len;
+  for (std::uint64_t a = addr; a < addr + len; ++a) {
+    if (shadow_.accessible(a)) continue;
+    scan.accessible_len = a - addr;
+    const ByteClass byte = classify(a);
+    if (byte.owner == nullptr) {
+      scan.outcome = violation(AccessKind::kWild, is_write, nullptr);
+    } else if (byte.owner->state != BufferRecord::State::kLive) {
+      scan.outcome = violation(AccessKind::kUseAfterFree, is_write, byte.owner);
+    } else {
+      // Live buffer but inaccessible byte: a red zone (or a realloc cut-off
+      // region) — a contiguous overflow / overread.
+      scan.outcome = violation(AccessKind::kOverflow, is_write, byte.owner);
+    }
+    return scan;
+  }
+  return scan;
+}
+
+std::vector<AccessOutcome> SimHeap::drain_pending_violations() {
+  return std::move(pending_);
+}
+
+AccessOutcome SimHeap::finish(std::vector<AccessOutcome> violations) {
+  if (violations.empty()) return {};
+  AccessOutcome primary = violations.front();
+  pending_.assign(violations.begin() + 1, violations.end());
+  return primary;
+}
+
+AccessOutcome SimHeap::write(std::uint64_t addr, std::uint64_t offset,
+                             std::uint64_t len) {
+  const std::uint64_t start = addr + offset;
+  const AccessScan scan = scan_accessible(start, len, /*is_write=*/true);
+  // The accessible prefix is written regardless of a trailing violation —
+  // Valgrind warns but lets the store proceed. Writes make bytes valid; the
+  // writing buffer becomes their origin.
+  if (scan.accessible_len > 0) {
+    const ByteClass first = classify(start);
+    shadow_.set_valid(start, scan.accessible_len, true);
+    if (first.owner != nullptr) {
+      shadow_.set_origin(start, scan.accessible_len, first.owner->id);
+    }
+  }
+  return scan.outcome;
+}
+
+AccessOutcome SimHeap::read(std::uint64_t addr, std::uint64_t offset,
+                            std::uint64_t len, ReadUse use) {
+  const std::uint64_t start = addr + offset;
+  const AccessScan scan = scan_accessible(start, len, /*is_write=*/false);
+  std::vector<AccessOutcome> found;
+
+  // Checked use: bit-precise validity scan with origin tracking over the
+  // accessible prefix. This runs even when the tail overflows, so one
+  // oversized read can report uninit-read *and* overread (Heartbleed).
+  if (use != ReadUse::kData) {  // kData: propagation-only use, never warns (§V)
+    for (std::uint64_t a = start; a < start + scan.accessible_len; ++a) {
+      if (shadow_.vbits(a) == 0xff) continue;
+      const OriginId origin = shadow_.origin(a);
+      const BufferRecord* victim =
+          origin == kNoOrigin ? nullptr : &records_[origin - 1];
+      found.push_back(violation(AccessKind::kUninitRead, /*is_write=*/false, victim));
+      // Chained-warning suppression: "once the V bits for a value have been
+      // checked, they are then set to valid" (§V).
+      shadow_.set_valid(start, scan.accessible_len, true);
+      break;
+    }
+  }
+  if (!scan.outcome.ok()) found.push_back(scan.outcome);
+  return finish(std::move(found));
+}
+
+AccessOutcome SimHeap::copy(std::uint64_t src, std::uint64_t src_off,
+                            std::uint64_t dst, std::uint64_t dst_off,
+                            std::uint64_t len) {
+  const std::uint64_t s = src + src_off;
+  const std::uint64_t d = dst + dst_off;
+  // A copy is a data-use read plus a write: accessibility is enforced on
+  // both sides, validity is propagated rather than checked. The mutually
+  // accessible prefix is transferred even when a violation follows.
+  AccessScan src_scan = scan_accessible(s, len, /*is_write=*/false);
+  AccessScan dst_scan = scan_accessible(d, len, /*is_write=*/true);
+  const std::uint64_t effective =
+      std::min(src_scan.accessible_len, dst_scan.accessible_len);
+  if (effective > 0) shadow_.copy_shadow(s, d, effective);
+  std::vector<AccessOutcome> found;
+  if (!src_scan.outcome.ok()) found.push_back(src_scan.outcome);
+  if (!dst_scan.outcome.ok()) found.push_back(dst_scan.outcome);
+  return finish(std::move(found));
+}
+
+const BufferRecord* SimHeap::record_for_user_addr(std::uint64_t addr) const {
+  const ByteClass byte = classify(addr);
+  if (byte.owner == nullptr || byte.owner->user_addr != addr) return nullptr;
+  return byte.owner;
+}
+
+SimHeap::LeakReport SimHeap::leak_report() const {
+  LeakReport report;
+  for (const BufferRecord& rec : records_) {
+    if (rec.state != BufferRecord::State::kLive) continue;
+    report.leaks.push_back(LeakReport::Leak{rec.id, rec.size, rec.ccid, rec.fn});
+    report.total_bytes += rec.size;
+  }
+  std::sort(report.leaks.begin(), report.leaks.end(),
+            [](const LeakReport::Leak& a, const LeakReport::Leak& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.id < b.id;
+            });
+  return report;
+}
+
+const BufferRecord* SimHeap::record(OriginId id) const {
+  if (id == kNoOrigin || id > records_.size()) return nullptr;
+  return &records_[id - 1];
+}
+
+}  // namespace ht::shadow

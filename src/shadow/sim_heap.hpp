@@ -1,0 +1,139 @@
+// SimHeap: the offline analysis heap — a simulated address space with
+// shadow-memory detection semantics (§V).
+//
+// Layout per allocation (paper Fig. 3): a 16-byte red zone on each side of
+// the user buffer, marked inaccessible, so any contiguous over-write or
+// over-read lands in a red zone and is detected. Freed buffers become
+// inaccessible and enter a FIFO queue of freed blocks (default quota 2 GB)
+// so dangling accesses are detected until the quota forces reuse.
+// Every buffer is tagged with its allocation-time CCID, which is how a
+// warning is converted into a {FUN, CCID, T} patch.
+//
+// Addresses are simulated (never dereferenced): a bump allocator hands out
+// disjoint regions, so "memory" exists only as shadow state. That is all
+// the offline phase needs — it reasons about validity, not values.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "progmodel/backend.hpp"
+#include "shadow/shadow_memory.hpp"
+
+namespace ht::shadow {
+
+struct SimHeapConfig {
+  std::uint64_t redzone_bytes = 16;  ///< paper: "a pair of red zones (16 bytes each)"
+  std::uint64_t quarantine_quota_bytes = 2ULL << 30;  ///< paper default: 2 GB
+  std::uint64_t base_address = 1ULL << 32;
+  /// §IX multi-execution replay: when set, only buffers whose allocation
+  /// CCID passes the filter are quarantined on free; the rest are released
+  /// immediately, bounding each execution's quarantine footprint to one
+  /// CCID subspace.
+  std::function<bool(std::uint64_t ccid)> quarantine_filter;
+};
+
+/// Per-buffer bookkeeping. Retained for the lifetime of the SimHeap even
+/// after release, so origin tracking can always resolve a victim.
+struct BufferRecord {
+  OriginId id = kNoOrigin;
+  std::uint64_t user_addr = 0;
+  std::uint64_t size = 0;
+  std::uint64_t alignment = 0;
+  std::uint64_t ccid = 0;
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+
+  enum class State : std::uint8_t { kLive, kQuarantined, kReleased };
+  State state = State::kLive;
+
+  std::uint64_t region_start = 0;  ///< includes leading red zone
+  std::uint64_t region_end = 0;    ///< past trailing red zone
+};
+
+class SimHeap final : public progmodel::AllocatorBackend {
+ public:
+  explicit SimHeap(SimHeapConfig config = {});
+
+  // AllocatorBackend ---------------------------------------------------
+  std::uint64_t allocate(progmodel::AllocFn fn, std::uint64_t size,
+                         std::uint64_t alignment, std::uint64_t ccid) override;
+  std::uint64_t reallocate(std::uint64_t addr, std::uint64_t new_size,
+                           std::uint64_t ccid) override;
+  void deallocate(std::uint64_t addr) override;
+  progmodel::AccessOutcome write(std::uint64_t addr, std::uint64_t offset,
+                                 std::uint64_t len) override;
+  progmodel::AccessOutcome read(std::uint64_t addr, std::uint64_t offset,
+                                std::uint64_t len, progmodel::ReadUse use) override;
+  progmodel::AccessOutcome copy(std::uint64_t src, std::uint64_t src_off,
+                                std::uint64_t dst, std::uint64_t dst_off,
+                                std::uint64_t len) override;
+  std::vector<progmodel::AccessOutcome> drain_pending_violations() override;
+
+  // Introspection -------------------------------------------------------
+  [[nodiscard]] const BufferRecord* record_for_user_addr(std::uint64_t addr) const;
+  [[nodiscard]] const BufferRecord* record(OriginId id) const;
+  [[nodiscard]] std::uint64_t live_bytes() const noexcept { return live_bytes_; }
+  [[nodiscard]] std::uint64_t quarantine_bytes() const noexcept {
+    return quarantine_bytes_;
+  }
+  [[nodiscard]] std::size_t quarantine_depth() const noexcept {
+    return quarantine_.size();
+  }
+  [[nodiscard]] std::uint64_t invalid_frees() const noexcept { return invalid_frees_; }
+  [[nodiscard]] const ShadowMemory& shadow() const noexcept { return shadow_; }
+
+  /// Valgrind-style leak summary at end of analysis: every still-live
+  /// buffer with its allocation context, so the dynamic-analysis report can
+  /// list leaks next to the generated patches.
+  struct LeakReport {
+    struct Leak {
+      OriginId id;
+      std::uint64_t bytes;
+      std::uint64_t ccid;
+      progmodel::AllocFn fn;
+    };
+    std::vector<Leak> leaks;  ///< sorted by descending size
+    std::uint64_t total_bytes = 0;
+  };
+  [[nodiscard]] LeakReport leak_report() const;
+
+ private:
+  /// Byte classification for violation attribution.
+  struct ByteClass {
+    const BufferRecord* owner = nullptr;  ///< nullptr = wild
+    bool in_user_region = false;
+  };
+  [[nodiscard]] ByteClass classify(std::uint64_t addr) const;
+
+  /// Result of scanning [addr, addr+len) for the first accessibility
+  /// violation: how many leading bytes are accessible, and the violation
+  /// (kOk if the whole range is clean).
+  struct AccessScan {
+    std::uint64_t accessible_len = 0;
+    progmodel::AccessOutcome outcome{};
+  };
+  [[nodiscard]] AccessScan scan_accessible(std::uint64_t addr, std::uint64_t len,
+                                           bool is_write);
+  /// Returns the first violation and queues the rest for the interpreter.
+  progmodel::AccessOutcome finish(std::vector<progmodel::AccessOutcome> violations);
+
+  void release_oldest_quarantined();
+  [[nodiscard]] progmodel::AccessOutcome violation(
+      progmodel::AccessKind kind, bool is_write, const BufferRecord* victim) const;
+
+  SimHeapConfig config_;
+  ShadowMemory shadow_;
+  std::uint64_t cursor_;
+  std::vector<BufferRecord> records_;            // id - 1 -> record
+  std::map<std::uint64_t, OriginId> by_region_;  // region_start -> id
+  std::deque<OriginId> quarantine_;
+  std::vector<progmodel::AccessOutcome> pending_;
+  std::uint64_t quarantine_bytes_ = 0;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t invalid_frees_ = 0;
+};
+
+}  // namespace ht::shadow

@@ -1,0 +1,33 @@
+// Hashing primitives shared across HeapTherapy+.
+//
+// The online patch table and the offline CCID bookkeeping both need fast,
+// well-mixed 64-bit hashes with deterministic cross-run behaviour (patches
+// are persisted to a config file and must hash identically when reloaded).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ht::support {
+
+/// 64-bit FNV-1a over an arbitrary byte string. Deterministic across runs
+/// and platforms; used for hashing allocation-function names in patch keys.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// SplitMix64 finalizer: a strong 64->64 bit mixer. Used to spread CCIDs
+/// (which are arithmetic accumulations and therefore poorly distributed in
+/// the low bits) across patch-table slots.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit hashes (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace ht::support

@@ -1,0 +1,77 @@
+#include "support/rng.hpp"
+
+#include "support/hash.hpp"
+
+namespace ht::support {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion, the canonical way to seed xoshiro.
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    word = mix64(s);
+  }
+  // All-zero state would be a fixed point; mix64 of distinct inputs cannot
+  // produce four zeros, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded sampling, with rejection to keep
+  // the distribution exactly uniform.
+  for (;;) {
+    const std::uint64_t x = next();
+    const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (0ULL - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return index(weights.size());
+  double draw = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (draw < w) return i;
+    draw -= w;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace ht::support

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the reproduction (random program generation,
+// workload interleaving, attack-input fuzzing in tests) draws from this PRNG
+// so that test failures and benchmark runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ht::support {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Pick a uniformly random element index from a non-empty span length.
+  std::size_t index(std::size_t size) noexcept { return static_cast<std::size_t>(below(size)); }
+
+  /// Sample an index from a discrete weight distribution. Zero total weight
+  /// falls back to uniform. Precondition: !weights.empty().
+  std::size_t weighted(std::span<const double> weights) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace ht::support

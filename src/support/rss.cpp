@@ -1,0 +1,54 @@
+#include "support/rss.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace ht::support {
+
+namespace {
+
+std::uint64_t read_status_field_kib(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t value = 0;
+  const std::size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      std::sscanf(line + field_len + 1, "%lu", &value);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_kib() { return read_status_field_kib("VmRSS"); }
+std::uint64_t peak_rss_kib() { return read_status_field_kib("VmHWM"); }
+
+RssSampler::RssSampler(double hz) : thread_([this, hz] { run(hz); }) {}
+
+RssSampler::~RssSampler() { stop(); }
+
+const RunningStats& RssSampler::stop() {
+  if (!joined_) {
+    stop_flag_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    joined_ = true;
+  }
+  return stats_;
+}
+
+void RssSampler::run(double hz) {
+  const auto period = std::chrono::duration<double>(1.0 / (hz > 0.0 ? hz : 30.0));
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
+    const std::uint64_t rss = current_rss_kib();
+    if (rss != 0) stats_.add(static_cast<double>(rss));
+    std::this_thread::sleep_for(period);
+  }
+}
+
+}  // namespace ht::support

@@ -1,0 +1,41 @@
+// Resident-set-size sampling, mirroring the paper's memory-overhead protocol:
+// "a script reads the VmRSS field of /proc/[pid]/status ... the sampling rate
+// is 30 times per second, and the average of the readings is reported."
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "support/stats.hpp"
+
+namespace ht::support {
+
+/// Current VmRSS of this process in KiB; 0 if /proc is unavailable.
+[[nodiscard]] std::uint64_t current_rss_kib();
+
+/// Current VmHWM (peak RSS) of this process in KiB; 0 if unavailable.
+[[nodiscard]] std::uint64_t peak_rss_kib();
+
+/// Background sampler that reads VmRSS at a fixed rate (default: the paper's
+/// 30 Hz) while a workload runs, then reports the average.
+class RssSampler {
+ public:
+  explicit RssSampler(double hz = 30.0);
+  ~RssSampler();
+
+  RssSampler(const RssSampler&) = delete;
+  RssSampler& operator=(const RssSampler&) = delete;
+
+  /// Stops the sampling thread (idempotent) and returns collected stats.
+  const RunningStats& stop();
+
+ private:
+  void run(double hz);
+  std::atomic<bool> stop_flag_{false};
+  RunningStats stats_;
+  std::thread thread_;
+  bool joined_ = false;
+};
+
+}  // namespace ht::support

@@ -1,0 +1,116 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ht::support {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Samples::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double overhead_fraction(double baseline, double measured) noexcept {
+  if (baseline <= 0.0) return 0.0;
+  return (measured - baseline) / baseline;
+}
+
+std::string format_percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", fraction * 100.0);
+  return buf;
+}
+
+void FrequencyTable::add(std::uint64_t key, std::uint64_t delta) {
+  counts_[key] += delta;
+  total_ += delta;
+}
+
+std::uint64_t FrequencyTable::count(std::uint64_t key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<FrequencyTable::Entry> FrequencyTable::sorted_by_count() const {
+  std::vector<Entry> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) out.push_back({key, count});
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> FrequencyTable::median_frequency_keys(
+    std::size_t how_many) const {
+  const auto sorted = sorted_by_count();
+  std::vector<std::uint64_t> keys;
+  if (sorted.empty() || how_many == 0) return keys;
+  // Pick entries centered on the median rank, expanding outward.
+  const std::ptrdiff_t median = static_cast<std::ptrdiff_t>(sorted.size()) / 2;
+  std::ptrdiff_t lo = median;
+  std::ptrdiff_t hi = median + 1;
+  while (keys.size() < how_many &&
+         (lo >= 0 || hi < static_cast<std::ptrdiff_t>(sorted.size()))) {
+    if (lo >= 0) {
+      keys.push_back(sorted[static_cast<std::size_t>(lo--)].key);
+      if (keys.size() == how_many) break;
+    }
+    if (hi < static_cast<std::ptrdiff_t>(sorted.size())) {
+      keys.push_back(sorted[static_cast<std::size_t>(hi++)].key);
+    }
+  }
+  return keys;
+}
+
+}  // namespace ht::support

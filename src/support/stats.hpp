@@ -1,0 +1,83 @@
+// Streaming statistics used by the benchmark harnesses.
+//
+// Benches report means, standard deviations, percentiles and normalized
+// overheads exactly the way the paper's figures do (normalized over native
+// execution), so the harness needs small, self-contained accumulators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ht::support {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles. Use for modest sample
+/// counts (bench reps), not per-allocation events.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact percentile via nearest-rank on a sorted copy; p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Overhead of `measured` relative to `baseline`, as a fraction
+/// (0.052 == +5.2%). Returns 0 for a non-positive baseline.
+[[nodiscard]] double overhead_fraction(double baseline, double measured) noexcept;
+
+/// Formats a fraction as a signed percentage string, e.g. "+5.2%".
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// Counter histogram keyed by 64-bit id (e.g. allocations per CCID).
+class FrequencyTable {
+ public:
+  void add(std::uint64_t key, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t count(std::uint64_t key) const;
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t count;
+  };
+  /// Entries sorted by descending count (ties broken by key for determinism).
+  [[nodiscard]] std::vector<Entry> sorted_by_count() const;
+  /// Keys whose frequency rank is closest to the median — the paper's
+  /// protocol for choosing hypothesized vulnerable CCIDs (§VIII-B2).
+  [[nodiscard]] std::vector<std::uint64_t> median_frequency_keys(std::size_t how_many) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ht::support

@@ -1,0 +1,32 @@
+// Small string utilities for the config-file parser and table printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::support {
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Parse an unsigned 64-bit integer in decimal or 0x-hex. Rejects trailing
+/// garbage, empty input, and overflow.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Left-pad / right-pad to a column width (for bench table output).
+[[nodiscard]] std::string pad_right(std::string_view s, std::size_t width);
+[[nodiscard]] std::string pad_left(std::string_view s, std::size_t width);
+
+/// Thousands-separated integer (e.g. 346,405,116) as in the paper's Table IV.
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+}  // namespace ht::support

@@ -1,0 +1,73 @@
+// Allocation traces and their executors — the measurement vehicle for the
+// paper's Figs. 8 and 9.
+//
+// A trace is a deterministic op sequence (allocate / realloc / free, with a
+// per-op compute kernel standing in for the benchmark's real work) derived
+// from a SpecProfile. The same trace runs against:
+//   - the native allocator (std::malloc, the paper's baseline),
+//   - interposition-only (GuardedAllocator forward_only — Fig. 8's 1.9% bar),
+//   - the full system with 0 / 1 / 5 patches installed.
+// Executing identical ops under every mode isolates the overhead of the
+// allocation path, exactly like the paper's normalized execution time.
+//
+// The executor also simulates the per-op calling-context encoding update
+// (a handful of multiply-adds per allocation, per the instrumented call
+// depth) so the encoding component of the overhead is present.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/guarded_allocator.hpp"
+#include "support/rng.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace ht::workload {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { kMalloc, kCalloc, kRealloc, kFree };
+  Kind kind = Kind::kMalloc;
+  std::uint32_t slot = 0;   ///< which live-buffer slot this op targets
+  std::uint32_t size = 0;   ///< allocation size (alloc/realloc)
+  std::uint64_t ccid = 0;   ///< allocation-time calling-context id
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;
+  std::uint32_t slot_count = 0;
+  std::uint32_t work_per_op = 0;  ///< compute units between ops
+  /// Distinct CCIDs present, most-frequent-first (for patch synthesis via
+  /// the paper's median-frequency protocol).
+  std::vector<std::uint64_t> ccids_by_frequency;
+};
+
+/// Builds the allocation trace of a profile. Deterministic per (profile,
+/// seed): alloc/free interleaving honors the profile's live-set bound and
+/// every slot is freed at the end.
+[[nodiscard]] Trace make_trace(const SpecProfile& profile, std::uint64_t seed = 1);
+
+/// The paper's §VIII-B2 protocol: hypothesized vulnerable CCIDs are those
+/// with median allocation frequency. Returns `count` CCIDs from the trace.
+[[nodiscard]] std::vector<std::uint64_t> median_frequency_ccids(const Trace& trace,
+                                                                std::size_t count);
+
+/// How the trace's allocation calls are serviced.
+enum class TraceMode : std::uint8_t {
+  kNative,        ///< std::malloc family, no interception (baseline)
+  kGuarded,       ///< through a GuardedAllocator instance
+};
+
+struct TraceRunResult {
+  double seconds = 0;
+  std::uint64_t checksum = 0;  ///< defeats dead-code elimination
+  std::uint64_t allocs = 0;
+};
+
+/// Executes a trace. For kGuarded, `allocator` must be non-null. Every mode
+/// performs identical per-op compute and encoding simulation, so run time
+/// differences are attributable to the allocation path alone.
+[[nodiscard]] TraceRunResult run_trace(const Trace& trace, TraceMode mode,
+                                       runtime::GuardedAllocator* allocator = nullptr,
+                                       std::uint32_t encoding_ops_per_alloc = 3);
+
+}  // namespace ht::workload

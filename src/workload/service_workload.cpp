@@ -1,0 +1,154 @@
+#include "workload/service_workload.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "runtime/guarded_allocator.hpp"
+#include "support/rng.hpp"
+
+namespace ht::workload {
+
+namespace {
+
+/// Minimal allocation facade so the request handlers are written once for
+/// both the native baseline and the HeapTherapy+ path.
+struct Alloc {
+  runtime::GuardedAllocator* guarded = nullptr;  // null = native
+
+  void* malloc(std::size_t n, std::uint64_t ccid) {
+    return guarded != nullptr ? guarded->malloc(n, ccid) : std::malloc(n);
+  }
+  void* realloc(void* p, std::size_t n, std::uint64_t ccid) {
+    return guarded != nullptr ? guarded->realloc(p, n, ccid) : std::realloc(p, n);
+  }
+  void free(void* p) {
+    if (guarded != nullptr) {
+      guarded->free(p);
+    } else {
+      std::free(p);
+    }
+  }
+};
+
+std::uint64_t touch(void* p, std::size_t n, std::uint64_t acc) {
+  auto* bytes = static_cast<unsigned char*>(p);
+  const std::size_t step = n > 256 ? n / 128 : 1;
+  for (std::size_t i = 0; i < n; i += step) {
+    bytes[i] = static_cast<unsigned char>(acc + i);
+    acc = acc * 31 + bytes[i];
+  }
+  return acc;
+}
+
+/// Nginx-like request: header buffer (fixed pool ccid), body buffer
+/// (size-dependent), response assembly, all freed at request end.
+std::uint64_t handle_nginx_request(Alloc& alloc, support::Rng& rng,
+                                   std::uint64_t acc) {
+  // Distinct allocation contexts: headers / body / response.
+  constexpr std::uint64_t kHdrCcid = 0x1101;
+  constexpr std::uint64_t kBodyCcid = 0x1102;
+  constexpr std::uint64_t kRespCcid = 0x1103;
+  const std::size_t body_size = 256 + rng.below(4096);
+
+  void* headers = alloc.malloc(1024, kHdrCcid);
+  void* body = alloc.malloc(body_size, kBodyCcid);
+  if (headers == nullptr || body == nullptr) std::abort();
+  acc = touch(headers, 1024, acc);
+  acc = touch(body, body_size, acc);
+  // "Parse" the request: a few hundred mixing rounds.
+  for (int i = 0; i < 300; ++i) acc = acc * 6364136223846793005ULL + 1;
+  void* response = alloc.malloc(body_size + 512, kRespCcid);
+  if (response == nullptr) std::abort();
+  std::memcpy(response, body, body_size);
+  acc = touch(response, body_size + 512, acc);
+  alloc.free(headers);
+  alloc.free(body);
+  alloc.free(response);
+  return acc;
+}
+
+/// MySQL-like request: reuses a per-connection state block and grows a
+/// query buffer with realloc, as a statement parser does.
+struct MysqlConnection {
+  void* state = nullptr;
+  void* query = nullptr;
+  std::size_t query_capacity = 0;
+};
+
+std::uint64_t handle_mysql_request(Alloc& alloc, MysqlConnection& conn,
+                                   support::Rng& rng, std::uint64_t acc) {
+  constexpr std::uint64_t kStateCcid = 0x2201;
+  constexpr std::uint64_t kQueryCcid = 0x2202;
+  constexpr std::uint64_t kRowCcid = 0x2203;
+  if (conn.state == nullptr) {
+    conn.state = alloc.malloc(4096, kStateCcid);
+    if (conn.state == nullptr) std::abort();
+  }
+  acc = touch(conn.state, 4096, acc);
+  const std::size_t query_len = 64 + rng.below(2048);
+  if (query_len > conn.query_capacity) {
+    conn.query = alloc.realloc(conn.query, query_len, kQueryCcid);
+    conn.query_capacity = query_len;
+    if (conn.query == nullptr) std::abort();
+  }
+  acc = touch(conn.query, query_len, acc);
+  for (int i = 0; i < 500; ++i) acc = acc * 2862933555777941757ULL + 3037000493ULL;
+  // Result rows: a handful of short-lived allocations.
+  const std::size_t rows = 1 + rng.below(8);
+  for (std::size_t r = 0; r < rows; ++r) {
+    void* row = alloc.malloc(128 + rng.below(256), kRowCcid);
+    if (row == nullptr) std::abort();
+    acc = touch(row, 128, acc);
+    alloc.free(row);
+  }
+  return acc;
+}
+
+}  // namespace
+
+ServiceResult run_service(const ServiceConfig& config) {
+  const std::uint32_t threads = std::max<std::uint32_t>(config.concurrency, 1);
+  const std::uint64_t per_thread = config.requests / threads;
+  std::atomic<std::uint64_t> total_checksum{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Per-thread allocator instance (the library's thread model).
+      runtime::GuardedAllocator guarded(config.patches, config.defenses);
+      Alloc alloc;
+      if (config.use_heaptherapy) alloc.guarded = &guarded;
+      support::Rng rng(config.seed * 1000 + t);
+      std::uint64_t acc = t;
+      MysqlConnection conn;
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        if (config.kind == ServiceKind::kNginxLike) {
+          acc = handle_nginx_request(alloc, rng, acc);
+        } else {
+          acc = handle_mysql_request(alloc, conn, rng, acc);
+        }
+      }
+      alloc.free(conn.state);
+      alloc.free(conn.query);
+      total_checksum.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  ServiceResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.requests = per_thread * threads;
+  result.requests_per_second =
+      result.seconds > 0 ? static_cast<double>(result.requests) / result.seconds : 0;
+  result.checksum = total_checksum.load();
+  return result;
+}
+
+}  // namespace ht::workload

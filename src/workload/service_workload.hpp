@@ -1,0 +1,47 @@
+// Service-program workloads (§VIII-B2): synthetic twins of the paper's
+// Nginx and MySQL throughput experiments.
+//
+// Each "request" performs the allocation work a real request handler does
+// (header buffer, body buffer, response assembly — or, for the MySQL-like
+// loop, connection state plus growing query buffers) along with parsing and
+// checksum compute, so allocation cost is a realistic fraction of request
+// cost. Throughput is measured natively and under the full HeapTherapy+
+// allocator, with configurable concurrency (the paper sweeps 20..200
+// concurrent requests; threads each run their own allocator instance, which
+// is this library's thread model).
+#pragma once
+
+#include <cstdint>
+
+#include "patch/patch_table.hpp"
+#include "runtime/guarded_allocator.hpp"
+
+namespace ht::workload {
+
+enum class ServiceKind : std::uint8_t { kNginxLike, kMysqlLike };
+
+struct ServiceConfig {
+  ServiceKind kind = ServiceKind::kNginxLike;
+  std::uint64_t requests = 20000;   ///< total requests across all threads
+  std::uint32_t concurrency = 20;   ///< worker threads
+  /// null: native std::malloc. Otherwise each worker builds a
+  /// GuardedAllocator over this patch table (may be empty).
+  const patch::PatchTable* patches = nullptr;
+  bool use_heaptherapy = false;  ///< false = native baseline
+  /// Defense configuration for the workers' allocators (guard pages vs
+  /// canaries vs poisoning — the knobs the protection example sweeps).
+  runtime::GuardedAllocatorConfig defenses;
+  std::uint64_t seed = 7;
+};
+
+struct ServiceResult {
+  double seconds = 0;
+  double requests_per_second = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Runs the service loop to completion and reports throughput.
+[[nodiscard]] ServiceResult run_service(const ServiceConfig& config);
+
+}  // namespace ht::workload

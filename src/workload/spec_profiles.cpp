@@ -1,0 +1,241 @@
+#include "workload/spec_profiles.hpp"
+
+#include <stdexcept>
+
+#include "progmodel/builder.hpp"
+
+namespace ht::workload {
+
+using progmodel::AllocFn;
+using progmodel::ProgramBuilder;
+using progmodel::ReadUse;
+using progmodel::Value;
+
+const std::vector<SpecProfile>& spec_profiles() {
+  // Table IV counts; scaled ~1/1000 (small benchmarks kept exact).
+  // Shape parameters follow each benchmark's Table III reduction pattern:
+  // big cold_functions -> large TCS gain; big hot_chain -> large Slim gain;
+  // false_branch_dispatchers -> extra Incremental gain.
+  static const std::vector<SpecProfile> profiles = {
+      {.name = "400.perlbench",
+       .paper_malloc = 346405116, .paper_calloc = 0, .paper_realloc = 11736402,
+       .mallocs = 346405, .callocs = 0, .reallocs = 11736,
+       .hot_branching = 3, .hot_depth = 3, .hot_chain = 0,
+       .cold_functions = 4, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 48, .live_set = 512, .work_per_op = 1},
+      {.name = "401.bzip2",
+       .paper_malloc = 174, .paper_calloc = 0, .paper_realloc = 0,
+       .mallocs = 174, .callocs = 0, .reallocs = 0,
+       .hot_branching = 1, .hot_depth = 1, .hot_chain = 1,
+       .cold_functions = 80, .cold_sites_per_fn = 3, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 16384, .live_set = 16, .work_per_op = 64},
+      {.name = "403.gcc",
+       .paper_malloc = 23690559, .paper_calloc = 4723237, .paper_realloc = 44688,
+       .mallocs = 23690, .callocs = 4723, .reallocs = 45,
+       .hot_branching = 3, .hot_depth = 3, .hot_chain = 1,
+       .cold_functions = 6, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 128, .live_set = 1024, .work_per_op = 6},
+      {.name = "429.mcf",
+       .paper_malloc = 5, .paper_calloc = 3, .paper_realloc = 0,
+       .mallocs = 5, .callocs = 3, .reallocs = 0,
+       .hot_branching = 2, .hot_depth = 1, .hot_chain = 0,
+       .cold_functions = 0, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 65536, .live_set = 8, .work_per_op = 96},
+      {.name = "445.gobmk",
+       .paper_malloc = 606463, .paper_calloc = 0, .paper_realloc = 52115,
+       .mallocs = 606, .callocs = 0, .reallocs = 52,
+       .hot_branching = 2, .hot_depth = 2, .hot_chain = 1,
+       .cold_functions = 10, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 256, .live_set = 64, .work_per_op = 48},
+      {.name = "456.hmmer",
+       .paper_malloc = 1983014, .paper_calloc = 122564, .paper_realloc = 368696,
+       .mallocs = 1983, .callocs = 123, .reallocs = 369,
+       .hot_branching = 2, .hot_depth = 2, .hot_chain = 2,
+       .cold_functions = 20, .cold_sites_per_fn = 2, .false_branch_dispatchers = 2,
+       .avg_alloc_size = 512, .live_set = 128, .work_per_op = 24},
+      {.name = "458.sjeng",
+       .paper_malloc = 5, .paper_calloc = 0, .paper_realloc = 0,
+       .mallocs = 5, .callocs = 0, .reallocs = 0,
+       .hot_branching = 1, .hot_depth = 1, .hot_chain = 0,
+       .cold_functions = 90, .cold_sites_per_fn = 3, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 262144, .live_set = 4, .work_per_op = 96},
+      {.name = "462.libquantum",
+       .paper_malloc = 1, .paper_calloc = 121, .paper_realloc = 58,
+       .mallocs = 1, .callocs = 121, .reallocs = 58,
+       .hot_branching = 2, .hot_depth = 1, .hot_chain = 0,
+       .cold_functions = 8, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 4096, .live_set = 16, .work_per_op = 64},
+      {.name = "464.h264ref",
+       .paper_malloc = 7270, .paper_calloc = 170518, .paper_realloc = 0,
+       .mallocs = 73, .callocs = 1705, .reallocs = 0,
+       .hot_branching = 2, .hot_depth = 2, .hot_chain = 2,
+       .cold_functions = 12, .cold_sites_per_fn = 2, .false_branch_dispatchers = 1,
+       .avg_alloc_size = 1024, .live_set = 128, .work_per_op = 48},
+      {.name = "471.omnetpp",
+       .paper_malloc = 267064936, .paper_calloc = 0, .paper_realloc = 0,
+       .mallocs = 267065, .callocs = 0, .reallocs = 0,
+       .hot_branching = 3, .hot_depth = 2, .hot_chain = 1,
+       .cold_functions = 10, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 96, .live_set = 2048, .work_per_op = 2},
+      {.name = "473.astar",
+       .paper_malloc = 4799959, .paper_calloc = 0, .paper_realloc = 0,
+       .mallocs = 4800, .callocs = 0, .reallocs = 0,
+       .hot_branching = 1, .hot_depth = 1, .hot_chain = 8,
+       .cold_functions = 0, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 1024, .live_set = 256, .work_per_op = 16},
+      {.name = "483.xalancbmk",
+       .paper_malloc = 135155553, .paper_calloc = 0, .paper_realloc = 0,
+       .mallocs = 135156, .callocs = 0, .reallocs = 0,
+       .hot_branching = 3, .hot_depth = 2, .hot_chain = 1,
+       .cold_functions = 15, .cold_sites_per_fn = 2, .false_branch_dispatchers = 0,
+       .avg_alloc_size = 64, .live_set = 1024, .work_per_op = 3},
+  };
+  return profiles;
+}
+
+const SpecProfile& spec_profile(std::string_view name) {
+  for (const SpecProfile& p : spec_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown SPEC profile: " + std::string(name));
+}
+
+namespace {
+
+/// Appends an allocation loop (count iterations of alloc/write/free) to
+/// function `f`, using the next free slot.
+void alloc_loop(ProgramBuilder& b, cce::FunctionId f, AllocFn fn,
+                std::uint64_t count, std::uint64_t size, std::uint32_t slot) {
+  if (count == 0) return;
+  b.begin_loop(f, Value(count));
+  b.alloc(f, fn, Value(size), slot);
+  b.write(f, slot, Value(0), Value(size < 64 ? size : 64));
+  b.free(f, slot);
+  b.end_loop(f);
+}
+
+/// Appends a realloc loop: one backing malloc, then `count` realloc calls
+/// against it (so Table IV's realloc column is hit without inflating the
+/// malloc column).
+void realloc_loop(ProgramBuilder& b, cce::FunctionId f, std::uint64_t count,
+                  std::uint64_t size, std::uint32_t slot) {
+  if (count == 0) return;
+  b.alloc(f, AllocFn::kMalloc, Value(size), slot);
+  b.begin_loop(f, Value(count));
+  b.realloc(f, slot, Value(size * 2));
+  b.end_loop(f);
+  b.free(f, slot);
+}
+
+}  // namespace
+
+progmodel::Program make_spec_program(const SpecProfile& profile) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  std::uint32_t next_slot = 0;
+
+  // --- Cold region: never reaches an allocation API (pruned by TCS). ----
+  if (profile.cold_functions > 0) {
+    const auto cold_root = b.function(profile.name + "/cold_root");
+    b.call(main_fn, cold_root);
+    const auto cold_leaf = b.function(profile.name + "/cold_leaf");
+    // A chain (so execution is linear, not exponential) whose functions
+    // carry extra call sites into a shared leaf — lots of static sites,
+    // none of which can reach an allocation API.
+    cce::FunctionId prev = cold_root;
+    for (std::uint32_t i = 0; i < profile.cold_functions; ++i) {
+      const auto fn = b.function(profile.name + "/cold_" + std::to_string(i));
+      b.call(prev, fn);
+      for (std::uint32_t s = 1; s < profile.cold_sites_per_fn; ++s) {
+        b.call(fn, cold_leaf);
+      }
+      prev = fn;
+    }
+  }
+
+  // --- Hot tree: branching region that reaches the allocators. ---------
+  std::vector<cce::FunctionId> frontier{main_fn};
+  const std::uint32_t branching = profile.hot_branching < 1 ? 1 : profile.hot_branching;
+  for (std::uint32_t depth = 0; depth < profile.hot_depth; ++depth) {
+    std::vector<cce::FunctionId> next;
+    for (cce::FunctionId parent : frontier) {
+      for (std::uint32_t k = 0; k < branching; ++k) {
+        const auto child = b.function(profile.name + "/h" + std::to_string(depth) +
+                                      "_" + std::to_string(next.size()));
+        b.call(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Non-branching chains below each leaf (the Slim target).
+  std::vector<cce::FunctionId> leaves;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    cce::FunctionId at = frontier[i];
+    for (std::uint32_t c = 0; c < profile.hot_chain; ++c) {
+      const auto link = b.function(profile.name + "/chain" + std::to_string(i) +
+                                   "_" + std::to_string(c));
+      b.call(at, link);
+      at = link;
+    }
+    leaves.push_back(at);
+  }
+
+  // --- False-branching dispatchers (the Incremental target). -----------
+  // Each dispatcher has one out-edge per allocation API family; no two
+  // edges reach the same target, so Incremental skips the node entirely.
+  std::uint64_t dispatcher_mallocs = 0, dispatcher_callocs = 0, dispatcher_reallocs = 0;
+  if (profile.false_branch_dispatchers > 0) {
+    dispatcher_mallocs = profile.mallocs / 4;
+    dispatcher_callocs = profile.callocs / 4;
+    dispatcher_reallocs = profile.reallocs / 4;
+    for (std::uint32_t d = 0; d < profile.false_branch_dispatchers; ++d) {
+      const auto dispatcher =
+          b.function(profile.name + "/dispatch" + std::to_string(d));
+      b.call(main_fn, dispatcher);
+      const auto m_leaf = b.function(profile.name + "/dm" + std::to_string(d));
+      const auto c_leaf = b.function(profile.name + "/dc" + std::to_string(d));
+      const auto r_leaf = b.function(profile.name + "/dr" + std::to_string(d));
+      b.call(dispatcher, m_leaf);
+      b.call(dispatcher, c_leaf);
+      b.call(dispatcher, r_leaf);
+      const std::uint32_t n = profile.false_branch_dispatchers;
+      alloc_loop(b, m_leaf, AllocFn::kMalloc, dispatcher_mallocs / n,
+                 profile.avg_alloc_size, next_slot++);
+      alloc_loop(b, c_leaf, AllocFn::kCalloc, dispatcher_callocs / n,
+                 profile.avg_alloc_size, next_slot++);
+      realloc_loop(b, r_leaf, dispatcher_reallocs / n, profile.avg_alloc_size,
+                   next_slot++);
+    }
+    // Account for integer division leftovers by adding them to the leaves.
+    dispatcher_mallocs =
+        dispatcher_mallocs / profile.false_branch_dispatchers * profile.false_branch_dispatchers;
+    dispatcher_callocs =
+        dispatcher_callocs / profile.false_branch_dispatchers * profile.false_branch_dispatchers;
+    dispatcher_reallocs =
+        dispatcher_reallocs / profile.false_branch_dispatchers * profile.false_branch_dispatchers;
+  }
+
+  // --- Allocation loops on the leaves, hitting the scaled totals. ------
+  const std::uint64_t leaf_mallocs = profile.mallocs - dispatcher_mallocs;
+  const std::uint64_t leaf_callocs = profile.callocs - dispatcher_callocs;
+  const std::uint64_t leaf_reallocs = profile.reallocs - dispatcher_reallocs;
+  const std::uint64_t n_leaves = leaves.size();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    std::uint64_t m = leaf_mallocs / n_leaves;
+    std::uint64_t c = leaf_callocs / n_leaves;
+    std::uint64_t r = leaf_reallocs / n_leaves;
+    if (i == 0) {  // remainders go to the first leaf
+      m += leaf_mallocs % n_leaves;
+      c += leaf_callocs % n_leaves;
+      r += leaf_reallocs % n_leaves;
+    }
+    alloc_loop(b, leaves[i], AllocFn::kMalloc, m, profile.avg_alloc_size, next_slot++);
+    alloc_loop(b, leaves[i], AllocFn::kCalloc, c, profile.avg_alloc_size, next_slot++);
+    realloc_loop(b, leaves[i], r, profile.avg_alloc_size, next_slot++);
+  }
+  return b.build();
+}
+
+}  // namespace ht::workload

@@ -1,0 +1,68 @@
+// SPEC CPU2006 INT-shaped synthetic workloads.
+//
+// The paper's efficiency numbers (§VIII-B, Tables III & IV, Figs. 8 & 9)
+// are driven by two per-benchmark characteristics that these profiles
+// reproduce:
+//   1. allocation intensity and API mix — taken from the paper's Table IV
+//     (scaled down ~1000x so a full sweep runs in seconds), and
+//   2. call-graph shape — how much of the graph reaches an allocation API
+//      (TCS gains), how chain-like the reaching region is (Slim gains), and
+//      how much branching is false-branching across different allocation
+//      APIs (Incremental gains), tuned per benchmark to the reduction
+//      pattern visible in the paper's Table III.
+// Absolute numbers are ours; the per-benchmark *shape* (which benchmark is
+// allocation-bound, where each optimization pays off) follows the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "progmodel/program.hpp"
+
+namespace ht::workload {
+
+struct SpecProfile {
+  std::string name;
+
+  // Paper Table IV allocation counts (unscaled, for reporting).
+  std::uint64_t paper_malloc = 0;
+  std::uint64_t paper_calloc = 0;
+  std::uint64_t paper_realloc = 0;
+  // Scaled counts actually executed by the synthetic workload.
+  std::uint64_t mallocs = 0;
+  std::uint64_t callocs = 0;
+  std::uint64_t reallocs = 0;
+
+  // Call-graph shape (Table III character).
+  std::uint32_t hot_branching = 2;   ///< fanout among target-reaching nodes
+  std::uint32_t hot_depth = 2;       ///< depth of the branching hot tree
+  std::uint32_t hot_chain = 0;       ///< non-branching chain length per leaf
+  std::uint32_t cold_functions = 0;  ///< functions that never reach allocators
+  std::uint32_t cold_sites_per_fn = 2;
+  /// Dispatcher nodes whose out-edges each reach a *different* allocation
+  /// API — false branching nodes that Incremental prunes but Slim keeps.
+  std::uint32_t false_branch_dispatchers = 0;
+
+  // Runtime character (Figs. 8 & 9).
+  std::uint32_t avg_alloc_size = 64;  ///< bytes
+  std::uint32_t live_set = 64;        ///< concurrent live buffers in the trace
+  std::uint32_t work_per_op = 4;      ///< synthetic compute units per allocation
+
+  [[nodiscard]] std::uint64_t total_allocs() const noexcept {
+    return mallocs + callocs + reallocs;
+  }
+};
+
+/// The 12 CPU2006 INT profiles, in the paper's Table IV order.
+[[nodiscard]] const std::vector<SpecProfile>& spec_profiles();
+[[nodiscard]] const SpecProfile& spec_profile(std::string_view name);
+
+/// Builds the synthetic instrumentable program for a profile: a cold
+/// subgraph that never reaches an allocator, a hot tree whose leaves (after
+/// optional non-branching chains) run the allocation loops, and optional
+/// false-branching dispatchers over distinct allocation APIs. Running the
+/// program performs exactly the profile's scaled allocation counts.
+[[nodiscard]] progmodel::Program make_spec_program(const SpecProfile& profile);
+
+}  // namespace ht::workload

@@ -1,0 +1,121 @@
+#include "analysis/input_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/builder.hpp"
+
+namespace ht::analysis {
+namespace {
+
+using progmodel::AllocFn;
+using progmodel::Program;
+using progmodel::ProgramBuilder;
+using progmodel::ReadUse;
+using progmodel::Value;
+
+Program overflow_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(64), 0);
+  b.write(main_fn, 0, Value(0), Value::input(0));
+  b.free(main_fn, 0);
+  return b.build();
+}
+
+TEST(InputSearch, FindsOverflowBoundary) {
+  const Program p = overflow_program();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto result =
+      search_attack_input(p, &encoder, {{0, 1024}});
+  ASSERT_TRUE(result.found());
+  EXPECT_GT(result.attack_input->params[0], 64u);  // any overflowing length
+  ASSERT_EQ(result.report.patches.size(), 1u);
+  EXPECT_EQ(result.report.patches[0].vuln_mask, patch::kOverflow);
+  // Boundary phase should find it quickly, well under the budget.
+  EXPECT_LT(result.runs, 64u);
+}
+
+TEST(InputSearch, NoAttackInSafeRange) {
+  const Program p = overflow_program();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  InputSearchOptions options;
+  options.max_runs = 50;
+  const auto result = search_attack_input(p, &encoder, {{0, 64}}, options);
+  EXPECT_FALSE(result.found());
+  EXPECT_EQ(result.runs, 50u);  // budget exhausted
+}
+
+TEST(InputSearch, FindsHeartbleedWithTwoParameters) {
+  // The Heartbleed twin needs payload_len and response_len; the pairwise
+  // boundary phase must discover a leaking combination.
+  const auto v = corpus::make_heartbleed();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto result = search_attack_input(
+      v.program, &encoder, {{1, 64 * 1024}, {1, 64 * 1024}});
+  ASSERT_TRUE(result.found());
+  std::uint8_t mask = 0;
+  for (const auto& p : result.report.patches) mask |= p.vuln_mask;
+  EXPECT_NE(mask & patch::kUninitRead, 0);
+}
+
+TEST(InputSearch, FindsUafTrigger) {
+  const auto v = corpus::make_optipng();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  const auto result = search_attack_input(v.program, &encoder, {{0, 4}});
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(result.report.patches[0].vuln_mask, patch::kUseAfterFree);
+}
+
+TEST(InputSearch, DeterministicPerSeed) {
+  const Program p = overflow_program();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  InputSearchOptions options;
+  options.seed = 99;
+  const auto a = search_attack_input(p, &encoder, {{0, 1024}}, options);
+  const auto b = search_attack_input(p, &encoder, {{0, 1024}}, options);
+  ASSERT_TRUE(a.found());
+  ASSERT_TRUE(b.found());
+  EXPECT_EQ(a.attack_input->params, b.attack_input->params);
+  EXPECT_EQ(a.runs, b.runs);
+}
+
+TEST(InputSearch, RespectsRunBudgetStrictly) {
+  const Program p = overflow_program();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  InputSearchOptions options;
+  options.max_runs = 3;
+  const auto result = search_attack_input(p, &encoder, {{0, 60}}, options);
+  EXPECT_FALSE(result.found());
+  EXPECT_EQ(result.runs, 3u);
+}
+
+TEST(InputSearch, EmptySpaceRunsConstantInput) {
+  // A program whose bug needs no input parameters at all.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.read(main_fn, 0, Value(0), Value(16), ReadUse::kBranch);  // uninit always
+  const Program p = b.build();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto result = search_attack_input(p, &encoder, {});
+  ASSERT_TRUE(result.found());
+  EXPECT_TRUE(result.attack_input->params.empty());
+}
+
+}  // namespace
+}  // namespace ht::analysis

@@ -1,0 +1,295 @@
+#include "analysis/patch_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "progmodel/builder.hpp"
+
+namespace ht::analysis {
+namespace {
+
+using progmodel::AccessKind;
+using progmodel::AllocFn;
+using progmodel::Input;
+using progmodel::Program;
+using progmodel::ProgramBuilder;
+using progmodel::ReadUse;
+using progmodel::Value;
+
+/// A program with a classic overflow: buffer of fixed size 64, write length
+/// controlled by input[0]. Benign input: 64. Attack input: > 64.
+Program overflow_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto handler = b.function("handler");
+  b.call(main_fn, handler);
+  b.alloc(handler, AllocFn::kMalloc, Value(64), 0);
+  b.write(handler, 0, Value(0), Value::input(0));
+  b.free(handler, 0);
+  return b.build();
+}
+
+/// Use-after-free: input[0] != 0 triggers the dangling write.
+Program uaf_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(128), 0);
+  b.write(main_fn, 0, Value(0), Value(128));
+  b.free(main_fn, 0);
+  // The dangling write of input[0] bytes (0 = no write = benign).
+  b.begin_loop(main_fn, Value::input(0));
+  b.write(main_fn, 0, Value(0), Value(8));
+  b.end_loop(main_fn);
+  return b.build();
+}
+
+/// Uninitialized read: buffer initialized for input[0] bytes, then
+/// input[1] bytes are sent out (syscall use).
+Program uninit_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(256), 0);
+  b.write(main_fn, 0, Value(0), Value::input(0));
+  b.read(main_fn, 0, Value(0), Value::input(1), ReadUse::kSyscall);
+  b.free(main_fn, 0);
+  return b.build();
+}
+
+cce::PccEncoder make_encoder(const Program& p, cce::Strategy strategy) {
+  return cce::PccEncoder(cce::compute_plan(p.graph(), p.alloc_targets(), strategy));
+}
+
+TEST(PatchGenerator, BenignInputProducesNoPatch) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{64}});
+  EXPECT_FALSE(report.attack_detected());
+  EXPECT_TRUE(report.run.clean());
+}
+
+TEST(PatchGenerator, OverflowAttackYieldsOverflowPatch) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{80}});
+  ASSERT_TRUE(report.attack_detected());
+  ASSERT_EQ(report.patches.size(), 1u);
+  EXPECT_EQ(report.patches[0].fn, AllocFn::kMalloc);
+  EXPECT_EQ(report.patches[0].vuln_mask, patch::kOverflow);
+  EXPECT_NE(report.patches[0].ccid, 0u);
+}
+
+TEST(PatchGenerator, PatchCcidMatchesAllocationContext) {
+  // The CCID in the patch must equal the CCID the online phase will compute
+  // for the same allocation site — the whole premise of the system.
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{80}});
+  ASSERT_EQ(report.patches.size(), 1u);
+
+  // Reconstruct the allocation context by hand: main->handler->malloc.
+  const auto to_handler = p.graph().outgoing(p.entry())[0];
+  const auto handler = p.graph().site(to_handler).callee;
+  cce::CallSiteId to_malloc = cce::kInvalidCallSite;
+  for (auto s : p.graph().outgoing(handler)) {
+    if (p.graph().site(s).callee == p.alloc_fn_node(AllocFn::kMalloc)) to_malloc = s;
+  }
+  EXPECT_EQ(report.patches[0].ccid, encoder.encode({to_handler, to_malloc}));
+}
+
+TEST(PatchGenerator, UafAttackYieldsUafPatch) {
+  const Program p = uaf_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kSlim);
+  EXPECT_FALSE(analyze_attack(p, &encoder, Input{{0}}).attack_detected());
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{1}});
+  ASSERT_EQ(report.patches.size(), 1u);
+  EXPECT_EQ(report.patches[0].vuln_mask, patch::kUseAfterFree);
+}
+
+TEST(PatchGenerator, UninitReadAttackYieldsUninitPatch) {
+  const Program p = uninit_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  // Benign: sends only what it initialized.
+  EXPECT_FALSE(analyze_attack(p, &encoder, Input{{100, 100}}).attack_detected());
+  // Attack: sends 200 bytes of a 100-byte-initialized buffer.
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{100, 200}});
+  ASSERT_EQ(report.patches.size(), 1u);
+  EXPECT_EQ(report.patches[0].vuln_mask, patch::kUninitRead);
+}
+
+TEST(PatchGenerator, MixedAttackMergesMaskHeartbleedShape) {
+  // 34KB buffer, attacker reads 64KB: uninit read *and* overread on the
+  // same buffer -> one patch with both bits (§VIII-A Heartbleed).
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(34 * 1024), 0);
+  b.write(main_fn, 0, Value(0), Value::input(0));      // attacker-visible prefix
+  b.read(main_fn, 0, Value(0), Value::input(1), ReadUse::kSyscall);
+  const Program p = b.build();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report =
+      analyze_attack(p, &encoder, Input{{1024, 64 * 1024}});
+  ASSERT_EQ(report.patches.size(), 1u);
+  EXPECT_EQ(report.patches[0].vuln_mask, patch::kUninitRead | patch::kOverflow);
+}
+
+TEST(PatchGenerator, ExecutionResumesToFindMultipleVulnerableBuffers) {
+  // Two independent vulnerable buffers exploited by one input -> two patches.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto f1 = b.function("path_one");
+  const auto f2 = b.function("path_two");
+  b.call(main_fn, f1);
+  b.call(main_fn, f2);
+  b.alloc(f1, AllocFn::kMalloc, Value(32), 0);
+  b.write(f1, 0, Value(0), Value::input(0));
+  b.alloc(f2, AllocFn::kCalloc, Value(32), 1);
+  b.write(f2, 1, Value(0), Value::input(0));
+  const Program p = b.build();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{40}});
+  ASSERT_EQ(report.patches.size(), 2u);
+  EXPECT_NE(report.patches[0].ccid, report.patches[1].ccid);
+  EXPECT_EQ(report.patches[0].fn, AllocFn::kMalloc);
+  EXPECT_EQ(report.patches[1].fn, AllocFn::kCalloc);
+}
+
+TEST(PatchGenerator, RepeatedViolationsDedupeToOnePatch) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.begin_loop(main_fn, Value(10));
+  b.write(main_fn, 0, Value(0), Value::input(0));  // overflows 10 times
+  b.end_loop(main_fn);
+  const Program p = b.build();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{24}});
+  EXPECT_EQ(report.run.violations.size(), 10u);
+  EXPECT_EQ(report.patches.size(), 1u);
+}
+
+TEST(PatchGenerator, WildAccessesAreUnattributed) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.write(main_fn, 0, Value(0), Value(4));  // slot 0 holds address 0... wild
+  b.alloc(main_fn, AllocFn::kMalloc, Value(8), 0);
+  const Program p = b.build();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{});
+  EXPECT_FALSE(report.attack_detected());
+  EXPECT_EQ(report.unattributed, 1u);
+}
+
+TEST(PatchGenerator, PartitionedReplayFindsSamePatches) {
+  const Program p = uaf_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport whole = analyze_attack(p, &encoder, Input{{1}});
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    const AnalysisReport part =
+        analyze_attack_partitioned(p, &encoder, Input{{1}}, n);
+    ASSERT_EQ(part.patches.size(), whole.patches.size()) << n << " subspaces";
+    EXPECT_EQ(part.patches[0].ccid, whole.patches[0].ccid);
+    EXPECT_EQ(part.patches[0].vuln_mask, whole.patches[0].vuln_mask);
+  }
+}
+
+TEST(PatchGenerator, PartitionedReplayZeroSubspacesClampedToOne) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p, cce::Strategy::kTcs);
+  const AnalysisReport report =
+      analyze_attack_partitioned(p, &encoder, Input{{80}}, 0);
+  EXPECT_TRUE(report.attack_detected());
+}
+
+TEST(PatchGenerator, VulnBitMapping) {
+  EXPECT_EQ(vuln_bit_for(AccessKind::kOverflow), patch::kOverflow);
+  EXPECT_EQ(vuln_bit_for(AccessKind::kUseAfterFree), patch::kUseAfterFree);
+  EXPECT_EQ(vuln_bit_for(AccessKind::kUninitRead), patch::kUninitRead);
+  EXPECT_EQ(vuln_bit_for(AccessKind::kOk), 0u);
+  EXPECT_EQ(vuln_bit_for(AccessKind::kWild), 0u);
+  EXPECT_EQ(vuln_bit_for(AccessKind::kBlockedByGuard), 0u);
+}
+
+TEST(PatchGenerator, EncoderStrategiesProduceConsistentDetection) {
+  // The detected vulnerability must be found under every strategy; CCIDs
+  // differ across strategies, but the patch count and type must not.
+  const Program p = overflow_program();
+  for (cce::Strategy strategy :
+       {cce::Strategy::kFcs, cce::Strategy::kTcs, cce::Strategy::kSlim,
+        cce::Strategy::kIncremental}) {
+    const auto encoder = make_encoder(p, strategy);
+    const AnalysisReport report = analyze_attack(p, &encoder, Input{{80}});
+    ASSERT_EQ(report.patches.size(), 1u) << cce::strategy_name(strategy);
+    EXPECT_EQ(report.patches[0].vuln_mask, patch::kOverflow);
+  }
+}
+
+}  // namespace
+}  // namespace ht::analysis
+
+namespace ht::analysis {
+namespace {
+
+TEST(PatchGeneratorSet, MergesAcrossMultipleAttackInputs) {
+  // Heartbleed-style: several collected attack inputs; below-34K inputs are
+  // pure uninit reads, above-34K inputs add the overread — the merged
+  // patch carries both bits on the one vulnerable context.
+  using progmodel::AllocFn;
+  using progmodel::Input;
+  using progmodel::ReadUse;
+  using progmodel::Value;
+  progmodel::ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(34 * 1024), 0);
+  b.write(main_fn, 0, Value(0), Value::input(0));
+  b.read(main_fn, 0, Value(0), Value::input(1), ReadUse::kSyscall);
+  const auto program = b.build();
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+
+  const std::vector<Input> collected{
+      Input{{1024, 20 * 1024}},  // uninit only
+      Input{{1024, 64 * 1024}},  // uninit + overread
+      Input{{1024, 1024}},       // benign (contributes nothing)
+  };
+  const AnalysisReport merged =
+      analyze_attack_set(program, &encoder, collected);
+  ASSERT_EQ(merged.patches.size(), 1u);
+  EXPECT_EQ(merged.patches[0].vuln_mask, patch::kUninitRead | patch::kOverflow);
+}
+
+TEST(PatchGeneratorSet, EmptyInputSetYieldsNothing) {
+  const auto v = [] {
+    progmodel::ProgramBuilder b;
+    b.function("main");
+    return b.build();
+  }();
+  const AnalysisReport merged = analyze_attack_set(v, nullptr, {});
+  EXPECT_FALSE(merged.attack_detected());
+}
+
+TEST(PatchGeneratorSet, DistinctContextsAccumulate) {
+  // Two attack inputs exploiting different buffers -> two patches.
+  using progmodel::AllocFn;
+  using progmodel::Input;
+  using progmodel::Value;
+  progmodel::ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto f1 = b.function("one");
+  const auto f2 = b.function("two");
+  b.call(main_fn, f1);
+  b.call(main_fn, f2);
+  b.alloc(f1, AllocFn::kMalloc, Value(32), 0);
+  b.write(f1, 0, Value(0), Value::input(0));
+  b.alloc(f2, AllocFn::kMalloc, Value(32), 1);
+  b.write(f2, 1, Value(0), Value::input(1));
+  const auto program = b.build();
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const AnalysisReport merged = analyze_attack_set(
+      program, &encoder, {Input{{64, 32}}, Input{{32, 64}}});
+  EXPECT_EQ(merged.patches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ht::analysis

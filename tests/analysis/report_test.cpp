@@ -1,0 +1,72 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/builder.hpp"
+
+namespace ht::analysis {
+namespace {
+
+TEST(Report, HeartbleedReportNamesContextAndTypes) {
+  const auto v = corpus::make_heartbleed();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  const auto report = analyze_attack(v.program, &encoder, v.attack);
+  const std::string text = render_report(v.program, encoder, v.attack, report);
+
+  EXPECT_NE(text.find("OVERFLOW"), std::string::npos);
+  EXPECT_NE(text.find("UNINIT"), std::string::npos);
+  // The decoded allocation chain of the response buffer.
+  EXPECT_NE(text.find("main -> tls_server_loop -> tls1_process_heartbeat -> malloc"),
+            std::string::npos);
+  EXPECT_NE(text.find("patches (1)"), std::string::npos);
+}
+
+TEST(Report, CleanRunReportsNoPatches) {
+  const auto v = corpus::make_bc();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto report = analyze_attack(v.program, &encoder, v.benign);
+  const std::string text = render_report(v.program, encoder, v.benign, report);
+  EXPECT_NE(text.find("patches (0)"), std::string::npos);
+  EXPECT_NE(text.find("0 warning(s)"), std::string::npos);
+}
+
+TEST(Report, LeakSectionListsUnfreedBuffers) {
+  using progmodel::AllocFn;
+  using progmodel::Value;
+  progmodel::ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(512), 0);  // never freed
+  b.alloc(main_fn, AllocFn::kCalloc, Value(64), 1);   // never freed
+  const auto program = b.build();
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto report = analyze_attack(program, &encoder, progmodel::Input{});
+  const std::string text = render_report(program, encoder, progmodel::Input{}, report);
+  EXPECT_NE(text.find("leak summary: 2 buffer(s), 576 byte(s)"), std::string::npos);
+  EXPECT_NE(text.find("512 bytes from malloc"), std::string::npos);
+}
+
+TEST(Report, SectionsToggle) {
+  const auto v = corpus::make_bc();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto report = analyze_attack(v.program, &encoder, v.attack);
+  ReportOptions options;
+  options.include_violations = false;
+  options.include_leaks = false;
+  const std::string text =
+      render_report(v.program, encoder, v.attack, report, options);
+  EXPECT_EQ(text.find("warnings:"), std::string::npos);
+  EXPECT_EQ(text.find("leak summary"), std::string::npos);
+  EXPECT_NE(text.find("patches (1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::analysis

@@ -1,0 +1,187 @@
+#include "cce/call_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cce/sample_graphs.hpp"
+
+namespace ht::cce {
+namespace {
+
+TEST(CallGraph, AddFunctionAssignsDenseIds) {
+  CallGraph g;
+  EXPECT_EQ(g.add_function("main"), 0u);
+  EXPECT_EQ(g.add_function("helper"), 1u);
+  EXPECT_EQ(g.function_count(), 2u);
+  EXPECT_EQ(g.function_name(0), "main");
+}
+
+TEST(CallGraph, RejectsEmptyAndDuplicateNames) {
+  CallGraph g;
+  g.add_function("main");
+  EXPECT_THROW(g.add_function("main"), std::invalid_argument);
+  EXPECT_THROW(g.add_function(""), std::invalid_argument);
+}
+
+TEST(CallGraph, FindFunctionByName) {
+  CallGraph g;
+  const FunctionId f = g.add_function("malloc");
+  EXPECT_EQ(g.find_function("malloc"), f);
+  EXPECT_FALSE(g.find_function("calloc").has_value());
+}
+
+TEST(CallGraph, CallSitesAreDistinctEdges) {
+  CallGraph g;
+  const FunctionId a = g.add_function("a");
+  const FunctionId b = g.add_function("b");
+  // Two distinct call sites between the same pair of functions.
+  const CallSiteId s1 = g.add_call_site(a, b);
+  const CallSiteId s2 = g.add_call_site(a, b);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(g.call_site_count(), 2u);
+  EXPECT_EQ(g.outgoing(a).size(), 2u);
+  EXPECT_EQ(g.incoming(b).size(), 2u);
+}
+
+TEST(CallGraph, RejectsUnknownFunctionInCallSite) {
+  CallGraph g;
+  const FunctionId a = g.add_function("a");
+  EXPECT_THROW(g.add_call_site(a, 42), std::out_of_range);
+  EXPECT_THROW(g.add_call_site(42, a), std::out_of_range);
+}
+
+TEST(CallGraph, CycleDetection) {
+  CallGraph g;
+  const FunctionId a = g.add_function("a");
+  const FunctionId b = g.add_function("b");
+  const FunctionId c = g.add_function("c");
+  g.add_call_site(a, b);
+  g.add_call_site(b, c);
+  EXPECT_FALSE(g.has_cycle());
+  g.add_call_site(c, a);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(CallGraph, SelfRecursionIsACycle) {
+  CallGraph g;
+  const FunctionId a = g.add_function("a");
+  g.add_call_site(a, a);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(CallGraph, Fig2IsAcyclic) {
+  EXPECT_FALSE(make_fig2_graph().graph.has_cycle());
+}
+
+TEST(CallGraph, ValidContextCheck) {
+  const Fig2Graph g = make_fig2_graph();
+  EXPECT_TRUE(g.graph.is_valid_context({g.ac, g.ce, g.et1}, g.a));
+  EXPECT_TRUE(g.graph.is_valid_context({}, g.a));  // empty context at root
+  // Chain broken: ce starts at C but ab ends at B.
+  EXPECT_FALSE(g.graph.is_valid_context({g.ab, g.ce}, g.a));
+  // Wrong root.
+  EXPECT_FALSE(g.graph.is_valid_context({g.ce, g.et1}, g.a));
+  // Out-of-range site id.
+  EXPECT_FALSE(g.graph.is_valid_context({999}, g.a));
+}
+
+TEST(Reachability, Fig2MatchesPaper) {
+  const Fig2Graph g = make_fig2_graph();
+  const Reachability r = compute_reachability(g.graph, g.targets());
+  // D, H, I never reach a target (§IV-A).
+  EXPECT_FALSE(r.reaches_target[g.d]);
+  EXPECT_FALSE(r.reaches_target[g.h]);
+  EXPECT_FALSE(r.reaches_target[g.i]);
+  for (FunctionId f : {g.a, g.b, g.c, g.e, g.f, g.t1, g.t2}) {
+    EXPECT_TRUE(r.reaches_target[f]) << g.graph.function_name(f);
+  }
+  EXPECT_FALSE(r.site_reaches_target[g.dh]);
+  EXPECT_FALSE(r.site_reaches_target[g.hi]);
+  for (CallSiteId s : {g.ab, g.ac, g.bf, g.ce, g.cf, g.et1, g.ft1, g.ft2}) {
+    EXPECT_TRUE(r.site_reaches_target[s]);
+  }
+}
+
+TEST(Reachability, HandlesCyclesWithoutHanging) {
+  CallGraph g;
+  const FunctionId a = g.add_function("a");
+  const FunctionId b = g.add_function("b");
+  const FunctionId t = g.add_function("t");
+  g.add_call_site(a, b);
+  g.add_call_site(b, a);  // cycle
+  g.add_call_site(b, t);
+  const Reachability r = compute_reachability(g, {t});
+  EXPECT_TRUE(r.reaches_target[a]);
+  EXPECT_TRUE(r.reaches_target[b]);
+}
+
+TEST(Reachability, UnknownTargetThrows) {
+  CallGraph g;
+  g.add_function("a");
+  EXPECT_THROW(compute_reachability(g, {7}), std::out_of_range);
+}
+
+TEST(EnumerateContexts, Fig2TargetT1) {
+  const Fig2Graph g = make_fig2_graph();
+  auto contexts = enumerate_contexts(g.graph, g.a, g.t1);
+  // A->B->F->T1, A->C->E->T1, A->C->F->T1.
+  EXPECT_EQ(contexts.size(), 3u);
+  for (const auto& ctx : contexts) {
+    EXPECT_TRUE(g.graph.is_valid_context(ctx, g.a));
+    EXPECT_EQ(g.graph.site(ctx.back()).callee, g.t1);
+  }
+}
+
+TEST(EnumerateContexts, Fig2TargetT2HasExactlyTwo) {
+  // "the two calling contexts that reach T2" (§IV-C).
+  const Fig2Graph g = make_fig2_graph();
+  auto contexts = enumerate_contexts(g.graph, g.a, g.t2);
+  ASSERT_EQ(contexts.size(), 2u);
+  const CallingContext via_b{g.ab, g.bf, g.ft2};
+  const CallingContext via_c{g.ac, g.cf, g.ft2};
+  EXPECT_TRUE((contexts[0] == via_b && contexts[1] == via_c) ||
+              (contexts[0] == via_c && contexts[1] == via_b));
+}
+
+TEST(EnumerateContexts, RootEqualsTargetGivesEmptyContext) {
+  const Fig2Graph g = make_fig2_graph();
+  auto contexts = enumerate_contexts(g.graph, g.t1, g.t1);
+  ASSERT_EQ(contexts.size(), 1u);
+  EXPECT_TRUE(contexts[0].empty());
+}
+
+TEST(EnumerateContexts, UnreachableTargetGivesNone) {
+  const Fig2Graph g = make_fig2_graph();
+  EXPECT_TRUE(enumerate_contexts(g.graph, g.d, g.t1).empty());
+}
+
+TEST(EnumerateContexts, BoundedRecursion) {
+  CallGraph g;
+  const FunctionId a = g.add_function("a");
+  const FunctionId t = g.add_function("t");
+  g.add_call_site(a, a);  // direct recursion
+  g.add_call_site(a, t);
+  // With max_cycle_visits=1 the recursive edge may be taken once.
+  const auto contexts = enumerate_contexts(g, a, t, 1024, 1);
+  EXPECT_EQ(contexts.size(), 2u);  // a->t and a->a->t
+  const auto deeper = enumerate_contexts(g, a, t, 1024, 3);
+  EXPECT_EQ(deeper.size(), 4u);
+}
+
+TEST(EnumerateContexts, LimitThrows) {
+  const Fig2Graph g = make_fig2_graph();
+  EXPECT_THROW(enumerate_contexts(g.graph, g.a, g.t1, /*limit=*/1),
+               std::length_error);
+}
+
+TEST(ToDot, ContainsFunctionsAndInstrumentationHighlight) {
+  const Fig2Graph g = make_fig2_graph();
+  std::vector<bool> instrumented(g.graph.call_site_count(), false);
+  instrumented[g.ab] = true;
+  const std::string dot = g.graph.to_dot({g.t1, g.t2}, &instrumented);
+  EXPECT_NE(dot.find("T1"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::cce

@@ -1,0 +1,219 @@
+#include "cce/encoders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "cce/sample_graphs.hpp"
+
+namespace ht::cce {
+namespace {
+
+class Fig2Encoders : public ::testing::Test {
+ protected:
+  Fig2Graph g = make_fig2_graph();
+};
+
+TEST_F(Fig2Encoders, PccAppliesMultiplyAdd) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  const PccEncoder enc(plan);
+  const std::uint64_t c = enc.site_constant(g.ab);
+  EXPECT_EQ(enc.apply(0, g.ab), c);
+  EXPECT_EQ(enc.apply(7, g.ab), 7 * 3 + c);
+}
+
+TEST_F(Fig2Encoders, PccSiteConstantsDeterministicAndDistinct) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  const PccEncoder a(plan), b(plan);
+  std::set<std::uint64_t> constants;
+  for (CallSiteId s = 0; s < g.graph.call_site_count(); ++s) {
+    EXPECT_EQ(a.site_constant(s), b.site_constant(s));
+    constants.insert(a.site_constant(s));
+  }
+  EXPECT_EQ(constants.size(), g.graph.call_site_count());
+}
+
+TEST_F(Fig2Encoders, PccEncodeFoldsOnlyInstrumentedSites) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const PccEncoder enc(plan);
+  // Context A->B->F->T2: only AB is instrumented under Incremental.
+  const CallingContext ctx{g.ab, g.bf, g.ft2};
+  EXPECT_EQ(enc.encode(ctx), enc.site_constant(g.ab));
+}
+
+TEST_F(Fig2Encoders, PccZeroMultiplierRejected) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  PccParams params;
+  params.multiplier = 0;
+  EXPECT_THROW(PccEncoder(plan, params), EncodingError);
+}
+
+TEST_F(Fig2Encoders, PccDistinguishesAllFig2Contexts) {
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(g.graph, g.targets(), strategy);
+    const PccEncoder enc(plan);
+    for (FunctionId t : g.targets()) {
+      const auto contexts = enumerate_contexts(g.graph, g.a, t);
+      std::unordered_set<std::uint64_t> encodings;
+      for (const auto& ctx : contexts) encodings.insert(enc.encode(ctx));
+      EXPECT_EQ(encodings.size(), contexts.size())
+          << strategy_name(strategy) << " target " << g.graph.function_name(t);
+    }
+  }
+}
+
+TEST_F(Fig2Encoders, AdditiveAssignsUniqueIdsToAllContexts) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const AdditiveEncoder enc(g.graph, g.targets(), plan, g.a);
+  // Fig.2 has 3 contexts to T1 and 2 to T2 from A.
+  EXPECT_EQ(enc.num_contexts(), 5u);
+  std::set<std::uint64_t> ids;
+  for (FunctionId t : g.targets()) {
+    for (const auto& ctx : enumerate_contexts(g.graph, g.a, t)) {
+      const std::uint64_t v = enc.encode(ctx);
+      EXPECT_LT(v, enc.num_contexts());
+      ids.insert(v);
+    }
+  }
+  EXPECT_EQ(ids.size(), 5u);  // all distinct, across both targets
+}
+
+TEST_F(Fig2Encoders, AdditiveDecodeRoundTrip) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const AdditiveEncoder enc(g.graph, g.targets(), plan, g.a);
+  for (FunctionId t : g.targets()) {
+    for (const auto& ctx : enumerate_contexts(g.graph, g.a, t)) {
+      const auto decoded = enc.decode(enc.encode(ctx));
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, ctx);
+    }
+  }
+}
+
+TEST_F(Fig2Encoders, AdditiveDecodeRejectsOutOfRange) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const AdditiveEncoder enc(g.graph, g.targets(), plan, g.a);
+  EXPECT_FALSE(enc.decode(enc.num_contexts()).has_value());
+  EXPECT_FALSE(enc.decode(UINT64_MAX).has_value());
+}
+
+TEST_F(Fig2Encoders, SlimSitesCarryZeroIncrements) {
+  // The Ball-Larus construction gives the sole reaching out-edge of a
+  // non-branching node increment 0 — the structural reason Slim is lossless.
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const AdditiveEncoder enc(g.graph, g.targets(), plan, g.a);
+  EXPECT_EQ(enc.increment(g.bf), 0u);   // B is non-branching
+  EXPECT_EQ(enc.increment(g.et1), 0u);  // E is non-branching
+}
+
+TEST_F(Fig2Encoders, SlimEncodesIdenticallyToTcs) {
+  const auto tcs = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const auto slim = compute_plan(g.graph, g.targets(), Strategy::kSlim);
+  const AdditiveEncoder enc_tcs(g.graph, g.targets(), tcs, g.a);
+  const AdditiveEncoder enc_slim(g.graph, g.targets(), slim, g.a);
+  for (FunctionId t : g.targets()) {
+    for (const auto& ctx : enumerate_contexts(g.graph, g.a, t)) {
+      EXPECT_EQ(enc_tcs.encode(ctx), enc_slim.encode(ctx));
+    }
+  }
+}
+
+TEST_F(Fig2Encoders, AdditiveRejectsIncrementalPlan) {
+  auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  EXPECT_THROW(AdditiveEncoder(g.graph, g.targets(), std::move(plan), g.a),
+               EncodingError);
+}
+
+TEST_F(Fig2Encoders, AdditiveRejectsUnknownRootOrTarget) {
+  auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  EXPECT_THROW(AdditiveEncoder(g.graph, g.targets(), plan, 99), EncodingError);
+  EXPECT_THROW(AdditiveEncoder(g.graph, {99}, plan, g.a), EncodingError);
+}
+
+TEST(AdditiveEncoder, RejectsRecursiveReachingGraph) {
+  CallGraph g;
+  const FunctionId main_fn = g.add_function("main");
+  const FunctionId f = g.add_function("f");
+  const FunctionId t = g.add_function("malloc");
+  g.add_call_site(main_fn, f);
+  g.add_call_site(f, f);
+  g.add_call_site(f, t);
+  auto plan = compute_plan(g, {t}, Strategy::kTcs);
+  EXPECT_THROW(AdditiveEncoder(g, {t}, std::move(plan), main_fn), EncodingError);
+}
+
+TEST(AdditiveEncoder, CycleOutsideReachingSubgraphIsFine) {
+  // Recursion in dead code (never reaches a target) must not block encoding.
+  CallGraph g;
+  const FunctionId main_fn = g.add_function("main");
+  const FunctionId t = g.add_function("malloc");
+  const FunctionId dead = g.add_function("dead");
+  g.add_call_site(main_fn, t);
+  g.add_call_site(dead, dead);
+  auto plan = compute_plan(g, {t}, Strategy::kTcs);
+  const AdditiveEncoder enc(g, {t}, std::move(plan), main_fn);
+  EXPECT_EQ(enc.num_contexts(), 1u);
+}
+
+TEST(CcidRegister, TracksContextThroughCallsAndReturns) {
+  const Fig2Graph g = make_fig2_graph();
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const PccEncoder enc(plan);
+  CcidRegister reg(enc);
+
+  EXPECT_EQ(reg.value(), 0u);
+  reg.on_call(g.ac);                       // enter C
+  reg.on_call(g.ce);                       // enter E
+  reg.on_call(g.et1);                      // enter T1
+  EXPECT_EQ(reg.value(), enc.encode({g.ac, g.ce, g.et1}));
+  reg.on_return();                         // back in E
+  reg.on_return();                         // back in C
+  EXPECT_EQ(reg.value(), enc.encode({g.ac}));
+  reg.on_call(g.cf);                       // enter F
+  reg.on_call(g.ft2);                      // enter T2
+  EXPECT_EQ(reg.value(), enc.encode({g.ac, g.cf, g.ft2}));
+  EXPECT_EQ(reg.depth(), 3u);  // C, F, T2 active below the root
+}
+
+TEST(CcidRegister, CountsOnlyInstrumentedOps) {
+  const Fig2Graph g = make_fig2_graph();
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const PccEncoder enc(plan);
+  CcidRegister reg(enc);
+  EXPECT_TRUE(reg.on_call(g.ab));    // instrumented under Incremental
+  EXPECT_FALSE(reg.on_call(g.bf));   // not instrumented
+  EXPECT_FALSE(reg.on_call(g.ft2));  // not instrumented
+  EXPECT_EQ(reg.ops(), 1u);
+}
+
+TEST(CcidRegister, ReturnWithoutCallThrows) {
+  const Fig2Graph g = make_fig2_graph();
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  const PccEncoder enc(plan);
+  CcidRegister reg(enc);
+  EXPECT_THROW(reg.on_return(), std::logic_error);
+}
+
+TEST(CcidRegister, ResetClearsState) {
+  const Fig2Graph g = make_fig2_graph();
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  const PccEncoder enc(plan);
+  CcidRegister reg(enc);
+  reg.on_call(g.ab);
+  reg.reset();
+  EXPECT_EQ(reg.value(), 0u);
+  EXPECT_EQ(reg.depth(), 0u);
+  EXPECT_EQ(reg.ops(), 0u);
+}
+
+TEST(PccEncoder, UninstrumentedContextEncodesToZero) {
+  const Fig2Graph g = make_fig2_graph();
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const PccEncoder enc(plan);
+  // D->H is never instrumented; the register stays at the entry value.
+  EXPECT_EQ(enc.encode({g.dh, g.hi}), 0u);
+}
+
+}  // namespace
+}  // namespace ht::cce

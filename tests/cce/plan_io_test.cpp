@@ -1,0 +1,81 @@
+#include "cce/plan_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cce/encoders.hpp"
+#include "cce/sample_graphs.hpp"
+
+namespace ht::cce {
+namespace {
+
+class PlanIo : public ::testing::Test {
+ protected:
+  Fig2Graph g = make_fig2_graph();
+};
+
+TEST_F(PlanIo, RoundTripEveryStrategy) {
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(g.graph, g.targets(), strategy);
+    const auto parsed = parse_plan(serialize_plan(plan, g.graph), g.graph);
+    ASSERT_TRUE(parsed.plan.has_value()) << parsed.error;
+    EXPECT_EQ(parsed.plan->strategy, plan.strategy);
+    EXPECT_EQ(parsed.plan->instrumented, plan.instrumented);
+  }
+}
+
+TEST_F(PlanIo, FingerprintStableAndStructural) {
+  EXPECT_EQ(graph_fingerprint(g.graph), graph_fingerprint(make_fig2_graph().graph));
+  // A structurally different graph fingerprints differently.
+  CallGraph other;
+  const auto a = other.add_function("A");
+  const auto b = other.add_function("B");
+  other.add_call_site(a, b);
+  EXPECT_NE(graph_fingerprint(g.graph), graph_fingerprint(other));
+}
+
+TEST_F(PlanIo, StalePlanRejectedOnFingerprintMismatch) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kSlim);
+  const std::string text = serialize_plan(plan, g.graph);
+  // "The program changed": one extra call site invalidates the plan.
+  Fig2Graph changed = make_fig2_graph();
+  changed.graph.add_call_site(changed.d, changed.i);
+  const auto parsed = parse_plan(text, changed.graph);
+  EXPECT_FALSE(parsed.plan.has_value());
+  EXPECT_NE(parsed.error.find("mismatch"), std::string::npos);
+}
+
+TEST_F(PlanIo, RejectsCorruptInputs) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const std::string good = serialize_plan(plan, g.graph);
+
+  EXPECT_FALSE(parse_plan("", g.graph).plan.has_value());
+  EXPECT_FALSE(parse_plan("version 2\n", g.graph).plan.has_value());
+
+  std::string bad_strategy = good;
+  bad_strategy.replace(bad_strategy.find("TCS"), 3, "WAT");
+  EXPECT_FALSE(parse_plan(bad_strategy, g.graph).plan.has_value());
+
+  std::string bad_site = good;
+  bad_site += "instrumented 9999\n";
+  EXPECT_FALSE(parse_plan(bad_site, g.graph).plan.has_value());
+
+  std::string bad_directive = good + "bogus line\n";
+  EXPECT_FALSE(parse_plan(bad_directive, g.graph).plan.has_value());
+}
+
+TEST_F(PlanIo, ParsedPlanEncodesIdentically) {
+  // The point of persistence: the reloaded plan drives identical encodings.
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const auto parsed = parse_plan(serialize_plan(plan, g.graph), g.graph);
+  ASSERT_TRUE(parsed.plan.has_value());
+  const PccEncoder original(plan);
+  const PccEncoder reloaded(*parsed.plan);
+  for (FunctionId t : g.targets()) {
+    for (const auto& ctx : enumerate_contexts(g.graph, g.a, t)) {
+      EXPECT_EQ(original.encode(ctx), reloaded.encode(ctx));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ht::cce

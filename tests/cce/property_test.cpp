@@ -1,0 +1,142 @@
+// Property-based sweeps over randomly generated layered call-graph DAGs.
+//
+// These check the §IV soundness lemma, plan nesting, additive encode/decode
+// round-trips and PCC collision behaviour across many graph shapes, not just
+// the Fig. 2 example.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cce/encoders.hpp"
+#include "cce/sample_graphs.hpp"
+#include "cce/strategies.hpp"
+#include "cce/verify.hpp"
+
+namespace ht::cce {
+namespace {
+
+struct DagCase {
+  std::uint64_t seed;
+  RandomDagParams params;
+};
+
+std::vector<DagCase> make_cases() {
+  std::vector<DagCase> cases;
+  // Sweep shapes: shallow/bushy, deep/narrow, many targets, heavy skip edges.
+  const RandomDagParams shapes[] = {
+      {.layers = 4, .functions_per_layer = 4, .max_fanout = 3, .target_count = 2, .skip_layer_probability = 0.0},
+      {.layers = 6, .functions_per_layer = 5, .max_fanout = 3, .target_count = 2, .skip_layer_probability = 0.2},
+      {.layers = 8, .functions_per_layer = 3, .max_fanout = 2, .target_count = 3, .skip_layer_probability = 0.3},
+      {.layers = 5, .functions_per_layer = 7, .max_fanout = 4, .target_count = 5, .skip_layer_probability = 0.1},
+      {.layers = 3, .functions_per_layer = 8, .max_fanout = 5, .target_count = 1, .skip_layer_probability = 0.0},
+  };
+  std::uint64_t seed = 1000;
+  for (const auto& shape : shapes) {
+    for (int rep = 0; rep < 4; ++rep) {
+      cases.push_back({seed++, shape});
+    }
+  }
+  return cases;
+}
+
+class RandomDagProperty : public ::testing::TestWithParam<DagCase> {
+ protected:
+  void SetUp() override {
+    support::Rng rng(GetParam().seed);
+    dag_ = make_random_dag(rng, GetParam().params);
+  }
+  RandomDag dag_;
+};
+
+TEST_P(RandomDagProperty, GraphIsAcyclicAndTargetsReachable) {
+  EXPECT_FALSE(dag_.graph.has_cycle());
+  const Reachability r = compute_reachability(dag_.graph, dag_.targets);
+  EXPECT_TRUE(r.reaches_target[dag_.root]);
+}
+
+TEST_P(RandomDagProperty, PlansAreNested) {
+  const auto fcs = compute_plan(dag_.graph, dag_.targets, Strategy::kFcs);
+  const auto tcs = compute_plan(dag_.graph, dag_.targets, Strategy::kTcs);
+  const auto slim = compute_plan(dag_.graph, dag_.targets, Strategy::kSlim);
+  const auto inc = compute_plan(dag_.graph, dag_.targets, Strategy::kIncremental);
+  for (CallSiteId s = 0; s < dag_.graph.call_site_count(); ++s) {
+    EXPECT_LE(tcs.instrumented[s], fcs.instrumented[s]);
+    EXPECT_LE(slim.instrumented[s], tcs.instrumented[s]);
+    EXPECT_LE(inc.instrumented[s], slim.instrumented[s]);
+  }
+}
+
+TEST_P(RandomDagProperty, EveryStrategyIsSound) {
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(dag_.graph, dag_.targets, strategy);
+    const auto report = verify_plan_distinguishability(dag_.graph, dag_.root,
+                                                       dag_.targets, plan);
+    EXPECT_TRUE(report.sound())
+        << strategy_name(strategy) << " seed " << GetParam().seed
+        << " ambiguous pairs " << report.ambiguous_pairs;
+    EXPECT_GT(report.contexts, 0u);
+  }
+}
+
+TEST_P(RandomDagProperty, AdditiveRoundTripAllContexts) {
+  const auto plan = compute_plan(dag_.graph, dag_.targets, Strategy::kTcs);
+  const AdditiveEncoder enc(dag_.graph, dag_.targets, plan, dag_.root);
+  std::unordered_set<std::uint64_t> ids;
+  std::size_t total = 0;
+  for (FunctionId t : dag_.targets) {
+    for (const auto& ctx : enumerate_contexts(dag_.graph, dag_.root, t)) {
+      const std::uint64_t v = enc.encode(ctx);
+      EXPECT_LT(v, enc.num_contexts());
+      ids.insert(v);
+      ++total;
+      const auto decoded = enc.decode(v);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, ctx);
+    }
+  }
+  EXPECT_EQ(ids.size(), total);             // globally unique
+  EXPECT_EQ(enc.num_contexts(), total);     // dense numbering
+}
+
+TEST_P(RandomDagProperty, SlimEncodesIdenticallyToTcs) {
+  const auto tcs = compute_plan(dag_.graph, dag_.targets, Strategy::kTcs);
+  const auto slim = compute_plan(dag_.graph, dag_.targets, Strategy::kSlim);
+  const AdditiveEncoder enc_tcs(dag_.graph, dag_.targets, tcs, dag_.root);
+  const AdditiveEncoder enc_slim(dag_.graph, dag_.targets, slim, dag_.root);
+  for (FunctionId t : dag_.targets) {
+    for (const auto& ctx : enumerate_contexts(dag_.graph, dag_.root, t)) {
+      EXPECT_EQ(enc_tcs.encode(ctx), enc_slim.encode(ctx));
+    }
+  }
+}
+
+TEST_P(RandomDagProperty, PccHasNoSameTargetCollisions) {
+  // 64-bit PCC collisions on graphs of this size are astronomically
+  // unlikely; any observed collision indicates an encoder bug.
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(dag_.graph, dag_.targets, strategy);
+    const PccEncoder enc(plan);
+    const auto report =
+        analyze_collisions(dag_.graph, dag_.root, dag_.targets, enc);
+    EXPECT_EQ(report.colliding_pairs, 0u) << strategy_name(strategy);
+  }
+}
+
+TEST_P(RandomDagProperty, InstrumentationMonotonicallyShrinks) {
+  const auto fcs = compute_plan(dag_.graph, dag_.targets, Strategy::kFcs);
+  const auto tcs = compute_plan(dag_.graph, dag_.targets, Strategy::kTcs);
+  const auto slim = compute_plan(dag_.graph, dag_.targets, Strategy::kSlim);
+  const auto inc = compute_plan(dag_.graph, dag_.targets, Strategy::kIncremental);
+  EXPECT_GE(fcs.instrumented_count(), tcs.instrumented_count());
+  EXPECT_GE(tcs.instrumented_count(), slim.instrumented_count());
+  EXPECT_GE(slim.instrumented_count(), inc.instrumented_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RandomDagProperty,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<DagCase>& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace ht::cce

@@ -1,0 +1,163 @@
+#include "cce/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cce/sample_graphs.hpp"
+
+namespace ht::cce {
+namespace {
+
+std::set<CallSiteId> instrumented_set(const InstrumentationPlan& plan) {
+  std::set<CallSiteId> out;
+  for (CallSiteId s = 0; s < plan.instrumented.size(); ++s) {
+    if (plan.instrumented[s]) out.insert(s);
+  }
+  return out;
+}
+
+class Fig2Strategies : public ::testing::Test {
+ protected:
+  Fig2Graph g = make_fig2_graph();
+};
+
+TEST_F(Fig2Strategies, FcsInstrumentsEverySite) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  EXPECT_EQ(plan.instrumented_count(), g.graph.call_site_count());
+  EXPECT_DOUBLE_EQ(plan.instrumented_fraction(), 1.0);
+}
+
+TEST_F(Fig2Strategies, TcsPrunesExactlyDhAndHi) {
+  // §IV-A: "the edges DH and HI cannot reach any of the target functions
+  // T1 and T2, they are pruned".
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const std::set<CallSiteId> expected{g.ab, g.ac, g.bf, g.ce,
+                                      g.cf, g.et1, g.ft1, g.ft2};
+  EXPECT_EQ(instrumented_set(plan), expected);
+}
+
+TEST_F(Fig2Strategies, SlimExcludesNonBranchingBAndE) {
+  // §IV-B: "all call sites in the non-branching nodes, B and E, are
+  // excluded from the instrumentation set".
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kSlim);
+  const std::set<CallSiteId> expected{g.ab, g.ac, g.ce, g.cf, g.ft1, g.ft2};
+  EXPECT_EQ(instrumented_set(plan), expected);
+}
+
+TEST_F(Fig2Strategies, IncrementalKeepsOnlyTrueBranchingEdges) {
+  // §IV-C: "only the call sites that correspond to AB, AC, CE, CF need to
+  // be instrumented".
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const std::set<CallSiteId> expected{g.ab, g.ac, g.ce, g.cf};
+  EXPECT_EQ(instrumented_set(plan), expected);
+}
+
+TEST_F(Fig2Strategies, StrategiesAreNested) {
+  // FCS ⊇ TCS ⊇ Slim ⊇ Incremental on any graph.
+  const auto fcs = compute_plan(g.graph, g.targets(), Strategy::kFcs);
+  const auto tcs = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const auto slim = compute_plan(g.graph, g.targets(), Strategy::kSlim);
+  const auto inc = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  for (CallSiteId s = 0; s < g.graph.call_site_count(); ++s) {
+    EXPECT_LE(tcs.instrumented[s], fcs.instrumented[s]);
+    EXPECT_LE(slim.instrumented[s], tcs.instrumented[s]);
+    EXPECT_LE(inc.instrumented[s], slim.instrumented[s]);
+  }
+}
+
+TEST_F(Fig2Strategies, ClassifyNodesMatchesPaper) {
+  const auto nodes = classify_nodes(g.graph, g.targets());
+  // A: true branching (both out-edges reach T1).
+  EXPECT_TRUE(nodes[g.a].branching);
+  EXPECT_TRUE(nodes[g.a].true_branching);
+  // C: true branching ("its two outgoing edges can reach T1").
+  EXPECT_TRUE(nodes[g.c].branching);
+  EXPECT_TRUE(nodes[g.c].true_branching);
+  // F: branching but *false* branching (FT1 only reaches T1, FT2 only T2).
+  EXPECT_TRUE(nodes[g.f].branching);
+  EXPECT_FALSE(nodes[g.f].true_branching);
+  // B, E: non-branching.
+  EXPECT_FALSE(nodes[g.b].branching);
+  EXPECT_FALSE(nodes[g.e].branching);
+  // D: no reaching out-edges at all.
+  EXPECT_TRUE(nodes[g.d].reaching_out_edges.empty());
+}
+
+TEST_F(Fig2Strategies, DuplicateTargetsTolerated) {
+  const std::vector<FunctionId> dup{g.t1, g.t2, g.t1, g.t1};
+  const auto plan = compute_plan(g.graph, dup, Strategy::kIncremental);
+  const std::set<CallSiteId> expected{g.ab, g.ac, g.ce, g.cf};
+  EXPECT_EQ(instrumented_set(plan), expected);
+}
+
+TEST(Strategies, UnknownTargetThrows) {
+  CallGraph g;
+  g.add_function("a");
+  EXPECT_THROW(compute_plan(g, {9}, Strategy::kTcs), std::out_of_range);
+}
+
+TEST(Strategies, SingleTargetMakesSlimAndIncrementalAgree) {
+  // With one target, "branching" and "true branching" coincide.
+  const Fig2Graph g = make_fig2_graph();
+  const std::vector<FunctionId> only_t1{g.t1};
+  const auto slim = compute_plan(g.graph, only_t1, Strategy::kSlim);
+  const auto inc = compute_plan(g.graph, only_t1, Strategy::kIncremental);
+  EXPECT_EQ(instrumented_set(slim), instrumented_set(inc));
+}
+
+TEST(Strategies, LinearChainNeedsNoInstrumentationBeyondFcs) {
+  // main -> f -> g -> malloc: a single context, nothing to distinguish.
+  CallGraph g;
+  const FunctionId main_fn = g.add_function("main");
+  const FunctionId f = g.add_function("f");
+  const FunctionId h = g.add_function("h");
+  const FunctionId target = g.add_function("malloc");
+  g.add_call_site(main_fn, f);
+  g.add_call_site(f, h);
+  g.add_call_site(h, target);
+  EXPECT_EQ(compute_plan(g, {target}, Strategy::kTcs).instrumented_count(), 3u);
+  EXPECT_EQ(compute_plan(g, {target}, Strategy::kSlim).instrumented_count(), 0u);
+  EXPECT_EQ(compute_plan(g, {target}, Strategy::kIncremental).instrumented_count(), 0u);
+}
+
+TEST(Strategies, RecursiveGraphStillProducesPlan) {
+  CallGraph g;
+  const FunctionId main_fn = g.add_function("main");
+  const FunctionId f = g.add_function("f");
+  const FunctionId target = g.add_function("malloc");
+  const CallSiteId mf = g.add_call_site(main_fn, f);
+  const CallSiteId ff = g.add_call_site(f, f);  // recursion
+  const CallSiteId ft = g.add_call_site(f, target);
+  const auto tcs = compute_plan(g, {target}, Strategy::kTcs);
+  EXPECT_TRUE(tcs.instrumented[mf]);
+  EXPECT_TRUE(tcs.instrumented[ff]);
+  EXPECT_TRUE(tcs.instrumented[ft]);
+  // f has two reaching out-edges (f->f and f->malloc), both reach malloc:
+  // true branching — the recursive edge must stay instrumented so recursion
+  // depth remains distinguishable.
+  const auto inc = compute_plan(g, {target}, Strategy::kIncremental);
+  EXPECT_TRUE(inc.instrumented[ff]);
+  EXPECT_TRUE(inc.instrumented[ft]);
+  EXPECT_FALSE(inc.instrumented[mf]);  // main is non-branching
+}
+
+TEST(Strategies, PlanStatsHelpers) {
+  const Fig2Graph g = make_fig2_graph();
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  EXPECT_EQ(plan.instrumented_count(), 4u);
+  EXPECT_DOUBLE_EQ(plan.instrumented_fraction(), 4.0 / 10.0);
+  EXPECT_TRUE(plan.is_instrumented(g.ab));
+  EXPECT_FALSE(plan.is_instrumented(g.ft1));
+  EXPECT_FALSE(plan.is_instrumented(12345));  // out of range is safe
+}
+
+TEST(Strategies, StrategyNames) {
+  EXPECT_EQ(strategy_name(Strategy::kFcs), "FCS");
+  EXPECT_EQ(strategy_name(Strategy::kTcs), "TCS");
+  EXPECT_EQ(strategy_name(Strategy::kSlim), "Slim");
+  EXPECT_EQ(strategy_name(Strategy::kIncremental), "Incremental");
+}
+
+}  // namespace
+}  // namespace ht::cce

@@ -1,0 +1,107 @@
+#include "cce/targeted_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cce/sample_graphs.hpp"
+#include "cce/strategies.hpp"
+
+namespace ht::cce {
+namespace {
+
+class Fig2Decoder : public ::testing::Test {
+ protected:
+  Fig2Graph g = make_fig2_graph();
+};
+
+TEST_F(Fig2Decoder, DecodesEveryContextUnderEveryStrategy) {
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(g.graph, g.targets(), strategy);
+    const PccEncoder encoder(plan);
+    const TargetedDecoder decoder(g.graph, g.a, g.targets(), encoder);
+    EXPECT_EQ(decoder.context_count(), 5u);
+    for (FunctionId t : g.targets()) {
+      for (const auto& ctx : enumerate_contexts(g.graph, g.a, t)) {
+        const auto decoded = decoder.decode(t, encoder.encode(ctx));
+        ASSERT_TRUE(decoded.has_value()) << strategy_name(strategy);
+        EXPECT_EQ(*decoded, ctx) << strategy_name(strategy);
+        EXPECT_FALSE(decoder.ambiguous(t, encoder.encode(ctx)));
+      }
+    }
+  }
+}
+
+TEST_F(Fig2Decoder, IncrementalCrossTargetReuseIsNotAmbiguity) {
+  // Under Incremental, A->B->F->T1 and A->B->F->T2 share a CCID, but the
+  // decoder keys on {target, CCID}, so both decode exactly.
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const PccEncoder encoder(plan);
+  const TargetedDecoder decoder(g.graph, g.a, g.targets(), encoder);
+  const CallingContext to_t1{g.ab, g.bf, g.ft1};
+  const CallingContext to_t2{g.ab, g.bf, g.ft2};
+  const std::uint64_t shared = encoder.encode(to_t1);
+  ASSERT_EQ(shared, encoder.encode(to_t2));
+  EXPECT_EQ(decoder.decode(g.t1, shared), to_t1);
+  EXPECT_EQ(decoder.decode(g.t2, shared), to_t2);
+}
+
+TEST_F(Fig2Decoder, UnknownCcidReturnsNullopt) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const PccEncoder encoder(plan);
+  const TargetedDecoder decoder(g.graph, g.a, g.targets(), encoder);
+  EXPECT_FALSE(decoder.decode(g.t1, 0xdeadbeef).has_value());
+  EXPECT_FALSE(decoder.ambiguous(g.t1, 0xdeadbeef));
+}
+
+TEST_F(Fig2Decoder, AmbiguityDetectedWhenEncoderDegenerates) {
+  // An empty instrumentation plan encodes every context to 0: the decoder
+  // must report the collision rather than silently mislead.
+  InstrumentationPlan empty;
+  empty.instrumented.assign(g.graph.call_site_count(), false);
+  const PccEncoder encoder(std::move(empty));
+  const TargetedDecoder decoder(g.graph, g.a, g.targets(), encoder);
+  EXPECT_TRUE(decoder.ambiguous(g.t1, 0));  // 3 T1 contexts collide at 0
+  EXPECT_TRUE(decoder.decode(g.t1, 0).has_value());  // still returns one
+}
+
+TEST_F(Fig2Decoder, FormatContextReadable) {
+  const CallingContext ctx{g.ac, g.ce, g.et1};
+  EXPECT_EQ(TargetedDecoder::format_context(g.graph, g.a, ctx),
+            "A -> C -> E -> T1");
+  EXPECT_EQ(TargetedDecoder::format_context(g.graph, g.a, {}), "A");
+}
+
+TEST(TargetedDecoder, HandlesRecursionBounded) {
+  CallGraph g;
+  const FunctionId main_fn = g.add_function("main");
+  const FunctionId f = g.add_function("f");
+  const FunctionId target = g.add_function("malloc");
+  g.add_call_site(main_fn, f);
+  g.add_call_site(f, f);  // recursion
+  g.add_call_site(f, target);
+  const auto plan = compute_plan(g, {target}, Strategy::kTcs);
+  const PccEncoder encoder(plan);
+  const TargetedDecoder decoder(g, main_fn, {target}, encoder, 1 << 12,
+                                /*max_cycle_visits=*/2);
+  // Depth 0, 1, 2 of the recursive frame are all decodable and distinct.
+  EXPECT_EQ(decoder.context_count(), 3u);
+  for (const auto& ctx : enumerate_contexts(g, main_fn, target, 1 << 12, 2)) {
+    EXPECT_EQ(decoder.decode(target, encoder.encode(ctx)), ctx);
+  }
+}
+
+TEST(TargetedDecoder, ContextLimitEnforced) {
+  ht::support::Rng rng(5);
+  RandomDagParams params;
+  params.layers = 10;
+  params.functions_per_layer = 6;
+  params.max_fanout = 3;
+  const RandomDag dag = make_random_dag(rng, params);
+  const auto plan = compute_plan(dag.graph, dag.targets, Strategy::kFcs);
+  const PccEncoder encoder(plan);
+  EXPECT_THROW(
+      TargetedDecoder(dag.graph, dag.root, dag.targets, encoder, /*limit=*/2),
+      std::length_error);
+}
+
+}  // namespace
+}  // namespace ht::cce

@@ -1,0 +1,88 @@
+#include "cce/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cce/sample_graphs.hpp"
+
+namespace ht::cce {
+namespace {
+
+class Fig2Verify : public ::testing::Test {
+ protected:
+  Fig2Graph g = make_fig2_graph();
+};
+
+TEST_F(Fig2Verify, InstrumentedSubsequenceFilters) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const CallingContext ctx{g.ac, g.ce, g.et1};
+  const auto sub = instrumented_subsequence(plan, ctx);
+  // Under Incremental only AC and CE are instrumented on this path.
+  const std::vector<CallSiteId> expected{g.ac, g.ce};
+  EXPECT_EQ(sub, expected);
+}
+
+TEST_F(Fig2Verify, AllStrategiesSoundOnFig2) {
+  // The central lemma of §IV: every strategy keeps same-target contexts
+  // distinguishable by their instrumented-site subsequences.
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(g.graph, g.targets(), strategy);
+    const auto report =
+        verify_plan_distinguishability(g.graph, g.a, g.targets(), plan);
+    EXPECT_EQ(report.contexts, 5u) << strategy_name(strategy);
+    EXPECT_TRUE(report.sound()) << strategy_name(strategy);
+  }
+}
+
+TEST_F(Fig2Verify, EmptyPlanIsUnsound) {
+  // Instrumenting nothing cannot distinguish the multiple contexts.
+  InstrumentationPlan empty;
+  empty.instrumented.assign(g.graph.call_site_count(), false);
+  const auto report =
+      verify_plan_distinguishability(g.graph, g.a, g.targets(), empty);
+  EXPECT_FALSE(report.sound());
+  EXPECT_GT(report.ambiguous_pairs, 0u);
+}
+
+TEST_F(Fig2Verify, DroppingATrueBranchingEdgeBreaksSoundness) {
+  auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  plan.instrumented[g.ce] = false;
+  plan.instrumented[g.cf] = false;
+  const auto report =
+      verify_plan_distinguishability(g.graph, g.a, g.targets(), plan);
+  // The T1 contexts A->C->E->T1 and A->C->F->T1 both reduce to {AC}.
+  EXPECT_FALSE(report.sound());
+}
+
+TEST_F(Fig2Verify, CollisionAnalysisExactEncoderHasNoCollisions) {
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kTcs);
+  const AdditiveEncoder enc(g.graph, g.targets(), plan, g.a);
+  const auto report = analyze_collisions(g.graph, g.a, g.targets(), enc);
+  EXPECT_EQ(report.contexts, 5u);
+  EXPECT_EQ(report.colliding_pairs, 0u);
+  EXPECT_EQ(report.distinct_encodings, 5u);
+}
+
+TEST_F(Fig2Verify, CollisionAnalysisPcc) {
+  for (Strategy strategy : kAllStrategies) {
+    const auto plan = compute_plan(g.graph, g.targets(), strategy);
+    const PccEncoder enc(plan);
+    const auto report = analyze_collisions(g.graph, g.a, g.targets(), enc);
+    EXPECT_EQ(report.colliding_pairs, 0u) << strategy_name(strategy);
+  }
+}
+
+TEST_F(Fig2Verify, IncrementalSharesEncodingsAcrossTargetsOnly) {
+  // Under Incremental, a T1 context and a T2 context may share a CCID —
+  // that is exactly why patches are keyed on {FUN, CCID}. Same-target
+  // collisions must still be absent.
+  const auto plan = compute_plan(g.graph, g.targets(), Strategy::kIncremental);
+  const PccEncoder enc(plan);
+  // Context A->B->F->T1 and A->B->F->T2 share the subsequence {AB}.
+  EXPECT_EQ(enc.encode({g.ab, g.bf, g.ft1}), enc.encode({g.ab, g.bf, g.ft2}));
+  const auto report = analyze_collisions(g.graph, g.a, g.targets(), enc);
+  EXPECT_EQ(report.colliding_pairs, 0u);  // same-target pairs only
+  EXPECT_LT(report.distinct_encodings, report.contexts);  // cross-target reuse
+}
+
+}  // namespace
+}  // namespace ht::cce

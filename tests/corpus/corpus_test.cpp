@@ -1,0 +1,96 @@
+#include "corpus/vulnerable_programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/patch_generator.hpp"
+
+namespace ht::corpus {
+namespace {
+
+TEST(Corpus, Table2HasSevenPrograms) {
+  const auto corpus = make_table2_corpus();
+  ASSERT_EQ(corpus.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& v : corpus) names.insert(v.name);
+  EXPECT_EQ(names.size(), 7u);
+  EXPECT_TRUE(names.count("heartbleed"));
+  EXPECT_TRUE(names.count("bc-1.06"));
+  EXPECT_TRUE(names.count("optipng-0.6.4"));
+}
+
+TEST(Corpus, SamateHasTwentyThreeCases) {
+  // "SAMATE Dataset ... contains 23 programs with heap buffer overflow,
+  // uninitialized read, or use after free vulnerabilities."
+  const auto suite = make_samate_suite();
+  ASSERT_EQ(suite.size(), 23u);
+  int overflow = 0, uaf = 0, uninit = 0;
+  for (const auto& v : suite) {
+    if (v.expected_mask == patch::kOverflow) ++overflow;
+    if (v.expected_mask == patch::kUseAfterFree) ++uaf;
+    if (v.expected_mask == patch::kUninitRead) ++uninit;
+  }
+  EXPECT_EQ(overflow, 9);
+  EXPECT_EQ(uaf, 7);
+  EXPECT_EQ(uninit, 7);
+}
+
+TEST(Corpus, AllProgramsHaveAcyclicGraphsAndTargets) {
+  for (const auto& corpus : {make_table2_corpus(), make_samate_suite()}) {
+    for (const auto& v : corpus) {
+      EXPECT_FALSE(v.program.graph().has_cycle()) << v.name;
+      EXPECT_FALSE(v.program.alloc_targets().empty()) << v.name;
+    }
+  }
+}
+
+TEST(Corpus, HeartbleedShapeMatchesPaper) {
+  const auto v = make_heartbleed();
+  EXPECT_EQ(v.expected_mask, patch::kUninitRead | patch::kOverflow);
+  // 64 KB attack read out of a 34 KB buffer (§VIII-A).
+  EXPECT_EQ(v.attack.params[1], 64u * 1024);
+  EXPECT_EQ(v.legit_nonzero_leak, 1024u);
+}
+
+class CorpusOfflineDetection
+    : public ::testing::TestWithParam<VulnerableProgram> {};
+
+TEST_P(CorpusOfflineDetection, BenignCleanAttackDetectedWithExpectedType) {
+  const VulnerableProgram& v = GetParam();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+
+  const auto benign = analysis::analyze_attack(v.program, &encoder, v.benign);
+  EXPECT_FALSE(benign.attack_detected()) << v.name;
+
+  const auto attack = analysis::analyze_attack(v.program, &encoder, v.attack);
+  ASSERT_TRUE(attack.attack_detected()) << v.name;
+  std::uint8_t mask = 0;
+  for (const auto& p : attack.patches) mask |= p.vuln_mask;
+  EXPECT_EQ(mask & v.expected_mask, v.expected_mask) << v.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, CorpusOfflineDetection, ::testing::ValuesIn(make_table2_corpus()),
+    [](const ::testing::TestParamInfo<VulnerableProgram>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Samate, CorpusOfflineDetection, ::testing::ValuesIn(make_samate_suite()),
+    [](const ::testing::TestParamInfo<VulnerableProgram>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ht::corpus

@@ -1,0 +1,74 @@
+#include "corpus/extended_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/effectiveness.hpp"
+
+namespace ht::corpus {
+namespace {
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class ExtendedEffectiveness : public ::testing::TestWithParam<VulnerableProgram> {};
+
+TEST_P(ExtendedEffectiveness, FullPipelinePasses) {
+  const EffectivenessResult r = evaluate_effectiveness(GetParam());
+  EXPECT_TRUE(r.benign_clean) << r.name;
+  EXPECT_TRUE(r.detected) << r.name;
+  EXPECT_EQ(r.patch_mask & r.expected_mask, r.expected_mask) << r.name;
+  EXPECT_TRUE(r.attack_blocked_patched) << r.name;
+  EXPECT_TRUE(r.benign_runs_patched) << r.name;
+  EXPECT_TRUE(r.pass()) << r.name;
+}
+
+TEST_P(ExtendedEffectiveness, AttackIsRealWhenUnpatched) {
+  const EffectivenessResult r = evaluate_effectiveness(GetParam());
+  EXPECT_TRUE(r.attack_effect_unpatched) << r.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extended, ExtendedEffectiveness, ::testing::ValuesIn(make_extended_corpus()),
+    [](const ::testing::TestParamInfo<VulnerableProgram>& info) {
+      return sanitize(info.param.name);
+    });
+
+TEST(ExtendedCorpus, DoubleTroubleYieldsTwoPatches) {
+  // One attack input, two vulnerable buffers, two distinct patches (§V).
+  const auto v = make_double_trouble();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  const auto report = analysis::analyze_attack(v.program, &encoder, v.attack);
+  ASSERT_EQ(report.patches.size(), 2u);
+  EXPECT_NE(report.patches[0].ccid, report.patches[1].ccid);
+  std::uint8_t mask = 0;
+  for (const auto& p : report.patches) mask |= p.vuln_mask;
+  EXPECT_EQ(mask, patch::kUninitRead | patch::kOverflow);
+}
+
+TEST(ExtendedCorpus, ReallocConfusionPatchKeysOnReallocFn) {
+  const auto v = make_realloc_confusion();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  const auto report = analysis::analyze_attack(v.program, &encoder, v.attack);
+  ASSERT_EQ(report.patches.size(), 1u);
+  EXPECT_EQ(report.patches[0].fn, progmodel::AllocFn::kRealloc);
+}
+
+TEST(ExtendedCorpus, SessionUafDefenseBeatsGrooming) {
+  const auto r = evaluate_effectiveness(make_session_uaf());
+  // Unpatched: the dangling vtable read hits the groomed (reused) object.
+  EXPECT_GT(r.unpatched_obs.stale_hits_reused, 0u);
+  // Patched: the session stays quarantined; the groom cannot take its slot.
+  EXPECT_EQ(r.patched_obs.stale_hits_reused, 0u);
+  EXPECT_GT(r.patched_obs.stale_hits_quarantine, 0u);
+}
+
+}  // namespace
+}  // namespace ht::corpus

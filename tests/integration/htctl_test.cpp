@@ -1,0 +1,102 @@
+// Exec-based tests for the htctl operator CLI.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+const char* kHtctl = HT_HTCTL_BIN;
+
+int run(const std::string& args) {
+  const int status = std::system((std::string(kHtctl) + " " + args).c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string temp_file(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Htctl, UsageWithoutArgs) { EXPECT_EQ(run(""), 1); }
+
+TEST(Htctl, ValidateGoodConfig) {
+  const std::string cfg = temp_file("htctl_good.cfg");
+  write_file(cfg, "version 1\npatch malloc 0x10 OVERFLOW\n");
+  EXPECT_EQ(run("validate " + cfg + " > /dev/null"), 0);
+  std::remove(cfg.c_str());
+}
+
+TEST(Htctl, ValidateBadConfigExitsTwo) {
+  const std::string cfg = temp_file("htctl_bad.cfg");
+  write_file(cfg, "version 1\npatch malloc zzz OVERFLOW\n");
+  EXPECT_EQ(run("validate " + cfg + " > /dev/null 2>&1"), 2);
+  std::remove(cfg.c_str());
+}
+
+TEST(Htctl, ValidateMissingFileExitsThree) {
+  EXPECT_EQ(run("validate /nonexistent.cfg 2> /dev/null"), 3);
+}
+
+TEST(Htctl, MergeUnionsAndDedupes) {
+  const std::string a = temp_file("htctl_a.cfg");
+  const std::string b = temp_file("htctl_b.cfg");
+  const std::string out = temp_file("htctl_out.cfg");
+  write_file(a, "version 1\npatch malloc 0x10 OVERFLOW\npatch calloc 0x20 UAF\n");
+  write_file(b, "version 1\npatch malloc 0x10 UNINIT\n");
+  ASSERT_EQ(run("merge " + out + " " + a + " " + b + " > /dev/null"), 0);
+  const std::string merged = read_file(out);
+  EXPECT_NE(merged.find("patch malloc 0x0000000000000010 OVERFLOW|UNINIT"),
+            std::string::npos);
+  EXPECT_NE(merged.find("patch calloc 0x0000000000000020 UAF"), std::string::npos);
+  for (const auto& f : {a, b, out}) std::remove(f.c_str());
+}
+
+TEST(Htctl, AddAppendsIdempotently) {
+  const std::string cfg = temp_file("htctl_add.cfg");
+  std::remove(cfg.c_str());
+  ASSERT_EQ(run("add " + cfg + " malloc 0x42 OVERFLOW > /dev/null"), 0);
+  ASSERT_EQ(run("add " + cfg + " malloc 0x42 OVERFLOW > /dev/null"), 0);
+  ASSERT_EQ(run("add " + cfg + " memalign 7 UAF > /dev/null"), 0);
+  const std::string body = read_file(cfg);
+  // Duplicate add merged, not duplicated.
+  EXPECT_EQ(body.find("patch malloc 0x0000000000000042 OVERFLOW"),
+            body.rfind("patch malloc 0x0000000000000042 OVERFLOW"));
+  EXPECT_NE(body.find("patch memalign 0x0000000000000007 UAF"), std::string::npos);
+  std::remove(cfg.c_str());
+}
+
+TEST(Htctl, AddRejectsBadFields) {
+  const std::string cfg = temp_file("htctl_bad_add.cfg");
+  EXPECT_EQ(run("add " + cfg + " wat 0x42 OVERFLOW 2> /dev/null"), 1);
+  EXPECT_EQ(run("add " + cfg + " malloc xyz OVERFLOW 2> /dev/null"), 1);
+  EXPECT_EQ(run("add " + cfg + " malloc 0x42 WAT 2> /dev/null"), 1);
+  std::remove(cfg.c_str());
+}
+
+TEST(Htctl, ShowListsPatches) {
+  const std::string cfg = temp_file("htctl_show.cfg");
+  write_file(cfg, "version 1\npatch aligned_alloc 0xff OVERFLOW|UAF|UNINIT\n");
+  EXPECT_EQ(run("show " + cfg + " > " + cfg + ".out"), 0);
+  const std::string out = read_file(cfg + ".out");
+  EXPECT_NE(out.find("aligned_alloc"), std::string::npos);
+  EXPECT_NE(out.find("OVERFLOW|UAF|UNINIT"), std::string::npos);
+  std::remove(cfg.c_str());
+  std::remove((cfg + ".out").c_str());
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Cross-module integration: scenarios that span the whole system beyond
+// what the per-module tests cover.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/patch_generator.hpp"
+#include "corpus/effectiveness.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "patch/config_file.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/null_backend.hpp"
+#include "support/stats.hpp"
+#include "runtime/guarded_backend.hpp"
+#include "workload/alloc_trace.hpp"
+#include "workload/spec_profiles.hpp"
+
+namespace ht {
+namespace {
+
+TEST(Pipeline, OfflineAndOnlineCcidsAgreeOnEveryCorpusProgram) {
+  // The system's core contract: the CCID the offline analyzer records for
+  // a buffer equals the CCID the online allocator computes for the same
+  // allocation, for every program and every strategy.
+  for (const auto& v : corpus::make_table2_corpus()) {
+    for (cce::Strategy strategy : cce::kAllStrategies) {
+      const auto plan = cce::compute_plan(v.program.graph(),
+                                          v.program.alloc_targets(), strategy);
+      const cce::PccEncoder encoder(plan);
+      const auto report = analysis::analyze_attack(v.program, &encoder, v.attack);
+      ASSERT_TRUE(report.attack_detected()) << v.name;
+
+      // Replay online and check that at least one allocation was enhanced —
+      // which can only happen when the CCIDs matched exactly.
+      const patch::PatchTable table(report.patches, /*freeze=*/true);
+      runtime::GuardedAllocator allocator(&table);
+      runtime::GuardedBackend backend(allocator);
+      progmodel::Interpreter interp(v.program, &encoder, backend);
+      (void)interp.run(v.attack);
+      EXPECT_GT(allocator.stats().enhanced, 0u)
+          << v.name << " under " << cce::strategy_name(strategy);
+    }
+  }
+}
+
+TEST(Pipeline, PatchesSurviveConfigFileAcrossPrograms) {
+  // Serialize the union of every corpus program's patches into one config
+  // (a fleet deployment) and confirm each program is still protected.
+  std::vector<patch::Patch> all;
+  std::vector<corpus::VulnerableProgram> corpus = corpus::make_table2_corpus();
+  std::vector<std::unique_ptr<cce::PccEncoder>> encoders;
+  encoders.reserve(corpus.size());
+  for (const auto& v : corpus) {
+    const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                        cce::Strategy::kIncremental);
+    encoders.push_back(std::make_unique<cce::PccEncoder>(plan));
+    const auto report =
+        analysis::analyze_attack(v.program, encoders.back().get(), v.attack);
+    for (const auto& p : report.patches) all.push_back(p);
+  }
+  const auto reparsed = patch::parse_config(patch::serialize_config(all));
+  ASSERT_TRUE(reparsed.ok());
+  const patch::PatchTable table(reparsed.patches, /*freeze=*/true);
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    runtime::GuardedAllocator allocator(&table);
+    runtime::GuardedBackend backend(allocator);
+    progmodel::Interpreter interp(corpus[i].program, encoders[i].get(), backend);
+    (void)interp.run(corpus[i].attack);
+    EXPECT_GT(allocator.stats().enhanced, 0u) << corpus[i].name;
+  }
+}
+
+TEST(Pipeline, PartitionedReplayMatchesWholeOnCorpusUafPrograms) {
+  for (const auto& v : corpus::make_table2_corpus()) {
+    if ((v.expected_mask & patch::kUseAfterFree) == 0) continue;
+    const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                        cce::Strategy::kTcs);
+    const cce::PccEncoder encoder(plan);
+    const auto whole = analysis::analyze_attack(v.program, &encoder, v.attack);
+    const auto split =
+        analysis::analyze_attack_partitioned(v.program, &encoder, v.attack, 4);
+    ASSERT_EQ(split.patches.size(), whole.patches.size()) << v.name;
+    for (std::size_t i = 0; i < whole.patches.size(); ++i) {
+      EXPECT_EQ(split.patches[i], whole.patches[i]) << v.name;
+    }
+  }
+}
+
+TEST(Pipeline, HashCollisionOnlyOverEnhances) {
+  // §IV: a CCID collision maps a healthy allocation onto a patch. The
+  // result must be over-enhancement (extra defense), never misbehaviour.
+  // Simulate the collision by patching the *healthy* context directly.
+  corpus::VulnerableProgram v = corpus::make_bc();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  // Patch every CCID seen in a benign offline run (maximal collision).
+  shadow::SimHeap heap;
+  progmodel::Interpreter offline(v.program, &encoder, heap);
+  const auto benign_run = offline.run(v.benign);
+  std::vector<patch::Patch> everything;
+  for (const auto& [key, count] : benign_run.alloc_sites) {
+    everything.push_back(patch::Patch{key.fn, key.ccid, patch::kAllVulnBits});
+  }
+  const patch::PatchTable table(everything, /*freeze=*/true);
+  runtime::GuardedAllocator allocator(&table);
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter online(v.program, &encoder, backend);
+  const auto result = online.run(v.benign);
+  EXPECT_TRUE(result.completed);               // program still works
+  EXPECT_GT(allocator.stats().enhanced, 0u);   // everything got enhanced
+  EXPECT_EQ(backend.observations().oob_writes_landed, 0u);
+}
+
+TEST(Pipeline, SpecWorkloadsRunProtectedEndToEnd) {
+  // Each SPEC-like program runs on the real allocator with patches at its
+  // own (runtime-discovered) median-frequency contexts.
+  for (const auto& profile : workload::spec_profiles()) {
+    if (profile.total_allocs() > 10000) continue;  // keep the test quick
+    const auto program = workload::make_spec_program(profile);
+    const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                        cce::Strategy::kIncremental);
+    const cce::PccEncoder encoder(plan);
+
+    // Profile once to find median-frequency CCIDs (the paper's protocol).
+    progmodel::NullBackend profiling;
+    progmodel::Interpreter profiler(program, &encoder, profiling);
+    const auto profile_run = profiler.run(progmodel::Input{});
+    support::FrequencyTable freq;
+    std::vector<patch::Patch> patches;
+    for (const auto& [key, count] : profile_run.alloc_sites) {
+      freq.add(key.ccid, count);
+    }
+    for (std::uint64_t ccid : freq.median_frequency_keys(1)) {
+      for (auto fn : progmodel::kAllAllocFns) {
+        patches.push_back(patch::Patch{fn, ccid, patch::kOverflow});
+      }
+    }
+    const patch::PatchTable table(patches, /*freeze=*/true);
+    runtime::GuardedAllocator allocator(&table);
+    runtime::GuardedBackend backend(allocator);
+    progmodel::Interpreter online(program, &encoder, backend);
+    const auto result = online.run(progmodel::Input{});
+    EXPECT_TRUE(result.clean()) << profile.name;
+    EXPECT_GT(allocator.stats().enhanced, 0u) << profile.name;
+  }
+}
+
+}  // namespace
+}  // namespace ht

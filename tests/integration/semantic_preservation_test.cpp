@@ -1,0 +1,118 @@
+// The central safety claim of code-less patching: "patches are written into
+// a configuration file ... without introducing new bugs" (§III-A). These
+// differential tests run every corpus program on benign inputs twice — once
+// unprotected, once with its patches (and with maximal over-enhancement) —
+// and require *identical observable behaviour*: same control flow (steps),
+// same allocations/frees, same emitted bytes.
+#include <gtest/gtest.h>
+
+#include "analysis/patch_generator.hpp"
+#include "corpus/extended_corpus.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/interpreter.hpp"
+#include "runtime/guarded_backend.hpp"
+
+namespace ht {
+namespace {
+
+struct BenignObservation {
+  progmodel::RunResult run;
+  runtime::DefenseObservations obs;
+};
+
+BenignObservation run_benign(const corpus::VulnerableProgram& v,
+                             const cce::Encoder& encoder,
+                             const patch::PatchTable* table,
+                             const runtime::GuardedAllocatorConfig& config = {}) {
+  runtime::GuardedAllocator allocator(table, config);
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter interp(v.program, &encoder, backend);
+  BenignObservation out;
+  out.run = interp.run(v.benign);
+  out.obs = backend.observations();
+  return out;
+}
+
+void expect_same_behaviour(const BenignObservation& a, const BenignObservation& b,
+                           const std::string& name) {
+  EXPECT_EQ(a.run.completed, b.run.completed) << name;
+  EXPECT_EQ(a.run.steps, b.run.steps) << name;
+  EXPECT_EQ(a.run.calls, b.run.calls) << name;
+  EXPECT_EQ(a.run.total_allocs(), b.run.total_allocs()) << name;
+  EXPECT_EQ(a.run.free_count, b.run.free_count) << name;
+  EXPECT_EQ(a.run.violations.size(), b.run.violations.size()) << name;
+  // The program's outward-visible output: bytes emitted through syscall
+  // reads. Zero-fill may turn garbage into zeros, but the benign inputs
+  // only ever emit bytes the program wrote, so totals must match exactly.
+  EXPECT_EQ(a.obs.leaked_nonzero_bytes + a.obs.leaked_zero_bytes,
+            b.obs.leaked_nonzero_bytes + b.obs.leaked_zero_bytes)
+      << name;
+  EXPECT_EQ(a.obs.leaked_nonzero_bytes, b.obs.leaked_nonzero_bytes) << name;
+}
+
+std::vector<corpus::VulnerableProgram> whole_corpus() {
+  auto all = corpus::make_table2_corpus();
+  for (auto& v : corpus::make_extended_corpus()) all.push_back(std::move(v));
+  return all;
+}
+
+TEST(SemanticPreservation, RealPatchesDoNotChangeBenignBehaviour) {
+  for (const auto& v : whole_corpus()) {
+    const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                        cce::Strategy::kIncremental);
+    const cce::PccEncoder encoder(plan);
+    const auto report = analysis::analyze_attack(v.program, &encoder, v.attack);
+    ASSERT_TRUE(report.attack_detected()) << v.name;
+    const patch::PatchTable table(report.patches, /*freeze=*/true);
+
+    const BenignObservation plain = run_benign(v, encoder, nullptr);
+    const BenignObservation patched = run_benign(v, encoder, &table);
+    expect_same_behaviour(plain, patched, v.name);
+  }
+}
+
+TEST(SemanticPreservation, MaximalOverEnhancementStillPreservesBehaviour) {
+  // The worst possible hash-collision scenario (§IV): *every* allocation
+  // context carries *every* defense. Behaviour must still be identical on
+  // benign inputs — enhancement never alters program logic.
+  for (const auto& v : whole_corpus()) {
+    const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                        cce::Strategy::kTcs);
+    const cce::PccEncoder encoder(plan);
+    // Profile the benign run, then patch everything it allocates.
+    shadow::SimHeap heap;
+    progmodel::Interpreter profiler(v.program, &encoder, heap);
+    const auto profile = profiler.run(v.benign);
+    std::vector<patch::Patch> everything;
+    for (const auto& [key, count] : profile.alloc_sites) {
+      everything.push_back(patch::Patch{key.fn, key.ccid, patch::kAllVulnBits});
+    }
+    const patch::PatchTable table(everything, /*freeze=*/true);
+
+    const BenignObservation plain = run_benign(v, encoder, nullptr);
+    const BenignObservation patched = run_benign(v, encoder, &table);
+    expect_same_behaviour(plain, patched, v.name);
+  }
+}
+
+TEST(SemanticPreservation, CanaryAndPoisonModesPreserveBehaviour) {
+  for (const auto& v : whole_corpus()) {
+    const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                        cce::Strategy::kSlim);
+    const cce::PccEncoder encoder(plan);
+    const auto report = analysis::analyze_attack(v.program, &encoder, v.attack);
+    const patch::PatchTable table(report.patches, /*freeze=*/true);
+
+    runtime::GuardedAllocatorConfig extended;
+    extended.use_guard_pages = false;
+    extended.use_canaries = true;
+    extended.poison_quarantine = true;
+
+    const BenignObservation plain = run_benign(v, encoder, nullptr);
+    const BenignObservation patched = run_benign(v, encoder, &table, extended);
+    expect_same_behaviour(plain, patched, v.name);
+  }
+}
+
+}  // namespace
+}  // namespace ht

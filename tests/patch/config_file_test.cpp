@@ -1,0 +1,104 @@
+#include "patch/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace ht::patch {
+namespace {
+
+std::vector<Patch> sample_patches() {
+  return {
+      {progmodel::AllocFn::kMalloc, 0x1f3a77b2c4d5e6f7ULL, kOverflow | kUninitRead},
+      {progmodel::AllocFn::kCalloc, 42, kUseAfterFree},
+      {progmodel::AllocFn::kMemalign, 0, kOverflow},
+  };
+}
+
+TEST(ConfigFile, SerializeParseRoundTrip) {
+  const auto patches = sample_patches();
+  const ParseResult parsed = parse_config(serialize_config(patches));
+  EXPECT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  EXPECT_EQ(parsed.patches, patches);
+}
+
+TEST(ConfigFile, EmptyConfigIsValid) {
+  const ParseResult parsed = parse_config(serialize_config({}));
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.patches.empty());
+}
+
+TEST(ConfigFile, CommentsAndBlankLinesIgnored) {
+  const ParseResult parsed = parse_config(
+      "# comment\n\nversion 1\n  # indented comment\npatch malloc 7 OVERFLOW\n\n");
+  EXPECT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.patches.size(), 1u);
+  EXPECT_EQ(parsed.patches[0].ccid, 7u);
+}
+
+TEST(ConfigFile, DecimalAndHexCcids) {
+  const ParseResult parsed = parse_config(
+      "version 1\npatch malloc 123 OVERFLOW\npatch calloc 0xff UAF\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.patches[0].ccid, 123u);
+  EXPECT_EQ(parsed.patches[1].ccid, 0xffu);
+}
+
+TEST(ConfigFile, MalformedLineDoesNotDisableOthers) {
+  const ParseResult parsed = parse_config(
+      "version 1\n"
+      "patch malloc notanumber OVERFLOW\n"
+      "patch calloc 9 UAF\n"
+      "patch what 9 UAF\n"
+      "patch malloc 10 NOT_A_MASK\n"
+      "bogus directive\n"
+      "patch malloc 11 UNINIT\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.errors.size(), 4u);
+  ASSERT_EQ(parsed.patches.size(), 2u);  // the two valid lines survive
+  EXPECT_EQ(parsed.patches[0].ccid, 9u);
+  EXPECT_EQ(parsed.patches[1].ccid, 11u);
+}
+
+TEST(ConfigFile, ErrorsCarryLineNumbers) {
+  const ParseResult parsed = parse_config("version 1\npatch malloc x OVERFLOW\n");
+  ASSERT_EQ(parsed.errors.size(), 1u);
+  EXPECT_NE(parsed.errors[0].find("line 2"), std::string::npos);
+}
+
+TEST(ConfigFile, MissingVersionFlagged) {
+  const ParseResult parsed = parse_config("patch malloc 7 OVERFLOW\n");
+  EXPECT_FALSE(parsed.ok());
+  ASSERT_EQ(parsed.patches.size(), 1u);  // patch still usable
+}
+
+TEST(ConfigFile, UnsupportedVersionFlagged) {
+  const ParseResult parsed = parse_config("version 2\npatch malloc 7 OVERFLOW\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ConfigFile, PatchLineFieldCountValidated) {
+  const ParseResult parsed = parse_config("version 1\npatch malloc 7\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.patches.empty());
+}
+
+TEST(ConfigFile, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ht_config_test.cfg").string();
+  const auto patches = sample_patches();
+  ASSERT_TRUE(save_config_file(path, patches));
+  const auto loaded = load_config_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ok());
+  EXPECT_EQ(loaded->patches, patches);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigFile, LoadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_config_file("/nonexistent/path/patches.cfg").has_value());
+}
+
+}  // namespace
+}  // namespace ht::patch

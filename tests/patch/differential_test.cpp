@@ -1,0 +1,91 @@
+// Differential and fuzz testing for the patch layer: the open-addressing
+// table against a reference map, and the config parser against noise.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "patch/config_file.hpp"
+#include "patch/patch_table.hpp"
+#include "support/rng.hpp"
+
+namespace ht::patch {
+namespace {
+
+using progmodel::AllocFn;
+
+class PatchTableDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatchTableDifferential, MatchesReferenceMapExactly) {
+  support::Rng rng(GetParam());
+  // Keys drawn from a small universe so duplicates (mask merging) occur.
+  std::vector<Patch> patches;
+  std::map<std::pair<int, std::uint64_t>, std::uint8_t> reference;
+  const std::size_t count = 1 + rng.below(800);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto fn = static_cast<AllocFn>(rng.below(5));
+    const std::uint64_t ccid = rng.below(256) * (rng.chance(0.5) ? 1 : 0x9e3779b9ULL);
+    const auto mask = static_cast<std::uint8_t>(1 + rng.below(7));
+    patches.push_back(Patch{fn, ccid, mask});
+    reference[{static_cast<int>(fn), ccid}] |= mask;
+  }
+  const PatchTable table(patches, /*freeze=*/GetParam() % 2 == 0);
+  // Every reference key matches; probing with unknown keys returns 0.
+  for (const auto& [key, mask] : reference) {
+    EXPECT_EQ(table.lookup(static_cast<AllocFn>(key.first), key.second), mask);
+  }
+  for (int probe = 0; probe < 2000; ++probe) {
+    const auto fn = static_cast<AllocFn>(rng.below(5));
+    const std::uint64_t ccid = rng.next();
+    const auto it = reference.find({static_cast<int>(fn), ccid});
+    EXPECT_EQ(table.lookup(fn, ccid),
+              it == reference.end() ? 0 : it->second);
+  }
+  EXPECT_EQ(table.patch_count(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatchTableDifferential,
+                         ::testing::Range<std::uint64_t>(3000, 3010));
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigFuzz, RandomNoiseNeverCrashesParser) {
+  support::Rng rng(GetParam());
+  // Random printable noise with config-ish tokens sprinkled in.
+  static const char* tokens[] = {"patch",   "version", "malloc",  "calloc",
+                                 "OVERFLOW", "UAF",     "UNINIT",  "0x",
+                                 "|",        "#",       "\n",      " "};
+  std::string text;
+  for (int i = 0; i < 400; ++i) {
+    if (rng.chance(0.5)) {
+      text += tokens[rng.index(std::size(tokens))];
+    } else {
+      text += static_cast<char>(32 + rng.below(95));
+    }
+    if (rng.chance(0.08)) text += '\n';
+  }
+  const ParseResult result = parse_config(text);  // must not crash or hang
+  // Whatever parsed must re-serialize and re-parse to the same patches.
+  const ParseResult again = parse_config(serialize_config(result.patches));
+  EXPECT_EQ(again.patches, result.patches);
+}
+
+TEST_P(ConfigFuzz, ValidConfigsAreAFixpoint) {
+  support::Rng rng(GetParam() + 100);
+  std::vector<Patch> patches;
+  const std::size_t count = rng.below(50);
+  for (std::size_t i = 0; i < count; ++i) {
+    patches.push_back(Patch{static_cast<AllocFn>(rng.below(5)), rng.next(),
+                            static_cast<std::uint8_t>(1 + rng.below(7))});
+  }
+  const std::string once = serialize_config(patches);
+  const ParseResult parsed = parse_config(once);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(serialize_config(parsed.patches), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(4000, 4010));
+
+}  // namespace
+}  // namespace ht::patch

@@ -1,0 +1,117 @@
+#include "patch/patch_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace ht::patch {
+namespace {
+
+using progmodel::AllocFn;
+
+TEST(PatchTable, EmptyTableReturnsZeroForEverything) {
+  const PatchTable table({});
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 0), 0u);
+  EXPECT_EQ(table.lookup(AllocFn::kCalloc, 12345), 0u);
+}
+
+TEST(PatchTable, FindsInsertedPatches) {
+  const PatchTable table({
+      {AllocFn::kMalloc, 100, kOverflow},
+      {AllocFn::kCalloc, 200, kUseAfterFree | kUninitRead},
+  });
+  EXPECT_EQ(table.patch_count(), 2u);
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 100), kOverflow);
+  EXPECT_EQ(table.lookup(AllocFn::kCalloc, 200), kUseAfterFree | kUninitRead);
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 101), 0u);
+  EXPECT_EQ(table.lookup(AllocFn::kCalloc, 100), 0u);  // fn part of the key
+}
+
+TEST(PatchTable, KeyIncludesAllocationFunction) {
+  // Incremental encoding relies on {FUN, CCID} being the key (§IV-C).
+  const PatchTable table({
+      {AllocFn::kMalloc, 55, kOverflow},
+      {AllocFn::kMemalign, 55, kUninitRead},
+  });
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 55), kOverflow);
+  EXPECT_EQ(table.lookup(AllocFn::kMemalign, 55), kUninitRead);
+  EXPECT_EQ(table.lookup(AllocFn::kRealloc, 55), 0u);
+}
+
+TEST(PatchTable, DuplicateKeysMergeMasks) {
+  const PatchTable table({
+      {AllocFn::kMalloc, 7, kOverflow},
+      {AllocFn::kMalloc, 7, kUninitRead},
+  });
+  EXPECT_EQ(table.patch_count(), 1u);
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 7), kOverflow | kUninitRead);
+}
+
+TEST(PatchTable, CcidZeroIsAValidKey) {
+  const PatchTable table({{AllocFn::kMalloc, 0, kOverflow}});
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 0), kOverflow);
+}
+
+TEST(PatchTable, ManyEntriesAllRetrievable) {
+  std::vector<Patch> patches;
+  support::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    patches.push_back(Patch{
+        static_cast<AllocFn>(rng.below(5)), rng.next(),
+        static_cast<std::uint8_t>(1 + rng.below(7))});
+  }
+  const PatchTable table(patches);
+  for (const Patch& p : patches) {
+    EXPECT_NE(table.lookup(p.fn, p.ccid) & p.vuln_mask, 0u);
+  }
+  // Load factor stays low for O(1) probing.
+  EXPECT_GE(table.bucket_count(), patches.size() * 4);
+}
+
+TEST(PatchTable, AbsentKeysAmongManyEntries) {
+  std::vector<Patch> patches;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    patches.push_back(Patch{AllocFn::kMalloc, i * 2, kOverflow});
+  }
+  const PatchTable table(patches);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.lookup(AllocFn::kMalloc, i * 2 + 1), 0u);
+  }
+}
+
+TEST(PatchTable, FrozenTableStillReadable) {
+  const PatchTable table({{AllocFn::kMalloc, 77, kOverflow}}, /*freeze=*/true);
+  EXPECT_TRUE(table.frozen());
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 77), kOverflow);
+  EXPECT_EQ(table.lookup(AllocFn::kMalloc, 78), 0u);
+}
+
+TEST(PatchTable, FrozenPagesRejectWrites) {
+  const PatchTable table({{AllocFn::kMalloc, 77, kOverflow}}, /*freeze=*/true);
+  // Writing through the table's storage must fault. Verify via fork so the
+  // SIGSEGV does not kill the test runner.
+  EXPECT_DEATH(
+      {
+        // Probe a plausible interior pointer: lookup() gives us no pointer,
+        // so recreate the condition by const_cast-ing the object and
+        // scribbling over its first bucket through its own storage.
+        auto* mutable_table = const_cast<PatchTable*>(&table);
+        auto** slots = reinterpret_cast<char**>(mutable_table);
+        (*slots)[0] = 42;  // first member is the slot pointer
+      },
+      "");
+}
+
+TEST(PatchTable, MoveTransfersOwnership) {
+  PatchTable a({{AllocFn::kMalloc, 5, kOverflow}}, /*freeze=*/true);
+  PatchTable b = std::move(a);
+  EXPECT_EQ(b.lookup(AllocFn::kMalloc, 5), kOverflow);
+  EXPECT_TRUE(b.frozen());
+  PatchTable c({});
+  c = std::move(b);
+  EXPECT_EQ(c.lookup(AllocFn::kMalloc, 5), kOverflow);
+}
+
+}  // namespace
+}  // namespace ht::patch

@@ -1,0 +1,51 @@
+#include "patch/patch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::patch {
+namespace {
+
+TEST(VulnMask, ToStringSingleBits) {
+  EXPECT_EQ(vuln_mask_to_string(kOverflow), "OVERFLOW");
+  EXPECT_EQ(vuln_mask_to_string(kUseAfterFree), "UAF");
+  EXPECT_EQ(vuln_mask_to_string(kUninitRead), "UNINIT");
+}
+
+TEST(VulnMask, ToStringCombined) {
+  EXPECT_EQ(vuln_mask_to_string(kOverflow | kUninitRead), "OVERFLOW|UNINIT");
+  EXPECT_EQ(vuln_mask_to_string(kAllVulnBits), "OVERFLOW|UAF|UNINIT");
+  EXPECT_EQ(vuln_mask_to_string(0), "NONE");
+}
+
+TEST(VulnMask, FromStringRoundTrip) {
+  for (std::uint8_t mask = 0; mask <= kAllVulnBits; ++mask) {
+    std::uint8_t parsed = 0;
+    ASSERT_TRUE(vuln_mask_from_string(vuln_mask_to_string(mask), parsed))
+        << static_cast<int>(mask);
+    EXPECT_EQ(parsed, mask);
+  }
+}
+
+TEST(VulnMask, FromStringRejectsUnknownToken) {
+  std::uint8_t mask = 0;
+  EXPECT_FALSE(vuln_mask_from_string("OVERFLOW|BOGUS", mask));
+  EXPECT_FALSE(vuln_mask_from_string("", mask));
+  EXPECT_FALSE(vuln_mask_from_string("|", mask));
+}
+
+TEST(VulnMask, FromStringTrimsTokens) {
+  std::uint8_t mask = 0;
+  EXPECT_TRUE(vuln_mask_from_string(" OVERFLOW | UAF ", mask));
+  EXPECT_EQ(mask, kOverflow | kUseAfterFree);
+}
+
+TEST(Patch, EqualityIsFieldwise) {
+  const Patch a{progmodel::AllocFn::kMalloc, 42, kOverflow};
+  Patch b = a;
+  EXPECT_EQ(a, b);
+  b.ccid = 43;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ht::patch

@@ -1,0 +1,140 @@
+#include "progmodel/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::progmodel {
+namespace {
+
+TEST(ProgramBuilder, FirstFunctionIsEntryByDefault) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.function("other");
+  const Program p = b.build();
+  EXPECT_EQ(p.entry(), main_fn);
+}
+
+TEST(ProgramBuilder, SetEntryOverrides) {
+  ProgramBuilder b;
+  b.function("boot");
+  const auto real_main = b.function("main");
+  b.set_entry(real_main);
+  EXPECT_EQ(b.build().entry(), real_main);
+}
+
+TEST(ProgramBuilder, SetEntryUnknownThrows) {
+  ProgramBuilder b;
+  b.function("main");
+  EXPECT_THROW(b.set_entry(99), std::out_of_range);
+}
+
+TEST(ProgramBuilder, BuildWithoutEntryThrows) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, AllocCreatesTargetNodeOnce) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(64), 0);
+  b.alloc(main_fn, AllocFn::kMalloc, Value(128), 1);
+  b.alloc(main_fn, AllocFn::kCalloc, Value(32), 2);
+  const Program p = b.build();
+  // One node each for malloc and calloc; two distinct call sites to malloc.
+  ASSERT_EQ(p.alloc_targets().size(), 2u);
+  const auto malloc_node = p.alloc_fn_node(AllocFn::kMalloc);
+  ASSERT_NE(malloc_node, cce::kInvalidFunction);
+  EXPECT_EQ(p.graph().incoming(malloc_node).size(), 2u);
+  EXPECT_EQ(p.graph().function_name(malloc_node), "malloc");
+  EXPECT_EQ(p.alloc_fn_node(AllocFn::kMemalign), cce::kInvalidFunction);
+}
+
+TEST(ProgramBuilder, SlotCountCoversAllSlots) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(64), 7);
+  EXPECT_EQ(b.build().slot_count(), 8u);
+}
+
+TEST(ProgramBuilder, FreeCreatesFreeNode) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(64), 0);
+  b.free(main_fn, 0);
+  const Program p = b.build();
+  ASSERT_NE(p.free_node(), cce::kInvalidFunction);
+  EXPECT_EQ(p.graph().function_name(p.free_node()), "free");
+  // free() is not an encoding target.
+  for (cce::FunctionId t : p.alloc_targets()) EXPECT_NE(t, p.free_node());
+}
+
+TEST(ProgramBuilder, BodyOrderPreserved) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.write(main_fn, 0, Value(0), Value(16));
+  b.read(main_fn, 0, Value(0), Value(8), ReadUse::kBranch);
+  b.free(main_fn, 0);
+  const Program p = b.build();
+  const auto& body = p.body(main_fn);
+  ASSERT_EQ(body.size(), 4u);
+  EXPECT_EQ(body[0].kind, Action::Kind::kAlloc);
+  EXPECT_EQ(body[1].kind, Action::Kind::kWrite);
+  EXPECT_EQ(body[2].kind, Action::Kind::kRead);
+  EXPECT_EQ(body[3].kind, Action::Kind::kFree);
+}
+
+TEST(ProgramBuilder, LoopNesting) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value(10));
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.begin_loop(main_fn, Value(2));
+  b.write(main_fn, 0, Value(0), Value(16));
+  b.end_loop(main_fn);
+  b.free(main_fn, 0);
+  b.end_loop(main_fn);
+  const Program p = b.build();
+  const auto& body = p.body(main_fn);
+  ASSERT_EQ(body.size(), 1u);
+  const Action& outer = body[0];
+  EXPECT_EQ(outer.kind, Action::Kind::kLoop);
+  ASSERT_EQ(outer.body.size(), 3u);
+  EXPECT_EQ(outer.body[0].kind, Action::Kind::kAlloc);
+  EXPECT_EQ(outer.body[1].kind, Action::Kind::kLoop);
+  EXPECT_EQ(outer.body[1].body.size(), 1u);
+  EXPECT_EQ(outer.body[2].kind, Action::Kind::kFree);
+}
+
+TEST(ProgramBuilder, UnclosedLoopFailsBuild) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value(10));
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, EndLoopWithoutBeginThrows) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  EXPECT_THROW(b.end_loop(main_fn), std::logic_error);
+}
+
+TEST(ProgramBuilder, BuildTwiceThrows) {
+  ProgramBuilder b;
+  b.function("main");
+  (void)b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ProgramBuilder, CallSitesAreDistinctPerCall) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto helper = b.function("helper");
+  const auto s1 = b.call(main_fn, helper);
+  const auto s2 = b.call(main_fn, helper);
+  EXPECT_NE(s1, s2);
+  const Program p = b.build();
+  EXPECT_EQ(p.graph().outgoing(main_fn).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ht::progmodel

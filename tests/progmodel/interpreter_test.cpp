@@ -1,0 +1,347 @@
+#include "progmodel/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "progmodel/builder.hpp"
+#include "progmodel/null_backend.hpp"
+
+namespace ht::progmodel {
+namespace {
+
+/// Records every backend call for assertions; reports configurable outcomes.
+class RecordingBackend final : public AllocatorBackend {
+ public:
+  struct AllocRecord {
+    AllocFn fn;
+    std::uint64_t size, alignment, ccid, addr;
+  };
+
+  std::uint64_t allocate(AllocFn fn, std::uint64_t size, std::uint64_t alignment,
+                         std::uint64_t ccid) override {
+    if (fail_allocations) return 0;
+    const std::uint64_t addr = next_addr_;
+    next_addr_ += 0x1000;
+    allocs.push_back({fn, size, alignment, ccid, addr});
+    return addr;
+  }
+  std::uint64_t reallocate(std::uint64_t addr, std::uint64_t new_size,
+                           std::uint64_t ccid) override {
+    realloc_calls.push_back({addr, new_size, ccid});
+    const std::uint64_t na = next_addr_;
+    next_addr_ += 0x1000;
+    return na;
+  }
+  void deallocate(std::uint64_t addr) override { freed.push_back(addr); }
+  AccessOutcome write(std::uint64_t addr, std::uint64_t offset,
+                      std::uint64_t len) override {
+    writes.push_back({addr, offset, len});
+    AccessOutcome out = next_write_outcome;
+    next_write_outcome = {};
+    out.is_write = true;
+    return out;
+  }
+  AccessOutcome read(std::uint64_t addr, std::uint64_t offset, std::uint64_t len,
+                     ReadUse use) override {
+    reads.push_back({addr, offset, len});
+    last_read_use = use;
+    return next_read_outcome;
+  }
+  AccessOutcome copy(std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t,
+                     std::uint64_t len) override {
+    copied_bytes += len;
+    return {};
+  }
+
+  struct Triple {
+    std::uint64_t a, b, c;
+  };
+  std::vector<AllocRecord> allocs;
+  std::vector<Triple> realloc_calls, writes, reads;
+  std::vector<std::uint64_t> freed;
+  std::uint64_t copied_bytes = 0;
+  ReadUse last_read_use = ReadUse::kData;
+  bool fail_allocations = false;
+  AccessOutcome next_write_outcome{};
+  AccessOutcome next_read_outcome{};
+
+ private:
+  std::uint64_t next_addr_ = 0x10000;
+};
+
+Program simple_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("worker");
+  b.call(main_fn, worker);
+  b.alloc(worker, AllocFn::kMalloc, Value(64), 0);
+  b.write(worker, 0, Value(0), Value(64));
+  b.read(worker, 0, Value(0), Value(8), ReadUse::kBranch);
+  b.free(worker, 0);
+  return b.build();
+}
+
+TEST(Interpreter, RunsSimpleProgramToCompletion) {
+  const Program p = simple_program();
+  RecordingBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  const RunResult result = interp.run(Input{});
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(result.total_allocs(), 1u);
+  EXPECT_EQ(result.free_count, 1u);
+  ASSERT_EQ(backend.allocs.size(), 1u);
+  EXPECT_EQ(backend.allocs[0].size, 64u);
+  ASSERT_EQ(backend.writes.size(), 1u);
+  EXPECT_EQ(backend.writes[0].c, 64u);
+  EXPECT_EQ(backend.last_read_use, ReadUse::kBranch);
+  ASSERT_EQ(backend.freed.size(), 1u);
+  EXPECT_EQ(backend.freed[0], backend.allocs[0].addr);
+}
+
+TEST(Interpreter, CcidReadAtAllocationMatchesEncoder) {
+  const Program p = simple_program();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  RecordingBackend backend;
+  Interpreter interp(p, &encoder, backend);
+  (void)interp.run(Input{});
+  ASSERT_EQ(backend.allocs.size(), 1u);
+
+  // Reconstruct the expected context: main --call--> worker --site--> malloc.
+  const auto main_fn = p.entry();
+  const cce::CallSiteId to_worker = p.graph().outgoing(main_fn)[0];
+  const cce::FunctionId worker = p.graph().site(to_worker).callee;
+  cce::CallSiteId to_malloc = cce::kInvalidCallSite;
+  for (cce::CallSiteId s : p.graph().outgoing(worker)) {
+    if (p.graph().site(s).callee == p.alloc_fn_node(AllocFn::kMalloc)) to_malloc = s;
+  }
+  ASSERT_NE(to_malloc, cce::kInvalidCallSite);
+  EXPECT_EQ(backend.allocs[0].ccid, encoder.encode({to_worker, to_malloc}));
+}
+
+TEST(Interpreter, WithoutEncoderCcidIsZeroAndNoOps) {
+  const Program p = simple_program();
+  RecordingBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  const RunResult result = interp.run(Input{});
+  EXPECT_EQ(result.encoding_ops, 0u);
+  EXPECT_EQ(backend.allocs[0].ccid, 0u);
+}
+
+TEST(Interpreter, EncodingOpsDependOnStrategy) {
+  // Build a program with branching so strategies differ.
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto a = b.function("a");
+  const auto c = b.function("c");
+  b.call(main_fn, a);
+  b.call(main_fn, c);
+  b.alloc(a, AllocFn::kMalloc, Value(16), 0);
+  b.alloc(c, AllocFn::kMalloc, Value(16), 1);
+  b.free(a, 0);
+  b.free(c, 1);
+  const Program p = b.build();
+
+  std::uint64_t prev = UINT64_MAX;
+  for (cce::Strategy strategy :
+       {cce::Strategy::kFcs, cce::Strategy::kTcs, cce::Strategy::kSlim,
+        cce::Strategy::kIncremental}) {
+    const auto plan = cce::compute_plan(p.graph(), p.alloc_targets(), strategy);
+    const cce::PccEncoder encoder(plan);
+    NullBackend backend;
+    Interpreter interp(p, &encoder, backend);
+    const RunResult result = interp.run(Input{});
+    EXPECT_TRUE(result.completed);
+    EXPECT_LE(result.encoding_ops, prev) << cce::strategy_name(strategy);
+    prev = result.encoding_ops;
+  }
+  // FCS instruments free() call sites too; Incremental here should only
+  // instrument main's two branching call sites.
+  EXPECT_EQ(prev, 2u);
+}
+
+TEST(Interpreter, InputParametersDriveSizes) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value::input(0), 0);
+  b.write(main_fn, 0, Value(0), Value::input(1));
+  const Program p = b.build();
+  RecordingBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  (void)interp.run(Input{{1234, 77}});
+  EXPECT_EQ(backend.allocs[0].size, 1234u);
+  EXPECT_EQ(backend.writes[0].c, 77u);
+}
+
+TEST(Interpreter, LoopRepeatsBody) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value::input(0));
+  b.alloc(main_fn, AllocFn::kMalloc, Value(8), 0);
+  b.free(main_fn, 0);
+  b.end_loop(main_fn);
+  const Program p = b.build();
+  NullBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  const RunResult result = interp.run(Input{{25}});
+  EXPECT_EQ(result.total_allocs(), 25u);
+  EXPECT_EQ(result.free_count, 25u);
+  EXPECT_EQ(backend.live_buffers(), 0u);
+}
+
+TEST(Interpreter, ZeroTripLoopRunsNothing) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value(0));
+  b.alloc(main_fn, AllocFn::kMalloc, Value(8), 0);
+  b.end_loop(main_fn);
+  const Program p = b.build();
+  NullBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  EXPECT_EQ(interp.run(Input{}).total_allocs(), 0u);
+}
+
+TEST(Interpreter, MaxStepsAborts) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value(1u << 20));
+  b.alloc(main_fn, AllocFn::kMalloc, Value(8), 0);
+  b.free(main_fn, 0);
+  b.end_loop(main_fn);
+  const Program p = b.build();
+  NullBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  RunOptions opts;
+  opts.max_steps = 100;
+  const RunResult result = interp.run(Input{}, opts);
+  EXPECT_FALSE(result.completed);
+  EXPECT_LE(result.steps, 101u);
+}
+
+TEST(Interpreter, AllocationFailureAborts) {
+  const Program p = simple_program();
+  RecordingBackend backend;
+  backend.fail_allocations = true;
+  Interpreter interp(p, nullptr, backend);
+  EXPECT_FALSE(interp.run(Input{}).completed);
+}
+
+TEST(Interpreter, ViolationsRecordedAndRunResumes) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.write(main_fn, 0, Value(0), Value(32));  // backend will report overflow
+  b.read(main_fn, 0, Value(0), Value(4), ReadUse::kBranch);
+  const Program p = b.build();
+  RecordingBackend backend;
+  backend.next_write_outcome.kind = AccessKind::kOverflow;
+  backend.next_write_outcome.victim_ccid = 99;
+  Interpreter interp(p, nullptr, backend);
+  const RunResult result = interp.run(Input{});
+  EXPECT_TRUE(result.completed);  // §V: execution resumes upon warnings
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].outcome.kind, AccessKind::kOverflow);
+  EXPECT_EQ(result.violations[0].outcome.victim_ccid, 99u);
+  EXPECT_TRUE(result.violations[0].outcome.is_write);
+  EXPECT_EQ(backend.reads.size(), 1u);  // the read after the warning still ran
+}
+
+TEST(Interpreter, StopOnViolationOptionAborts) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.write(main_fn, 0, Value(0), Value(32));
+  b.read(main_fn, 0, Value(0), Value(4), ReadUse::kBranch);
+  const Program p = b.build();
+  RecordingBackend backend;
+  backend.next_write_outcome.kind = AccessKind::kOverflow;
+  Interpreter interp(p, nullptr, backend);
+  RunOptions opts;
+  opts.stop_on_violation = true;
+  const RunResult result = interp.run(Input{}, opts);
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(backend.reads.empty());  // nothing after the violation ran
+}
+
+TEST(Interpreter, BlockedAccessesCountedSeparately) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.write(main_fn, 0, Value(0), Value(32));
+  const Program p = b.build();
+  RecordingBackend backend;
+  backend.next_write_outcome.kind = AccessKind::kBlockedByGuard;
+  Interpreter interp(p, nullptr, backend);
+  const RunResult result = interp.run(Input{});
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.blocked_accesses, 1u);
+}
+
+TEST(Interpreter, ReallocRetagsCcidAndUpdatesSlot) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  b.realloc(main_fn, 0, Value(64));
+  b.write(main_fn, 0, Value(0), Value(64));
+  const Program p = b.build();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  RecordingBackend backend;
+  Interpreter interp(p, &encoder, backend);
+  const RunResult result = interp.run(Input{});
+  ASSERT_EQ(backend.realloc_calls.size(), 1u);
+  // realloc received the original buffer's address.
+  EXPECT_EQ(backend.realloc_calls[0].a, backend.allocs[0].addr);
+  // The realloc-time CCID differs from the malloc-time CCID (different site).
+  EXPECT_NE(backend.realloc_calls[0].c, backend.allocs[0].ccid);
+  // The subsequent write used the *new* address.
+  ASSERT_EQ(backend.writes.size(), 1u);
+  EXPECT_NE(backend.writes[0].a, backend.allocs[0].addr);
+  EXPECT_EQ(result.alloc_counts[static_cast<int>(AllocFn::kRealloc)], 1u);
+}
+
+TEST(Interpreter, AllocSiteHistogramAggregates) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value(10));
+  b.alloc(main_fn, AllocFn::kMalloc, Value(8), 0);
+  b.free(main_fn, 0);
+  b.end_loop(main_fn);
+  b.alloc(main_fn, AllocFn::kCalloc, Value(8), 1);
+  const Program p = b.build();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+  const cce::PccEncoder encoder(plan);
+  NullBackend backend;
+  Interpreter interp(p, &encoder, backend);
+  const RunResult result = interp.run(Input{});
+  // Two distinct {FUN, CCID} sites: the looped malloc and the calloc.
+  EXPECT_EQ(result.alloc_sites.size(), 2u);
+  std::uint64_t malloc_count = 0;
+  for (const auto& [key, count] : result.alloc_sites) {
+    if (key.fn == AllocFn::kMalloc) malloc_count = count;
+  }
+  EXPECT_EQ(malloc_count, 10u);
+}
+
+TEST(Interpreter, RunIsRepeatable) {
+  const Program p = simple_program();
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kSlim);
+  const cce::PccEncoder encoder(plan);
+  NullBackend backend;
+  Interpreter interp(p, &encoder, backend);
+  const RunResult r1 = interp.run(Input{});
+  const RunResult r2 = interp.run(Input{});
+  EXPECT_EQ(r1.steps, r2.steps);
+  EXPECT_EQ(r1.encoding_ops, r2.encoding_ops);
+  EXPECT_EQ(r1.total_allocs(), r2.total_allocs());
+}
+
+}  // namespace
+}  // namespace ht::progmodel

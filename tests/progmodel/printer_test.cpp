@@ -1,0 +1,85 @@
+#include "progmodel/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "progmodel/builder.hpp"
+
+namespace ht::progmodel {
+namespace {
+
+TEST(Printer, RendersSimpleProgram) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("worker");
+  b.call(main_fn, worker);
+  b.alloc(worker, AllocFn::kMalloc, Value(64), 0);
+  b.write(worker, 0, Value(0), Value(64));
+  b.read(worker, 0, Value(8), Value(16), ReadUse::kBranch);
+  b.free(worker, 0);
+  const std::string text = to_text(b.build());
+  EXPECT_NE(text.find("main (entry):"), std::string::npos);
+  EXPECT_NE(text.find("call worker"), std::string::npos);
+  EXPECT_NE(text.find("s0 = malloc(64)"), std::string::npos);
+  EXPECT_NE(text.find("write(s0, off=0, len=64)"), std::string::npos);
+  EXPECT_NE(text.find("read(s0, off=8, len=16, use=branch)"), std::string::npos);
+  EXPECT_NE(text.find("free(s0)"), std::string::npos);
+}
+
+TEST(Printer, InputReferencesRenderAsDollarIndex) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value::input(2), 0);
+  b.write(main_fn, 0, Value(0), Value::input(0));
+  const std::string text = to_text(b.build());
+  EXPECT_NE(text.find("malloc($2)"), std::string::npos);
+  EXPECT_NE(text.find("len=$0"), std::string::npos);
+}
+
+TEST(Printer, LoopsIndent) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.begin_loop(main_fn, Value(10));
+  b.alloc(main_fn, AllocFn::kCalloc, Value(8), 0);
+  b.begin_loop(main_fn, Value(2));
+  b.write(main_fn, 0, Value(0), Value(8));
+  b.end_loop(main_fn);
+  b.free(main_fn, 0);
+  b.end_loop(main_fn);
+  const std::string text = to_text(b.build());
+  EXPECT_NE(text.find("  loop 10 {"), std::string::npos);
+  EXPECT_NE(text.find("    s0 = calloc(8)"), std::string::npos);
+  EXPECT_NE(text.find("    loop 2 {"), std::string::npos);
+  EXPECT_NE(text.find("      write(s0"), std::string::npos);
+}
+
+TEST(Printer, MemalignShowsAlignment) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMemalign, Value(128), 0, Value(64));
+  const std::string text = to_text(b.build());
+  EXPECT_NE(text.find("memalign(128, align=64)"), std::string::npos);
+}
+
+TEST(Printer, CopyAndRealloc) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(64), 0);
+  b.alloc(main_fn, AllocFn::kMalloc, Value(64), 1);
+  b.copy(main_fn, 0, Value(4), 1, Value(8), Value(32));
+  b.realloc(main_fn, 1, Value(256));
+  const std::string text = to_text(b.build());
+  EXPECT_NE(text.find("copy(s0+4 -> s1+8, len=32)"), std::string::npos);
+  EXPECT_NE(text.find("s1 = realloc(s1, 256)"), std::string::npos);
+}
+
+TEST(Printer, AllocationApiNodesAreSkipped) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(8), 0);
+  const std::string text = to_text(b.build());
+  // The synthetic "malloc" node has no body block of its own.
+  EXPECT_EQ(text.find("\nmalloc:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::progmodel

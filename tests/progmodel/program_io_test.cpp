@@ -1,0 +1,152 @@
+#include "progmodel/program_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/extended_corpus.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/builder.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/null_backend.hpp"
+#include "progmodel/random_program.hpp"
+#include "shadow/sim_heap.hpp"
+
+namespace ht::progmodel {
+namespace {
+
+/// Behavioural equivalence: same inputs produce the same run statistics and
+/// the same violation kinds on the shadow heap.
+void expect_equivalent(const Program& a, const Program& b, const Input& input) {
+  shadow::SimHeap heap_a, heap_b;
+  Interpreter ia(a, nullptr, heap_a);
+  Interpreter ib(b, nullptr, heap_b);
+  const RunResult ra = ia.run(input);
+  const RunResult rb = ib.run(input);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.steps, rb.steps);
+  EXPECT_EQ(ra.total_allocs(), rb.total_allocs());
+  EXPECT_EQ(ra.free_count, rb.free_count);
+  ASSERT_EQ(ra.violations.size(), rb.violations.size());
+  for (std::size_t i = 0; i < ra.violations.size(); ++i) {
+    EXPECT_EQ(ra.violations[i].outcome.kind, rb.violations[i].outcome.kind);
+    EXPECT_EQ(ra.violations[i].outcome.is_write, rb.violations[i].outcome.is_write);
+  }
+}
+
+TEST(ProgramIo, SerializationIsCanonical) {
+  // serialize(parse(serialize(p))) == serialize(p): the .htp file is the
+  // canonical identity, so CCIDs derived from it are stable.
+  for (const auto& v : corpus::make_table2_corpus()) {
+    const std::string text = serialize_program(v.program);
+    const auto reparsed = parse_program(text);
+    ASSERT_TRUE(reparsed.program.has_value()) << v.name << ": " << reparsed.error;
+    EXPECT_EQ(serialize_program(*reparsed.program), text) << v.name;
+  }
+}
+
+TEST(ProgramIo, CorpusRoundTripsBehaviourally) {
+  for (const auto& v : corpus::make_table2_corpus()) {
+    const auto reparsed = parse_program(serialize_program(v.program));
+    ASSERT_TRUE(reparsed.program.has_value()) << v.name << ": " << reparsed.error;
+    expect_equivalent(v.program, *reparsed.program, v.benign);
+    expect_equivalent(v.program, *reparsed.program, v.attack);
+  }
+}
+
+TEST(ProgramIo, ExtendedCorpusRoundTrips) {
+  for (const auto& v : corpus::make_extended_corpus()) {
+    const auto reparsed = parse_program(serialize_program(v.program));
+    ASSERT_TRUE(reparsed.program.has_value()) << v.name << ": " << reparsed.error;
+    expect_equivalent(v.program, *reparsed.program, v.attack);
+  }
+}
+
+TEST(ProgramIo, RandomProgramsRoundTrip) {
+  for (std::uint64_t seed = 500; seed < 508; ++seed) {
+    support::Rng rng(seed);
+    RandomProgramParams params;
+    params.layers = 3 + seed % 3;
+    params.allocs_per_leaf = 1 + seed % 3;
+    params.loop_count = 1 + seed % 3;
+    const Program original = make_random_program(rng, params);
+    const auto reparsed = parse_program(serialize_program(original));
+    ASSERT_TRUE(reparsed.program.has_value()) << reparsed.error;
+    expect_equivalent(original, *reparsed.program, Input{});
+    EXPECT_EQ(reparsed.program->graph().function_count(),
+              original.graph().function_count());
+    EXPECT_EQ(reparsed.program->graph().call_site_count(),
+              original.graph().call_site_count());
+    EXPECT_EQ(reparsed.program->slot_count(), original.slot_count());
+  }
+}
+
+TEST(ProgramIo, HandWrittenProgramParses) {
+  const char* text = R"(# a bug report as a file
+program v1
+entry main
+fn main {
+  call handler
+}
+fn handler {
+  s0 = malloc($0)
+  write(s0, 0, $0)
+  read(s0, 0, $1, syscall)   # the leak
+  loop 2 {
+    s1 = memalign(64, align=32)
+    free(s1)
+  }
+  s0 = realloc(s0, 128)
+  copy(s0+0 -> s0+64, 16)
+  free(s0)
+}
+)";
+  const auto parsed = parse_program(text);
+  ASSERT_TRUE(parsed.program.has_value()) << parsed.error;
+  const Program& p = *parsed.program;
+  EXPECT_EQ(p.graph().function_name(p.entry()), "main");
+  EXPECT_EQ(p.slot_count(), 2u);
+  NullBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  EXPECT_TRUE(interp.run(Input{{64, 32}}).completed);
+}
+
+TEST(ProgramIo, ErrorsCarryLineNumbers) {
+  const auto no_version = parse_program("fn main {\n}\n");
+  EXPECT_FALSE(no_version.program.has_value());
+  EXPECT_NE(no_version.error.find("program v1"), std::string::npos);
+
+  const auto bad_stmt = parse_program("program v1\nfn main {\nwobble(s0)\n}\n");
+  EXPECT_FALSE(bad_stmt.program.has_value());
+  EXPECT_NE(bad_stmt.error.find("line 3"), std::string::npos);
+
+  const auto bad_callee = parse_program("program v1\nfn main {\ncall ghost\n}\n");
+  EXPECT_FALSE(bad_callee.program.has_value());
+  EXPECT_NE(bad_callee.error.find("undeclared"), std::string::npos);
+
+  const auto open_loop =
+      parse_program("program v1\nfn main {\nloop 3 {\nfree(s0)\n}\n");
+  EXPECT_FALSE(open_loop.program.has_value());
+
+  const auto dup = parse_program("program v1\nfn main {\n}\nfn main {\n}\n");
+  EXPECT_FALSE(dup.program.has_value());
+  EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+}
+
+TEST(ProgramIo, ForwardCallsResolve) {
+  const auto parsed = parse_program(
+      "program v1\nfn main {\ncall later\n}\nfn later {\ns0 = calloc(8)\nfree(s0)\n}\n");
+  ASSERT_TRUE(parsed.program.has_value()) << parsed.error;
+  NullBackend backend;
+  Interpreter interp(*parsed.program, nullptr, backend);
+  EXPECT_TRUE(interp.run(Input{}).completed);
+}
+
+TEST(ProgramIo, EntryDirectiveOverridesFirstFunction) {
+  const auto parsed = parse_program(
+      "program v1\nentry real_main\nfn boot {\n}\nfn real_main {\n}\n");
+  ASSERT_TRUE(parsed.program.has_value()) << parsed.error;
+  EXPECT_EQ(parsed.program->graph().function_name(parsed.program->entry()),
+            "real_main");
+}
+
+}  // namespace
+}  // namespace ht::progmodel

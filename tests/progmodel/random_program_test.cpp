@@ -1,0 +1,121 @@
+// Property sweep: random programs are well-formed, memory-clean, and their
+// encoding behaviour is consistent across strategies.
+#include "progmodel/random_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cce/verify.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/null_backend.hpp"
+
+namespace ht::progmodel {
+namespace {
+
+class RandomProgramProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    support::Rng rng(GetParam());
+    RandomProgramParams params;
+    params.layers = 3 + GetParam() % 3;
+    params.functions_per_layer = 2 + GetParam() % 4;
+    params.calls_per_function = 1 + GetParam() % 3;
+    params.allocs_per_leaf = 1 + GetParam() % 3;
+    params.loop_count = 1 + GetParam() % 4;
+    program_ = make_random_program(rng, params);
+  }
+  Program program_;
+};
+
+TEST_P(RandomProgramProperty, GraphIsAcyclicWithReachableTargets) {
+  EXPECT_FALSE(program_.graph().has_cycle());
+  ASSERT_FALSE(program_.alloc_targets().empty());
+  const auto reach =
+      cce::compute_reachability(program_.graph(), program_.alloc_targets());
+  EXPECT_TRUE(reach.reaches_target[program_.entry()]);
+}
+
+TEST_P(RandomProgramProperty, RunsCleanlyAndBalancesAllocations) {
+  NullBackend backend;
+  Interpreter interp(program_, nullptr, backend);
+  const RunResult result = interp.run(Input{});
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.total_allocs(), 0u);
+  EXPECT_EQ(result.total_allocs(),
+            result.free_count + result.alloc_counts[static_cast<int>(AllocFn::kRealloc)]);
+  EXPECT_EQ(backend.live_buffers(), 0u);
+}
+
+TEST_P(RandomProgramProperty, AllStrategiesYieldSamePerAllocationCcidDistinctness) {
+  // For each strategy, allocations at distinct static call paths must get
+  // CCIDs consistent with the encoder's claims: the histogram cardinality
+  // under FCS (maximal instrumentation) is an upper bound for the others,
+  // and every strategy must produce identical allocation *counts*.
+  std::uint64_t total = 0;
+  std::size_t fcs_distinct = 0;
+  for (cce::Strategy strategy :
+       {cce::Strategy::kFcs, cce::Strategy::kTcs, cce::Strategy::kSlim,
+        cce::Strategy::kIncremental}) {
+    const auto plan =
+        cce::compute_plan(program_.graph(), program_.alloc_targets(), strategy);
+    const cce::PccEncoder encoder(plan);
+    NullBackend backend;
+    Interpreter interp(program_, &encoder, backend);
+    const RunResult result = interp.run(Input{});
+    EXPECT_TRUE(result.completed);
+    if (strategy == cce::Strategy::kFcs) {
+      total = result.total_allocs();
+      fcs_distinct = result.alloc_sites.size();
+    } else {
+      EXPECT_EQ(result.total_allocs(), total);
+      EXPECT_LE(result.alloc_sites.size(), fcs_distinct);
+    }
+  }
+}
+
+TEST_P(RandomProgramProperty, EncodingOpsShrinkMonotonically) {
+  std::uint64_t prev = UINT64_MAX;
+  for (cce::Strategy strategy :
+       {cce::Strategy::kFcs, cce::Strategy::kTcs, cce::Strategy::kSlim,
+        cce::Strategy::kIncremental}) {
+    const auto plan =
+        cce::compute_plan(program_.graph(), program_.alloc_targets(), strategy);
+    const cce::PccEncoder encoder(plan);
+    NullBackend backend;
+    Interpreter interp(program_, &encoder, backend);
+    const RunResult result = interp.run(Input{});
+    EXPECT_LE(result.encoding_ops, prev) << cce::strategy_name(strategy);
+    prev = result.encoding_ops;
+  }
+}
+
+TEST_P(RandomProgramProperty, PlanSoundOnProgramGraph) {
+  for (cce::Strategy strategy :
+       {cce::Strategy::kTcs, cce::Strategy::kSlim, cce::Strategy::kIncremental}) {
+    const auto plan =
+        cce::compute_plan(program_.graph(), program_.alloc_targets(), strategy);
+    const auto report = cce::verify_plan_distinguishability(
+        program_.graph(), program_.entry(), program_.alloc_targets(), plan);
+    EXPECT_TRUE(report.sound()) << cce::strategy_name(strategy);
+  }
+}
+
+TEST_P(RandomProgramProperty, SameSeedSameProgram) {
+  support::Rng rng(GetParam());
+  RandomProgramParams params;
+  params.layers = 3 + GetParam() % 3;
+  params.functions_per_layer = 2 + GetParam() % 4;
+  params.calls_per_function = 1 + GetParam() % 3;
+  params.allocs_per_leaf = 1 + GetParam() % 3;
+  params.loop_count = 1 + GetParam() % 4;
+  const Program again = make_random_program(rng, params);
+  EXPECT_EQ(again.graph().function_count(), program_.graph().function_count());
+  EXPECT_EQ(again.graph().call_site_count(), program_.graph().call_site_count());
+  EXPECT_EQ(again.slot_count(), program_.slot_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace ht::progmodel

@@ -1,0 +1,93 @@
+// Stack-walk CCID mode: the expensive baseline §IV argues against.
+#include <gtest/gtest.h>
+
+#include "progmodel/builder.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/null_backend.hpp"
+#include "progmodel/random_program.hpp"
+
+namespace ht::progmodel {
+namespace {
+
+TEST(StackWalk, CcidsMatchFcsPccEncoder) {
+  // Interchangeability: a patch generated under stack walking must match
+  // allocations under FCS PCC encoding and vice versa.
+  support::Rng rng(7);
+  RandomProgramParams params;
+  params.layers = 4;
+  params.allocs_per_leaf = 2;
+  const Program p = make_random_program(rng, params);
+  const auto plan =
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kFcs);
+  const cce::PccEncoder encoder(plan);
+
+  NullBackend backend;
+  Interpreter encoded(p, &encoder, backend);
+  const RunResult with_encoder = encoded.run(Input{});
+
+  Interpreter walker(p, nullptr, backend);
+  RunOptions options;
+  options.stack_walk = true;
+  const RunResult with_walk = walker.run(Input{}, options);
+
+  ASSERT_EQ(with_walk.alloc_sites.size(), with_encoder.alloc_sites.size());
+  for (const auto& [key, count] : with_encoder.alloc_sites) {
+    const auto it = with_walk.alloc_sites.find(key);
+    ASSERT_NE(it, with_walk.alloc_sites.end()) << "ccid mismatch";
+    EXPECT_EQ(it->second, count);
+  }
+}
+
+TEST(StackWalk, WalkCostScalesWithDepth) {
+  // A chain of depth d costs ~d frame visits per allocation.
+  for (std::uint32_t depth : {2u, 8u, 16u}) {
+    ProgramBuilder b;
+    std::vector<cce::FunctionId> chain{b.function("main")};
+    for (std::uint32_t i = 1; i < depth; ++i) {
+      chain.push_back(b.function("f" + std::to_string(i)));
+      b.call(chain[i - 1], chain[i]);
+    }
+    b.alloc(chain.back(), AllocFn::kMalloc, Value(16), 0);
+    b.free(chain.back(), 0);
+    const Program p = b.build();
+    NullBackend backend;
+    Interpreter interp(p, nullptr, backend);
+    RunOptions options;
+    options.stack_walk = true;
+    const RunResult result = interp.run(Input{}, options);
+    // Stack at the allocation: depth-1 interior calls + the malloc site.
+    EXPECT_EQ(result.walked_frames, depth) << depth;
+  }
+}
+
+TEST(StackWalk, DisabledByDefaultAndCostFree) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  b.alloc(main_fn, AllocFn::kMalloc, Value(16), 0);
+  const Program p = b.build();
+  NullBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  EXPECT_EQ(interp.run(Input{}).walked_frames, 0u);
+}
+
+TEST(StackWalk, WalkedFramesGrowWithAllocationVolume) {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto worker = b.function("worker");
+  b.call(main_fn, worker);
+  b.begin_loop(worker, Value(100));
+  b.alloc(worker, AllocFn::kMalloc, Value(8), 0);
+  b.free(worker, 0);
+  b.end_loop(worker);
+  const Program p = b.build();
+  NullBackend backend;
+  Interpreter interp(p, nullptr, backend);
+  RunOptions options;
+  options.stack_walk = true;
+  const RunResult result = interp.run(Input{}, options);
+  // Each of the 100 allocations walks 2 frames (call worker + malloc site).
+  EXPECT_EQ(result.walked_frames, 200u);
+}
+
+}  // namespace
+}  // namespace ht::progmodel

@@ -1,0 +1,50 @@
+#include "progmodel/values.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::progmodel {
+namespace {
+
+TEST(Value, LiteralResolvesWithoutInput) {
+  const Input empty;
+  EXPECT_EQ(Value(42).resolve(empty), 42u);
+  EXPECT_EQ(Value(0).resolve(empty), 0u);
+  EXPECT_FALSE(Value(7).is_input());
+}
+
+TEST(Value, InputReferenceResolves) {
+  const Input in{{10, 20, 30}};
+  EXPECT_EQ(Value::input(0).resolve(in), 10u);
+  EXPECT_EQ(Value::input(2).resolve(in), 30u);
+  EXPECT_TRUE(Value::input(1).is_input());
+}
+
+TEST(Value, MissingParameterThrows) {
+  const Input in{{10}};
+  EXPECT_THROW((void)Value::input(1).resolve(in), std::out_of_range);
+  const Input empty;
+  EXPECT_THROW((void)Value::input(0).resolve(empty), std::out_of_range);
+}
+
+TEST(Value, DefaultIsLiteralZero) {
+  const Input empty;
+  EXPECT_EQ(Value().resolve(empty), 0u);
+}
+
+TEST(AllocFn, NamesMatchInterposedApis) {
+  EXPECT_EQ(alloc_fn_name(AllocFn::kMalloc), "malloc");
+  EXPECT_EQ(alloc_fn_name(AllocFn::kCalloc), "calloc");
+  EXPECT_EQ(alloc_fn_name(AllocFn::kRealloc), "realloc");
+  EXPECT_EQ(alloc_fn_name(AllocFn::kMemalign), "memalign");
+  EXPECT_EQ(alloc_fn_name(AllocFn::kAlignedAlloc), "aligned_alloc");
+}
+
+TEST(ReadUse, Names) {
+  EXPECT_EQ(read_use_name(ReadUse::kData), "data");
+  EXPECT_EQ(read_use_name(ReadUse::kBranch), "branch");
+  EXPECT_EQ(read_use_name(ReadUse::kAddress), "address");
+  EXPECT_EQ(read_use_name(ReadUse::kSyscall), "syscall");
+}
+
+}  // namespace
+}  // namespace ht::progmodel

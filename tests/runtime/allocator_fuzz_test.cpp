@@ -1,0 +1,161 @@
+// Randomized stress of the GuardedAllocator: long mixed API sequences with
+// random patch tables and config combinations must never corrupt memory,
+// lose buffers, or upset the underlying allocator. This is the failure-
+// injection net under everything the benches exercise.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+
+#include "runtime/guarded_allocator.hpp"
+#include "support/rng.hpp"
+
+namespace ht::runtime {
+namespace {
+
+using patch::Patch;
+using patch::PatchTable;
+using progmodel::AllocFn;
+
+struct FuzzCase {
+  std::uint64_t seed;
+  bool guard_pages;
+  bool canaries;
+  bool poison;
+};
+
+class AllocatorFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(AllocatorFuzz, LongMixedSequenceStaysConsistent) {
+  const FuzzCase& fuzz = GetParam();
+  support::Rng rng(fuzz.seed);
+
+  // A patch table over a small CCID universe so patched allocations are
+  // frequent; random masks cover every defense combination.
+  std::vector<Patch> patches;
+  for (std::uint64_t ccid = 1; ccid <= 8; ++ccid) {
+    for (AllocFn fn : progmodel::kAllAllocFns) {
+      if (rng.chance(0.5)) {
+        patches.push_back(
+            Patch{fn, ccid, static_cast<std::uint8_t>(1 + rng.below(7))});
+      }
+    }
+  }
+  const PatchTable table(patches, /*freeze=*/true);
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = fuzz.guard_pages;
+  config.use_canaries = fuzz.canaries;
+  config.poison_quarantine = fuzz.poison;
+  config.quarantine_quota_bytes = 256 * 1024;
+  GuardedAllocator alloc(&table, config);
+
+  struct Live {
+    char* p;
+    std::uint64_t size;
+    std::uint8_t fill;
+  };
+  std::unordered_map<std::uint64_t, Live> live;
+  std::uint64_t next_key = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto roll = rng.below(10);
+    const std::uint64_t ccid = 1 + rng.below(12);  // some ccids unpatched
+    if (roll < 4 || live.empty()) {
+      const std::uint64_t size = rng.below(600);
+      char* p = nullptr;
+      switch (rng.below(4)) {
+        case 0: p = static_cast<char*>(alloc.malloc(size, ccid)); break;
+        case 1: p = static_cast<char*>(alloc.calloc(1, size, ccid)); break;
+        case 2:
+          p = static_cast<char*>(alloc.memalign(16u << rng.below(5), size, ccid));
+          break;
+        case 3:
+          p = static_cast<char*>(alloc.realloc(nullptr, size, ccid));
+          break;
+      }
+      ASSERT_NE(p, nullptr);
+      const auto fill = static_cast<std::uint8_t>(rng.below(255) + 1);
+      if (size > 0) std::memset(p, fill, size);
+      live[next_key++] = Live{p, size, fill};
+    } else if (roll < 7) {
+      // Verify then free a random live buffer.
+      const auto it = std::next(live.begin(),
+                                static_cast<std::ptrdiff_t>(rng.index(live.size())));
+      const Live& buf = it->second;
+      ASSERT_EQ(alloc.user_size(buf.p), buf.size);
+      for (std::uint64_t i = 0; i < buf.size; i += 97) {
+        ASSERT_EQ(static_cast<std::uint8_t>(buf.p[i]), buf.fill)
+            << "corruption in live buffer";
+      }
+      alloc.free(buf.p);
+      live.erase(it);
+    } else if (roll < 9) {
+      // Realloc a random live buffer; content prefix must survive.
+      const auto it = std::next(live.begin(),
+                                static_cast<std::ptrdiff_t>(rng.index(live.size())));
+      Live buf = it->second;
+      live.erase(it);
+      const std::uint64_t new_size = rng.below(600);
+      char* q = static_cast<char*>(alloc.realloc(buf.p, new_size, ccid));
+      if (new_size == 0) {
+        ASSERT_EQ(q, nullptr);
+        continue;
+      }
+      ASSERT_NE(q, nullptr);
+      const std::uint64_t check = std::min(buf.size, new_size);
+      for (std::uint64_t i = 0; i < check; i += 53) {
+        ASSERT_EQ(static_cast<std::uint8_t>(q[i]), buf.fill);
+      }
+      if (new_size > 0) std::memset(q, buf.fill, new_size);
+      live[next_key++] = Live{q, new_size, buf.fill};
+    } else {
+      // Write through a random live buffer's full extent (guard pages must
+      // tolerate in-bounds writes right up to the boundary).
+      const auto it = std::next(live.begin(),
+                                static_cast<std::ptrdiff_t>(rng.index(live.size())));
+      Live& buf = it->second;
+      if (buf.size > 0) {
+        buf.fill = static_cast<std::uint8_t>(rng.below(255) + 1);
+        std::memset(buf.p, buf.fill, buf.size);
+      }
+    }
+  }
+  for (auto& [key, buf] : live) alloc.free(buf.p);
+  // No false canary alarms: every overflow in this test is absent.
+  EXPECT_EQ(alloc.stats().canary_overflows_on_free, 0u);
+  // Bookkeeping balance: every allocation this test made was freed exactly
+  // once, so frees (plain + quarantined) must equal allocation calls.
+  EXPECT_EQ(alloc.stats().interceptions,
+            alloc.stats().plain_frees + alloc.stats().quarantined_frees);
+  // Quarantine accounting is self-consistent.
+  EXPECT_EQ(alloc.quarantine().total_pushed(),
+            alloc.quarantine().total_released() + alloc.quarantine().depth());
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  std::uint64_t seed = 42;
+  for (bool guards : {true, false}) {
+    for (bool canaries : {true, false}) {
+      for (bool poison : {true, false}) {
+        cases.push_back({seed++, guards, canaries, poison});
+      }
+    }
+  }
+  // A few extra seeds on the default configuration.
+  cases.push_back({1001, true, false, false});
+  cases.push_back({1002, true, false, false});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, AllocatorFuzz, ::testing::ValuesIn(fuzz_cases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           const FuzzCase& c = info.param;
+                           return "seed" + std::to_string(c.seed) +
+                                  (c.guard_pages ? "_guard" : "") +
+                                  (c.canaries ? "_canary" : "") +
+                                  (c.poison ? "_poison" : "");
+                         });
+
+}  // namespace
+}  // namespace ht::runtime

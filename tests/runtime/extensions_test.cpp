@@ -1,0 +1,150 @@
+// Tests for the beyond-paper runtime extensions: quarantine poisoning and
+// the canary detect-on-free fallback (DESIGN.md ablation targets).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "runtime/guarded_allocator.hpp"
+
+namespace ht::runtime {
+namespace {
+
+using patch::Patch;
+using patch::PatchTable;
+using progmodel::AllocFn;
+
+constexpr std::uint64_t kVulnCcid = 0x1234;
+
+TEST(PoisonQuarantine, FreedVulnerableBufferIsPoisoned) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kUseAfterFree}});
+  GuardedAllocatorConfig config;
+  config.poison_quarantine = true;
+  GuardedAllocator alloc(&table, config);
+  char* p = static_cast<char*>(alloc.malloc(128, kVulnCcid));
+  std::memset(p, 0x5A, 128);
+  alloc.free(p);
+  // The block sits in quarantine; its contents must be poison, not secrets.
+  ASSERT_TRUE(alloc.quarantine().contains(p - 16));
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(p[i]),
+              GuardedAllocatorConfig::kPoisonByte)
+        << i;
+  }
+}
+
+TEST(PoisonQuarantine, DisabledLeavesContentsIntact) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kUseAfterFree}});
+  GuardedAllocator alloc(&table);  // poisoning off by default
+  char* p = static_cast<char*>(alloc.malloc(128, kVulnCcid));
+  std::memset(p, 0x5A, 128);
+  alloc.free(p);
+  ASSERT_TRUE(alloc.quarantine().contains(p - 16));
+  EXPECT_EQ(static_cast<unsigned char>(p[64]), 0x5A);
+}
+
+TEST(PoisonQuarantine, UnpatchedBuffersNeverPoisoned) {
+  GuardedAllocatorConfig config;
+  config.poison_quarantine = true;
+  GuardedAllocator alloc(nullptr, config);
+  void* p = alloc.malloc(64, 0);
+  alloc.free(p);  // plain free path: memory is back with libc, untouched
+  EXPECT_EQ(alloc.stats().quarantined_frees, 0u);
+}
+
+TEST(Canary, PlantedWhenGuardPagesDisabled) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kOverflow}});
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  GuardedAllocator alloc(&table, config);
+  char* p = static_cast<char*>(alloc.malloc(100, kVulnCcid));
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(alloc.guard_active(p));
+  EXPECT_EQ(alloc.stats().canaries_planted, 1u);
+  EXPECT_EQ(alloc.user_size(p), 100u);
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().canary_overflows_on_free, 0u);  // clean free
+}
+
+TEST(Canary, OverflowDetectedOnFree) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kOverflow}});
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  GuardedAllocator alloc(&table, config);
+  char* p = static_cast<char*>(alloc.malloc(100, kVulnCcid));
+  std::memset(p, 0x41, 108);  // contiguous overflow clobbers the canary
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().canary_overflows_on_free, 1u);
+}
+
+TEST(Canary, GuardPageTakesPriorityWhenAvailable) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kOverflow}});
+  GuardedAllocatorConfig config;
+  config.use_canaries = true;  // guards still enabled: canary must not engage
+  GuardedAllocator alloc(&table, config);
+  void* p = alloc.malloc(100, kVulnCcid);
+  EXPECT_TRUE(alloc.guard_active(p));
+  EXPECT_EQ(alloc.stats().canaries_planted, 0u);
+  alloc.free(p);
+}
+
+TEST(Canary, UnpatchedBuffersGetNoCanary) {
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  GuardedAllocator alloc(nullptr, config);
+  void* p = alloc.malloc(100, 0);
+  EXPECT_EQ(alloc.stats().canaries_planted, 0u);
+  alloc.free(p);
+}
+
+TEST(Canary, SurvivesReallocPath) {
+  const PatchTable table(
+      {Patch{AllocFn::kRealloc, kVulnCcid, patch::kOverflow}});
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  GuardedAllocator alloc(&table, config);
+  char* p = static_cast<char*>(alloc.malloc(64, 0));
+  std::memset(p, 0x22, 64);
+  char* q = static_cast<char*>(alloc.realloc(p, 128, kVulnCcid));
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(alloc.stats().canaries_planted, 1u);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(q[i], 0x22);
+  alloc.free(q);
+  EXPECT_EQ(alloc.stats().canary_overflows_on_free, 0u);
+}
+
+TEST(Canary, ZeroSizeBufferCanaryIntact) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kOverflow}});
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  GuardedAllocator alloc(&table, config);
+  void* p = alloc.malloc(0, kVulnCcid);
+  ASSERT_NE(p, nullptr);
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().canary_overflows_on_free, 0u);
+}
+
+TEST(Extensions, PoisonAndCanaryComposeWithAllDefenses) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kVulnCcid, patch::kAllVulnBits}});
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;  // canary path for overflow
+  config.use_canaries = true;
+  config.poison_quarantine = true;
+  GuardedAllocator alloc(&table, config);
+  char* p = static_cast<char*>(alloc.malloc(64, kVulnCcid));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(p[i], 0) << "zero-fill";
+  std::memset(p, 0x66, 64);
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().canary_overflows_on_free, 0u);
+  EXPECT_EQ(alloc.stats().quarantined_frees, 1u);
+  EXPECT_EQ(static_cast<unsigned char>(p[0]),
+            GuardedAllocatorConfig::kPoisonByte);
+}
+
+}  // namespace
+}  // namespace ht::runtime

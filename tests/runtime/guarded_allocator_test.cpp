@@ -1,0 +1,307 @@
+#include "runtime/guarded_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+namespace ht::runtime {
+namespace {
+
+using patch::Patch;
+using patch::PatchTable;
+using progmodel::AllocFn;
+
+constexpr std::uint64_t kVulnCcid = 0xbeef;
+constexpr std::uint64_t kCleanCcid = 0xf00d;
+
+PatchTable table_with(std::uint8_t mask, AllocFn fn = AllocFn::kMalloc) {
+  return PatchTable({Patch{fn, kVulnCcid, mask}});
+}
+
+TEST(GuardedAllocator, UnpatchedAllocationIsUsableAndSized) {
+  GuardedAllocator alloc;
+  void* p = alloc.malloc(100, kCleanCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);  // malloc contract
+  std::memset(p, 0xCC, 100);
+  EXPECT_EQ(alloc.user_size(p), 100u);
+  EXPECT_EQ(alloc.applied_mask(p), 0u);
+  EXPECT_FALSE(alloc.guard_active(p));
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().interceptions, 1u);
+  EXPECT_EQ(alloc.stats().plain_frees, 1u);
+  EXPECT_EQ(alloc.stats().enhanced, 0u);
+}
+
+TEST(GuardedAllocator, PatchedOverflowBufferGetsGuardPage) {
+  const PatchTable table = table_with(patch::kOverflow);
+  GuardedAllocator alloc(&table);
+  void* p = alloc.malloc(100, kVulnCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(alloc.guard_active(p));
+  EXPECT_EQ(alloc.applied_mask(p), patch::kOverflow);
+  EXPECT_EQ(alloc.user_size(p), 100u);  // size recovered from the guard page
+  std::memset(p, 0xCC, 100);            // user region fully usable
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().guard_pages, 1u);
+  EXPECT_EQ(alloc.stats().enhanced, 1u);
+}
+
+TEST(GuardedAllocatorDeathTest, GuardPageFaultsOnOverflowWrite) {
+  // The real mechanism: a contiguous overflow past the buffer end reaches
+  // the PROT_NONE page and the process faults instead of being exploited.
+  const PatchTable table = table_with(patch::kOverflow);
+  GuardedAllocator alloc(&table);
+  char* p = static_cast<char*>(alloc.malloc(100, kVulnCcid));
+  ASSERT_NE(p, nullptr);
+  const std::uint64_t guard =
+      guard_page_address(reinterpret_cast<std::uint64_t>(p), 100);
+  EXPECT_DEATH({ *reinterpret_cast<volatile char*>(guard) = 1; }, "");
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, CcidMismatchGetsNoEnhancement) {
+  const PatchTable table = table_with(patch::kOverflow);
+  GuardedAllocator alloc(&table);
+  void* p = alloc.malloc(100, kCleanCcid);  // different context
+  EXPECT_FALSE(alloc.guard_active(p));
+  EXPECT_EQ(alloc.applied_mask(p), 0u);
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, FnMismatchGetsNoEnhancement) {
+  // Patch is keyed on {FUN, CCID}: same CCID through calloc must not match
+  // a malloc patch.
+  const PatchTable table = table_with(patch::kOverflow, AllocFn::kMalloc);
+  GuardedAllocator alloc(&table);
+  void* p = alloc.calloc(10, 10, kVulnCcid);
+  EXPECT_FALSE(alloc.guard_active(p));
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, UninitPatchZeroFills) {
+  const PatchTable table = table_with(patch::kUninitRead);
+  GuardedAllocator alloc(&table);
+  char* p = static_cast<char*>(alloc.malloc(4096, kVulnCcid));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 4096; ++i) ASSERT_EQ(p[i], 0) << i;
+  EXPECT_EQ(alloc.stats().zero_fills, 1u);
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, UnpatchedMallocReusesStaleContents) {
+  // Establishes the attack precondition the zero-fill defense removes:
+  // freed secrets survive into the next same-size allocation.
+  GuardedAllocator alloc;
+  char* secret = static_cast<char*>(alloc.malloc(256, kCleanCcid));
+  std::memset(secret, 0x5A, 256);
+  alloc.free(secret);
+  char* reused = static_cast<char*>(alloc.malloc(256, kCleanCcid));
+  // glibc tcache hands the same chunk back.
+  if (reused == secret) {
+    bool saw_stale = false;
+    for (int i = 0; i < 256; ++i) saw_stale |= (reused[i] == 0x5A);
+    EXPECT_TRUE(saw_stale);
+  }
+  alloc.free(reused);
+}
+
+TEST(GuardedAllocator, UninitPatchDefeatsStaleReuseLeak) {
+  const PatchTable table = table_with(patch::kUninitRead);
+  GuardedAllocator alloc(&table);
+  char* secret = static_cast<char*>(alloc.malloc(256, kCleanCcid));
+  std::memset(secret, 0x5A, 256);
+  alloc.free(secret);
+  char* vulnerable = static_cast<char*>(alloc.malloc(256, kVulnCcid));
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(vulnerable[i], 0) << i;
+  alloc.free(vulnerable);
+}
+
+TEST(GuardedAllocator, UafPatchDefersReuse) {
+  const PatchTable table = table_with(patch::kUseAfterFree);
+  GuardedAllocator alloc(&table);
+  void* p = alloc.malloc(128, kVulnCcid);
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().quarantined_frees, 1u);
+  EXPECT_GT(alloc.quarantine().bytes(), 0u);
+  // Grooming allocation of the same size must NOT get the same memory.
+  void* groom = alloc.malloc(128, kCleanCcid);
+  EXPECT_NE(groom, p);
+  alloc.free(groom);
+}
+
+TEST(GuardedAllocator, UnpatchedFreeReusesPromptly) {
+  // Baseline for the UAF defense: glibc promptly reuses same-size chunks.
+  GuardedAllocator alloc;
+  void* p = alloc.malloc(128, kCleanCcid);
+  alloc.free(p);
+  void* q = alloc.malloc(128, kCleanCcid);
+  EXPECT_EQ(q, p);  // tcache behaviour; documents the attack precondition
+  alloc.free(q);
+}
+
+TEST(GuardedAllocator, QuarantineQuotaEvictsEventually) {
+  const PatchTable table = table_with(patch::kUseAfterFree);
+  GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = 4096;
+  GuardedAllocator alloc(&table, config);
+  for (int i = 0; i < 100; ++i) {
+    void* p = alloc.malloc(512, kVulnCcid);
+    alloc.free(p);
+  }
+  EXPECT_LE(alloc.quarantine().bytes(), 4096u);
+  EXPECT_GT(alloc.quarantine().total_released(), 0u);
+}
+
+TEST(GuardedAllocator, CombinedMaskAppliesAllDefenses) {
+  const PatchTable table = table_with(patch::kAllVulnBits);
+  GuardedAllocator alloc(&table);
+  char* p = static_cast<char*>(alloc.malloc(200, kVulnCcid));
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(alloc.guard_active(p));
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(p[i], 0);
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().quarantined_frees, 1u);
+}
+
+TEST(GuardedAllocator, MemalignAlignsAndSurvivesFree) {
+  const PatchTable table = table_with(patch::kOverflow, AllocFn::kMemalign);
+  GuardedAllocator alloc(&table);
+  for (std::uint64_t align : {32u, 64u, 256u, 4096u}) {
+    void* vuln = alloc.memalign(align, 100, kVulnCcid);
+    ASSERT_NE(vuln, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(vuln) % align, 0u);
+    EXPECT_TRUE(alloc.guard_active(vuln));
+    EXPECT_EQ(alloc.user_size(vuln), 100u);
+    alloc.free(vuln);
+
+    void* plain = alloc.memalign(align, 100, kCleanCcid);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(plain) % align, 0u);
+    EXPECT_FALSE(alloc.guard_active(plain));
+    EXPECT_EQ(alloc.user_size(plain), 100u);
+    alloc.free(plain);
+  }
+}
+
+TEST(GuardedAllocator, AlignedAllocBehavesLikeMemalign) {
+  GuardedAllocator alloc;
+  void* p = alloc.aligned_alloc(64, 128, kCleanCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  EXPECT_EQ(alloc.user_size(p), 128u);
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, SmallAlignmentUsesPlainStructure) {
+  GuardedAllocator alloc;
+  void* p = alloc.memalign(8, 64, kCleanCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.user_size(p), 64u);
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, CallocZeroesAndChecksOverflow) {
+  GuardedAllocator alloc;
+  char* p = static_cast<char*>(alloc.calloc(16, 16, kCleanCcid));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(p[i], 0);
+  alloc.free(p);
+  // Multiplication overflow must fail, not wrap.
+  EXPECT_EQ(alloc.calloc(UINT64_MAX / 2, 3, kCleanCcid), nullptr);
+}
+
+TEST(GuardedAllocator, ReallocPreservesContentAndRescreens) {
+  const PatchTable table =
+      PatchTable({Patch{AllocFn::kRealloc, kVulnCcid, patch::kOverflow}});
+  GuardedAllocator alloc(&table);
+  char* p = static_cast<char*>(alloc.malloc(64, kCleanCcid));
+  std::memset(p, 0x42, 64);
+  // Growing realloc under the vulnerable CCID: content moves, guard appears.
+  char* q = static_cast<char*>(alloc.realloc(p, 256, kVulnCcid));
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(q[i], 0x42);
+  EXPECT_TRUE(alloc.guard_active(q));
+  EXPECT_EQ(alloc.user_size(q), 256u);
+  alloc.free(q);
+}
+
+TEST(GuardedAllocator, ReallocShrinkKeepsPrefix) {
+  GuardedAllocator alloc;
+  char* p = static_cast<char*>(alloc.malloc(256, kCleanCcid));
+  std::memset(p, 0x37, 256);
+  char* q = static_cast<char*>(alloc.realloc(p, 16, kCleanCcid));
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(q[i], 0x37);
+  EXPECT_EQ(alloc.user_size(q), 16u);
+  alloc.free(q);
+}
+
+TEST(GuardedAllocator, ReallocNullAndZero) {
+  GuardedAllocator alloc;
+  void* p = alloc.realloc(nullptr, 64, kCleanCcid);  // acts as malloc
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.user_size(p), 64u);
+  EXPECT_EQ(alloc.realloc(p, 0, kCleanCcid), nullptr);  // acts as free
+}
+
+TEST(GuardedAllocator, ReallocFromGuardedBuffer) {
+  const PatchTable table = table_with(patch::kOverflow);
+  GuardedAllocator alloc(&table);
+  char* p = static_cast<char*>(alloc.malloc(100, kVulnCcid));
+  std::memset(p, 0x11, 100);
+  char* q = static_cast<char*>(alloc.realloc(p, 200, kCleanCcid));
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(q[i], 0x11);
+  EXPECT_FALSE(alloc.guard_active(q));  // new context is unpatched
+  alloc.free(q);
+}
+
+TEST(GuardedAllocator, FreeNullIsNoop) {
+  GuardedAllocator alloc;
+  alloc.free(nullptr);
+  EXPECT_EQ(alloc.stats().plain_frees, 0u);
+}
+
+TEST(GuardedAllocator, ForwardOnlyModeBypassesMetadata) {
+  GuardedAllocatorConfig config;
+  config.forward_only = true;
+  GuardedAllocator alloc(nullptr, config);
+  void* p = alloc.malloc(100, kCleanCcid);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 100);
+  void* q = alloc.realloc(p, 200, kCleanCcid);
+  ASSERT_NE(q, nullptr);
+  alloc.free(q);
+  EXPECT_EQ(alloc.stats().interceptions, 1u);  // only the malloc counted
+}
+
+TEST(GuardedAllocator, ZeroSizeMalloc) {
+  GuardedAllocator alloc;
+  void* p = alloc.malloc(0, kCleanCcid);
+  ASSERT_NE(p, nullptr);  // like glibc: unique pointer
+  EXPECT_EQ(alloc.user_size(p), 0u);
+  alloc.free(p);
+}
+
+TEST(GuardedAllocator, ManyMixedAllocationsStressNoCrosstalk) {
+  const PatchTable table = table_with(patch::kAllVulnBits);
+  GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = 1 << 20;
+  GuardedAllocator alloc(&table, config);
+  std::set<void*> live;
+  for (int round = 0; round < 500; ++round) {
+    const bool vulnerable = round % 3 == 0;
+    void* p = alloc.malloc(64 + round % 512, vulnerable ? kVulnCcid : kCleanCcid);
+    ASSERT_NE(p, nullptr);
+    ASSERT_TRUE(live.insert(p).second);  // no live address handed out twice
+    std::memset(p, 0x77, 64 + round % 512);
+    if (round % 2 == 0) {
+      alloc.free(p);
+      live.erase(p);
+    }
+  }
+  for (void* p : live) alloc.free(p);
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -1,0 +1,94 @@
+#include "runtime/locked_allocator.hpp"
+
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace ht::runtime {
+namespace {
+
+using patch::Patch;
+using patch::PatchTable;
+using progmodel::AllocFn;
+
+TEST(LockedAllocator, BasicOperationsWork) {
+  LockedAllocator alloc;
+  char* p = static_cast<char*>(alloc.malloc(64, 0));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, 64);
+  char* q = static_cast<char*>(alloc.realloc(p, 128, 0));
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q[63], 0x11);
+  alloc.free(q);
+  EXPECT_EQ(alloc.stats_snapshot().interceptions, 2u);
+}
+
+TEST(LockedAllocator, ConcurrentMixedTrafficIsSafe) {
+  const PatchTable table({
+      Patch{AllocFn::kMalloc, 0x7, patch::kAllVulnBits},
+      Patch{AllocFn::kCalloc, 0x8, patch::kUninitRead},
+  });
+  GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = 1 << 20;
+  LockedAllocator alloc(&table, config);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 2000;
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      support::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      std::vector<std::pair<char*, std::uint64_t>> live;
+      for (int i = 0; i < kRoundsPerThread; ++i) {
+        if (live.size() < 16 && rng.chance(0.6)) {
+          const std::uint64_t size = 16 + rng.below(256);
+          const std::uint64_t ccid = rng.chance(0.3) ? 0x7 : rng.next();
+          char* p = static_cast<char*>(alloc.malloc(size, ccid));
+          if (p == nullptr) {
+            ++failures;
+            continue;
+          }
+          std::memset(p, t + 1, size);
+          live.emplace_back(p, size);
+        } else if (!live.empty()) {
+          const std::size_t pick = rng.index(live.size());
+          auto [p, size] = live[pick];
+          // Verify the thread's own fill survived concurrent traffic.
+          for (std::uint64_t off = 0; off < size; off += 61) {
+            if (p[off] != t + 1) {
+              ++failures;
+              break;
+            }
+          }
+          alloc.free(p);
+          live[pick] = live.back();
+          live.pop_back();
+        }
+      }
+      for (auto& [p, size] : live) alloc.free(p);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const AllocatorStats stats = alloc.stats_snapshot();
+  EXPECT_EQ(stats.interceptions, stats.plain_frees + stats.quarantined_frees);
+  EXPECT_GT(stats.enhanced, 0u);
+}
+
+TEST(LockedAllocator, PatchedDefensesStillApplyUnderLock) {
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x42, patch::kUninitRead}});
+  LockedAllocator alloc(&table);
+  char* p = static_cast<char*>(alloc.malloc(512, 0x42));
+  for (int i = 0; i < 512; ++i) ASSERT_EQ(p[i], 0);
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats_snapshot().zero_fills, 1u);
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -1,0 +1,195 @@
+#include "runtime/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patch/patch.hpp"
+
+namespace ht::runtime {
+namespace {
+
+TEST(MetadataWord, PlainRoundTrip) {
+  MetadataWord m;
+  m.vuln_mask = patch::kUninitRead;
+  m.user_size = 12345;
+  const MetadataWord out = decode_metadata(encode_metadata(m));
+  EXPECT_EQ(out.vuln_mask, patch::kUninitRead);
+  EXPECT_FALSE(out.aligned);
+  EXPECT_EQ(out.user_size, 12345u);
+  EXPECT_FALSE(out.has_guard());
+}
+
+TEST(MetadataWord, GuardedRoundTrip) {
+  MetadataWord m;
+  m.vuln_mask = patch::kOverflow | patch::kUseAfterFree;
+  m.guard_page_addr = 0x7f0012345000ULL;
+  const MetadataWord out = decode_metadata(encode_metadata(m));
+  EXPECT_TRUE(out.has_guard());
+  EXPECT_EQ(out.guard_page_addr, 0x7f0012345000ULL);
+  EXPECT_EQ(out.vuln_mask, patch::kOverflow | patch::kUseAfterFree);
+}
+
+TEST(MetadataWord, AlignedPlainRoundTrip) {
+  MetadataWord m;
+  m.aligned = true;
+  m.align_log2 = 12;  // 4096
+  m.user_size = (1ULL << 48) - 1;  // max representable size
+  const MetadataWord out = decode_metadata(encode_metadata(m));
+  EXPECT_TRUE(out.aligned);
+  EXPECT_EQ(out.align_log2, 12);
+  EXPECT_EQ(out.user_size, (1ULL << 48) - 1);
+}
+
+TEST(MetadataWord, AlignedGuardedRoundTrip) {
+  MetadataWord m;
+  m.vuln_mask = patch::kOverflow;
+  m.aligned = true;
+  m.align_log2 = 6;
+  m.guard_page_addr = ((1ULL << 36) - 1) * kPageSize;  // max frame number
+  const MetadataWord out = decode_metadata(encode_metadata(m));
+  EXPECT_TRUE(out.aligned);
+  EXPECT_EQ(out.align_log2, 6);
+  EXPECT_EQ(out.guard_page_addr, ((1ULL << 36) - 1) * kPageSize);
+}
+
+TEST(MetadataWord, RejectsOutOfRangeFields) {
+  MetadataWord m;
+  m.vuln_mask = 0x8;  // beyond 3 bits
+  EXPECT_THROW((void)encode_metadata(m), std::invalid_argument);
+
+  MetadataWord big;
+  big.user_size = 1ULL << 48;
+  EXPECT_THROW((void)encode_metadata(big), std::invalid_argument);
+
+  MetadataWord guard;
+  guard.vuln_mask = patch::kOverflow;
+  guard.guard_page_addr = 0x1001;  // not page aligned
+  EXPECT_THROW((void)encode_metadata(guard), std::invalid_argument);
+
+  MetadataWord far;
+  far.vuln_mask = patch::kOverflow;
+  far.guard_page_addr = (1ULL << 48);  // beyond 48-bit VA
+  EXPECT_THROW((void)encode_metadata(far), std::invalid_argument);
+
+  MetadataWord al;
+  al.align_log2 = 64;
+  EXPECT_THROW((void)encode_metadata(al), std::invalid_argument);
+}
+
+/// Parameterized exhaustive-ish sweep over mask/alignment/size combos.
+struct CodecCase {
+  std::uint8_t mask;
+  bool aligned;
+  std::uint8_t align_log2;
+  std::uint64_t size_or_guard;
+};
+
+class MetadataCodecSweep : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(MetadataCodecSweep, RoundTrips) {
+  const CodecCase& c = GetParam();
+  MetadataWord m;
+  m.vuln_mask = c.mask;
+  m.aligned = c.aligned;
+  m.align_log2 = c.align_log2;
+  if (m.has_guard()) {
+    m.guard_page_addr = (c.size_or_guard / kPageSize) * kPageSize;
+  } else {
+    m.user_size = c.size_or_guard;
+  }
+  const MetadataWord out = decode_metadata(encode_metadata(m));
+  EXPECT_EQ(out.vuln_mask, m.vuln_mask);
+  EXPECT_EQ(out.aligned, m.aligned);
+  EXPECT_EQ(out.align_log2, m.align_log2);
+  if (m.has_guard()) {
+    EXPECT_EQ(out.guard_page_addr, m.guard_page_addr);
+  } else {
+    EXPECT_EQ(out.user_size, m.user_size);
+  }
+}
+
+std::vector<CodecCase> codec_cases() {
+  std::vector<CodecCase> cases;
+  for (std::uint8_t mask = 0; mask <= 7; ++mask) {
+    for (bool aligned : {false, true}) {
+      for (std::uint64_t value : {0ULL, 1ULL, 4096ULL, 0x7fffff000ULL}) {
+        cases.push_back({mask, aligned,
+                         static_cast<std::uint8_t>(aligned ? 8 : 0), value});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, MetadataCodecSweep,
+                         ::testing::ValuesIn(codec_cases()));
+
+TEST(NormalizeAlignment, SmallAlignmentsUsesPlainStructures) {
+  EXPECT_EQ(normalize_alignment(0), 0u);
+  EXPECT_EQ(normalize_alignment(1), 0u);
+  EXPECT_EQ(normalize_alignment(8), 0u);
+  EXPECT_EQ(normalize_alignment(16), 0u);
+}
+
+TEST(NormalizeAlignment, LargeAlignmentsRoundToPow2) {
+  EXPECT_EQ(normalize_alignment(17), 32u);
+  EXPECT_EQ(normalize_alignment(32), 32u);
+  EXPECT_EQ(normalize_alignment(100), 128u);
+  EXPECT_EQ(normalize_alignment(4096), 4096u);
+}
+
+TEST(ComputeLayout, PlainStructure1) {
+  const BufferLayout l = compute_layout(100, 0, false);
+  EXPECT_EQ(l.user_offset, kPlainHeader);
+  EXPECT_EQ(l.raw_size, kPlainHeader + 100);
+  EXPECT_EQ(l.raw_alignment, 0u);
+  EXPECT_FALSE(l.guarded);
+}
+
+TEST(ComputeLayout, GuardedStructure2HasRoomForPageAlignedGuard) {
+  for (std::uint64_t size : {0ULL, 1ULL, 100ULL, 4095ULL, 4096ULL, 100000ULL}) {
+    const BufferLayout l = compute_layout(size, 0, true);
+    // For any raw placement, the guard page must fit inside the block.
+    for (std::uint64_t raw : {0x10000ULL, 0x10008ULL, 0x10ff0ULL}) {
+      const std::uint64_t user = raw + l.user_offset;
+      const std::uint64_t guard = guard_page_address(user, size);
+      EXPECT_GE(guard, user + size);
+      EXPECT_EQ(guard % kPageSize, 0u);
+      EXPECT_LE(guard + kPageSize, raw + l.raw_size)
+          << "size=" << size << " raw=" << raw;
+    }
+  }
+}
+
+TEST(ComputeLayout, AlignedStructure3UsesAlignmentAsHeader) {
+  const BufferLayout l = compute_layout(100, 64, false);
+  EXPECT_EQ(l.user_offset, 64u);
+  EXPECT_EQ(l.raw_alignment, 64u);
+  EXPECT_EQ(l.raw_size, 64u + 100);
+}
+
+TEST(ComputeLayout, AlignedGuardedStructure4) {
+  const BufferLayout l = compute_layout(100, 256, true);
+  EXPECT_EQ(l.user_offset, 256u);
+  EXPECT_TRUE(l.guarded);
+  const std::uint64_t raw = 0x200000;  // 256-aligned
+  const std::uint64_t user = raw + l.user_offset;
+  const std::uint64_t guard = guard_page_address(user, 100);
+  EXPECT_LE(guard + kPageSize, raw + l.raw_size);
+}
+
+TEST(GuardPageAddress, NextBoundary) {
+  EXPECT_EQ(guard_page_address(0x1000, 0), 0x1000u);
+  EXPECT_EQ(guard_page_address(0x1000, 1), 0x2000u);
+  EXPECT_EQ(guard_page_address(0x1000, 4096), 0x2000u);
+  EXPECT_EQ(guard_page_address(0x1001, 4095), 0x2000u);
+}
+
+TEST(Log2U64, Powers) {
+  EXPECT_EQ(log2_u64(1), 0);
+  EXPECT_EQ(log2_u64(2), 1);
+  EXPECT_EQ(log2_u64(4096), 12);
+  EXPECT_EQ(log2_u64(1ULL << 40), 40);
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -1,0 +1,138 @@
+#include "runtime/quarantine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ht::runtime {
+namespace {
+
+// Tracks frees instead of releasing real memory.
+std::vector<void*>* g_released = nullptr;
+void tracking_free(void* p) { g_released->push_back(p); }
+
+UnderlyingAllocator tracking_allocator() {
+  UnderlyingAllocator u = process_allocator();
+  u.free_fn = &tracking_free;
+  return u;
+}
+
+class QuarantineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    released_.clear();
+    g_released = &released_;
+  }
+  void TearDown() override { g_released = nullptr; }
+  std::vector<void*> released_;
+};
+
+TEST_F(QuarantineTest, HoldsBlocksUnderQuota) {
+  Quarantine q(1000, tracking_allocator());
+  int a, b;
+  q.push(&a, 400);
+  q.push(&b, 400);
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.bytes(), 800u);
+  EXPECT_TRUE(released_.empty());
+  EXPECT_TRUE(q.contains(&a));
+  EXPECT_TRUE(q.contains(&b));
+  q.drain();
+}
+
+TEST_F(QuarantineTest, EvictsOldestFirstWhenOverQuota) {
+  Quarantine q(1000, tracking_allocator());
+  int a, b, c;
+  q.push(&a, 400);
+  q.push(&b, 400);
+  q.push(&c, 400);  // 1200 > 1000: evict a
+  ASSERT_EQ(released_.size(), 1u);
+  EXPECT_EQ(released_[0], &a);
+  EXPECT_FALSE(q.contains(&a));
+  EXPECT_TRUE(q.contains(&b));
+  EXPECT_EQ(q.bytes(), 800u);
+  q.drain();
+}
+
+TEST_F(QuarantineTest, OversizedBlockPassesStraightThrough) {
+  Quarantine q(100, tracking_allocator());
+  int a;
+  q.push(&a, 500);  // bigger than the whole quota
+  EXPECT_EQ(q.depth(), 0u);
+  ASSERT_EQ(released_.size(), 1u);
+  EXPECT_EQ(released_[0], &a);
+}
+
+TEST_F(QuarantineTest, DrainReleasesEverythingInFifoOrder) {
+  Quarantine q(10000, tracking_allocator());
+  int a, b, c;
+  q.push(&a, 10);
+  q.push(&b, 10);
+  q.push(&c, 10);
+  q.drain();
+  ASSERT_EQ(released_.size(), 3u);
+  EXPECT_EQ(released_[0], &a);
+  EXPECT_EQ(released_[1], &b);
+  EXPECT_EQ(released_[2], &c);
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST_F(QuarantineTest, DestructorDrains) {
+  int a;
+  {
+    Quarantine q(10000, tracking_allocator());
+    q.push(&a, 10);
+  }
+  ASSERT_EQ(released_.size(), 1u);
+  EXPECT_EQ(released_[0], &a);
+}
+
+TEST_F(QuarantineTest, CountersTrackTotals) {
+  Quarantine q(100, tracking_allocator());
+  int a, b;
+  q.push(&a, 80);
+  q.push(&b, 80);  // evicts a
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.total_released(), 1u);
+  q.drain();
+  EXPECT_EQ(q.total_released(), 2u);
+}
+
+TEST_F(QuarantineTest, TargetedQueueKeepsBlocksLongerThanIndiscriminate) {
+  // The paper's §VI argument: with the same quota, quarantining only
+  // patched buffers keeps each one in the queue for more frees. Simulate a
+  // workload of 1000 frees where 10 are vulnerable.
+  const std::uint64_t kQuota = 1000;
+  const std::uint64_t kBlock = 100;
+  // Indiscriminate queue: every free enters, so a block survives
+  // quota/size = 10 subsequent frees.
+  Quarantine indiscriminate(kQuota, tracking_allocator());
+  // Targeted queue: only every 100th free enters.
+  Quarantine targeted(kQuota, tracking_allocator());
+  static int dummy[2000];
+  std::size_t targeted_survival = 0, indiscriminate_survival = 0;
+  int* first_tracked = &dummy[0];
+  bool targeted_alive = true, indiscriminate_alive = true;
+  indiscriminate.push(first_tracked, kBlock);
+  targeted.push(first_tracked, kBlock);
+  for (int i = 1; i < 1000; ++i) {
+    indiscriminate.push(&dummy[i], kBlock);
+    if (indiscriminate_alive && indiscriminate.contains(first_tracked)) {
+      ++indiscriminate_survival;
+    } else {
+      indiscriminate_alive = false;
+    }
+    if (i % 100 == 0) targeted.push(&dummy[1000 + i], kBlock);
+    if (targeted_alive && targeted.contains(first_tracked)) {
+      ++targeted_survival;
+    } else {
+      targeted_alive = false;
+    }
+  }
+  EXPECT_GT(targeted_survival, 10 * indiscriminate_survival);
+  indiscriminate.drain();
+  targeted.drain();
+}
+
+}  // namespace
+}  // namespace ht::runtime

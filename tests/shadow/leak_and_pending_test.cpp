@@ -1,0 +1,119 @@
+// Tests for the leak reporter and for multi-violation accesses (the
+// drain_pending_violations contract behind the Heartbleed mixed warning).
+#include <gtest/gtest.h>
+
+#include "shadow/sim_heap.hpp"
+
+namespace ht::shadow {
+namespace {
+
+using progmodel::AccessKind;
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+TEST(LeakReport, EmptyHeapHasNoLeaks) {
+  SimHeap heap;
+  const auto report = heap.leak_report();
+  EXPECT_TRUE(report.leaks.empty());
+  EXPECT_EQ(report.total_bytes, 0u);
+}
+
+TEST(LeakReport, LiveBuffersListedSortedBySize) {
+  SimHeap heap;
+  (void)heap.allocate(AllocFn::kMalloc, 64, 0, 11);
+  (void)heap.allocate(AllocFn::kCalloc, 512, 0, 22);
+  (void)heap.allocate(AllocFn::kMalloc, 128, 0, 33);
+  const auto report = heap.leak_report();
+  ASSERT_EQ(report.leaks.size(), 3u);
+  EXPECT_EQ(report.total_bytes, 64u + 512 + 128);
+  EXPECT_EQ(report.leaks[0].bytes, 512u);
+  EXPECT_EQ(report.leaks[0].ccid, 22u);
+  EXPECT_EQ(report.leaks[0].fn, AllocFn::kCalloc);
+  EXPECT_EQ(report.leaks[2].bytes, 64u);
+}
+
+TEST(LeakReport, FreedAndQuarantinedBuffersExcluded) {
+  SimHeap heap;
+  const auto a = heap.allocate(AllocFn::kMalloc, 64, 0, 1);
+  const auto b = heap.allocate(AllocFn::kMalloc, 64, 0, 2);
+  (void)b;
+  heap.deallocate(a);  // quarantined, not leaked
+  const auto report = heap.leak_report();
+  ASSERT_EQ(report.leaks.size(), 1u);
+  EXPECT_EQ(report.leaks[0].ccid, 2u);
+}
+
+TEST(LeakReport, ReallocLeavesOnlyNewBufferLive) {
+  SimHeap heap;
+  const auto p = heap.allocate(AllocFn::kMalloc, 64, 0, 1);
+  const auto q = heap.reallocate(p, 128, 2);
+  ASSERT_NE(q, 0u);
+  const auto report = heap.leak_report();
+  ASSERT_EQ(report.leaks.size(), 1u);
+  EXPECT_EQ(report.leaks[0].bytes, 128u);
+  EXPECT_EQ(report.leaks[0].ccid, 2u);
+}
+
+TEST(PendingViolations, OversizedCheckedReadReportsUninitThenOverread) {
+  // One read that is both uninitialized (prefix) and overread (tail) must
+  // surface both warnings, uninit first (it occurs at a lower address).
+  SimHeap heap;
+  const auto p = heap.allocate(AllocFn::kMalloc, 64, 0, 777);
+  ASSERT_TRUE(heap.write(p, 0, 16).ok());  // initialize only a prefix
+  const auto primary = heap.read(p, 0, 128, ReadUse::kSyscall);
+  EXPECT_EQ(primary.kind, AccessKind::kUninitRead);
+  EXPECT_EQ(primary.victim_ccid, 777u);
+  const auto pending = heap.drain_pending_violations();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].kind, AccessKind::kOverflow);
+  EXPECT_EQ(pending[0].victim_ccid, 777u);
+  // Drain empties the queue.
+  EXPECT_TRUE(heap.drain_pending_violations().empty());
+}
+
+TEST(PendingViolations, PureOverreadHasNoPending) {
+  SimHeap heap;
+  const auto p = heap.allocate(AllocFn::kMalloc, 64, 0, 1);
+  ASSERT_TRUE(heap.write(p, 0, 64).ok());
+  EXPECT_EQ(heap.read(p, 0, 128, ReadUse::kSyscall).kind, AccessKind::kOverflow);
+  EXPECT_TRUE(heap.drain_pending_violations().empty());
+}
+
+TEST(PendingViolations, DataUseSuppressesUninitButNotOverread) {
+  SimHeap heap;
+  const auto p = heap.allocate(AllocFn::kMalloc, 64, 0, 5);
+  // kData never raises uninit warnings; the overread still fires.
+  EXPECT_EQ(heap.read(p, 0, 128, ReadUse::kData).kind, AccessKind::kOverflow);
+  EXPECT_TRUE(heap.drain_pending_violations().empty());
+}
+
+TEST(PendingViolations, CopyWithBothSidesViolatingQueuesSecond) {
+  SimHeap heap;
+  const auto src = heap.allocate(AllocFn::kMalloc, 32, 0, 1);
+  const auto dst = heap.allocate(AllocFn::kMalloc, 16, 0, 2);
+  ASSERT_TRUE(heap.write(src, 0, 32).ok());
+  // Copy 48 bytes: src overreads (at 32) and dst overflows (at 16).
+  const auto primary = heap.copy(src, 0, dst, 0, 48);
+  EXPECT_EQ(primary.kind, AccessKind::kOverflow);
+  EXPECT_EQ(primary.victim_ccid, 1u);  // source first
+  const auto pending = heap.drain_pending_violations();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].victim_ccid, 2u);
+  EXPECT_TRUE(pending[0].is_write);
+}
+
+TEST(PendingViolations, PartialCopyStillPropagatesPrefix) {
+  SimHeap heap;
+  const auto src = heap.allocate(AllocFn::kMalloc, 32, 0, 1);
+  const auto dst = heap.allocate(AllocFn::kMalloc, 64, 0, 2);
+  ASSERT_TRUE(heap.write(src, 0, 32).ok());
+  // Copy 40 bytes from a 32-byte source: the 32-byte prefix must land.
+  EXPECT_EQ(heap.copy(src, 0, dst, 0, 40).kind, AccessKind::kOverflow);
+  (void)heap.drain_pending_violations();
+  EXPECT_TRUE(heap.read(dst, 0, 32, ReadUse::kBranch).ok());  // prefix valid
+  EXPECT_EQ(heap.read(dst, 32, 8, ReadUse::kBranch).kind,
+            AccessKind::kUninitRead);  // tail untouched
+}
+
+}  // namespace
+}  // namespace ht::shadow

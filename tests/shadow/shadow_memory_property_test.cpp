@@ -1,0 +1,97 @@
+// Property sweeps for ShadowMemory: a byte-level reference model must agree
+// with the paged implementation across random operation sequences, with
+// ranges deliberately straddling page boundaries.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "shadow/shadow_memory.hpp"
+#include "support/rng.hpp"
+
+namespace ht::shadow {
+namespace {
+
+struct RefByte {
+  bool accessible = false;
+  std::uint8_t vbits = 0;
+  OriginId origin = kNoOrigin;
+};
+
+class ShadowMemoryDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShadowMemoryDifferential, AgreesWithByteReference) {
+  support::Rng rng(GetParam());
+  ShadowMemory sm;
+  std::unordered_map<std::uint64_t, RefByte> ref;
+  // Addresses cluster around page boundaries to stress the paging.
+  constexpr std::uint64_t kBase = 1ULL << 33;
+  const auto random_addr = [&]() {
+    const std::uint64_t page = rng.below(8) * ShadowMemory::kPageSize;
+    const std::uint64_t jitter =
+        rng.chance(0.5) ? rng.below(32)
+                        : ShadowMemory::kPageSize - 16 + rng.below(32);
+    return kBase + page + jitter;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t addr = random_addr();
+    const std::uint64_t len = 1 + rng.below(48);
+    switch (rng.below(5)) {
+      case 0: {
+        const bool value = rng.chance(0.5);
+        sm.set_accessible(addr, len, value);
+        for (std::uint64_t a = addr; a < addr + len; ++a) ref[a].accessible = value;
+        break;
+      }
+      case 1: {
+        const bool value = rng.chance(0.5);
+        sm.set_valid(addr, len, value);
+        for (std::uint64_t a = addr; a < addr + len; ++a) {
+          ref[a].vbits = value ? 0xff : 0x00;
+        }
+        break;
+      }
+      case 2: {
+        const auto bits = static_cast<std::uint8_t>(rng.below(256));
+        sm.set_vbits(addr, bits);
+        ref[addr].vbits = bits;
+        break;
+      }
+      case 3: {
+        const auto origin = static_cast<OriginId>(1 + rng.below(64));
+        sm.set_origin(addr, len, origin);
+        for (std::uint64_t a = addr; a < addr + len; ++a) ref[a].origin = origin;
+        break;
+      }
+      case 4: {
+        const std::uint64_t src = random_addr();
+        if (src + len <= addr || addr + len <= src) {  // non-overlapping only
+          sm.copy_shadow(src, addr, len);
+          for (std::uint64_t i = 0; i < len; ++i) {
+            const auto it = ref.find(src + i);
+            RefByte& d = ref[addr + i];
+            if (it == ref.end()) {
+              d.vbits = 0;
+              d.origin = kNoOrigin;
+            } else {
+              d.vbits = it->second.vbits;
+              d.origin = it->second.origin;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [addr, byte] : ref) {
+    ASSERT_EQ(sm.accessible(addr), byte.accessible) << addr;
+    ASSERT_EQ(sm.vbits(addr), byte.vbits) << addr;
+    ASSERT_EQ(sm.origin(addr), byte.origin) << addr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShadowMemoryDifferential,
+                         ::testing::Range<std::uint64_t>(5000, 5008));
+
+}  // namespace
+}  // namespace ht::shadow

@@ -1,0 +1,91 @@
+#include "shadow/shadow_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::shadow {
+namespace {
+
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+TEST(ShadowMemory, UnmappedIsInaccessibleAndInvalid) {
+  ShadowMemory sm;
+  EXPECT_FALSE(sm.accessible(kBase));
+  EXPECT_EQ(sm.vbits(kBase), 0u);
+  EXPECT_EQ(sm.origin(kBase), kNoOrigin);
+  EXPECT_EQ(sm.mapped_pages(), 0u);
+}
+
+TEST(ShadowMemory, SetAccessibleRange) {
+  ShadowMemory sm;
+  sm.set_accessible(kBase + 10, 20, true);
+  EXPECT_FALSE(sm.accessible(kBase + 9));
+  for (std::uint64_t a = kBase + 10; a < kBase + 30; ++a) EXPECT_TRUE(sm.accessible(a));
+  EXPECT_FALSE(sm.accessible(kBase + 30));
+  sm.set_accessible(kBase + 15, 5, false);
+  EXPECT_TRUE(sm.accessible(kBase + 14));
+  EXPECT_FALSE(sm.accessible(kBase + 15));
+  EXPECT_FALSE(sm.accessible(kBase + 19));
+  EXPECT_TRUE(sm.accessible(kBase + 20));
+}
+
+TEST(ShadowMemory, RangeSpansPages) {
+  ShadowMemory sm;
+  const std::uint64_t near_end = kBase + ShadowMemory::kPageSize - 8;
+  sm.set_accessible(near_end, 16, true);
+  sm.set_valid(near_end, 16, true);
+  for (std::uint64_t a = near_end; a < near_end + 16; ++a) {
+    EXPECT_TRUE(sm.accessible(a));
+    EXPECT_TRUE(sm.fully_valid(a));
+  }
+  EXPECT_EQ(sm.mapped_pages(), 2u);
+}
+
+TEST(ShadowMemory, VbitsPerByte) {
+  ShadowMemory sm;
+  sm.set_valid(kBase, 8, true);
+  EXPECT_TRUE(sm.fully_valid(kBase));
+  sm.set_vbits(kBase + 1, 0x0f);  // half-initialized byte (bit precision)
+  EXPECT_EQ(sm.vbits(kBase + 1), 0x0f);
+  EXPECT_FALSE(sm.fully_valid(kBase + 1));
+  EXPECT_TRUE(sm.fully_valid(kBase));
+}
+
+TEST(ShadowMemory, OriginsTrackRanges) {
+  ShadowMemory sm;
+  sm.set_origin(kBase, 16, 7);
+  sm.set_origin(kBase + 8, 8, 9);
+  EXPECT_EQ(sm.origin(kBase), 7u);
+  EXPECT_EQ(sm.origin(kBase + 7), 7u);
+  EXPECT_EQ(sm.origin(kBase + 8), 9u);
+}
+
+TEST(ShadowMemory, CopyShadowPropagatesVbitsAndOrigins) {
+  ShadowMemory sm;
+  sm.set_valid(kBase, 4, true);
+  sm.set_vbits(kBase + 4, 0x3c);
+  sm.set_origin(kBase, 8, 42);
+  const std::uint64_t dst = kBase + 0x100000;
+  sm.copy_shadow(kBase, dst, 8);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(sm.fully_valid(dst + i));
+  EXPECT_EQ(sm.vbits(dst + 4), 0x3c);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(sm.origin(dst + i), 42u);
+}
+
+TEST(ShadowMemory, CopyFromUnmappedYieldsInvalid) {
+  ShadowMemory sm;
+  const std::uint64_t dst = kBase;
+  sm.set_valid(dst, 4, true);
+  sm.copy_shadow(kBase + 0x5000000, dst, 4);  // unmapped source
+  EXPECT_EQ(sm.vbits(dst), 0u);
+  EXPECT_EQ(sm.origin(dst), kNoOrigin);
+}
+
+TEST(ShadowMemory, PagesAllocatedLazily) {
+  ShadowMemory sm;
+  sm.set_valid(kBase, 1, true);
+  sm.set_valid(kBase + 100 * ShadowMemory::kPageSize, 1, true);
+  EXPECT_EQ(sm.mapped_pages(), 2u);  // only touched pages materialize
+}
+
+}  // namespace
+}  // namespace ht::shadow

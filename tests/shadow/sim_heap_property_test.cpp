@@ -1,0 +1,124 @@
+// Property sweeps: random clean allocation/free/access sequences never
+// produce violations; random *dirty* sequences produce exactly the expected
+// violation class. Also runs random synthetic programs end-to-end on the
+// SimHeap backend.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "progmodel/interpreter.hpp"
+#include "progmodel/random_program.hpp"
+#include "shadow/sim_heap.hpp"
+#include "support/rng.hpp"
+
+namespace ht::shadow {
+namespace {
+
+using progmodel::AccessKind;
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+class SimHeapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimHeapFuzz, CleanSequencesStayClean) {
+  support::Rng rng(GetParam());
+  SimHeap heap;
+  struct Live {
+    std::uint64_t addr, size;
+    bool initialized;
+  };
+  std::vector<Live> live;
+  for (int step = 0; step < 2000; ++step) {
+    const auto roll = rng.below(10);
+    if (roll < 4 || live.empty()) {
+      const std::uint64_t size = 1 + rng.below(512);
+      const AllocFn fn = rng.chance(0.3) ? AllocFn::kCalloc : AllocFn::kMalloc;
+      const std::uint64_t p = heap.allocate(fn, size, 0, rng.next());
+      ASSERT_NE(p, 0u);
+      live.push_back({p, size, fn == AllocFn::kCalloc});
+    } else if (roll < 6) {
+      const std::size_t i = rng.index(live.size());
+      heap.deallocate(live[i].addr);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (roll < 8) {
+      auto& buf = live[rng.index(live.size())];
+      const std::uint64_t off = rng.below(buf.size);
+      const std::uint64_t len = 1 + rng.below(buf.size - off);
+      ASSERT_TRUE(heap.write(buf.addr, off, len).ok());
+      if (off == 0 && len == buf.size) buf.initialized = true;
+    } else if (roll < 9) {
+      // Read initialized prefix only after a full write.
+      const auto& buf = live[rng.index(live.size())];
+      if (buf.initialized) {
+        const std::uint64_t off = rng.below(buf.size);
+        const std::uint64_t len = 1 + rng.below(buf.size - off);
+        ASSERT_TRUE(heap.read(buf.addr, off, len, ReadUse::kBranch).ok());
+      } else {
+        ASSERT_TRUE(heap.read(buf.addr, 0, buf.size, ReadUse::kData).ok());
+      }
+    } else if (live.size() >= 2) {
+      const auto& src = live[rng.index(live.size())];
+      auto& dst = live[rng.index(live.size())];
+      const std::uint64_t len = 1 + rng.below(std::min(src.size, dst.size));
+      if (src.addr != dst.addr) {
+        ASSERT_TRUE(heap.copy(src.addr, 0, dst.addr, 0, len).ok());
+        // A copy from a possibly-uninitialized source can invalidate any
+        // prefix of dst; track conservatively.
+        dst.initialized = dst.initialized && src.initialized;
+      }
+    }
+  }
+  EXPECT_EQ(heap.invalid_frees(), 0u);
+}
+
+TEST_P(SimHeapFuzz, OverflowAlwaysDetectedWithinRedzone) {
+  support::Rng rng(GetParam());
+  SimHeap heap;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t size = 1 + rng.below(256);
+    const std::uint64_t ccid = rng.next() | 1;
+    const std::uint64_t p = heap.allocate(AllocFn::kMalloc, size, 0, ccid);
+    // Contiguous overflow of up to redzone bytes past the end.
+    const std::uint64_t overshoot = 1 + rng.below(16);
+    const auto outcome = heap.write(p, 0, size + overshoot);
+    EXPECT_EQ(outcome.kind, AccessKind::kOverflow);
+    EXPECT_EQ(outcome.victim_ccid, ccid);
+  }
+}
+
+TEST_P(SimHeapFuzz, UafAlwaysDetectedWhileQuarantined) {
+  support::Rng rng(GetParam());
+  SimHeap heap;  // default 2GB quota: nothing gets released in this test
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t size = 1 + rng.below(256);
+    const std::uint64_t ccid = rng.next() | 1;
+    const std::uint64_t p = heap.allocate(AllocFn::kMalloc, size, 0, ccid);
+    heap.deallocate(p);
+    const std::uint64_t off = rng.below(size);
+    const auto outcome = heap.write(p, off, 1);
+    EXPECT_EQ(outcome.kind, AccessKind::kUseAfterFree);
+    EXPECT_EQ(outcome.victim_ccid, ccid);
+  }
+}
+
+TEST_P(SimHeapFuzz, RandomProgramsRunCleanOnSimHeap) {
+  support::Rng rng(GetParam());
+  progmodel::RandomProgramParams params;
+  params.layers = 3 + GetParam() % 3;
+  params.allocs_per_leaf = 1 + GetParam() % 3;
+  params.loop_count = 2;
+  const progmodel::Program program = progmodel::make_random_program(rng, params);
+  SimHeap heap;
+  progmodel::Interpreter interp(program, nullptr, heap);
+  const auto result = interp.run(progmodel::Input{});
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(heap.invalid_frees(), 0u);
+  EXPECT_EQ(heap.live_bytes(), 0u);  // random programs free everything
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimHeapFuzz,
+                         ::testing::Range<std::uint64_t>(2000, 2010));
+
+}  // namespace
+}  // namespace ht::shadow

@@ -1,0 +1,295 @@
+#include "shadow/sim_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::shadow {
+namespace {
+
+using progmodel::AccessKind;
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+TEST(SimHeap, AllocateGivesAccessibleUninitializedBuffer) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 111);
+  ASSERT_NE(p, 0u);
+  const BufferRecord* rec = heap.record_for_user_addr(p);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->size, 64u);
+  EXPECT_EQ(rec->ccid, 111u);
+  EXPECT_EQ(rec->fn, AllocFn::kMalloc);
+  for (std::uint64_t a = p; a < p + 64; ++a) {
+    EXPECT_TRUE(heap.shadow().accessible(a));
+    EXPECT_FALSE(heap.shadow().fully_valid(a));
+  }
+  EXPECT_EQ(heap.live_bytes(), 64u);
+}
+
+TEST(SimHeap, CallocIsInitialized) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kCalloc, 32, 0, 0);
+  for (std::uint64_t a = p; a < p + 32; ++a) EXPECT_TRUE(heap.shadow().fully_valid(a));
+  // Checked read of calloc'd memory is clean.
+  EXPECT_TRUE(heap.read(p, 0, 32, ReadUse::kBranch).ok());
+}
+
+TEST(SimHeap, RedZonesSurroundBuffer) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 0);
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    EXPECT_FALSE(heap.shadow().accessible(p - i));
+    EXPECT_FALSE(heap.shadow().accessible(p + 64 + i - 1));
+  }
+}
+
+TEST(SimHeap, MemalignHonorsAlignment) {
+  SimHeap heap;
+  for (std::uint64_t align : {16u, 64u, 256u, 4096u}) {
+    const std::uint64_t p = heap.allocate(AllocFn::kMemalign, 100, align, 0);
+    EXPECT_EQ(p % align, 0u) << align;
+  }
+}
+
+TEST(SimHeap, OverflowWriteDetectedWithVictimCcid) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 777);
+  const auto outcome = heap.write(p, 0, 65);  // one byte past the end
+  EXPECT_EQ(outcome.kind, AccessKind::kOverflow);
+  EXPECT_TRUE(outcome.is_write);
+  EXPECT_EQ(outcome.victim_ccid, 777u);
+  EXPECT_EQ(outcome.victim_fn, AllocFn::kMalloc);
+}
+
+TEST(SimHeap, OverreadDetected) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 34 * 1024, 0, 31337);
+  ASSERT_TRUE(heap.write(p, 0, 34 * 1024).ok());
+  // Heartbleed shape: read 64KB out of a 34KB buffer.
+  const auto outcome = heap.read(p, 0, 64 * 1024, ReadUse::kSyscall);
+  EXPECT_EQ(outcome.kind, AccessKind::kOverflow);
+  EXPECT_FALSE(outcome.is_write);
+  EXPECT_EQ(outcome.victim_ccid, 31337u);
+}
+
+TEST(SimHeap, InBoundsAccessClean) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 0);
+  EXPECT_TRUE(heap.write(p, 0, 64).ok());
+  EXPECT_TRUE(heap.read(p, 0, 64, ReadUse::kBranch).ok());
+  EXPECT_TRUE(heap.read(p, 63, 1, ReadUse::kSyscall).ok());
+}
+
+TEST(SimHeap, UseAfterFreeDetected) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 555);
+  ASSERT_TRUE(heap.write(p, 0, 64).ok());
+  heap.deallocate(p);
+  const auto w = heap.write(p, 0, 8);
+  EXPECT_EQ(w.kind, AccessKind::kUseAfterFree);
+  EXPECT_EQ(w.victim_ccid, 555u);
+  const auto r = heap.read(p, 0, 8, ReadUse::kData);
+  EXPECT_EQ(r.kind, AccessKind::kUseAfterFree);  // A-bit violation, any use
+}
+
+TEST(SimHeap, UninitReadDetectedOnlyOnCheckedUses) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 999);
+  // Data use of uninitialized memory: legal (paper Fig. 4 padding case).
+  EXPECT_TRUE(heap.read(p, 0, 8, ReadUse::kData).ok());
+  // Branch use: warning with origin = the buffer itself.
+  const auto outcome = heap.read(p, 0, 8, ReadUse::kBranch);
+  EXPECT_EQ(outcome.kind, AccessKind::kUninitRead);
+  EXPECT_EQ(outcome.victim_ccid, 999u);
+}
+
+TEST(SimHeap, PartialInitializationBitPrecise) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 16, 0, 0);
+  ASSERT_TRUE(heap.write(p, 0, 5).ok());  // 5 of 16 bytes initialized
+  EXPECT_TRUE(heap.read(p, 0, 5, ReadUse::kBranch).ok());
+  EXPECT_EQ(heap.read(p, 0, 6, ReadUse::kBranch).kind, AccessKind::kUninitRead);
+}
+
+TEST(SimHeap, ChainedWarningSuppression) {
+  // §V: once V-bits are checked they are marked valid, so one vulnerable
+  // value does not generate a cascade of warnings.
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 0);
+  EXPECT_EQ(heap.read(p, 0, 8, ReadUse::kBranch).kind, AccessKind::kUninitRead);
+  EXPECT_TRUE(heap.read(p, 0, 8, ReadUse::kBranch).ok());  // suppressed
+  // Bytes outside the first checked range still warn.
+  EXPECT_EQ(heap.read(p, 8, 8, ReadUse::kBranch).kind, AccessKind::kUninitRead);
+}
+
+TEST(SimHeap, OriginTrackingThroughCopies) {
+  // Uninitialized data copied to another buffer, then leaked: the warning
+  // must attribute the *source* allocation (origin tracking, §V).
+  SimHeap heap;
+  const std::uint64_t vulnerable = heap.allocate(AllocFn::kMalloc, 64, 0, 4242);
+  const std::uint64_t response = heap.allocate(AllocFn::kMalloc, 64, 0, 8888);
+  ASSERT_TRUE(heap.copy(vulnerable, 0, response, 0, 64).ok());
+  const auto outcome = heap.read(response, 0, 64, ReadUse::kSyscall);
+  EXPECT_EQ(outcome.kind, AccessKind::kUninitRead);
+  EXPECT_EQ(outcome.victim_ccid, 4242u);  // the source buffer, not 8888
+}
+
+TEST(SimHeap, CopyChecksBothSides) {
+  SimHeap heap;
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 32, 0, 1);
+  const std::uint64_t b = heap.allocate(AllocFn::kMalloc, 32, 0, 2);
+  EXPECT_EQ(heap.copy(a, 0, b, 0, 33).kind, AccessKind::kOverflow);  // src overread
+  EXPECT_EQ(heap.copy(a, 0, b, 16, 17).kind, AccessKind::kOverflow);  // dst overwrite
+  EXPECT_TRUE(heap.copy(a, 0, b, 0, 32).ok());
+}
+
+TEST(SimHeap, FreeNullIsNoop) {
+  SimHeap heap;
+  heap.deallocate(0);
+  EXPECT_EQ(heap.invalid_frees(), 0u);
+}
+
+TEST(SimHeap, DoubleFreeCounted) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 8, 0, 0);
+  heap.deallocate(p);
+  heap.deallocate(p);
+  EXPECT_EQ(heap.invalid_frees(), 1u);
+}
+
+TEST(SimHeap, WildFreeCounted) {
+  SimHeap heap;
+  heap.deallocate(0xdeadbeef);
+  EXPECT_EQ(heap.invalid_frees(), 1u);
+}
+
+TEST(SimHeap, InteriorPointerFreeCounted) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 0);
+  heap.deallocate(p + 8);
+  EXPECT_EQ(heap.invalid_frees(), 1u);
+}
+
+TEST(SimHeap, QuarantineFifoEvictsOldest) {
+  SimHeapConfig config;
+  config.quarantine_quota_bytes = 100;
+  SimHeap heap(config);
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 60, 0, 1);
+  const std::uint64_t b = heap.allocate(AllocFn::kMalloc, 60, 0, 2);
+  heap.deallocate(a);
+  EXPECT_EQ(heap.quarantine_depth(), 1u);
+  heap.deallocate(b);  // 120 bytes > 100-byte quota: a is released
+  EXPECT_EQ(heap.quarantine_depth(), 1u);
+  EXPECT_LE(heap.quarantine_bytes(), 100u);
+  // b is still detectable; a has become wild (undetectable — §IX).
+  EXPECT_EQ(heap.write(b, 0, 4).kind, AccessKind::kUseAfterFree);
+  EXPECT_EQ(heap.write(a, 0, 4).kind, AccessKind::kWild);
+}
+
+TEST(SimHeap, ReallocGrowPreservesContentState) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 16, 0, 10);
+  ASSERT_TRUE(heap.write(p, 0, 16).ok());
+  const std::uint64_t q = heap.reallocate(p, 32, 20);
+  ASSERT_NE(q, 0u);
+  // Old content: valid. Added region: accessible but invalid (§V).
+  EXPECT_TRUE(heap.read(q, 0, 16, ReadUse::kBranch).ok());
+  EXPECT_EQ(heap.read(q, 16, 1, ReadUse::kBranch).kind, AccessKind::kUninitRead);
+  // CCID re-tagged with the realloc-time context.
+  const BufferRecord* rec = heap.record_for_user_addr(q);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->ccid, 20u);
+  EXPECT_EQ(rec->fn, AllocFn::kRealloc);
+  // The old address is now a use-after-free target.
+  EXPECT_EQ(heap.write(p, 0, 1).kind, AccessKind::kUseAfterFree);
+}
+
+TEST(SimHeap, ReallocShrinkCutsOffTail) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 32, 0, 10);
+  ASSERT_TRUE(heap.write(p, 0, 32).ok());
+  const std::uint64_t q = heap.reallocate(p, 16, 20);
+  EXPECT_TRUE(heap.read(q, 0, 16, ReadUse::kBranch).ok());
+  EXPECT_EQ(heap.read(q, 16, 1, ReadUse::kBranch).kind, AccessKind::kOverflow);
+}
+
+TEST(SimHeap, ReallocNullActsAsMalloc) {
+  SimHeap heap;
+  const std::uint64_t p = heap.reallocate(0, 64, 30);
+  ASSERT_NE(p, 0u);
+  const BufferRecord* rec = heap.record_for_user_addr(p);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->ccid, 30u);
+}
+
+TEST(SimHeap, ReallocOfFreedPointerFails) {
+  SimHeap heap;
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 16, 0, 0);
+  heap.deallocate(p);
+  EXPECT_EQ(heap.reallocate(p, 32, 0), 0u);
+  EXPECT_EQ(heap.invalid_frees(), 1u);
+}
+
+TEST(SimHeap, WildAccessReported) {
+  SimHeap heap;
+  EXPECT_EQ(heap.write(0xdead0000, 0, 4).kind, AccessKind::kWild);
+  EXPECT_EQ(heap.read(0xdead0000, 0, 4, ReadUse::kData).kind, AccessKind::kWild);
+}
+
+TEST(SimHeap, ZeroSizeAllocationIsDistinctAndFreeable) {
+  SimHeap heap;
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 0, 0, 0);
+  const std::uint64_t b = heap.allocate(AllocFn::kMalloc, 0, 0, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(heap.write(a, 0, 1).kind, AccessKind::kOverflow);
+  heap.deallocate(a);
+  heap.deallocate(b);
+  EXPECT_EQ(heap.invalid_frees(), 0u);
+}
+
+TEST(SimHeap, AdjacentBuffersDoNotBleed) {
+  SimHeap heap;
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 16, 0, 1);
+  const std::uint64_t b = heap.allocate(AllocFn::kMalloc, 16, 0, 2);
+  ASSERT_TRUE(heap.write(b, 0, 16).ok());
+  // Overflowing `a` is caught in a's red zone and attributed to a.
+  const auto outcome = heap.write(a, 0, 17);
+  EXPECT_EQ(outcome.kind, AccessKind::kOverflow);
+  EXPECT_EQ(outcome.victim_ccid, 1u);
+}
+
+}  // namespace
+}  // namespace ht::shadow
+
+namespace ht::shadow {
+namespace {
+
+TEST(SimHeapHardening, RefusesAddressSpaceExhaustion) {
+  SimHeap heap;
+  using progmodel::AllocFn;
+  // A request larger than the 48-bit VA space must fail cleanly.
+  EXPECT_EQ(heap.allocate(AllocFn::kMalloc, 1ULL << 48, 0, 0), 0u);
+  EXPECT_EQ(heap.allocate(AllocFn::kMalloc, UINT64_MAX, 0, 0), 0u);
+  EXPECT_EQ(heap.allocate(AllocFn::kMemalign, 16, 1ULL << 50, 0), 0u);
+  // The heap remains usable afterwards.
+  const std::uint64_t p = heap.allocate(AllocFn::kMalloc, 64, 0, 1);
+  ASSERT_NE(p, 0u);
+  EXPECT_TRUE(heap.write(p, 0, 64).ok());
+}
+
+TEST(SimHeapHardening, CursorCannotWrap) {
+  // Start the simulated heap just below the 48-bit VA limit: the next
+  // allocation must fail rather than wrap the cursor.
+  SimHeapConfig config;
+  config.base_address = (1ULL << 48) - 256;
+  SimHeap heap(config);
+  using progmodel::AllocFn;
+  EXPECT_EQ(heap.allocate(AllocFn::kMalloc, 1024, 0, 0), 0u);
+  // A heap that still has (just) enough room succeeds.
+  SimHeapConfig roomy;
+  roomy.base_address = (1ULL << 48) - (1ULL << 16);
+  SimHeap heap2(roomy);
+  EXPECT_NE(heap2.allocate(AllocFn::kMalloc, 1024, 0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace ht::shadow

@@ -1,0 +1,55 @@
+#include "support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ht::support {
+namespace {
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, DistinguishesAllocationFunctionNames) {
+  const char* names[] = {"malloc", "calloc",        "realloc",
+                         "memalign", "aligned_alloc", "posix_memalign",
+                         "valloc",   "pvalloc",       "free"};
+  std::set<std::uint64_t> hashes;
+  for (const char* n : names) hashes.insert(fnv1a64(n));
+  EXPECT_EQ(hashes.size(), std::size(names));
+}
+
+TEST(Fnv1a64, DeterministicAcrossCalls) {
+  EXPECT_EQ(fnv1a64("heaptherapy"), fnv1a64(std::string("heaptherapy")));
+}
+
+TEST(Mix64, ZeroDoesNotMapToZero) { EXPECT_NE(mix64(0), 0u); }
+
+TEST(Mix64, SequentialInputsSpread) {
+  // CCIDs are often small sequential-ish integers; the mixer must spread
+  // them so the patch table's low-bit slots do not cluster.
+  std::set<std::uint64_t> low_bits;
+  for (std::uint64_t i = 0; i < 1024; ++i) low_bits.insert(mix64(i) & 0x3ff);
+  // With perfect spreading we'd approach 1024*(1-1/e) ~ 647 distinct values.
+  EXPECT_GT(low_bits.size(), 550u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, NotDegenerate) {
+  std::set<std::uint64_t> values;
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    for (std::uint64_t b = 0; b < 32; ++b) values.insert(hash_combine(a, b));
+  }
+  EXPECT_EQ(values.size(), 32u * 32u);
+}
+
+}  // namespace
+}  // namespace ht::support

@@ -1,0 +1,51 @@
+#include "support/rss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ht::support {
+namespace {
+
+TEST(Rss, CurrentRssIsPositiveOnLinux) {
+  // We run on Linux with /proc mounted; a live process has nonzero RSS.
+  EXPECT_GT(current_rss_kib(), 0u);
+}
+
+TEST(Rss, PeakAtLeastCurrent) {
+  EXPECT_GE(peak_rss_kib(), current_rss_kib());
+}
+
+TEST(RssSampler, CollectsSamplesWhileRunning) {
+  RssSampler sampler(/*hz=*/200.0);
+  // Give the sampler time to take a few readings.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const RunningStats& stats = sampler.stop();
+  EXPECT_GT(stats.count(), 0u);
+  EXPECT_GT(stats.mean(), 0.0);
+}
+
+TEST(RssSampler, StopIsIdempotent) {
+  RssSampler sampler(100.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto& first = sampler.stop();
+  const auto n = first.count();
+  const auto& second = sampler.stop();
+  EXPECT_EQ(second.count(), n);
+}
+
+TEST(RssSampler, SeesLargeAllocationGrowth) {
+  RssSampler sampler(500.0);
+  // Touch ~64 MiB so RSS demonstrably grows during the sampling window.
+  std::vector<char> big(64 << 20, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  const RunningStats& stats = sampler.stop();
+  EXPECT_GT(stats.max(), 0.0);
+  // Keep `big` alive past the sampling window.
+  EXPECT_EQ(big[12345], 1);
+}
+
+}  // namespace
+}  // namespace ht::support

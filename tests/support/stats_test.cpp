@@ -1,0 +1,148 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ht::support {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  RunningStats bulk, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    bulk.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), bulk.count());
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), bulk.min());
+  EXPECT_DOUBLE_EQ(a.max(), bulk.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Samples, PercentileNearestRank) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 1.0);
+}
+
+TEST(Samples, EmptyPercentileIsZero) {
+  Samples s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(OverheadFraction, Basics) {
+  EXPECT_DOUBLE_EQ(overhead_fraction(100, 105.2), 0.052);
+  EXPECT_DOUBLE_EQ(overhead_fraction(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(overhead_fraction(100, 90), -0.1);
+  EXPECT_DOUBLE_EQ(overhead_fraction(0, 100), 0.0);  // guarded
+}
+
+TEST(FormatPercent, Formats) {
+  EXPECT_EQ(format_percent(0.052), "+5.2%");
+  EXPECT_EQ(format_percent(-0.01), "-1.0%");
+  EXPECT_EQ(format_percent(0.0), "+0.0%");
+}
+
+TEST(FrequencyTable, CountsAndTotal) {
+  FrequencyTable t;
+  t.add(10);
+  t.add(10);
+  t.add(20, 5);
+  EXPECT_EQ(t.count(10), 2u);
+  EXPECT_EQ(t.count(20), 5u);
+  EXPECT_EQ(t.count(99), 0u);
+  EXPECT_EQ(t.total(), 7u);
+  EXPECT_EQ(t.distinct(), 2u);
+}
+
+TEST(FrequencyTable, SortedByCountDescThenKey) {
+  FrequencyTable t;
+  t.add(1, 5);
+  t.add(2, 9);
+  t.add(3, 5);
+  const auto sorted = t.sorted_by_count();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].key, 2u);
+  EXPECT_EQ(sorted[1].key, 1u);  // tie broken by key
+  EXPECT_EQ(sorted[2].key, 3u);
+}
+
+TEST(FrequencyTable, MedianFrequencyKeysPaperProtocol) {
+  // §VIII-B2: rank CCIDs by allocation frequency and pick the median ones.
+  FrequencyTable t;
+  for (std::uint64_t k = 1; k <= 9; ++k) t.add(k, k * 10);  // ranks 9..1
+  const auto one = t.median_frequency_keys(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 5u);  // the median-frequency CCID
+  const auto five = t.median_frequency_keys(5);
+  EXPECT_EQ(five.size(), 5u);
+  // All five must be centered on the median rank.
+  for (std::uint64_t k : five) {
+    EXPECT_GE(k, 3u);
+    EXPECT_LE(k, 7u);
+  }
+}
+
+TEST(FrequencyTable, MedianKeysMoreThanDistinct) {
+  FrequencyTable t;
+  t.add(1);
+  t.add(2);
+  const auto keys = t.median_frequency_keys(10);
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(FrequencyTable, MedianKeysEmpty) {
+  FrequencyTable t;
+  EXPECT_TRUE(t.median_frequency_keys(3).empty());
+}
+
+}  // namespace
+}  // namespace ht::support

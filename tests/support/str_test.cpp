@@ -1,0 +1,83 @@
+#include "support/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::support {
+namespace {
+
+TEST(Trim, Basics) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingDelimiter) {
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(ParseU64, Decimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_EQ(parse_u64(" 42 "), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, Hex) {
+  EXPECT_EQ(parse_u64("0x0"), 0u);
+  EXPECT_EQ(parse_u64("0xff"), 255u);
+  EXPECT_EQ(parse_u64("0XDEADbeef"), 0xdeadbeefULL);
+}
+
+TEST(ParseU64, Rejects) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("  ").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("12x").has_value());
+  EXPECT_FALSE(parse_u64("0x").has_value());
+  EXPECT_FALSE(parse_u64("0xg").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+  EXPECT_FALSE(parse_u64("99999999999999999999").has_value());
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("malloc_site", "malloc"));
+  EXPECT_FALSE(starts_with("mal", "malloc"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Pad, Widths) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(WithCommas, PaperTable4Style) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(174), "174");
+  EXPECT_EQ(with_commas(52115), "52,115");
+  EXPECT_EQ(with_commas(346405116), "346,405,116");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(999), "999");
+}
+
+}  // namespace
+}  // namespace ht::support

@@ -1,0 +1,176 @@
+#include "workload/alloc_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ht::workload {
+namespace {
+
+SpecProfile small_profile() {
+  SpecProfile p;
+  p.name = "test.small";
+  p.mallocs = 500;
+  p.callocs = 100;
+  p.reallocs = 50;
+  p.avg_alloc_size = 64;
+  p.live_set = 16;
+  p.work_per_op = 2;
+  return p;
+}
+
+TEST(AllocTrace, OpCountsMatchProfile) {
+  const Trace trace = make_trace(small_profile());
+  std::uint64_t mallocs = 0, callocs = 0, reallocs = 0, frees = 0;
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kMalloc: ++mallocs; break;
+      case TraceOp::Kind::kCalloc: ++callocs; break;
+      case TraceOp::Kind::kRealloc: ++reallocs; break;
+      case TraceOp::Kind::kFree: ++frees; break;
+    }
+  }
+  EXPECT_EQ(mallocs, 500u);
+  EXPECT_EQ(callocs, 100u);
+  EXPECT_EQ(reallocs, 50u);
+  EXPECT_EQ(frees, mallocs + callocs);  // every allocation eventually freed
+}
+
+TEST(AllocTrace, DeterministicPerSeed) {
+  const Trace a = make_trace(small_profile(), 42);
+  const Trace b = make_trace(small_profile(), 42);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].slot, b.ops[i].slot);
+    EXPECT_EQ(a.ops[i].ccid, b.ops[i].ccid);
+  }
+  const Trace c = make_trace(small_profile(), 43);
+  EXPECT_NE(c.ops.size() == a.ops.size() &&
+                std::equal(a.ops.begin(), a.ops.end(), c.ops.begin(),
+                           [](const TraceOp& x, const TraceOp& y) {
+                             return x.kind == y.kind && x.slot == y.slot &&
+                                    x.ccid == y.ccid;
+                           }),
+            true);
+}
+
+TEST(AllocTrace, LiveSetBoundHonored) {
+  const SpecProfile p = small_profile();
+  const Trace trace = make_trace(p);
+  std::set<std::uint32_t> live;
+  for (const TraceOp& op : trace.ops) {
+    if (op.kind == TraceOp::Kind::kFree) {
+      live.erase(op.slot);
+    } else if (op.kind != TraceOp::Kind::kRealloc) {
+      EXPECT_TRUE(live.insert(op.slot).second) << "slot reused while live";
+    }
+    EXPECT_LE(live.size(), p.live_set);
+  }
+  EXPECT_TRUE(live.empty());  // fully drained at the end
+}
+
+TEST(AllocTrace, ReallocsTargetLiveSlots) {
+  const Trace trace = make_trace(small_profile());
+  std::set<std::uint32_t> live;
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kMalloc:
+      case TraceOp::Kind::kCalloc:
+        live.insert(op.slot);
+        break;
+      case TraceOp::Kind::kRealloc:
+        // Either a live slot or a fresh one (realloc(NULL) path).
+        live.insert(op.slot);
+        break;
+      case TraceOp::Kind::kFree:
+        EXPECT_TRUE(live.count(op.slot)) << "free of dead slot";
+        live.erase(op.slot);
+        break;
+    }
+  }
+}
+
+TEST(AllocTrace, MedianFrequencyCcidsComeFromTheTrace) {
+  const Trace trace = make_trace(small_profile());
+  ASSERT_FALSE(trace.ccids_by_frequency.empty());
+  for (std::size_t count : {1u, 5u}) {
+    const auto picked = median_frequency_ccids(trace, count);
+    EXPECT_EQ(picked.size(), std::min(count, trace.ccids_by_frequency.size()));
+    for (std::uint64_t ccid : picked) {
+      EXPECT_NE(std::find(trace.ccids_by_frequency.begin(),
+                          trace.ccids_by_frequency.end(), ccid),
+                trace.ccids_by_frequency.end());
+    }
+  }
+}
+
+TEST(AllocTrace, NativeRunCompletes) {
+  const Trace trace = make_trace(small_profile());
+  const TraceRunResult result = run_trace(trace, TraceMode::kNative);
+  EXPECT_EQ(result.allocs, 650u);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(AllocTrace, GuardedRunMatchesNativeAllocCount) {
+  const Trace trace = make_trace(small_profile());
+  runtime::GuardedAllocator allocator;
+  const TraceRunResult result =
+      run_trace(trace, TraceMode::kGuarded, &allocator);
+  EXPECT_EQ(result.allocs, 650u);
+  EXPECT_EQ(allocator.stats().interceptions, 650u);
+}
+
+TEST(AllocTrace, GuardedRunWithPatchesEnhancesMatchingCcids) {
+  const Trace trace = make_trace(small_profile());
+  const auto vulnerable = median_frequency_ccids(trace, 1);
+  ASSERT_EQ(vulnerable.size(), 1u);
+  // Patch the median CCID for overflow on all three APIs (the trace mixes
+  // malloc/calloc/realloc per site).
+  std::vector<patch::Patch> patches;
+  for (auto fn : {progmodel::AllocFn::kMalloc, progmodel::AllocFn::kCalloc,
+                  progmodel::AllocFn::kRealloc}) {
+    patches.push_back(patch::Patch{fn, vulnerable[0], patch::kOverflow});
+  }
+  const patch::PatchTable table(patches, /*freeze=*/true);
+  runtime::GuardedAllocator allocator(&table);
+  const TraceRunResult result =
+      run_trace(trace, TraceMode::kGuarded, &allocator);
+  EXPECT_EQ(result.allocs, 650u);
+  EXPECT_GT(allocator.stats().enhanced, 0u);
+  EXPECT_GT(allocator.stats().guard_pages, 0u);
+}
+
+TEST(AllocTrace, ForwardOnlyModeRuns) {
+  const Trace trace = make_trace(small_profile());
+  runtime::GuardedAllocatorConfig config;
+  config.forward_only = true;
+  runtime::GuardedAllocator allocator(nullptr, config);
+  const TraceRunResult result =
+      run_trace(trace, TraceMode::kGuarded, &allocator);
+  EXPECT_EQ(result.allocs, 650u);
+}
+
+TEST(AllocTrace, ChecksumIdenticalAcrossModes) {
+  // The compute kernel is mode-independent: same trace, same checksum.
+  const Trace trace = make_trace(small_profile());
+  const auto native = run_trace(trace, TraceMode::kNative);
+  runtime::GuardedAllocator allocator;
+  const auto guarded = run_trace(trace, TraceMode::kGuarded, &allocator);
+  EXPECT_EQ(native.checksum, guarded.checksum);
+}
+
+TEST(AllocTrace, SpecProfileTracesAreSane) {
+  for (const SpecProfile& p : spec_profiles()) {
+    if (p.total_allocs() > 50000) continue;  // keep the test fast
+    const Trace trace = make_trace(p);
+    std::uint64_t allocs = 0;
+    for (const TraceOp& op : trace.ops) {
+      allocs += op.kind != TraceOp::Kind::kFree;
+    }
+    EXPECT_EQ(allocs, p.total_allocs()) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace ht::workload

@@ -1,0 +1,83 @@
+#include "workload/service_workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ht::workload {
+namespace {
+
+TEST(ServiceWorkload, NativeNginxLikeRuns) {
+  ServiceConfig config;
+  config.kind = ServiceKind::kNginxLike;
+  config.requests = 2000;
+  config.concurrency = 4;
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.requests, 2000u);
+  EXPECT_GT(result.requests_per_second, 0.0);
+}
+
+TEST(ServiceWorkload, GuardedNginxLikeRuns) {
+  const patch::PatchTable empty({});
+  ServiceConfig config;
+  config.kind = ServiceKind::kNginxLike;
+  config.requests = 2000;
+  config.concurrency = 4;
+  config.use_heaptherapy = true;
+  config.patches = &empty;
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.requests, 2000u);
+  EXPECT_GT(result.requests_per_second, 0.0);
+}
+
+TEST(ServiceWorkload, MysqlLikeRunsBothModes) {
+  for (bool guarded : {false, true}) {
+    const patch::PatchTable empty({});
+    ServiceConfig config;
+    config.kind = ServiceKind::kMysqlLike;
+    config.requests = 1000;
+    config.concurrency = 2;
+    config.use_heaptherapy = guarded;
+    config.patches = guarded ? &empty : nullptr;
+    const ServiceResult result = run_service(config);
+    EXPECT_EQ(result.requests, 1000u);
+    EXPECT_GT(result.requests_per_second, 0.0);
+  }
+}
+
+TEST(ServiceWorkload, ChecksumDeterministicPerSeedAndMode) {
+  ServiceConfig config;
+  config.kind = ServiceKind::kNginxLike;
+  config.requests = 500;
+  config.concurrency = 2;
+  config.seed = 99;
+  const ServiceResult a = run_service(config);
+  const ServiceResult b = run_service(config);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(ServiceWorkload, ConcurrencySweepRequestsSplitEvenly) {
+  for (std::uint32_t threads : {1u, 2u, 8u}) {
+    ServiceConfig config;
+    config.requests = 800;
+    config.concurrency = threads;
+    const ServiceResult result = run_service(config);
+    EXPECT_EQ(result.requests, 800u / threads * threads);
+  }
+}
+
+TEST(ServiceWorkload, PatchedServiceStillServes) {
+  // A patch on the nginx body buffer context must not break service.
+  std::vector<patch::Patch> patches{
+      {progmodel::AllocFn::kMalloc, 0x1102, patch::kAllVulnBits}};
+  const patch::PatchTable table(patches, /*freeze=*/true);
+  ServiceConfig config;
+  config.requests = 1000;
+  config.concurrency = 2;
+  config.use_heaptherapy = true;
+  config.patches = &table;
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.requests, 1000u);
+}
+
+}  // namespace
+}  // namespace ht::workload

@@ -1,0 +1,150 @@
+#include "workload/spec_profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cce/verify.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/null_backend.hpp"
+
+namespace ht::workload {
+namespace {
+
+using progmodel::AllocFn;
+
+TEST(SpecProfiles, TwelveBenchmarksInTable4Order) {
+  const auto& profiles = spec_profiles();
+  ASSERT_EQ(profiles.size(), 12u);
+  EXPECT_EQ(profiles.front().name, "400.perlbench");
+  EXPECT_EQ(profiles.back().name, "483.xalancbmk");
+}
+
+TEST(SpecProfiles, PaperCountsMatchTable4) {
+  // Spot-check the Table IV reference numbers.
+  EXPECT_EQ(spec_profile("400.perlbench").paper_malloc, 346405116u);
+  EXPECT_EQ(spec_profile("400.perlbench").paper_realloc, 11736402u);
+  EXPECT_EQ(spec_profile("401.bzip2").paper_malloc, 174u);
+  EXPECT_EQ(spec_profile("429.mcf").paper_calloc, 3u);
+  EXPECT_EQ(spec_profile("462.libquantum").paper_malloc, 1u);
+  EXPECT_EQ(spec_profile("464.h264ref").paper_calloc, 170518u);
+  EXPECT_EQ(spec_profile("483.xalancbmk").paper_malloc, 135155553u);
+}
+
+TEST(SpecProfiles, UnknownNameThrows) {
+  EXPECT_THROW((void)spec_profile("499.nonesuch"), std::out_of_range);
+}
+
+TEST(SpecProfiles, ScalingPreservesApiMixShape) {
+  for (const auto& p : spec_profiles()) {
+    // Zero columns stay zero; nonzero columns stay nonzero.
+    EXPECT_EQ(p.paper_malloc == 0, p.mallocs == 0) << p.name;
+    EXPECT_EQ(p.paper_calloc == 0, p.callocs == 0) << p.name;
+    EXPECT_EQ(p.paper_realloc == 0, p.reallocs == 0) << p.name;
+  }
+  // Relative ordering of allocation intensity is preserved: perlbench is
+  // the most allocation-intensive benchmark in both columns.
+  const auto& perl = spec_profile("400.perlbench");
+  for (const auto& p : spec_profiles()) {
+    EXPECT_LE(p.mallocs, perl.mallocs);
+  }
+}
+
+class SpecProgramCheck : public ::testing::TestWithParam<SpecProfile> {};
+
+TEST_P(SpecProgramCheck, ExecutesExactAllocationCounts) {
+  const SpecProfile& profile = GetParam();
+  const progmodel::Program program = make_spec_program(profile);
+  progmodel::NullBackend backend;
+  progmodel::Interpreter interp(program, nullptr, backend);
+  const auto result = interp.run(progmodel::Input{});
+  ASSERT_TRUE(result.completed) << profile.name;
+  EXPECT_TRUE(result.violations.empty()) << profile.name;
+  // calloc and realloc counts are exact; realloc loops add one backing
+  // malloc per realloc site, so the malloc count may exceed the target by
+  // at most the (small) number of sites.
+  EXPECT_EQ(result.alloc_counts[static_cast<int>(AllocFn::kCalloc)],
+            profile.callocs)
+      << profile.name;
+  EXPECT_EQ(result.alloc_counts[static_cast<int>(AllocFn::kRealloc)],
+            profile.reallocs)
+      << profile.name;
+  const std::uint64_t mallocs =
+      result.alloc_counts[static_cast<int>(AllocFn::kMalloc)];
+  EXPECT_GE(mallocs, profile.mallocs) << profile.name;
+  EXPECT_LE(mallocs, profile.mallocs + 64) << profile.name;
+}
+
+TEST_P(SpecProgramCheck, InstrumentationShrinksMonotonically) {
+  const progmodel::Program program = make_spec_program(GetParam());
+  const auto& targets = program.alloc_targets();
+  std::size_t prev = SIZE_MAX;
+  for (cce::Strategy strategy : cce::kAllStrategies) {
+    const auto plan = cce::compute_plan(program.graph(), targets, strategy);
+    EXPECT_LE(plan.instrumented_count(), prev) << cce::strategy_name(strategy);
+    prev = plan.instrumented_count();
+  }
+}
+
+TEST_P(SpecProgramCheck, PlansAreSoundOnWorkloadGraphs) {
+  const progmodel::Program program = make_spec_program(GetParam());
+  for (cce::Strategy strategy :
+       {cce::Strategy::kTcs, cce::Strategy::kSlim, cce::Strategy::kIncremental}) {
+    const auto plan =
+        cce::compute_plan(program.graph(), program.alloc_targets(), strategy);
+    const auto report = cce::verify_plan_distinguishability(
+        program.graph(), program.entry(), program.alloc_targets(), plan);
+    EXPECT_TRUE(report.sound())
+        << GetParam().name << " " << cce::strategy_name(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SpecProgramCheck, ::testing::ValuesIn(spec_profiles()),
+    [](const ::testing::TestParamInfo<SpecProfile>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(SpecPrograms, ColdRegionGivesTcsItsGains) {
+  // bzip2's graph is dominated by functions that never allocate; TCS must
+  // prune almost everything (paper Table III: 8.8% -> 0.12%).
+  const auto program = make_spec_program(spec_profile("401.bzip2"));
+  const auto fcs =
+      cce::compute_plan(program.graph(), program.alloc_targets(), cce::Strategy::kFcs);
+  const auto tcs =
+      cce::compute_plan(program.graph(), program.alloc_targets(), cce::Strategy::kTcs);
+  EXPECT_LT(static_cast<double>(tcs.instrumented_count()),
+            0.10 * static_cast<double>(fcs.instrumented_count()));
+}
+
+TEST(SpecPrograms, ChainsGiveSlimItsGains) {
+  // astar: TCS ~= FCS but Slim prunes the long non-branching chains
+  // (paper Table III: 7.0 -> 7.0 -> 0.2).
+  const auto program = make_spec_program(spec_profile("473.astar"));
+  const auto fcs =
+      cce::compute_plan(program.graph(), program.alloc_targets(), cce::Strategy::kFcs);
+  const auto tcs =
+      cce::compute_plan(program.graph(), program.alloc_targets(), cce::Strategy::kTcs);
+  const auto slim =
+      cce::compute_plan(program.graph(), program.alloc_targets(), cce::Strategy::kSlim);
+  EXPECT_GT(static_cast<double>(tcs.instrumented_count()),
+            0.8 * static_cast<double>(fcs.instrumented_count()));
+  EXPECT_LT(static_cast<double>(slim.instrumented_count()),
+            0.3 * static_cast<double>(tcs.instrumented_count()));
+}
+
+TEST(SpecPrograms, FalseBranchingGivesIncrementalItsGains) {
+  // hmmer routes work through dispatchers over distinct allocation APIs;
+  // Incremental prunes them while Slim cannot (paper: 2.4 -> 1.2).
+  const auto program = make_spec_program(spec_profile("456.hmmer"));
+  const auto slim =
+      cce::compute_plan(program.graph(), program.alloc_targets(), cce::Strategy::kSlim);
+  const auto inc = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                     cce::Strategy::kIncremental);
+  EXPECT_LT(inc.instrumented_count(), slim.instrumented_count());
+}
+
+}  // namespace
+}  // namespace ht::workload

@@ -1,0 +1,136 @@
+// htctl — operator tooling for HeapTherapy+ patch configurations.
+//
+//   htctl validate <config>            parse and lint a config file
+//   htctl show <config>                human-readable patch listing
+//   htctl merge <out> <in>...          union of several configs
+//                                      (duplicate {FUN,CCID} masks OR together)
+//   htctl add <config> <fn> <ccid> <mask>
+//                                      append one patch (idempotent)
+//
+// Exit codes: 0 ok, 1 usage, 2 validation errors, 3 I/O failure.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "patch/config_file.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using ht::patch::ParseResult;
+using ht::patch::Patch;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: htctl validate <config>\n"
+               "       htctl show <config>\n"
+               "       htctl merge <out> <in>...\n"
+               "       htctl add <config> <alloc_fn> <ccid> <vuln_mask>\n");
+  return 1;
+}
+
+std::optional<ParseResult> load_or_complain(const std::string& path) {
+  auto loaded = ht::patch::load_config_file(path);
+  if (!loaded) std::fprintf(stderr, "htctl: cannot read %s\n", path.c_str());
+  return loaded;
+}
+
+void merge_into(std::vector<Patch>& all, const std::vector<Patch>& extra) {
+  for (const Patch& p : extra) {
+    bool merged = false;
+    for (Patch& existing : all) {
+      if (existing.fn == p.fn && existing.ccid == p.ccid) {
+        existing.vuln_mask |= p.vuln_mask;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) all.push_back(p);
+  }
+}
+
+int cmd_validate(const std::string& path) {
+  const auto loaded = load_or_complain(path);
+  if (!loaded) return 3;
+  for (const std::string& err : loaded->errors) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+  }
+  std::printf("%s: %zu patch(es), %zu error(s)\n", path.c_str(),
+              loaded->patches.size(), loaded->errors.size());
+  return loaded->ok() ? 0 : 2;
+}
+
+int cmd_show(const std::string& path) {
+  const auto loaded = load_or_complain(path);
+  if (!loaded) return 3;
+  std::printf("%-14s %-20s %s\n", "alloc_fn", "ccid", "defenses");
+  for (const Patch& p : loaded->patches) {
+    std::printf("%-14s 0x%016llx   %s\n",
+                std::string(ht::progmodel::alloc_fn_name(p.fn)).c_str(),
+                static_cast<unsigned long long>(p.ccid),
+                ht::patch::vuln_mask_to_string(p.vuln_mask).c_str());
+  }
+  return loaded->ok() ? 0 : 2;
+}
+
+int cmd_merge(const std::string& out, const std::vector<std::string>& inputs) {
+  std::vector<Patch> all;
+  for (const std::string& path : inputs) {
+    const auto loaded = load_or_complain(path);
+    if (!loaded) return 3;
+    if (!loaded->ok()) {
+      std::fprintf(stderr, "htctl: %s has errors; refusing to merge\n",
+                   path.c_str());
+      return 2;
+    }
+    merge_into(all, loaded->patches);
+  }
+  if (!ht::patch::save_config_file(out, all)) {
+    std::fprintf(stderr, "htctl: cannot write %s\n", out.c_str());
+    return 3;
+  }
+  std::printf("wrote %s with %zu patch(es)\n", out.c_str(), all.size());
+  return 0;
+}
+
+int cmd_add(const std::string& path, const std::string& fn_name,
+            const std::string& ccid_text, const std::string& mask_text) {
+  std::optional<ht::progmodel::AllocFn> fn;
+  for (ht::progmodel::AllocFn candidate : ht::progmodel::kAllAllocFns) {
+    if (ht::progmodel::alloc_fn_name(candidate) == fn_name) fn = candidate;
+  }
+  const auto ccid = ht::support::parse_u64(ccid_text);
+  std::uint8_t mask = 0;
+  if (!fn || !ccid || !ht::patch::vuln_mask_from_string(mask_text, mask)) {
+    std::fprintf(stderr, "htctl: bad patch fields\n");
+    return 1;
+  }
+  std::vector<Patch> all;
+  if (auto existing = ht::patch::load_config_file(path); existing && existing->ok()) {
+    all = existing->patches;
+  }
+  merge_into(all, {Patch{*fn, *ccid, mask}});
+  if (!ht::patch::save_config_file(path, all)) {
+    std::fprintf(stderr, "htctl: cannot write %s\n", path.c_str());
+    return 3;
+  }
+  std::printf("%s now holds %zu patch(es)\n", path.c_str(), all.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  if (command == "validate" && argc == 3) return cmd_validate(argv[2]);
+  if (command == "show" && argc == 3) return cmd_show(argv[2]);
+  if (command == "merge" && argc >= 4) {
+    return cmd_merge(argv[2], std::vector<std::string>(argv + 3, argv + argc));
+  }
+  if (command == "add" && argc == 6) {
+    return cmd_add(argv[2], argv[3], argv[4], argv[5]);
+  }
+  return usage();
+}

@@ -1,0 +1,79 @@
+// htexport — write the built-in vulnerable-program corpus as .htp files,
+// with their benign/attack inputs in a sidecar comment header, so the whole
+// Table II evaluation can be driven through htrun from plain data files.
+//
+//   htexport all <dir>          export every corpus program
+//   htexport <name> <dir>       export one (e.g. "heartbleed")
+//   htexport list               print available names
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "corpus/extended_corpus.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/program_io.hpp"
+
+namespace {
+
+using ht::corpus::VulnerableProgram;
+
+std::vector<VulnerableProgram> everything() {
+  auto all = ht::corpus::make_table2_corpus();
+  for (auto& v : ht::corpus::make_extended_corpus()) all.push_back(std::move(v));
+  return all;
+}
+
+std::string input_text(const ht::progmodel::Input& input) {
+  std::string out;
+  for (std::size_t i = 0; i < input.params.size(); ++i) {
+    out += (i ? "," : "") + std::to_string(input.params[i]);
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+bool export_one(const VulnerableProgram& v, const std::string& dir) {
+  const std::string path = dir + "/" + v.name + ".htp";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "htexport: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << "# " << v.name << " — " << v.reference << "\n";
+  out << "# expected vulnerability: "
+      << ht::patch::vuln_mask_to_string(v.expected_mask) << "\n";
+  out << "# benign input:  --input " << input_text(v.benign) << "\n";
+  out << "# attack input:  --input " << input_text(v.attack) << "\n";
+  out << ht::progmodel::serialize_program(v.program);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "list") {
+    for (const auto& v : everything()) {
+      std::printf("%-20s %s\n", v.name.c_str(), v.reference.c_str());
+    }
+    return 0;
+  }
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: htexport all|<name>|list [<dir>]\n");
+    return 1;
+  }
+  const std::string which = argv[1];
+  const std::string dir = argv[2];
+  bool any = false;
+  for (const auto& v : everything()) {
+    if (which == "all" || which == v.name) {
+      if (!export_one(v, dir)) return 3;
+      any = true;
+    }
+  }
+  if (!any) {
+    std::fprintf(stderr, "htexport: unknown program '%s' (try 'list')\n",
+                 which.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,324 @@
+// htrun — replay and analyze .htp program files from the command line.
+//
+//   htrun show <prog.htp> [--strategy S] [--dot 1]
+//       print the program and per-strategy instrumentation statistics;
+//       --dot 1 emits Graphviz of the chosen strategy's instrumented sites
+//   htrun plan <prog.htp> [--strategy S] [--out plan.txt]
+//       compute and persist the instrumentation plan (the one-time
+//       instrumentation artifact, §III-B); a persisted plan is validated
+//       against the program's call-graph fingerprint on load
+//   htrun analyze <prog.htp> --input a,b,... [--strategy S] [--partition N]
+//                            [--out patches.cfg]
+//       offline analysis of one input; prints the dynamic-analysis report
+//       and optionally writes the patch config
+//   htrun search <prog.htp> --space lo:hi,lo:hi,... [--strategy S]
+//                           [--runs N] [--out patches.cfg]
+//       find an attack input automatically, then analyze it
+//   htrun replay <prog.htp> --input a,b,... --config patches.cfg
+//                           [--strategy S] [--defense guard|canary]
+//                           [--poison 1]
+//       online replay under the hardened allocator; prints what the
+//       defenses did
+//
+// Strategies: FCS, TCS, Slim, Incremental (default).
+// Exit codes: 0 ok / clean, 1 usage, 2 vulnerability found (analyze/search)
+// or attack effect observed (replay), 3 I/O or parse failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/input_search.hpp"
+#include "cce/plan_io.hpp"
+#include "analysis/report.hpp"
+#include "patch/config_file.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/printer.hpp"
+#include "progmodel/program_io.hpp"
+#include "runtime/guarded_backend.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using namespace ht;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: htrun show    <prog.htp> [--strategy S]\n"
+               "       htrun analyze <prog.htp> --input a,b,.. [--strategy S]"
+               " [--partition N] [--out cfg]\n"
+               "       htrun search  <prog.htp> --space lo:hi,.. [--strategy S]"
+               " [--runs N] [--out cfg]\n"
+               "       htrun replay  <prog.htp> --input a,b,.. --config cfg"
+               " [--strategy S]\n");
+  return 1;
+}
+
+struct Args {
+  std::string command, program_path, input_text, space_text, config_path, out_path;
+  bool dot = false;
+  cce::Strategy strategy = cce::Strategy::kIncremental;
+  std::uint64_t runs = 512;
+  std::uint32_t partition = 1;
+  runtime::GuardedAllocatorConfig defenses;
+  bool ok = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 3) return args;
+  args.command = argv[1];
+  args.program_path = argv[2];
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--input") {
+      args.input_text = value;
+    } else if (flag == "--space") {
+      args.space_text = value;
+    } else if (flag == "--config") {
+      args.config_path = value;
+    } else if (flag == "--out") {
+      args.out_path = value;
+    } else if (flag == "--runs") {
+      args.runs = support::parse_u64(value).value_or(512);
+    } else if (flag == "--partition") {
+      args.partition =
+          static_cast<std::uint32_t>(support::parse_u64(value).value_or(1));
+    } else if (flag == "--defense") {
+      if (value == "guard") {
+        args.defenses.use_guard_pages = true;
+      } else if (value == "canary") {
+        args.defenses.use_guard_pages = false;
+        args.defenses.use_canaries = true;
+      } else {
+        return args;
+      }
+    } else if (flag == "--poison") {
+      args.defenses.poison_quarantine = support::parse_u64(value).value_or(0) != 0;
+    } else if (flag == "--dot") {
+      args.dot = support::parse_u64(value).value_or(0) != 0;
+    } else if (flag == "--strategy") {
+      bool found = false;
+      for (cce::Strategy s : cce::kAllStrategies) {
+        if (value == cce::strategy_name(s)) {
+          args.strategy = s;
+          found = true;
+        }
+      }
+      if (!found) return args;
+    } else {
+      return args;
+    }
+  }
+  args.ok = true;
+  return args;
+}
+
+std::optional<progmodel::Program> load_program(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "htrun: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = progmodel::parse_program(buffer.str());
+  if (!parsed.program) {
+    std::fprintf(stderr, "htrun: %s: %s\n", path.c_str(), parsed.error.c_str());
+    return std::nullopt;
+  }
+  return std::move(parsed.program);
+}
+
+std::optional<progmodel::Input> parse_input(const std::string& text) {
+  progmodel::Input input;
+  if (support::trim(text).empty()) return input;
+  for (std::string_view field : support::split(text, ',')) {
+    const auto v = support::parse_u64(field);
+    if (!v) return std::nullopt;
+    input.params.push_back(*v);
+  }
+  return input;
+}
+
+std::optional<std::vector<analysis::ParamRange>> parse_space(const std::string& text) {
+  std::vector<analysis::ParamRange> space;
+  if (support::trim(text).empty()) return space;
+  for (std::string_view field : support::split(text, ',')) {
+    const auto parts = support::split(field, ':');
+    if (parts.size() != 2) return std::nullopt;
+    const auto lo = support::parse_u64(parts[0]);
+    const auto hi = support::parse_u64(parts[1]);
+    if (!lo || !hi || *lo > *hi) return std::nullopt;
+    space.push_back(analysis::ParamRange{*lo, *hi});
+  }
+  return space;
+}
+
+int emit_patches(const std::vector<patch::Patch>& patches, const std::string& out) {
+  if (out.empty()) return 0;
+  if (!patch::save_config_file(out, patches)) {
+    std::fprintf(stderr, "htrun: cannot write %s\n", out.c_str());
+    return 3;
+  }
+  std::printf("wrote %zu patch(es) to %s\n", patches.size(), out.c_str());
+  return 0;
+}
+
+int cmd_show(const Args& args, const progmodel::Program& program) {
+  if (args.dot) {
+    const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                        args.strategy);
+    std::printf("%s", program.graph()
+                          .to_dot(program.alloc_targets(), &plan.instrumented)
+                          .c_str());
+    return 0;
+  }
+  std::printf("%s", progmodel::to_text(program).c_str());
+  std::printf("\ncall graph: %zu functions, %zu call sites, %zu allocation APIs\n",
+              program.graph().function_count(), program.graph().call_site_count(),
+              program.alloc_targets().size());
+  for (cce::Strategy s : cce::kAllStrategies) {
+    const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(), s);
+    std::printf("  %-12s instruments %zu/%zu call sites\n",
+                std::string(cce::strategy_name(s)).c_str(),
+                plan.instrumented_count(), program.graph().call_site_count());
+  }
+  (void)args;
+  return 0;
+}
+
+int cmd_analyze(const Args& args, const progmodel::Program& program) {
+  const auto input = parse_input(args.input_text);
+  if (!input) return usage();
+  const auto plan =
+      cce::compute_plan(program.graph(), program.alloc_targets(), args.strategy);
+  const cce::PccEncoder encoder(plan);
+  const analysis::AnalysisReport report =
+      args.partition > 1
+          ? analysis::analyze_attack_partitioned(program, &encoder, *input,
+                                                 args.partition)
+          : analysis::analyze_attack(program, &encoder, *input);
+  std::printf("%s", analysis::render_report(program, encoder, *input, report).c_str());
+  if (const int rc = emit_patches(report.patches, args.out_path); rc != 0) return rc;
+  return report.attack_detected() ? 2 : 0;
+}
+
+int cmd_search(const Args& args, const progmodel::Program& program) {
+  const auto space = parse_space(args.space_text);
+  if (!space) return usage();
+  const auto plan =
+      cce::compute_plan(program.graph(), program.alloc_targets(), args.strategy);
+  const cce::PccEncoder encoder(plan);
+  analysis::InputSearchOptions options;
+  options.max_runs = args.runs;
+  const auto result = analysis::search_attack_input(program, &encoder, *space, options);
+  if (!result.found()) {
+    std::printf("no attack input found in %llu run(s)\n",
+                static_cast<unsigned long long>(result.runs));
+    return 0;
+  }
+  std::printf("attack input after %llu run(s): ",
+              static_cast<unsigned long long>(result.runs));
+  for (std::size_t i = 0; i < result.attack_input->params.size(); ++i) {
+    std::printf("%s%llu", i ? "," : "",
+                static_cast<unsigned long long>(result.attack_input->params[i]));
+  }
+  std::printf("\n%s", analysis::render_report(program, encoder, *result.attack_input,
+                                              result.report)
+                          .c_str());
+  if (const int rc = emit_patches(result.report.patches, args.out_path); rc != 0) {
+    return rc;
+  }
+  return 2;
+}
+
+int cmd_replay(const Args& args, const progmodel::Program& program) {
+  const auto input = parse_input(args.input_text);
+  if (!input) return usage();
+  const auto loaded = patch::load_config_file(args.config_path);
+  if (!loaded) {
+    std::fprintf(stderr, "htrun: cannot read config %s\n", args.config_path.c_str());
+    return 3;
+  }
+  const auto plan =
+      cce::compute_plan(program.graph(), program.alloc_targets(), args.strategy);
+  const cce::PccEncoder encoder(plan);
+  const patch::PatchTable table(loaded->patches, /*freeze=*/true);
+  runtime::GuardedAllocator allocator(&table, args.defenses);
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter interp(program, &encoder, backend);
+  const auto run = interp.run(*input);
+  const auto& obs = backend.observations();
+  std::printf("run %s: %llu allocation(s), %llu enhanced, %llu guard page(s), "
+              "%llu canary(ies)\n",
+              run.completed ? "completed" : "aborted",
+              static_cast<unsigned long long>(run.total_allocs()),
+              static_cast<unsigned long long>(allocator.stats().enhanced),
+              static_cast<unsigned long long>(allocator.stats().guard_pages),
+              static_cast<unsigned long long>(allocator.stats().canaries_planted));
+  if (allocator.stats().canary_overflows_on_free > 0) {
+    std::printf("canary check: %llu overflow(s) detected on free\n",
+                static_cast<unsigned long long>(
+                    allocator.stats().canary_overflows_on_free));
+  }
+  std::printf("defenses: %llu OOB blocked, %llu OOB landed, %llu dangling "
+              "defused, %llu dangling reached reuse, %llu stale bytes leaked\n",
+              static_cast<unsigned long long>(obs.oob_writes_blocked +
+                                              obs.oob_reads_blocked),
+              static_cast<unsigned long long>(obs.oob_writes_landed +
+                                              obs.oob_reads_landed),
+              static_cast<unsigned long long>(obs.stale_hits_quarantine),
+              static_cast<unsigned long long>(obs.stale_hits_reused),
+              static_cast<unsigned long long>(obs.leaked_nonzero_bytes));
+  const bool attack_effect = obs.oob_writes_landed > 0 || obs.oob_reads_landed > 0 ||
+                             obs.stale_hits_reused > 0;
+  return attack_effect ? 2 : 0;
+}
+
+int cmd_plan(const Args& args, const progmodel::Program& program) {
+  const auto plan =
+      cce::compute_plan(program.graph(), program.alloc_targets(), args.strategy);
+  const std::string text = cce::serialize_plan(plan, program.graph());
+  if (args.out_path.empty()) {
+    std::printf("%s", text.c_str());
+    return 0;
+  }
+  std::ofstream out(args.out_path);
+  if (!out || !(out << text)) {
+    std::fprintf(stderr, "htrun: cannot write %s\n", args.out_path.c_str());
+    return 3;
+  }
+  // Round-trip validation before declaring success: a plan that cannot be
+  // reloaded against this program must never ship.
+  const auto reloaded = cce::parse_plan(text, program.graph());
+  if (!reloaded.plan) {
+    std::fprintf(stderr, "htrun: plan failed self-validation: %s\n",
+                 reloaded.error.c_str());
+    return 3;
+  }
+  std::printf("wrote %s (%zu instrumented site(s), %s)\n", args.out_path.c_str(),
+              plan.instrumented_count(),
+              std::string(cce::strategy_name(plan.strategy)).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) return usage();
+  const auto program = load_program(args.program_path);
+  if (!program) return 3;
+  if (args.command == "show") return cmd_show(args, *program);
+  if (args.command == "plan") return cmd_plan(args, *program);
+  if (args.command == "analyze") return cmd_analyze(args, *program);
+  if (args.command == "search") return cmd_search(args, *program);
+  if (args.command == "replay" && !args.config_path.empty()) {
+    return cmd_replay(args, *program);
+  }
+  return usage();
+}
