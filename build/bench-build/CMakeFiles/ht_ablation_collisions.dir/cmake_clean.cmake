@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_ablation_collisions"
+  "../bench/ht_ablation_collisions.pdb"
+  "CMakeFiles/ht_ablation_collisions.dir/ht_ablation_collisions.cpp.o"
+  "CMakeFiles/ht_ablation_collisions.dir/ht_ablation_collisions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_ablation_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

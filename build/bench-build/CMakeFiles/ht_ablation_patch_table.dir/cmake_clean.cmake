@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_ablation_patch_table"
+  "../bench/ht_ablation_patch_table.pdb"
+  "CMakeFiles/ht_ablation_patch_table.dir/ht_ablation_patch_table.cpp.o"
+  "CMakeFiles/ht_ablation_patch_table.dir/ht_ablation_patch_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_ablation_patch_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_ablation_quarantine"
+  "../bench/ht_ablation_quarantine.pdb"
+  "CMakeFiles/ht_ablation_quarantine.dir/ht_ablation_quarantine.cpp.o"
+  "CMakeFiles/ht_ablation_quarantine.dir/ht_ablation_quarantine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_ablation_quarantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_encoding_overhead"
+  "../bench/ht_encoding_overhead.pdb"
+  "CMakeFiles/ht_encoding_overhead.dir/ht_encoding_overhead.cpp.o"
+  "CMakeFiles/ht_encoding_overhead.dir/ht_encoding_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_encoding_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_fig8_runtime_overhead"
+  "../bench/ht_fig8_runtime_overhead.pdb"
+  "CMakeFiles/ht_fig8_runtime_overhead.dir/ht_fig8_runtime_overhead.cpp.o"
+  "CMakeFiles/ht_fig8_runtime_overhead.dir/ht_fig8_runtime_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_fig8_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ht_fig9_memory_overhead.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_service_throughput"
+  "../bench/ht_service_throughput.pdb"
+  "CMakeFiles/ht_service_throughput.dir/ht_service_throughput.cpp.o"
+  "CMakeFiles/ht_service_throughput.dir/ht_service_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_service_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_table2_effectiveness"
+  "../bench/ht_table2_effectiveness.pdb"
+  "CMakeFiles/ht_table2_effectiveness.dir/ht_table2_effectiveness.cpp.o"
+  "CMakeFiles/ht_table2_effectiveness.dir/ht_table2_effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_table2_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_table3_size_increase"
+  "../bench/ht_table3_size_increase.pdb"
+  "CMakeFiles/ht_table3_size_increase.dir/ht_table3_size_increase.cpp.o"
+  "CMakeFiles/ht_table3_size_increase.dir/ht_table3_size_increase.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_table3_size_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

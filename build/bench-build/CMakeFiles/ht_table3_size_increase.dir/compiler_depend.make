@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ht_table3_size_increase.
+# This may be replaced when dependencies are built.

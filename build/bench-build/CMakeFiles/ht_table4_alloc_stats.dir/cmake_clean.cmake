@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ht_table4_alloc_stats"
+  "../bench/ht_table4_alloc_stats.pdb"
+  "CMakeFiles/ht_table4_alloc_stats.dir/ht_table4_alloc_stats.cpp.o"
+  "CMakeFiles/ht_table4_alloc_stats.dir/ht_table4_alloc_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_table4_alloc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ht_table4_alloc_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_optimizer.dir/encoding_optimizer.cpp.o"
+  "CMakeFiles/encoding_optimizer.dir/encoding_optimizer.cpp.o.d"
+  "encoding_optimizer"
+  "encoding_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

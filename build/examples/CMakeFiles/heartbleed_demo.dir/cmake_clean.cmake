@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbleed_demo.dir/heartbleed_demo.cpp.o"
+  "CMakeFiles/heartbleed_demo.dir/heartbleed_demo.cpp.o.d"
+  "heartbleed_demo"
+  "heartbleed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbleed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

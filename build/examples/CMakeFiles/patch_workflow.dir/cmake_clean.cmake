@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patch_workflow.dir/patch_workflow.cpp.o"
+  "CMakeFiles/patch_workflow.dir/patch_workflow.cpp.o.d"
+  "patch_workflow"
+  "patch_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

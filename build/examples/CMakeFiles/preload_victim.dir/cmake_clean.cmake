@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_victim.dir/preload_victim.cpp.o"
+  "CMakeFiles/preload_victim.dir/preload_victim.cpp.o.d"
+  "preload_victim"
+  "preload_victim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_victim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

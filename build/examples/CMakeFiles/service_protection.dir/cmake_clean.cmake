@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_protection.dir/service_protection.cpp.o"
+  "CMakeFiles/service_protection.dir/service_protection.cpp.o.d"
+  "service_protection"
+  "service_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

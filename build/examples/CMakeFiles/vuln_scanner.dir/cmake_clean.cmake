@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vuln_scanner.dir/vuln_scanner.cpp.o"
+  "CMakeFiles/vuln_scanner.dir/vuln_scanner.cpp.o.d"
+  "vuln_scanner"
+  "vuln_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vuln_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

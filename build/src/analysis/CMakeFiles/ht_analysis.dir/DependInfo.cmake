@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/input_search.cpp" "src/analysis/CMakeFiles/ht_analysis.dir/input_search.cpp.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/input_search.cpp.o.d"
+  "/root/repo/src/analysis/patch_generator.cpp" "src/analysis/CMakeFiles/ht_analysis.dir/patch_generator.cpp.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/patch_generator.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/ht_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/ht_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shadow/CMakeFiles/ht_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/patch/CMakeFiles/ht_patch.dir/DependInfo.cmake"
+  "/root/repo/build/src/progmodel/CMakeFiles/ht_progmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

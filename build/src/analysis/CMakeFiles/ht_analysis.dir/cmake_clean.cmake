@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_analysis.dir/input_search.cpp.o"
+  "CMakeFiles/ht_analysis.dir/input_search.cpp.o.d"
+  "CMakeFiles/ht_analysis.dir/patch_generator.cpp.o"
+  "CMakeFiles/ht_analysis.dir/patch_generator.cpp.o.d"
+  "CMakeFiles/ht_analysis.dir/report.cpp.o"
+  "CMakeFiles/ht_analysis.dir/report.cpp.o.d"
+  "libht_analysis.a"
+  "libht_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

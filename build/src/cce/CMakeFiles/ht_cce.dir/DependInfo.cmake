@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cce/call_graph.cpp" "src/cce/CMakeFiles/ht_cce.dir/call_graph.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/call_graph.cpp.o.d"
+  "/root/repo/src/cce/encoders.cpp" "src/cce/CMakeFiles/ht_cce.dir/encoders.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/encoders.cpp.o.d"
+  "/root/repo/src/cce/plan_io.cpp" "src/cce/CMakeFiles/ht_cce.dir/plan_io.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/plan_io.cpp.o.d"
+  "/root/repo/src/cce/sample_graphs.cpp" "src/cce/CMakeFiles/ht_cce.dir/sample_graphs.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/sample_graphs.cpp.o.d"
+  "/root/repo/src/cce/strategies.cpp" "src/cce/CMakeFiles/ht_cce.dir/strategies.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/strategies.cpp.o.d"
+  "/root/repo/src/cce/targeted_decoder.cpp" "src/cce/CMakeFiles/ht_cce.dir/targeted_decoder.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/targeted_decoder.cpp.o.d"
+  "/root/repo/src/cce/verify.cpp" "src/cce/CMakeFiles/ht_cce.dir/verify.cpp.o" "gcc" "src/cce/CMakeFiles/ht_cce.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_cce.dir/call_graph.cpp.o"
+  "CMakeFiles/ht_cce.dir/call_graph.cpp.o.d"
+  "CMakeFiles/ht_cce.dir/encoders.cpp.o"
+  "CMakeFiles/ht_cce.dir/encoders.cpp.o.d"
+  "CMakeFiles/ht_cce.dir/plan_io.cpp.o"
+  "CMakeFiles/ht_cce.dir/plan_io.cpp.o.d"
+  "CMakeFiles/ht_cce.dir/sample_graphs.cpp.o"
+  "CMakeFiles/ht_cce.dir/sample_graphs.cpp.o.d"
+  "CMakeFiles/ht_cce.dir/strategies.cpp.o"
+  "CMakeFiles/ht_cce.dir/strategies.cpp.o.d"
+  "CMakeFiles/ht_cce.dir/targeted_decoder.cpp.o"
+  "CMakeFiles/ht_cce.dir/targeted_decoder.cpp.o.d"
+  "CMakeFiles/ht_cce.dir/verify.cpp.o"
+  "CMakeFiles/ht_cce.dir/verify.cpp.o.d"
+  "libht_cce.a"
+  "libht_cce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_cce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

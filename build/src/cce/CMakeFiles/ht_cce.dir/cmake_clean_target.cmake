@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libht_cce.a"
+)

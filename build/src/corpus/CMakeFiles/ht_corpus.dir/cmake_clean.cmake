@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_corpus.dir/effectiveness.cpp.o"
+  "CMakeFiles/ht_corpus.dir/effectiveness.cpp.o.d"
+  "CMakeFiles/ht_corpus.dir/extended_corpus.cpp.o"
+  "CMakeFiles/ht_corpus.dir/extended_corpus.cpp.o.d"
+  "CMakeFiles/ht_corpus.dir/vulnerable_programs.cpp.o"
+  "CMakeFiles/ht_corpus.dir/vulnerable_programs.cpp.o.d"
+  "libht_corpus.a"
+  "libht_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_patch.dir/config_file.cpp.o"
+  "CMakeFiles/ht_patch.dir/config_file.cpp.o.d"
+  "CMakeFiles/ht_patch.dir/patch.cpp.o"
+  "CMakeFiles/ht_patch.dir/patch.cpp.o.d"
+  "CMakeFiles/ht_patch.dir/patch_table.cpp.o"
+  "CMakeFiles/ht_patch.dir/patch_table.cpp.o.d"
+  "libht_patch.a"
+  "libht_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/progmodel/builder.cpp" "src/progmodel/CMakeFiles/ht_progmodel.dir/builder.cpp.o" "gcc" "src/progmodel/CMakeFiles/ht_progmodel.dir/builder.cpp.o.d"
+  "/root/repo/src/progmodel/interpreter.cpp" "src/progmodel/CMakeFiles/ht_progmodel.dir/interpreter.cpp.o" "gcc" "src/progmodel/CMakeFiles/ht_progmodel.dir/interpreter.cpp.o.d"
+  "/root/repo/src/progmodel/printer.cpp" "src/progmodel/CMakeFiles/ht_progmodel.dir/printer.cpp.o" "gcc" "src/progmodel/CMakeFiles/ht_progmodel.dir/printer.cpp.o.d"
+  "/root/repo/src/progmodel/program_io.cpp" "src/progmodel/CMakeFiles/ht_progmodel.dir/program_io.cpp.o" "gcc" "src/progmodel/CMakeFiles/ht_progmodel.dir/program_io.cpp.o.d"
+  "/root/repo/src/progmodel/random_program.cpp" "src/progmodel/CMakeFiles/ht_progmodel.dir/random_program.cpp.o" "gcc" "src/progmodel/CMakeFiles/ht_progmodel.dir/random_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_progmodel.dir/builder.cpp.o"
+  "CMakeFiles/ht_progmodel.dir/builder.cpp.o.d"
+  "CMakeFiles/ht_progmodel.dir/interpreter.cpp.o"
+  "CMakeFiles/ht_progmodel.dir/interpreter.cpp.o.d"
+  "CMakeFiles/ht_progmodel.dir/printer.cpp.o"
+  "CMakeFiles/ht_progmodel.dir/printer.cpp.o.d"
+  "CMakeFiles/ht_progmodel.dir/program_io.cpp.o"
+  "CMakeFiles/ht_progmodel.dir/program_io.cpp.o.d"
+  "CMakeFiles/ht_progmodel.dir/random_program.cpp.o"
+  "CMakeFiles/ht_progmodel.dir/random_program.cpp.o.d"
+  "libht_progmodel.a"
+  "libht_progmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_progmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaptherapy_preload.dir/preload.cpp.o"
+  "CMakeFiles/heaptherapy_preload.dir/preload.cpp.o.d"
+  "libheaptherapy_preload.pdb"
+  "libheaptherapy_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaptherapy_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_runtime.dir/guarded_allocator.cpp.o"
+  "CMakeFiles/ht_runtime.dir/guarded_allocator.cpp.o.d"
+  "CMakeFiles/ht_runtime.dir/guarded_backend.cpp.o"
+  "CMakeFiles/ht_runtime.dir/guarded_backend.cpp.o.d"
+  "CMakeFiles/ht_runtime.dir/metadata.cpp.o"
+  "CMakeFiles/ht_runtime.dir/metadata.cpp.o.d"
+  "CMakeFiles/ht_runtime.dir/underlying.cpp.o"
+  "CMakeFiles/ht_runtime.dir/underlying.cpp.o.d"
+  "libht_runtime.a"
+  "libht_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shadow/shadow_memory.cpp" "src/shadow/CMakeFiles/ht_shadow.dir/shadow_memory.cpp.o" "gcc" "src/shadow/CMakeFiles/ht_shadow.dir/shadow_memory.cpp.o.d"
+  "/root/repo/src/shadow/sim_heap.cpp" "src/shadow/CMakeFiles/ht_shadow.dir/sim_heap.cpp.o" "gcc" "src/shadow/CMakeFiles/ht_shadow.dir/sim_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/progmodel/CMakeFiles/ht_progmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_shadow.dir/shadow_memory.cpp.o"
+  "CMakeFiles/ht_shadow.dir/shadow_memory.cpp.o.d"
+  "CMakeFiles/ht_shadow.dir/sim_heap.cpp.o"
+  "CMakeFiles/ht_shadow.dir/sim_heap.cpp.o.d"
+  "libht_shadow.a"
+  "libht_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

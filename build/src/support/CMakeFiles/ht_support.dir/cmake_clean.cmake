@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_support.dir/hash.cpp.o"
+  "CMakeFiles/ht_support.dir/hash.cpp.o.d"
+  "CMakeFiles/ht_support.dir/rng.cpp.o"
+  "CMakeFiles/ht_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ht_support.dir/rss.cpp.o"
+  "CMakeFiles/ht_support.dir/rss.cpp.o.d"
+  "CMakeFiles/ht_support.dir/stats.cpp.o"
+  "CMakeFiles/ht_support.dir/stats.cpp.o.d"
+  "CMakeFiles/ht_support.dir/str.cpp.o"
+  "CMakeFiles/ht_support.dir/str.cpp.o.d"
+  "libht_support.a"
+  "libht_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

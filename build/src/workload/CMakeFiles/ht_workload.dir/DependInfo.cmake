@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/alloc_trace.cpp" "src/workload/CMakeFiles/ht_workload.dir/alloc_trace.cpp.o" "gcc" "src/workload/CMakeFiles/ht_workload.dir/alloc_trace.cpp.o.d"
+  "/root/repo/src/workload/service_workload.cpp" "src/workload/CMakeFiles/ht_workload.dir/service_workload.cpp.o" "gcc" "src/workload/CMakeFiles/ht_workload.dir/service_workload.cpp.o.d"
+  "/root/repo/src/workload/spec_profiles.cpp" "src/workload/CMakeFiles/ht_workload.dir/spec_profiles.cpp.o" "gcc" "src/workload/CMakeFiles/ht_workload.dir/spec_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ht_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/patch/CMakeFiles/ht_patch.dir/DependInfo.cmake"
+  "/root/repo/build/src/progmodel/CMakeFiles/ht_progmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

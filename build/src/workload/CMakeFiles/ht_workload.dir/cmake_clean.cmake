@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_workload.dir/alloc_trace.cpp.o"
+  "CMakeFiles/ht_workload.dir/alloc_trace.cpp.o.d"
+  "CMakeFiles/ht_workload.dir/service_workload.cpp.o"
+  "CMakeFiles/ht_workload.dir/service_workload.cpp.o.d"
+  "CMakeFiles/ht_workload.dir/spec_profiles.cpp.o"
+  "CMakeFiles/ht_workload.dir/spec_profiles.cpp.o.d"
+  "libht_workload.a"
+  "libht_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cce/call_graph_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/call_graph_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/call_graph_test.cpp.o.d"
+  "/root/repo/tests/cce/encoders_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/encoders_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/encoders_test.cpp.o.d"
+  "/root/repo/tests/cce/plan_io_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/plan_io_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/plan_io_test.cpp.o.d"
+  "/root/repo/tests/cce/property_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/property_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/property_test.cpp.o.d"
+  "/root/repo/tests/cce/scale_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/scale_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/scale_test.cpp.o.d"
+  "/root/repo/tests/cce/strategies_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/strategies_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/strategies_test.cpp.o.d"
+  "/root/repo/tests/cce/targeted_decoder_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/targeted_decoder_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/targeted_decoder_test.cpp.o.d"
+  "/root/repo/tests/cce/verify_test.cpp" "tests/cce/CMakeFiles/test_cce.dir/verify_test.cpp.o" "gcc" "tests/cce/CMakeFiles/test_cce.dir/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

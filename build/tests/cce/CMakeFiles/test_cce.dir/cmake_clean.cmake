@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cce.dir/call_graph_test.cpp.o"
+  "CMakeFiles/test_cce.dir/call_graph_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/encoders_test.cpp.o"
+  "CMakeFiles/test_cce.dir/encoders_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/plan_io_test.cpp.o"
+  "CMakeFiles/test_cce.dir/plan_io_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/property_test.cpp.o"
+  "CMakeFiles/test_cce.dir/property_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/scale_test.cpp.o"
+  "CMakeFiles/test_cce.dir/scale_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/strategies_test.cpp.o"
+  "CMakeFiles/test_cce.dir/strategies_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/targeted_decoder_test.cpp.o"
+  "CMakeFiles/test_cce.dir/targeted_decoder_test.cpp.o.d"
+  "CMakeFiles/test_cce.dir/verify_test.cpp.o"
+  "CMakeFiles/test_cce.dir/verify_test.cpp.o.d"
+  "test_cce"
+  "test_cce.pdb"
+  "test_cce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus.dir/corpus_test.cpp.o"
+  "CMakeFiles/test_corpus.dir/corpus_test.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/effectiveness_test.cpp.o"
+  "CMakeFiles/test_corpus.dir/effectiveness_test.cpp.o.d"
+  "CMakeFiles/test_corpus.dir/extended_corpus_test.cpp.o"
+  "CMakeFiles/test_corpus.dir/extended_corpus_test.cpp.o.d"
+  "test_corpus"
+  "test_corpus.pdb"
+  "test_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

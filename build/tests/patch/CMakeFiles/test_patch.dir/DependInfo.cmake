@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/patch/config_file_test.cpp" "tests/patch/CMakeFiles/test_patch.dir/config_file_test.cpp.o" "gcc" "tests/patch/CMakeFiles/test_patch.dir/config_file_test.cpp.o.d"
+  "/root/repo/tests/patch/differential_test.cpp" "tests/patch/CMakeFiles/test_patch.dir/differential_test.cpp.o" "gcc" "tests/patch/CMakeFiles/test_patch.dir/differential_test.cpp.o.d"
+  "/root/repo/tests/patch/patch_table_test.cpp" "tests/patch/CMakeFiles/test_patch.dir/patch_table_test.cpp.o" "gcc" "tests/patch/CMakeFiles/test_patch.dir/patch_table_test.cpp.o.d"
+  "/root/repo/tests/patch/patch_test.cpp" "tests/patch/CMakeFiles/test_patch.dir/patch_test.cpp.o" "gcc" "tests/patch/CMakeFiles/test_patch.dir/patch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/patch/CMakeFiles/ht_patch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

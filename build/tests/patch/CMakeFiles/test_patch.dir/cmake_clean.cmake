@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patch.dir/config_file_test.cpp.o"
+  "CMakeFiles/test_patch.dir/config_file_test.cpp.o.d"
+  "CMakeFiles/test_patch.dir/differential_test.cpp.o"
+  "CMakeFiles/test_patch.dir/differential_test.cpp.o.d"
+  "CMakeFiles/test_patch.dir/patch_table_test.cpp.o"
+  "CMakeFiles/test_patch.dir/patch_table_test.cpp.o.d"
+  "CMakeFiles/test_patch.dir/patch_test.cpp.o"
+  "CMakeFiles/test_patch.dir/patch_test.cpp.o.d"
+  "test_patch"
+  "test_patch.pdb"
+  "test_patch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

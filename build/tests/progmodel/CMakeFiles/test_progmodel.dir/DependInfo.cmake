@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/progmodel/builder_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/builder_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/progmodel/interpreter_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/interpreter_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/interpreter_test.cpp.o.d"
+  "/root/repo/tests/progmodel/printer_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/printer_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/printer_test.cpp.o.d"
+  "/root/repo/tests/progmodel/program_io_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/program_io_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/program_io_test.cpp.o.d"
+  "/root/repo/tests/progmodel/random_program_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/random_program_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/random_program_test.cpp.o.d"
+  "/root/repo/tests/progmodel/stack_walk_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/stack_walk_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/stack_walk_test.cpp.o.d"
+  "/root/repo/tests/progmodel/values_test.cpp" "tests/progmodel/CMakeFiles/test_progmodel.dir/values_test.cpp.o" "gcc" "tests/progmodel/CMakeFiles/test_progmodel.dir/values_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/progmodel/CMakeFiles/ht_progmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/ht_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/ht_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ht_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ht_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/patch/CMakeFiles/ht_patch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progmodel.dir/builder_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/builder_test.cpp.o.d"
+  "CMakeFiles/test_progmodel.dir/interpreter_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/interpreter_test.cpp.o.d"
+  "CMakeFiles/test_progmodel.dir/printer_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/printer_test.cpp.o.d"
+  "CMakeFiles/test_progmodel.dir/program_io_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/program_io_test.cpp.o.d"
+  "CMakeFiles/test_progmodel.dir/random_program_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/random_program_test.cpp.o.d"
+  "CMakeFiles/test_progmodel.dir/stack_walk_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/stack_walk_test.cpp.o.d"
+  "CMakeFiles/test_progmodel.dir/values_test.cpp.o"
+  "CMakeFiles/test_progmodel.dir/values_test.cpp.o.d"
+  "test_progmodel"
+  "test_progmodel.pdb"
+  "test_progmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/allocator_fuzz_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/allocator_fuzz_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/allocator_fuzz_test.cpp.o.d"
+  "/root/repo/tests/runtime/extensions_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/extensions_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/runtime/guarded_allocator_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/guarded_allocator_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/guarded_allocator_test.cpp.o.d"
+  "/root/repo/tests/runtime/guarded_backend_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/guarded_backend_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/guarded_backend_test.cpp.o.d"
+  "/root/repo/tests/runtime/locked_allocator_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/locked_allocator_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/locked_allocator_test.cpp.o.d"
+  "/root/repo/tests/runtime/metadata_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/metadata_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/metadata_test.cpp.o.d"
+  "/root/repo/tests/runtime/quarantine_test.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/quarantine_test.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/quarantine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ht_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/patch/CMakeFiles/ht_patch.dir/DependInfo.cmake"
+  "/root/repo/build/src/progmodel/CMakeFiles/ht_progmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

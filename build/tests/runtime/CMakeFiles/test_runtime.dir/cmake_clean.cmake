@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/allocator_fuzz_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/allocator_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/extensions_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/guarded_allocator_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/guarded_allocator_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/guarded_backend_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/guarded_backend_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/locked_allocator_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/locked_allocator_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/metadata_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/metadata_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/quarantine_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/quarantine_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

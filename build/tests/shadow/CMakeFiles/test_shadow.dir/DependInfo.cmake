@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shadow/leak_and_pending_test.cpp" "tests/shadow/CMakeFiles/test_shadow.dir/leak_and_pending_test.cpp.o" "gcc" "tests/shadow/CMakeFiles/test_shadow.dir/leak_and_pending_test.cpp.o.d"
+  "/root/repo/tests/shadow/shadow_memory_property_test.cpp" "tests/shadow/CMakeFiles/test_shadow.dir/shadow_memory_property_test.cpp.o" "gcc" "tests/shadow/CMakeFiles/test_shadow.dir/shadow_memory_property_test.cpp.o.d"
+  "/root/repo/tests/shadow/shadow_memory_test.cpp" "tests/shadow/CMakeFiles/test_shadow.dir/shadow_memory_test.cpp.o" "gcc" "tests/shadow/CMakeFiles/test_shadow.dir/shadow_memory_test.cpp.o.d"
+  "/root/repo/tests/shadow/sim_heap_property_test.cpp" "tests/shadow/CMakeFiles/test_shadow.dir/sim_heap_property_test.cpp.o" "gcc" "tests/shadow/CMakeFiles/test_shadow.dir/sim_heap_property_test.cpp.o.d"
+  "/root/repo/tests/shadow/sim_heap_test.cpp" "tests/shadow/CMakeFiles/test_shadow.dir/sim_heap_test.cpp.o" "gcc" "tests/shadow/CMakeFiles/test_shadow.dir/sim_heap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  "/root/repo/build/src/shadow/CMakeFiles/ht_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/progmodel/CMakeFiles/ht_progmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow.dir/leak_and_pending_test.cpp.o"
+  "CMakeFiles/test_shadow.dir/leak_and_pending_test.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow_memory_property_test.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow_memory_property_test.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/shadow_memory_test.cpp.o"
+  "CMakeFiles/test_shadow.dir/shadow_memory_test.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/sim_heap_property_test.cpp.o"
+  "CMakeFiles/test_shadow.dir/sim_heap_property_test.cpp.o.d"
+  "CMakeFiles/test_shadow.dir/sim_heap_test.cpp.o"
+  "CMakeFiles/test_shadow.dir/sim_heap_test.cpp.o.d"
+  "test_shadow"
+  "test_shadow.pdb"
+  "test_shadow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/hash_test.cpp" "tests/support/CMakeFiles/test_support.dir/hash_test.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/hash_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/support/CMakeFiles/test_support.dir/rng_test.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/support/rss_test.cpp" "tests/support/CMakeFiles/test_support.dir/rss_test.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/rss_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/support/CMakeFiles/test_support.dir/stats_test.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/support/str_test.cpp" "tests/support/CMakeFiles/test_support.dir/str_test.cpp.o" "gcc" "tests/support/CMakeFiles/test_support.dir/str_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ht_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cce/CMakeFiles/ht_cce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

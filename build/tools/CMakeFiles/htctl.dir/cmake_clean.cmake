@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htctl.dir/htctl.cpp.o"
+  "CMakeFiles/htctl.dir/htctl.cpp.o.d"
+  "htctl"
+  "htctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for htctl.
+# This may be replaced when dependencies are built.

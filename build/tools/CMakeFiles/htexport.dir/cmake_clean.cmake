@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htexport.dir/htexport.cpp.o"
+  "CMakeFiles/htexport.dir/htexport.cpp.o.d"
+  "htexport"
+  "htexport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htexport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htrun.dir/htrun.cpp.o"
+  "CMakeFiles/htrun.dir/htrun.cpp.o.d"
+  "htrun"
+  "htrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
