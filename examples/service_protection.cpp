@@ -123,5 +123,27 @@ int main() {
   std::printf(
       "\noperator's choice per context: fault-on-touch (guard page) or\n"
       "detect-on-free (canary) — both deployed by editing a config file.\n");
+
+  // Deployment reality check: an LD_PRELOAD'd service does NOT get one
+  // allocator per thread — interposing malloc hands the whole process one
+  // shared allocator. How that allocator synchronizes decides whether
+  // protection scales (docs/CONCURRENCY.md):
+  std::printf("\nshared-allocator deployment (what LD_PRELOAD actually gives you):\n");
+  workload::ServiceConfig locked_cfg = base;
+  locked_cfg.mode = workload::AllocatorMode::kSharedLocked;
+  locked_cfg.patches = &table;
+  const double rps_locked = throughput(locked_cfg);
+  std::printf("  one global lock:               %10.0f req/s  (%+.1f%%)\n",
+              rps_locked, (rps_locked / rps_native - 1) * 100);
+
+  workload::ServiceConfig sharded_cfg = base;
+  sharded_cfg.mode = workload::AllocatorMode::kSharedSharded;
+  sharded_cfg.patches = &table;
+  const double rps_sharded = throughput(sharded_cfg);
+  std::printf("  sharded (per-shard locks):     %10.0f req/s  (%+.1f%%)\n",
+              rps_sharded, (rps_sharded / rps_native - 1) * 100);
+  std::printf(
+      "\nthe preload shim ships the sharded architecture; ht_mt_scaling\n"
+      "sweeps the gap across thread counts.\n");
   return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds the project with HT_SANITIZE=thread and runs the concurrency-
+# sensitive test suites (runtime allocators/quarantine/sharding + the
+# multi-threaded service workload) under ThreadSanitizer. CI-friendly:
+# exits non-zero on any build failure, test failure, or TSan report.
+#
+# Usage: scripts/tsan_tests.sh [build-dir] [suite...]
+#   build-dir  defaults to build-tsan (kept separate from the normal build)
+#   suite...   gtest binaries to run, defaults to: test_runtime test_workload
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+shift $(( $# > 0 ? 1 : 0 ))
+SUITES=("${@:-test_runtime}" )
+if [ $# -eq 0 ]; then SUITES=(test_runtime test_workload); fi
+
+cmake -B "$BUILD_DIR" -S . -DHT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${SUITES[@]}"
+
+# halt_on_error makes any race fail the run (TSan's default exit code is 66);
+# second_deadlock_stack improves lock-inversion reports.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+for suite in "${SUITES[@]}"; do
+  # The gtest binaries are run directly (not via ctest): gtest_discover_tests
+  # registers per-test names, so a suite-level ctest -R can silently match
+  # nothing — running the binary makes "zero tests" impossible to miss.
+  binary="$(find "$BUILD_DIR/tests" -type f -name "$suite" | head -n1)"
+  if [ -z "$binary" ]; then
+    echo "error: suite binary '$suite' not found under $BUILD_DIR/tests" >&2
+    exit 1
+  fi
+  echo "== $suite (under TSan) =="
+  "$binary"
+done
+echo "TSan suite passed: ${SUITES[*]}"

@@ -1,0 +1,39 @@
+#include "patch/decision_cache.hpp"
+
+#include "support/hash.hpp"
+
+namespace ht::patch {
+
+std::uint8_t DecisionCache::lookup(const PatchTable& table, progmodel::AllocFn fn,
+                                   std::uint64_t ccid) noexcept {
+  const std::uint64_t key =
+      support::mix64(ccid ^ (static_cast<std::uint64_t>(fn) << 56));
+  Entry& e = entries_[static_cast<std::size_t>(key) & (kEntries - 1)];
+  const std::uint64_t generation = table.generation();
+  if (e.generation == generation && e.ccid == ccid &&
+      e.fn == static_cast<std::uint8_t>(fn)) {
+    ++hits_;
+    return e.mask;
+  }
+  ++misses_;
+  const std::uint8_t mask = table.lookup(fn, ccid);
+  e.generation = generation;
+  e.ccid = ccid;
+  e.fn = static_cast<std::uint8_t>(fn);
+  e.mask = mask;
+  return mask;
+}
+
+void DecisionCache::clear() noexcept {
+  for (Entry& e : entries_) e = Entry{};
+  hits_ = misses_ = 0;
+}
+
+DecisionCache& DecisionCache::for_current_thread() noexcept {
+  // Zero-initialized POD: constant-initialized TLS, no dynamic constructor,
+  // no guard variable — safe inside the interposed allocation path.
+  thread_local DecisionCache cache;
+  return cache;
+}
+
+}  // namespace ht::patch

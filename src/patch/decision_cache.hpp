@@ -1,0 +1,61 @@
+// Thread-local memoization of {FUN, CCID} -> defense-decision lookups.
+//
+// The patch table is immutable after construction (and frozen read-only in
+// deployment), so a lookup result can be cached indefinitely. Real services
+// allocate from a small working set of calling contexts — the same handful
+// of CCIDs repeats millions of times — which makes even a tiny direct-mapped
+// cache hit on almost every allocation. Because the cache is thread-local it
+// adds zero sharing to the hot path: no atomics, no locks, no cache-line
+// ping-pong between cores. Entries are keyed on PatchTable::generation()
+// (process-unique, never reused), so a table destroyed and replaced by a new
+// one at the same address can never satisfy a stale entry.
+//
+// The cache is plain zero-initialized POD: safe to use from the LD_PRELOAD
+// shim, where thread_local objects with dynamic constructors could recurse
+// into the interposed malloc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "patch/patch_table.hpp"
+
+namespace ht::patch {
+
+class DecisionCache {
+ public:
+  /// Direct-mapped entry count; power of two. 256 entries cover far more
+  /// distinct allocation contexts than a service's hot working set.
+  static constexpr std::size_t kEntries = 256;
+
+  /// Memoized PatchTable::lookup. Exact same result as the table's own
+  /// lookup, amortized to one predicted-taken compare on repeat contexts.
+  [[nodiscard]] std::uint8_t lookup(const PatchTable& table,
+                                    progmodel::AllocFn fn,
+                                    std::uint64_t ccid) noexcept;
+
+  /// Forget everything (test aid).
+  void clear() noexcept;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  /// The calling thread's cache. One instance per thread, shared by every
+  /// allocator on that thread (entries are generation-keyed, so allocators
+  /// over different tables coexist in it without cross-talk).
+  [[nodiscard]] static DecisionCache& for_current_thread() noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;  ///< 0 = empty
+    std::uint64_t ccid = 0;
+    std::uint8_t fn = 0;
+    std::uint8_t mask = 0;
+  };
+
+  Entry entries_[kEntries];
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ht::patch

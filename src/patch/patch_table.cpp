@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <atomic>
 #include <cstring>
 #include <new>
 #include <utility>
@@ -18,6 +19,12 @@ std::size_t round_up_pow2(std::size_t n) {
   return p;
 }
 
+std::uint64_t next_generation() noexcept {
+  // Starts at 1: generation 0 is the DecisionCache's "empty entry" marker.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 std::uint64_t PatchTable::slot_hash(progmodel::AllocFn fn,
@@ -29,7 +36,8 @@ std::uint64_t PatchTable::slot_hash(progmodel::AllocFn fn,
   return h == 0 ? 1 : h;  // reserve 0 for "empty slot"
 }
 
-PatchTable::PatchTable(const std::vector<Patch>& patches, bool freeze) {
+PatchTable::PatchTable(const std::vector<Patch>& patches, bool freeze)
+    : generation_(next_generation()) {
   // Low load factor (<= 25%) keeps probe sequences short on the hot path.
   buckets_ = round_up_pow2(patches.size() * 4 + 8);
   const std::size_t bytes = buckets_ * sizeof(Slot);
@@ -100,6 +108,7 @@ void PatchTable::release() noexcept {
   }
   slots_ = nullptr;
   buckets_ = count_ = mapped_bytes_ = 0;
+  generation_ = 0;
   frozen_ = false;
 }
 
@@ -110,6 +119,7 @@ PatchTable::PatchTable(PatchTable&& other) noexcept
       buckets_(std::exchange(other.buckets_, 0)),
       count_(std::exchange(other.count_, 0)),
       mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      generation_(std::exchange(other.generation_, 0)),
       frozen_(std::exchange(other.frozen_, false)) {}
 
 PatchTable& PatchTable::operator=(PatchTable&& other) noexcept {
@@ -119,6 +129,7 @@ PatchTable& PatchTable::operator=(PatchTable&& other) noexcept {
     buckets_ = std::exchange(other.buckets_, 0);
     count_ = std::exchange(other.count_, 0);
     mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    generation_ = std::exchange(other.generation_, 0);
     frozen_ = std::exchange(other.frozen_, false);
   }
   return *this;

@@ -40,6 +40,12 @@ class PatchTable {
   [[nodiscard]] bool frozen() const noexcept { return frozen_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
+  /// Process-unique, never-reused id assigned at construction (moves carry
+  /// it along). Memoization layers (DecisionCache) key cached decisions on
+  /// this instead of the table address, so a new table constructed at a
+  /// recycled address can never satisfy a stale cache entry. Never 0.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
  private:
   struct Slot {
     std::uint64_t key_hash = 0;  ///< 0 = empty (hash is forced non-zero)
@@ -56,6 +62,7 @@ class PatchTable {
   std::size_t buckets_ = 0;   ///< power of two
   std::size_t count_ = 0;
   std::size_t mapped_bytes_ = 0;  ///< nonzero iff mmap-backed
+  std::uint64_t generation_ = 0;
   bool frozen_ = false;
 };
 

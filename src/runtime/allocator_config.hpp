@@ -1,0 +1,70 @@
+// Defense configuration and per-allocator statistics, shared by every
+// allocator front end (GuardedAllocator, LockedAllocator, ShardedAllocator).
+//
+// AllocatorStats is deliberately a plain struct of plain counters: each
+// execution context (a single-threaded allocator, or one shard of a sharded
+// allocator) owns a private instance it bumps without synchronization, and
+// snapshots merge the instances. Keeping the hot path free of shared
+// counters is a load-bearing design rule — a single process-wide atomic
+// counter would put every allocating core on one cache line.
+#pragma once
+
+#include <cstdint>
+
+namespace ht::runtime {
+
+struct GuardedAllocatorConfig {
+  std::uint64_t quarantine_quota_bytes = 16ULL << 20;  ///< online FIFO quota
+  /// Interposition-only mode: forward straight to the underlying allocator
+  /// with no metadata or table lookup. This isolates the pure interception
+  /// cost (the 1.9% bar of Fig. 8).
+  bool forward_only = false;
+  /// Allow disabling real mprotect guard pages (for constrained
+  /// environments); overflow patches then degrade to the canary defense
+  /// below (when enabled) or metadata-only.
+  bool use_guard_pages = true;
+
+  // ---- Extensions beyond the paper (ablatable; see DESIGN.md) ----
+  /// Fill quarantined UAF buffers with kPoisonByte so a dangling *read*
+  /// returns poison rather than stale data (the paper's quarantine defers
+  /// reuse but leaves contents intact).
+  bool poison_quarantine = false;
+  /// Plant a trailing canary word in overflow-patched buffers and verify
+  /// it on free — a HeapTherapy-2015-style detect-on-free fallback that
+  /// works where guard pages are unavailable or too expensive.
+  bool use_canaries = false;
+  /// Memoize {FUN, CCID} -> mask lookups in a thread-local cache in front
+  /// of the read-only patch table (sound because tables are immutable;
+  /// ablatable to measure the raw table-lookup cost).
+  bool memoize_decisions = true;
+
+  static constexpr std::uint8_t kPoisonByte = 0xDE;
+};
+
+struct AllocatorStats {
+  std::uint64_t interceptions = 0;   ///< every allocation-family call
+  std::uint64_t enhanced = 0;        ///< allocations that matched a patch
+  std::uint64_t guard_pages = 0;     ///< guard pages installed
+  std::uint64_t zero_fills = 0;      ///< uninit-read zero-fill defenses
+  std::uint64_t quarantined_frees = 0;
+  std::uint64_t plain_frees = 0;
+  std::uint64_t failed_guards = 0;   ///< mprotect failures (degraded)
+  std::uint64_t canaries_planted = 0;        ///< extension: canary defense
+  std::uint64_t canary_overflows_on_free = 0;  ///< overflow detected at free
+
+  /// Accumulates another context's counters (shard merge on snapshot).
+  AllocatorStats& operator+=(const AllocatorStats& other) noexcept {
+    interceptions += other.interceptions;
+    enhanced += other.enhanced;
+    guard_pages += other.guard_pages;
+    zero_fills += other.zero_fills;
+    quarantined_frees += other.quarantined_frees;
+    plain_frees += other.plain_frees;
+    failed_guards += other.failed_guards;
+    canaries_planted += other.canaries_planted;
+    canary_overflows_on_free += other.canary_overflows_on_free;
+    return *this;
+  }
+};
+
+}  // namespace ht::runtime

@@ -1,0 +1,238 @@
+#include "runtime/defense_engine.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+
+#include "patch/decision_cache.hpp"
+#include "support/hash.hpp"
+
+namespace ht::runtime {
+
+using progmodel::AllocFn;
+
+DefenseEngine::DefenseEngine(const patch::PatchTable* patches,
+                             GuardedAllocatorConfig config,
+                             UnderlyingAllocator underlying)
+    : patches_(patches), config_(config), underlying_(underlying) {}
+
+std::uint64_t DefenseEngine::read_word(const void* user) noexcept {
+  std::uint64_t word;
+  std::memcpy(&word, static_cast<const char*>(user) - sizeof(word), sizeof(word));
+  return word;
+}
+
+std::uint64_t DefenseEngine::tag_for(const void* user) noexcept {
+  // Pointer-dependent so a foreign heap byte pattern cannot collide except
+  // with ~2^-64 probability.
+  return support::mix64(reinterpret_cast<std::uint64_t>(user) ^
+                        0x4854502b5441474cULL);  // "HTP+TAGL"
+}
+
+std::uint64_t DefenseEngine::canary_for(const void* user) noexcept {
+  return support::mix64(reinterpret_cast<std::uint64_t>(user) ^
+                        0x43414e4152592b21ULL);  // "CANARY+!"
+}
+
+// The ownership probe DELIBERATELY reads the 16 bytes before the user
+// pointer. For our own buffers that is the header tag; for foreign pointers
+// (pre-interposition or another allocator's) it lands outside the
+// allocation — usually in the underlying allocator's chunk header — and the
+// pointer-dependent tag makes a false positive a ~2^-64 event. That
+// out-of-bounds read is the price of recognizing foreign frees under
+// LD_PRELOAD (DESIGN.md §5b), so sanitizers are told to look away here and
+// only here: the probed bytes are mapped (same page or the preceding
+// heap-managed bytes), but ASan/TSan shadow state may mark them redzone or
+// freed. The byte loop with volatile keeps the compiler from re-forming a
+// (sanitizer-intercepted) memcpy call.
+#if defined(__has_attribute)
+#if __has_attribute(no_sanitize)
+__attribute__((no_sanitize("address"))) __attribute__((no_sanitize("thread")))
+#endif
+#endif
+bool DefenseEngine::owns(const void* p) noexcept {
+  const volatile unsigned char* bytes =
+      static_cast<const unsigned char*>(p) - 2 * sizeof(std::uint64_t);
+  std::uint64_t tag = 0;
+  for (std::size_t i = 0; i < sizeof(tag); ++i) {
+    tag |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return tag == tag_for(p);
+}
+
+void* DefenseEngine::raw_of(void* user, const MetadataWord& meta) noexcept {
+  const std::uint64_t header =
+      meta.aligned ? (1ULL << meta.align_log2) : kPlainHeader;
+  return static_cast<char*>(user) - header;
+}
+
+std::uint8_t DefenseEngine::lookup_mask(AllocFn fn, std::uint64_t ccid) const noexcept {
+  if (patches_ == nullptr) return 0;
+  if (config_.memoize_decisions) {
+    return patch::DecisionCache::for_current_thread().lookup(*patches_, fn, ccid);
+  }
+  return patches_->lookup(fn, ccid);
+}
+
+void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
+                              std::uint64_t alignment, std::uint64_t ccid,
+                              AllocatorStats& stats) const {
+  ++stats.interceptions;
+  if (config_.forward_only) {
+    return alignment > 0 ? underlying_.memalign_fn(alignment, size)
+                         : underlying_.malloc_fn(size);
+  }
+
+  const std::uint8_t mask = lookup_mask(fn, ccid);
+  bool guard = (mask & patch::kOverflow) != 0 && config_.use_guard_pages;
+  const bool canary =
+      (mask & patch::kOverflow) != 0 && !guard && config_.use_canaries;
+
+  const std::uint64_t norm_align = normalize_alignment(alignment);
+  const BufferLayout layout = compute_layout(size, alignment, guard, canary);
+  char* raw = static_cast<char*>(
+      layout.raw_alignment > 0
+          ? underlying_.memalign_fn(layout.raw_alignment, layout.raw_size)
+          : underlying_.malloc_fn(layout.raw_size));
+  if (raw == nullptr) return nullptr;
+  char* user = raw + layout.user_offset;
+
+  MetadataWord meta;
+  meta.aligned = norm_align > 0;
+  meta.align_log2 = meta.aligned ? log2_u64(norm_align) : 0;
+
+  if (guard) {
+    const std::uint64_t guard_addr =
+        guard_page_address(reinterpret_cast<std::uint64_t>(user), size);
+    // The user size lives in the first word of the guard page (Fig. 6); it
+    // must be written before the page becomes inaccessible.
+    std::memcpy(reinterpret_cast<void*>(guard_addr), &size, sizeof(size));
+    if (::mprotect(reinterpret_cast<void*>(guard_addr), kPageSize, PROT_NONE) != 0) {
+      // Degrade gracefully: metadata-only protection for this buffer.
+      ++stats.failed_guards;
+      guard = false;
+    } else {
+      ++stats.guard_pages;
+      meta.vuln_mask = mask;  // includes the OVERFLOW bit
+      meta.guard_page_addr = guard_addr;
+    }
+  }
+  if (!guard) {
+    // Without a live guard page the OVERFLOW bit must stay clear: bit 0
+    // selects the metadata interpretation (guard locator vs. size field).
+    meta.vuln_mask = mask & static_cast<std::uint8_t>(~patch::kOverflow);
+    meta.user_size = size;
+    if (canary) {
+      // Detect-on-free fallback: plant a pointer-dependent canary directly
+      // after the user region.
+      meta.canary = true;
+      const std::uint64_t value = canary_for(user);
+      std::memcpy(user + size, &value, sizeof(value));
+      ++stats.canaries_planted;
+    }
+  }
+
+  if ((mask & patch::kUninitRead) != 0 && size > 0) {
+    std::memset(user, 0, size);
+    ++stats.zero_fills;
+  }
+  if (mask != 0) ++stats.enhanced;
+
+  const std::uint64_t word = encode_metadata(meta);
+  std::memcpy(user - sizeof(word), &word, sizeof(word));
+  const std::uint64_t tag = tag_for(user);
+  std::memcpy(user - 2 * sizeof(tag), &tag, sizeof(tag));
+  return user;
+}
+
+void* DefenseEngine::malloc(std::uint64_t size, std::uint64_t ccid,
+                            AllocatorStats& stats) const {
+  return allocate(AllocFn::kMalloc, size, 0, ccid, stats);
+}
+
+void* DefenseEngine::calloc(std::uint64_t count, std::uint64_t size,
+                            std::uint64_t ccid, AllocatorStats& stats) const {
+  // Overflow-checked multiply, as any production calloc must do.
+  if (size != 0 && count > UINT64_MAX / size) return nullptr;
+  const std::uint64_t total = count * size;
+  void* p = allocate(AllocFn::kCalloc, total, 0, ccid, stats);
+  if (p != nullptr && total > 0) std::memset(p, 0, total);
+  return p;
+}
+
+void* DefenseEngine::memalign(std::uint64_t alignment, std::uint64_t size,
+                              std::uint64_t ccid, AllocatorStats& stats) const {
+  return allocate(AllocFn::kMemalign, size, alignment, ccid, stats);
+}
+
+void* DefenseEngine::aligned_alloc(std::uint64_t alignment, std::uint64_t size,
+                                   std::uint64_t ccid, AllocatorStats& stats) const {
+  return allocate(AllocFn::kAlignedAlloc, size, alignment, ccid, stats);
+}
+
+void DefenseEngine::free(void* p, Quarantine& quarantine,
+                         AllocatorStats& stats) const {
+  if (p == nullptr) return;
+  if (config_.forward_only || !owns(p)) {
+    underlying_.free_fn(p);
+    return;
+  }
+  MetadataWord meta = decode_metadata(read_word(p));
+  std::uint64_t size = meta.user_size;
+  if (meta.canary) {
+    std::uint64_t found;
+    std::memcpy(&found, static_cast<char*>(p) + size, sizeof(found));
+    if (found != canary_for(p)) ++stats.canary_overflows_on_free;
+  }
+  if (meta.has_guard()) {
+    // Fig. 7 step 1: make the guard page accessible again and recover the
+    // user size from its first word.
+    ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize,
+               PROT_READ | PROT_WRITE);
+    std::memcpy(&size, reinterpret_cast<void*>(meta.guard_page_addr), sizeof(size));
+  }
+  void* raw = raw_of(p, meta);
+  if ((meta.vuln_mask & patch::kUseAfterFree) != 0 && config_.poison_quarantine &&
+      size > 0) {
+    // Extension: stale reads of the quarantined block now see poison, not
+    // leftover data.
+    std::memset(p, GuardedAllocatorConfig::kPoisonByte, size);
+  }
+  // Scrub the ownership tag: a double free of `p` then behaves like a
+  // foreign free (the underlying allocator's own double-free detection
+  // fires) instead of corrupting the quarantine.
+  const std::uint64_t zero = 0;
+  std::memcpy(static_cast<char*>(p) - 16, &zero, sizeof(zero));
+  if ((meta.vuln_mask & patch::kUseAfterFree) != 0) {
+    const BufferLayout layout =
+        compute_layout(size, meta.aligned ? (1ULL << meta.align_log2) : 0,
+                       meta.has_guard(), meta.canary);
+    quarantine.push(raw, layout.raw_size);
+    ++stats.quarantined_frees;
+  } else {
+    underlying_.free_fn(raw);
+    ++stats.plain_frees;
+  }
+}
+
+std::uint64_t DefenseEngine::user_size(void* p) const {
+  if (!owns(p)) return 0;
+  const MetadataWord meta = decode_metadata(read_word(p));
+  if (!meta.has_guard()) return meta.user_size;
+  // Briefly unprotect the guard page to read the stored size.
+  std::uint64_t size = 0;
+  ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize, PROT_READ);
+  std::memcpy(&size, reinterpret_cast<void*>(meta.guard_page_addr), sizeof(size));
+  ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize, PROT_NONE);
+  return size;
+}
+
+std::uint8_t DefenseEngine::applied_mask(const void* p) const noexcept {
+  return owns(p) ? decode_metadata(read_word(p)).vuln_mask : 0;
+}
+
+bool DefenseEngine::guard_active(const void* p) const noexcept {
+  return owns(p) && decode_metadata(read_word(p)).has_guard();
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,113 @@
+// DefenseEngine: the allocator-independent core of the online defense
+// generator (§VI), split out of GuardedAllocator so it can be embedded
+// behind any execution model — single-threaded (GuardedAllocator), globally
+// locked (LockedAllocator), or sharded (ShardedAllocator).
+//
+// The engine owns only *immutable* state: the patch table pointer, the
+// defense configuration, and the underlying-allocator seam. Every method is
+// const and touches no engine-owned mutable data, so one engine instance is
+// safe to call from any number of threads concurrently. All mutable state —
+// the defense statistics and the UAF quarantine — is passed in by the
+// caller, which is exactly what makes the logic shard-embeddable: each
+// shard hands the engine its own private stats/quarantine and provides
+// whatever synchronization its execution model needs around the call.
+//
+// Defense semantics (unchanged from the paper):
+//   - no patch match    -> plain buffer with self-maintained metadata
+//                          (Structure 1/3); cost = lookup + metadata word.
+//   - OVERFLOW patch    -> guard page appended and mprotect'ed PROT_NONE
+//                          (Structure 2/4); contiguous overflow faults.
+//   - UNINIT patch      -> user buffer zero-filled before return.
+//   - UAF patch         -> on free, the block enters the caller's FIFO
+//                          quarantine, deferring reuse.
+#pragma once
+
+#include <cstdint>
+
+#include "patch/patch_table.hpp"
+#include "progmodel/values.hpp"
+#include "runtime/allocator_config.hpp"
+#include "runtime/metadata.hpp"
+#include "runtime/quarantine.hpp"
+#include "runtime/underlying.hpp"
+
+namespace ht::runtime {
+
+class DefenseEngine {
+ public:
+  /// `patches` may be null (no patches installed). The table must outlive
+  /// the engine.
+  explicit DefenseEngine(const patch::PatchTable* patches = nullptr,
+                         GuardedAllocatorConfig config = {},
+                         UnderlyingAllocator underlying = process_allocator());
+
+  // The allocation family. `ccid` is the current calling-context id (read
+  // from the encoding register by the interposition layer); `stats` is the
+  // calling context's private counter block.
+  [[nodiscard]] void* malloc(std::uint64_t size, std::uint64_t ccid,
+                             AllocatorStats& stats) const;
+  [[nodiscard]] void* calloc(std::uint64_t count, std::uint64_t size,
+                             std::uint64_t ccid, AllocatorStats& stats) const;
+  [[nodiscard]] void* memalign(std::uint64_t alignment, std::uint64_t size,
+                               std::uint64_t ccid, AllocatorStats& stats) const;
+  [[nodiscard]] void* aligned_alloc(std::uint64_t alignment, std::uint64_t size,
+                                    std::uint64_t ccid, AllocatorStats& stats) const;
+  /// The workhorse behind the family above; public so wrappers can allocate
+  /// under an explicit AllocFn (realloc's fresh buffer).
+  [[nodiscard]] void* allocate(progmodel::AllocFn fn, std::uint64_t size,
+                               std::uint64_t alignment, std::uint64_t ccid,
+                               AllocatorStats& stats) const;
+
+  /// The free logic: canary verification, guard-page teardown, poisoning,
+  /// and the quarantine-vs-release decision. `quarantine` receives UAF-
+  /// patched blocks; owners route it (shards route by pointer hash so any
+  /// thread can free any block into a consistent shard).
+  void free(void* p, Quarantine& quarantine, AllocatorStats& stats) const;
+
+  // Introspection (reads the self-maintained metadata).
+  /// User-visible size of a live buffer. For guarded buffers this briefly
+  /// unprotects the guard page to read the stored size.
+  [[nodiscard]] std::uint64_t user_size(void* p) const;
+  /// The defense mask actually applied to this buffer.
+  [[nodiscard]] std::uint8_t applied_mask(const void* p) const noexcept;
+  /// True if the buffer currently has a PROT_NONE guard page after it.
+  [[nodiscard]] bool guard_active(const void* p) const noexcept;
+
+  /// True iff `p` carries this engine's header tag. Foreign pointers
+  /// (allocated before interposition became active, or by another
+  /// allocator) are forwarded untouched to the underlying allocator — a
+  /// requirement for LD_PRELOAD deployment, where the dynamic loader hands
+  /// us frees for memory we never saw. Tags are instance-independent, so
+  /// any engine recognizes any engine's buffers.
+  [[nodiscard]] static bool owns(const void* p) noexcept;
+
+  [[nodiscard]] const GuardedAllocatorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const UnderlyingAllocator& underlying() const noexcept {
+    return underlying_;
+  }
+  [[nodiscard]] const patch::PatchTable* patches() const noexcept {
+    return patches_;
+  }
+
+ private:
+  /// {FUN, CCID} -> mask, through the thread-local memo cache when enabled.
+  [[nodiscard]] std::uint8_t lookup_mask(progmodel::AllocFn fn,
+                                         std::uint64_t ccid) const noexcept;
+  /// Reads the metadata word of a user pointer.
+  [[nodiscard]] static std::uint64_t read_word(const void* user) noexcept;
+  /// The pointer-dependent header tag (at user-16, before the metadata
+  /// word at user-8).
+  [[nodiscard]] static std::uint64_t tag_for(const void* user) noexcept;
+  /// The pointer-dependent trailing canary value (extension).
+  [[nodiscard]] static std::uint64_t canary_for(const void* user) noexcept;
+  /// Raw block start for a user pointer given its decoded metadata.
+  [[nodiscard]] static void* raw_of(void* user, const MetadataWord& meta) noexcept;
+
+  const patch::PatchTable* patches_;
+  GuardedAllocatorConfig config_;
+  UnderlyingAllocator underlying_;
+};
+
+}  // namespace ht::runtime

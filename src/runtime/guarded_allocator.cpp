@@ -1,10 +1,6 @@
 #include "runtime/guarded_allocator.hpp"
 
-#include <sys/mman.h>
-
 #include <cstring>
-
-#include "support/hash.hpp"
 
 namespace ht::runtime {
 
@@ -13,142 +9,36 @@ using progmodel::AllocFn;
 GuardedAllocator::GuardedAllocator(const patch::PatchTable* patches,
                                    GuardedAllocatorConfig config,
                                    UnderlyingAllocator underlying)
-    : patches_(patches),
-      config_(config),
-      underlying_(underlying),
+    : engine_(patches, config, underlying),
       quarantine_(config.quarantine_quota_bytes, underlying) {}
 
 GuardedAllocator::~GuardedAllocator() = default;
 
-std::uint64_t GuardedAllocator::read_word(const void* user) noexcept {
-  std::uint64_t word;
-  std::memcpy(&word, static_cast<const char*>(user) - sizeof(word), sizeof(word));
-  return word;
-}
-
-std::uint64_t GuardedAllocator::tag_for(const void* user) noexcept {
-  // Pointer-dependent so a foreign heap byte pattern cannot collide except
-  // with ~2^-64 probability.
-  return support::mix64(reinterpret_cast<std::uint64_t>(user) ^
-                        0x4854502b5441474cULL);  // "HTP+TAGL"
-}
-
-std::uint64_t GuardedAllocator::canary_for(const void* user) noexcept {
-  return support::mix64(reinterpret_cast<std::uint64_t>(user) ^
-                        0x43414e4152592b21ULL);  // "CANARY+!"
-}
-
-bool GuardedAllocator::owns(const void* p) noexcept {
-  std::uint64_t tag;
-  std::memcpy(&tag, static_cast<const char*>(p) - 2 * sizeof(tag), sizeof(tag));
-  return tag == tag_for(p);
-}
-
-void* GuardedAllocator::raw_of(void* user, const MetadataWord& meta) noexcept {
-  const std::uint64_t header =
-      meta.aligned ? (1ULL << meta.align_log2) : kPlainHeader;
-  return static_cast<char*>(user) - header;
-}
-
-void* GuardedAllocator::allocate(AllocFn fn, std::uint64_t size,
-                                 std::uint64_t alignment, std::uint64_t ccid) {
-  ++stats_.interceptions;
-  if (config_.forward_only) {
-    return alignment > 0 ? underlying_.memalign_fn(alignment, size)
-                         : underlying_.malloc_fn(size);
-  }
-
-  const std::uint8_t mask =
-      patches_ != nullptr ? patches_->lookup(fn, ccid) : 0;
-  bool guard = (mask & patch::kOverflow) != 0 && config_.use_guard_pages;
-  const bool canary =
-      (mask & patch::kOverflow) != 0 && !guard && config_.use_canaries;
-
-  const std::uint64_t norm_align = normalize_alignment(alignment);
-  const BufferLayout layout = compute_layout(size, alignment, guard, canary);
-  char* raw = static_cast<char*>(
-      layout.raw_alignment > 0
-          ? underlying_.memalign_fn(layout.raw_alignment, layout.raw_size)
-          : underlying_.malloc_fn(layout.raw_size));
-  if (raw == nullptr) return nullptr;
-  char* user = raw + layout.user_offset;
-
-  MetadataWord meta;
-  meta.aligned = norm_align > 0;
-  meta.align_log2 = meta.aligned ? log2_u64(norm_align) : 0;
-
-  if (guard) {
-    const std::uint64_t guard_addr =
-        guard_page_address(reinterpret_cast<std::uint64_t>(user), size);
-    // The user size lives in the first word of the guard page (Fig. 6); it
-    // must be written before the page becomes inaccessible.
-    std::memcpy(reinterpret_cast<void*>(guard_addr), &size, sizeof(size));
-    if (::mprotect(reinterpret_cast<void*>(guard_addr), kPageSize, PROT_NONE) != 0) {
-      // Degrade gracefully: metadata-only protection for this buffer.
-      ++stats_.failed_guards;
-      guard = false;
-    } else {
-      ++stats_.guard_pages;
-      meta.vuln_mask = mask;  // includes the OVERFLOW bit
-      meta.guard_page_addr = guard_addr;
-    }
-  }
-  if (!guard) {
-    // Without a live guard page the OVERFLOW bit must stay clear: bit 0
-    // selects the metadata interpretation (guard locator vs. size field).
-    meta.vuln_mask = mask & static_cast<std::uint8_t>(~patch::kOverflow);
-    meta.user_size = size;
-    if (canary) {
-      // Detect-on-free fallback: plant a pointer-dependent canary directly
-      // after the user region.
-      meta.canary = true;
-      const std::uint64_t value = canary_for(user);
-      std::memcpy(user + size, &value, sizeof(value));
-      ++stats_.canaries_planted;
-    }
-  }
-
-  if ((mask & patch::kUninitRead) != 0 && size > 0) {
-    std::memset(user, 0, size);
-    ++stats_.zero_fills;
-  }
-  if (mask != 0) ++stats_.enhanced;
-
-  const std::uint64_t word = encode_metadata(meta);
-  std::memcpy(user - sizeof(word), &word, sizeof(word));
-  const std::uint64_t tag = tag_for(user);
-  std::memcpy(user - 2 * sizeof(tag), &tag, sizeof(tag));
-  return user;
-}
-
 void* GuardedAllocator::malloc(std::uint64_t size, std::uint64_t ccid) {
-  return allocate(AllocFn::kMalloc, size, 0, ccid);
+  return engine_.malloc(size, ccid, stats_);
 }
 
 void* GuardedAllocator::calloc(std::uint64_t count, std::uint64_t size,
                                std::uint64_t ccid) {
-  // Overflow-checked multiply, as any production calloc must do.
-  if (size != 0 && count > UINT64_MAX / size) return nullptr;
-  const std::uint64_t total = count * size;
-  void* p = allocate(AllocFn::kCalloc, total, 0, ccid);
-  if (p != nullptr && total > 0) std::memset(p, 0, total);
-  return p;
+  return engine_.calloc(count, size, ccid, stats_);
 }
 
 void* GuardedAllocator::memalign(std::uint64_t alignment, std::uint64_t size,
                                  std::uint64_t ccid) {
-  return allocate(AllocFn::kMemalign, size, alignment, ccid);
+  return engine_.memalign(alignment, size, ccid, stats_);
 }
 
 void* GuardedAllocator::aligned_alloc(std::uint64_t alignment, std::uint64_t size,
                                       std::uint64_t ccid) {
-  return allocate(AllocFn::kAlignedAlloc, size, alignment, ccid);
+  return engine_.aligned_alloc(alignment, size, ccid, stats_);
 }
 
 void* GuardedAllocator::realloc(void* p, std::uint64_t new_size, std::uint64_t ccid) {
-  if (p == nullptr) return allocate(AllocFn::kRealloc, new_size, 0, ccid);
-  if (config_.forward_only || !owns(p)) {
-    return underlying_.realloc_fn(p, new_size);
+  if (p == nullptr) {
+    return engine_.allocate(AllocFn::kRealloc, new_size, 0, ccid, stats_);
+  }
+  if (engine_.config().forward_only || !owns(p)) {
+    return engine_.underlying().realloc_fn(p, new_size);
   }
   if (new_size == 0) {
     free(p);
@@ -157,75 +47,13 @@ void* GuardedAllocator::realloc(void* p, std::uint64_t new_size, std::uint64_t c
   const std::uint64_t old_size = user_size(p);
   // The new buffer is allocated under the realloc-time CCID and re-screened
   // against the patch table (§V: the buffer's CCID is updated on realloc).
-  void* fresh = allocate(AllocFn::kRealloc, new_size, 0, ccid);
+  void* fresh = engine_.allocate(AllocFn::kRealloc, new_size, 0, ccid, stats_);
   if (fresh == nullptr) return nullptr;
   std::memcpy(fresh, p, old_size < new_size ? old_size : new_size);
   free(p);
   return fresh;
 }
 
-void GuardedAllocator::free(void* p) {
-  if (p == nullptr) return;
-  if (config_.forward_only || !owns(p)) {
-    underlying_.free_fn(p);
-    return;
-  }
-  MetadataWord meta = decode_metadata(read_word(p));
-  std::uint64_t size = meta.user_size;
-  if (meta.canary) {
-    std::uint64_t found;
-    std::memcpy(&found, static_cast<char*>(p) + size, sizeof(found));
-    if (found != canary_for(p)) ++stats_.canary_overflows_on_free;
-  }
-  if (meta.has_guard()) {
-    // Fig. 7 step 1: make the guard page accessible again and recover the
-    // user size from its first word.
-    ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize,
-               PROT_READ | PROT_WRITE);
-    std::memcpy(&size, reinterpret_cast<void*>(meta.guard_page_addr), sizeof(size));
-  }
-  void* raw = raw_of(p, meta);
-  if ((meta.vuln_mask & patch::kUseAfterFree) != 0 && config_.poison_quarantine &&
-      size > 0) {
-    // Extension: stale reads of the quarantined block now see poison, not
-    // leftover data.
-    std::memset(p, GuardedAllocatorConfig::kPoisonByte, size);
-  }
-  // Scrub the ownership tag: a double free of `p` then behaves like a
-  // foreign free (the underlying allocator's own double-free detection
-  // fires) instead of corrupting the quarantine.
-  const std::uint64_t zero = 0;
-  std::memcpy(static_cast<char*>(p) - 16, &zero, sizeof(zero));
-  if ((meta.vuln_mask & patch::kUseAfterFree) != 0) {
-    const BufferLayout layout =
-        compute_layout(size, meta.aligned ? (1ULL << meta.align_log2) : 0,
-                       meta.has_guard(), meta.canary);
-    quarantine_.push(raw, layout.raw_size);
-    ++stats_.quarantined_frees;
-  } else {
-    underlying_.free_fn(raw);
-    ++stats_.plain_frees;
-  }
-}
-
-std::uint64_t GuardedAllocator::user_size(void* p) const {
-  if (!owns(p)) return 0;
-  const MetadataWord meta = decode_metadata(read_word(p));
-  if (!meta.has_guard()) return meta.user_size;
-  // Briefly unprotect the guard page to read the stored size.
-  std::uint64_t size = 0;
-  ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize, PROT_READ);
-  std::memcpy(&size, reinterpret_cast<void*>(meta.guard_page_addr), sizeof(size));
-  ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize, PROT_NONE);
-  return size;
-}
-
-std::uint8_t GuardedAllocator::applied_mask(const void* p) const noexcept {
-  return owns(p) ? decode_metadata(read_word(p)).vuln_mask : 0;
-}
-
-bool GuardedAllocator::guard_active(const void* p) const noexcept {
-  return owns(p) && decode_metadata(read_word(p)).has_guard();
-}
+void GuardedAllocator::free(void* p) { engine_.free(p, quarantine_, stats_); }
 
 }  // namespace ht::runtime

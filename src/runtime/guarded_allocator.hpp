@@ -1,72 +1,28 @@
-// GuardedAllocator: the online defense generator's allocation engine (§VI).
+// GuardedAllocator: the online defense generator's allocation engine (§VI),
+// packaged for a single execution context.
 //
-// Sits in front of the underlying allocator (libc by default) and, for every
-// allocation, looks the {FUN, CCID} pair up in the read-only patch table:
-//
-//   - no match          -> plain buffer with self-maintained metadata
-//                          (Structure 1/3); the only cost is the lookup and
-//                          the metadata word.
-//   - OVERFLOW patch    -> guard page appended after the user buffer and
-//                          mprotect'ed PROT_NONE (Structure 2/4); a
-//                          contiguous overflow faults instead of corrupting.
-//   - UNINIT patch      -> user buffer zero-filled before it is returned, so
-//                          stale secrets cannot leak.
-//   - UAF patch         -> on free, the block enters a FIFO quarantine that
-//                          defers reuse (deallocation happens when the byte
-//                          quota evicts it).
-//
-// The allocator never inspects or alters the underlying allocator's
-// internals — exactly the paper's "no dependency on specific allocators".
+// The defense logic itself — patch lookup, guard pages, zero-fill, canary,
+// quarantine routing — lives in DefenseEngine (see defense_engine.hpp);
+// this class binds one engine to one private Quarantine and one private
+// AllocatorStats block, which is the whole of its job.
 //
 // Thread model: one instance is single-threaded (benches use per-thread
-// instances); the LD_PRELOAD shim serializes its global instance.
+// instances). For a shared allocator, use ShardedAllocator (scalable,
+// per-shard locking — the LD_PRELOAD shim's choice) or LockedAllocator
+// (one global lock; simple, but collapses under multi-core traffic).
 #pragma once
 
 #include <cstdint>
 
 #include "patch/patch_table.hpp"
 #include "progmodel/values.hpp"
+#include "runtime/allocator_config.hpp"
+#include "runtime/defense_engine.hpp"
 #include "runtime/metadata.hpp"
 #include "runtime/quarantine.hpp"
 #include "runtime/underlying.hpp"
 
 namespace ht::runtime {
-
-struct GuardedAllocatorConfig {
-  std::uint64_t quarantine_quota_bytes = 16ULL << 20;  ///< online FIFO quota
-  /// Interposition-only mode: forward straight to the underlying allocator
-  /// with no metadata or table lookup. This isolates the pure interception
-  /// cost (the 1.9% bar of Fig. 8).
-  bool forward_only = false;
-  /// Allow disabling real mprotect guard pages (for constrained
-  /// environments); overflow patches then degrade to the canary defense
-  /// below (when enabled) or metadata-only.
-  bool use_guard_pages = true;
-
-  // ---- Extensions beyond the paper (ablatable; see DESIGN.md) ----
-  /// Fill quarantined UAF buffers with kPoisonByte so a dangling *read*
-  /// returns poison rather than stale data (the paper's quarantine defers
-  /// reuse but leaves contents intact).
-  bool poison_quarantine = false;
-  /// Plant a trailing canary word in overflow-patched buffers and verify
-  /// it on free — a HeapTherapy-2015-style detect-on-free fallback that
-  /// works where guard pages are unavailable or too expensive.
-  bool use_canaries = false;
-
-  static constexpr std::uint8_t kPoisonByte = 0xDE;
-};
-
-struct AllocatorStats {
-  std::uint64_t interceptions = 0;   ///< every allocation-family call
-  std::uint64_t enhanced = 0;        ///< allocations that matched a patch
-  std::uint64_t guard_pages = 0;     ///< guard pages installed
-  std::uint64_t zero_fills = 0;      ///< uninit-read zero-fill defenses
-  std::uint64_t quarantined_frees = 0;
-  std::uint64_t plain_frees = 0;
-  std::uint64_t failed_guards = 0;   ///< mprotect failures (degraded)
-  std::uint64_t canaries_planted = 0;        ///< extension: canary defense
-  std::uint64_t canary_overflows_on_free = 0;  ///< overflow detected at free
-};
 
 class GuardedAllocator {
  public:
@@ -95,39 +51,31 @@ class GuardedAllocator {
   // Introspection (reads the self-maintained metadata).
   /// User-visible size of a live buffer. For guarded buffers this briefly
   /// unprotects the guard page to read the stored size.
-  [[nodiscard]] std::uint64_t user_size(void* p) const;
+  [[nodiscard]] std::uint64_t user_size(void* p) const { return engine_.user_size(p); }
   /// The defense mask actually applied to this buffer.
-  [[nodiscard]] std::uint8_t applied_mask(const void* p) const noexcept;
+  [[nodiscard]] std::uint8_t applied_mask(const void* p) const noexcept {
+    return engine_.applied_mask(p);
+  }
   /// True if the buffer currently has a PROT_NONE guard page after it.
-  [[nodiscard]] bool guard_active(const void* p) const noexcept;
+  [[nodiscard]] bool guard_active(const void* p) const noexcept {
+    return engine_.guard_active(p);
+  }
 
   [[nodiscard]] const AllocatorStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Quarantine& quarantine() const noexcept { return quarantine_; }
-  [[nodiscard]] const GuardedAllocatorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const GuardedAllocatorConfig& config() const noexcept {
+    return engine_.config();
+  }
+  [[nodiscard]] const DefenseEngine& engine() const noexcept { return engine_; }
 
-  /// True iff `p` carries this allocator's header tag. Foreign pointers
-  /// (allocated before interposition became active, or by another
-  /// allocator) are forwarded untouched to the underlying allocator — a
-  /// requirement for LD_PRELOAD deployment, where the dynamic loader hands
-  /// us frees for memory we never saw.
-  [[nodiscard]] static bool owns(const void* p) noexcept;
+  /// True iff `p` carries the defense engine's header tag (see
+  /// DefenseEngine::owns).
+  [[nodiscard]] static bool owns(const void* p) noexcept {
+    return DefenseEngine::owns(p);
+  }
 
  private:
-  [[nodiscard]] void* allocate(progmodel::AllocFn fn, std::uint64_t size,
-                               std::uint64_t alignment, std::uint64_t ccid);
-  /// Reads the metadata word of a user pointer.
-  [[nodiscard]] static std::uint64_t read_word(const void* user) noexcept;
-  /// The pointer-dependent header tag (at user-16, before the metadata
-  /// word at user-8).
-  [[nodiscard]] static std::uint64_t tag_for(const void* user) noexcept;
-  /// The pointer-dependent trailing canary value (extension).
-  [[nodiscard]] static std::uint64_t canary_for(const void* user) noexcept;
-  /// Raw block start for a user pointer given its decoded metadata.
-  [[nodiscard]] static void* raw_of(void* user, const MetadataWord& meta) noexcept;
-
-  const patch::PatchTable* patches_;
-  GuardedAllocatorConfig config_;
-  UnderlyingAllocator underlying_;
+  DefenseEngine engine_;
   Quarantine quarantine_;
   AllocatorStats stats_;
 };

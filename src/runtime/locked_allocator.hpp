@@ -1,11 +1,17 @@
 // LockedAllocator: a mutex-serialized facade over GuardedAllocator for
-// callers that share one allocator across threads (the preload shim's
-// strategy, packaged for library users).
+// callers that share one allocator across threads.
 //
-// The per-thread-instance model (used by the service workload) scales
-// better; this wrapper exists for host programs whose allocation flows
-// cannot be partitioned per thread. The lock is recursive because
-// quarantine bookkeeping inside the allocator may allocate and re-enter.
+// This is the SIMPLE shared-allocator option, kept as the baseline the
+// scalability benches measure against (bench/ht_mt_scaling): one global
+// lock serializes every malloc/free, so throughput collapses onto a single
+// core as thread count grows. Production shared-allocator callers — and
+// the LD_PRELOAD shim — should use ShardedAllocator
+// (sharded_allocator.hpp), which partitions the lock, the quarantine quota,
+// and the statistics across N shards; see docs/CONCURRENCY.md.
+//
+// The lock is recursive for historical callers that re-enter through the
+// interposed path; the allocator itself no longer allocates while holding
+// it (the quarantine is intrusive).
 #pragma once
 
 #include <mutex>

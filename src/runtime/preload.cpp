@@ -2,20 +2,30 @@
 //
 // Build product: libheaptherapy_preload.so. Loaded before libc (via
 // LD_PRELOAD or LDLIBS), its exported malloc family shadows libc's, so every
-// allocation in the host process flows through a global GuardedAllocator.
+// allocation in the host process flows through a global ShardedAllocator —
+// the scalable shared-allocator architecture (docs/CONCURRENCY.md). Unlike
+// the original shim there is NO process-wide lock here: each call takes
+// exactly one shard mutex inside the allocator, so a service's threads
+// allocate in parallel instead of convoying on a global recursive mutex.
 //
 //  - Patches are read from the file named by $HEAPTHERAPY_CONFIG in a
 //    constructor function, into a table whose pages are then frozen
-//    read-only (§VI).
+//    read-only (§VI). $HEAPTHERAPY_QUARANTINE sets the process-wide
+//    quarantine byte quota (partitioned across shards);
+//    $HEAPTHERAPY_SHARDS overrides the shard count (default: one per
+//    hardware thread, power-of-two, max 64).
 //  - The current CCID is the thread-local `ht_cc_current`, exported with C
 //    linkage; the instrumentation pass (our progmodel interpreter stands in
 //    for it; a real LLVM pass would emit the same symbol) keeps it updated.
 //  - The real allocation work is delegated to glibc's __libc_* entry points
 //    — calling std::malloc here would recurse into ourselves.
 //
-// Internal allocations made by this library (quarantine bookkeeping) do go
-// through the interposed malloc; they take the unpatched fast path and
-// terminate, so the recursion is depth-one and benign.
+// Re-entrancy: the allocator performs no interposed allocations of its own
+// while holding a shard lock (the quarantine stores its FIFO links inside
+// the quarantined blocks), so the shard mutexes can be plain non-recursive
+// locks. The only internal allocations happen during construction (patch
+// table, shard array); the t_constructing flag routes those straight to
+// libc, where they stay untagged and are later forwarded on free.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +36,7 @@
 
 #include "patch/config_file.hpp"
 #include "patch/patch_table.hpp"
-#include "runtime/guarded_allocator.hpp"
+#include "runtime/sharded_allocator.hpp"
 
 // glibc's real entry points.
 extern "C" {
@@ -42,16 +52,10 @@ __thread std::uint64_t ht_cc_current = 0;
 namespace {
 
 using ht::patch::PatchTable;
-using ht::runtime::GuardedAllocator;
+using ht::runtime::ShardedAllocator;
+using ht::runtime::ShardedAllocatorConfig;
 using ht::runtime::GuardedAllocatorConfig;
 using ht::runtime::UnderlyingAllocator;
-
-// Recursive: quarantine bookkeeping inside the allocator may allocate,
-// re-entering the interposed malloc on the same thread.
-std::recursive_mutex& allocator_mutex() {
-  static std::recursive_mutex m;
-  return m;
-}
 
 UnderlyingAllocator libc_allocator() {
   UnderlyingAllocator u;
@@ -66,25 +70,37 @@ UnderlyingAllocator libc_allocator() {
 // very last free in the process, so it is constructed in-place and never
 // destroyed (static-destruction-order fiasco avoidance).
 alignas(PatchTable) unsigned char table_storage[sizeof(PatchTable)];
-alignas(GuardedAllocator) unsigned char allocator_storage[sizeof(GuardedAllocator)];
+alignas(ShardedAllocator) unsigned char allocator_storage[sizeof(ShardedAllocator)];
 PatchTable* g_table = nullptr;
-GuardedAllocator* g_allocator = nullptr;
-// True while the global allocator (or its replacement during init) is being
-// constructed. The constructors themselves allocate (quarantine
-// bookkeeping), and those allocations re-enter the interposed malloc; they
-// must fall straight through to libc or the bootstrap recurses forever.
-bool g_constructing = false;
+ShardedAllocator* g_allocator = nullptr;
+// True on the thread currently constructing the global allocator. The
+// constructors themselves allocate (patch table, shard array), and those
+// allocations re-enter the interposed malloc; they must fall straight
+// through to libc or the bootstrap recurses forever. Thread-local because
+// other threads' traffic must NOT bypass the allocator meanwhile.
+thread_local bool t_constructing = false;
 
-GuardedAllocator& allocator() {
+// Serializes construction only; never taken on the allocation fast path.
+std::mutex& init_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+ShardedAllocator& allocator() {
+  // First call can arrive before the constructor function runs (the dynamic
+  // loader allocates); bootstrap with an empty table. heaptherapy_init later
+  // rebuilds in place with the real config — by then it runs on the ELF
+  // constructor's thread, before the host spawns threads.
   if (g_allocator == nullptr) {
-    // First call can arrive before the constructor function runs (the
-    // dynamic loader allocates); bootstrap with an empty table.
-    g_constructing = true;
-    std::vector<ht::patch::Patch> none;
-    g_table = new (table_storage) PatchTable(none, /*freeze=*/true);
-    g_allocator =
-        new (allocator_storage) GuardedAllocator(g_table, {}, libc_allocator());
-    g_constructing = false;
+    const std::lock_guard<std::mutex> lock(init_mutex());
+    if (g_allocator == nullptr) {
+      t_constructing = true;
+      std::vector<ht::patch::Patch> none;
+      g_table = new (table_storage) PatchTable(none, /*freeze=*/true);
+      g_allocator = new (allocator_storage)
+          ShardedAllocator(g_table, {}, {}, libc_allocator());
+      t_constructing = false;
+    }
   }
   return *g_allocator;
 }
@@ -106,15 +122,20 @@ __attribute__((constructor)) void heaptherapy_init() {
   if (const char* quota = std::getenv("HEAPTHERAPY_QUARANTINE")) {
     config.quarantine_quota_bytes = std::strtoull(quota, nullptr, 10);
   }
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
+  ShardedAllocatorConfig sharding;
+  if (const char* shards = std::getenv("HEAPTHERAPY_SHARDS")) {
+    sharding.shards = static_cast<std::uint32_t>(std::strtoul(shards, nullptr, 10));
+  }
+  const std::lock_guard<std::mutex> lock(init_mutex());
   // Rebuilding over a bootstrapped instance intentionally leaks its (tiny)
   // internal state; outstanding buffers keep working because the header
-  // tags and layouts are instance-independent.
-  g_constructing = true;
+  // tags and layouts are instance-independent. This runs in the ELF
+  // constructor phase, before host threads exist.
+  t_constructing = true;
   g_table = new (table_storage) PatchTable(patches, /*freeze=*/true);
-  g_allocator =
-      new (allocator_storage) GuardedAllocator(g_table, config, libc_allocator());
-  g_constructing = false;
+  g_allocator = new (allocator_storage)
+      ShardedAllocator(g_table, config, sharding, libc_allocator());
+  t_constructing = false;
 }
 
 }  // namespace
@@ -122,14 +143,12 @@ __attribute__((constructor)) void heaptherapy_init() {
 extern "C" {
 
 void* malloc(size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_malloc(size);
+  if (t_constructing) return __libc_malloc(size);
   return allocator().malloc(size, ht_cc_current);
 }
 
 void* calloc(size_t count, size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) {
+  if (t_constructing) {
     void* p = (size != 0 && count > SIZE_MAX / size) ? nullptr
                                                      : __libc_malloc(count * size);
     if (p != nullptr) std::memset(p, 0, count * size);
@@ -139,20 +158,17 @@ void* calloc(size_t count, size_t size) {
 }
 
 void* realloc(void* p, size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_realloc(p, size);
+  if (t_constructing) return __libc_realloc(p, size);
   return allocator().realloc(p, size, ht_cc_current);
 }
 
 void* memalign(size_t alignment, size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_memalign(alignment, size);
+  if (t_constructing) return __libc_memalign(alignment, size);
   return allocator().memalign(alignment, size, ht_cc_current);
 }
 
 void* aligned_alloc(size_t alignment, size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_memalign(alignment, size);
+  if (t_constructing) return __libc_memalign(alignment, size);
   return allocator().aligned_alloc(alignment, size, ht_cc_current);
 }
 
@@ -165,7 +181,6 @@ int posix_memalign(void** out, size_t alignment, size_t size) {
       (alignment & (alignment - 1)) != 0) {
     return 22;  // EINVAL
   }
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
   void* p = allocator().memalign(alignment, size, ht_cc_current);
   if (p == nullptr) return 12;  // ENOMEM
   *out = p;
@@ -173,28 +188,24 @@ int posix_memalign(void** out, size_t alignment, size_t size) {
 }
 
 void* valloc(size_t size) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_memalign(4096, size);
+  if (t_constructing) return __libc_memalign(4096, size);
   return allocator().memalign(4096, size, ht_cc_current);
 }
 
 void* pvalloc(size_t size) {
   const size_t rounded = (size + 4095) / 4096 * 4096;
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_memalign(4096, rounded);
+  if (t_constructing) return __libc_memalign(4096, rounded);
   return allocator().memalign(4096, rounded, ht_cc_current);
 }
 
 void* reallocarray(void* p, size_t count, size_t size) {
   if (size != 0 && count > SIZE_MAX / size) return nullptr;
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) return __libc_realloc(p, count * size);
+  if (t_constructing) return __libc_realloc(p, count * size);
   return allocator().realloc(p, count * size, ht_cc_current);
 }
 
 void free(void* p) {
-  std::lock_guard<std::recursive_mutex> lock(allocator_mutex());
-  if (g_constructing) {
+  if (t_constructing) {
     // Only construction-phase (untagged) allocations can be freed here.
     if (p != nullptr) __libc_free(p);
     return;

@@ -5,10 +5,26 @@
 // out. Because *only* patched buffers enter the queue, a given quota keeps
 // each block quarantined far longer than an indiscriminate queue would —
 // the paper's argument for why targeted deferral raises exploitation cost.
+//
+// The queue is intrusive: the FIFO link lives in the first 16 bytes of the
+// quarantined raw block itself (dead memory we own until eviction), so
+// push/evict perform ZERO allocator calls of their own. That matters twice:
+//  - it keeps the free() hot path allocation-free, and
+//  - it lets a shard of ShardedAllocator run its quarantine under a plain
+//    (non-recursive) mutex — nothing inside the critical section can
+//    re-enter an interposed malloc, which is what forced the old
+//    deque-based version behind recursive locks.
+// Every block pushed must therefore be at least kMinBlockBytes long; all
+// buffer layouts the defense engine produces satisfy this (the smallest is
+// the 16-byte Structure-1 header).
+//
+// Quota edge case: a block whose size alone exceeds the quota is *retained*
+// until the next push rather than evicted on the spot — an immediate
+// eviction would silently cancel the UAF deferral for exactly the huge
+// buffers an attacker grooms with. The newest block always stays queued.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "runtime/underlying.hpp"
 
@@ -16,31 +32,55 @@ namespace ht::runtime {
 
 class Quarantine {
  public:
-  /// `release` is called with the raw pointer when a block leaves the
-  /// queue (normally the underlying free).
-  Quarantine(std::uint64_t quota_bytes, UnderlyingAllocator underlying)
-      : quota_(quota_bytes), underlying_(underlying) {}
+  /// Intrusive link size: the minimum size of any pushed block.
+  static constexpr std::uint64_t kMinBlockBytes = 16;
+
+  /// A default-constructed quarantine holds nothing and must be
+  /// configure()d before the first push (shard arrays are built default-
+  /// constructed, then configured with their quota slice).
+  Quarantine() = default;
+
+  Quarantine(std::uint64_t quota_bytes, UnderlyingAllocator underlying) {
+    configure(quota_bytes, underlying);
+  }
 
   ~Quarantine() { drain(); }
 
   Quarantine(const Quarantine&) = delete;
   Quarantine& operator=(const Quarantine&) = delete;
 
-  /// Enqueues a freed block; evicts oldest blocks while over quota.
-  void push(void* raw, std::uint64_t bytes) {
-    blocks_.push_back(Block{raw, bytes});
+  /// Sets the byte quota and the release sink (normally the underlying
+  /// free). Must not be called while blocks are queued.
+  void configure(std::uint64_t quota_bytes, UnderlyingAllocator underlying) noexcept {
+    quota_ = quota_bytes;
+    underlying_ = underlying;
+  }
+
+  /// Enqueues a freed raw block of `bytes` (>= kMinBlockBytes) and evicts
+  /// oldest blocks while over quota — but never the block just pushed.
+  void push(void* raw, std::uint64_t bytes) noexcept {
+    Node* node = static_cast<Node*>(raw);
+    node->next = nullptr;
+    node->bytes = bytes;
+    if (tail_ != nullptr) {
+      tail_->next = node;
+    } else {
+      head_ = node;
+    }
+    tail_ = node;
     bytes_ += bytes;
+    ++depth_;
     ++total_pushed_;
-    while (bytes_ > quota_ && !blocks_.empty()) evict_oldest();
+    while (bytes_ > quota_ && depth_ > 1) evict_oldest();
   }
 
   /// Releases everything (used at shutdown and in tests).
-  void drain() {
-    while (!blocks_.empty()) evict_oldest();
+  void drain() noexcept {
+    while (head_ != nullptr) evict_oldest();
   }
 
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
-  [[nodiscard]] std::size_t depth() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
   [[nodiscard]] std::uint64_t quota() const noexcept { return quota_; }
   [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_pushed_; }
   [[nodiscard]] std::uint64_t total_released() const noexcept { return total_released_; }
@@ -48,29 +88,36 @@ class Quarantine {
   /// True if `raw` is currently quarantined (linear scan; test/debug aid,
   /// not on the hot path).
   [[nodiscard]] bool contains(const void* raw) const noexcept {
-    for (const Block& b : blocks_) {
-      if (b.raw == raw) return true;
+    for (const Node* n = head_; n != nullptr; n = n->next) {
+      if (n == raw) return true;
     }
     return false;
   }
 
  private:
-  struct Block {
-    void* raw;
+  /// Lives inside the quarantined block's first 16 bytes. The block is dead
+  /// memory: its ownership tag was already scrubbed by the freeing path.
+  struct Node {
+    Node* next;
     std::uint64_t bytes;
   };
+  static_assert(sizeof(Node) <= kMinBlockBytes);
 
-  void evict_oldest() {
-    const Block block = blocks_.front();
-    blocks_.pop_front();
-    bytes_ -= block.bytes;
+  void evict_oldest() noexcept {
+    Node* node = head_;
+    head_ = node->next;
+    if (head_ == nullptr) tail_ = nullptr;
+    bytes_ -= node->bytes;
+    --depth_;
     ++total_released_;
-    underlying_.free_fn(block.raw);
+    underlying_.free_fn(node);
   }
 
-  std::uint64_t quota_;
+  std::uint64_t quota_ = 0;
   UnderlyingAllocator underlying_;
-  std::deque<Block> blocks_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+  std::size_t depth_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t total_pushed_ = 0;
   std::uint64_t total_released_ = 0;

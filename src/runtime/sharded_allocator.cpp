@@ -1,0 +1,161 @@
+#include "runtime/sharded_allocator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "support/hash.hpp"
+
+namespace ht::runtime {
+
+using progmodel::AllocFn;
+
+namespace {
+
+std::uint32_t round_up_pow2_u32(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint32_t resolve_shard_count(std::uint32_t requested) {
+  std::uint32_t n = requested;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 4;
+  }
+  n = round_up_pow2_u32(n);
+  if (n > ShardedAllocatorConfig::kMaxShards) n = ShardedAllocatorConfig::kMaxShards;
+  return n;
+}
+
+}  // namespace
+
+ShardedAllocator::ShardedAllocator(const patch::PatchTable* patches,
+                                   GuardedAllocatorConfig config,
+                                   ShardedAllocatorConfig sharding,
+                                   UnderlyingAllocator underlying)
+    : engine_(patches, config, underlying),
+      shard_count_(resolve_shard_count(sharding.shards)),
+      shard_mask_(shard_count_ - 1),
+      shards_(new Shard[shard_count_]) {
+  // Partition the byte quota: each shard's quarantine independently manages
+  // a 1/N slice, so the process-wide quarantine footprint still honors the
+  // configured quota without any cross-shard accounting. Every shard gets
+  // at least one page so a tiny quota doesn't degenerate to zero deferral.
+  const std::uint64_t slice =
+      std::max<std::uint64_t>(config.quarantine_quota_bytes / shard_count_, 4096);
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    shards_[i].quarantine.configure(slice, underlying);
+  }
+}
+
+std::uint32_t ShardedAllocator::home_shard() const noexcept {
+  // Round-robin thread slots give an even spread even when thread ids
+  // cluster. The slot is global (one per thread, not per allocator); each
+  // allocator masks it down to its own shard count.
+  static std::atomic<std::uint32_t> next_slot{0};
+  thread_local const std::uint32_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot & shard_mask_;
+}
+
+std::uint32_t ShardedAllocator::shard_of(const void* p) const noexcept {
+  // Drop the low alignment bits before mixing so 16-byte-aligned user
+  // pointers spread over all shards.
+  return static_cast<std::uint32_t>(
+             support::mix64(reinterpret_cast<std::uint64_t>(p) >> 4)) &
+         shard_mask_;
+}
+
+void* ShardedAllocator::allocate_on_home(AllocFn fn, std::uint64_t size,
+                                         std::uint64_t alignment,
+                                         std::uint64_t ccid) {
+  Shard& shard = shards_[home_shard()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return engine_.allocate(fn, size, alignment, ccid, shard.stats);
+}
+
+void* ShardedAllocator::malloc(std::uint64_t size, std::uint64_t ccid) {
+  return allocate_on_home(AllocFn::kMalloc, size, 0, ccid);
+}
+
+void* ShardedAllocator::calloc(std::uint64_t count, std::uint64_t size,
+                               std::uint64_t ccid) {
+  Shard& shard = shards_[home_shard()];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return engine_.calloc(count, size, ccid, shard.stats);
+}
+
+void* ShardedAllocator::memalign(std::uint64_t alignment, std::uint64_t size,
+                                 std::uint64_t ccid) {
+  return allocate_on_home(AllocFn::kMemalign, size, alignment, ccid);
+}
+
+void* ShardedAllocator::aligned_alloc(std::uint64_t alignment, std::uint64_t size,
+                                      std::uint64_t ccid) {
+  return allocate_on_home(AllocFn::kAlignedAlloc, size, alignment, ccid);
+}
+
+void* ShardedAllocator::realloc(void* p, std::uint64_t new_size, std::uint64_t ccid) {
+  if (p == nullptr) return allocate_on_home(AllocFn::kRealloc, new_size, 0, ccid);
+  if (engine_.config().forward_only || !owns(p)) {
+    return engine_.underlying().realloc_fn(p, new_size);
+  }
+  if (new_size == 0) {
+    free(p);
+    return nullptr;
+  }
+  // Allocate-copy-free, one shard lock at a time (never nested): the fresh
+  // buffer comes from the calling thread's home shard, the old block's free
+  // routes by pointer hash like any other free.
+  const std::uint64_t old_size = engine_.user_size(p);
+  void* fresh = allocate_on_home(AllocFn::kRealloc, new_size, 0, ccid);
+  if (fresh == nullptr) return nullptr;
+  std::memcpy(fresh, p, old_size < new_size ? old_size : new_size);
+  free(p);
+  return fresh;
+}
+
+void ShardedAllocator::free(void* p) {
+  if (p == nullptr) return;
+  if (engine_.config().forward_only || !owns(p)) {
+    engine_.underlying().free_fn(p);
+    return;
+  }
+  Shard& shard = shards_[shard_of(p)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  engine_.free(p, shard.quarantine, shard.stats);
+}
+
+AllocatorStats ShardedAllocator::stats_snapshot() const {
+  AllocatorStats merged;
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    merged += shard_stats(i);
+  }
+  return merged;
+}
+
+AllocatorStats ShardedAllocator::shard_stats(std::uint32_t shard) const {
+  const std::lock_guard<std::mutex> lock(shards_[shard].mutex);
+  return shards_[shard].stats;
+}
+
+std::uint64_t ShardedAllocator::quarantined_bytes() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    total += shards_[i].quarantine.bytes();
+  }
+  return total;
+}
+
+void ShardedAllocator::drain_quarantines() {
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    shards_[i].quarantine.drain();
+  }
+}
+
+}  // namespace ht::runtime

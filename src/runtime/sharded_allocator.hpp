@@ -1,0 +1,127 @@
+// ShardedAllocator: the scalable shared-allocator front end — N independent
+// shards over one immutable DefenseEngine, so concurrent threads almost
+// never contend on the allocation hot path.
+//
+// Architecture (docs/CONCURRENCY.md has the full design):
+//
+//   - One read-only DefenseEngine is shared by all shards; it holds no
+//     mutable state, so lookups and defense application run lock-free.
+//   - Each shard owns a plain mutex, a private Quarantine holding a
+//     1/N slice of the byte quota, and a private AllocatorStats block.
+//     Shards are cache-line aligned so one shard's counters never
+//     false-share with a neighbor's.
+//   - ALLOCATIONS route by thread: each thread is assigned a home shard
+//     round-robin on first allocation, so steady-state allocation traffic
+//     partitions across shards with no cross-thread contention at all
+//     (threads > shards share politely).
+//   - FREES route by pointer hash, NOT by thread: any thread can free any
+//     block, and a given block always lands in the same shard's quarantine
+//     regardless of who frees it. Correctness needs no affinity — buffer
+//     metadata is self-contained and the underlying allocator is process-
+//     global — so the hash purely spreads quarantine/stat load.
+//   - Because the Quarantine is intrusive (allocation-free), nothing inside
+//     a shard's critical section can re-enter the allocator: plain
+//     std::mutex suffices, one lock acquisition per operation, and
+//     lock-ordering deadlocks are impossible (no operation ever holds two
+//     shard locks).
+//
+// Statistics accumulate per shard with no shared counters; stats_snapshot()
+// merges them on demand.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "patch/patch_table.hpp"
+#include "runtime/allocator_config.hpp"
+#include "runtime/defense_engine.hpp"
+#include "runtime/quarantine.hpp"
+#include "runtime/underlying.hpp"
+
+namespace ht::runtime {
+
+struct ShardedAllocatorConfig {
+  /// Number of shards; rounded up to a power of two, clamped to
+  /// [1, kMaxShards]. 0 = auto (hardware concurrency).
+  std::uint32_t shards = 0;
+
+  static constexpr std::uint32_t kMaxShards = 64;
+};
+
+class ShardedAllocator {
+ public:
+  explicit ShardedAllocator(const patch::PatchTable* patches = nullptr,
+                            GuardedAllocatorConfig config = {},
+                            ShardedAllocatorConfig sharding = {},
+                            UnderlyingAllocator underlying = process_allocator());
+  ~ShardedAllocator() = default;
+
+  ShardedAllocator(const ShardedAllocator&) = delete;
+  ShardedAllocator& operator=(const ShardedAllocator&) = delete;
+
+  // The interposed API family — same surface as GuardedAllocator, safe to
+  // call from any thread.
+  [[nodiscard]] void* malloc(std::uint64_t size, std::uint64_t ccid);
+  [[nodiscard]] void* calloc(std::uint64_t count, std::uint64_t size,
+                             std::uint64_t ccid);
+  [[nodiscard]] void* memalign(std::uint64_t alignment, std::uint64_t size,
+                               std::uint64_t ccid);
+  [[nodiscard]] void* aligned_alloc(std::uint64_t alignment, std::uint64_t size,
+                                    std::uint64_t ccid);
+  [[nodiscard]] void* realloc(void* p, std::uint64_t new_size, std::uint64_t ccid);
+  void free(void* p);
+
+  // Introspection. Reads only the target block's own metadata — no lock
+  // needed (concurrent access to the *same* block is the caller's race).
+  [[nodiscard]] std::uint64_t user_size(void* p) const { return engine_.user_size(p); }
+  [[nodiscard]] std::uint8_t applied_mask(const void* p) const noexcept {
+    return engine_.applied_mask(p);
+  }
+  [[nodiscard]] bool guard_active(const void* p) const noexcept {
+    return engine_.guard_active(p);
+  }
+  [[nodiscard]] static bool owns(const void* p) noexcept {
+    return DefenseEngine::owns(p);
+  }
+
+  /// Merged counters across all shards (each shard copied under its lock).
+  [[nodiscard]] AllocatorStats stats_snapshot() const;
+  /// One shard's counters (snapshot under that shard's lock; test aid).
+  [[nodiscard]] AllocatorStats shard_stats(std::uint32_t shard) const;
+  /// Total bytes currently quarantined across all shards.
+  [[nodiscard]] std::uint64_t quarantined_bytes() const;
+  /// Releases every quarantined block in every shard (shutdown/test aid).
+  void drain_quarantines();
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] const DefenseEngine& engine() const noexcept { return engine_; }
+  [[nodiscard]] const GuardedAllocatorConfig& config() const noexcept {
+    return engine_.config();
+  }
+
+  /// The shard a given pointer's free would route to (test aid).
+  [[nodiscard]] std::uint32_t shard_of(const void* p) const noexcept;
+
+ private:
+  // Cache-line aligned so shard A's stat bumps never invalidate the line
+  // holding shard B's mutex or counters.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    Quarantine quarantine;
+    AllocatorStats stats;
+  };
+
+  /// The calling thread's home shard (round-robin assigned on first use).
+  [[nodiscard]] std::uint32_t home_shard() const noexcept;
+
+  [[nodiscard]] void* allocate_on_home(progmodel::AllocFn fn, std::uint64_t size,
+                                       std::uint64_t alignment, std::uint64_t ccid);
+
+  DefenseEngine engine_;
+  std::uint32_t shard_count_ = 1;
+  std::uint32_t shard_mask_ = 0;  ///< shard_count_ - 1 (power of two)
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace ht::runtime

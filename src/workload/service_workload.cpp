@@ -4,10 +4,14 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "runtime/guarded_allocator.hpp"
+#include "runtime/locked_allocator.hpp"
+#include "runtime/sharded_allocator.hpp"
 #include "support/rng.hpp"
 
 namespace ht::workload {
@@ -15,19 +19,32 @@ namespace ht::workload {
 namespace {
 
 /// Minimal allocation facade so the request handlers are written once for
-/// both the native baseline and the HeapTherapy+ path.
+/// every thread model. Exactly one pointer is non-null per worker (or none
+/// for the native baseline).
 struct Alloc {
-  runtime::GuardedAllocator* guarded = nullptr;  // null = native
+  runtime::GuardedAllocator* guarded = nullptr;   // per-thread instance
+  runtime::LockedAllocator* locked = nullptr;     // shared, global lock
+  runtime::ShardedAllocator* sharded = nullptr;   // shared, per-shard locks
 
   void* malloc(std::size_t n, std::uint64_t ccid) {
-    return guarded != nullptr ? guarded->malloc(n, ccid) : std::malloc(n);
+    if (guarded != nullptr) return guarded->malloc(n, ccid);
+    if (locked != nullptr) return locked->malloc(n, ccid);
+    if (sharded != nullptr) return sharded->malloc(n, ccid);
+    return std::malloc(n);
   }
   void* realloc(void* p, std::size_t n, std::uint64_t ccid) {
-    return guarded != nullptr ? guarded->realloc(p, n, ccid) : std::realloc(p, n);
+    if (guarded != nullptr) return guarded->realloc(p, n, ccid);
+    if (locked != nullptr) return locked->realloc(p, n, ccid);
+    if (sharded != nullptr) return sharded->realloc(p, n, ccid);
+    return std::realloc(p, n);
   }
   void free(void* p) {
     if (guarded != nullptr) {
       guarded->free(p);
+    } else if (locked != nullptr) {
+      locked->free(p);
+    } else if (sharded != nullptr) {
+      sharded->free(p);
     } else {
       std::free(p);
     }
@@ -108,22 +125,58 @@ std::uint64_t handle_mysql_request(Alloc& alloc, MysqlConnection& conn,
   return acc;
 }
 
+AllocatorMode effective_mode(const ServiceConfig& config) {
+  if (config.mode == AllocatorMode::kNative && config.use_heaptherapy) {
+    return AllocatorMode::kPerThread;  // legacy two-state API
+  }
+  return config.mode;
+}
+
 }  // namespace
 
 ServiceResult run_service(const ServiceConfig& config) {
   const std::uint32_t threads = std::max<std::uint32_t>(config.concurrency, 1);
   const std::uint64_t per_thread = config.requests / threads;
+  const AllocatorMode mode = effective_mode(config);
   std::atomic<std::uint64_t> total_checksum{0};
+
+  // Shared allocators are built before the clock starts — startup cost is
+  // the deployment's, not the request loop's.
+  std::optional<runtime::LockedAllocator> shared_locked;
+  std::optional<runtime::ShardedAllocator> shared_sharded;
+  if (mode == AllocatorMode::kSharedLocked) {
+    shared_locked.emplace(config.patches, config.defenses);
+  } else if (mode == AllocatorMode::kSharedSharded) {
+    runtime::ShardedAllocatorConfig sharding;
+    sharding.shards = config.shards;
+    shared_sharded.emplace(config.patches, config.defenses, sharding);
+  }
+  // Per-thread mode merges worker stats here after the join.
+  runtime::AllocatorStats merged_stats;
+  std::mutex merge_mutex;
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::uint32_t t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      // Per-thread allocator instance (the library's thread model).
-      runtime::GuardedAllocator guarded(config.patches, config.defenses);
+      // Per-thread allocator instance, constructed only in kPerThread mode.
+      std::optional<runtime::GuardedAllocator> guarded;
       Alloc alloc;
-      if (config.use_heaptherapy) alloc.guarded = &guarded;
+      switch (mode) {
+        case AllocatorMode::kNative:
+          break;
+        case AllocatorMode::kPerThread:
+          guarded.emplace(config.patches, config.defenses);
+          alloc.guarded = &*guarded;
+          break;
+        case AllocatorMode::kSharedLocked:
+          alloc.locked = &*shared_locked;
+          break;
+        case AllocatorMode::kSharedSharded:
+          alloc.sharded = &*shared_sharded;
+          break;
+      }
       support::Rng rng(config.seed * 1000 + t);
       std::uint64_t acc = t;
       MysqlConnection conn;
@@ -137,6 +190,10 @@ ServiceResult run_service(const ServiceConfig& config) {
       alloc.free(conn.state);
       alloc.free(conn.query);
       total_checksum.fetch_add(acc, std::memory_order_relaxed);
+      if (guarded.has_value()) {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        merged_stats += guarded->stats();
+      }
     });
   }
   for (std::thread& w : workers) w.join();
@@ -148,6 +205,13 @@ ServiceResult run_service(const ServiceConfig& config) {
   result.requests_per_second =
       result.seconds > 0 ? static_cast<double>(result.requests) / result.seconds : 0;
   result.checksum = total_checksum.load();
+  if (mode == AllocatorMode::kSharedLocked) {
+    result.allocator_stats = shared_locked->stats_snapshot();
+  } else if (mode == AllocatorMode::kSharedSharded) {
+    result.allocator_stats = shared_sharded->stats_snapshot();
+  } else if (mode == AllocatorMode::kPerThread) {
+    result.allocator_stats = merged_stats;
+  }
   return result;
 }
 

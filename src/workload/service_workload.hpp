@@ -7,30 +7,54 @@
 // checksum compute, so allocation cost is a realistic fraction of request
 // cost. Throughput is measured natively and under the full HeapTherapy+
 // allocator, with configurable concurrency (the paper sweeps 20..200
-// concurrent requests; threads each run their own allocator instance, which
-// is this library's thread model).
+// concurrent requests).
+//
+// Two thread models are supported, because they answer different questions:
+//  - kPerThread: every worker owns a private GuardedAllocator. Upper bound
+//    on protected throughput; models services that partition allocation
+//    flows per thread.
+//  - kSharedLocked / kSharedSharded: all workers hammer ONE shared
+//    allocator — the model an LD_PRELOAD'd service actually faces, since
+//    interposing malloc gives the whole process a single allocator. Locked
+//    is the global-mutex baseline; Sharded is the scalable architecture
+//    (docs/CONCURRENCY.md). bench/ht_mt_scaling sweeps these against each
+//    other.
 #pragma once
 
 #include <cstdint>
 
 #include "patch/patch_table.hpp"
 #include "runtime/guarded_allocator.hpp"
+#include "runtime/sharded_allocator.hpp"
 
 namespace ht::workload {
 
 enum class ServiceKind : std::uint8_t { kNginxLike, kMysqlLike };
 
+/// How request handlers reach an allocator.
+enum class AllocatorMode : std::uint8_t {
+  kNative,        ///< std::malloc baseline, no protection
+  kPerThread,     ///< one GuardedAllocator per worker thread
+  kSharedLocked,  ///< one LockedAllocator shared by all workers
+  kSharedSharded, ///< one ShardedAllocator shared by all workers
+};
+
 struct ServiceConfig {
   ServiceKind kind = ServiceKind::kNginxLike;
   std::uint64_t requests = 20000;   ///< total requests across all threads
   std::uint32_t concurrency = 20;   ///< worker threads
-  /// null: native std::malloc. Otherwise each worker builds a
-  /// GuardedAllocator over this patch table (may be empty).
+  /// null: native std::malloc. Otherwise the workers' allocator(s) are
+  /// built over this patch table (may be empty).
   const patch::PatchTable* patches = nullptr;
-  bool use_heaptherapy = false;  ///< false = native baseline
+  AllocatorMode mode = AllocatorMode::kNative;
+  /// Legacy switch: true with mode==kNative selects kPerThread (the
+  /// original two-state API; existing callers keep working).
+  bool use_heaptherapy = false;
   /// Defense configuration for the workers' allocators (guard pages vs
   /// canaries vs poisoning — the knobs the protection example sweeps).
   runtime::GuardedAllocatorConfig defenses;
+  /// Shard count for kSharedSharded (0 = auto).
+  std::uint32_t shards = 0;
   std::uint64_t seed = 7;
 };
 
@@ -39,6 +63,10 @@ struct ServiceResult {
   double requests_per_second = 0;
   std::uint64_t requests = 0;
   std::uint64_t checksum = 0;
+  /// Merged defense counters. Populated for every protected mode: shared
+  /// modes snapshot the shared allocator, per-thread mode merges the
+  /// workers' private stats. Zero for kNative.
+  runtime::AllocatorStats allocator_stats;
 };
 
 /// Runs the service loop to completion and reports throughput.

@@ -1,0 +1,120 @@
+#include "patch/decision_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+namespace ht::patch {
+namespace {
+
+using progmodel::AllocFn;
+
+TEST(DecisionCache, MatchesTableLookupExactly) {
+  const PatchTable table({
+      Patch{AllocFn::kMalloc, 0x10, kOverflow},
+      Patch{AllocFn::kCalloc, 0x20, kUninitRead},
+      Patch{AllocFn::kMalloc, 0x30, kUseAfterFree | kOverflow},
+  });
+  DecisionCache cache;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t ccid = 0; ccid < 0x40; ++ccid) {
+      for (AllocFn fn : {AllocFn::kMalloc, AllocFn::kCalloc, AllocFn::kRealloc}) {
+        EXPECT_EQ(cache.lookup(table, fn, ccid), table.lookup(fn, ccid))
+            << "fn=" << static_cast<int>(fn) << " ccid=" << ccid;
+      }
+    }
+  }
+}
+
+TEST(DecisionCache, RepeatContextsHit) {
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x7, kOverflow}});
+  DecisionCache cache;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(cache.lookup(table, AllocFn::kMalloc, 0x7), kOverflow);
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 99u);
+}
+
+TEST(DecisionCache, FunctionIsPartOfTheKey) {
+  // Incremental encoding keys defenses on {FUN, CCID}; the cache must too.
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x9, kOverflow}});
+  DecisionCache cache;
+  EXPECT_EQ(cache.lookup(table, AllocFn::kMalloc, 0x9), kOverflow);
+  EXPECT_EQ(cache.lookup(table, AllocFn::kCalloc, 0x9), 0u);
+}
+
+TEST(DecisionCache, NewTableAtRecycledAddressNeverServesStaleMask) {
+  DecisionCache cache;
+  auto first = std::make_unique<PatchTable>(
+      std::vector<Patch>{Patch{AllocFn::kMalloc, 0x5, kOverflow}});
+  EXPECT_EQ(cache.lookup(*first, AllocFn::kMalloc, 0x5), kOverflow);
+  // Destroy and rebuild until the allocator recycles the address — usually
+  // immediate with glibc tcache, but don't depend on it: any address works
+  // because the cache keys on the generation, not the pointer.
+  first.reset();
+  const PatchTable second({Patch{AllocFn::kMalloc, 0x5, kUninitRead}});
+  EXPECT_EQ(cache.lookup(second, AllocFn::kMalloc, 0x5), kUninitRead);
+  const PatchTable empty({});
+  EXPECT_EQ(cache.lookup(empty, AllocFn::kMalloc, 0x5), 0u);
+}
+
+TEST(DecisionCache, TwoLiveTablesCoexist) {
+  const PatchTable a({Patch{AllocFn::kMalloc, 0x11, kOverflow}});
+  const PatchTable b({Patch{AllocFn::kMalloc, 0x11, kUseAfterFree}});
+  DecisionCache cache;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cache.lookup(a, AllocFn::kMalloc, 0x11), kOverflow);
+    EXPECT_EQ(cache.lookup(b, AllocFn::kMalloc, 0x11), kUseAfterFree);
+  }
+}
+
+TEST(DecisionCache, GenerationsAreUniqueAndNonZero) {
+  const PatchTable a({});
+  const PatchTable b({});
+  EXPECT_NE(a.generation(), 0u);
+  EXPECT_NE(b.generation(), 0u);
+  EXPECT_NE(a.generation(), b.generation());
+}
+
+TEST(DecisionCache, MoveCarriesGeneration) {
+  PatchTable a({Patch{AllocFn::kMalloc, 0x3, kOverflow}});
+  const std::uint64_t generation = a.generation();
+  const PatchTable b(std::move(a));
+  EXPECT_EQ(b.generation(), generation);
+  EXPECT_EQ(a.generation(), 0u);  // NOLINT(bugprone-use-after-move): spec'd
+}
+
+TEST(DecisionCache, PerThreadInstancesAreIndependent) {
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x42, kOverflow}});
+  DecisionCache& mine = DecisionCache::for_current_thread();
+  mine.clear();
+  (void)mine.lookup(table, AllocFn::kMalloc, 0x42);
+  const std::uint64_t my_misses = mine.misses();
+  std::thread other([&] {
+    DecisionCache& theirs = DecisionCache::for_current_thread();
+    EXPECT_NE(&theirs, &mine);
+    theirs.clear();
+    EXPECT_EQ(theirs.lookup(table, AllocFn::kMalloc, 0x42), kOverflow);
+    EXPECT_EQ(theirs.misses(), 1u);
+  });
+  other.join();
+  EXPECT_EQ(mine.misses(), my_misses);  // other thread never touched ours
+  mine.clear();
+}
+
+TEST(DecisionCache, ClearForgetsEverything) {
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x8, kOverflow}});
+  DecisionCache cache;
+  (void)cache.lookup(table, AllocFn::kMalloc, 0x8);
+  (void)cache.lookup(table, AllocFn::kMalloc, 0x8);
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  (void)cache.lookup(table, AllocFn::kMalloc, 0x8);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace ht::patch

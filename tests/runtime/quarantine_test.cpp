@@ -2,10 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace ht::runtime {
 namespace {
+
+// The quarantine is intrusive: it stores its FIFO link in the first 16
+// bytes of each dead block, so every test block must be at least
+// Quarantine::kMinBlockBytes of writable memory.
+struct Block {
+  alignas(16) unsigned char bytes[Quarantine::kMinBlockBytes];
+};
 
 // Tracks frees instead of releasing real memory.
 std::vector<void*>* g_released = nullptr;
@@ -29,7 +37,7 @@ class QuarantineTest : public ::testing::Test {
 
 TEST_F(QuarantineTest, HoldsBlocksUnderQuota) {
   Quarantine q(1000, tracking_allocator());
-  int a, b;
+  Block a, b;
   q.push(&a, 400);
   q.push(&b, 400);
   EXPECT_EQ(q.depth(), 2u);
@@ -42,7 +50,7 @@ TEST_F(QuarantineTest, HoldsBlocksUnderQuota) {
 
 TEST_F(QuarantineTest, EvictsOldestFirstWhenOverQuota) {
   Quarantine q(1000, tracking_allocator());
-  int a, b, c;
+  Block a, b, c;
   q.push(&a, 400);
   q.push(&b, 400);
   q.push(&c, 400);  // 1200 > 1000: evict a
@@ -54,48 +62,107 @@ TEST_F(QuarantineTest, EvictsOldestFirstWhenOverQuota) {
   q.drain();
 }
 
-TEST_F(QuarantineTest, OversizedBlockPassesStraightThrough) {
+TEST_F(QuarantineTest, OversizedBlockIsRetainedNotEvictedOnPush) {
+  // Regression test: a block bigger than the entire quota used to be
+  // evicted by its own push — i.e. released back to the allocator
+  // immediately, silently cancelling the UAF deferral for exactly the huge
+  // buffers an attacker grooms with. The newest block must always stay.
   Quarantine q(100, tracking_allocator());
-  int a;
+  Block a;
   q.push(&a, 500);  // bigger than the whole quota
-  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.bytes(), 500u);
+  EXPECT_TRUE(released_.empty());
+  EXPECT_TRUE(q.contains(&a));
+
+  // It is evicted only when a successor arrives (which then stays itself).
+  Block b;
+  q.push(&b, 500);
   ASSERT_EQ(released_.size(), 1u);
   EXPECT_EQ(released_[0], &a);
+  EXPECT_FALSE(q.contains(&a));
+  EXPECT_TRUE(q.contains(&b));
+  EXPECT_EQ(q.depth(), 1u);
+  q.drain();
+}
+
+TEST_F(QuarantineTest, OversizedBlockDoesNotFlushSmallerPredecessors) {
+  // The companion edge: an oversized arrival evicts predecessors while over
+  // quota, but keeps itself queued.
+  Quarantine q(1000, tracking_allocator());
+  Block a, b, huge;
+  q.push(&a, 400);
+  q.push(&b, 400);
+  q.push(&huge, 5000);
+  EXPECT_EQ(released_.size(), 2u);
+  EXPECT_TRUE(q.contains(&huge));
+  EXPECT_EQ(q.depth(), 1u);
+  EXPECT_EQ(q.bytes(), 5000u);
+  q.drain();
 }
 
 TEST_F(QuarantineTest, DrainReleasesEverythingInFifoOrder) {
   Quarantine q(10000, tracking_allocator());
-  int a, b, c;
-  q.push(&a, 10);
-  q.push(&b, 10);
-  q.push(&c, 10);
+  Block a, b, c;
+  q.push(&a, 20);
+  q.push(&b, 20);
+  q.push(&c, 20);
   q.drain();
   ASSERT_EQ(released_.size(), 3u);
   EXPECT_EQ(released_[0], &a);
   EXPECT_EQ(released_[1], &b);
   EXPECT_EQ(released_[2], &c);
   EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_EQ(q.depth(), 0u);
 }
 
 TEST_F(QuarantineTest, DestructorDrains) {
-  int a;
+  Block a;
   {
     Quarantine q(10000, tracking_allocator());
-    q.push(&a, 10);
+    q.push(&a, 20);
   }
   ASSERT_EQ(released_.size(), 1u);
   EXPECT_EQ(released_[0], &a);
 }
 
+TEST_F(QuarantineTest, ConfigureAfterDefaultConstruction) {
+  // Shards build their quarantines default-constructed, then configure the
+  // quota slice; the two-step path must behave exactly like the ctor.
+  Quarantine q;
+  q.configure(100, tracking_allocator());
+  EXPECT_EQ(q.quota(), 100u);
+  Block a, b;
+  q.push(&a, 80);
+  q.push(&b, 80);  // evicts a, keeps b
+  ASSERT_EQ(released_.size(), 1u);
+  EXPECT_EQ(released_[0], &a);
+  EXPECT_TRUE(q.contains(&b));
+  q.drain();
+}
+
 TEST_F(QuarantineTest, CountersTrackTotals) {
   Quarantine q(100, tracking_allocator());
-  int a, b;
+  Block a, b;
   q.push(&a, 80);
   q.push(&b, 80);  // evicts a
   EXPECT_EQ(q.total_pushed(), 2u);
   EXPECT_EQ(q.total_released(), 1u);
   q.drain();
   EXPECT_EQ(q.total_released(), 2u);
+}
+
+TEST_F(QuarantineTest, PushPerformsNoAllocatorCallsOfItsOwn) {
+  // The intrusive design's contract: the only underlying calls a push can
+  // make are evictions of previously-pushed blocks — never metadata
+  // allocations. With everything under quota, the release log stays empty.
+  Quarantine q(1 << 20, tracking_allocator());
+  static Block blocks[256];
+  for (auto& block : blocks) q.push(&block, 64);
+  EXPECT_TRUE(released_.empty());
+  EXPECT_EQ(q.depth(), 256u);
+  q.drain();
+  EXPECT_EQ(released_.size(), 256u);
 }
 
 TEST_F(QuarantineTest, TargetedQueueKeepsBlocksLongerThanIndiscriminate) {
@@ -109,9 +176,9 @@ TEST_F(QuarantineTest, TargetedQueueKeepsBlocksLongerThanIndiscriminate) {
   Quarantine indiscriminate(kQuota, tracking_allocator());
   // Targeted queue: only every 100th free enters.
   Quarantine targeted(kQuota, tracking_allocator());
-  static int dummy[2000];
+  static Block dummy[2000];
   std::size_t targeted_survival = 0, indiscriminate_survival = 0;
-  int* first_tracked = &dummy[0];
+  Block* first_tracked = &dummy[0];
   bool targeted_alive = true, indiscriminate_alive = true;
   indiscriminate.push(first_tracked, kBlock);
   targeted.push(first_tracked, kBlock);

@@ -1,0 +1,350 @@
+#include "runtime/sharded_allocator.hpp"
+
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ht::runtime {
+namespace {
+
+using patch::Patch;
+using patch::PatchTable;
+using progmodel::AllocFn;
+
+TEST(ShardedAllocator, BasicOperationsWork) {
+  ShardedAllocator alloc;
+  char* p = static_cast<char*>(alloc.malloc(64, 0));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, 64);
+  char* q = static_cast<char*>(alloc.realloc(p, 128, 0));
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q[63], 0x11);
+  alloc.free(q);
+  EXPECT_EQ(alloc.stats_snapshot().interceptions, 2u);
+}
+
+TEST(ShardedAllocator, ShardCountRoundsToPowerOfTwoAndClamps) {
+  for (const auto& [requested, expected] :
+       {std::pair<std::uint32_t, std::uint32_t>{1, 1}, {2, 2}, {3, 4},
+        {8, 8}, {9, 16}, {1000, ShardedAllocatorConfig::kMaxShards}}) {
+    ShardedAllocatorConfig sharding;
+    sharding.shards = requested;
+    ShardedAllocator alloc(nullptr, {}, sharding);
+    EXPECT_EQ(alloc.shard_count(), expected) << "requested " << requested;
+  }
+  // Auto: some nonzero power of two.
+  ShardedAllocator autoalloc;
+  EXPECT_GE(autoalloc.shard_count(), 1u);
+  EXPECT_EQ(autoalloc.shard_count() & (autoalloc.shard_count() - 1), 0u);
+}
+
+TEST(ShardedAllocator, DefensesApplyThroughShards) {
+  const PatchTable table({
+      Patch{AllocFn::kMalloc, 0x71, patch::kUninitRead},
+      Patch{AllocFn::kMalloc, 0x72, patch::kOverflow},
+      Patch{AllocFn::kMalloc, 0x73, patch::kUseAfterFree},
+  });
+  ShardedAllocatorConfig sharding;
+  sharding.shards = 4;
+  ShardedAllocator alloc(&table, {}, sharding);
+
+  char* zeroed = static_cast<char*>(alloc.malloc(512, 0x71));
+  ASSERT_NE(zeroed, nullptr);
+  for (int i = 0; i < 512; ++i) ASSERT_EQ(zeroed[i], 0);
+  alloc.free(zeroed);
+
+  char* guarded = static_cast<char*>(alloc.malloc(100, 0x72));
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_TRUE(alloc.guard_active(guarded));
+  EXPECT_EQ(alloc.user_size(guarded), 100u);
+  alloc.free(guarded);
+
+  void* uaf = alloc.malloc(128, 0x73);
+  ASSERT_NE(uaf, nullptr);
+  alloc.free(uaf);
+  EXPECT_GT(alloc.quarantined_bytes(), 0u);
+
+  const AllocatorStats stats = alloc.stats_snapshot();
+  EXPECT_EQ(stats.zero_fills, 1u);
+  EXPECT_EQ(stats.guard_pages, 1u);
+  EXPECT_EQ(stats.quarantined_frees, 1u);
+  EXPECT_EQ(stats.enhanced, 3u);
+}
+
+TEST(ShardedAllocator, FreeRoutesByPointerNotByThread) {
+  // The same pointer must resolve to the same shard from any thread; that
+  // is the whole routing contract for cross-thread frees.
+  ShardedAllocatorConfig sharding;
+  sharding.shards = 8;
+  ShardedAllocator alloc(nullptr, {}, sharding);
+  void* p = alloc.malloc(64, 0);
+  const std::uint32_t here = alloc.shard_of(p);
+  std::uint32_t there = ~0u;
+  std::thread t([&] { there = alloc.shard_of(p); });
+  t.join();
+  EXPECT_EQ(here, there);
+  EXPECT_LT(here, alloc.shard_count());
+  alloc.free(p);
+}
+
+TEST(ShardedAllocator, CrossThreadFreePreservesContents) {
+  // Producer threads allocate and fill; consumer threads verify and free.
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x7, patch::kUseAfterFree}});
+  GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = 1 << 20;
+  ShardedAllocatorConfig sharding;
+  sharding.shards = 4;
+  ShardedAllocator alloc(&table, config, sharding);
+
+  constexpr int kProducers = 4;
+  constexpr int kBlocksPerProducer = 500;
+  struct Item {
+    char* p;
+    std::uint64_t size;
+    unsigned char fill;
+  };
+  std::deque<Item> queue;
+  std::mutex queue_mutex;
+  std::atomic<int> produced{0};
+  std::atomic<std::uint64_t> mismatches{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&, t] {
+      support::Rng rng(100 + t);
+      for (int i = 0; i < kBlocksPerProducer; ++i) {
+        const std::uint64_t size = 16 + rng.below(512);
+        const std::uint64_t ccid = rng.chance(0.25) ? 0x7 : rng.next();
+        char* p = static_cast<char*>(alloc.malloc(size, ccid));
+        ASSERT_NE(p, nullptr);
+        const auto fill = static_cast<unsigned char>(0x40 + t);
+        std::memset(p, fill, size);
+        {
+          const std::lock_guard<std::mutex> lock(queue_mutex);
+          queue.push_back(Item{p, size, fill});
+        }
+        ++produced;
+      }
+    });
+  }
+  for (int t = 0; t < kProducers; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        Item item{};
+        {
+          const std::lock_guard<std::mutex> lock(queue_mutex);
+          if (!queue.empty()) {
+            item = queue.front();
+            queue.pop_front();
+          }
+        }
+        if (item.p == nullptr) {
+          if (produced.load() == kProducers * kBlocksPerProducer) {
+            const std::lock_guard<std::mutex> lock(queue_mutex);
+            if (queue.empty()) return;
+          }
+          std::this_thread::yield();
+          continue;
+        }
+        for (std::uint64_t off = 0; off < item.size; off += 31) {
+          if (item.p[off] != static_cast<char>(item.fill)) ++mismatches;
+        }
+        alloc.free(item.p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const AllocatorStats stats = alloc.stats_snapshot();
+  EXPECT_EQ(stats.interceptions, static_cast<std::uint64_t>(kProducers) *
+                                     kBlocksPerProducer);
+  EXPECT_EQ(stats.interceptions, stats.plain_frees + stats.quarantined_frees);
+  EXPECT_GT(stats.quarantined_frees, 0u);
+}
+
+TEST(ShardedAllocator, StressMixedTrafficAcrossThreads) {
+  // The satellite stress test: concurrent malloc/free/realloc with
+  // cross-thread frees, then stats invariants. Runs clean under
+  // HT_SANITIZE=thread (scripts/tsan_tests.sh).
+  const PatchTable table({
+      Patch{AllocFn::kMalloc, 0x7, patch::kAllVulnBits},
+      Patch{AllocFn::kRealloc, 0x9, patch::kUseAfterFree},
+      Patch{AllocFn::kCalloc, 0x8, patch::kUninitRead},
+  });
+  GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = 1 << 20;
+  ShardedAllocatorConfig sharding;
+  sharding.shards = 8;
+  ShardedAllocator alloc(&table, config, sharding);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 1500;
+  std::atomic<std::uint64_t> failures{0};
+
+  // A shared exchange slot per thread pair so some frees happen on a
+  // different thread than the allocation.
+  struct Slot {
+    std::mutex mutex;
+    std::vector<std::pair<char*, std::uint64_t>> blocks;
+  };
+  std::vector<Slot> slots(kThreads);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      support::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      std::vector<std::pair<char*, std::uint64_t>> live;
+      for (int i = 0; i < kRoundsPerThread; ++i) {
+        const double roll = 0.01 * static_cast<double>(rng.below(100));
+        if (live.size() < 16 && roll < 0.45) {
+          const std::uint64_t size = 16 + rng.below(256);
+          const std::uint64_t ccid = rng.chance(0.3) ? 0x7 : rng.next();
+          char* p = rng.chance(0.2)
+                        ? static_cast<char*>(alloc.calloc(1, size, 0x8))
+                        : static_cast<char*>(alloc.malloc(size, ccid));
+          if (p == nullptr) {
+            ++failures;
+            continue;
+          }
+          std::memset(p, t + 1, size);
+          live.emplace_back(p, size);
+        } else if (!live.empty() && roll < 0.6) {
+          // Realloc in place of the picked block.
+          const std::size_t pick = rng.index(live.size());
+          auto [p, size] = live[pick];
+          const std::uint64_t new_size = 16 + rng.below(512);
+          char* q = static_cast<char*>(alloc.realloc(p, new_size, 0x9));
+          if (q == nullptr) {
+            ++failures;
+            continue;
+          }
+          const std::uint64_t kept = size < new_size ? size : new_size;
+          for (std::uint64_t off = 0; off < kept; off += 23) {
+            if (q[off] != t + 1) {
+              ++failures;
+              break;
+            }
+          }
+          std::memset(q, t + 1, new_size);
+          live[pick] = {q, new_size};
+        } else if (!live.empty() && roll < 0.8) {
+          // Hand a block to another thread for freeing.
+          const std::size_t pick = rng.index(live.size());
+          Slot& other = slots[rng.index(kThreads)];
+          {
+            const std::lock_guard<std::mutex> lock(other.mutex);
+            other.blocks.push_back(live[pick]);
+          }
+          live[pick] = live.back();
+          live.pop_back();
+        } else {
+          // Drain own slot: free blocks other threads allocated.
+          std::vector<std::pair<char*, std::uint64_t>> adopted;
+          {
+            const std::lock_guard<std::mutex> lock(slots[t].mutex);
+            adopted.swap(slots[t].blocks);
+          }
+          for (auto& [p, size] : adopted) alloc.free(p);
+          if (!live.empty()) {
+            const std::size_t pick = rng.index(live.size());
+            auto [p, size] = live[pick];
+            for (std::uint64_t off = 0; off < size; off += 61) {
+              if (p[off] != t + 1) {
+                ++failures;
+                break;
+              }
+            }
+            alloc.free(p);
+            live[pick] = live.back();
+            live.pop_back();
+          }
+        }
+      }
+      for (auto& [p, size] : live) alloc.free(p);
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Drain the exchange slots (whatever was still in flight at exit).
+  for (auto& slot : slots) {
+    for (auto& [p, size] : slot.blocks) alloc.free(p);
+  }
+
+  EXPECT_EQ(failures.load(), 0u);
+  const AllocatorStats stats = alloc.stats_snapshot();
+  // Every allocation was intercepted and every block was freed exactly once.
+  EXPECT_EQ(stats.interceptions, stats.plain_frees + stats.quarantined_frees);
+  EXPECT_GT(stats.enhanced, 0u);
+  EXPECT_GT(stats.quarantined_frees, 0u);
+
+  // Per-shard accumulation really happened (allocations spread over shards).
+  std::uint64_t shards_used = 0;
+  for (std::uint32_t s = 0; s < alloc.shard_count(); ++s) {
+    if (alloc.shard_stats(s).interceptions > 0) ++shards_used;
+  }
+  EXPECT_GT(shards_used, 1u);
+
+  alloc.drain_quarantines();
+  EXPECT_EQ(alloc.quarantined_bytes(), 0u);
+}
+
+TEST(ShardedAllocator, QuarantineQuotaIsPartitionedAcrossShards) {
+  const PatchTable table({Patch{AllocFn::kMalloc, 0x7, patch::kUseAfterFree}});
+  GuardedAllocatorConfig config;
+  config.quarantine_quota_bytes = 1 << 20;  // 1 MiB total
+  ShardedAllocatorConfig sharding;
+  sharding.shards = 4;
+  ShardedAllocator alloc(&table, config, sharding);
+  // Push far more than the quota through quarantined frees; the per-shard
+  // slices must keep the global footprint at or under the configured quota
+  // (+ one retained block per shard, the oversized-block guarantee).
+  for (int i = 0; i < 2000; ++i) {
+    void* p = alloc.malloc(4096, 0x7);
+    ASSERT_NE(p, nullptr);
+    alloc.free(p);
+  }
+  EXPECT_LE(alloc.quarantined_bytes(),
+            config.quarantine_quota_bytes + 4u * 8192u);
+  EXPECT_GT(alloc.quarantined_bytes(), 0u);
+  alloc.drain_quarantines();
+}
+
+TEST(ShardedAllocator, ForeignPointersForwarded) {
+  ShardedAllocator alloc;
+  void* foreign = std::malloc(64);
+  ASSERT_NE(foreign, nullptr);
+  EXPECT_FALSE(ShardedAllocator::owns(foreign));
+  // Routed straight to the underlying allocator, no metadata assumed.
+  alloc.free(foreign);
+  void* p = alloc.malloc(64, 0);
+  EXPECT_TRUE(ShardedAllocator::owns(p));
+  alloc.free(p);
+}
+
+TEST(ShardedAllocator, ReallocAcrossThreadsPreservesContents) {
+  ShardedAllocator alloc;
+  char* p = static_cast<char*>(alloc.malloc(100, 0));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x33, 100);
+  char* q = nullptr;
+  std::thread grower([&] {
+    q = static_cast<char*>(alloc.realloc(p, 4000, 0));
+  });
+  grower.join();
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(q[i], 0x33);
+  std::thread freer([&] { alloc.free(q); });
+  freer.join();
+  const AllocatorStats stats = alloc.stats_snapshot();
+  EXPECT_EQ(stats.interceptions, stats.plain_frees + stats.quarantined_frees);
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -65,6 +65,85 @@ TEST(ServiceWorkload, ConcurrencySweepRequestsSplitEvenly) {
   }
 }
 
+TEST(ServiceWorkload, SharedAllocatorModesRun) {
+  // One shared allocator across all workers — the LD_PRELOAD deployment
+  // shape — in both lock disciplines.
+  const patch::PatchTable empty({}, /*freeze=*/true);
+  for (AllocatorMode mode :
+       {AllocatorMode::kSharedLocked, AllocatorMode::kSharedSharded}) {
+    ServiceConfig config;
+    config.kind = ServiceKind::kNginxLike;
+    config.requests = 2000;
+    config.concurrency = 4;
+    config.mode = mode;
+    config.patches = &empty;
+    const ServiceResult result = run_service(config);
+    EXPECT_EQ(result.requests, 2000u);
+    EXPECT_GT(result.requests_per_second, 0.0);
+    // Every request makes 3 allocations; all were intercepted and all freed.
+    EXPECT_EQ(result.allocator_stats.interceptions, 3u * 2000u);
+    EXPECT_EQ(result.allocator_stats.interceptions,
+              result.allocator_stats.plain_frees +
+                  result.allocator_stats.quarantined_frees);
+  }
+}
+
+TEST(ServiceWorkload, ChecksumAgreesAcrossAllocatorModes) {
+  // The request streams are seed-deterministic and the checksum depends
+  // only on buffer contents the handlers themselves write, so every
+  // allocator mode must produce the identical checksum.
+  const patch::PatchTable empty({}, /*freeze=*/true);
+  ServiceConfig base;
+  base.kind = ServiceKind::kMysqlLike;
+  base.requests = 600;
+  base.concurrency = 2;
+  base.seed = 7;
+
+  ServiceConfig native = base;
+  const std::uint64_t reference = run_service(native).checksum;
+  for (AllocatorMode mode :
+       {AllocatorMode::kPerThread, AllocatorMode::kSharedLocked,
+        AllocatorMode::kSharedSharded}) {
+    ServiceConfig config = base;
+    config.mode = mode;
+    config.patches = &empty;
+    EXPECT_EQ(run_service(config).checksum, reference)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(ServiceWorkload, ShardedModeHonorsShardCountAndPatches) {
+  std::vector<patch::Patch> patches{
+      {progmodel::AllocFn::kMalloc, 0x1102, patch::kUseAfterFree}};
+  const patch::PatchTable table(patches, /*freeze=*/true);
+  ServiceConfig config;
+  config.kind = ServiceKind::kNginxLike;
+  config.requests = 1000;
+  config.concurrency = 4;
+  config.mode = AllocatorMode::kSharedSharded;
+  config.shards = 4;
+  config.patches = &table;
+  const ServiceResult result = run_service(config);
+  EXPECT_EQ(result.requests, 1000u);
+  // The body buffer (one per request) is UAF-patched: its frees quarantine.
+  EXPECT_EQ(result.allocator_stats.quarantined_frees, 1000u);
+  EXPECT_EQ(result.allocator_stats.enhanced, 1000u);
+}
+
+TEST(ServiceWorkload, PerThreadModeReportsMergedStats) {
+  const patch::PatchTable empty({}, /*freeze=*/true);
+  ServiceConfig config;
+  config.kind = ServiceKind::kNginxLike;
+  config.requests = 1000;
+  config.concurrency = 4;
+  config.mode = AllocatorMode::kPerThread;
+  config.patches = &empty;
+  const ServiceResult result = run_service(config);
+  // Stats from the 4 per-thread allocators merge into one report.
+  EXPECT_EQ(result.allocator_stats.interceptions, 3u * 1000u);
+  EXPECT_EQ(result.allocator_stats.plain_frees, 3u * 1000u);
+}
+
 TEST(ServiceWorkload, PatchedServiceStillServes) {
   // A patch on the nginx body buffer context must not break service.
   std::vector<patch::Patch> patches{
