@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Documentation lint: the operator-facing surface must stay documented.
+#
+# Checks (all against the repo the script lives in, so it runs from any cwd):
+#   1. every HEAPTHERAPY_* environment variable referenced by src/ or tools/
+#      is documented somewhere in README.md, DESIGN.md, or docs/;
+#   2. every htctl subcommand dispatched in tools/htctl.cpp is documented;
+#   3. every relative markdown link in tracked *.md files resolves to a file
+#      that exists.
+#
+# Wired into ctest as `docs.check_docs` (tests/CMakeLists.txt) so a PR that
+# adds a knob without documenting it fails the suite, not a review cycle.
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+doc_files=("$repo/README.md" "$repo/DESIGN.md")
+while IFS= read -r f; do doc_files+=("$f"); done \
+  < <(find "$repo/docs" -name '*.md' | sort)
+
+doc_corpus="$(cat "${doc_files[@]}")"
+
+# --- 1. environment variables -------------------------------------------
+env_vars="$(grep -rhoE 'HEAPTHERAPY_[A-Z_]+' "$repo/src" "$repo/tools" | sort -u)"
+for var in $env_vars; do
+  if ! grep -qF "$var" <<<"$doc_corpus"; then
+    echo "check_docs: env var $var (used in src/ or tools/) is not documented" \
+         "in README.md, DESIGN.md, or docs/" >&2
+    fail=1
+  fi
+done
+
+# --- 2. htctl subcommands -----------------------------------------------
+subcommands="$(grep -oE 'command == "[a-z]+"' "$repo/tools/htctl.cpp" \
+               | grep -oE '"[a-z]+"' | tr -d '"' | sort -u)"
+if [ -z "$subcommands" ]; then
+  echo "check_docs: found no htctl subcommands in tools/htctl.cpp" \
+       "(extraction pattern broken?)" >&2
+  fail=1
+fi
+for cmd in $subcommands; do
+  if ! grep -qE "htctl $cmd" <<<"$doc_corpus"; then
+    echo "check_docs: htctl subcommand '$cmd' is not documented (no" \
+         "'htctl $cmd' in README.md, DESIGN.md, or docs/)" >&2
+    fail=1
+  fi
+done
+
+# --- 3. relative markdown links -----------------------------------------
+# Matches ](target) where target is not an absolute URL or an in-page
+# anchor; strips any #fragment before checking existence.
+all_md="$(find "$repo" -name '*.md' -not -path "$repo/build/*" -not -path '*/.*' | sort)"
+for md in $all_md; do
+  dir="$(dirname "$md")"
+  links="$(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')" || true
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$repo/$target" ]; then
+      echo "check_docs: ${md#"$repo"/} links to '$link' which does not exist" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK (env vars, htctl subcommands, markdown links)"

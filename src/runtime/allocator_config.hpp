@@ -13,6 +13,21 @@
 
 namespace ht::runtime {
 
+/// Observability configuration (src/runtime/telemetry.hpp implements it;
+/// docs/OBSERVABILITY.md is the reference). Lives here so every allocator
+/// front end carries it inside its GuardedAllocatorConfig.
+struct TelemetryConfig {
+  /// Cheap always-on tier: per-patch hit counters + enhancement-latency
+  /// histogram. Costs a few increments on *enhanced* allocations only;
+  /// bench/ht_telemetry_overhead holds it to <2% of service throughput.
+  bool counters = true;
+  /// Opt-in tier: the bounded lock-free detection-event ring.
+  bool events = false;
+  /// Per-context (per-shard) ring capacity in events; rounded up to a
+  /// power of two. Ignored unless `events` is set.
+  std::uint32_t ring_capacity = 256;
+};
+
 struct GuardedAllocatorConfig {
   std::uint64_t quarantine_quota_bytes = 16ULL << 20;  ///< online FIFO quota
   /// Interposition-only mode: forward straight to the underlying allocator
@@ -37,6 +52,8 @@ struct GuardedAllocatorConfig {
   /// of the read-only patch table (sound because tables are immutable;
   /// ablatable to measure the raw table-lookup cost).
   bool memoize_decisions = true;
+  /// Observability tiers (counters / event ring); see above.
+  TelemetryConfig telemetry;
 
   static constexpr std::uint8_t kPoisonByte = 0xDE;
 };

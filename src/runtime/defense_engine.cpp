@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "patch/decision_cache.hpp"
@@ -10,6 +11,20 @@
 namespace ht::runtime {
 
 using progmodel::AllocFn;
+
+namespace {
+
+/// Steady-clock nanoseconds for the enhancement-latency histogram. Read
+/// only on the *enhanced* path and only when a telemetry sink is attached,
+/// so unpatched traffic never pays for a clock call.
+std::uint64_t latency_clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 DefenseEngine::DefenseEngine(const patch::PatchTable* patches,
                              GuardedAllocatorConfig config,
@@ -76,7 +91,8 @@ std::uint8_t DefenseEngine::lookup_mask(AllocFn fn, std::uint64_t ccid) const no
 
 void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
                               std::uint64_t alignment, std::uint64_t ccid,
-                              AllocatorStats& stats) const {
+                              AllocatorStats& stats,
+                              TelemetrySink* telemetry) const {
   ++stats.interceptions;
   if (config_.forward_only) {
     return alignment > 0 ? underlying_.memalign_fn(alignment, size)
@@ -84,6 +100,10 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
   }
 
   const std::uint8_t mask = lookup_mask(fn, ccid);
+  // Latency timing covers exactly the enhancement work (defenses applied
+  // for a matched patch); the clock is read only on that path.
+  const std::uint64_t enhance_start =
+      (mask != 0 && telemetry != nullptr) ? latency_clock_ns() : 0;
   bool guard = (mask & patch::kOverflow) != 0 && config_.use_guard_pages;
   const bool canary =
       (mask & patch::kOverflow) != 0 && !guard && config_.use_canaries;
@@ -110,6 +130,10 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
     if (::mprotect(reinterpret_cast<void*>(guard_addr), kPageSize, PROT_NONE) != 0) {
       // Degrade gracefully: metadata-only protection for this buffer.
       ++stats.failed_guards;
+      if (telemetry != nullptr) {
+        telemetry->record_event(TelemetryEvent::kGuardInstallFail, ccid, size,
+                                mask, static_cast<std::uint8_t>(fn));
+      }
       guard = false;
     } else {
       ++stats.guard_pages;
@@ -136,7 +160,13 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
     std::memset(user, 0, size);
     ++stats.zero_fills;
   }
-  if (mask != 0) ++stats.enhanced;
+  if (mask != 0) {
+    ++stats.enhanced;
+    if (telemetry != nullptr) {
+      telemetry->record_patch_hit(fn, ccid, mask, size,
+                                  latency_clock_ns() - enhance_start);
+    }
+  }
 
   const std::uint64_t word = encode_metadata(meta);
   std::memcpy(user - sizeof(word), &word, sizeof(word));
@@ -146,32 +176,35 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
 }
 
 void* DefenseEngine::malloc(std::uint64_t size, std::uint64_t ccid,
-                            AllocatorStats& stats) const {
-  return allocate(AllocFn::kMalloc, size, 0, ccid, stats);
+                            AllocatorStats& stats, TelemetrySink* telemetry) const {
+  return allocate(AllocFn::kMalloc, size, 0, ccid, stats, telemetry);
 }
 
 void* DefenseEngine::calloc(std::uint64_t count, std::uint64_t size,
-                            std::uint64_t ccid, AllocatorStats& stats) const {
+                            std::uint64_t ccid, AllocatorStats& stats,
+                            TelemetrySink* telemetry) const {
   // Overflow-checked multiply, as any production calloc must do.
   if (size != 0 && count > UINT64_MAX / size) return nullptr;
   const std::uint64_t total = count * size;
-  void* p = allocate(AllocFn::kCalloc, total, 0, ccid, stats);
+  void* p = allocate(AllocFn::kCalloc, total, 0, ccid, stats, telemetry);
   if (p != nullptr && total > 0) std::memset(p, 0, total);
   return p;
 }
 
 void* DefenseEngine::memalign(std::uint64_t alignment, std::uint64_t size,
-                              std::uint64_t ccid, AllocatorStats& stats) const {
-  return allocate(AllocFn::kMemalign, size, alignment, ccid, stats);
+                              std::uint64_t ccid, AllocatorStats& stats,
+                              TelemetrySink* telemetry) const {
+  return allocate(AllocFn::kMemalign, size, alignment, ccid, stats, telemetry);
 }
 
 void* DefenseEngine::aligned_alloc(std::uint64_t alignment, std::uint64_t size,
-                                   std::uint64_t ccid, AllocatorStats& stats) const {
-  return allocate(AllocFn::kAlignedAlloc, size, alignment, ccid, stats);
+                                   std::uint64_t ccid, AllocatorStats& stats,
+                                   TelemetrySink* telemetry) const {
+  return allocate(AllocFn::kAlignedAlloc, size, alignment, ccid, stats, telemetry);
 }
 
 void DefenseEngine::free(void* p, Quarantine& quarantine,
-                         AllocatorStats& stats) const {
+                         AllocatorStats& stats, TelemetrySink* telemetry) const {
   if (p == nullptr) return;
   if (config_.forward_only || !owns(p)) {
     underlying_.free_fn(p);
@@ -182,7 +215,13 @@ void DefenseEngine::free(void* p, Quarantine& quarantine,
   if (meta.canary) {
     std::uint64_t found;
     std::memcpy(&found, static_cast<char*>(p) + size, sizeof(found));
-    if (found != canary_for(p)) ++stats.canary_overflows_on_free;
+    if (found != canary_for(p)) {
+      ++stats.canary_overflows_on_free;
+      if (telemetry != nullptr) {
+        telemetry->record_event(TelemetryEvent::kCanaryCorruption,
+                                /*ccid=*/0, size, meta.vuln_mask);
+      }
+    }
   }
   if (meta.has_guard()) {
     // Fig. 7 step 1: make the guard page accessible again and recover the

@@ -29,6 +29,7 @@
 #include "runtime/allocator_config.hpp"
 #include "runtime/metadata.hpp"
 #include "runtime/quarantine.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/underlying.hpp"
 
 namespace ht::runtime {
@@ -43,26 +44,36 @@ class DefenseEngine {
 
   // The allocation family. `ccid` is the current calling-context id (read
   // from the encoding register by the interposition layer); `stats` is the
-  // calling context's private counter block.
+  // calling context's private counter block. `telemetry` is the context's
+  // optional observability sink (patch-hit counters, latency histogram,
+  // detection events); null keeps the paths telemetry-free — the engine
+  // itself stays immutable either way, all mutation goes through the
+  // caller-owned sink exactly like `stats`.
   [[nodiscard]] void* malloc(std::uint64_t size, std::uint64_t ccid,
-                             AllocatorStats& stats) const;
+                             AllocatorStats& stats,
+                             TelemetrySink* telemetry = nullptr) const;
   [[nodiscard]] void* calloc(std::uint64_t count, std::uint64_t size,
-                             std::uint64_t ccid, AllocatorStats& stats) const;
+                             std::uint64_t ccid, AllocatorStats& stats,
+                             TelemetrySink* telemetry = nullptr) const;
   [[nodiscard]] void* memalign(std::uint64_t alignment, std::uint64_t size,
-                               std::uint64_t ccid, AllocatorStats& stats) const;
+                               std::uint64_t ccid, AllocatorStats& stats,
+                               TelemetrySink* telemetry = nullptr) const;
   [[nodiscard]] void* aligned_alloc(std::uint64_t alignment, std::uint64_t size,
-                                    std::uint64_t ccid, AllocatorStats& stats) const;
+                                    std::uint64_t ccid, AllocatorStats& stats,
+                                    TelemetrySink* telemetry = nullptr) const;
   /// The workhorse behind the family above; public so wrappers can allocate
   /// under an explicit AllocFn (realloc's fresh buffer).
   [[nodiscard]] void* allocate(progmodel::AllocFn fn, std::uint64_t size,
                                std::uint64_t alignment, std::uint64_t ccid,
-                               AllocatorStats& stats) const;
+                               AllocatorStats& stats,
+                               TelemetrySink* telemetry = nullptr) const;
 
   /// The free logic: canary verification, guard-page teardown, poisoning,
   /// and the quarantine-vs-release decision. `quarantine` receives UAF-
   /// patched blocks; owners route it (shards route by pointer hash so any
   /// thread can free any block into a consistent shard).
-  void free(void* p, Quarantine& quarantine, AllocatorStats& stats) const;
+  void free(void* p, Quarantine& quarantine, AllocatorStats& stats,
+            TelemetrySink* telemetry = nullptr) const;
 
   // Introspection (reads the self-maintained metadata).
   /// User-visible size of a live buffer. For guarded buffers this briefly

@@ -10,32 +10,41 @@ GuardedAllocator::GuardedAllocator(const patch::PatchTable* patches,
                                    GuardedAllocatorConfig config,
                                    UnderlyingAllocator underlying)
     : engine_(patches, config, underlying),
-      quarantine_(config.quarantine_quota_bytes, underlying) {}
+      quarantine_(config.quarantine_quota_bytes, underlying) {
+  telemetry_.configure(config.telemetry);
+  quarantine_.set_telemetry(&telemetry_);
+  if (patches != nullptr) {
+    telemetry_.record_event(TelemetryEvent::kPatchTableLoad, /*ccid=*/0,
+                            patches->patch_count(),
+                            static_cast<std::uint32_t>(patches->generation()));
+  }
+}
 
 GuardedAllocator::~GuardedAllocator() = default;
 
 void* GuardedAllocator::malloc(std::uint64_t size, std::uint64_t ccid) {
-  return engine_.malloc(size, ccid, stats_);
+  return engine_.malloc(size, ccid, stats_, &telemetry_);
 }
 
 void* GuardedAllocator::calloc(std::uint64_t count, std::uint64_t size,
                                std::uint64_t ccid) {
-  return engine_.calloc(count, size, ccid, stats_);
+  return engine_.calloc(count, size, ccid, stats_, &telemetry_);
 }
 
 void* GuardedAllocator::memalign(std::uint64_t alignment, std::uint64_t size,
                                  std::uint64_t ccid) {
-  return engine_.memalign(alignment, size, ccid, stats_);
+  return engine_.memalign(alignment, size, ccid, stats_, &telemetry_);
 }
 
 void* GuardedAllocator::aligned_alloc(std::uint64_t alignment, std::uint64_t size,
                                       std::uint64_t ccid) {
-  return engine_.aligned_alloc(alignment, size, ccid, stats_);
+  return engine_.aligned_alloc(alignment, size, ccid, stats_, &telemetry_);
 }
 
 void* GuardedAllocator::realloc(void* p, std::uint64_t new_size, std::uint64_t ccid) {
   if (p == nullptr) {
-    return engine_.allocate(AllocFn::kRealloc, new_size, 0, ccid, stats_);
+    return engine_.allocate(AllocFn::kRealloc, new_size, 0, ccid, stats_,
+                            &telemetry_);
   }
   if (engine_.config().forward_only || !owns(p)) {
     return engine_.underlying().realloc_fn(p, new_size);
@@ -47,13 +56,29 @@ void* GuardedAllocator::realloc(void* p, std::uint64_t new_size, std::uint64_t c
   const std::uint64_t old_size = user_size(p);
   // The new buffer is allocated under the realloc-time CCID and re-screened
   // against the patch table (§V: the buffer's CCID is updated on realloc).
-  void* fresh = engine_.allocate(AllocFn::kRealloc, new_size, 0, ccid, stats_);
+  void* fresh = engine_.allocate(AllocFn::kRealloc, new_size, 0, ccid, stats_,
+                                 &telemetry_);
   if (fresh == nullptr) return nullptr;
   std::memcpy(fresh, p, old_size < new_size ? old_size : new_size);
   free(p);
   return fresh;
 }
 
-void GuardedAllocator::free(void* p) { engine_.free(p, quarantine_, stats_); }
+void GuardedAllocator::free(void* p) {
+  engine_.free(p, quarantine_, stats_, &telemetry_);
+}
+
+TelemetrySnapshot GuardedAllocator::telemetry_snapshot() const {
+  TelemetrySnapshot snap;
+  snap.config = engine_.config().telemetry;
+  if (const patch::PatchTable* table = engine_.patches(); table != nullptr) {
+    snap.table_generation = table->generation();
+    snap.table_patches = table->patch_count();
+  }
+  merge_sink_into_snapshot(snap, telemetry_, /*shard=*/0, stats_,
+                           quarantine_.bytes(), quarantine_.depth());
+  finalize_snapshot(snap);
+  return snap;
+}
 
 }  // namespace ht::runtime

@@ -68,6 +68,16 @@ class GuardedAllocator {
   }
   [[nodiscard]] const DefenseEngine& engine() const noexcept { return engine_; }
 
+  /// The observability sink (counters + event ring); configured from
+  /// `config.telemetry` at construction. Non-const access so the guarded
+  /// backend can emit guard-trap events through the owning allocator.
+  [[nodiscard]] TelemetrySink& telemetry() noexcept { return telemetry_; }
+  [[nodiscard]] const TelemetrySink& telemetry() const noexcept {
+    return telemetry_;
+  }
+  /// Point-in-time telemetry merge (single-context: one shard row).
+  [[nodiscard]] TelemetrySnapshot telemetry_snapshot() const;
+
   /// True iff `p` carries the defense engine's header tag (see
   /// DefenseEngine::owns).
   [[nodiscard]] static bool owns(const void* p) noexcept {
@@ -78,6 +88,7 @@ class GuardedAllocator {
   DefenseEngine engine_;
   Quarantine quarantine_;
   AllocatorStats stats_;
+  TelemetrySink telemetry_;
 };
 
 }  // namespace ht::runtime

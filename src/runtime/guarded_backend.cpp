@@ -47,7 +47,8 @@ std::uint64_t GuardedBackend::allocate(AllocFn fn, std::uint64_t size,
   if (p == nullptr) return 0;
   const auto addr = reinterpret_cast<std::uint64_t>(p);
   const std::uint16_t gen = ++generation_;
-  live_[addr] = BufferInfo{size, allocator_.applied_mask(p), gen};
+  live_[addr] = BufferInfo{size, ccid, allocator_.applied_mask(p),
+                           static_cast<std::uint8_t>(fn), gen};
   return make_handle(addr, gen);
 }
 
@@ -69,8 +70,15 @@ std::uint64_t GuardedBackend::reallocate(std::uint64_t handle, std::uint64_t new
   if (p == nullptr) return 0;
   const auto new_addr = reinterpret_cast<std::uint64_t>(p);
   const std::uint16_t gen = ++generation_;
-  live_[new_addr] = BufferInfo{new_size, allocator_.applied_mask(p), gen};
+  live_[new_addr] = BufferInfo{new_size, ccid, allocator_.applied_mask(p),
+                               static_cast<std::uint8_t>(AllocFn::kRealloc), gen};
   return make_handle(new_addr, gen);
+}
+
+void GuardedBackend::record_guard_trap(const BufferInfo& info,
+                                       std::uint64_t attempted_len) {
+  allocator_.telemetry().record_event(TelemetryEvent::kGuardTrap, info.ccid,
+                                      attempted_len, info.mask, info.fn);
 }
 
 void GuardedBackend::deallocate(std::uint64_t handle) {
@@ -153,6 +161,7 @@ AccessOutcome GuardedBackend::write(std::uint64_t handle, std::uint64_t offset,
   // Out-of-bounds tail.
   if ((lookup.info.mask & patch::kOverflow) != 0) {
     ++obs_.oob_writes_blocked;  // the guard page faults the store
+    record_guard_trap(lookup.info, len);
     return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/true);
   }
   ++obs_.oob_writes_landed;  // silent adjacent-data corruption (simulated)
@@ -203,6 +212,7 @@ AccessOutcome GuardedBackend::read(std::uint64_t handle, std::uint64_t offset,
   if (in_bounds == len) return {};
   if ((lookup.info.mask & patch::kOverflow) != 0) {
     ++obs_.oob_reads_blocked;
+    record_guard_trap(lookup.info, len);
     return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/false);
   }
   ++obs_.oob_reads_landed;
@@ -242,6 +252,7 @@ AccessOutcome GuardedBackend::copy(std::uint64_t src, std::uint64_t src_off,
   if (src_limited) {
     if ((s.info.mask & patch::kOverflow) != 0) {
       ++obs_.oob_reads_blocked;
+      record_guard_trap(s.info, len);
       return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/false);
     }
     ++obs_.oob_reads_landed;
@@ -249,6 +260,7 @@ AccessOutcome GuardedBackend::copy(std::uint64_t src, std::uint64_t src_off,
   }
   if ((d.info.mask & patch::kOverflow) != 0) {
     ++obs_.oob_writes_blocked;
+    record_guard_trap(d.info, len);
     return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/true);
   }
   ++obs_.oob_writes_landed;

@@ -73,9 +73,16 @@ class GuardedBackend final : public progmodel::AllocatorBackend {
  private:
   struct BufferInfo {
     std::uint64_t size = 0;
-    std::uint8_t mask = 0;  ///< applied defense mask
-    std::uint16_t gen = 0;  ///< allocation generation (pointer provenance)
+    std::uint64_t ccid = 0;  ///< allocation-time calling-context id
+    std::uint8_t mask = 0;   ///< applied defense mask
+    std::uint8_t fn = 0;     ///< progmodel::AllocFn that created the buffer
+    std::uint16_t gen = 0;   ///< allocation generation (pointer provenance)
   };
+
+  /// Emits a kGuardTrap telemetry event attributed to the trapped buffer's
+  /// allocation-time {FUN, CCID} — the interpreter-path analogue of the
+  /// SIGSEGV a real guarded process would take.
+  void record_guard_trap(const BufferInfo& info, std::uint64_t attempted_len);
 
   /// Handles returned to programs are real addresses tagged with a 16-bit
   /// generation in the top bits (x86-64 user VAs fit in 48). The tag is the

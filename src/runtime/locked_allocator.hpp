@@ -61,6 +61,12 @@ class LockedAllocator {
     return inner_.stats();
   }
 
+  /// Telemetry merge of the inner allocator (taken under the lock).
+  [[nodiscard]] TelemetrySnapshot telemetry_snapshot() const {
+    const std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return inner_.telemetry_snapshot();
+  }
+
  private:
   mutable std::recursive_mutex mutex_;
   GuardedAllocator inner_;

@@ -14,6 +14,16 @@
 //    quarantine byte quota (partitioned across shards);
 //    $HEAPTHERAPY_SHARDS overrides the shard count (default: one per
 //    hardware thread, power-of-two, max 64).
+//  - $HEAPTHERAPY_TELEMETRY=<path> starts a background thread that
+//    periodically rewrites <path> with the telemetry dump
+//    (docs/FORMATS.md §4; docs/OBSERVABILITY.md), plus one final flush
+//    from an ELF destructor. Setting it also turns the event ring on.
+//    $HEAPTHERAPY_TELEMETRY_INTERVAL (ms, default 1000) paces the flush;
+//    $HEAPTHERAPY_TELEMETRY_EVENTS=0/1 forces the ring off/on;
+//    $HEAPTHERAPY_TELEMETRY_RING sets per-shard ring capacity;
+//    $HEAPTHERAPY_TELEMETRY_COUNTERS=0 disables even the cheap counters.
+//    Recording an event or counter never allocates (fixed-size rings and
+//    tables); only the flusher thread allocates, off the hot path.
 //  - The current CCID is the thread-local `ht_cc_current`, exported with C
 //    linkage; the instrumentation pass (our progmodel interpreter stands in
 //    for it; a real LLVM pass would emit the same symbol) keeps it updated.
@@ -26,6 +36,8 @@
 // locks. The only internal allocations happen during construction (patch
 // table, shard array); the t_constructing flag routes those straight to
 // libc, where they stay untagged and are later forwarded on free.
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -33,10 +45,12 @@
 #include <cstring>
 #include <mutex>
 #include <new>
+#include <thread>
 
 #include "patch/config_file.hpp"
 #include "patch/patch_table.hpp"
 #include "runtime/sharded_allocator.hpp"
+#include "runtime/telemetry.hpp"
 
 // glibc's real entry points.
 extern "C" {
@@ -86,6 +100,47 @@ std::mutex& init_mutex() {
   return m;
 }
 
+// ---- Telemetry flusher ($HEAPTHERAPY_TELEMETRY) ----
+// The environment's getenv strings outlive the process image, so the raw
+// pointer is safe to keep. All flushing runs on the background thread or in
+// the ELF destructor — never on an allocation path.
+const char* g_telemetry_path = nullptr;
+unsigned long g_flush_interval_ms = 1000;
+std::atomic<bool> g_flusher_running{false};
+
+// One flush at a time: the periodic thread and the destructor's final
+// flush must not interleave writes to the same file.
+std::mutex& flush_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void flush_telemetry_file() {
+  if (g_telemetry_path == nullptr || g_allocator == nullptr) return;
+  const std::lock_guard<std::mutex> lock(flush_mutex());
+  const std::string dump =
+      ht::runtime::render_telemetry(g_allocator->telemetry_snapshot());
+  // Write-then-rename so a reader polling the path always sees a complete
+  // dump (the previous one, or the new one) — never a half-written file.
+  const std::string tmp = std::string(g_telemetry_path) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  const bool wrote = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
+  const bool closed = std::fclose(f) == 0;
+  if (wrote && closed) {
+    std::rename(tmp.c_str(), g_telemetry_path);
+  } else {
+    std::remove(tmp.c_str());
+  }
+}
+
+void telemetry_flusher() {
+  while (g_flusher_running.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(g_flush_interval_ms));
+    flush_telemetry_file();
+  }
+}
+
 ShardedAllocator& allocator() {
   // First call can arrive before the constructor function runs (the dynamic
   // loader allocates); bootstrap with an empty table. heaptherapy_init later
@@ -126,16 +181,48 @@ __attribute__((constructor)) void heaptherapy_init() {
   if (const char* shards = std::getenv("HEAPTHERAPY_SHARDS")) {
     sharding.shards = static_cast<std::uint32_t>(std::strtoul(shards, nullptr, 10));
   }
-  const std::lock_guard<std::mutex> lock(init_mutex());
-  // Rebuilding over a bootstrapped instance intentionally leaks its (tiny)
-  // internal state; outstanding buffers keep working because the header
-  // tags and layouts are instance-independent. This runs in the ELF
-  // constructor phase, before host threads exist.
-  t_constructing = true;
-  g_table = new (table_storage) PatchTable(patches, /*freeze=*/true);
-  g_allocator = new (allocator_storage)
-      ShardedAllocator(g_table, config, sharding, libc_allocator());
-  t_constructing = false;
+  g_telemetry_path = std::getenv("HEAPTHERAPY_TELEMETRY");
+  // A flush target implies the event ring; explicit knobs override either
+  // direction.
+  config.telemetry.events = g_telemetry_path != nullptr;
+  if (const char* events = std::getenv("HEAPTHERAPY_TELEMETRY_EVENTS")) {
+    config.telemetry.events = std::strtoul(events, nullptr, 10) != 0;
+  }
+  if (const char* ring = std::getenv("HEAPTHERAPY_TELEMETRY_RING")) {
+    config.telemetry.ring_capacity =
+        static_cast<std::uint32_t>(std::strtoul(ring, nullptr, 10));
+  }
+  if (const char* counters = std::getenv("HEAPTHERAPY_TELEMETRY_COUNTERS")) {
+    config.telemetry.counters = std::strtoul(counters, nullptr, 10) != 0;
+  }
+  if (const char* interval = std::getenv("HEAPTHERAPY_TELEMETRY_INTERVAL")) {
+    g_flush_interval_ms = std::strtoul(interval, nullptr, 10);
+    if (g_flush_interval_ms == 0) g_flush_interval_ms = 1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(init_mutex());
+    // Rebuilding over a bootstrapped instance intentionally leaks its (tiny)
+    // internal state; outstanding buffers keep working because the header
+    // tags and layouts are instance-independent. This runs in the ELF
+    // constructor phase, before host threads exist.
+    t_constructing = true;
+    g_table = new (table_storage) PatchTable(patches, /*freeze=*/true);
+    g_allocator = new (allocator_storage)
+        ShardedAllocator(g_table, config, sharding, libc_allocator());
+    t_constructing = false;
+  }
+  if (g_telemetry_path != nullptr) {
+    g_flusher_running.store(true, std::memory_order_relaxed);
+    std::thread(telemetry_flusher).detach();
+  }
+}
+
+__attribute__((destructor)) void heaptherapy_fini() {
+  // Stop the periodic thread (best effort; it may be mid-sleep — the flush
+  // mutex keeps a straggling iteration from interleaving with ours) and
+  // write the final dump.
+  g_flusher_running.store(false, std::memory_order_relaxed);
+  flush_telemetry_file();
 }
 
 }  // namespace

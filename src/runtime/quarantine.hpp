@@ -26,6 +26,7 @@
 
 #include <cstdint>
 
+#include "runtime/telemetry.hpp"
 #include "runtime/underlying.hpp"
 
 namespace ht::runtime {
@@ -56,6 +57,11 @@ class Quarantine {
     underlying_ = underlying;
   }
 
+  /// Attaches the owning context's telemetry sink; evictions and oversized
+  /// retentions are then recorded as ring events. May be null (default).
+  /// The sink must outlive the quarantine.
+  void set_telemetry(TelemetrySink* sink) noexcept { telemetry_ = sink; }
+
   /// Enqueues a freed raw block of `bytes` (>= kMinBlockBytes) and evicts
   /// oldest blocks while over quota — but never the block just pushed.
   void push(void* raw, std::uint64_t bytes) noexcept {
@@ -71,6 +77,14 @@ class Quarantine {
     bytes_ += bytes;
     ++depth_;
     ++total_pushed_;
+    if (bytes > quota_ && telemetry_ != nullptr) {
+      // Oversized block: exceeds the whole quota slice by itself. It is
+      // retained (the newest block is never self-evicted), but an operator
+      // should know the quota is undersized for this traffic.
+      telemetry_->record_event(TelemetryEvent::kQuarantineOverflow,
+                               /*ccid=*/0, bytes,
+                               static_cast<std::uint32_t>(depth_));
+    }
     while (bytes_ > quota_ && depth_ > 1) evict_oldest();
   }
 
@@ -110,11 +124,17 @@ class Quarantine {
     bytes_ -= node->bytes;
     --depth_;
     ++total_released_;
+    if (telemetry_ != nullptr) {
+      telemetry_->record_event(TelemetryEvent::kQuarantineEvict,
+                               /*ccid=*/0, node->bytes,
+                               static_cast<std::uint32_t>(depth_));
+    }
     underlying_.free_fn(node);
   }
 
   std::uint64_t quota_ = 0;
   UnderlyingAllocator underlying_;
+  TelemetrySink* telemetry_ = nullptr;
   Node* head_ = nullptr;
   Node* tail_ = nullptr;
   std::size_t depth_ = 0;

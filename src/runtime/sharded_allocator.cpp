@@ -48,6 +48,16 @@ ShardedAllocator::ShardedAllocator(const patch::PatchTable* patches,
       std::max<std::uint64_t>(config.quarantine_quota_bytes / shard_count_, 4096);
   for (std::uint32_t i = 0; i < shard_count_; ++i) {
     shards_[i].quarantine.configure(slice, underlying);
+    shards_[i].telemetry.configure(config.telemetry,
+                                   static_cast<std::uint16_t>(i));
+    shards_[i].quarantine.set_telemetry(&shards_[i].telemetry);
+  }
+  if (patches != nullptr) {
+    // The load event is recorded once, on shard 0 — one table bind, not one
+    // per shard.
+    shards_[0].telemetry.record_event(
+        TelemetryEvent::kPatchTableLoad, /*ccid=*/0, patches->patch_count(),
+        static_cast<std::uint32_t>(patches->generation()));
   }
 }
 
@@ -74,7 +84,8 @@ void* ShardedAllocator::allocate_on_home(AllocFn fn, std::uint64_t size,
                                          std::uint64_t ccid) {
   Shard& shard = shards_[home_shard()];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  return engine_.allocate(fn, size, alignment, ccid, shard.stats);
+  return engine_.allocate(fn, size, alignment, ccid, shard.stats,
+                          &shard.telemetry);
 }
 
 void* ShardedAllocator::malloc(std::uint64_t size, std::uint64_t ccid) {
@@ -85,7 +96,7 @@ void* ShardedAllocator::calloc(std::uint64_t count, std::uint64_t size,
                                std::uint64_t ccid) {
   Shard& shard = shards_[home_shard()];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  return engine_.calloc(count, size, ccid, shard.stats);
+  return engine_.calloc(count, size, ccid, shard.stats, &shard.telemetry);
 }
 
 void* ShardedAllocator::memalign(std::uint64_t alignment, std::uint64_t size,
@@ -126,7 +137,7 @@ void ShardedAllocator::free(void* p) {
   }
   Shard& shard = shards_[shard_of(p)];
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  engine_.free(p, shard.quarantine, shard.stats);
+  engine_.free(p, shard.quarantine, shard.stats, &shard.telemetry);
 }
 
 AllocatorStats ShardedAllocator::stats_snapshot() const {
@@ -156,6 +167,37 @@ void ShardedAllocator::drain_quarantines() {
     const std::lock_guard<std::mutex> lock(shards_[i].mutex);
     shards_[i].quarantine.drain();
   }
+}
+
+TelemetrySnapshot ShardedAllocator::telemetry_snapshot() const {
+  TelemetrySnapshot snap;
+  snap.config = engine_.config().telemetry;
+  if (const patch::PatchTable* table = engine_.patches(); table != nullptr) {
+    snap.table_generation = table->generation();
+    snap.table_patches = table->patch_count();
+  }
+  // All snapshot storage is reserved BEFORE the first shard lock: under
+  // LD_PRELOAD this allocator IS the process allocator, so a vector growth
+  // inside a locked section would re-enter malloc and could try to take the
+  // very shard lock being held. Ring capacities are fixed at construction,
+  // so the reservation is exact.
+  std::uint64_t ring_total = 0;
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    ring_total += shards_[i].telemetry.ring().capacity();
+  }
+  reserve_snapshot(snap, shard_count_, ring_total);
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    // Counters and occupancy are copied under the shard lock (the same
+    // discipline as shard_stats); the ring snapshot inside the merge is
+    // lock-free and merely happens to run under it too.
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    merge_sink_into_snapshot(snap, shard.telemetry, i, shard.stats,
+                             shard.quarantine.bytes(),
+                             shard.quarantine.depth());
+  }
+  finalize_snapshot(snap);
+  return snap;
 }
 
 }  // namespace ht::runtime

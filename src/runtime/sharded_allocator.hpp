@@ -37,6 +37,7 @@
 #include "runtime/allocator_config.hpp"
 #include "runtime/defense_engine.hpp"
 #include "runtime/quarantine.hpp"
+#include "runtime/telemetry.hpp"
 #include "runtime/underlying.hpp"
 
 namespace ht::runtime {
@@ -103,6 +104,18 @@ class ShardedAllocator {
   /// The shard a given pointer's free would route to (test aid).
   [[nodiscard]] std::uint32_t shard_of(const void* p) const noexcept;
 
+  /// One shard's telemetry sink. Non-const so the guarded backend can emit
+  /// guard-trap events; counter reads still need the shard lock, but ring
+  /// writes are lock-free by design.
+  [[nodiscard]] TelemetrySink& shard_telemetry(std::uint32_t shard) noexcept {
+    return shards_[shard].telemetry;
+  }
+
+  /// Point-in-time telemetry merge over every shard: counters copied under
+  /// each shard's lock (one shard at a time, never nested), ring contents
+  /// snapshotted lock-free.
+  [[nodiscard]] TelemetrySnapshot telemetry_snapshot() const;
+
  private:
   // Cache-line aligned so shard A's stat bumps never invalidate the line
   // holding shard B's mutex or counters.
@@ -110,6 +123,7 @@ class ShardedAllocator {
     mutable std::mutex mutex;
     Quarantine quarantine;
     AllocatorStats stats;
+    TelemetrySink telemetry;
   };
 
   /// The calling thread's home shard (round-robin assigned on first use).

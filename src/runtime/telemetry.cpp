@@ -1,0 +1,648 @@
+#include "runtime/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "support/str.hpp"
+
+namespace ht::runtime {
+
+using progmodel::AllocFn;
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t round_up_pow2_u32(std::uint32_t n) noexcept {
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+AllocFn fn_from_u8(std::uint8_t raw) noexcept {
+  for (AllocFn f : progmodel::kAllAllocFns) {
+    if (static_cast<std::uint8_t>(f) == raw) return f;
+  }
+  return AllocFn::kMalloc;
+}
+
+/// Dump token for a record's fn byte: "-" for kFnNone.
+std::string fn_token(std::uint8_t raw) {
+  if (raw == TelemetryRecord::kFnNone) return "-";
+  return std::string(progmodel::alloc_fn_name(fn_from_u8(raw)));
+}
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string_view telemetry_event_name(TelemetryEvent type) noexcept {
+  switch (type) {
+    case TelemetryEvent::kPatchTableLoad: return "patch_table_load";
+    case TelemetryEvent::kPatchHit: return "patch_hit";
+    case TelemetryEvent::kGuardTrap: return "guard_trap";
+    case TelemetryEvent::kCanaryCorruption: return "canary_corruption";
+    case TelemetryEvent::kQuarantineEvict: return "quarantine_evict";
+    case TelemetryEvent::kQuarantineOverflow: return "quarantine_overflow";
+    case TelemetryEvent::kGuardInstallFail: return "guard_install_fail";
+  }
+  return "unknown";
+}
+
+bool telemetry_event_from_name(std::string_view name, TelemetryEvent& out) noexcept {
+  for (std::uint8_t i = 0; i < kTelemetryEventCount; ++i) {
+    const auto type = static_cast<TelemetryEvent>(i);
+    if (telemetry_event_name(type) == name) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- TelemetryRing ----
+
+void TelemetryRing::configure(std::uint32_t capacity) {
+  if (capacity == 0) {
+    slots_.reset();
+    capacity_ = 0;
+    mask_ = 0;
+    return;
+  }
+  capacity_ = round_up_pow2_u32(capacity);
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+void TelemetryRing::record(TelemetryRecord rec) noexcept {
+  if (capacity_ == 0) return;
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  rec.seq = seq;
+  rec.timestamp_ns = now_ns();
+  Slot& slot = slots_[seq & mask_];
+  // Per-slot seqlock: odd marker while the payload is in flight, even once
+  // published. Readers validate the marker before and after their copy.
+  slot.marker.store((seq + 1) * 2 + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.rec = rec;
+  slot.marker.store((seq + 1) * 2, std::memory_order_release);
+}
+
+std::uint64_t TelemetryRing::dropped() const noexcept {
+  const std::uint64_t total = next_seq_.load(std::memory_order_relaxed);
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+std::size_t TelemetryRing::snapshot(std::vector<TelemetryRecord>& out) const {
+  if (capacity_ == 0) return 0;
+  const std::size_t before = out.size();
+  const std::uint64_t total = next_seq_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    const std::uint64_t m1 = slot.marker.load(std::memory_order_acquire);
+    if (m1 != (seq + 1) * 2) continue;  // not yet published, or overwritten
+    TelemetryRecord copy = slot.rec;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t m2 = slot.marker.load(std::memory_order_relaxed);
+    if (m1 != m2) continue;  // torn by a concurrent wrap; skip
+    out.push_back(copy);
+  }
+  return out.size() - before;
+}
+
+// ---- TelemetrySink ----
+
+void TelemetrySink::configure(const TelemetryConfig& config, std::uint16_t shard) {
+  counters_ = config.counters;
+  shard_ = shard;
+  ring_.configure(config.events ? config.ring_capacity : 0);
+}
+
+void TelemetrySink::record_patch_hit(AllocFn fn, std::uint64_t ccid,
+                                     std::uint8_t mask, std::uint64_t size,
+                                     std::uint64_t latency_ns) noexcept {
+  if (counters_) {
+    latency_.record(latency_ns);
+    // Open-addressing probe over the fixed hit table; keys never leave, so
+    // a plain linear scan from the hash slot is race-free under the owning
+    // context's serialization.
+    const std::uint64_t h =
+        (ccid * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(fn);
+    bool counted = false;
+    for (std::uint32_t probe = 0; probe < kHitSlots; ++probe) {
+      HitSlot& slot = hit_slots_[(h + probe) % kHitSlots];
+      if (!slot.used) {
+        slot.used = true;
+        slot.fn = static_cast<std::uint8_t>(fn);
+        slot.ccid = ccid;
+        slot.hits = 1;
+        counted = true;
+        break;
+      }
+      if (slot.ccid == ccid && slot.fn == static_cast<std::uint8_t>(fn)) {
+        ++slot.hits;
+        counted = true;
+        break;
+      }
+    }
+    if (!counted) ++hit_overflow_;
+  }
+  if (ring_.enabled()) {
+    TelemetryRecord rec;
+    rec.type = TelemetryEvent::kPatchHit;
+    rec.fn = static_cast<std::uint8_t>(fn);
+    rec.ccid = ccid;
+    rec.size = size;
+    rec.aux = mask;
+    rec.shard = shard_;
+    ring_.record(rec);
+  }
+}
+
+void TelemetrySink::record_event(TelemetryEvent type, std::uint64_t ccid,
+                                 std::uint64_t size, std::uint32_t aux,
+                                 std::uint8_t fn) noexcept {
+  if (!ring_.enabled()) return;
+  TelemetryRecord rec;
+  rec.type = type;
+  rec.fn = fn;
+  rec.ccid = ccid;
+  rec.size = size;
+  rec.aux = aux;
+  rec.shard = shard_;
+  ring_.record(rec);
+}
+
+std::vector<PatchHitCount> TelemetrySink::patch_hits() const {
+  std::vector<PatchHitCount> out;
+  for (const HitSlot& slot : hit_slots_) {
+    if (!slot.used) continue;
+    out.push_back(PatchHitCount{fn_from_u8(slot.fn), slot.ccid, slot.hits});
+  }
+  return out;
+}
+
+std::uint32_t TelemetrySink::copy_patch_hits(PatchHitCount* out,
+                                             std::uint32_t max) const noexcept {
+  std::uint32_t n = 0;
+  for (const HitSlot& slot : hit_slots_) {
+    if (!slot.used) continue;
+    if (n == max) break;
+    out[n++] = PatchHitCount{fn_from_u8(slot.fn), slot.ccid, slot.hits};
+  }
+  return n;
+}
+
+// ---- Snapshot assembly ----
+
+void reserve_snapshot(TelemetrySnapshot& snap, std::uint32_t shards,
+                      std::uint64_t total_ring_capacity) {
+  snap.shards.reserve(snap.shards.size() + shards);
+  snap.patch_hits.reserve(snap.patch_hits.size() +
+                          static_cast<std::size_t>(shards) *
+                              TelemetrySink::kHitSlots);
+  snap.events.reserve(snap.events.size() + total_ring_capacity);
+}
+
+void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink,
+                              std::uint32_t shard, const AllocatorStats& stats,
+                              std::uint64_t quarantine_bytes,
+                              std::uint64_t quarantine_depth) {
+  ShardTelemetry row;
+  row.shard = shard;
+  row.stats = stats;
+  row.quarantine_bytes = quarantine_bytes;
+  row.quarantine_depth = quarantine_depth;
+  row.events_recorded = sink.ring().recorded();
+  row.events_dropped = sink.ring().dropped();
+  snap.shards.push_back(row);
+
+  snap.totals += stats;
+  snap.events_recorded += row.events_recorded;
+  snap.events_dropped += row.events_dropped;
+  snap.patch_hit_overflow += sink.patch_hit_overflow();
+  snap.latency += sink.latency();
+  // Stack buffer instead of sink.patch_hits(): callers hold the shard lock
+  // here, and nothing in this function may allocate while they do (see
+  // copy_patch_hits) — push_backs below stay within reserve_snapshot'd
+  // capacity when the caller pre-reserved.
+  PatchHitCount hits[TelemetrySink::kHitSlots];
+  const std::uint32_t n = sink.copy_patch_hits(hits, TelemetrySink::kHitSlots);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const PatchHitCount& hit = hits[i];
+    bool merged = false;
+    for (PatchHitCount& existing : snap.patch_hits) {
+      if (existing.fn == hit.fn && existing.ccid == hit.ccid) {
+        existing.hits += hit.hits;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) snap.patch_hits.push_back(hit);
+  }
+  sink.ring().snapshot(snap.events);
+}
+
+void finalize_snapshot(TelemetrySnapshot& snap) {
+  std::sort(snap.events.begin(), snap.events.end(),
+            [](const TelemetryRecord& a, const TelemetryRecord& b) {
+              if (a.timestamp_ns != b.timestamp_ns) {
+                return a.timestamp_ns < b.timestamp_ns;
+              }
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  std::sort(snap.patch_hits.begin(), snap.patch_hits.end(),
+            [](const PatchHitCount& a, const PatchHitCount& b) {
+              if (a.fn != b.fn) return a.fn < b.fn;
+              return a.ccid < b.ccid;
+            });
+}
+
+// ---- Text dump (docs/FORMATS.md §4) ----
+
+namespace {
+
+struct CounterField {
+  const char* name;
+  std::uint64_t AllocatorStats::* field;
+};
+
+// Every AllocatorStats counter, by dump name. The dump writer and parser
+// share this table so they cannot drift.
+constexpr CounterField kCounterFields[] = {
+    {"interceptions", &AllocatorStats::interceptions},
+    {"enhanced", &AllocatorStats::enhanced},
+    {"guard_pages", &AllocatorStats::guard_pages},
+    {"zero_fills", &AllocatorStats::zero_fills},
+    {"quarantined_frees", &AllocatorStats::quarantined_frees},
+    {"plain_frees", &AllocatorStats::plain_frees},
+    {"failed_guards", &AllocatorStats::failed_guards},
+    {"canaries_planted", &AllocatorStats::canaries_planted},
+    {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
+};
+
+}  // namespace
+
+std::string render_telemetry(const TelemetrySnapshot& snap) {
+  std::string out;
+  out.reserve(2048 + snap.events.size() * 96);
+  out += "# HeapTherapy+ telemetry dump\n";
+  out += "version 1\n";
+  append_fmt(out, "config counters=%u events=%u ring=%u\n",
+             snap.config.counters ? 1u : 0u, snap.config.events ? 1u : 0u,
+             snap.config.ring_capacity);
+  append_fmt(out, "table generation=%llu patches=%llu\n",
+             static_cast<unsigned long long>(snap.table_generation),
+             static_cast<unsigned long long>(snap.table_patches));
+  for (const CounterField& c : kCounterFields) {
+    append_fmt(out, "counter %s %llu\n", c.name,
+               static_cast<unsigned long long>(snap.totals.*(c.field)));
+  }
+  append_fmt(out, "counter events_recorded %llu\n",
+             static_cast<unsigned long long>(snap.events_recorded));
+  append_fmt(out, "counter events_dropped %llu\n",
+             static_cast<unsigned long long>(snap.events_dropped));
+  append_fmt(out, "counter patch_hit_overflow %llu\n",
+             static_cast<unsigned long long>(snap.patch_hit_overflow));
+  for (const ShardTelemetry& s : snap.shards) {
+    append_fmt(out,
+               "shard %u interceptions=%llu frees=%llu quarantine_bytes=%llu "
+               "quarantine_depth=%llu events=%llu dropped=%llu\n",
+               s.shard, static_cast<unsigned long long>(s.stats.interceptions),
+               static_cast<unsigned long long>(s.stats.plain_frees +
+                                               s.stats.quarantined_frees),
+               static_cast<unsigned long long>(s.quarantine_bytes),
+               static_cast<unsigned long long>(s.quarantine_depth),
+               static_cast<unsigned long long>(s.events_recorded),
+               static_cast<unsigned long long>(s.events_dropped));
+  }
+  for (const PatchHitCount& hit : snap.patch_hits) {
+    append_fmt(out, "patchhit %s 0x%016llx %llu\n",
+               std::string(progmodel::alloc_fn_name(hit.fn)).c_str(),
+               static_cast<unsigned long long>(hit.ccid),
+               static_cast<unsigned long long>(hit.hits));
+  }
+  for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (snap.latency.buckets[i] == 0) continue;  // sparse: zeros add noise
+    append_fmt(out, "latency %llu %llu\n",
+               static_cast<unsigned long long>(
+                   LatencyHistogram::bucket_limit_ns(i)),
+               static_cast<unsigned long long>(snap.latency.buckets[i]));
+  }
+  for (const TelemetryRecord& e : snap.events) {
+    append_fmt(out,
+               "event %llu %u %s %s 0x%016llx size=%llu aux=%u t=%llu\n",
+               static_cast<unsigned long long>(e.seq), e.shard,
+               std::string(telemetry_event_name(e.type)).c_str(),
+               fn_token(e.fn).c_str(),
+               static_cast<unsigned long long>(e.ccid),
+               static_cast<unsigned long long>(e.size), e.aux,
+               static_cast<unsigned long long>(e.timestamp_ns));
+  }
+  return out;
+}
+
+namespace {
+
+/// Parses "key=value" into out on match; returns false otherwise.
+bool parse_kv_u64(std::string_view field, std::string_view key,
+                  std::uint64_t& out) noexcept {
+  if (!support::starts_with(field, key) || field.size() <= key.size() ||
+      field[key.size()] != '=') {
+    return false;
+  }
+  const auto v = support::parse_u64(field.substr(key.size() + 1));
+  if (!v) return false;
+  out = *v;
+  return true;
+}
+
+bool parse_alloc_fn(std::string_view name, AllocFn& out) noexcept {
+  for (AllocFn f : progmodel::kAllAllocFns) {
+    if (progmodel::alloc_fn_name(f) == name) {
+      out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TelemetryParseResult parse_telemetry(std::string_view text) {
+  TelemetryParseResult result;
+  TelemetrySnapshot& snap = result.snapshot;
+  bool version_seen = false;
+  std::size_t line_no = 0;
+
+  const auto complain = [&](const std::string& what) {
+    result.errors.push_back("line " + std::to_string(line_no) + ": " + what);
+  };
+
+  for (std::string_view raw : support::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = support::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> fields;
+    for (std::string_view f : support::split(line, ' ')) {
+      if (!support::trim(f).empty()) fields.push_back(support::trim(f));
+    }
+    if (fields.empty()) continue;
+    const std::string_view directive = fields[0];
+
+    if (directive == "version") {
+      if (fields.size() != 2 || support::parse_u64(fields[1]) != 1) {
+        complain("unsupported version directive");
+        continue;
+      }
+      version_seen = true;
+    } else if (directive == "config") {
+      std::uint64_t counters = 1, events = 0, ring = 0;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        if (!parse_kv_u64(fields[i], "counters", counters) &&
+            !parse_kv_u64(fields[i], "events", events) &&
+            !parse_kv_u64(fields[i], "ring", ring)) {
+          complain("bad config field '" + std::string(fields[i]) + "'");
+        }
+      }
+      snap.config.counters = counters != 0;
+      snap.config.events = events != 0;
+      snap.config.ring_capacity = static_cast<std::uint32_t>(ring);
+    } else if (directive == "table") {
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        if (!parse_kv_u64(fields[i], "generation", snap.table_generation) &&
+            !parse_kv_u64(fields[i], "patches", snap.table_patches)) {
+          complain("bad table field '" + std::string(fields[i]) + "'");
+        }
+      }
+    } else if (directive == "counter") {
+      const auto value =
+          fields.size() == 3 ? support::parse_u64(fields[2]) : std::nullopt;
+      if (!value) {
+        complain("malformed counter line");
+        continue;
+      }
+      bool known = false;
+      for (const CounterField& c : kCounterFields) {
+        if (fields[1] == c.name) {
+          snap.totals.*(c.field) = *value;
+          known = true;
+          break;
+        }
+      }
+      if (fields[1] == "events_recorded") {
+        snap.events_recorded = *value;
+        known = true;
+      } else if (fields[1] == "events_dropped") {
+        snap.events_dropped = *value;
+        known = true;
+      } else if (fields[1] == "patch_hit_overflow") {
+        snap.patch_hit_overflow = *value;
+        known = true;
+      }
+      // Unknown counters are skipped silently: a newer runtime may emit
+      // counters an older parser does not know (forward compatibility).
+      (void)known;
+    } else if (directive == "shard") {
+      ShardTelemetry row;
+      std::uint64_t frees = 0;
+      const auto shard_idx =
+          fields.size() >= 2 ? support::parse_u64(fields[1]) : std::nullopt;
+      if (!shard_idx) {
+        complain("malformed shard line");
+        continue;
+      }
+      row.shard = static_cast<std::uint32_t>(*shard_idx);
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        if (!parse_kv_u64(fields[i], "interceptions", row.stats.interceptions) &&
+            !parse_kv_u64(fields[i], "frees", frees) &&
+            !parse_kv_u64(fields[i], "quarantine_bytes", row.quarantine_bytes) &&
+            !parse_kv_u64(fields[i], "quarantine_depth", row.quarantine_depth) &&
+            !parse_kv_u64(fields[i], "events", row.events_recorded) &&
+            !parse_kv_u64(fields[i], "dropped", row.events_dropped)) {
+          complain("bad shard field '" + std::string(fields[i]) + "'");
+        }
+      }
+      // The dump reports merged frees; surface them as plain_frees so the
+      // round trip keeps the total (the split is not in the shard line).
+      row.stats.plain_frees = frees;
+      snap.shards.push_back(row);
+    } else if (directive == "patchhit") {
+      AllocFn fn;
+      const auto ccid =
+          fields.size() == 4 ? support::parse_u64(fields[2]) : std::nullopt;
+      const auto hits =
+          fields.size() == 4 ? support::parse_u64(fields[3]) : std::nullopt;
+      if (fields.size() != 4 || !parse_alloc_fn(fields[1], fn) || !ccid || !hits) {
+        complain("malformed patchhit line");
+        continue;
+      }
+      snap.patch_hits.push_back(PatchHitCount{fn, *ccid, *hits});
+    } else if (directive == "latency") {
+      const auto limit =
+          fields.size() == 3 ? support::parse_u64(fields[1]) : std::nullopt;
+      const auto count =
+          fields.size() == 3 ? support::parse_u64(fields[2]) : std::nullopt;
+      if (!limit || !count) {
+        complain("malformed latency line");
+        continue;
+      }
+      bool matched = false;
+      for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        if (LatencyHistogram::bucket_limit_ns(i) == *limit) {
+          snap.latency.buckets[i] = *count;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) complain("unknown latency bucket limit");
+    } else if (directive == "event") {
+      // event <seq> <shard> <type> <fn> <ccid> size=N aux=N t=N
+      TelemetryRecord rec;
+      AllocFn fn = AllocFn::kMalloc;
+      const bool shape_ok = fields.size() >= 6;
+      const auto seq = shape_ok ? support::parse_u64(fields[1]) : std::nullopt;
+      const auto shard = shape_ok ? support::parse_u64(fields[2]) : std::nullopt;
+      const auto ccid = shape_ok ? support::parse_u64(fields[5]) : std::nullopt;
+      const bool fn_ok =
+          shape_ok && (fields[4] == "-" || parse_alloc_fn(fields[4], fn));
+      if (!shape_ok || !seq || !shard || !ccid || !fn_ok ||
+          !telemetry_event_from_name(fields[3], rec.type)) {
+        complain("malformed event line");
+        continue;
+      }
+      rec.seq = *seq;
+      rec.shard = static_cast<std::uint16_t>(*shard);
+      rec.fn = fields[4] == "-" ? TelemetryRecord::kFnNone
+                                : static_cast<std::uint8_t>(fn);
+      rec.ccid = *ccid;
+      for (std::size_t i = 6; i < fields.size(); ++i) {
+        std::uint64_t aux = 0, ts = 0;
+        if (parse_kv_u64(fields[i], "size", rec.size)) continue;
+        if (parse_kv_u64(fields[i], "aux", aux)) {
+          rec.aux = static_cast<std::uint32_t>(aux);
+          continue;
+        }
+        if (parse_kv_u64(fields[i], "t", ts)) {
+          rec.timestamp_ns = ts;
+          continue;
+        }
+        complain("bad event field '" + std::string(fields[i]) + "'");
+      }
+      snap.events.push_back(rec);
+    } else {
+      complain("unknown directive '" + std::string(directive) + "'");
+    }
+  }
+  if (!version_seen) result.errors.insert(result.errors.begin(),
+                                          "missing version directive");
+  return result;
+}
+
+// ---- JSON export ----
+
+std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
+  std::string out = "{\n";
+  append_fmt(out, "  \"table\": {\"generation\": %llu, \"patches\": %llu},\n",
+             static_cast<unsigned long long>(snap.table_generation),
+             static_cast<unsigned long long>(snap.table_patches));
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const CounterField& c : kCounterFields) {
+    append_fmt(out, "%s\"%s\": %llu", first ? "" : ", ", c.name,
+               static_cast<unsigned long long>(snap.totals.*(c.field)));
+    first = false;
+  }
+  append_fmt(out, ", \"events_recorded\": %llu, \"events_dropped\": %llu"
+                  ", \"patch_hit_overflow\": %llu},\n",
+             static_cast<unsigned long long>(snap.events_recorded),
+             static_cast<unsigned long long>(snap.events_dropped),
+             static_cast<unsigned long long>(snap.patch_hit_overflow));
+  out += "  \"patch_hits\": [";
+  first = true;
+  for (const PatchHitCount& hit : snap.patch_hits) {
+    append_fmt(out, "%s\n    {\"fn\": \"%s\", \"ccid\": \"0x%016llx\", "
+                    "\"hits\": %llu}",
+               first ? "" : ",",
+               std::string(progmodel::alloc_fn_name(hit.fn)).c_str(),
+               static_cast<unsigned long long>(hit.ccid),
+               static_cast<unsigned long long>(hit.hits));
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"latency_ns\": [";
+  first = true;
+  for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (snap.latency.buckets[i] == 0) continue;
+    append_fmt(out, "%s\n    {\"limit\": %llu, \"count\": %llu}",
+               first ? "" : ",",
+               static_cast<unsigned long long>(
+                   LatencyHistogram::bucket_limit_ns(i)),
+               static_cast<unsigned long long>(snap.latency.buckets[i]));
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"shards\": [";
+  first = true;
+  for (const ShardTelemetry& s : snap.shards) {
+    append_fmt(out,
+               "%s\n    {\"shard\": %u, \"interceptions\": %llu, "
+               "\"frees\": %llu, \"quarantine_bytes\": %llu, "
+               "\"quarantine_depth\": %llu, \"events\": %llu, "
+               "\"dropped\": %llu}",
+               first ? "" : ",", s.shard,
+               static_cast<unsigned long long>(s.stats.interceptions),
+               static_cast<unsigned long long>(s.stats.plain_frees +
+                                               s.stats.quarantined_frees),
+               static_cast<unsigned long long>(s.quarantine_bytes),
+               static_cast<unsigned long long>(s.quarantine_depth),
+               static_cast<unsigned long long>(s.events_recorded),
+               static_cast<unsigned long long>(s.events_dropped));
+    first = false;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string telemetry_trace_json(const TelemetrySnapshot& snap) {
+  std::string out = "[";
+  bool first = true;
+  for (const TelemetryRecord& e : snap.events) {
+    append_fmt(out,
+               "%s\n  {\"seq\": %llu, \"shard\": %u, \"type\": \"%s\", "
+               "\"fn\": \"%s\", \"ccid\": \"0x%016llx\", \"size\": %llu, "
+               "\"aux\": %u, \"t_ns\": %llu}",
+               first ? "" : ",", static_cast<unsigned long long>(e.seq),
+               e.shard, std::string(telemetry_event_name(e.type)).c_str(),
+               fn_token(e.fn).c_str(),
+               static_cast<unsigned long long>(e.ccid),
+               static_cast<unsigned long long>(e.size), e.aux,
+               static_cast<unsigned long long>(e.timestamp_ns));
+    first = false;
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,318 @@
+// Runtime observability: per-shard telemetry rings + always-on counters
+// (docs/OBSERVABILITY.md is the operator-facing reference).
+//
+// The online defense runs continuously inside production processes (§VI),
+// so operators need to see what it is doing without attaching a debugger:
+// which patches are firing, how full the quarantines are, what a guard or
+// canary actually caught. This module is that surface. It has two tiers
+// with very different cost budgets:
+//
+//  - COUNTERS (always on by default): per-patch hit counts keyed
+//    {FUN, CCID}, an enhancement-latency histogram, and the per-shard
+//    AllocatorStats that already exist. Counters are plain (non-atomic)
+//    fields bumped under the owning context's serialization — the same
+//    private-per-shard discipline AllocatorStats uses — so they add two or
+//    three increments to the *enhanced* allocation path and nothing at all
+//    to unpatched traffic. bench/ht_telemetry_overhead holds this tier to
+//    <2% of service throughput.
+//
+//  - EVENT RING (opt-in): a bounded, lock-free ring of detection and
+//    lifecycle events (patch hit, guard trap, canary corruption,
+//    quarantine evict/overflow, patch-table load). One ring per shard, no
+//    shared cursors. Slots are per-slot seqlocks: a writer claims a global
+//    sequence number with one relaxed fetch_add, stamps the slot "busy"
+//    (odd marker), fills the payload, then publishes (even marker,
+//    release). Readers never block writers: a snapshot copies each slot
+//    and discards it if the marker changed mid-copy. When the ring wraps,
+//    old events are overwritten; the drop counter (`sequence - retained`)
+//    says exactly how many are no longer retrievable.
+//
+// Nothing here allocates after configure(): the ring storage, the
+// patch-hit table and the histogram are fixed-size, so recording an event
+// is safe on the allocator hot path and inside shard critical sections.
+//
+// Export paths (the three ways out of the process):
+//  1. render_telemetry() — the versioned text dump (docs/FORMATS.md §4),
+//     with parse_telemetry() as its lenient inverse;
+//  2. `htctl stats` / `htctl trace` — JSON over a dump file or live run;
+//  3. HEAPTHERAPY_TELEMETRY in the preload shim — periodic flush of the
+//     dump to a file from a background thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "progmodel/values.hpp"
+#include "runtime/allocator_config.hpp"
+
+namespace ht::runtime {
+
+/// Detection and lifecycle event types recorded in the telemetry ring.
+/// Values are part of the dump format; add at the end, never renumber.
+enum class TelemetryEvent : std::uint8_t {
+  kPatchTableLoad = 0,    ///< front end bound to a (re)loaded patch table
+  kPatchHit = 1,          ///< allocation matched a patch {FUN, CCID}
+  kGuardTrap = 2,         ///< guard page blocked an out-of-bounds access
+  kCanaryCorruption = 3,  ///< trailing canary found corrupted on free
+  kQuarantineEvict = 4,   ///< quota eviction released a quarantined block
+  kQuarantineOverflow = 5,///< block alone exceeds the quota slice (retained)
+  kGuardInstallFail = 6,  ///< mprotect failed; defense degraded for buffer
+};
+
+inline constexpr std::uint8_t kTelemetryEventCount = 7;
+
+/// Stable token used by the dump format and JSON export.
+[[nodiscard]] std::string_view telemetry_event_name(TelemetryEvent type) noexcept;
+/// Inverse of telemetry_event_name; returns false on unknown token.
+[[nodiscard]] bool telemetry_event_from_name(std::string_view name,
+                                             TelemetryEvent& out) noexcept;
+
+/// One recorded event. Fixed-size POD so ring slots never allocate.
+/// Free-path events (guard teardown, canary, quarantine) carry ccid = 0:
+/// the metadata word has no room for the allocation-time CCID (Fig. 6), so
+/// per-context attribution of frees comes from the patch-hit counters, not
+/// from free-side events.
+struct TelemetryRecord {
+  /// fn value meaning "no allocation function applies" (free-path events).
+  static constexpr std::uint8_t kFnNone = 0xFF;
+
+  std::uint64_t seq = 0;           ///< per-ring monotonic sequence number
+  std::uint64_t timestamp_ns = 0;  ///< steady-clock nanoseconds
+  std::uint64_t ccid = 0;          ///< allocation calling-context id (or 0)
+  std::uint64_t size = 0;          ///< bytes involved (alloc size, block size)
+  std::uint32_t aux = 0;           ///< event-specific (vuln mask, patch count)
+  std::uint16_t shard = 0;         ///< originating shard index
+  TelemetryEvent type = TelemetryEvent::kPatchTableLoad;
+  std::uint8_t fn = kFnNone;       ///< progmodel::AllocFn, or kFnNone
+};
+
+/// Lock-free bounded event ring (one per shard). Any thread may record;
+/// any thread may snapshot concurrently. Capacity is fixed at configure()
+/// time and rounded up to a power of two.
+class TelemetryRing {
+ public:
+  TelemetryRing() = default;
+  TelemetryRing(const TelemetryRing&) = delete;
+  TelemetryRing& operator=(const TelemetryRing&) = delete;
+
+  /// Allocates the slot array (the only allocation this class ever makes).
+  /// capacity == 0 leaves the ring disabled; record() is then a no-op.
+  void configure(std::uint32_t capacity);
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ != 0; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+  /// Records one event. Wait-free for the writer: one fetch_add plus the
+  /// slot stores. `rec.seq` is assigned here.
+  void record(TelemetryRecord rec) noexcept;
+
+  /// Total events ever recorded (== next sequence number).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten by ring wrap and no longer retrievable.
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Copies the currently retrievable events into `out` (appended, oldest
+  /// first). Slots being overwritten during the copy are skipped — the
+  /// reader never blocks a writer. Returns the number appended.
+  std::size_t snapshot(std::vector<TelemetryRecord>& out) const;
+
+ private:
+  // Per-slot seqlock: marker is 0 when empty, (seq+1)*2+1 while the writer
+  // fills the payload, (seq+1)*2 once published. Markers strictly increase
+  // per slot in steady state; a reader that sees the marker change between
+  // its two loads discards the copy.
+  struct Slot {
+    std::atomic<std::uint64_t> marker{0};
+    TelemetryRecord rec;
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::uint32_t capacity_ = 0;  ///< power of two, or 0 = disabled
+  std::uint32_t mask_ = 0;
+  std::atomic<std::uint64_t> next_seq_{0};
+};
+
+/// Histogram of enhancement latency (the time allocate() spends applying a
+/// matched patch's defenses). Log2 buckets: bucket i counts enhancements
+/// that took < 2^(i + kLatencyShift) ns; the last bucket is unbounded.
+struct LatencyHistogram {
+  static constexpr std::uint32_t kBuckets = 16;
+  static constexpr std::uint32_t kLatencyShift = 5;  ///< bucket 0: < 32 ns
+
+  std::uint64_t buckets[kBuckets] = {};
+
+  void record(std::uint64_t ns) noexcept {
+    std::uint32_t b = 0;
+    while (b + 1 < kBuckets && ns >= (1ULL << (b + kLatencyShift))) ++b;
+    ++buckets[b];
+  }
+  /// Upper bound (exclusive) of bucket `i` in ns; 0 for the unbounded last.
+  [[nodiscard]] static std::uint64_t bucket_limit_ns(std::uint32_t i) noexcept {
+    return i + 1 < kBuckets ? (1ULL << (i + kLatencyShift)) : 0;
+  }
+  LatencyHistogram& operator+=(const LatencyHistogram& other) noexcept {
+    for (std::uint32_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+    return *this;
+  }
+};
+
+/// One merged per-patch hit counter.
+struct PatchHitCount {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  std::uint64_t hits = 0;
+};
+
+/// Per-execution-context telemetry state: one sink per GuardedAllocator,
+/// or one per shard of a ShardedAllocator. Counter updates follow the same
+/// rule as AllocatorStats — private to the owning context, bumped without
+/// synchronization under that context's serialization — while the event
+/// ring is safe for concurrent writers and lock-free readers.
+class TelemetrySink {
+ public:
+  TelemetrySink() = default;
+  TelemetrySink(const TelemetrySink&) = delete;
+  TelemetrySink& operator=(const TelemetrySink&) = delete;
+
+  /// Applies the config and (for events) allocates the ring. Construction
+  /// time only — never on the hot path.
+  void configure(const TelemetryConfig& config, std::uint16_t shard = 0);
+
+  [[nodiscard]] bool counters_enabled() const noexcept { return counters_; }
+  [[nodiscard]] bool events_enabled() const noexcept { return ring_.enabled(); }
+
+  /// Records an enhanced allocation: patch-hit counter, latency histogram,
+  /// and (when the ring is on) a kPatchHit event.
+  void record_patch_hit(progmodel::AllocFn fn, std::uint64_t ccid,
+                        std::uint8_t mask, std::uint64_t size,
+                        std::uint64_t latency_ns) noexcept;
+
+  /// Records a non-allocation event (trap, canary, quarantine, load).
+  /// `fn` defaults to kFnNone: free-path events have no allocation
+  /// function; pass the real one where known (guard traps via the backend).
+  void record_event(TelemetryEvent type, std::uint64_t ccid, std::uint64_t size,
+                    std::uint32_t aux,
+                    std::uint8_t fn = TelemetryRecord::kFnNone) noexcept;
+
+  [[nodiscard]] const TelemetryRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const LatencyHistogram& latency() const noexcept {
+    return latency_;
+  }
+  /// Patch-hit counters of this sink (unordered; merged by snapshots).
+  [[nodiscard]] std::vector<PatchHitCount> patch_hits() const;
+  /// Allocation-free variant: copies up to `max` hit counters into the
+  /// caller's buffer (kHitSlots is always enough) and returns the count.
+  /// Snapshot merges use this so they never allocate while the owning
+  /// shard's lock is held — under LD_PRELOAD an allocation there re-enters
+  /// the interposed allocator and can self-deadlock on that very lock.
+  std::uint32_t copy_patch_hits(PatchHitCount* out,
+                                std::uint32_t max) const noexcept;
+  /// Enhanced allocations not counted per-patch because the fixed table
+  /// filled up (more distinct patched contexts than kHitSlots).
+  [[nodiscard]] std::uint64_t patch_hit_overflow() const noexcept {
+    return hit_overflow_;
+  }
+
+  /// Fixed-size open-addressing {FUN, CCID} -> hits table. Patch tables
+  /// hold a handful of entries in practice (one per discovered
+  /// vulnerability), so 128 slots is generous; overflow is counted, never
+  /// dropped silently.
+  static constexpr std::uint32_t kHitSlots = 128;
+
+ private:
+  struct HitSlot {
+    std::uint64_t ccid = 0;
+    std::uint64_t hits = 0;
+    std::uint8_t fn = 0;
+    bool used = false;
+  };
+
+  bool counters_ = true;
+  std::uint16_t shard_ = 0;
+  TelemetryRing ring_;
+  LatencyHistogram latency_;
+  HitSlot hit_slots_[kHitSlots] = {};
+  std::uint64_t hit_overflow_ = 0;
+};
+
+/// Per-shard occupancy row of a snapshot.
+struct ShardTelemetry {
+  std::uint32_t shard = 0;
+  AllocatorStats stats;
+  std::uint64_t quarantine_bytes = 0;
+  std::uint64_t quarantine_depth = 0;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+/// Point-in-time merge of every shard's telemetry: what the dump format,
+/// the JSON exporters and the preload flusher all consume.
+struct TelemetrySnapshot {
+  TelemetryConfig config;
+  /// Patch-table identity at snapshot time (0 when no table installed).
+  std::uint64_t table_generation = 0;
+  std::uint64_t table_patches = 0;
+
+  AllocatorStats totals;                  ///< merged across shards
+  std::vector<ShardTelemetry> shards;     ///< one row per shard
+  std::vector<PatchHitCount> patch_hits;  ///< merged, ccid-ascending
+  std::uint64_t patch_hit_overflow = 0;
+  LatencyHistogram latency;               ///< merged
+  std::uint64_t events_recorded = 0;      ///< sum over rings
+  std::uint64_t events_dropped = 0;       ///< sum over rings
+  /// Retained events across all rings, ordered by timestamp.
+  std::vector<TelemetryRecord> events;
+};
+
+/// Pre-reserves `snap`'s vectors for `shards` contexts whose rings hold
+/// `total_ring_capacity` events combined. After this, that many
+/// merge_sink_into_snapshot calls perform NO allocation — mandatory when
+/// the merges run under shard locks of an interposed (LD_PRELOAD)
+/// allocator, where an allocation would re-enter the lock being held.
+void reserve_snapshot(TelemetrySnapshot& snap, std::uint32_t shards,
+                      std::uint64_t total_ring_capacity);
+
+/// Merges `sink` (counters + ring contents) into `snap` as shard row
+/// `shard` with the given allocator/quarantine occupancy numbers. The
+/// caller provides whatever serialization the sink's counters need (shard
+/// lock held, or single-threaded ownership); the ring needs none.
+/// Allocation-free if the caller reserve_snapshot'd first.
+void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink,
+                              std::uint32_t shard, const AllocatorStats& stats,
+                              std::uint64_t quarantine_bytes,
+                              std::uint64_t quarantine_depth);
+
+/// Sorts merged events by timestamp and patch hits by {fn, ccid}. Call
+/// once after the last merge_sink_into_snapshot.
+void finalize_snapshot(TelemetrySnapshot& snap);
+
+// ---- Dump format (docs/FORMATS.md §4) ----
+
+/// Renders the versioned line-oriented text dump.
+[[nodiscard]] std::string render_telemetry(const TelemetrySnapshot& snap);
+
+/// Result of parsing a telemetry dump. Parsing is lenient like patch
+/// configs: malformed lines produce a diagnostic and are skipped.
+struct TelemetryParseResult {
+  TelemetrySnapshot snapshot;
+  std::vector<std::string> errors;
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses a text dump produced by render_telemetry (or edited by hand).
+[[nodiscard]] TelemetryParseResult parse_telemetry(std::string_view text);
+
+// ---- JSON export (htctl stats / htctl trace) ----
+
+/// Counters + occupancy as one JSON object (no events).
+[[nodiscard]] std::string telemetry_stats_json(const TelemetrySnapshot& snap);
+/// The event stream as a JSON array, oldest first.
+[[nodiscard]] std::string telemetry_trace_json(const TelemetrySnapshot& snap);
+
+}  // namespace ht::runtime

@@ -12,6 +12,7 @@
 #include "runtime/guarded_allocator.hpp"
 #include "runtime/locked_allocator.hpp"
 #include "runtime/sharded_allocator.hpp"
+#include "runtime/telemetry.hpp"
 #include "support/rng.hpp"
 
 namespace ht::workload {
@@ -151,8 +152,15 @@ ServiceResult run_service(const ServiceConfig& config) {
     sharding.shards = config.shards;
     shared_sharded.emplace(config.patches, config.defenses, sharding);
   }
-  // Per-thread mode merges worker stats here after the join.
+  // Per-thread mode merges worker stats and telemetry here after the join
+  // (each worker becomes one shard row of the merged snapshot).
   runtime::AllocatorStats merged_stats;
+  runtime::TelemetrySnapshot merged_telemetry;
+  merged_telemetry.config = config.defenses.telemetry;
+  if (config.patches != nullptr) {
+    merged_telemetry.table_generation = config.patches->generation();
+    merged_telemetry.table_patches = config.patches->patch_count();
+  }
   std::mutex merge_mutex;
 
   const auto start = std::chrono::steady_clock::now();
@@ -193,6 +201,9 @@ ServiceResult run_service(const ServiceConfig& config) {
       if (guarded.has_value()) {
         const std::lock_guard<std::mutex> lock(merge_mutex);
         merged_stats += guarded->stats();
+        runtime::merge_sink_into_snapshot(
+            merged_telemetry, guarded->telemetry(), t, guarded->stats(),
+            guarded->quarantine().bytes(), guarded->quarantine().depth());
       }
     });
   }
@@ -207,10 +218,14 @@ ServiceResult run_service(const ServiceConfig& config) {
   result.checksum = total_checksum.load();
   if (mode == AllocatorMode::kSharedLocked) {
     result.allocator_stats = shared_locked->stats_snapshot();
+    result.telemetry = shared_locked->telemetry_snapshot();
   } else if (mode == AllocatorMode::kSharedSharded) {
     result.allocator_stats = shared_sharded->stats_snapshot();
+    result.telemetry = shared_sharded->telemetry_snapshot();
   } else if (mode == AllocatorMode::kPerThread) {
     result.allocator_stats = merged_stats;
+    runtime::finalize_snapshot(merged_telemetry);
+    result.telemetry = std::move(merged_telemetry);
   }
   return result;
 }

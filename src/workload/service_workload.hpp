@@ -67,6 +67,11 @@ struct ServiceResult {
   /// modes snapshot the shared allocator, per-thread mode merges the
   /// workers' private stats. Zero for kNative.
   runtime::AllocatorStats allocator_stats;
+  /// Merged observability snapshot (patch hits, latency histogram, event
+  /// ring contents — see docs/OBSERVABILITY.md). Populated like
+  /// allocator_stats; per-thread mode reports each worker as one shard row.
+  /// Empty for kNative.
+  runtime::TelemetrySnapshot telemetry;
 };
 
 /// Runs the service loop to completion and reports throughput.

@@ -88,6 +88,59 @@ TEST(Htctl, AddRejectsBadFields) {
   std::remove(cfg.c_str());
 }
 
+// The acceptance scenario for the observability surface: discover a
+// vulnerability offline, generate patches, replay the attack under the
+// guarded runtime via `htctl trace`, and see the detection events — the
+// patch hit and the guard trap — attributed to the same {FUN, CCID}.
+TEST(Htctl, TraceReplaysDetectionEndToEnd) {
+  const std::string cfg = temp_file("htctl_trace.cfg");
+  const std::string dump = temp_file("htctl_trace.dump");
+  const std::string json = temp_file("htctl_trace.json");
+  // Offline phase (htrun analyze exits 2: vulnerabilities were found).
+  ASSERT_EQ(std::system((std::string(HT_HTRUN_BIN) + " analyze " +
+                         HT_SAMPLE_HTP + " --input 512,4096 --out " + cfg +
+                         " > /dev/null")
+                            .c_str()) >>
+                8,
+            2);
+  // Online phase: replay under the patched guarded runtime.
+  ASSERT_EQ(run("trace " + std::string(HT_SAMPLE_HTP) +
+                " --input 512,4096 --config " + cfg + " --out " + dump + " > " +
+                json),
+            0);
+  const std::string trace = read_file(json);
+  EXPECT_NE(trace.find("\"patch_table_load\""), std::string::npos);
+  EXPECT_NE(trace.find("\"patch_hit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"guard_trap\""), std::string::npos);
+  // Both detection events name the same allocation context.
+  EXPECT_NE(trace.find("\"fn\": \"malloc\""), std::string::npos);
+
+  // The --out side-channel wrote a parseable text dump; stats over it
+  // reports the counter tier.
+  const std::string body = read_file(dump);
+  EXPECT_NE(body.find("version 1"), std::string::npos);
+  EXPECT_NE(body.find("event"), std::string::npos);
+  EXPECT_EQ(run("stats " + dump + " > " + json), 0);
+  const std::string stats = read_file(json);
+  EXPECT_NE(stats.find("\"interceptions\""), std::string::npos);
+  EXPECT_NE(stats.find("\"patch_hits\""), std::string::npos);
+
+  // Dump mode: trace over the file replays the recorded events.
+  EXPECT_EQ(run("trace " + dump + " > " + json), 0);
+  EXPECT_NE(read_file(json).find("\"guard_trap\""), std::string::npos);
+  for (const auto& f : {cfg, dump, json}) std::remove(f.c_str());
+}
+
+TEST(Htctl, TraceRequiresConfigForRunMode) {
+  EXPECT_EQ(run("trace " + std::string(HT_SAMPLE_HTP) +
+                " --input 1 2> /dev/null"),
+            1);
+}
+
+TEST(Htctl, StatsMissingFileExitsThree) {
+  EXPECT_EQ(run("stats /nonexistent.dump 2> /dev/null"), 3);
+}
+
 TEST(Htctl, ShowListsPatches) {
   const std::string cfg = temp_file("htctl_show.cfg");
   write_file(cfg, "version 1\npatch aligned_alloc 0xff OVERFLOW|UAF|UNINIT\n");

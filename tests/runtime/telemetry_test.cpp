@@ -1,0 +1,445 @@
+#include "runtime/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "patch/patch_table.hpp"
+#include "runtime/guarded_allocator.hpp"
+#include "runtime/guarded_backend.hpp"
+#include "runtime/sharded_allocator.hpp"
+
+namespace ht::runtime {
+namespace {
+
+using progmodel::AllocFn;
+
+TelemetryRecord make_record(TelemetryEvent type, std::uint64_t ccid) {
+  TelemetryRecord rec;
+  rec.type = type;
+  rec.ccid = ccid;
+  return rec;
+}
+
+// ---- Ring semantics ----
+
+TEST(TelemetryRing, DisabledRingDropsNothingAndRecordsNothing) {
+  TelemetryRing ring;
+  ring.record(make_record(TelemetryEvent::kPatchHit, 1));
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<TelemetryRecord> out;
+  EXPECT_EQ(ring.snapshot(out), 0u);
+}
+
+TEST(TelemetryRing, CapacityRoundsUpToPowerOfTwo) {
+  TelemetryRing ring;
+  ring.configure(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(TelemetryRing, WraparoundKeepsNewestAndCountsDrops) {
+  TelemetryRing ring;
+  ring.configure(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.record(make_record(TelemetryEvent::kPatchHit, i));
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);  // 20 recorded - 8 retained
+
+  std::vector<TelemetryRecord> out;
+  ASSERT_EQ(ring.snapshot(out), 8u);
+  // The retained window is exactly the newest 8, oldest first, with the
+  // sequence numbers assigned at record time.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].seq, 12 + i);
+    EXPECT_EQ(out[i].ccid, 12 + i);
+  }
+}
+
+TEST(TelemetryRing, SnapshotUnderCapacityReturnsAll) {
+  TelemetryRing ring;
+  ring.configure(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ring.record(make_record(TelemetryEvent::kQuarantineEvict, i));
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<TelemetryRecord> out;
+  ASSERT_EQ(ring.snapshot(out), 5u);
+  EXPECT_EQ(out.front().seq, 0u);
+  EXPECT_EQ(out.back().seq, 4u);
+}
+
+TEST(TelemetryRing, ConcurrentWritersLoseNoSequenceNumbers) {
+  TelemetryRing ring;
+  ring.configure(1024);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 64;  // 512 total < 1024: no wrap
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.record(make_record(TelemetryEvent::kPatchHit,
+                                static_cast<std::uint64_t>(t) * 1000 + i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(ring.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), 0u);
+  std::vector<TelemetryRecord> out;
+  EXPECT_EQ(ring.snapshot(out), kThreads * kPerThread);
+  // Every sequence number appears exactly once and every record's payload
+  // is internally consistent (the seqlock never publishes a torn slot).
+  std::set<std::uint64_t> seqs;
+  for (const TelemetryRecord& rec : out) {
+    EXPECT_TRUE(seqs.insert(rec.seq).second);
+    EXPECT_EQ(rec.type, TelemetryEvent::kPatchHit);
+    EXPECT_LT(rec.ccid % 1000, kPerThread);
+  }
+  EXPECT_EQ(seqs.size(), kThreads * kPerThread);
+}
+
+TEST(TelemetryRing, ConcurrentWritersWithWrapStayConsistent) {
+  TelemetryRing ring;
+  ring.configure(32);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 512;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ring.record(make_record(TelemetryEvent::kGuardTrap,
+                                static_cast<std::uint64_t>(t) * 10000 + i));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  const std::uint64_t total = kThreads * kPerThread;
+  EXPECT_EQ(ring.recorded(), total);
+  EXPECT_EQ(ring.dropped(), total - 32);
+  std::vector<TelemetryRecord> out;
+  const std::size_t retained = ring.snapshot(out);
+  EXPECT_LE(retained, 32u);  // wraps may tear a few slots; never more than cap
+  std::set<std::uint64_t> seqs;
+  for (const TelemetryRecord& rec : out) {
+    EXPECT_TRUE(seqs.insert(rec.seq).second);
+    EXPECT_EQ(rec.type, TelemetryEvent::kGuardTrap);
+    // Payload always matches some value a writer actually produced.
+    EXPECT_LT(rec.ccid % 10000, kPerThread);
+    EXPECT_LT(rec.ccid / 10000, static_cast<std::uint64_t>(kThreads));
+  }
+}
+
+TEST(TelemetryRing, ConcurrentReaderNeverSeesTornRecords) {
+  TelemetryRing ring;
+  ring.configure(16);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // ccid and size are written in lockstep; a torn read would break the
+      // invariant checked below.
+      TelemetryRecord rec = make_record(TelemetryEvent::kPatchHit, i);
+      rec.size = i * 3;
+      ring.record(rec);
+      ++i;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    std::vector<TelemetryRecord> out;
+    ring.snapshot(out);
+    for (const TelemetryRecord& rec : out) {
+      EXPECT_EQ(rec.size, rec.ccid * 3);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// ---- Event names ----
+
+TEST(TelemetryEvents, NamesRoundTrip) {
+  for (std::uint8_t i = 0; i < kTelemetryEventCount; ++i) {
+    const auto type = static_cast<TelemetryEvent>(i);
+    TelemetryEvent back;
+    ASSERT_TRUE(telemetry_event_from_name(telemetry_event_name(type), back));
+    EXPECT_EQ(back, type);
+  }
+  TelemetryEvent unused;
+  EXPECT_FALSE(telemetry_event_from_name("nonsense", unused));
+}
+
+// ---- Sink counters ----
+
+TEST(TelemetrySink, PatchHitCountersAccumulatePerContext) {
+  TelemetrySink sink;
+  sink.configure(TelemetryConfig{});
+  sink.record_patch_hit(AllocFn::kMalloc, 7, 1, 64, 100);
+  sink.record_patch_hit(AllocFn::kMalloc, 7, 1, 64, 100);
+  sink.record_patch_hit(AllocFn::kCalloc, 7, 1, 64, 100);
+  sink.record_patch_hit(AllocFn::kMalloc, 9, 1, 64, 100);
+  const auto hits = sink.patch_hits();
+  ASSERT_EQ(hits.size(), 3u);
+  std::uint64_t malloc7 = 0;
+  for (const PatchHitCount& h : hits) {
+    if (h.fn == AllocFn::kMalloc && h.ccid == 7) malloc7 = h.hits;
+  }
+  EXPECT_EQ(malloc7, 2u);
+  EXPECT_EQ(sink.patch_hit_overflow(), 0u);
+}
+
+TEST(TelemetrySink, CountersDisabledRecordsNothing) {
+  TelemetryConfig config;
+  config.counters = false;
+  TelemetrySink sink;
+  sink.configure(config);
+  sink.record_patch_hit(AllocFn::kMalloc, 7, 1, 64, 100);
+  EXPECT_TRUE(sink.patch_hits().empty());
+  std::uint64_t total = 0;
+  for (std::uint64_t b : sink.latency().buckets) total += b;
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(LatencyHistogramTest, BucketsByLog2) {
+  LatencyHistogram h;
+  h.record(10);     // < 32: bucket 0
+  h.record(40);     // < 64: bucket 1
+  h.record(1u << 30);  // beyond all bounded buckets: last
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[LatencyHistogram::kBuckets - 1], 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_limit_ns(0), 32u);
+  EXPECT_EQ(LatencyHistogram::bucket_limit_ns(LatencyHistogram::kBuckets - 1), 0u);
+}
+
+// ---- Events emitted per defense action ----
+
+patch::PatchTable one_patch_table(std::uint8_t mask, std::uint64_t ccid = 42) {
+  return patch::PatchTable({patch::Patch{AllocFn::kMalloc, ccid, mask}},
+                           /*freeze=*/true);
+}
+
+GuardedAllocatorConfig events_on() {
+  GuardedAllocatorConfig config;
+  config.telemetry.events = true;
+  return config;
+}
+
+std::vector<TelemetryRecord> events_of_type(const TelemetrySnapshot& snap,
+                                            TelemetryEvent type) {
+  std::vector<TelemetryRecord> out;
+  for (const TelemetryRecord& rec : snap.events) {
+    if (rec.type == type) out.push_back(rec);
+  }
+  return out;
+}
+
+TEST(TelemetryEmission, PatchTableLoadRecordedAtConstruction) {
+  const auto table = one_patch_table(patch::kUninitRead);
+  GuardedAllocator allocator(&table, events_on());
+  const auto snap = allocator.telemetry_snapshot();
+  const auto loads = events_of_type(snap, TelemetryEvent::kPatchTableLoad);
+  ASSERT_EQ(loads.size(), 1u);
+  EXPECT_EQ(loads[0].size, 1u);  // patch count
+  EXPECT_EQ(loads[0].aux, table.generation());
+  EXPECT_EQ(snap.table_patches, 1u);
+}
+
+TEST(TelemetryEmission, PatchHitCarriesFnCcidMaskAndSize) {
+  const auto table = one_patch_table(patch::kUninitRead);
+  GuardedAllocator allocator(&table, events_on());
+  void* p = allocator.malloc(128, 42);
+  ASSERT_NE(p, nullptr);
+  allocator.free(p);
+  void* q = allocator.malloc(64, 7);  // unpatched ccid: no event
+  allocator.free(q);
+
+  const auto snap = allocator.telemetry_snapshot();
+  const auto hits = events_of_type(snap, TelemetryEvent::kPatchHit);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].fn, static_cast<std::uint8_t>(AllocFn::kMalloc));
+  EXPECT_EQ(hits[0].ccid, 42u);
+  EXPECT_EQ(hits[0].size, 128u);
+  EXPECT_EQ(hits[0].aux, patch::kUninitRead);
+  ASSERT_EQ(snap.patch_hits.size(), 1u);
+  EXPECT_EQ(snap.patch_hits[0].hits, 1u);
+  // The enhancement latency histogram saw exactly one sample.
+  std::uint64_t samples = 0;
+  for (std::uint64_t b : snap.latency.buckets) samples += b;
+  EXPECT_EQ(samples, 1u);
+}
+
+TEST(TelemetryEmission, CanaryCorruptionRecordedOnFree) {
+  const auto table = one_patch_table(patch::kOverflow);
+  GuardedAllocatorConfig config = events_on();
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  GuardedAllocator allocator(&table, config);
+  void* p = allocator.malloc(32, 42);
+  ASSERT_NE(p, nullptr);
+  static_cast<char*>(p)[32] = 0x5A;  // smash the trailing canary
+  allocator.free(p);
+  const auto snap = allocator.telemetry_snapshot();
+  const auto corruptions = events_of_type(snap, TelemetryEvent::kCanaryCorruption);
+  ASSERT_EQ(corruptions.size(), 1u);
+  EXPECT_EQ(corruptions[0].size, 32u);
+  EXPECT_EQ(snap.totals.canary_overflows_on_free, 1u);
+}
+
+TEST(TelemetryEmission, QuarantineEvictAndOverflowRecorded) {
+  const auto table = one_patch_table(patch::kUseAfterFree);
+  GuardedAllocatorConfig config = events_on();
+  config.quarantine_quota_bytes = 256;  // tiny: every sizable free evicts
+  GuardedAllocator allocator(&table, config);
+  void* a = allocator.malloc(512, 42);  // layout > quota: oversized retain
+  void* b = allocator.malloc(512, 42);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  allocator.free(a);  // retained although alone over quota -> overflow event
+  allocator.free(b);  // pushes second block -> evicts the first
+
+  const auto snap = allocator.telemetry_snapshot();
+  EXPECT_FALSE(events_of_type(snap, TelemetryEvent::kQuarantineOverflow).empty());
+  EXPECT_FALSE(events_of_type(snap, TelemetryEvent::kQuarantineEvict).empty());
+  EXPECT_EQ(snap.totals.quarantined_frees, 2u);
+}
+
+TEST(TelemetryEmission, GuardTrapCarriesAllocationContext) {
+  const auto table = one_patch_table(patch::kOverflow);
+  GuardedAllocator allocator(&table, events_on());
+  GuardedBackend backend(allocator);
+  const std::uint64_t handle =
+      backend.allocate(AllocFn::kMalloc, 64, 0, /*ccid=*/42);
+  ASSERT_NE(handle, 0u);
+  const auto outcome = backend.write(handle, 0, 128);  // overflow: trapped
+  EXPECT_EQ(outcome.kind, progmodel::AccessKind::kBlockedByGuard);
+  backend.deallocate(handle);
+
+  const auto snap = allocator.telemetry_snapshot();
+  const auto traps = events_of_type(snap, TelemetryEvent::kGuardTrap);
+  ASSERT_EQ(traps.size(), 1u);
+  EXPECT_EQ(traps[0].fn, static_cast<std::uint8_t>(AllocFn::kMalloc));
+  EXPECT_EQ(traps[0].ccid, 42u);
+  EXPECT_EQ(traps[0].size, 128u);  // the attempted access length
+  // The trap and the patch hit agree on {FUN, CCID} — the operator can
+  // correlate detection back to the patched allocation context.
+  const auto hits = events_of_type(snap, TelemetryEvent::kPatchHit);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].ccid, traps[0].ccid);
+  EXPECT_EQ(hits[0].fn, traps[0].fn);
+}
+
+TEST(TelemetryEmission, ShardedAllocatorMergesAcrossShards) {
+  const auto table = one_patch_table(patch::kUninitRead);
+  ShardedAllocatorConfig sharding;
+  sharding.shards = 4;
+  ShardedAllocator allocator(&table, events_on(), sharding);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&allocator] {
+      for (int i = 0; i < 50; ++i) {
+        void* p = allocator.malloc(64, 42);
+        ASSERT_NE(p, nullptr);
+        allocator.free(p);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const auto snap = allocator.telemetry_snapshot();
+  EXPECT_EQ(snap.shards.size(), 4u);
+  EXPECT_EQ(snap.totals.interceptions, kThreads * 50u);
+  ASSERT_EQ(snap.patch_hits.size(), 1u);
+  EXPECT_EQ(snap.patch_hits[0].hits, kThreads * 50u);
+  // Events merged from every shard's ring come out timestamp-ordered.
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_GE(snap.events[i].timestamp_ns, snap.events[i - 1].timestamp_ns);
+  }
+}
+
+// ---- Dump format round-trip ----
+
+TelemetrySnapshot sample_snapshot() {
+  const auto table = one_patch_table(patch::kOverflow);
+  GuardedAllocator allocator(&table, events_on());
+  GuardedBackend backend(allocator);
+  const std::uint64_t handle = backend.allocate(AllocFn::kMalloc, 64, 0, 42);
+  (void)backend.write(handle, 0, 128);
+  backend.deallocate(handle);
+  return allocator.telemetry_snapshot();
+}
+
+TEST(TelemetryDump, RenderParseRoundTripIsExact) {
+  const TelemetrySnapshot snap = sample_snapshot();
+  const std::string dump = render_telemetry(snap);
+  const TelemetryParseResult parsed = parse_telemetry(dump);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  // Re-rendering the parsed snapshot reproduces the dump byte for byte:
+  // everything the format carries survives the round trip.
+  EXPECT_EQ(render_telemetry(parsed.snapshot), dump);
+}
+
+TEST(TelemetryDump, ParsedFieldsMatchSource) {
+  const TelemetrySnapshot snap = sample_snapshot();
+  const TelemetryParseResult parsed = parse_telemetry(render_telemetry(snap));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.snapshot.totals.interceptions, snap.totals.interceptions);
+  EXPECT_EQ(parsed.snapshot.totals.guard_pages, snap.totals.guard_pages);
+  EXPECT_EQ(parsed.snapshot.table_patches, snap.table_patches);
+  EXPECT_EQ(parsed.snapshot.events.size(), snap.events.size());
+  ASSERT_EQ(parsed.snapshot.patch_hits.size(), snap.patch_hits.size());
+  for (std::size_t i = 0; i < snap.patch_hits.size(); ++i) {
+    EXPECT_EQ(parsed.snapshot.patch_hits[i].ccid, snap.patch_hits[i].ccid);
+    EXPECT_EQ(parsed.snapshot.patch_hits[i].hits, snap.patch_hits[i].hits);
+  }
+  ASSERT_EQ(parsed.snapshot.events.size(), snap.events.size());
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    EXPECT_EQ(parsed.snapshot.events[i].type, snap.events[i].type);
+    EXPECT_EQ(parsed.snapshot.events[i].ccid, snap.events[i].ccid);
+    EXPECT_EQ(parsed.snapshot.events[i].timestamp_ns, snap.events[i].timestamp_ns);
+  }
+}
+
+TEST(TelemetryDump, ParserIsLenientAndDiagnostic) {
+  const std::string text =
+      "# comment\n"
+      "version 1\n"
+      "counter interceptions 5\n"
+      "counter bogus_future_counter 7\n"   // unknown: skipped silently
+      "event not-a-number 0 patch_hit malloc 0x0 size=1 aux=0 t=0\n"  // bad
+      "counter enhanced\n";                // missing value: diagnostic
+  const TelemetryParseResult parsed = parse_telemetry(text);
+  EXPECT_EQ(parsed.snapshot.totals.interceptions, 5u);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_GE(parsed.errors.size(), 2u);
+}
+
+TEST(TelemetryDump, RejectsUnsupportedVersion) {
+  const TelemetryParseResult parsed = parse_telemetry("version 99\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+// ---- JSON export smoke ----
+
+TEST(TelemetryJson, StatsAndTraceContainKeyFields) {
+  const TelemetrySnapshot snap = sample_snapshot();
+  const std::string stats = telemetry_stats_json(snap);
+  EXPECT_NE(stats.find("\"interceptions\""), std::string::npos);
+  EXPECT_NE(stats.find("\"patch_hits\""), std::string::npos);
+  EXPECT_NE(stats.find("\"shards\""), std::string::npos);
+  const std::string trace = telemetry_trace_json(snap);
+  EXPECT_NE(trace.find("\"patch_hit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"guard_trap\""), std::string::npos);
+  EXPECT_NE(trace.find("\"patch_table_load\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -1,4 +1,5 @@
-// htctl — operator tooling for HeapTherapy+ patch configurations.
+// htctl — operator tooling for HeapTherapy+ patch configurations and
+// runtime telemetry (docs/OBSERVABILITY.md).
 //
 //   htctl validate <config>            parse and lint a config file
 //   htctl show <config>                human-readable patch listing
@@ -6,14 +7,30 @@
 //                                      (duplicate {FUN,CCID} masks OR together)
 //   htctl add <config> <fn> <ccid> <mask>
 //                                      append one patch (idempotent)
+//   htctl stats <dump>                 telemetry dump -> counters as JSON
+//   htctl trace <dump>                 telemetry dump -> event stream as JSON
+//   htctl trace <prog.htp> --input a,b,... --config cfg [--out dump.txt]
+//                                      replay the program under the hardened
+//                                      allocator with the event ring on and
+//                                      print the trace as JSON; --out also
+//                                      writes the text dump (FORMATS.md §4)
 //
 // Exit codes: 0 ok, 1 usage, 2 validation errors, 3 I/O failure.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cce/encoders.hpp"
+#include "cce/strategies.hpp"
 #include "patch/config_file.hpp"
+#include "patch/patch_table.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/program_io.hpp"
+#include "runtime/guarded_backend.hpp"
+#include "runtime/telemetry.hpp"
 #include "support/str.hpp"
 
 namespace {
@@ -26,7 +43,11 @@ int usage() {
                "usage: htctl validate <config>\n"
                "       htctl show <config>\n"
                "       htctl merge <out> <in>...\n"
-               "       htctl add <config> <alloc_fn> <ccid> <vuln_mask>\n");
+               "       htctl add <config> <alloc_fn> <ccid> <vuln_mask>\n"
+               "       htctl stats <telemetry_dump>\n"
+               "       htctl trace <telemetry_dump>\n"
+               "       htctl trace <prog.htp> --input a,b,..."
+               " --config cfg [--out dump.txt]\n");
   return 1;
 }
 
@@ -119,6 +140,122 @@ int cmd_add(const std::string& path, const std::string& fn_name,
   return 0;
 }
 
+// ---- Telemetry commands ----
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::optional<ht::runtime::TelemetrySnapshot> load_dump(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "htctl: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto parsed = ht::runtime::parse_telemetry(*text);
+  for (const std::string& err : parsed.errors) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+  }
+  return std::move(parsed.snapshot);
+}
+
+int cmd_stats(const std::string& path) {
+  const auto snap = load_dump(path);
+  if (!snap) return 3;
+  std::printf("%s\n", ht::runtime::telemetry_stats_json(*snap).c_str());
+  return 0;
+}
+
+int cmd_trace_dump(const std::string& path) {
+  const auto snap = load_dump(path);
+  if (!snap) return 3;
+  std::printf("%s\n", ht::runtime::telemetry_trace_json(*snap).c_str());
+  return 0;
+}
+
+/// `htctl trace <prog.htp> --input ... --config ...`: replay the program
+/// under the hardened allocator with the event ring enabled, then emit the
+/// detection trace. This is the operator's end-to-end "what would the
+/// defenses do and what would I see" question answered in one command.
+int cmd_trace_run(const std::string& program_path, const std::string& input_text,
+                  const std::string& config_path, const std::string& out_path) {
+  const auto source = read_file(program_path);
+  if (!source) {
+    std::fprintf(stderr, "htctl: cannot read %s\n", program_path.c_str());
+    return 3;
+  }
+  auto parsed = ht::progmodel::parse_program(*source);
+  if (!parsed.program) {
+    std::fprintf(stderr, "htctl: %s: %s\n", program_path.c_str(),
+                 parsed.error.c_str());
+    return 3;
+  }
+  ht::progmodel::Input input;
+  for (std::string_view field : ht::support::split(input_text, ',')) {
+    const auto v = ht::support::parse_u64(field);
+    if (!v) {
+      std::fprintf(stderr, "htctl: bad --input value\n");
+      return 1;
+    }
+    input.params.push_back(*v);
+  }
+  const auto loaded = load_or_complain(config_path);
+  if (!loaded) return 3;
+  if (!loaded->ok()) {
+    for (const std::string& err : loaded->errors) {
+      std::fprintf(stderr, "%s: %s\n", config_path.c_str(), err.c_str());
+    }
+    return 2;
+  }
+
+  const ht::progmodel::Program& program = *parsed.program;
+  const auto plan = ht::cce::compute_plan(program.graph(), program.alloc_targets(),
+                                          ht::cce::Strategy::kIncremental);
+  const ht::cce::PccEncoder encoder(plan);
+  const ht::patch::PatchTable table(loaded->patches, /*freeze=*/true);
+  ht::runtime::GuardedAllocatorConfig defenses;
+  defenses.telemetry.events = true;
+  ht::runtime::GuardedAllocator allocator(&table, defenses);
+  ht::runtime::GuardedBackend backend(allocator);
+  ht::progmodel::Interpreter interp(program, &encoder, backend);
+  (void)interp.run(input);
+
+  const ht::runtime::TelemetrySnapshot snap = allocator.telemetry_snapshot();
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out || !(out << ht::runtime::render_telemetry(snap))) {
+      std::fprintf(stderr, "htctl: cannot write %s\n", out_path.c_str());
+      return 3;
+    }
+  }
+  std::printf("%s\n", ht::runtime::telemetry_trace_json(snap).c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  if (argc == 3) return cmd_trace_dump(argv[2]);
+  std::string input_text, config_path, out_path;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--input") {
+      input_text = value;
+    } else if (flag == "--config") {
+      config_path = value;
+    } else if (flag == "--out") {
+      out_path = value;
+    } else {
+      return usage();
+    }
+  }
+  if (config_path.empty()) return usage();
+  return cmd_trace_run(argv[2], input_text, config_path, out_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,5 +269,7 @@ int main(int argc, char** argv) {
   if (command == "add" && argc == 6) {
     return cmd_add(argv[2], argv[3], argv[4], argv[5]);
   }
+  if (command == "stats" && argc == 3) return cmd_stats(argv[2]);
+  if (command == "trace") return cmd_trace(argc, argv);
   return usage();
 }

@@ -16,9 +16,10 @@
 //       find an attack input automatically, then analyze it
 //   htrun replay <prog.htp> --input a,b,... --config patches.cfg
 //                           [--strategy S] [--defense guard|canary]
-//                           [--poison 1]
+//                           [--poison 1] [--telemetry dump.txt]
 //       online replay under the hardened allocator; prints what the
-//       defenses did
+//       defenses did; --telemetry enables the event ring and writes the
+//       telemetry text dump (docs/FORMATS.md §4) after the run
 //
 // Strategies: FCS, TCS, Slim, Incremental (default).
 // Exit codes: 0 ok / clean, 1 usage, 2 vulnerability found (analyze/search)
@@ -58,6 +59,7 @@ int usage() {
 
 struct Args {
   std::string command, program_path, input_text, space_text, config_path, out_path;
+  std::string telemetry_path;
   bool dot = false;
   cce::Strategy strategy = cce::Strategy::kIncremental;
   std::uint64_t runs = 512;
@@ -98,6 +100,9 @@ Args parse_args(int argc, char** argv) {
       }
     } else if (flag == "--poison") {
       args.defenses.poison_quarantine = support::parse_u64(value).value_or(0) != 0;
+    } else if (flag == "--telemetry") {
+      args.telemetry_path = value;
+      args.defenses.telemetry.events = true;
     } else if (flag == "--dot") {
       args.dot = support::parse_u64(value).value_or(0) != 0;
     } else if (flag == "--strategy") {
@@ -274,6 +279,16 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
               static_cast<unsigned long long>(obs.stale_hits_quarantine),
               static_cast<unsigned long long>(obs.stale_hits_reused),
               static_cast<unsigned long long>(obs.leaked_nonzero_bytes));
+  if (!args.telemetry_path.empty()) {
+    std::ofstream out(args.telemetry_path);
+    if (!out ||
+        !(out << runtime::render_telemetry(allocator.telemetry_snapshot()))) {
+      std::fprintf(stderr, "htrun: cannot write %s\n",
+                   args.telemetry_path.c_str());
+      return 3;
+    }
+    std::printf("wrote telemetry dump to %s\n", args.telemetry_path.c_str());
+  }
   const bool attack_effect = obs.oob_writes_landed > 0 || obs.oob_reads_landed > 0 ||
                              obs.stale_hits_reused > 0;
   return attack_effect ? 2 : 0;
