@@ -4,8 +4,11 @@
 # Checks (all against the repo the script lives in, so it runs from any cwd):
 #   1. every HEAPTHERAPY_* environment variable referenced by src/ or tools/
 #      is documented somewhere in README.md, DESIGN.md, or docs/;
-#   2. every htctl subcommand dispatched in tools/htctl.cpp is documented;
-#   3. every relative markdown link in tracked *.md files resolves to a file
+#   2. every subcommand dispatched by htctl, htrun, and htexport is
+#      documented as "<tool> <subcommand>";
+#   3. every "--flag" string literal parsed by htctl, htrun, and htagg is
+#      documented in at least one doc file that also mentions the tool;
+#   4. every relative markdown link in tracked *.md files resolves to a file
 #      that exists.
 #
 # Wired into ctest as `docs.check_docs` (tests/CMakeLists.txt) so a PR that
@@ -31,23 +34,57 @@ for var in $env_vars; do
   fi
 done
 
-# --- 2. htctl subcommands -----------------------------------------------
-subcommands="$(grep -oE 'command == "[a-z]+"' "$repo/tools/htctl.cpp" \
-               | grep -oE '"[a-z]+"' | tr -d '"' | sort -u)"
-if [ -z "$subcommands" ]; then
-  echo "check_docs: found no htctl subcommands in tools/htctl.cpp" \
-       "(extraction pattern broken?)" >&2
-  fail=1
-fi
-for cmd in $subcommands; do
-  if ! grep -qE "htctl $cmd" <<<"$doc_corpus"; then
-    echo "check_docs: htctl subcommand '$cmd' is not documented (no" \
-         "'htctl $cmd' in README.md, DESIGN.md, or docs/)" >&2
+# --- 2. CLI subcommands --------------------------------------------------
+# htctl and htrun dispatch on `command == "<name>"` (htrun via args.command);
+# htexport compares its mode argument to literal strings the same way.
+check_subcommands() { # tool source_file extraction_regex
+  local tool="$1" src="$2" regex="$3" subs cmd
+  subs="$(grep -oE "$regex" "$src" | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)"
+  if [ -z "$subs" ]; then
+    echo "check_docs: found no $tool subcommands in ${src#"$repo"/}" \
+         "(extraction pattern broken?)" >&2
     fail=1
+    return
   fi
-done
+  for cmd in $subs; do
+    if ! grep -qE "$tool +$cmd" <<<"$doc_corpus"; then
+      echo "check_docs: $tool subcommand '$cmd' is not documented (no" \
+           "'$tool $cmd' in README.md, DESIGN.md, or docs/)" >&2
+      fail=1
+    fi
+  done
+}
+check_subcommands htctl "$repo/tools/htctl.cpp" 'command == "[a-z-]+"'
+check_subcommands htrun "$repo/tools/htrun.cpp" 'command == "[a-z-]+"'
+check_subcommands htexport "$repo/tools/htexport.cpp" '== "[a-z-]+"'
 
-# --- 3. relative markdown links -----------------------------------------
+# --- 3. CLI flags ---------------------------------------------------------
+# Every "--flag" a tool parses must be documented in at least one doc file
+# that also mentions the tool (so htagg's --top can't hide behind another
+# tool's docs).
+check_flags() { # tool source_file
+  local tool="$1" src="$2" flags flag f found
+  flags="$(grep -oE '"--[a-z-]+"' "$src" | tr -d '"' | sort -u)"
+  for flag in $flags; do
+    found=0
+    for f in "${doc_files[@]}"; do
+      if grep -qF "$tool" "$f" && grep -qF -- "$flag" "$f"; then
+        found=1
+        break
+      fi
+    done
+    if [ "$found" -eq 0 ]; then
+      echo "check_docs: $tool flag '$flag' is not documented (no doc file" \
+           "mentions both '$tool' and '$flag')" >&2
+      fail=1
+    fi
+  done
+}
+check_flags htctl "$repo/tools/htctl.cpp"
+check_flags htrun "$repo/tools/htrun.cpp"
+check_flags htagg "$repo/tools/htagg.cpp"
+
+# --- 4. relative markdown links -----------------------------------------
 # Matches ](target) where target is not an absolute URL or an in-page
 # anchor; strips any #fragment before checking existence.
 all_md="$(find "$repo" -name '*.md' -not -path "$repo/build/*" -not -path '*/.*' | sort)"
@@ -71,4 +108,4 @@ if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
-echo "check_docs: OK (env vars, htctl subcommands, markdown links)"
+echo "check_docs: OK (env vars, CLI subcommands, CLI flags, markdown links)"

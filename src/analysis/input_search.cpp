@@ -29,12 +29,18 @@ std::vector<std::uint64_t> boundary_values(const ParamRange& range) {
   return values;
 }
 
-}  // namespace
+/// Per-phase replay counts, reported on the `input_search` trace span.
+struct PhaseRuns {
+  std::uint64_t boundary = 0;
+  std::uint64_t pairwise = 0;
+  std::uint64_t random = 0;
+};
 
-InputSearchResult search_attack_input(const progmodel::Program& program,
-                                      const cce::Encoder* encoder,
-                                      const std::vector<ParamRange>& space,
-                                      const InputSearchOptions& options) {
+InputSearchResult search_impl(const progmodel::Program& program,
+                              const cce::Encoder* encoder,
+                              const std::vector<ParamRange>& space,
+                              const InputSearchOptions& options,
+                              PhaseRuns& phases) {
   InputSearchResult result;
   support::Rng rng(options.seed);
 
@@ -62,8 +68,9 @@ InputSearchResult search_attack_input(const progmodel::Program& program,
     for (std::uint64_t value : boundary_values(space[i])) {
       progmodel::Input candidate = base;
       candidate.params[i] = value;
-      if (try_input(candidate)) return result;
-      if (result.runs >= options.max_runs) return result;
+      const bool hit = try_input(candidate);
+      phases.boundary = result.runs;
+      if (hit || result.runs >= options.max_runs) return result;
     }
   }
 
@@ -76,8 +83,9 @@ InputSearchResult search_attack_input(const progmodel::Program& program,
           progmodel::Input candidate = base;
           candidate.params[i] = vi;
           candidate.params[j] = vj;
-          if (try_input(candidate)) return result;
-          if (result.runs >= options.max_runs) return result;
+          const bool hit = try_input(candidate);
+          phases.pairwise = result.runs - phases.boundary;
+          if (hit || result.runs >= options.max_runs) return result;
         }
       }
     }
@@ -89,7 +97,28 @@ InputSearchResult search_attack_input(const progmodel::Program& program,
     for (const ParamRange& range : space) {
       candidate.params.push_back(rng.range(range.lo, range.hi));
     }
-    if (try_input(candidate)) return result;
+    const bool hit = try_input(candidate);
+    phases.random = result.runs - phases.boundary - phases.pairwise;
+    if (hit) return result;
+  }
+  return result;
+}
+
+}  // namespace
+
+InputSearchResult search_attack_input(const progmodel::Program& program,
+                                      const cce::Encoder* encoder,
+                                      const std::vector<ParamRange>& space,
+                                      const InputSearchOptions& options) {
+  support::SpanGuard span(options.analysis.tracer, "input_search");
+  PhaseRuns phases;
+  InputSearchResult result = search_impl(program, encoder, space, options, phases);
+  if (span.active()) {
+    span.counter("runs", result.runs);
+    span.counter("boundary_runs", phases.boundary);
+    span.counter("pairwise_runs", phases.pairwise);
+    span.counter("random_runs", phases.random);
+    span.counter("found", result.found() ? 1 : 0);
   }
   return result;
 }

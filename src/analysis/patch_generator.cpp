@@ -49,11 +49,61 @@ AnalysisReport analyze_attack(const progmodel::Program& program,
                               const cce::Encoder* encoder,
                               const progmodel::Input& attack_input,
                               const AnalysisConfig& config) {
-  shadow::SimHeap heap(config.heap);
+  support::Tracer* tracer = config.tracer;
+  support::SpanGuard span(tracer, "analyze_attack");
+
+  shadow::SimHeapConfig heap_config = config.heap;
+  if (tracer != nullptr) heap_config.collect_trace_stats = true;
+  shadow::SimHeap heap(heap_config);
   progmodel::Interpreter interp(program, encoder, heap);
   AnalysisReport report;
-  report.run = interp.run(attack_input, config.run);
-  report.patches = patches_from_violations(report.run.violations, &report.unattributed);
+  std::uint32_t replay_id = support::kNoSpanParent;
+  {
+    support::SpanGuard replay(tracer, "replay");
+    replay_id = replay.id();
+    progmodel::RunOptions run_options = config.run;
+    run_options.tracer = tracer;
+    report.run = interp.run(attack_input, run_options);
+    replay.counter("steps", report.run.steps);
+    replay.counter("allocs", report.run.total_allocs());
+    replay.counter("frees", report.run.free_count);
+    replay.counter("violations", report.run.violations.size());
+  }
+  if (tracer != nullptr) {
+    // The replay span *contains* the shadow-check time; re-attribute the
+    // share SimHeap measured as a sibling span so a trace shows how much of
+    // the replay was spent in the Memcheck-style machinery.
+    const shadow::SimHeap::TraceStats& checks = heap.trace_stats();
+    const std::uint32_t sid = tracer->add_complete_span(
+        "shadow_checks", tracer->spans()[replay_id].start_ns,
+        checks.check_wall_ns, checks.check_cpu_ns);
+    tracer->add_counter(sid, "redzone_checks", checks.redzone_checks);
+    tracer->add_counter(sid, "redzone_check_bytes", checks.redzone_check_bytes);
+    tracer->add_counter(sid, "vbit_checks", checks.vbit_checks);
+    tracer->add_counter(sid, "vbit_check_bytes", checks.vbit_check_bytes);
+    tracer->add_counter(sid, "quarantine_pushes", checks.quarantine_pushes);
+    tracer->add_counter(sid, "quarantine_push_bytes", checks.quarantine_push_bytes);
+    tracer->add_counter(sid, "quarantine_evictions", checks.quarantine_evictions);
+    tracer->add_counter(sid, "quarantine_peak_bytes", checks.quarantine_peak_bytes);
+    tracer->add_counter(sid, "quarantine_peak_depth", checks.quarantine_peak_depth);
+    const shadow::ShadowOpStats& ops = heap.shadow().op_stats();
+    tracer->add_counter(sid, "shadow_set_ops",
+                        ops.set_accessible_ops + ops.set_valid_ops +
+                            ops.set_vbits_ops + ops.set_origin_ops);
+    tracer->add_counter(sid, "shadow_set_bytes",
+                        ops.set_accessible_bytes + ops.set_valid_bytes +
+                            ops.set_origin_bytes);
+    tracer->add_counter(sid, "shadow_copy_ops", ops.copy_ops);
+    tracer->add_counter(sid, "shadow_copy_bytes", ops.copy_bytes);
+    tracer->add_counter(sid, "shadow_pages", ops.pages_materialized);
+  }
+  {
+    support::SpanGuard patches(tracer, "patch_generation");
+    report.patches =
+        patches_from_violations(report.run.violations, &report.unattributed);
+    patches.counter("patches", report.patches.size());
+    patches.counter("unattributed", report.unattributed);
+  }
   return report;
 }
 

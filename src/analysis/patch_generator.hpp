@@ -15,12 +15,20 @@
 #include "progmodel/interpreter.hpp"
 #include "progmodel/program.hpp"
 #include "shadow/sim_heap.hpp"
+#include "support/trace.hpp"
 
 namespace ht::analysis {
 
 struct AnalysisConfig {
   shadow::SimHeapConfig heap;
   progmodel::RunOptions run;
+  /// Offline-pipeline tracer. When set, each analysis execution records an
+  /// `analyze_attack` span with `replay` (+ nested `interpreter.run`),
+  /// `shadow_checks` (re-attributed from SimHeap's accumulated check time,
+  /// carrying the shadow-op volume counters), and `patch_generation` child
+  /// spans; SimHeap trace-stat collection is switched on automatically.
+  /// Null (the default) keeps the pipeline on its untraced fast path.
+  support::Tracer* tracer = nullptr;
 };
 
 struct AnalysisReport {

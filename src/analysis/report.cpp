@@ -1,19 +1,15 @@
 #include "analysis/report.hpp"
 
-#include <cstdio>
 #include <sstream>
 
+#include "analysis/symbolize.hpp"
 #include "progmodel/interpreter.hpp"
 
 namespace ht::analysis {
 
 namespace {
 
-std::string hex(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(v));
-  return buf;
-}
+std::string hex(std::uint64_t v) { return ccid_hex(v); }
 
 }  // namespace
 
@@ -28,26 +24,31 @@ std::string render_report(const progmodel::Program& program,
      << report.run.total_allocs() << " allocations, " << report.run.free_count
      << " frees, " << report.run.violations.size() << " warning(s)\n\n";
 
-  // Decoded patches.
-  const cce::TargetedDecoder decoder(program.graph(), program.entry(),
-                                     program.alloc_targets(), encoder,
-                                     options.decoder_context_limit);
+  // Decoded patches (symbolization with the degradation policy of
+  // analysis/symbolize.hpp: never a silent wrong chain).
+  const CcidSymbolizer symbolizer(program, encoder, options.decoder_context_limit);
   os << "patches (" << report.patches.size() << "):\n";
   for (const patch::Patch& p : report.patches) {
     os << "  { FUN=" << progmodel::alloc_fn_name(p.fn) << ", CCID=" << hex(p.ccid)
        << ", T=" << patch::vuln_mask_to_string(p.vuln_mask) << " }\n";
-    const cce::FunctionId target = program.alloc_fn_node(p.fn);
-    if (target != cce::kInvalidFunction) {
-      if (const auto context = decoder.decode(target, p.ccid)) {
-        os << "      allocated at: "
-           << cce::TargetedDecoder::format_context(program.graph(),
-                                                   program.entry(), *context)
-           << (decoder.ambiguous(target, p.ccid) ? "  (note: CCID collision)"
-                                                 : "")
-           << "\n";
-      } else {
+    const SymbolizedCcid sym = symbolizer.symbolize(p.fn, p.ccid);
+    switch (sym.status) {
+      case SymbolizeStatus::kDecoded:
+        os << "      allocated at: " << sym.chain << "\n";
+        break;
+      case SymbolizeStatus::kAmbiguous:
+        os << "      allocated at: " << sym.chain
+           << "  (note: CCID collision)\n";
+        break;
+      case SymbolizeStatus::kUnknownCcid:
         os << "      allocated at: <context not reachable statically>\n";
-      }
+        break;
+      case SymbolizeStatus::kNoTargetNode:
+        break;  // nothing to decode against — the patch line stands alone
+      case SymbolizeStatus::kPlanMismatch:
+      case SymbolizeStatus::kUnavailable:
+        os << "      allocated at: " << symbolizer.render(p.fn, p.ccid) << "\n";
+        break;
     }
   }
   if (report.unattributed > 0) {

@@ -1,0 +1,92 @@
+#include "analysis/symbolize.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ht::analysis {
+
+std::string_view symbolize_status_name(SymbolizeStatus status) noexcept {
+  switch (status) {
+    case SymbolizeStatus::kDecoded: return "decoded";
+    case SymbolizeStatus::kAmbiguous: return "ambiguous";
+    case SymbolizeStatus::kUnknownCcid: return "unknown-ccid";
+    case SymbolizeStatus::kNoTargetNode: return "no-target-node";
+    case SymbolizeStatus::kPlanMismatch: return "plan-mismatch";
+    case SymbolizeStatus::kUnavailable: return "decoder-unavailable";
+  }
+  return "?";
+}
+
+std::string ccid_hex(std::uint64_t ccid) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(ccid));
+  return buf;
+}
+
+CcidSymbolizer::CcidSymbolizer(const progmodel::Program& program,
+                               const cce::Encoder& encoder,
+                               std::size_t context_limit)
+    : program_(program) {
+  try {
+    decoder_.emplace(program.graph(), program.entry(), program.alloc_targets(),
+                     encoder, context_limit);
+  } catch (const std::exception& e) {
+    // Typically std::length_error: a target's context set exceeded the
+    // limit. Symbolization degrades rather than propagating the failure
+    // into report/CLI paths.
+    unavailable_reason_ = std::string("decoder unavailable: ") + e.what();
+  }
+}
+
+void CcidSymbolizer::mark_mismatch(std::string reason) {
+  mismatch_ = std::move(reason);
+}
+
+SymbolizedCcid CcidSymbolizer::symbolize(progmodel::AllocFn fn,
+                                         std::uint64_t ccid) const {
+  SymbolizedCcid out;
+  if (mismatch_.has_value()) {
+    out.status = SymbolizeStatus::kPlanMismatch;
+    out.warning = "encoding plan mismatch: " + *mismatch_;
+    return out;
+  }
+  if (!decoder_.has_value()) {
+    out.status = SymbolizeStatus::kUnavailable;
+    out.warning = unavailable_reason_;
+    return out;
+  }
+  const cce::FunctionId target = program_.alloc_fn_node(fn);
+  if (target == cce::kInvalidFunction) {
+    out.status = SymbolizeStatus::kNoTargetNode;
+    out.warning = std::string("program has no node for ") +
+                  std::string(progmodel::alloc_fn_name(fn));
+    return out;
+  }
+  const std::optional<cce::CallingContext> context = decoder_->decode(target, ccid);
+  if (!context.has_value()) {
+    out.status = SymbolizeStatus::kUnknownCcid;
+    out.warning = "no calling context encodes to this CCID";
+    return out;
+  }
+  out.chain = cce::TargetedDecoder::format_context(program_.graph(),
+                                                   program_.entry(), *context);
+  if (decoder_->ambiguous(target, ccid)) {
+    out.status = SymbolizeStatus::kAmbiguous;
+    out.warning = "CCID collision: multiple contexts share this id";
+  } else {
+    out.status = SymbolizeStatus::kDecoded;
+  }
+  return out;
+}
+
+std::string CcidSymbolizer::render(progmodel::AllocFn fn,
+                                   std::uint64_t ccid) const {
+  const SymbolizedCcid sym = symbolize(fn, ccid);
+  if (sym.decoded()) return sym.chain;
+  // Degraded: always the raw id, never a guess — an ambiguous decode prints
+  // raw too, because showing one of several colliding chains would be a lie.
+  return ccid_hex(ccid) + " (!" + sym.warning + ")";
+}
+
+}  // namespace ht::analysis

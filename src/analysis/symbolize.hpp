@@ -1,0 +1,95 @@
+// CCID symbolization: resolve the opaque calling-context ids that appear in
+// patch tables, telemetry dumps, and analysis reports back into symbolic
+// call chains ("main -> handler -> malloc").
+//
+// CCIDs are the deployment currency of HeapTherapy+ — patches name them,
+// the online allocator matches on them, telemetry counts by them — but an
+// operator reading `htctl stats` sees only 64-bit hex. This wraps
+// cce::TargetedDecoder (which inverts the deployed encoder over the
+// program's enumerated contexts) behind a fallback policy: every lookup
+// yields *something* printable, degrading to the raw id plus a warning when
+// decoding is impossible:
+//
+//  - kUnknownCcid   — no enumerated context encodes to this id (stale table,
+//                     wrong strategy, or a context pruned by the limits);
+//  - kAmbiguous     — several contexts collide on the id (possible for PCC
+//                     with astronomically low probability; certain for
+//                     degenerate encoders) — an honest tool must not pick
+//                     one silently;
+//  - kNoTargetNode  — the program has no node for that allocation function;
+//  - kPlanMismatch  — the loaded encoding plan does not match the program /
+//                     patch table (e.g. plan-file fingerprint rejection),
+//                     so *no* decode can be trusted (`mark_mismatch`);
+//  - kUnavailable   — context enumeration blew the configured limit, so the
+//                     decoder could not be built at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cce/targeted_decoder.hpp"
+#include "progmodel/program.hpp"
+
+namespace ht::analysis {
+
+enum class SymbolizeStatus : std::uint8_t {
+  kDecoded,
+  kAmbiguous,
+  kUnknownCcid,
+  kNoTargetNode,
+  kPlanMismatch,
+  kUnavailable,
+};
+
+[[nodiscard]] std::string_view symbolize_status_name(SymbolizeStatus status) noexcept;
+
+struct SymbolizedCcid {
+  SymbolizeStatus status = SymbolizeStatus::kUnknownCcid;
+  /// Decoded call chain; filled for kDecoded and (first candidate) for
+  /// kAmbiguous, empty otherwise.
+  std::string chain;
+  /// Human-readable degradation reason; empty for kDecoded.
+  std::string warning;
+
+  [[nodiscard]] bool decoded() const noexcept {
+    return status == SymbolizeStatus::kDecoded;
+  }
+};
+
+/// Renders a CCID as zero-padded hex ("0x0000000000000042") — the raw form
+/// every degraded symbolization falls back to.
+[[nodiscard]] std::string ccid_hex(std::uint64_t ccid);
+
+class CcidSymbolizer {
+ public:
+  /// Builds the decoder index over `program`'s contexts under `encoder`.
+  /// Both must outlive the symbolizer. If enumeration exceeds
+  /// `context_limit`, the symbolizer stays usable and reports kUnavailable
+  /// for every lookup (never throws).
+  CcidSymbolizer(const progmodel::Program& program, const cce::Encoder& encoder,
+                 std::size_t context_limit = 1 << 16);
+
+  /// Degrades every subsequent lookup to kPlanMismatch with `reason` —
+  /// called when the loaded encoding plan failed validation against the
+  /// program or the patch table's provenance, meaning any decode would be
+  /// actively misleading.
+  void mark_mismatch(std::string reason);
+  [[nodiscard]] bool mismatched() const noexcept { return mismatch_.has_value(); }
+
+  [[nodiscard]] SymbolizedCcid symbolize(progmodel::AllocFn fn,
+                                         std::uint64_t ccid) const;
+
+  /// One-line rendering with the fallback policy applied: the call chain
+  /// when decoded, otherwise "0x... (!<warning>)".
+  [[nodiscard]] std::string render(progmodel::AllocFn fn, std::uint64_t ccid) const;
+
+ private:
+  const progmodel::Program& program_;
+  std::optional<cce::TargetedDecoder> decoder_;
+  std::string unavailable_reason_;
+  std::optional<std::string> mismatch_;
+};
+
+}  // namespace ht::analysis

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "support/hash.hpp"
+#include "support/trace.hpp"
 
 namespace ht::progmodel {
 
@@ -15,6 +16,7 @@ Interpreter::Interpreter(const Program& program, const cce::Encoder* encoder,
       reg_(encoder != nullptr ? *encoder : static_cast<const cce::Encoder&>(fallback_)) {}
 
 RunResult Interpreter::run(const Input& input, const RunOptions& options) {
+  support::SpanGuard span(options.tracer, "interpreter.run");
   input_ = &input;
   options_ = options;
   result_ = RunResult{};
@@ -27,6 +29,16 @@ RunResult Interpreter::run(const Input& input, const RunOptions& options) {
   result_.completed = finished && !aborted_;
   result_.encoding_ops = reg_.ops();
   input_ = nullptr;
+  if (span.active()) {
+    span.counter("steps", result_.steps);
+    span.counter("calls", result_.calls);
+    span.counter("encoding_ops", result_.encoding_ops);
+    span.counter("allocs", result_.total_allocs());
+    span.counter("frees", result_.free_count);
+    span.counter("violations", result_.violations.size());
+    span.counter("blocked_accesses", result_.blocked_accesses);
+    if (options_.stack_walk) span.counter("walked_frames", result_.walked_frames);
+  }
   return std::move(result_);
 }
 

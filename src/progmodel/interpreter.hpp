@@ -16,6 +16,10 @@
 #include "progmodel/backend.hpp"
 #include "progmodel/program.hpp"
 
+namespace ht::support {
+class Tracer;
+}  // namespace ht::support
+
 namespace ht::progmodel {
 
 /// A violation observed during a run, tagged with the function whose body
@@ -53,6 +57,10 @@ struct RunOptions {
   /// resulting CCIDs equal what an FCS PCC encoder would produce, so
   /// patches remain interchangeable between the two modes.
   bool stack_walk = false;
+  /// Offline-pipeline tracer (support/trace.hpp). When set, each run() is
+  /// recorded as an "interpreter.run" span carrying the run's volume
+  /// counters; null (the default) costs one branch per run.
+  support::Tracer* tracer = nullptr;
 };
 
 struct RunResult {

@@ -47,6 +47,8 @@
 #include <new>
 #include <thread>
 
+#include <unistd.h>
+
 #include "patch/config_file.hpp"
 #include "patch/patch_table.hpp"
 #include "runtime/sharded_allocator.hpp"
@@ -101,10 +103,15 @@ std::mutex& init_mutex() {
 }
 
 // ---- Telemetry flusher ($HEAPTHERAPY_TELEMETRY) ----
-// The environment's getenv strings outlive the process image, so the raw
-// pointer is safe to keep. All flushing runs on the background thread or in
-// the ELF destructor — never on an allocation path.
-const char* g_telemetry_path = nullptr;
+// The path is the env template with %p/%% expanded (each process in a
+// fleet writes its own dump). Function-static so first use constructs it;
+// it is only ever written in the ELF constructor, before host threads
+// exist. All flushing runs on the background thread or in the ELF
+// destructor — never on an allocation path.
+std::string& telemetry_path() {
+  static std::string path;
+  return path;
+}
 unsigned long g_flush_interval_ms = 1000;
 std::atomic<bool> g_flusher_running{false};
 
@@ -116,19 +123,19 @@ std::mutex& flush_mutex() {
 }
 
 void flush_telemetry_file() {
-  if (g_telemetry_path == nullptr || g_allocator == nullptr) return;
+  if (telemetry_path().empty() || g_allocator == nullptr) return;
   const std::lock_guard<std::mutex> lock(flush_mutex());
   const std::string dump =
       ht::runtime::render_telemetry(g_allocator->telemetry_snapshot());
   // Write-then-rename so a reader polling the path always sees a complete
   // dump (the previous one, or the new one) — never a half-written file.
-  const std::string tmp = std::string(g_telemetry_path) + ".tmp";
+  const std::string tmp = telemetry_path() + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return;
   const bool wrote = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
   const bool closed = std::fclose(f) == 0;
   if (wrote && closed) {
-    std::rename(tmp.c_str(), g_telemetry_path);
+    std::rename(tmp.c_str(), telemetry_path().c_str());
   } else {
     std::remove(tmp.c_str());
   }
@@ -181,10 +188,15 @@ __attribute__((constructor)) void heaptherapy_init() {
   if (const char* shards = std::getenv("HEAPTHERAPY_SHARDS")) {
     sharding.shards = static_cast<std::uint32_t>(std::strtoul(shards, nullptr, 10));
   }
-  g_telemetry_path = std::getenv("HEAPTHERAPY_TELEMETRY");
+  if (const char* telemetry = std::getenv("HEAPTHERAPY_TELEMETRY")) {
+    // %p -> pid, %% -> % (docs/OBSERVABILITY.md): each process of a fleet
+    // sharing this environment writes its own dump for htagg to merge.
+    telemetry_path() =
+        ht::runtime::expand_telemetry_path(telemetry, static_cast<long>(getpid()));
+  }
   // A flush target implies the event ring; explicit knobs override either
   // direction.
-  config.telemetry.events = g_telemetry_path != nullptr;
+  config.telemetry.events = !telemetry_path().empty();
   if (const char* events = std::getenv("HEAPTHERAPY_TELEMETRY_EVENTS")) {
     config.telemetry.events = std::strtoul(events, nullptr, 10) != 0;
   }
@@ -211,7 +223,7 @@ __attribute__((constructor)) void heaptherapy_init() {
         ShardedAllocator(g_table, config, sharding, libc_allocator());
     t_constructing = false;
   }
-  if (g_telemetry_path != nullptr) {
+  if (!telemetry_path().empty()) {
     g_flusher_running.store(true, std::memory_order_relaxed);
     std::thread(telemetry_flusher).detach();
   }

@@ -278,6 +278,28 @@ void finalize_snapshot(TelemetrySnapshot& snap) {
             });
 }
 
+std::string expand_telemetry_path(std::string_view templ, long pid) {
+  std::string out;
+  out.reserve(templ.size() + 8);
+  for (std::size_t i = 0; i < templ.size(); ++i) {
+    if (templ[i] != '%' || i + 1 >= templ.size()) {
+      out.push_back(templ[i]);
+      continue;
+    }
+    const char next = templ[i + 1];
+    if (next == 'p') {
+      out += std::to_string(pid);
+      ++i;
+    } else if (next == '%') {
+      out.push_back('%');
+      ++i;
+    } else {
+      out.push_back('%');  // unknown sequence: copied verbatim
+    }
+  }
+  return out;
+}
+
 // ---- Text dump (docs/FORMATS.md §4) ----
 
 namespace {
@@ -395,7 +417,16 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
   bool version_seen = false;
   std::size_t line_no = 0;
 
+  // Diagnostics are capped: a corrupt multi-megabyte dump must not balloon
+  // the error list (each entry allocates). The count past the cap is still
+  // reported, so "how broken" survives even when the details do not.
+  constexpr std::size_t kMaxErrors = 100;
+  std::size_t suppressed = 0;
   const auto complain = [&](const std::string& what) {
+    if (result.errors.size() >= kMaxErrors) {
+      ++suppressed;
+      return;
+    }
     result.errors.push_back("line " + std::to_string(line_no) + ": " + what);
   };
 
@@ -424,6 +455,10 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
             !parse_kv_u64(fields[i], "ring", ring)) {
           complain("bad config field '" + std::string(fields[i]) + "'");
         }
+      }
+      if (ring > UINT32_MAX) {
+        complain("config ring capacity out of range");
+        ring = 0;
       }
       snap.config.counters = counters != 0;
       snap.config.events = events != 0;
@@ -468,7 +503,7 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
       std::uint64_t frees = 0;
       const auto shard_idx =
           fields.size() >= 2 ? support::parse_u64(fields[1]) : std::nullopt;
-      if (!shard_idx) {
+      if (!shard_idx || *shard_idx > UINT32_MAX) {
         complain("malformed shard line");
         continue;
       }
@@ -526,8 +561,8 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
       const auto ccid = shape_ok ? support::parse_u64(fields[5]) : std::nullopt;
       const bool fn_ok =
           shape_ok && (fields[4] == "-" || parse_alloc_fn(fields[4], fn));
-      if (!shape_ok || !seq || !shard || !ccid || !fn_ok ||
-          !telemetry_event_from_name(fields[3], rec.type)) {
+      if (!shape_ok || !seq || !shard || *shard > UINT16_MAX || !ccid ||
+          !fn_ok || !telemetry_event_from_name(fields[3], rec.type)) {
         complain("malformed event line");
         continue;
       }
@@ -540,7 +575,11 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
         std::uint64_t aux = 0, ts = 0;
         if (parse_kv_u64(fields[i], "size", rec.size)) continue;
         if (parse_kv_u64(fields[i], "aux", aux)) {
-          rec.aux = static_cast<std::uint32_t>(aux);
+          if (aux > UINT32_MAX) {
+            complain("event aux out of range");
+          } else {
+            rec.aux = static_cast<std::uint32_t>(aux);
+          }
           continue;
         }
         if (parse_kv_u64(fields[i], "t", ts)) {
@@ -553,6 +592,10 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
     } else {
       complain("unknown directive '" + std::string(directive) + "'");
     }
+  }
+  if (suppressed > 0) {
+    result.errors.push_back("(" + std::to_string(suppressed) +
+                            " further error(s) suppressed)");
   }
   if (!version_seen) result.errors.insert(result.errors.begin(),
                                           "missing version directive");

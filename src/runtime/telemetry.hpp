@@ -292,6 +292,13 @@ void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink
 /// once after the last merge_sink_into_snapshot.
 void finalize_snapshot(TelemetrySnapshot& snap);
 
+/// Expands the HEAPTHERAPY_TELEMETRY path template: "%p" becomes `pid` in
+/// decimal, "%%" a literal '%'. Any other sequence is copied verbatim. A
+/// fleet of processes sharing one environment can then write per-process
+/// dumps ("/var/run/ht.%p.dump") that htagg merges back together.
+[[nodiscard]] std::string expand_telemetry_path(std::string_view templ,
+                                                long pid);
+
 // ---- Dump format (docs/FORMATS.md §4) ----
 
 /// Renders the versioned line-oriented text dump.

@@ -1,0 +1,580 @@
+#include "runtime/telemetry_agg.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+namespace ht::runtime {
+
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(std::min<int>(n, sizeof(buf) - 1)));
+}
+
+struct CounterField {
+  const char* name;
+  std::uint64_t AllocatorStats::* field;
+};
+
+// Mirrors the dump format's counter list (FORMATS.md §4); keep in sync.
+constexpr CounterField kCounterFields[] = {
+    {"interceptions", &AllocatorStats::interceptions},
+    {"enhanced", &AllocatorStats::enhanced},
+    {"guard_pages", &AllocatorStats::guard_pages},
+    {"zero_fills", &AllocatorStats::zero_fills},
+    {"quarantined_frees", &AllocatorStats::quarantined_frees},
+    {"plain_frees", &AllocatorStats::plain_frees},
+    {"failed_guards", &AllocatorStats::failed_guards},
+    {"canaries_planted", &AllocatorStats::canaries_planted},
+    {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
+};
+
+std::string ccid_hex(std::uint64_t ccid) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, ccid);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_fmt(out, "\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+std::size_t hit_cap(const TelemetryAggregate& agg, std::size_t top_k) {
+  return top_k == 0 ? agg.patch_hits.size()
+                    : std::min(top_k, agg.patch_hits.size());
+}
+
+// Prometheus label values escape \, " and newline.
+void append_label_value(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void prom_counter(std::string& out, const char* name, const char* help,
+                  std::uint64_t value) {
+  append_fmt(out, "# HELP %s %s\n", name, help);
+  append_fmt(out, "# TYPE %s counter\n", name);
+  append_fmt(out, "%s %" PRIu64 "\n", name, value);
+}
+
+}  // namespace
+
+TelemetryAggregate aggregate_telemetry(
+    const std::vector<AggregateInput>& inputs) {
+  TelemetryAggregate agg;
+  agg.processes = inputs.size();
+
+  // Merge per-patch hits through an ordered {fn, ccid} map so equal keys
+  // from different processes sum exactly.
+  std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> hits;
+  std::set<std::uint64_t> generations;
+
+  for (const AggregateInput& in : inputs) {
+    const TelemetrySnapshot& s = in.snapshot;
+    agg.totals += s.totals;
+    agg.events_recorded += s.events_recorded;
+    agg.events_dropped += s.events_dropped;
+    agg.patch_hit_overflow += s.patch_hit_overflow;
+    agg.latency += s.latency;
+    generations.insert(s.table_generation);
+
+    ProcessSummary row;
+    row.label = in.label;
+    row.table_generation = s.table_generation;
+    row.table_patches = s.table_patches;
+    row.totals = s.totals;
+    row.events_recorded = s.events_recorded;
+    row.events_dropped = s.events_dropped;
+    for (const PatchHitCount& h : s.patch_hits) {
+      hits[{static_cast<std::uint8_t>(h.fn), h.ccid}] += h.hits;
+      row.patch_hits += h.hits;
+    }
+    agg.rows.push_back(std::move(row));
+  }
+
+  agg.generations.assign(generations.begin(), generations.end());
+  agg.patch_hits.reserve(hits.size());
+  for (const auto& [key, count] : hits) {
+    PatchHitCount h;
+    h.fn = static_cast<progmodel::AllocFn>(key.first);
+    h.ccid = key.second;
+    h.hits = count;
+    agg.patch_hits.push_back(h);
+  }
+  // Hits-descending so "top K" is a prefix; the map already ordered ties
+  // by {fn, ccid} ascending and stable_sort preserves that.
+  std::stable_sort(agg.patch_hits.begin(), agg.patch_hits.end(),
+                   [](const PatchHitCount& a, const PatchHitCount& b) {
+                     return a.hits > b.hits;
+                   });
+  return agg;
+}
+
+std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
+  std::string out;
+  out += "{\n";
+  append_fmt(out, "  \"processes\": %zu,\n", agg.processes);
+
+  out += "  \"generations\": [";
+  for (std::size_t i = 0; i < agg.generations.size(); ++i) {
+    if (i != 0) out += ", ";
+    append_fmt(out, "%" PRIu64, agg.generations[i]);
+  }
+  out += "],\n";
+
+  out += "  \"totals\": {";
+  for (std::size_t i = 0; i < std::size(kCounterFields); ++i) {
+    if (i != 0) out += ", ";
+    append_fmt(out, "\"%s\": %" PRIu64, kCounterFields[i].name,
+               agg.totals.*(kCounterFields[i].field));
+  }
+  out += "},\n";
+
+  append_fmt(out,
+             "  \"events\": {\"recorded\": %" PRIu64 ", \"dropped\": %" PRIu64
+             "},\n",
+             agg.events_recorded, agg.events_dropped);
+  append_fmt(out, "  \"patch_hit_overflow\": %" PRIu64 ",\n",
+             agg.patch_hit_overflow);
+
+  // Latency buckets: le is the exclusive upper bound in ns, null for the
+  // unbounded last bucket. Counts are per-bucket (NOT cumulative) here;
+  // the Prometheus exposition is the cumulative view.
+  std::uint64_t latency_count = 0;
+  out += "  \"latency_ns\": {\"buckets\": [";
+  for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (i != 0) out += ", ";
+    const std::uint64_t limit = LatencyHistogram::bucket_limit_ns(i);
+    out += "{\"le\": ";
+    if (limit == 0) {
+      out += "null";
+    } else {
+      append_fmt(out, "%" PRIu64, limit);
+    }
+    append_fmt(out, ", \"count\": %" PRIu64 "}", agg.latency.buckets[i]);
+    latency_count += agg.latency.buckets[i];
+  }
+  append_fmt(out, "], \"count\": %" PRIu64 "},\n", latency_count);
+
+  const std::size_t cap = hit_cap(agg, top_k);
+  append_fmt(out, "  \"patch_hits_shown\": %zu,\n", cap);
+  append_fmt(out, "  \"patch_hits_distinct\": %zu,\n", agg.patch_hits.size());
+  out += "  \"patch_hits\": [\n";
+  for (std::size_t i = 0; i < cap; ++i) {
+    const PatchHitCount& h = agg.patch_hits[i];
+    append_fmt(out, "    {\"fn\": \"%s\", \"ccid\": \"%s\", \"hits\": %" PRIu64
+                    "}%s\n",
+               std::string(progmodel::alloc_fn_name(h.fn)).c_str(),
+               ccid_hex(h.ccid).c_str(), h.hits, i + 1 < cap ? "," : "");
+  }
+  out += "  ],\n";
+
+  out += "  \"per_process\": [\n";
+  for (std::size_t i = 0; i < agg.rows.size(); ++i) {
+    const ProcessSummary& r = agg.rows[i];
+    out += "    {\"process\": ";
+    append_json_string(out, r.label);
+    append_fmt(out,
+               ", \"table_generation\": %" PRIu64 ", \"table_patches\": %" PRIu64
+               ", \"interceptions\": %" PRIu64 ", \"enhanced\": %" PRIu64
+               ", \"patch_hits\": %" PRIu64 ", \"events_recorded\": %" PRIu64
+               ", \"events_dropped\": %" PRIu64 "}%s\n",
+               r.table_generation, r.table_patches, r.totals.interceptions,
+               r.totals.enhanced, r.patch_hits, r.events_recorded,
+               r.events_dropped, i + 1 < agg.rows.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string aggregate_prometheus(const TelemetryAggregate& agg,
+                                 std::size_t top_k) {
+  std::string out;
+
+  append_fmt(out, "# HELP ht_processes Telemetry dumps merged into this exposition.\n");
+  append_fmt(out, "# TYPE ht_processes gauge\n");
+  append_fmt(out, "ht_processes %zu\n", agg.processes);
+
+  append_fmt(out, "# HELP ht_table_generations Distinct patch-table generations across the fleet.\n");
+  append_fmt(out, "# TYPE ht_table_generations gauge\n");
+  append_fmt(out, "ht_table_generations %zu\n", agg.generations.size());
+
+  prom_counter(out, "ht_interceptions_total",
+               "Allocation-family calls routed through the defense.",
+               agg.totals.interceptions);
+  prom_counter(out, "ht_enhanced_total",
+               "Allocations enhanced by a matching patch.", agg.totals.enhanced);
+  prom_counter(out, "ht_guard_pages_total", "Guard pages installed.",
+               agg.totals.guard_pages);
+  prom_counter(out, "ht_zero_fills_total",
+               "Allocations zero-filled by an uninitialized-read patch.",
+               agg.totals.zero_fills);
+  prom_counter(out, "ht_quarantined_frees_total",
+               "Frees deferred into quarantine.", agg.totals.quarantined_frees);
+  prom_counter(out, "ht_plain_frees_total",
+               "Frees released immediately (no patch applied).",
+               agg.totals.plain_frees);
+  prom_counter(out, "ht_failed_guards_total",
+               "Guard installations that failed (defense degraded).",
+               agg.totals.failed_guards);
+  prom_counter(out, "ht_canaries_planted_total", "Trailing canaries planted.",
+               agg.totals.canaries_planted);
+  prom_counter(out, "ht_canary_overflows_on_free_total",
+               "Corrupted canaries detected on free.",
+               agg.totals.canary_overflows_on_free);
+  prom_counter(out, "ht_events_recorded_total",
+               "Telemetry ring events recorded.", agg.events_recorded);
+  prom_counter(out, "ht_events_dropped_total",
+               "Telemetry ring events overwritten before export.",
+               agg.events_dropped);
+  prom_counter(out, "ht_patch_hit_overflow_total",
+               "Enhanced allocations not attributed per-patch (hit table full).",
+               agg.patch_hit_overflow);
+
+  const std::size_t cap = hit_cap(agg, top_k);
+  if (cap > 0) {
+    append_fmt(out, "# HELP ht_patch_hits_total Enhanced allocations per patch {FUN, CCID}.\n");
+    append_fmt(out, "# TYPE ht_patch_hits_total counter\n");
+    for (std::size_t i = 0; i < cap; ++i) {
+      const PatchHitCount& h = agg.patch_hits[i];
+      out += "ht_patch_hits_total{fn=";
+      append_label_value(out, progmodel::alloc_fn_name(h.fn));
+      out += ",ccid=";
+      append_label_value(out, ccid_hex(h.ccid));
+      append_fmt(out, "} %" PRIu64 "\n", h.hits);
+    }
+  }
+
+  // Histogram: CUMULATIVE buckets per the exposition format. No _sum — the
+  // runtime histogram tracks bucket counts only (FORMATS.md §5).
+  append_fmt(out, "# HELP ht_enhancement_latency_ns Patch-enhancement latency; bucket counts only, no _sum is tracked.\n");
+  append_fmt(out, "# TYPE ht_enhancement_latency_ns histogram\n");
+  std::uint64_t cumulative = 0;
+  for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    cumulative += agg.latency.buckets[i];
+    const std::uint64_t limit = LatencyHistogram::bucket_limit_ns(i);
+    if (limit == 0) break;  // the unbounded bucket is the +Inf sample below
+    append_fmt(out, "ht_enhancement_latency_ns_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+               limit, cumulative);
+  }
+  append_fmt(out, "ht_enhancement_latency_ns_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+             cumulative);
+  append_fmt(out, "ht_enhancement_latency_ns_count %" PRIu64 "\n", cumulative);
+  return out;
+}
+
+// ---- Prometheus linter ----
+
+namespace {
+
+struct PromSample {
+  std::string name;    ///< metric name as written (may carry _bucket etc.)
+  std::string labels;  ///< normalized "k=v,k=v" (sorted), "" when none
+  std::string le;      ///< value of the `le` label when present
+  double value = 0;
+  std::size_t line = 0;
+};
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool parse_number(std::string_view s, double& out) {
+  if (s == "+Inf" || s == "Inf") { out = 1e308 * 10; return true; }
+  if (s == "-Inf") { out = -(1e308 * 10); return true; }
+  if (s == "NaN") { out = 0; return true; }
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(s);
+  out = std::strtod(tmp.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Strips a histogram-sample suffix; returns the base metric name.
+std::string_view histogram_base(std::string_view name) {
+  for (std::string_view suffix : {"_bucket", "_count", "_sum"}) {
+    if (name.size() > suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::vector<std::string> prometheus_lint(std::string_view text) {
+  std::vector<std::string> errors;
+  auto err = [&errors](std::size_t line, const std::string& msg) {
+    errors.push_back("line " + std::to_string(line) + ": " + msg);
+  };
+
+  std::map<std::string, std::string> types;       // metric -> TYPE
+  std::map<std::string, std::size_t> help_seen;   // metric -> line
+  std::set<std::string> series_seen;              // name + labels
+  std::set<std::string> sampled_before_type;
+  std::vector<PromSample> samples;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name text", "# TYPE name kind", or a plain comment.
+      if (line.rfind("# HELP ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string_view name = rest.substr(0, sp);
+        if (!valid_metric_name(name)) {
+          err(line_no, "HELP with invalid metric name");
+          continue;
+        }
+        if (!help_seen.emplace(std::string(name), line_no).second) {
+          err(line_no, "duplicate HELP for " + std::string(name));
+        }
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) {
+          err(line_no, "TYPE line missing kind");
+          continue;
+        }
+        const std::string name(rest.substr(0, sp));
+        const std::string_view kind = rest.substr(sp + 1);
+        if (!valid_metric_name(name)) {
+          err(line_no, "TYPE with invalid metric name");
+          continue;
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          err(line_no, "unknown TYPE kind '" + std::string(kind) + "'");
+          continue;
+        }
+        if (!types.emplace(name, std::string(kind)).second) {
+          err(line_no, "duplicate TYPE for " + name);
+        }
+        if (kind == "counter" &&
+            (name.size() < 7 || name.substr(name.size() - 6) != "_total")) {
+          err(line_no, "counter " + name + " does not end in _total");
+        }
+      }
+      continue;  // other # lines are comments
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name(line.substr(0, i));
+    if (!valid_metric_name(name)) {
+      err(line_no, "invalid metric name in sample");
+      continue;
+    }
+
+    PromSample sample;
+    sample.name = name;
+    sample.line = line_no;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      std::vector<std::pair<std::string, std::string>> labels;
+      bool bad = false;
+      while (i < line.size() && line[i] != '}') {
+        const std::size_t eq = line.find('=', i);
+        if (eq == std::string_view::npos) { bad = true; break; }
+        const std::string lname(line.substr(i, eq - i));
+        if (!valid_label_name(lname)) { bad = true; break; }
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') { bad = true; break; }
+        ++i;
+        std::string lvalue;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ++i;
+            if (i >= line.size()) { bad = true; break; }
+            switch (line[i]) {
+              case 'n': lvalue.push_back('\n'); break;
+              case '\\': lvalue.push_back('\\'); break;
+              case '"': lvalue.push_back('"'); break;
+              default: bad = true; break;
+            }
+          } else {
+            lvalue.push_back(line[i]);
+          }
+          ++i;
+        }
+        if (bad || i >= line.size()) { bad = true; break; }
+        ++i;  // closing quote
+        labels.emplace_back(lname, lvalue);
+        if (i < line.size() && line[i] == ',') ++i;  // separator (or trailing)
+      }
+      if (bad || i >= line.size() || line[i] != '}') {
+        err(line_no, "malformed label block");
+        continue;
+      }
+      ++i;
+      std::sort(labels.begin(), labels.end());
+      for (std::size_t k = 1; k < labels.size(); ++k) {
+        if (labels[k].first == labels[k - 1].first) {
+          err(line_no, "duplicate label '" + labels[k].first + "'");
+        }
+      }
+      for (const auto& [k, v] : labels) {
+        if (!sample.labels.empty()) sample.labels.push_back(',');
+        sample.labels += k + "=" + v;
+        if (k == "le") sample.le = v;
+      }
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      err(line_no, "sample missing value");
+      continue;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::string_view value_part = line.substr(i);
+    const std::size_t sp = value_part.find(' ');
+    std::string_view value_str = value_part.substr(0, sp);
+    if (!parse_number(value_str, sample.value)) {
+      err(line_no, "unparseable sample value '" + std::string(value_str) + "'");
+      continue;
+    }
+    if (sp != std::string_view::npos) {
+      double ts = 0;  // optional timestamp
+      if (!parse_number(value_part.substr(sp + 1), ts)) {
+        err(line_no, "unparseable timestamp");
+        continue;
+      }
+    }
+
+    // TYPE must precede the first sample of a metric.
+    const std::string base(histogram_base(name));
+    const bool typed = types.count(name) != 0 ||
+                       (types.count(base) != 0 && types.at(base) == "histogram");
+    if (!typed && sampled_before_type.insert(base).second) {
+      err(line_no, "sample for " + name + " has no preceding TYPE");
+    }
+
+    const std::string series = name + "{" + sample.labels + "}";
+    if (!series_seen.insert(series).second) {
+      err(line_no, "duplicate series " + series);
+    }
+    samples.push_back(std::move(sample));
+  }
+
+  // Histogram invariants: per histogram metric, buckets must be cumulative
+  // (non-decreasing), end in le="+Inf", and match _count.
+  for (const auto& [name, kind] : types) {
+    if (kind != "histogram") continue;
+    std::vector<const PromSample*> buckets;
+    const PromSample* count = nullptr;
+    for (const PromSample& s : samples) {
+      if (s.name == name + "_bucket") buckets.push_back(&s);
+      if (s.name == name + "_count") count = &s;
+    }
+    if (buckets.empty()) {
+      errors.push_back("histogram " + name + " has no _bucket samples");
+      continue;
+    }
+    double prev_le = -(1e308 * 10);
+    double prev_count = -1;
+    bool ordered = true;
+    for (const PromSample* b : buckets) {
+      if (b->le.empty()) {
+        err(b->line, "histogram bucket missing le label");
+        ordered = false;
+        break;
+      }
+      double le = 0;
+      if (!parse_number(b->le, le)) {
+        err(b->line, "unparseable le '" + b->le + "'");
+        ordered = false;
+        break;
+      }
+      if (le <= prev_le) {
+        err(b->line, "histogram " + name + " buckets not in increasing le order");
+        ordered = false;
+      }
+      if (b->value < prev_count) {
+        err(b->line, "histogram " + name + " buckets not cumulative");
+        ordered = false;
+      }
+      prev_le = le;
+      prev_count = b->value;
+    }
+    if (buckets.back()->le != "+Inf") {
+      errors.push_back("histogram " + name + " last bucket is not le=\"+Inf\"");
+    }
+    if (count == nullptr) {
+      errors.push_back("histogram " + name + " has no _count sample");
+    } else if (ordered && buckets.back()->le == "+Inf" &&
+               count->value != buckets.back()->value) {
+      errors.push_back("histogram " + name + " _count does not equal the +Inf bucket");
+    }
+  }
+
+  return errors;
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,88 @@
+// Fleet telemetry aggregation (htagg): merges N per-process telemetry
+// dumps (docs/FORMATS.md §4) into one fleet view, exported as JSON or
+// Prometheus text exposition (docs/FORMATS.md §5).
+//
+// The online defense writes one dump per protected process
+// (HEAPTHERAPY_TELEMETRY, htctl stats). A deployment runs many processes;
+// the operator question is fleet-wide: which patches fire the most, how
+// much detection latency the fleet pays, how many events were dropped.
+// This module answers it offline — sums are EXACT (every counter is an
+// integer total, and log2 latency buckets merge losslessly bucket-by-
+// bucket), never sampled or approximated.
+//
+// This is an offline tool path: the no-allocation rules of the runtime
+// sinks do not apply here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+
+namespace ht::runtime {
+
+/// One per-process dump to merge, tagged with where it came from (used as
+/// the `process` label in per-process rows).
+struct AggregateInput {
+  std::string label;
+  TelemetrySnapshot snapshot;
+};
+
+/// Per-process summary row retained in the aggregate so JSON consumers can
+/// see which process contributed what without re-parsing the dumps.
+struct ProcessSummary {
+  std::string label;
+  std::uint64_t table_generation = 0;
+  std::uint64_t table_patches = 0;
+  AllocatorStats totals;
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+  std::uint64_t patch_hits = 0;  ///< sum of this process's per-patch hits
+};
+
+/// Fleet-wide merge of N snapshots. All counter fields are exact sums.
+struct TelemetryAggregate {
+  std::size_t processes = 0;
+  AllocatorStats totals;                  ///< summed across processes
+  std::uint64_t events_recorded = 0;
+  std::uint64_t events_dropped = 0;
+  std::uint64_t patch_hit_overflow = 0;
+  LatencyHistogram latency;               ///< bucket-wise sum
+  /// Merged per-patch hits keyed {fn, ccid}, sorted hits-descending
+  /// (ties: fn then ccid ascending) so "top K" is a prefix.
+  std::vector<PatchHitCount> patch_hits;
+  /// Distinct patch-table generations observed, ascending. More than one
+  /// means the fleet is running mixed patch tables — worth surfacing.
+  std::vector<std::uint64_t> generations;
+  std::vector<ProcessSummary> rows;       ///< one per input, input order
+};
+
+/// Merges the inputs. Pure function of the snapshots; never throws.
+[[nodiscard]] TelemetryAggregate aggregate_telemetry(
+    const std::vector<AggregateInput>& inputs);
+
+/// JSON object: fleet totals, latency buckets, top-K patch hits (top_k ==
+/// 0 means all), per-process rows, distinct generations.
+[[nodiscard]] std::string aggregate_json(const TelemetryAggregate& agg,
+                                         std::size_t top_k = 0);
+
+/// Prometheus text exposition (version 0.0.4): HELP/TYPE per metric,
+/// ht_*_total counters, ht_patch_hits_total{fn=,ccid=} for the top-K
+/// patches, and the enhancement-latency histogram with CUMULATIVE
+/// ht_enhancement_latency_ns_bucket{le=} samples, an le="+Inf" bucket and
+/// a matching _count. No _sum sample is emitted: the runtime histogram
+/// does not track a latency sum (docs/FORMATS.md §5).
+[[nodiscard]] std::string aggregate_prometheus(const TelemetryAggregate& agg,
+                                               std::size_t top_k = 0);
+
+/// Structural linter for Prometheus text exposition. Checks line grammar,
+/// HELP/TYPE presence and ordering, duplicate series, label syntax, and
+/// histogram invariants (cumulative buckets, trailing +Inf, _count ==
+/// +Inf). Returns one message per violation; empty means clean. Used by
+/// the ctest gate on htagg output and available to tests for any
+/// exposition text.
+[[nodiscard]] std::vector<std::string> prometheus_lint(std::string_view text);
+
+}  // namespace ht::runtime

@@ -18,7 +18,10 @@ ShadowMemory::Page* ShadowMemory::find_page(std::uint64_t addr) const noexcept {
 
 ShadowMemory::Page& ShadowMemory::ensure_page(std::uint64_t addr) {
   auto& slot = pages_[page_base(addr)];
-  if (!slot) slot = std::make_unique<Page>();
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    if (collect_) ++stats_.pages_materialized;
+  }
   return *slot;
 }
 
@@ -40,6 +43,10 @@ OriginId ShadowMemory::origin(std::uint64_t addr) const noexcept {
 }
 
 void ShadowMemory::set_accessible(std::uint64_t addr, std::uint64_t len, bool value) {
+  if (collect_) {
+    ++stats_.set_accessible_ops;
+    stats_.set_accessible_bytes += len;
+  }
   for (std::uint64_t a = addr; a < addr + len; ++a) {
     Page& page = ensure_page(a);
     const std::uint64_t off = page_offset(a);
@@ -53,6 +60,10 @@ void ShadowMemory::set_accessible(std::uint64_t addr, std::uint64_t len, bool va
 }
 
 void ShadowMemory::set_valid(std::uint64_t addr, std::uint64_t len, bool value) {
+  if (collect_) {
+    ++stats_.set_valid_ops;
+    stats_.set_valid_bytes += len;
+  }
   const std::uint8_t bits = value ? 0xff : 0x00;
   for (std::uint64_t a = addr; a < addr + len; ++a) {
     ensure_page(a).vbits[page_offset(a)] = bits;
@@ -60,10 +71,15 @@ void ShadowMemory::set_valid(std::uint64_t addr, std::uint64_t len, bool value) 
 }
 
 void ShadowMemory::set_vbits(std::uint64_t addr, std::uint8_t bits) {
+  if (collect_) ++stats_.set_vbits_ops;
   ensure_page(addr).vbits[page_offset(addr)] = bits;
 }
 
 void ShadowMemory::set_origin(std::uint64_t addr, std::uint64_t len, OriginId origin) {
+  if (collect_) {
+    ++stats_.set_origin_ops;
+    stats_.set_origin_bytes += len;
+  }
   for (std::uint64_t a = addr; a < addr + len; ++a) {
     ensure_page(a).origins[page_offset(a)] = origin;
   }
@@ -71,6 +87,10 @@ void ShadowMemory::set_origin(std::uint64_t addr, std::uint64_t len, OriginId or
 
 void ShadowMemory::copy_shadow(std::uint64_t src, std::uint64_t dst,
                                std::uint64_t len) {
+  if (collect_) {
+    ++stats_.copy_ops;
+    stats_.copy_bytes += len;
+  }
   for (std::uint64_t i = 0; i < len; ++i) {
     Page& dpage = ensure_page(dst + i);
     const std::uint64_t doff = page_offset(dst + i);

@@ -26,6 +26,24 @@ namespace ht::shadow {
 using OriginId = std::uint32_t;
 inline constexpr OriginId kNoOrigin = 0;
 
+/// Volume counters for shadow mutations, collected only when tracing is on
+/// (`collect_stats(true)`): each range operation costs one predicted branch
+/// when collection is off, and the per-byte inner loops are never touched.
+/// Feeds the offline-pipeline span tracer (support/trace.hpp) so a trace
+/// shows *how much* shadow state each analysis phase churned.
+struct ShadowOpStats {
+  std::uint64_t set_accessible_ops = 0;
+  std::uint64_t set_accessible_bytes = 0;
+  std::uint64_t set_valid_ops = 0;
+  std::uint64_t set_valid_bytes = 0;
+  std::uint64_t set_vbits_ops = 0;
+  std::uint64_t set_origin_ops = 0;
+  std::uint64_t set_origin_bytes = 0;
+  std::uint64_t copy_ops = 0;
+  std::uint64_t copy_bytes = 0;
+  std::uint64_t pages_materialized = 0;
+};
+
 class ShadowMemory {
  public:
   static constexpr std::uint64_t kPageSize = 4096;
@@ -51,6 +69,11 @@ class ShadowMemory {
   /// Number of shadow pages materialized (for memory accounting tests).
   [[nodiscard]] std::size_t mapped_pages() const noexcept { return pages_.size(); }
 
+  /// Enables/disables op-volume collection (off by default; §ShadowOpStats).
+  void collect_stats(bool on) noexcept { collect_ = on; }
+  [[nodiscard]] bool collecting_stats() const noexcept { return collect_; }
+  [[nodiscard]] const ShadowOpStats& op_stats() const noexcept { return stats_; }
+
  private:
   struct Page {
     std::array<std::uint8_t, kPageSize> vbits{};   // 0 = invalid
@@ -62,6 +85,8 @@ class ShadowMemory {
   Page& ensure_page(std::uint64_t addr);
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  ShadowOpStats stats_;
+  bool collect_ = false;
 };
 
 }  // namespace ht::shadow

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/trace.hpp"
+
 namespace ht::shadow {
 
 using progmodel::AccessKind;
@@ -13,9 +15,38 @@ namespace {
 constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
   return alignment <= 1 ? value : (value + alignment - 1) / alignment * alignment;
 }
+
+// Accumulates the wall/CPU time spent inside one write/read/copy into the
+// heap's TraceStats. Inert (two null-checked branches) unless trace-stat
+// collection is enabled.
+class CheckTimer {
+ public:
+  CheckTimer(bool enabled, SimHeap::TraceStats* stats)
+      : stats_(enabled ? stats : nullptr) {
+    if (stats_ != nullptr) {
+      wall_start_ = support::Tracer::now_ns();
+      cpu_start_ = support::Tracer::thread_cpu_ns();
+    }
+  }
+  ~CheckTimer() {
+    if (stats_ != nullptr) {
+      stats_->check_wall_ns += support::Tracer::now_ns() - wall_start_;
+      stats_->check_cpu_ns += support::Tracer::thread_cpu_ns() - cpu_start_;
+    }
+  }
+  CheckTimer(const CheckTimer&) = delete;
+  CheckTimer& operator=(const CheckTimer&) = delete;
+
+ private:
+  SimHeap::TraceStats* stats_;
+  std::uint64_t wall_start_ = 0;
+  std::uint64_t cpu_start_ = 0;
+};
 }  // namespace
 
-SimHeap::SimHeap(SimHeapConfig config) : config_(config), cursor_(config.base_address) {}
+SimHeap::SimHeap(SimHeapConfig config) : config_(config), cursor_(config.base_address) {
+  shadow_.collect_stats(config_.collect_trace_stats);
+}
 
 std::uint64_t SimHeap::allocate(AllocFn fn, std::uint64_t size,
                                 std::uint64_t alignment, std::uint64_t ccid) {
@@ -103,12 +134,21 @@ void SimHeap::deallocate(std::uint64_t addr) {
   }
   quarantine_.push_back(rec.id);
   quarantine_bytes_ += rec.size;
+  if (config_.collect_trace_stats) {
+    ++trace_stats_.quarantine_pushes;
+    trace_stats_.quarantine_push_bytes += rec.size;
+    trace_stats_.quarantine_peak_bytes =
+        std::max(trace_stats_.quarantine_peak_bytes, quarantine_bytes_);
+    trace_stats_.quarantine_peak_depth = std::max<std::uint64_t>(
+        trace_stats_.quarantine_peak_depth, quarantine_.size());
+  }
   while (quarantine_bytes_ > config_.quarantine_quota_bytes && !quarantine_.empty()) {
     release_oldest_quarantined();
   }
 }
 
 void SimHeap::release_oldest_quarantined() {
+  if (config_.collect_trace_stats) ++trace_stats_.quarantine_evictions;
   const OriginId id = quarantine_.front();
   quarantine_.pop_front();
   BufferRecord& rec = records_[id - 1];
@@ -145,6 +185,10 @@ AccessOutcome SimHeap::violation(AccessKind kind, bool is_write,
 
 SimHeap::AccessScan SimHeap::scan_accessible(std::uint64_t addr, std::uint64_t len,
                                              bool is_write) {
+  if (config_.collect_trace_stats) {
+    ++trace_stats_.redzone_checks;
+    trace_stats_.redzone_check_bytes += len;
+  }
   AccessScan scan;
   scan.accessible_len = len;
   for (std::uint64_t a = addr; a < addr + len; ++a) {
@@ -178,6 +222,7 @@ AccessOutcome SimHeap::finish(std::vector<AccessOutcome> violations) {
 
 AccessOutcome SimHeap::write(std::uint64_t addr, std::uint64_t offset,
                              std::uint64_t len) {
+  CheckTimer timer(config_.collect_trace_stats, &trace_stats_);
   const std::uint64_t start = addr + offset;
   const AccessScan scan = scan_accessible(start, len, /*is_write=*/true);
   // The accessible prefix is written regardless of a trailing violation —
@@ -195,6 +240,7 @@ AccessOutcome SimHeap::write(std::uint64_t addr, std::uint64_t offset,
 
 AccessOutcome SimHeap::read(std::uint64_t addr, std::uint64_t offset,
                             std::uint64_t len, ReadUse use) {
+  CheckTimer timer(config_.collect_trace_stats, &trace_stats_);
   const std::uint64_t start = addr + offset;
   const AccessScan scan = scan_accessible(start, len, /*is_write=*/false);
   std::vector<AccessOutcome> found;
@@ -203,6 +249,10 @@ AccessOutcome SimHeap::read(std::uint64_t addr, std::uint64_t offset,
   // accessible prefix. This runs even when the tail overflows, so one
   // oversized read can report uninit-read *and* overread (Heartbleed).
   if (use != ReadUse::kData) {  // kData: propagation-only use, never warns (§V)
+    if (config_.collect_trace_stats) {
+      ++trace_stats_.vbit_checks;
+      trace_stats_.vbit_check_bytes += scan.accessible_len;
+    }
     for (std::uint64_t a = start; a < start + scan.accessible_len; ++a) {
       if (shadow_.vbits(a) == 0xff) continue;
       const OriginId origin = shadow_.origin(a);
@@ -222,6 +272,7 @@ AccessOutcome SimHeap::read(std::uint64_t addr, std::uint64_t offset,
 AccessOutcome SimHeap::copy(std::uint64_t src, std::uint64_t src_off,
                             std::uint64_t dst, std::uint64_t dst_off,
                             std::uint64_t len) {
+  CheckTimer timer(config_.collect_trace_stats, &trace_stats_);
   const std::uint64_t s = src + src_off;
   const std::uint64_t d = dst + dst_off;
   // A copy is a data-use read plus a write: accessibility is enforced on

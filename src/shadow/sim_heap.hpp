@@ -34,6 +34,10 @@ struct SimHeapConfig {
   /// immediately, bounding each execution's quarantine footprint to one
   /// CCID subspace.
   std::function<bool(std::uint64_t ccid)> quarantine_filter;
+  /// Collect per-phase check volumes and check time (SimHeap::TraceStats)
+  /// plus ShadowMemory op stats for the offline-pipeline tracer. Off by
+  /// default: the disabled cost is one predicted branch per access check.
+  bool collect_trace_stats = false;
 };
 
 /// Per-buffer bookkeeping. Retained for the lifetime of the SimHeap even
@@ -85,6 +89,33 @@ class SimHeap final : public progmodel::AllocatorBackend {
   [[nodiscard]] std::uint64_t invalid_frees() const noexcept { return invalid_frees_; }
   [[nodiscard]] const ShadowMemory& shadow() const noexcept { return shadow_; }
 
+  /// Check-volume counters for the offline tracer, populated only when
+  /// `SimHeapConfig::collect_trace_stats` is set. "Redzone checks" are
+  /// accessibility scans (the A-bit walk every access performs); "V-bit
+  /// checks" are the bit-precise validity scans checked reads perform.
+  /// `check_wall_ns`/`check_cpu_ns` accumulate the time spent inside
+  /// write/read/copy — the shadow-check share of a replay, re-attributed
+  /// as a `shadow_checks` span in the trace.
+  struct TraceStats {
+    std::uint64_t redzone_checks = 0;
+    std::uint64_t redzone_check_bytes = 0;
+    std::uint64_t vbit_checks = 0;
+    std::uint64_t vbit_check_bytes = 0;
+    std::uint64_t quarantine_pushes = 0;
+    std::uint64_t quarantine_push_bytes = 0;
+    std::uint64_t quarantine_evictions = 0;
+    std::uint64_t quarantine_peak_bytes = 0;
+    std::uint64_t quarantine_peak_depth = 0;
+    std::uint64_t check_wall_ns = 0;
+    std::uint64_t check_cpu_ns = 0;
+  };
+  [[nodiscard]] const TraceStats& trace_stats() const noexcept {
+    return trace_stats_;
+  }
+  [[nodiscard]] bool collecting_trace_stats() const noexcept {
+    return config_.collect_trace_stats;
+  }
+
   /// Valgrind-style leak summary at end of analysis: every still-live
   /// buffer with its allocation context, so the dynamic-analysis report can
   /// list leaks next to the generated patches.
@@ -134,6 +165,7 @@ class SimHeap final : public progmodel::AllocatorBackend {
   std::uint64_t quarantine_bytes_ = 0;
   std::uint64_t live_bytes_ = 0;
   std::uint64_t invalid_frees_ = 0;
+  TraceStats trace_stats_;
 };
 
 }  // namespace ht::shadow

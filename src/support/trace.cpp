@@ -1,0 +1,640 @@
+#include "support/trace.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace ht::support {
+
+namespace {
+
+// printf-append onto a std::string (same helper idiom as runtime/telemetry).
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char stack_buf[256];
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  if (needed >= 0 && static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    out.append(stack_buf, static_cast<std::size_t>(needed));
+  } else if (needed >= 0) {
+    std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, args_copy);
+    big.resize(static_cast<std::size_t>(needed));
+    out += big;
+  }
+  va_end(args_copy);
+  va_end(args);
+}
+
+std::uint64_t clock_ns(clockid_t clock) noexcept {
+  timespec ts{};
+  if (clock_gettime(clock, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+std::uint64_t Tracer::now_ns() noexcept { return clock_ns(CLOCK_MONOTONIC); }
+
+std::uint64_t Tracer::thread_cpu_ns() noexcept {
+  return clock_ns(CLOCK_THREAD_CPUTIME_ID);
+}
+
+std::uint32_t Tracer::begin_span(std::string_view name) {
+  TraceSpan span;
+  span.id = static_cast<std::uint32_t>(spans_.size());
+  span.parent = current();
+  span.name.assign(name);
+  span.start_ns = now_ns();
+  // Until end_span, wall_ns/cpu_ns hold the start readings; end_span turns
+  // them into deltas. A tracer destroyed with open spans leaves them with
+  // zero-looking durations rather than garbage.
+  span.cpu_ns = thread_cpu_ns();
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::end_span(std::uint32_t id) {
+  if (id >= spans_.size()) return;
+  TraceSpan& span = spans_[id];
+  std::uint64_t wall_end = now_ns();
+  std::uint64_t cpu_end = thread_cpu_ns();
+  span.wall_ns = wall_end >= span.start_ns ? wall_end - span.start_ns : 0;
+  span.cpu_ns = cpu_end >= span.cpu_ns ? cpu_end - span.cpu_ns : 0;
+  // Pop through the stack to this id: tolerates a missed end_span on an
+  // inner span (e.g. early return without a guard) instead of corrupting
+  // the parent chain of every later span.
+  while (!stack_.empty()) {
+    std::uint32_t top = stack_.back();
+    stack_.pop_back();
+    if (top == id) break;
+  }
+}
+
+void Tracer::add_counter(std::uint32_t id, std::string_view name,
+                         std::uint64_t value) {
+  if (id >= spans_.size()) return;
+  for (TraceCounter& c : spans_[id].counters) {
+    if (c.name == name) {
+      c.value += value;
+      return;
+    }
+  }
+  spans_[id].counters.push_back(TraceCounter{std::string(name), value});
+}
+
+std::uint32_t Tracer::add_complete_span(std::string_view name,
+                                        std::uint64_t start_ns,
+                                        std::uint64_t wall_ns,
+                                        std::uint64_t cpu_ns) {
+  TraceSpan span;
+  span.id = static_cast<std::uint32_t>(spans_.size());
+  span.parent = current();
+  span.name.assign(name);
+  span.start_ns = start_ns;
+  span.wall_ns = wall_ns;
+  span.cpu_ns = cpu_ns;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+// ---- Chrome trace-event JSON export ----
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          append_fmt(out, "\\u%04x", static_cast<unsigned char>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string trace_chrome_json(const Tracer& tracer,
+                              std::string_view process_name) {
+  const std::vector<TraceSpan>& spans = tracer.spans();
+  std::uint64_t base = 0;
+  bool have_base = false;
+  for (const TraceSpan& s : spans) {
+    if (!have_base || s.start_ns < base) {
+      base = s.start_ns;
+      have_base = true;
+    }
+  }
+
+  std::string out;
+  out += "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1,"
+         " \"args\": {\"name\": ";
+  append_json_string(out, process_name);
+  out += "}}";
+  for (const TraceSpan& s : spans) {
+    out += ",\n  {\"name\": ";
+    append_json_string(out, s.name);
+    std::uint64_t rel = s.start_ns - base;
+    // ts/dur are µs for the viewer; exact ns ride in args for round-trip.
+    append_fmt(out,
+               ", \"cat\": \"offline\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, "
+               "\"ts\": %" PRIu64 ".%03u, \"dur\": %" PRIu64 ".%03u, ",
+               rel / 1000, static_cast<unsigned>(rel % 1000), s.wall_ns / 1000,
+               static_cast<unsigned>(s.wall_ns % 1000));
+    append_fmt(out,
+               "\"args\": {\"id\": %" PRIu32 ", \"parent\": %" PRId64
+               ", \"start_ns\": %" PRIu64 ", \"wall_ns\": %" PRIu64
+               ", \"cpu_ns\": %" PRIu64 ", \"counters\": {",
+               s.id,
+               s.parent == kNoSpanParent ? static_cast<std::int64_t>(-1)
+                                         : static_cast<std::int64_t>(s.parent),
+               s.start_ns, s.wall_ns, s.cpu_ns);
+    bool first = true;
+    for (const TraceCounter& c : s.counters) {
+      if (!first) out += ", ";
+      first = false;
+      append_json_string(out, c.name);
+      append_fmt(out, ": %" PRIu64, c.value);
+    }
+    out += "}}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// ---- Chrome trace-event JSON parser ----
+//
+// A minimal, crash-proof JSON scanner: just enough of the grammar to pull
+// "X" events back out of trace_chrome_json output (and tolerate compatible
+// traces from other producers). Structural errors are reported as
+// diagnostics, never exceptions.
+
+namespace {
+
+struct JsonCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::vector<std::string>* errors = nullptr;
+  bool failed = false;
+
+  void fail(const std::string& msg) {
+    if (!failed && errors != nullptr) {
+      std::string full = "trace json: " + msg + " at offset ";
+      append_fmt(full, "%zu", pos);
+      errors->push_back(std::move(full));
+    }
+    failed = true;
+  }
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text[pos]; }
+  void skip_ws() {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool expect(char ch) {
+    skip_ws();
+    if (peek() != ch) {
+      fail(std::string("expected '") + ch + "'");
+      return false;
+    }
+    ++pos;
+    return true;
+  }
+};
+
+bool parse_json_string(JsonCursor& cur, std::string* out) {
+  if (!cur.expect('"')) return false;
+  while (!cur.eof()) {
+    char ch = cur.text[cur.pos++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (cur.eof()) break;
+      char esc = cur.text[cur.pos++];
+      if (out != nullptr) {
+        switch (esc) {
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u':
+            // Sufficient for our own output (we never emit \u for >0x1F);
+            // foreign escapes degrade to '?' rather than failing the span.
+            cur.pos += cur.pos + 4 <= cur.text.size() ? 4 : 0;
+            *out += '?';
+            break;
+          default: *out += esc;
+        }
+      } else if (esc == 'u') {
+        cur.pos += cur.pos + 4 <= cur.text.size() ? 4 : 0;
+      }
+    } else if (out != nullptr) {
+      *out += ch;
+    }
+  }
+  cur.fail("unterminated string");
+  return false;
+}
+
+bool parse_json_number(JsonCursor& cur, double* out) {
+  cur.skip_ws();
+  std::size_t start = cur.pos;
+  while (!cur.eof()) {
+    char ch = cur.peek();
+    if ((ch >= '0' && ch <= '9') || ch == '-' || ch == '+' || ch == '.' ||
+        ch == 'e' || ch == 'E') {
+      ++cur.pos;
+    } else {
+      break;
+    }
+  }
+  if (cur.pos == start) {
+    cur.fail("expected number");
+    return false;
+  }
+  std::string token(cur.text.substr(start, cur.pos - start));
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str()) {
+    cur.fail("malformed number '" + token + "'");
+    return false;
+  }
+  if (out != nullptr) *out = value;
+  return true;
+}
+
+// Skips any JSON value without interpreting it.
+bool skip_json_value(JsonCursor& cur, int depth = 0) {
+  if (depth > 64) {
+    cur.fail("nesting too deep");
+    return false;
+  }
+  cur.skip_ws();
+  char ch = cur.peek();
+  if (ch == '"') return parse_json_string(cur, nullptr);
+  if (ch == '{' || ch == '[') {
+    char close = ch == '{' ? '}' : ']';
+    ++cur.pos;
+    cur.skip_ws();
+    if (cur.peek() == close) {
+      ++cur.pos;
+      return true;
+    }
+    while (true) {
+      if (ch == '{') {
+        if (!parse_json_string(cur, nullptr)) return false;
+        if (!cur.expect(':')) return false;
+      }
+      if (!skip_json_value(cur, depth + 1)) return false;
+      cur.skip_ws();
+      if (cur.peek() == ',') {
+        ++cur.pos;
+        cur.skip_ws();
+        continue;
+      }
+      if (cur.peek() == close) {
+        ++cur.pos;
+        return true;
+      }
+      cur.fail("expected ',' or container close");
+      return false;
+    }
+  }
+  if (ch == 't' || ch == 'f' || ch == 'n') {
+    std::string_view word = ch == 't' ? "true" : ch == 'f' ? "false" : "null";
+    if (cur.text.substr(cur.pos, word.size()) == word) {
+      cur.pos += word.size();
+      return true;
+    }
+    cur.fail("malformed literal");
+    return false;
+  }
+  return parse_json_number(cur, nullptr);
+}
+
+// Parses {"name": <u64>, ...} into counters.
+bool parse_counters_object(JsonCursor& cur, std::vector<TraceCounter>* out) {
+  if (!cur.expect('{')) return false;
+  cur.skip_ws();
+  if (cur.peek() == '}') {
+    ++cur.pos;
+    return true;
+  }
+  while (true) {
+    std::string name;
+    if (!parse_json_string(cur, &name)) return false;
+    if (!cur.expect(':')) return false;
+    double value = 0;
+    if (!parse_json_number(cur, &value)) return false;
+    out->push_back(
+        TraceCounter{std::move(name),
+                     value < 0 ? 0 : static_cast<std::uint64_t>(value)});
+    cur.skip_ws();
+    if (cur.peek() == ',') {
+      ++cur.pos;
+      cur.skip_ws();
+      continue;
+    }
+    if (cur.peek() == '}') {
+      ++cur.pos;
+      return true;
+    }
+    cur.fail("expected ',' or '}' in counters");
+    return false;
+  }
+}
+
+struct EventFields {
+  std::string name;
+  std::string ph;
+  double ts = 0;
+  double dur = 0;
+  bool has_args = false;
+  bool has_id = false;
+  double id = 0;
+  double parent = -1;
+  bool has_start_ns = false;
+  double start_ns = 0;
+  bool has_wall_ns = false;
+  double wall_ns = 0;
+  double cpu_ns = 0;
+  std::vector<TraceCounter> counters;
+};
+
+bool parse_args_object(JsonCursor& cur, EventFields* ev) {
+  if (!cur.expect('{')) return false;
+  ev->has_args = true;
+  cur.skip_ws();
+  if (cur.peek() == '}') {
+    ++cur.pos;
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!parse_json_string(cur, &key)) return false;
+    if (!cur.expect(':')) return false;
+    if (key == "id") {
+      if (!parse_json_number(cur, &ev->id)) return false;
+      ev->has_id = true;
+    } else if (key == "parent") {
+      if (!parse_json_number(cur, &ev->parent)) return false;
+    } else if (key == "start_ns") {
+      if (!parse_json_number(cur, &ev->start_ns)) return false;
+      ev->has_start_ns = true;
+    } else if (key == "wall_ns") {
+      if (!parse_json_number(cur, &ev->wall_ns)) return false;
+      ev->has_wall_ns = true;
+    } else if (key == "cpu_ns") {
+      if (!parse_json_number(cur, &ev->cpu_ns)) return false;
+    } else if (key == "counters") {
+      if (!parse_counters_object(cur, &ev->counters)) return false;
+    } else {
+      if (!skip_json_value(cur)) return false;
+    }
+    cur.skip_ws();
+    if (cur.peek() == ',') {
+      ++cur.pos;
+      cur.skip_ws();
+      continue;
+    }
+    if (cur.peek() == '}') {
+      ++cur.pos;
+      return true;
+    }
+    cur.fail("expected ',' or '}' in args");
+    return false;
+  }
+}
+
+bool parse_event_object(JsonCursor& cur, EventFields* ev) {
+  if (!cur.expect('{')) return false;
+  cur.skip_ws();
+  if (cur.peek() == '}') {
+    ++cur.pos;
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!parse_json_string(cur, &key)) return false;
+    if (!cur.expect(':')) return false;
+    if (key == "name") {
+      if (!parse_json_string(cur, &ev->name)) return false;
+    } else if (key == "ph") {
+      if (!parse_json_string(cur, &ev->ph)) return false;
+    } else if (key == "ts") {
+      if (!parse_json_number(cur, &ev->ts)) return false;
+    } else if (key == "dur") {
+      if (!parse_json_number(cur, &ev->dur)) return false;
+    } else if (key == "args") {
+      if (!parse_args_object(cur, ev)) return false;
+    } else {
+      if (!skip_json_value(cur)) return false;
+    }
+    cur.skip_ws();
+    if (cur.peek() == ',') {
+      ++cur.pos;
+      cur.skip_ws();
+      continue;
+    }
+    if (cur.peek() == '}') {
+      ++cur.pos;
+      return true;
+    }
+    cur.fail("expected ',' or '}' in event");
+    return false;
+  }
+}
+
+}  // namespace
+
+TraceParseResult parse_chrome_trace(std::string_view json) {
+  TraceParseResult result;
+  JsonCursor cur{json, 0, &result.errors, false};
+
+  cur.skip_ws();
+  bool found_events = false;
+  bool object_form = false;
+  std::size_t event_index = 0;
+  // Accept both the wrapping {"traceEvents": [...]} object and a bare
+  // top-level event array (the other form chrome://tracing loads).
+  if (cur.peek() == '[') {
+    found_events = true;
+  } else if (cur.expect('{')) {
+    object_form = true;
+    cur.skip_ws();
+    while (!cur.failed && !cur.eof() && cur.peek() != '}') {
+      std::string key;
+      if (!parse_json_string(cur, &key)) break;
+      if (!cur.expect(':')) break;
+      if (key == "traceEvents") {
+        found_events = true;
+        break;
+      }
+      if (!skip_json_value(cur)) break;
+      cur.skip_ws();
+      if (cur.peek() == ',') {
+        ++cur.pos;
+        cur.skip_ws();
+      }
+    }
+    if (!found_events && !cur.failed) cur.fail("no traceEvents array");
+  }
+
+  if (found_events && cur.expect('[')) {
+    cur.skip_ws();
+    bool done = cur.peek() == ']';
+    if (done) ++cur.pos;
+    while (!done && !cur.failed && !cur.eof()) {
+      EventFields ev;
+      std::size_t before = cur.pos;
+      if (!parse_event_object(cur, &ev)) break;
+      (void)before;
+      if (ev.ph == "X") {
+        if (ev.name.empty()) {
+          std::string msg = "trace json: event ";
+          append_fmt(msg, "%zu", event_index);
+          msg += " has no name; skipped";
+          result.errors.push_back(std::move(msg));
+        } else {
+          TraceSpan span;
+          span.id = ev.has_id
+                        ? static_cast<std::uint32_t>(ev.id)
+                        : static_cast<std::uint32_t>(result.spans.size());
+          span.parent = ev.parent < 0
+                            ? kNoSpanParent
+                            : static_cast<std::uint32_t>(ev.parent);
+          span.name = std::move(ev.name);
+          // Exact ns from args when present; else reconstruct from the µs
+          // viewer fields (lossy below 1 ns granularity of ts*1000).
+          span.start_ns = ev.has_start_ns
+                              ? static_cast<std::uint64_t>(ev.start_ns)
+                              : static_cast<std::uint64_t>(ev.ts * 1000.0);
+          span.wall_ns = ev.has_wall_ns
+                             ? static_cast<std::uint64_t>(ev.wall_ns)
+                             : static_cast<std::uint64_t>(ev.dur * 1000.0);
+          span.cpu_ns = static_cast<std::uint64_t>(ev.cpu_ns);
+          span.counters = std::move(ev.counters);
+          result.spans.push_back(std::move(span));
+        }
+      }
+      ++event_index;
+      cur.skip_ws();
+      if (cur.peek() == ',') {
+        ++cur.pos;
+        cur.skip_ws();
+        continue;
+      }
+      if (cur.peek() == ']') {
+        ++cur.pos;
+        done = true;
+        break;
+      }
+      cur.fail("expected ',' or ']' in traceEvents");
+    }
+    if (!done && !cur.failed) cur.fail("unterminated traceEvents array");
+    if (done && object_form && !cur.failed) {
+      // Consume any keys after traceEvents, then require the closing brace
+      // so a truncated dump is reported rather than silently accepted.
+      cur.skip_ws();
+      while (!cur.failed && cur.peek() == ',') {
+        ++cur.pos;
+        std::string key;
+        if (!parse_json_string(cur, &key)) break;
+        if (!cur.expect(':')) break;
+        if (!skip_json_value(cur)) break;
+        cur.skip_ws();
+      }
+      if (!cur.failed) cur.expect('}');
+    }
+  }
+  return result;
+}
+
+// ---- Human-readable span tree ----
+
+namespace {
+
+void append_duration(std::string& out, std::uint64_t ns) {
+  if (ns >= 1000000000ull) {
+    append_fmt(out, "%" PRIu64 ".%03" PRIu64 "s", ns / 1000000000ull,
+               (ns % 1000000000ull) / 1000000ull);
+  } else if (ns >= 1000000ull) {
+    append_fmt(out, "%" PRIu64 ".%03" PRIu64 "ms", ns / 1000000ull,
+               (ns % 1000000ull) / 1000ull);
+  } else if (ns >= 1000ull) {
+    append_fmt(out, "%" PRIu64 ".%03" PRIu64 "us", ns / 1000ull, ns % 1000ull);
+  } else {
+    append_fmt(out, "%" PRIu64 "ns", ns);
+  }
+}
+
+void append_tree_node(std::string& out, const std::vector<TraceSpan>& spans,
+                      const std::vector<std::vector<std::uint32_t>>& children,
+                      std::uint32_t id, int depth) {
+  const TraceSpan& span = spans[id];
+  for (int i = 0; i < depth; ++i) out += "  ";
+  out += span.name;
+  out += "  wall=";
+  append_duration(out, span.wall_ns);
+  out += " cpu=";
+  append_duration(out, span.cpu_ns);
+  if (!span.counters.empty()) {
+    out += "  [";
+    bool first = true;
+    for (const TraceCounter& c : span.counters) {
+      if (!first) out += ' ';
+      first = false;
+      out += c.name;
+      append_fmt(out, "=%" PRIu64, c.value);
+    }
+    out += ']';
+  }
+  out += '\n';
+  if (depth > 63) return;  // cycle/corruption guard on parsed input
+  for (std::uint32_t child : children[id]) {
+    append_tree_node(out, spans, children, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string trace_tree(const std::vector<TraceSpan>& spans) {
+  std::vector<std::vector<std::uint32_t>> children(spans.size());
+  std::vector<std::uint32_t> roots;
+  for (std::uint32_t i = 0; i < spans.size(); ++i) {
+    std::uint32_t parent = spans[i].parent;
+    // Treat forward or self references (possible in foreign/corrupt traces)
+    // as roots so the renderer cannot loop.
+    if (parent == kNoSpanParent || parent >= i) {
+      roots.push_back(i);
+    } else {
+      children[parent].push_back(i);
+    }
+  }
+  std::string out;
+  for (std::uint32_t root : roots) {
+    append_tree_node(out, spans, children, root, 0);
+  }
+  return out;
+}
+
+std::string trace_tree(const Tracer& tracer) { return trace_tree(tracer.spans()); }
+
+}  // namespace ht::support

@@ -1,0 +1,151 @@
+// Structured tracing for the offline pipeline (docs/OBSERVABILITY.md §7).
+//
+// The heavyweight offline phase — attack replay under the shadow-memory
+// analyzer, input search, patch generation — needs the same visibility the
+// online runtime got from telemetry: where does analysis time actually go?
+// This module is a lightweight span tracer: hierarchical spans carrying
+// wall time, thread-CPU time, and attachable named counters (shadow-op
+// volumes, replay step counts, search statistics).
+//
+// Cost model: every instrumentation point takes a `Tracer*` that may be
+// null, and the very first thing each hook does is a null check — a traced
+// pipeline pays two clock reads per span, an untraced one pays a predicted
+// branch. bench/ht_trace_overhead holds the disabled-mode cost to the
+// measurement floor (≤0.5% of analyzer throughput).
+//
+// Exports (both round-trip through this header's own parser/renderer):
+//  - trace_chrome_json(): Chrome trace-event JSON ("X" complete events),
+//    loadable in chrome://tracing / Perfetto; exact nanosecond values ride
+//    in each event's `args` so parse_chrome_trace() reconstructs spans
+//    losslessly (the microsecond `ts`/`dur` fields are for the viewer).
+//  - trace_tree(): indented human-readable span tree for terminals
+//    (`htctl trace-offline`).
+//
+// The tracer is deliberately single-threaded (the offline pipeline is one
+// thread); the online runtime keeps its own lock-free telemetry instead
+// (src/runtime/telemetry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::support {
+
+/// One named counter attached to a span (e.g. "redzone_checks" = 1234).
+struct TraceCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+inline constexpr std::uint32_t kNoSpanParent = UINT32_MAX;
+
+/// One closed span. Ids are dense, in begin order; parents always have
+/// smaller ids than their children.
+struct TraceSpan {
+  std::uint32_t id = 0;
+  std::uint32_t parent = kNoSpanParent;
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< steady-clock, process-relative ordering
+  std::uint64_t wall_ns = 0;
+  std::uint64_t cpu_ns = 0;    ///< CLOCK_THREAD_CPUTIME_ID delta
+  std::vector<TraceCounter> counters;
+};
+
+/// Span collector. begin/end must nest (enforced only by usage — use
+/// SpanGuard); counters attach to any still-open or closed span by id.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span under the currently innermost open span. Returns its id.
+  std::uint32_t begin_span(std::string_view name);
+
+  /// Closes the span (records wall + CPU durations). Ends must match the
+  /// most recent unclosed begin; SpanGuard guarantees this.
+  void end_span(std::uint32_t id);
+
+  /// Adds `value` to the named counter of span `id` (creating it at 0).
+  /// Summing semantics let loops attach per-iteration increments.
+  void add_counter(std::uint32_t id, std::string_view name, std::uint64_t value);
+
+  /// Inserts an already-measured span (e.g. time accumulated *inside* a
+  /// phase by the shadow heap's own instrumentation, re-attributed as a
+  /// child span after the fact). Parent is the innermost open span.
+  std::uint32_t add_complete_span(std::string_view name, std::uint64_t start_ns,
+                                  std::uint64_t wall_ns, std::uint64_t cpu_ns);
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const noexcept {
+    return spans_;
+  }
+  /// Id of the innermost open span, or kNoSpanParent when none.
+  [[nodiscard]] std::uint32_t current() const noexcept {
+    return stack_.empty() ? kNoSpanParent : stack_.back();
+  }
+
+  /// Steady-clock nanoseconds (the tracer's time base, exposed so callers
+  /// can stamp externally measured spans consistently).
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+  /// This thread's CPU time in nanoseconds.
+  [[nodiscard]] static std::uint64_t thread_cpu_ns() noexcept;
+
+ private:
+  std::vector<TraceSpan> spans_;
+  std::vector<std::uint32_t> stack_;
+};
+
+/// RAII span: no-op when `tracer` is null, so instrumentation points cost
+/// one branch in untraced runs.
+class SpanGuard {
+ public:
+  SpanGuard(Tracer* tracer, std::string_view name)
+      : tracer_(tracer), id_(tracer ? tracer->begin_span(name) : kNoSpanParent) {}
+  ~SpanGuard() {
+    if (tracer_ != nullptr) tracer_->end_span(id_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Adds to a counter of this span (no-op when untraced).
+  void counter(std::string_view name, std::uint64_t value) {
+    if (tracer_ != nullptr) tracer_->add_counter(id_, name, value);
+  }
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_;
+  std::uint32_t id_;
+};
+
+// ---- Exports (docs/FORMATS.md §5) ----
+
+/// Chrome trace-event JSON: {"displayTimeUnit", "traceEvents": [...]} with
+/// one "X" (complete) event per span, ts/dur in microseconds relative to
+/// the earliest span, and exact {id, parent, start_ns, wall_ns, cpu_ns,
+/// counters} in args.
+[[nodiscard]] std::string trace_chrome_json(const Tracer& tracer,
+                                            std::string_view process_name =
+                                                "heaptherapy-offline");
+
+/// Result of parsing a Chrome trace-event JSON produced by
+/// trace_chrome_json (or a compatible subset). Lenient: events missing
+/// required fields produce a diagnostic and are skipped; the parser never
+/// throws on malformed input.
+struct TraceParseResult {
+  std::vector<TraceSpan> spans;
+  std::vector<std::string> errors;
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+[[nodiscard]] TraceParseResult parse_chrome_trace(std::string_view json);
+
+/// Human-readable span tree: one line per span, indented by depth, with
+/// wall/CPU durations and counters.
+[[nodiscard]] std::string trace_tree(const Tracer& tracer);
+[[nodiscard]] std::string trace_tree(const std::vector<TraceSpan>& spans);
+
+}  // namespace ht::support

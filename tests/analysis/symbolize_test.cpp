@@ -1,0 +1,160 @@
+// CCID symbolization fallback paths (analysis/symbolize.hpp): unknown
+// CCID, ambiguous decode, plan mismatch, missing target node, and decoder
+// construction failure must all degrade to the raw id plus a warning —
+// never crash, never print a silently wrong chain.
+#include "analysis/symbolize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "progmodel/builder.hpp"
+#include "progmodel/interpreter.hpp"
+#include "shadow/sim_heap.hpp"
+
+namespace ht::analysis {
+namespace {
+
+using progmodel::AllocFn;
+using progmodel::Program;
+using progmodel::ProgramBuilder;
+using progmodel::Value;
+
+/// Two distinct calling contexts reach the same malloc:
+/// main -> left -> handler -> malloc and main -> right -> handler -> malloc.
+Program two_context_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto left = b.function("left");
+  const auto right = b.function("right");
+  const auto handler = b.function("handler");
+  b.call(main_fn, left);
+  b.call(main_fn, right);
+  b.call(left, handler);
+  b.call(right, handler);
+  b.alloc(handler, AllocFn::kMalloc, Value(64), 0);
+  b.free(handler, 0);
+  return b.build();
+}
+
+cce::InstrumentationPlan plan_for(const Program& p) {
+  return cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs);
+}
+
+/// Degenerate encoder whose register never changes: every calling context
+/// encodes to 0, forcing a CCID collision across the two contexts.
+class ConstantEncoder final : public cce::Encoder {
+ public:
+  explicit ConstantEncoder(cce::InstrumentationPlan plan)
+      : cce::Encoder(std::move(plan)) {}
+  [[nodiscard]] std::uint64_t apply(std::uint64_t v,
+                                    cce::CallSiteId /*site*/) const noexcept override {
+    return v;
+  }
+};
+
+TEST(Symbolize, DecodesRealContextToChain) {
+  const Program p = two_context_program();
+  const cce::PccEncoder encoder(plan_for(p));
+  const CcidSymbolizer symbolizer(p, encoder);
+
+  // Run the program to collect the CCIDs real allocations carried; every
+  // one must symbolize to a full chain under the same encoder.
+  shadow::SimHeap heap;
+  progmodel::Interpreter interp(p, &encoder, heap);
+  const progmodel::RunResult run = interp.run(progmodel::Input{});
+  ASSERT_FALSE(run.alloc_sites.empty());
+  for (const auto& [site, count] : run.alloc_sites) {
+    const SymbolizedCcid sym = symbolizer.symbolize(site.fn, site.ccid);
+    EXPECT_EQ(sym.status, SymbolizeStatus::kDecoded) << ccid_hex(site.ccid);
+    EXPECT_NE(sym.chain.find("main -> "), std::string::npos);
+    EXPECT_NE(sym.chain.find("handler -> malloc"), std::string::npos);
+    EXPECT_TRUE(sym.warning.empty());
+    EXPECT_EQ(symbolizer.render(site.fn, site.ccid), sym.chain);
+    (void)count;
+  }
+}
+
+TEST(Symbolize, UnknownCcidDegradesToRawId) {
+  const Program p = two_context_program();
+  const cce::PccEncoder encoder(plan_for(p));
+  const CcidSymbolizer symbolizer(p, encoder);
+
+  const std::uint64_t bogus = 0xdeadbeef12345678ull;
+  const SymbolizedCcid sym = symbolizer.symbolize(AllocFn::kMalloc, bogus);
+  EXPECT_EQ(sym.status, SymbolizeStatus::kUnknownCcid);
+  EXPECT_TRUE(sym.chain.empty());
+  EXPECT_FALSE(sym.warning.empty());
+
+  const std::string rendered = symbolizer.render(AllocFn::kMalloc, bogus);
+  EXPECT_NE(rendered.find("0xdeadbeef12345678"), std::string::npos);
+  EXPECT_NE(rendered.find("no calling context"), std::string::npos);
+}
+
+TEST(Symbolize, AmbiguousDecodeDegradesToRawIdWithWarning) {
+  const Program p = two_context_program();
+  const ConstantEncoder encoder(plan_for(p));  // both contexts encode to 0
+  const CcidSymbolizer symbolizer(p, encoder);
+
+  const SymbolizedCcid sym = symbolizer.symbolize(AllocFn::kMalloc, 0);
+  EXPECT_EQ(sym.status, SymbolizeStatus::kAmbiguous);
+  EXPECT_FALSE(sym.chain.empty());  // first candidate kept for report use
+  EXPECT_NE(sym.warning.find("collision"), std::string::npos);
+
+  // render() must NOT print one of the colliding chains as if it were the
+  // answer — raw id + warning instead.
+  const std::string rendered = symbolizer.render(AllocFn::kMalloc, 0);
+  EXPECT_NE(rendered.find("0x0000000000000000"), std::string::npos);
+  EXPECT_NE(rendered.find("collision"), std::string::npos);
+  EXPECT_EQ(rendered.find("main ->"), std::string::npos);
+}
+
+TEST(Symbolize, PlanMismatchDegradesEveryLookup) {
+  const Program p = two_context_program();
+  const cce::PccEncoder encoder(plan_for(p));
+  CcidSymbolizer symbolizer(p, encoder);
+  symbolizer.mark_mismatch("plan fingerprint does not match call graph");
+  EXPECT_TRUE(symbolizer.mismatched());
+
+  // Even a CCID that WOULD decode must degrade: the plan is not trustable.
+  for (std::uint64_t ccid : {std::uint64_t{0}, std::uint64_t{42}}) {
+    const SymbolizedCcid sym = symbolizer.symbolize(AllocFn::kMalloc, ccid);
+    EXPECT_EQ(sym.status, SymbolizeStatus::kPlanMismatch);
+    EXPECT_NE(sym.warning.find("fingerprint"), std::string::npos);
+    const std::string rendered = symbolizer.render(AllocFn::kMalloc, ccid);
+    EXPECT_NE(rendered.find(ccid_hex(ccid)), std::string::npos);
+    EXPECT_NE(rendered.find("mismatch"), std::string::npos);
+  }
+}
+
+TEST(Symbolize, MissingTargetNodeDegrades) {
+  const Program p = two_context_program();  // has malloc, no calloc
+  const cce::PccEncoder encoder(plan_for(p));
+  const CcidSymbolizer symbolizer(p, encoder);
+  const SymbolizedCcid sym = symbolizer.symbolize(AllocFn::kCalloc, 7);
+  EXPECT_EQ(sym.status, SymbolizeStatus::kNoTargetNode);
+  const std::string rendered = symbolizer.render(AllocFn::kCalloc, 7);
+  EXPECT_NE(rendered.find(ccid_hex(7)), std::string::npos);
+}
+
+TEST(Symbolize, DecoderConstructionFailureDegradesNotThrows) {
+  const Program p = two_context_program();
+  const cce::PccEncoder encoder(plan_for(p));
+  // Context limit 1 < 2 contexts: TargetedDecoder construction throws
+  // inside the symbolizer; lookups must degrade, not propagate.
+  const CcidSymbolizer symbolizer(p, encoder, /*context_limit=*/1);
+  const SymbolizedCcid sym = symbolizer.symbolize(AllocFn::kMalloc, 0);
+  EXPECT_EQ(sym.status, SymbolizeStatus::kUnavailable);
+  EXPECT_FALSE(sym.warning.empty());
+  EXPECT_NE(symbolizer.render(AllocFn::kMalloc, 0).find("0x"), std::string::npos);
+}
+
+TEST(Symbolize, StatusNamesAreStable) {
+  EXPECT_EQ(symbolize_status_name(SymbolizeStatus::kDecoded), "decoded");
+  EXPECT_EQ(symbolize_status_name(SymbolizeStatus::kAmbiguous), "ambiguous");
+  EXPECT_EQ(symbolize_status_name(SymbolizeStatus::kUnknownCcid), "unknown-ccid");
+  EXPECT_EQ(symbolize_status_name(SymbolizeStatus::kPlanMismatch), "plan-mismatch");
+}
+
+}  // namespace
+}  // namespace ht::analysis

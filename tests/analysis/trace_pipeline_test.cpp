@@ -1,0 +1,174 @@
+// Offline-pipeline tracing: analyze_attack / input_search with a Tracer
+// attached must produce the span tree (analyze_attack → replay →
+// interpreter.run, shadow_checks, patch_generation) with nonzero shadow-op
+// counters, and the Chrome trace-event export must round-trip through the
+// repo's own parser — the ISSUE-3 acceptance shape, unit-level.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/input_search.hpp"
+#include "analysis/patch_generator.hpp"
+#include "progmodel/builder.hpp"
+#include "support/trace.hpp"
+
+namespace ht::analysis {
+namespace {
+
+using progmodel::AllocFn;
+using progmodel::Input;
+using progmodel::Program;
+using progmodel::ProgramBuilder;
+using progmodel::Value;
+using support::TraceCounter;
+using support::Tracer;
+using support::TraceSpan;
+
+Program overflow_program() {
+  ProgramBuilder b;
+  const auto main_fn = b.function("main");
+  const auto handler = b.function("handler");
+  b.call(main_fn, handler);
+  b.alloc(handler, AllocFn::kMalloc, Value(64), 0);
+  b.write(handler, 0, Value(0), Value::input(0));
+  b.free(handler, 0);
+  return b.build();
+}
+
+cce::PccEncoder make_encoder(const Program& p) {
+  return cce::PccEncoder(
+      cce::compute_plan(p.graph(), p.alloc_targets(), cce::Strategy::kTcs));
+}
+
+const TraceSpan* find_span(const Tracer& tracer, std::string_view name) {
+  for (const TraceSpan& s : tracer.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t counter_value(const TraceSpan& span, std::string_view name) {
+  for (const TraceCounter& c : span.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+TEST(TracePipeline, AnalyzeAttackRecordsPhaseSpans) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p);
+  Tracer tracer;
+  AnalysisConfig config;
+  config.tracer = &tracer;
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{80}}, config);
+  ASSERT_TRUE(report.attack_detected());
+
+  const TraceSpan* analyze = find_span(tracer, "analyze_attack");
+  const TraceSpan* replay = find_span(tracer, "replay");
+  const TraceSpan* interp = find_span(tracer, "interpreter.run");
+  const TraceSpan* shadow = find_span(tracer, "shadow_checks");
+  const TraceSpan* patches = find_span(tracer, "patch_generation");
+  ASSERT_NE(analyze, nullptr);
+  ASSERT_NE(replay, nullptr);
+  ASSERT_NE(interp, nullptr);
+  ASSERT_NE(shadow, nullptr);
+  ASSERT_NE(patches, nullptr);
+
+  // Hierarchy: replay/shadow_checks/patch_generation under analyze_attack,
+  // interpreter.run under replay.
+  EXPECT_EQ(analyze->parent, support::kNoSpanParent);
+  EXPECT_EQ(replay->parent, analyze->id);
+  EXPECT_EQ(interp->parent, replay->id);
+  EXPECT_EQ(shadow->parent, analyze->id);
+  EXPECT_EQ(patches->parent, analyze->id);
+
+  // Replay volumes.
+  EXPECT_GT(counter_value(*replay, "steps"), 0u);
+  EXPECT_GT(counter_value(*replay, "allocs"), 0u);
+  EXPECT_EQ(counter_value(*replay, "violations"), 1u);
+  EXPECT_GT(counter_value(*interp, "encoding_ops"), 0u);
+
+  // Shadow-op counters must be nonzero: the overflow write scanned red
+  // zones and the allocation materialized shadow pages.
+  EXPECT_GT(counter_value(*shadow, "redzone_checks"), 0u);
+  EXPECT_GT(counter_value(*shadow, "redzone_check_bytes"), 0u);
+  EXPECT_GT(counter_value(*shadow, "shadow_set_ops"), 0u);
+  EXPECT_GT(counter_value(*shadow, "shadow_pages"), 0u);
+
+  // Patch generation accounted for the generated patch.
+  EXPECT_EQ(counter_value(*patches, "patches"), 1u);
+}
+
+TEST(TracePipeline, NullTracerLeavesPipelineUntraced) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p);
+  AnalysisConfig config;  // tracer == nullptr
+  const AnalysisReport report = analyze_attack(p, &encoder, Input{{80}}, config);
+  EXPECT_TRUE(report.attack_detected());  // behavior identical, no spans
+}
+
+TEST(TracePipeline, TracedAndUntracedAnalysesAgree) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p);
+  Tracer tracer;
+  AnalysisConfig traced;
+  traced.tracer = &tracer;
+  const AnalysisReport a = analyze_attack(p, &encoder, Input{{80}}, traced);
+  const AnalysisReport b = analyze_attack(p, &encoder, Input{{80}});
+  ASSERT_EQ(a.patches.size(), b.patches.size());
+  EXPECT_EQ(a.patches[0].ccid, b.patches[0].ccid);
+  EXPECT_EQ(a.patches[0].vuln_mask, b.patches[0].vuln_mask);
+  EXPECT_EQ(a.run.steps, b.run.steps);
+}
+
+TEST(TracePipeline, InputSearchSpanCountsPhases) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p);
+  Tracer tracer;
+  InputSearchOptions options;
+  options.analysis.tracer = &tracer;
+  const InputSearchResult result = search_attack_input(
+      p, &encoder, {ParamRange{0, 128}}, options);
+  ASSERT_TRUE(result.found());
+
+  const TraceSpan* search = find_span(tracer, "input_search");
+  ASSERT_NE(search, nullptr);
+  EXPECT_EQ(search->parent, support::kNoSpanParent);
+  EXPECT_EQ(counter_value(*search, "runs"), result.runs);
+  EXPECT_EQ(counter_value(*search, "found"), 1u);
+  EXPECT_GT(counter_value(*search, "boundary_runs"), 0u);
+
+  // Every replay nests under the search span.
+  const TraceSpan* analyze = find_span(tracer, "analyze_attack");
+  ASSERT_NE(analyze, nullptr);
+  EXPECT_EQ(analyze->parent, search->id);
+}
+
+TEST(TracePipeline, ChromeExportRoundTripsWithCounters) {
+  const Program p = overflow_program();
+  const auto encoder = make_encoder(p);
+  Tracer tracer;
+  AnalysisConfig config;
+  config.tracer = &tracer;
+  (void)analyze_attack(p, &encoder, Input{{80}}, config);
+
+  const std::string json = support::trace_chrome_json(tracer);
+  support::TraceParseResult parsed = support::parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  ASSERT_EQ(parsed.spans.size(), tracer.spans().size());
+  bool saw_shadow_counters = false;
+  for (const TraceSpan& s : parsed.spans) {
+    if (s.name == "shadow_checks") {
+      saw_shadow_counters = counter_value(s, "redzone_checks") > 0;
+    }
+  }
+  EXPECT_TRUE(saw_shadow_counters);
+
+  const std::string tree = support::trace_tree(parsed.spans);
+  EXPECT_NE(tree.find("analyze_attack"), std::string::npos);
+  EXPECT_NE(tree.find("shadow_checks"), std::string::npos);
+  EXPECT_NE(tree.find("redzone_checks="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::analysis

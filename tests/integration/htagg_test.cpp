@@ -1,0 +1,141 @@
+// Exec-based tests for htagg: merge real telemetry dumps from two
+// independent allocator runs and verify the fleet sums are EXACT and the
+// Prometheus exposition passes the structural linter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "patch/patch_table.hpp"
+#include "runtime/guarded_allocator.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/telemetry_agg.hpp"
+
+namespace {
+
+const char* kHtagg = HT_HTAGG_BIN;
+
+int run(const std::string& args) {
+  const int status = std::system((std::string(kHtagg) + " " + args).c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string temp_file(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Runs a patched allocator for `mallocs` allocations at the patched CCID
+/// and writes its telemetry dump; returns the snapshot for expected-sum
+/// computation.
+ht::runtime::TelemetrySnapshot make_dump(const std::string& path, int mallocs) {
+  const ht::patch::PatchTable table(
+      {ht::patch::Patch{ht::progmodel::AllocFn::kMalloc, 42,
+                        ht::patch::kUninitRead}},
+      /*freeze=*/true);
+  ht::runtime::GuardedAllocatorConfig config;
+  config.telemetry.events = true;
+  ht::runtime::GuardedAllocator allocator(&table, config);
+  for (int i = 0; i < mallocs; ++i) {
+    void* p = allocator.malloc(64, 42);
+    EXPECT_NE(p, nullptr);
+    allocator.free(p);
+  }
+  const auto snap = allocator.telemetry_snapshot();
+  std::ofstream out(path);
+  out << ht::runtime::render_telemetry(snap);
+  return snap;
+}
+
+TEST(Htagg, UsageWithoutArgs) { EXPECT_EQ(run("2> /dev/null"), 1); }
+
+TEST(Htagg, MissingDumpExitsThree) {
+  EXPECT_EQ(run("/nonexistent.dump 2> /dev/null"), 3);
+}
+
+TEST(Htagg, UnknownFlagExitsOne) {
+  EXPECT_EQ(run("--bogus 2> /dev/null"), 1);
+}
+
+TEST(Htagg, MergesTwoDumpsWithExactSums) {
+  const std::string a = temp_file("htagg_a.dump");
+  const std::string b = temp_file("htagg_b.dump");
+  const std::string out = temp_file("htagg_out.txt");
+  const auto snap_a = make_dump(a, 10);
+  const auto snap_b = make_dump(b, 25);
+
+  ASSERT_EQ(run(a + " " + b + " --format both --out " + out), 0);
+  const std::string merged = read_file(out);
+
+  // Exact sums of the two dumps' counters, in both JSON and Prometheus.
+  const auto sum = [&](std::uint64_t ht::runtime::AllocatorStats::* f) {
+    return snap_a.totals.*f + snap_b.totals.*f;
+  };
+  EXPECT_NE(merged.find("\"processes\": 2"), std::string::npos);
+  EXPECT_NE(merged.find("\"interceptions\": " +
+                        std::to_string(sum(&ht::runtime::AllocatorStats::interceptions))),
+            std::string::npos);
+  EXPECT_NE(merged.find("\"enhanced\": " +
+                        std::to_string(sum(&ht::runtime::AllocatorStats::enhanced))),
+            std::string::npos);
+  EXPECT_NE(merged.find("ht_interceptions_total " +
+                        std::to_string(sum(&ht::runtime::AllocatorStats::interceptions))),
+            std::string::npos);
+  // The patched context's hits merged across both processes: both runs hit
+  // {malloc, 0x2a}, so the merged row is the sum of per-run hits.
+  std::uint64_t hits = 0;
+  for (const auto& h : snap_a.patch_hits) hits += h.hits;
+  for (const auto& h : snap_b.patch_hits) hits += h.hits;
+  EXPECT_NE(merged.find("\"ccid\": \"0x000000000000002a\", \"hits\": " +
+                        std::to_string(hits)),
+            std::string::npos);
+  EXPECT_NE(merged.find("ht_patch_hits_total{fn=\"malloc\",ccid=\"0x000000000000002a\"} " +
+                        std::to_string(hits)),
+            std::string::npos);
+  // Per-process rows name both dumps.
+  EXPECT_NE(merged.find(a), std::string::npos);
+  EXPECT_NE(merged.find(b), std::string::npos);
+
+  // The Prometheus section (everything from the first # HELP) passes the
+  // structural linter — the ctest gate the exposition format is held to.
+  const std::size_t prom_start = merged.find("# HELP");
+  ASSERT_NE(prom_start, std::string::npos);
+  const auto errors = ht::runtime::prometheus_lint(merged.substr(prom_start));
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+
+  for (const auto& f : {a, b, out}) std::remove(f.c_str());
+}
+
+TEST(Htagg, TopKPrunesToHighestHitters) {
+  const std::string a = temp_file("htagg_topk.dump");
+  const std::string out = temp_file("htagg_topk.json");
+  (void)make_dump(a, 5);
+  ASSERT_EQ(run(a + " --top 1 --out " + out), 0);
+  const std::string json = read_file(out);
+  EXPECT_NE(json.find("\"patch_hits_shown\": 1"), std::string::npos);
+  for (const auto& f : {a, out}) std::remove(f.c_str());
+}
+
+TEST(Htagg, PrometheusOnlyOutputToStdout) {
+  const std::string a = temp_file("htagg_prom.dump");
+  const std::string out = temp_file("htagg_prom.txt");
+  (void)make_dump(a, 3);
+  ASSERT_EQ(run(a + " --format prom > " + out), 0);
+  const std::string prom = read_file(out);
+  EXPECT_EQ(prom.rfind("# HELP ht_processes", 0), 0u);  // starts with HELP
+  EXPECT_EQ(prom.find("\"processes\""), std::string::npos);  // no JSON mixed in
+  EXPECT_TRUE(ht::runtime::prometheus_lint(prom).empty());
+  for (const auto& f : {a, out}) std::remove(f.c_str());
+}
+
+}  // namespace

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/trace.hpp"
+
 namespace {
 
 const char* kHtctl = HT_HTCTL_BIN;
@@ -135,6 +137,118 @@ TEST(Htctl, TraceRequiresConfigForRunMode) {
   EXPECT_EQ(run("trace " + std::string(HT_SAMPLE_HTP) +
                 " --input 1 2> /dev/null"),
             1);
+}
+
+// Acceptance for the offline-tracing surface: trace-offline emits Chrome
+// trace-event JSON that round-trips through the repo's own parser, with
+// the replay / shadow-checks / patch-generation phases present and the
+// shadow-op counters nonzero.
+TEST(Htctl, TraceOfflineEmitsRoundTrippableChromeJson) {
+  const std::string json_path = temp_file("htctl_offline.json");
+  ASSERT_EQ(run("trace-offline " + std::string(HT_SAMPLE_HTP) +
+                " --input 512,4096 --out " + json_path + " 2> /dev/null"),
+            0);
+  const ht::support::TraceParseResult parsed =
+      ht::support::parse_chrome_trace(read_file(json_path));
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+
+  auto find_span = [&](const std::string& name) -> const ht::support::TraceSpan* {
+    for (const auto& s : parsed.spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find_span("analyze_attack"), nullptr);
+  ASSERT_NE(find_span("replay"), nullptr);
+  ASSERT_NE(find_span("interpreter.run"), nullptr);
+  ASSERT_NE(find_span("patch_generation"), nullptr);
+  const ht::support::TraceSpan* shadow = find_span("shadow_checks");
+  ASSERT_NE(shadow, nullptr);
+  // The traced attack run really exercised the shadow heap: redzone scans
+  // and shadow-page traffic survive the JSON round trip with exact values.
+  std::uint64_t redzone = 0, pages = 0;
+  for (const auto& c : shadow->counters) {
+    if (c.name == "redzone_checks") redzone = c.value;
+    if (c.name == "shadow_pages") pages = c.value;
+  }
+  EXPECT_GT(redzone, 0u);
+  EXPECT_GT(pages, 0u);
+  std::remove(json_path.c_str());
+}
+
+TEST(Htctl, TraceOfflineTreeShowsPhasesAndCounters) {
+  const std::string out = temp_file("htctl_offline_tree.txt");
+  ASSERT_EQ(run("trace-offline " + std::string(HT_SAMPLE_HTP) +
+                " --input 512,4096 --tree 1 2> /dev/null > " + out),
+            0);
+  const std::string tree = read_file(out);
+  EXPECT_NE(tree.find("analyze_attack"), std::string::npos);
+  EXPECT_NE(tree.find("\n  replay"), std::string::npos);  // indented child
+  EXPECT_NE(tree.find("shadow_checks"), std::string::npos);
+  EXPECT_NE(tree.find("redzone_checks="), std::string::npos);
+  EXPECT_NE(tree.find("patches=1"), std::string::npos);
+  std::remove(out.c_str());
+}
+
+TEST(Htctl, TraceOfflineMissingProgramExitsThree) {
+  EXPECT_EQ(run("trace-offline /nonexistent.htp --input 1 2> /dev/null"), 3);
+}
+
+// Acceptance for symbolization: stats over a dump produced by a real
+// patched run decodes every decodable patch-hit CCID to a call chain.
+TEST(Htctl, StatsSymbolizesPatchHitCcids) {
+  const std::string cfg = temp_file("htctl_sym.cfg");
+  const std::string dump = temp_file("htctl_sym.dump");
+  const std::string out = temp_file("htctl_sym.out");
+  ASSERT_EQ(std::system((std::string(HT_HTRUN_BIN) + " analyze " +
+                         HT_SAMPLE_HTP + " --input 512,4096 --out " + cfg +
+                         " > /dev/null")
+                            .c_str()) >>
+                8,
+            2);
+  ASSERT_EQ(run("trace " + std::string(HT_SAMPLE_HTP) +
+                " --input 512,4096 --config " + cfg + " --out " + dump +
+                " > /dev/null"),
+            0);
+  ASSERT_EQ(run("stats " + dump + " --program " + HT_SAMPLE_HTP + " > " + out),
+            0);
+  const std::string stats = read_file(out);
+  EXPECT_NE(stats.find("\"interceptions\""), std::string::npos);
+  EXPECT_NE(stats.find("symbolized patch hits"), std::string::npos);
+  // The patched context decodes through the same Incremental-strategy
+  // encoder the replay used: a real chain, not a raw id.
+  EXPECT_NE(stats.find("-> malloc"), std::string::npos);
+  for (const auto& f : {cfg, dump, out}) std::remove(f.c_str());
+}
+
+TEST(Htctl, StatsWithStalePlanDegradesToRawIds) {
+  const std::string cfg = temp_file("htctl_stale.cfg");
+  const std::string dump = temp_file("htctl_stale.dump");
+  const std::string plan = temp_file("htctl_stale.plan");
+  const std::string out = temp_file("htctl_stale.out");
+  ASSERT_EQ(std::system((std::string(HT_HTRUN_BIN) + " analyze " +
+                         HT_SAMPLE_HTP + " --input 512,4096 --out " + cfg +
+                         " > /dev/null")
+                            .c_str()) >>
+                8,
+            2);
+  ASSERT_EQ(run("trace " + std::string(HT_SAMPLE_HTP) +
+                " --input 512,4096 --config " + cfg + " --out " + dump +
+                " > /dev/null"),
+            0);
+  // A plan whose graph fingerprint cannot match the program: every lookup
+  // must degrade to the raw CCID + mismatch warning, never a wrong chain.
+  write_file(plan,
+             "# HeapTherapy+ instrumentation plan\nversion 1\n"
+             "strategy Incremental\ngraph 999\nsites 0\n");
+  ASSERT_EQ(run("stats " + dump + " --program " + HT_SAMPLE_HTP + " --plan " +
+                plan + " > " + out + " 2> /dev/null"),
+            0);
+  const std::string stats = read_file(out);
+  EXPECT_NE(stats.find("symbolized patch hits"), std::string::npos);
+  EXPECT_NE(stats.find("(!encoding plan mismatch"), std::string::npos);
+  EXPECT_EQ(stats.find("-> malloc"), std::string::npos);
+  for (const auto& f : {cfg, dump, plan, out}) std::remove(f.c_str());
 }
 
 TEST(Htctl, StatsMissingFileExitsThree) {

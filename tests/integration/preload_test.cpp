@@ -85,6 +85,55 @@ TEST(PreloadIntegration, QuarantineQuotaEnvAccepted) {
   std::remove(config.c_str());
 }
 
+// %p in the telemetry path expands to the writing process's pid, so a
+// fleet sharing one environment writes one dump per process (the htagg
+// input contract).
+TEST(PreloadIntegration, TelemetryPathExpandsPidTemplate) {
+  const auto dir = std::filesystem::temp_directory_path() / "ht_pid_dumps";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  // Two sequential processes under the same template: two distinct dumps.
+  const std::string tmpl = (dir / "ht.%p.dump").string();
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(run_command("HEAPTHERAPY_TELEMETRY=" + shell_quote(tmpl) +
+                          " LD_PRELOAD=" + shell_quote(kPreload) +
+                          " /bin/ls / > /dev/null"),
+              0);
+  }
+  std::size_t dumps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp") != std::string::npos) continue;
+    // ht.<digits>.dump — the literal "%p" must be gone.
+    EXPECT_EQ(name.find('%'), std::string::npos) << name;
+    ASSERT_GT(name.size(), 8u);
+    const std::string digits = name.substr(3, name.size() - 3 - 5);
+    EXPECT_FALSE(digits.empty());
+    EXPECT_EQ(digits.find_first_not_of("0123456789"), std::string::npos) << name;
+    // The dump is a well-formed §4 document.
+    std::ifstream in(entry.path());
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_NE(first_line.find("HeapTherapy+ telemetry dump"), std::string::npos);
+    ++dumps;
+  }
+  EXPECT_EQ(dumps, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PreloadIntegration, TelemetryPathEscapedPercentStaysLiteral) {
+  const auto dir = std::filesystem::temp_directory_path() / "ht_pct_dump";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directory(dir);
+  const std::string tmpl = (dir / "ht%%cpu.dump").string();
+  ASSERT_EQ(run_command("HEAPTHERAPY_TELEMETRY=" + shell_quote(tmpl) +
+                        " LD_PRELOAD=" + shell_quote(kPreload) +
+                        " /bin/echo ok > /dev/null"),
+            0);
+  EXPECT_TRUE(std::filesystem::exists(dir / "ht%cpu.dump"));
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 namespace {

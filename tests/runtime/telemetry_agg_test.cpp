@@ -1,0 +1,208 @@
+// Fleet aggregation (runtime/telemetry_agg.hpp): merging N per-process
+// snapshots must give EXACT counter sums, key-wise patch-hit merges,
+// bucket-wise latency merges, and a Prometheus exposition that passes the
+// structural linter.
+#include "runtime/telemetry_agg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ht::runtime {
+namespace {
+
+using progmodel::AllocFn;
+
+TelemetrySnapshot make_snapshot(std::uint64_t scale, std::uint64_t generation) {
+  TelemetrySnapshot s;
+  s.table_generation = generation;
+  s.table_patches = 2;
+  s.totals.interceptions = 100 * scale;
+  s.totals.enhanced = 40 * scale;
+  s.totals.guard_pages = 10 * scale;
+  s.totals.zero_fills = 5 * scale;
+  s.totals.quarantined_frees = 20 * scale;
+  s.totals.plain_frees = 60 * scale;
+  s.totals.failed_guards = 1 * scale;
+  s.totals.canaries_planted = 30 * scale;
+  s.totals.canary_overflows_on_free = 2 * scale;
+  s.events_recorded = 50 * scale;
+  s.events_dropped = 3 * scale;
+  s.patch_hit_overflow = 7 * scale;
+  s.patch_hits.push_back({AllocFn::kMalloc, 0x42, 25 * scale});
+  s.patch_hits.push_back({AllocFn::kCalloc, 0x99, 15 * scale});
+  s.latency.buckets[0] = 12 * scale;
+  s.latency.buckets[3] = 8 * scale;
+  s.latency.buckets[LatencyHistogram::kBuckets - 1] = 1 * scale;  // unbounded
+  return s;
+}
+
+std::vector<AggregateInput> two_processes() {
+  return {{"web.dump", make_snapshot(1, 3)},
+          {"db.dump", make_snapshot(2, 3)}};
+}
+
+TEST(TelemetryAgg, ExactSumsAcrossTwoSnapshots) {
+  const TelemetryAggregate agg = aggregate_telemetry(two_processes());
+  EXPECT_EQ(agg.processes, 2u);
+  // scale 1 + scale 2 = 3x each counter, exactly.
+  EXPECT_EQ(agg.totals.interceptions, 300u);
+  EXPECT_EQ(agg.totals.enhanced, 120u);
+  EXPECT_EQ(agg.totals.guard_pages, 30u);
+  EXPECT_EQ(agg.totals.zero_fills, 15u);
+  EXPECT_EQ(agg.totals.quarantined_frees, 60u);
+  EXPECT_EQ(agg.totals.plain_frees, 180u);
+  EXPECT_EQ(agg.totals.failed_guards, 3u);
+  EXPECT_EQ(agg.totals.canaries_planted, 90u);
+  EXPECT_EQ(agg.totals.canary_overflows_on_free, 6u);
+  EXPECT_EQ(agg.events_recorded, 150u);
+  EXPECT_EQ(agg.events_dropped, 9u);
+  EXPECT_EQ(agg.patch_hit_overflow, 21u);
+  EXPECT_EQ(agg.latency.buckets[0], 36u);
+  EXPECT_EQ(agg.latency.buckets[3], 24u);
+  EXPECT_EQ(agg.latency.buckets[LatencyHistogram::kBuckets - 1], 3u);
+  // Same generation in both processes: one distinct value.
+  ASSERT_EQ(agg.generations.size(), 1u);
+  EXPECT_EQ(agg.generations[0], 3u);
+  // Patch hits merged key-wise ({fn, ccid}) and sorted hits-descending.
+  ASSERT_EQ(agg.patch_hits.size(), 2u);
+  EXPECT_EQ(agg.patch_hits[0].ccid, 0x42u);
+  EXPECT_EQ(agg.patch_hits[0].hits, 75u);
+  EXPECT_EQ(agg.patch_hits[1].ccid, 0x99u);
+  EXPECT_EQ(agg.patch_hits[1].hits, 45u);
+  // Per-process rows preserve input order and per-dump numbers.
+  ASSERT_EQ(agg.rows.size(), 2u);
+  EXPECT_EQ(agg.rows[0].label, "web.dump");
+  EXPECT_EQ(agg.rows[0].totals.interceptions, 100u);
+  EXPECT_EQ(agg.rows[0].patch_hits, 40u);
+  EXPECT_EQ(agg.rows[1].label, "db.dump");
+  EXPECT_EQ(agg.rows[1].totals.interceptions, 200u);
+  EXPECT_EQ(agg.rows[1].patch_hits, 80u);
+}
+
+TEST(TelemetryAgg, DistinctGenerationsAreAllReported) {
+  std::vector<AggregateInput> inputs = {{"a", make_snapshot(1, 5)},
+                                        {"b", make_snapshot(1, 2)},
+                                        {"c", make_snapshot(1, 5)}};
+  const TelemetryAggregate agg = aggregate_telemetry(inputs);
+  ASSERT_EQ(agg.generations.size(), 2u);  // mixed fleet: 2 and 5
+  EXPECT_EQ(agg.generations[0], 2u);
+  EXPECT_EQ(agg.generations[1], 5u);
+}
+
+TEST(TelemetryAgg, EmptyInputYieldsZeroAggregate) {
+  const TelemetryAggregate agg = aggregate_telemetry({});
+  EXPECT_EQ(agg.processes, 0u);
+  EXPECT_EQ(agg.totals.interceptions, 0u);
+  EXPECT_TRUE(agg.patch_hits.empty());
+  // Its Prometheus exposition is still structurally valid.
+  EXPECT_TRUE(prometheus_lint(aggregate_prometheus(agg)).empty());
+}
+
+TEST(TelemetryAgg, JsonCarriesExactTotalsAndProcessRows) {
+  const std::string json = aggregate_json(aggregate_telemetry(two_processes()));
+  EXPECT_NE(json.find("\"processes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"interceptions\": 300"), std::string::npos);
+  EXPECT_NE(json.find("\"web.dump\""), std::string::npos);
+  EXPECT_NE(json.find("\"db.dump\""), std::string::npos);
+  EXPECT_NE(json.find("\"ccid\": \"0x0000000000000042\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\": 75"), std::string::npos);
+  EXPECT_NE(json.find("\"patch_hit_overflow\": 21"), std::string::npos);
+}
+
+TEST(TelemetryAgg, TopKIsAPrefixAndIsReportedAsSuch) {
+  const std::string json =
+      aggregate_json(aggregate_telemetry(two_processes()), /*top_k=*/1);
+  EXPECT_NE(json.find("\"patch_hits_shown\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"patch_hits_distinct\": 2"), std::string::npos);
+  // Only the highest-hit patch (0x42, 75 hits) survives the cap.
+  EXPECT_NE(json.find("0x0000000000000042"), std::string::npos);
+  EXPECT_EQ(json.find("0x0000000000000099"), std::string::npos);
+}
+
+TEST(TelemetryAgg, PrometheusExpositionPassesLintAndCarriesSeries) {
+  const std::string prom =
+      aggregate_prometheus(aggregate_telemetry(two_processes()));
+  const std::vector<std::string> errors = prometheus_lint(prom);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_NE(prom.find("ht_interceptions_total 300"), std::string::npos);
+  EXPECT_NE(prom.find("ht_patch_hits_total{fn=\"malloc\",ccid=\"0x0000000000000042\"} 75"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ht_enhancement_latency_ns_bucket{le=\"+Inf\"} 63"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ht_enhancement_latency_ns_count 63"), std::string::npos);
+  // No _sum: the runtime histogram does not track one (FORMATS.md §5).
+  EXPECT_EQ(prom.find("ht_enhancement_latency_ns_sum"), std::string::npos);
+}
+
+TEST(TelemetryAgg, PrometheusHistogramIsCumulative) {
+  const std::string prom =
+      aggregate_prometheus(aggregate_telemetry(two_processes()));
+  // Buckets 0 (36) and 3 (24): le="32" shows 36, le="256" shows 60, and
+  // every later bounded bucket stays at 60 until +Inf adds the unbounded 3.
+  EXPECT_NE(prom.find("ht_enhancement_latency_ns_bucket{le=\"32\"} 36"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ht_enhancement_latency_ns_bucket{le=\"256\"} 60"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ht_enhancement_latency_ns_bucket{le=\"512\"} 60"),
+            std::string::npos);
+}
+
+TEST(TelemetryAgg, LintCatchesSeededViolations) {
+  // Sample with no preceding TYPE.
+  EXPECT_FALSE(prometheus_lint("orphan_total 1\n").empty());
+  // Counter whose name does not end in _total.
+  EXPECT_FALSE(prometheus_lint("# TYPE bad counter\nbad 1\n").empty());
+  // Duplicate series.
+  EXPECT_FALSE(prometheus_lint("# TYPE a_total counter\na_total 1\na_total 2\n").empty());
+  // Malformed label block.
+  EXPECT_FALSE(prometheus_lint("# TYPE a_total counter\na_total{x=1} 2\n").empty());
+  // Unparseable value.
+  EXPECT_FALSE(prometheus_lint("# TYPE a_total counter\na_total pony\n").empty());
+  // Histogram: buckets not cumulative.
+  EXPECT_FALSE(prometheus_lint("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 5\n"
+                               "h_bucket{le=\"2\"} 3\n"
+                               "h_bucket{le=\"+Inf\"} 5\n"
+                               "h_count 5\n")
+                   .empty());
+  // Histogram: missing +Inf bucket.
+  EXPECT_FALSE(prometheus_lint("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 5\n"
+                               "h_count 5\n")
+                   .empty());
+  // Histogram: _count disagrees with the +Inf bucket.
+  EXPECT_FALSE(prometheus_lint("# TYPE h histogram\n"
+                               "h_bucket{le=\"1\"} 5\n"
+                               "h_bucket{le=\"+Inf\"} 5\n"
+                               "h_count 9\n")
+                   .empty());
+  // Duplicate TYPE declaration.
+  EXPECT_FALSE(prometheus_lint("# TYPE a_total counter\n# TYPE a_total counter\n"
+                               "a_total 1\n")
+                   .empty());
+  // A well-formed document stays clean.
+  EXPECT_TRUE(prometheus_lint("# HELP a_total things\n# TYPE a_total counter\n"
+                              "a_total{x=\"y\"} 1\n"
+                              "a_total{x=\"z\"} 2\n")
+                  .empty());
+}
+
+TEST(TelemetryAgg, AggregateOfParsedDumpsMatchesDirectAggregate) {
+  // Round-trip both snapshots through the §4 text dump before merging:
+  // the aggregate over parsed dumps must equal the direct aggregate.
+  const std::vector<AggregateInput> direct = two_processes();
+  std::vector<AggregateInput> parsed;
+  for (const AggregateInput& in : direct) {
+    const TelemetryParseResult r = parse_telemetry(render_telemetry(in.snapshot));
+    ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0]);
+    parsed.push_back({in.label, r.snapshot});
+  }
+  const std::string a = aggregate_json(aggregate_telemetry(direct));
+  const std::string b = aggregate_json(aggregate_telemetry(parsed));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -1,0 +1,187 @@
+// Parser hardening for the telemetry dump format (docs/FORMATS.md §4):
+// truncated, corrupted, or adversarial input must always produce a
+// structured TelemetryParseResult — diagnostics with line numbers, a
+// best-effort snapshot — and never crash, loop, or silently narrow values.
+// One malformed case per grammar section of §4, plus whole-document
+// truncation and byte-corruption sweeps.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+
+namespace ht::runtime {
+namespace {
+
+/// A snapshot exercising every §4 section: config, table, counters,
+/// shards, patch hits, latency buckets, and events.
+TelemetrySnapshot full_snapshot() {
+  TelemetrySnapshot s;
+  s.config.counters = true;
+  s.config.events = true;
+  s.config.ring_capacity = 64;
+  s.table_generation = 3;
+  s.table_patches = 2;
+  s.totals.interceptions = 1000;
+  s.totals.enhanced = 400;
+  s.totals.quarantined_frees = 12;
+  s.events_recorded = 9;
+  s.events_dropped = 1;
+  s.patch_hit_overflow = 2;
+  ShardTelemetry shard;
+  shard.shard = 0;
+  shard.stats.interceptions = 1000;
+  shard.stats.plain_frees = 500;
+  shard.quarantine_bytes = 4096;
+  shard.quarantine_depth = 2;
+  shard.events_recorded = 9;
+  shard.events_dropped = 1;
+  s.shards.push_back(shard);
+  s.patch_hits.push_back({progmodel::AllocFn::kMalloc, 0x42, 400});
+  s.latency.buckets[0] = 100;
+  s.latency.buckets[5] = 7;
+  TelemetryRecord rec;
+  rec.seq = 0;
+  rec.type = TelemetryEvent::kPatchHit;
+  rec.fn = 0;  // malloc
+  rec.ccid = 0x42;
+  rec.size = 64;
+  rec.aux = 1;
+  rec.timestamp_ns = 12345;
+  s.events.push_back(rec);
+  return s;
+}
+
+TEST(TelemetryHardening, MalformedLinePerGrammarSection) {
+  // One corrupt representative per §4 directive. Every case must produce
+  // at least one diagnostic and must not abort parsing of the document.
+  const struct {
+    const char* label;
+    const char* line;
+  } kCases[] = {
+      {"version-bad-number", "version banana"},
+      {"version-extra-field", "version 1 2"},
+      {"config-bad-field", "config counters=1 wat=zzz"},
+      {"config-missing-value", "config counters="},
+      {"table-bad-field", "table generation=x"},
+      {"counter-missing-value", "counter enhanced"},
+      {"counter-bad-value", "counter enhanced 12x"},
+      {"shard-missing-index", "shard"},
+      {"shard-bad-index", "shard banana interceptions=1"},
+      {"shard-bad-field", "shard 0 interceptions=1 bogus=field=extra"},
+      {"patchhit-missing-fields", "patchhit malloc 0x42"},
+      {"patchhit-bad-fn", "patchhit not_a_fn 0x42 10"},
+      {"patchhit-bad-hits", "patchhit malloc 0x42 many"},
+      {"latency-missing-count", "latency 32"},
+      {"latency-unknown-bucket", "latency 33 5"},
+      {"event-too-short", "event 0 0 patch_hit"},
+      {"event-bad-type", "event 0 0 solar_flare malloc 0x42 size=1 aux=0 t=0"},
+      {"event-bad-fn", "event 0 0 patch_hit pony 0x42 size=1 aux=0 t=0"},
+      {"event-bad-kv", "event 0 0 patch_hit malloc 0x42 size=huge"},
+      {"unknown-directive", "frobnicate 1 2 3"},
+  };
+  for (const auto& c : kCases) {
+    const std::string text = std::string("version 1\n") + c.line + "\n";
+    const TelemetryParseResult r = parse_telemetry(text);
+    EXPECT_FALSE(r.ok()) << c.label << ": expected a diagnostic";
+    for (const std::string& e : r.errors) {
+      EXPECT_NE(e.find("line "), std::string::npos)
+          << c.label << ": diagnostic lacks a line number: " << e;
+    }
+  }
+}
+
+TEST(TelemetryHardening, GoodLinesAroundBadOnesStillParse) {
+  const TelemetryParseResult r = parse_telemetry(
+      "version 1\n"
+      "counter interceptions 10\n"
+      "shard banana\n"
+      "counter enhanced 4\n"
+      "patchhit malloc 0x42 4\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.snapshot.totals.interceptions, 10u);
+  EXPECT_EQ(r.snapshot.totals.enhanced, 4u);
+  ASSERT_EQ(r.snapshot.patch_hits.size(), 1u);
+  EXPECT_EQ(r.snapshot.patch_hits[0].hits, 4u);
+}
+
+TEST(TelemetryHardening, NarrowedFieldsAreRangeCheckedNotTruncated) {
+  // Values wider than their storage must produce a diagnostic instead of
+  // silently wrapping (u64 -> u32/u16 narrowing in shard/ring/aux fields).
+  const char* kCases[] = {
+      "shard 4294967296 interceptions=1",                    // > UINT32_MAX
+      "config counters=1 events=1 ring=4294967296",          // > UINT32_MAX
+      "event 0 65536 patch_hit malloc 0x1 size=1 aux=0 t=0", // > UINT16_MAX
+      "event 0 0 patch_hit malloc 0x1 size=1 aux=4294967296 t=0",
+  };
+  for (const char* line : kCases) {
+    const TelemetryParseResult r =
+        parse_telemetry(std::string("version 1\n") + line + "\n");
+    EXPECT_FALSE(r.ok()) << line;
+  }
+  // In-range boundary values still parse cleanly.
+  const TelemetryParseResult ok = parse_telemetry(
+      "version 1\n"
+      "shard 4294967295 interceptions=1\n"
+      "event 0 65535 patch_hit malloc 0x1 size=1 aux=4294967295 t=0\n");
+  EXPECT_TRUE(ok.ok()) << (ok.errors.empty() ? "" : ok.errors[0]);
+  ASSERT_EQ(ok.snapshot.shards.size(), 1u);
+  EXPECT_EQ(ok.snapshot.shards[0].shard, 4294967295u);
+  ASSERT_EQ(ok.snapshot.events.size(), 1u);
+  EXPECT_EQ(ok.snapshot.events[0].shard, 65535u);
+  EXPECT_EQ(ok.snapshot.events[0].aux, 4294967295u);
+}
+
+TEST(TelemetryHardening, ErrorFloodIsCappedWithSuppressionNote) {
+  std::string text = "version 1\n";
+  for (int i = 0; i < 500; ++i) text += "frobnicate " + std::to_string(i) + "\n";
+  const TelemetryParseResult r = parse_telemetry(text);
+  EXPECT_FALSE(r.ok());
+  // Cap (100) + the suppression note — not one entry per garbage line.
+  EXPECT_LE(r.errors.size(), 101u);
+  EXPECT_NE(r.errors.back().find("suppressed"), std::string::npos);
+  EXPECT_NE(r.errors.back().find("400"), std::string::npos);
+}
+
+TEST(TelemetryHardening, TruncationSweepNeverCrashesAndKeepsPrefix) {
+  const std::string dump = render_telemetry(full_snapshot());
+  const TelemetryParseResult whole = parse_telemetry(dump);
+  ASSERT_TRUE(whole.ok()) << (whole.errors.empty() ? "" : whole.errors[0]);
+  for (std::size_t len = 0; len <= dump.size(); ++len) {
+    const TelemetryParseResult r = parse_telemetry(dump.substr(0, len));
+    // Counters parsed from an intact prefix never exceed the real totals —
+    // a truncated dump yields its prefix, not invented data.
+    EXPECT_LE(r.snapshot.totals.interceptions, whole.snapshot.totals.interceptions);
+    EXPECT_LE(r.snapshot.events.size(), whole.snapshot.events.size());
+    EXPECT_LE(r.snapshot.patch_hits.size(), whole.snapshot.patch_hits.size());
+  }
+}
+
+TEST(TelemetryHardening, ByteCorruptionSweepNeverCrashes) {
+  const std::string dump = render_telemetry(full_snapshot());
+  for (const char corrupt : {'\0', '\xff', 'z', ' ', '\n'}) {
+    for (std::size_t i = 0; i < dump.size(); i += 3) {
+      std::string mutated = dump;
+      mutated[i] = corrupt;
+      const TelemetryParseResult r = parse_telemetry(mutated);
+      (void)r;  // any structured result is acceptable; crashing is not
+    }
+  }
+  SUCCEED();
+}
+
+TEST(TelemetryHardening, DegenerateDocumentsProduceStructuredErrors) {
+  for (const char* text : {"", "\n\n\n", "# only comments\n", "   \t  \n",
+                           "version 1", "version 2\ncounter interceptions 1\n"}) {
+    const TelemetryParseResult r = parse_telemetry(text);
+    if (std::string(text).find("version 1") == std::string::npos) {
+      EXPECT_FALSE(r.ok()) << "'" << text << "'";
+    }
+  }
+  // A single "version 1" with no trailing newline is a complete document.
+  EXPECT_TRUE(parse_telemetry("version 1").ok());
+}
+
+}  // namespace
+}  // namespace ht::runtime

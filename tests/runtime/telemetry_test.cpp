@@ -365,6 +365,20 @@ TEST(TelemetryEmission, ShardedAllocatorMergesAcrossShards) {
   }
 }
 
+// ---- Telemetry path templates ----
+
+TEST(TelemetryPath, ExpandsPidAndEscapes) {
+  EXPECT_EQ(expand_telemetry_path("/var/run/ht.%p.dump", 1234),
+            "/var/run/ht.1234.dump");
+  EXPECT_EQ(expand_telemetry_path("%p%p", 7), "77");
+  EXPECT_EQ(expand_telemetry_path("100%%p", 7), "100%p");  // %% is literal
+  EXPECT_EQ(expand_telemetry_path("plain.dump", 7), "plain.dump");
+  EXPECT_EQ(expand_telemetry_path("", 7), "");
+  // Unknown sequences and a trailing % pass through verbatim.
+  EXPECT_EQ(expand_telemetry_path("a%qb", 7), "a%qb");
+  EXPECT_EQ(expand_telemetry_path("tail%", 7), "tail%");
+}
+
 // ---- Dump format round-trip ----
 
 TelemetrySnapshot sample_snapshot() {

@@ -1,0 +1,129 @@
+// Trace-stat collection (SimHeap::TraceStats + ShadowOpStats): counters
+// must be exact when enabled and identically zero when disabled — the
+// disabled path is the one bench/ht_trace_overhead holds to ≤0.5%.
+#include <gtest/gtest.h>
+
+#include "progmodel/backend.hpp"
+#include "shadow/sim_heap.hpp"
+
+namespace ht::shadow {
+namespace {
+
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+TEST(SimHeapTraceStats, DisabledByDefaultAndStaysZero) {
+  SimHeap heap;
+  EXPECT_FALSE(heap.collecting_trace_stats());
+  EXPECT_FALSE(heap.shadow().collecting_stats());
+
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 64, 0, 0x11);
+  (void)heap.write(a, 0, 64);
+  (void)heap.read(a, 0, 64, ReadUse::kBranch);
+  heap.deallocate(a);
+
+  const SimHeap::TraceStats& stats = heap.trace_stats();
+  EXPECT_EQ(stats.redzone_checks, 0u);
+  EXPECT_EQ(stats.vbit_checks, 0u);
+  EXPECT_EQ(stats.quarantine_pushes, 0u);
+  EXPECT_EQ(stats.check_wall_ns, 0u);
+  const ShadowOpStats& ops = heap.shadow().op_stats();
+  EXPECT_EQ(ops.set_accessible_ops, 0u);
+  EXPECT_EQ(ops.set_valid_ops, 0u);
+  EXPECT_EQ(ops.pages_materialized, 0u);
+}
+
+TEST(SimHeapTraceStats, CountsChecksExactly) {
+  SimHeapConfig config;
+  config.collect_trace_stats = true;
+  SimHeap heap(config);
+  EXPECT_TRUE(heap.shadow().collecting_stats());
+
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 100, 0, 0x22);
+  // write → 1 accessibility scan over 100 bytes
+  (void)heap.write(a, 0, 100);
+  // checked read → 1 accessibility scan + 1 V-bit scan over 40 bytes
+  (void)heap.read(a, 0, 40, ReadUse::kBranch);
+  // data-use read → accessibility scan only
+  (void)heap.read(a, 0, 10, ReadUse::kData);
+
+  const SimHeap::TraceStats& stats = heap.trace_stats();
+  EXPECT_EQ(stats.redzone_checks, 3u);
+  EXPECT_EQ(stats.redzone_check_bytes, 150u);
+  EXPECT_EQ(stats.vbit_checks, 1u);
+  EXPECT_EQ(stats.vbit_check_bytes, 40u);
+}
+
+TEST(SimHeapTraceStats, CopyCountsBothSides) {
+  SimHeapConfig config;
+  config.collect_trace_stats = true;
+  SimHeap heap(config);
+  const std::uint64_t src = heap.allocate(AllocFn::kCalloc, 32, 0, 0x1);
+  const std::uint64_t dst = heap.allocate(AllocFn::kMalloc, 32, 0, 0x2);
+  (void)heap.copy(src, 0, dst, 0, 32);
+
+  const SimHeap::TraceStats& stats = heap.trace_stats();
+  EXPECT_EQ(stats.redzone_checks, 2u);  // src scan + dst scan
+  EXPECT_EQ(stats.redzone_check_bytes, 64u);
+  const ShadowOpStats& ops = heap.shadow().op_stats();
+  EXPECT_EQ(ops.copy_ops, 1u);
+  EXPECT_EQ(ops.copy_bytes, 32u);
+}
+
+TEST(SimHeapTraceStats, QuarantineTrafficAndPeaks) {
+  SimHeapConfig config;
+  config.collect_trace_stats = true;
+  config.quarantine_quota_bytes = 100;
+  SimHeap heap(config);
+
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 60, 0, 0x1);
+  const std::uint64_t b = heap.allocate(AllocFn::kMalloc, 60, 0, 0x2);
+  heap.deallocate(a);  // quarantine: 60 bytes, depth 1
+  heap.deallocate(b);  // 120 > 100 → evict a
+
+  const SimHeap::TraceStats& stats = heap.trace_stats();
+  EXPECT_EQ(stats.quarantine_pushes, 2u);
+  EXPECT_EQ(stats.quarantine_push_bytes, 120u);
+  EXPECT_EQ(stats.quarantine_evictions, 1u);
+  EXPECT_EQ(stats.quarantine_peak_bytes, 120u);
+  EXPECT_EQ(stats.quarantine_peak_depth, 2u);
+  EXPECT_EQ(heap.quarantine_bytes(), 60u);
+}
+
+TEST(SimHeapTraceStats, ShadowOpVolumesAndPages) {
+  SimHeapConfig config;
+  config.collect_trace_stats = true;
+  SimHeap heap(config);
+
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 64, 0, 0x1);
+  const ShadowOpStats& ops = heap.shadow().op_stats();
+  // allocate marks the user range accessible + invalid + origin-tagged.
+  EXPECT_EQ(ops.set_accessible_ops, 1u);
+  EXPECT_EQ(ops.set_accessible_bytes, 64u);
+  EXPECT_EQ(ops.set_valid_ops, 1u);
+  EXPECT_EQ(ops.set_valid_bytes, 64u);
+  EXPECT_EQ(ops.set_origin_ops, 1u);
+  EXPECT_EQ(ops.set_origin_bytes, 64u);
+  EXPECT_GE(ops.pages_materialized, 1u);
+  EXPECT_EQ(ops.pages_materialized, heap.shadow().mapped_pages());
+
+  (void)heap.write(a, 0, 64);  // write marks valid + origin again
+  EXPECT_EQ(ops.set_valid_ops, 2u);
+  EXPECT_EQ(ops.set_origin_ops, 2u);
+}
+
+TEST(SimHeapTraceStats, CheckTimeAccumulates) {
+  SimHeapConfig config;
+  config.collect_trace_stats = true;
+  SimHeap heap(config);
+  const std::uint64_t a = heap.allocate(AllocFn::kMalloc, 4096, 0, 0x1);
+  for (int i = 0; i < 1000; ++i) {
+    (void)heap.write(a, 0, 4096);
+    (void)heap.read(a, 0, 4096, ReadUse::kBranch);
+  }
+  EXPECT_GT(heap.trace_stats().check_wall_ns, 0u);
+  EXPECT_GT(heap.trace_stats().check_cpu_ns, 0u);
+}
+
+}  // namespace
+}  // namespace ht::shadow

@@ -1,0 +1,245 @@
+#include "support/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ht::support {
+namespace {
+
+const TraceCounter* find_counter(const TraceSpan& span, std::string_view name) {
+  for (const TraceCounter& c : span.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Tracer, SpanNestingAndDurations) {
+  Tracer tracer;
+  std::uint32_t outer = tracer.begin_span("analyze");
+  std::uint32_t inner = tracer.begin_span("replay");
+  EXPECT_EQ(tracer.current(), inner);
+  tracer.end_span(inner);
+  EXPECT_EQ(tracer.current(), outer);
+  tracer.end_span(outer);
+  EXPECT_EQ(tracer.current(), kNoSpanParent);
+
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const TraceSpan& a = tracer.spans()[outer];
+  const TraceSpan& r = tracer.spans()[inner];
+  EXPECT_EQ(a.name, "analyze");
+  EXPECT_EQ(a.parent, kNoSpanParent);
+  EXPECT_EQ(r.name, "replay");
+  EXPECT_EQ(r.parent, outer);
+  EXPECT_LE(r.start_ns, a.start_ns + a.wall_ns + 1);
+  EXPECT_GE(a.wall_ns, r.wall_ns);  // outer encloses inner
+}
+
+TEST(Tracer, CountersSumDuplicates) {
+  Tracer tracer;
+  std::uint32_t id = tracer.begin_span("loop");
+  tracer.add_counter(id, "ops", 3);
+  tracer.add_counter(id, "ops", 4);
+  tracer.add_counter(id, "bytes", 100);
+  tracer.end_span(id);
+
+  const TraceSpan& span = tracer.spans()[id];
+  ASSERT_EQ(span.counters.size(), 2u);
+  const TraceCounter* ops = find_counter(span, "ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->value, 7u);
+  const TraceCounter* bytes = find_counter(span, "bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->value, 100u);
+}
+
+TEST(Tracer, AddCompleteSpanNestsUnderOpenSpan) {
+  Tracer tracer;
+  std::uint32_t outer = tracer.begin_span("analyze");
+  std::uint32_t shadow =
+      tracer.add_complete_span("shadow_checks", 1000, 250, 200);
+  tracer.end_span(outer);
+
+  const TraceSpan& span = tracer.spans()[shadow];
+  EXPECT_EQ(span.parent, outer);
+  EXPECT_EQ(span.start_ns, 1000u);
+  EXPECT_EQ(span.wall_ns, 250u);
+  EXPECT_EQ(span.cpu_ns, 200u);
+}
+
+TEST(Tracer, EndSpanToleratesOutOfRangeId) {
+  Tracer tracer;
+  tracer.end_span(42);                 // never begun
+  tracer.add_counter(7, "ghost", 1);   // no such span
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(SpanGuard, NullTracerIsNoOp) {
+  SpanGuard guard(nullptr, "disabled");
+  EXPECT_FALSE(guard.active());
+  guard.counter("ops", 5);  // must not crash
+  EXPECT_EQ(guard.id(), kNoSpanParent);
+}
+
+TEST(SpanGuard, RecordsSpanWithCounters) {
+  Tracer tracer;
+  {
+    SpanGuard guard(&tracer, "phase");
+    guard.counter("checks", 12);
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].name, "phase");
+  const TraceCounter* c = find_counter(tracer.spans()[0], "checks");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 12u);
+}
+
+TEST(ChromeTrace, RoundTripIsLossless) {
+  Tracer tracer;
+  std::uint32_t outer = tracer.begin_span("analyze_attack");
+  std::uint32_t inner = tracer.begin_span("replay");
+  tracer.add_counter(inner, "steps", 123);
+  tracer.add_counter(inner, "violations", 1);
+  tracer.end_span(inner);
+  tracer.add_complete_span("shadow_checks", tracer.spans()[inner].start_ns,
+                           777, 555);
+  tracer.end_span(outer);
+
+  std::string json = trace_chrome_json(tracer);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  TraceParseResult parsed = parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  ASSERT_EQ(parsed.spans.size(), tracer.spans().size());
+  for (std::size_t i = 0; i < parsed.spans.size(); ++i) {
+    const TraceSpan& want = tracer.spans()[i];
+    const TraceSpan& got = parsed.spans[i];
+    EXPECT_EQ(got.id, want.id);
+    EXPECT_EQ(got.parent, want.parent);
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.start_ns, want.start_ns);
+    EXPECT_EQ(got.wall_ns, want.wall_ns);
+    EXPECT_EQ(got.cpu_ns, want.cpu_ns);
+    ASSERT_EQ(got.counters.size(), want.counters.size());
+    for (std::size_t j = 0; j < got.counters.size(); ++j) {
+      EXPECT_EQ(got.counters[j].name, want.counters[j].name);
+      EXPECT_EQ(got.counters[j].value, want.counters[j].value);
+    }
+  }
+}
+
+TEST(ChromeTrace, EscapesSpecialCharactersInNames) {
+  Tracer tracer;
+  std::uint32_t id = tracer.begin_span("odd \"name\"\\with\nstuff");
+  tracer.end_span(id);
+  std::string json = trace_chrome_json(tracer, "proc \"x\"");
+  TraceParseResult parsed = parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.spans.size(), 1u);
+  EXPECT_EQ(parsed.spans[0].name, "odd \"name\"\\with\nstuff");
+}
+
+TEST(ChromeTrace, ParsesBareEventArray) {
+  const char* json =
+      "[{\"name\": \"a\", \"ph\": \"X\", \"ts\": 2.000, \"dur\": 1.500}]";
+  TraceParseResult parsed = parse_chrome_trace(json);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.spans.size(), 1u);
+  EXPECT_EQ(parsed.spans[0].name, "a");
+  EXPECT_EQ(parsed.spans[0].start_ns, 2000u);  // reconstructed from µs ts
+  EXPECT_EQ(parsed.spans[0].wall_ns, 1500u);
+  EXPECT_EQ(parsed.spans[0].parent, kNoSpanParent);
+}
+
+TEST(ChromeTrace, SkipsMetadataEvents) {
+  Tracer tracer;
+  std::uint32_t id = tracer.begin_span("only");
+  tracer.end_span(id);
+  TraceParseResult parsed = parse_chrome_trace(trace_chrome_json(tracer));
+  ASSERT_TRUE(parsed.ok());
+  // The "M" process_name metadata event is not a span.
+  EXPECT_EQ(parsed.spans.size(), 1u);
+}
+
+TEST(ChromeTrace, MalformedInputYieldsErrorsNotCrashes) {
+  const char* cases[] = {
+      "",
+      "   ",
+      "{",
+      "nonsense",
+      "{\"traceEvents\": }",
+      "{\"traceEvents\": [",
+      "{\"traceEvents\": [{]}",
+      "{\"traceEvents\": [{\"name\": }]}",
+      "{\"traceEvents\": [{\"ph\": \"X\"}]}",  // nameless X event
+      "{\"other\": 1}",
+      "{\"traceEvents\": [{\"name\": \"a\", \"ph\": \"X\", \"args\": "
+      "{\"counters\": {\"k\": \"notanumber\"}}}]}",
+      "{\"traceEvents\": [{\"name\": \"unterminated",
+  };
+  for (const char* text : cases) {
+    TraceParseResult parsed = parse_chrome_trace(text);
+    EXPECT_FALSE(parsed.ok()) << "expected errors for: " << text;
+  }
+}
+
+TEST(ChromeTrace, TruncationSweepNeverCrashes) {
+  Tracer tracer;
+  std::uint32_t outer = tracer.begin_span("outer");
+  std::uint32_t inner = tracer.begin_span("inner");
+  tracer.add_counter(inner, "n", 9);
+  tracer.end_span(inner);
+  tracer.end_span(outer);
+  std::string json = trace_chrome_json(tracer);
+  const std::size_t full = tracer.spans().size();
+  for (std::size_t len = 0; len < json.size(); ++len) {
+    TraceParseResult parsed = parse_chrome_trace(json.substr(0, len));
+    // A prefix either fails with a diagnostic, or (only when the cut falls
+    // in trailing whitespace) parses as the complete document.
+    if (parsed.ok()) {
+      EXPECT_EQ(parsed.spans.size(), full) << "prefix length " << len;
+    }
+  }
+  EXPECT_TRUE(parse_chrome_trace(json).ok());
+}
+
+TEST(TraceTree, RendersIndentedHierarchy) {
+  Tracer tracer;
+  std::uint32_t outer = tracer.begin_span("analyze_attack");
+  std::uint32_t inner = tracer.begin_span("replay");
+  tracer.add_counter(inner, "steps", 42);
+  tracer.end_span(inner);
+  tracer.end_span(outer);
+
+  std::string tree = trace_tree(tracer);
+  EXPECT_NE(tree.find("analyze_attack"), std::string::npos);
+  EXPECT_NE(tree.find("\n  replay"), std::string::npos);  // indented child
+  EXPECT_NE(tree.find("steps=42"), std::string::npos);
+  EXPECT_NE(tree.find("wall="), std::string::npos);
+  EXPECT_NE(tree.find("cpu="), std::string::npos);
+}
+
+TEST(TraceTree, ToleratesCorruptParentLinks) {
+  std::vector<TraceSpan> spans(2);
+  spans[0].id = 0;
+  spans[0].name = "a";
+  spans[0].parent = 1;  // forward reference: treated as root, no loop
+  spans[1].id = 1;
+  spans[1].name = "b";
+  spans[1].parent = 0;
+  std::string tree = trace_tree(spans);
+  EXPECT_NE(tree.find("a"), std::string::npos);
+  EXPECT_NE(tree.find("b"), std::string::npos);
+}
+
+TEST(Tracer, ClocksAreMonotoneAndNonZero) {
+  std::uint64_t a = Tracer::now_ns();
+  std::uint64_t b = Tracer::now_ns();
+  EXPECT_GT(a, 0u);
+  EXPECT_GE(b, a);
+  EXPECT_GT(Tracer::thread_cpu_ns(), 0u);
+}
+
+}  // namespace
+}  // namespace ht::support

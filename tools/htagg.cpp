@@ -1,0 +1,103 @@
+// htagg — fleet telemetry aggregator. Merges N per-process telemetry
+// dumps (docs/FORMATS.md §4, written by HEAPTHERAPY_TELEMETRY or htctl)
+// into one fleet view and emits JSON and/or Prometheus text exposition
+// (docs/FORMATS.md §5). All sums are exact.
+//
+//   htagg <dump>... [--format json|prom|both] [--top K] [--out <path>]
+//
+// Exit codes: 0 ok, 1 usage error, 3 unreadable input file. Parse
+// diagnostics from malformed dump lines go to stderr; the dump is still
+// merged (the parser is lenient and never crashes on corrupt input).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+#include "runtime/telemetry_agg.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: htagg <dump>... [--format json|prom|both] [--top K] "
+               "[--out <path>]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string format = "json";
+  std::string out_path;
+  std::size_t top_k = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (++i >= argc) return usage();
+      format = argv[i];
+      if (format != "json" && format != "prom" && format != "both") {
+        std::fprintf(stderr, "htagg: unknown format '%s'\n", format.c_str());
+        return 1;
+      }
+    } else if (arg == "--top") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      const unsigned long k = std::strtoul(argv[i], &end, 10);
+      if (end == nullptr || *end != '\0') return usage();
+      top_k = static_cast<std::size_t>(k);
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "htagg: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  std::vector<ht::runtime::AggregateInput> inputs;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "htagg: cannot read %s\n", path.c_str());
+      return 3;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ht::runtime::TelemetryParseResult parsed =
+        ht::runtime::parse_telemetry(buf.str());
+    for (const std::string& e : parsed.errors) {
+      std::fprintf(stderr, "htagg: %s: %s\n", path.c_str(), e.c_str());
+    }
+    inputs.push_back({path, parsed.snapshot});
+  }
+
+  const ht::runtime::TelemetryAggregate agg =
+      ht::runtime::aggregate_telemetry(inputs);
+  std::string output;
+  if (format == "json" || format == "both") {
+    output += ht::runtime::aggregate_json(agg, top_k);
+  }
+  if (format == "prom" || format == "both") {
+    output += ht::runtime::aggregate_prometheus(agg, top_k);
+  }
+
+  if (out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "htagg: cannot write %s\n", out_path.c_str());
+      return 3;
+    }
+    out << output;
+  }
+  return 0;
+}

@@ -8,12 +8,24 @@
 //   htctl add <config> <fn> <ccid> <mask>
 //                                      append one patch (idempotent)
 //   htctl stats <dump>                 telemetry dump -> counters as JSON
+//   htctl stats <dump> --program <prog.htp> [--strategy S] [--plan plan.txt]
+//                                      same, plus a symbolized patch-hit
+//                                      section: every {FUN, CCID} decoded to
+//                                      its calling-context chain (degrading
+//                                      to the raw id + warning, never a
+//                                      silently wrong chain)
 //   htctl trace <dump>                 telemetry dump -> event stream as JSON
 //   htctl trace <prog.htp> --input a,b,... --config cfg [--out dump.txt]
 //                                      replay the program under the hardened
 //                                      allocator with the event ring on and
 //                                      print the trace as JSON; --out also
 //                                      writes the text dump (FORMATS.md §4)
+//   htctl trace-offline <prog.htp> --input a,b,... [--strategy S]
+//                                      [--out trace.json] [--tree 1]
+//                                      run the offline analysis pipeline with
+//                                      the span tracer on and emit the Chrome
+//                                      trace-event JSON (FORMATS.md §5);
+//                                      --tree 1 also prints the span tree
 //
 // Exit codes: 0 ok, 1 usage, 2 validation errors, 3 I/O failure.
 #include <cstdio>
@@ -23,7 +35,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/patch_generator.hpp"
+#include "analysis/symbolize.hpp"
 #include "cce/encoders.hpp"
+#include "cce/plan_io.hpp"
 #include "cce/strategies.hpp"
 #include "patch/config_file.hpp"
 #include "patch/patch_table.hpp"
@@ -32,6 +47,7 @@
 #include "runtime/guarded_backend.hpp"
 #include "runtime/telemetry.hpp"
 #include "support/str.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -44,11 +60,24 @@ int usage() {
                "       htctl show <config>\n"
                "       htctl merge <out> <in>...\n"
                "       htctl add <config> <alloc_fn> <ccid> <vuln_mask>\n"
-               "       htctl stats <telemetry_dump>\n"
+               "       htctl stats <telemetry_dump>"
+               " [--program p.htp] [--strategy S] [--plan plan.txt]\n"
                "       htctl trace <telemetry_dump>\n"
                "       htctl trace <prog.htp> --input a,b,..."
-               " --config cfg [--out dump.txt]\n");
+               " --config cfg [--out dump.txt]\n"
+               "       htctl trace-offline <prog.htp> --input a,b,..."
+               " [--strategy S] [--out trace.json] [--tree 1]\n");
   return 1;
+}
+
+bool parse_strategy(const std::string& value, ht::cce::Strategy& out) {
+  for (ht::cce::Strategy s : ht::cce::kAllStrategies) {
+    if (value == ht::cce::strategy_name(s)) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::optional<ParseResult> load_or_complain(const std::string& path) {
@@ -163,10 +192,157 @@ std::optional<ht::runtime::TelemetrySnapshot> load_dump(const std::string& path)
   return std::move(parsed.snapshot);
 }
 
-int cmd_stats(const std::string& path) {
+/// Prints the symbolized patch-hit section under the stats JSON: each
+/// {FUN, CCID} the runtime counted is decoded to a calling-context chain
+/// through the same encoder the offline phase uses. Degraded lookups
+/// (unknown CCID, collision, stale plan) print the raw id plus a warning.
+int print_symbolized_hits(const ht::runtime::TelemetrySnapshot& snap,
+                          const std::string& program_path,
+                          ht::cce::Strategy strategy,
+                          const std::string& plan_path) {
+  const auto source = read_file(program_path);
+  if (!source) {
+    std::fprintf(stderr, "htctl: cannot read %s\n", program_path.c_str());
+    return 3;
+  }
+  auto parsed = ht::progmodel::parse_program(*source);
+  if (!parsed.program) {
+    std::fprintf(stderr, "htctl: %s: %s\n", program_path.c_str(),
+                 parsed.error.c_str());
+    return 3;
+  }
+  const ht::progmodel::Program& program = *parsed.program;
+
+  std::optional<ht::cce::InstrumentationPlan> plan;
+  std::string plan_error;
+  if (!plan_path.empty()) {
+    const auto plan_text = read_file(plan_path);
+    if (!plan_text) {
+      std::fprintf(stderr, "htctl: cannot read %s\n", plan_path.c_str());
+      return 3;
+    }
+    auto plan_parsed = ht::cce::parse_plan(*plan_text, program.graph());
+    if (plan_parsed.plan) {
+      plan = std::move(*plan_parsed.plan);
+    } else {
+      // A stale or foreign plan: keep going, but every lookup must degrade
+      // (the CCIDs in the dump were produced by an encoding we don't have).
+      plan_error = plan_parsed.error;
+      std::fprintf(stderr, "htctl: %s: %s\n", plan_path.c_str(),
+                   plan_error.c_str());
+    }
+  }
+  if (!plan) {
+    plan = ht::cce::compute_plan(program.graph(), program.alloc_targets(),
+                                 strategy);
+  }
+  const ht::cce::PccEncoder encoder(*plan);
+  ht::analysis::CcidSymbolizer symbolizer(program, encoder);
+  if (!plan_error.empty()) symbolizer.mark_mismatch(plan_error);
+
+  std::printf("symbolized patch hits (%zu):\n", snap.patch_hits.size());
+  for (const ht::runtime::PatchHitCount& h : snap.patch_hits) {
+    std::printf("  %-14s %6llu hit(s)  %s\n",
+                std::string(ht::progmodel::alloc_fn_name(h.fn)).c_str(),
+                static_cast<unsigned long long>(h.hits),
+                symbolizer.render(h.fn, h.ccid).c_str());
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  const std::string path = argv[2];
+  std::string program_path, plan_path;
+  ht::cce::Strategy strategy = ht::cce::Strategy::kIncremental;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--program") {
+      program_path = value;
+    } else if (flag == "--plan") {
+      plan_path = value;
+    } else if (flag == "--strategy") {
+      if (!parse_strategy(value, strategy)) return usage();
+    } else {
+      return usage();
+    }
+  }
   const auto snap = load_dump(path);
   if (!snap) return 3;
   std::printf("%s\n", ht::runtime::telemetry_stats_json(*snap).c_str());
+  if (program_path.empty()) return 0;
+  return print_symbolized_hits(*snap, program_path, strategy, plan_path);
+}
+
+/// `htctl trace-offline`: the offline analogue of `htctl trace`. Runs the
+/// analysis pipeline (replay + shadow checks + patch generation) with the
+/// span tracer attached and exports where the time and the shadow-op
+/// volume went, as Chrome trace-event JSON and/or a span tree.
+int cmd_trace_offline(int argc, char** argv) {
+  const std::string program_path = argv[2];
+  std::string input_text, out_path;
+  bool tree = false;
+  ht::cce::Strategy strategy = ht::cce::Strategy::kIncremental;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--input") {
+      input_text = value;
+    } else if (flag == "--out") {
+      out_path = value;
+    } else if (flag == "--tree") {
+      tree = ht::support::parse_u64(value).value_or(0) != 0;
+    } else if (flag == "--strategy") {
+      if (!parse_strategy(value, strategy)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  const auto source = read_file(program_path);
+  if (!source) {
+    std::fprintf(stderr, "htctl: cannot read %s\n", program_path.c_str());
+    return 3;
+  }
+  auto parsed = ht::progmodel::parse_program(*source);
+  if (!parsed.program) {
+    std::fprintf(stderr, "htctl: %s: %s\n", program_path.c_str(),
+                 parsed.error.c_str());
+    return 3;
+  }
+  ht::progmodel::Input input;
+  for (std::string_view field : ht::support::split(input_text, ',')) {
+    const auto v = ht::support::parse_u64(field);
+    if (!v) {
+      std::fprintf(stderr, "htctl: bad --input value\n");
+      return 1;
+    }
+    input.params.push_back(*v);
+  }
+
+  const ht::progmodel::Program& program = *parsed.program;
+  const auto plan = ht::cce::compute_plan(program.graph(),
+                                          program.alloc_targets(), strategy);
+  const ht::cce::PccEncoder encoder(plan);
+  ht::support::Tracer tracer;
+  ht::analysis::AnalysisConfig config;
+  config.tracer = &tracer;
+  const ht::analysis::AnalysisReport report =
+      ht::analysis::analyze_attack(program, &encoder, input, config);
+  std::fprintf(stderr, "htctl: %zu patch(es), %zu violation(s) in traced run\n",
+               report.patches.size(), report.run.violations.size());
+
+  const std::string json =
+      ht::support::trace_chrome_json(tracer, "htctl trace-offline");
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out || !(out << json)) {
+      std::fprintf(stderr, "htctl: cannot write %s\n", out_path.c_str());
+      return 3;
+    }
+  } else if (!tree) {
+    std::printf("%s", json.c_str());
+  }
+  if (tree) std::printf("%s", ht::support::trace_tree(tracer).c_str());
   return 0;
 }
 
@@ -269,7 +445,8 @@ int main(int argc, char** argv) {
   if (command == "add" && argc == 6) {
     return cmd_add(argv[2], argv[3], argv[4], argv[5]);
   }
-  if (command == "stats" && argc == 3) return cmd_stats(argv[2]);
+  if (command == "stats") return cmd_stats(argc, argv);
   if (command == "trace") return cmd_trace(argc, argv);
+  if (command == "trace-offline") return cmd_trace_offline(argc, argv);
   return usage();
 }
