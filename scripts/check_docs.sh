@@ -8,7 +8,9 @@
 #      documented as "<tool> <subcommand>";
 #   3. every "--flag" string literal parsed by htctl, htrun, and htagg is
 #      documented in at least one doc file that also mentions the tool;
-#   4. every relative markdown link in tracked *.md files resolves to a file
+#   4. every named fault point registered in src/support/faultpoint.cpp is
+#      documented in docs/RESILIENCE.md;
+#   5. every relative markdown link in tracked *.md files resolves to a file
 #      that exists.
 #
 # Wired into ctest as `docs.check_docs` (tests/CMakeLists.txt) so a PR that
@@ -84,7 +86,34 @@ check_flags htctl "$repo/tools/htctl.cpp"
 check_flags htrun "$repo/tools/htrun.cpp"
 check_flags htagg "$repo/tools/htagg.cpp"
 
-# --- 4. relative markdown links -----------------------------------------
+# --- 4. fault points ------------------------------------------------------
+# Every named fault point in the injection registry (src/support/
+# faultpoint.cpp) must be documented in docs/RESILIENCE.md — the operator
+# needs the name to arm it via HEAPTHERAPY_FAULTS.
+fault_src="$repo/src/support/faultpoint.cpp"
+resilience_doc="$repo/docs/RESILIENCE.md"
+if [ ! -f "$resilience_doc" ]; then
+  echo "check_docs: docs/RESILIENCE.md is missing (fault points and the" \
+       "degradation ladder are documented there)" >&2
+  fail=1
+else
+  fault_names="$(grep -oE 'FaultPoint::k[A-Za-z]+, "[a-z-]+"' "$fault_src" \
+                 | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)"
+  if [ -z "$fault_names" ]; then
+    echo "check_docs: found no fault-point names in ${fault_src#"$repo"/}" \
+         "(extraction pattern broken?)" >&2
+    fail=1
+  fi
+  for name in $fault_names; do
+    if ! grep -qF "$name" "$resilience_doc"; then
+      echo "check_docs: fault point '$name' (registered in" \
+           "${fault_src#"$repo"/}) is not documented in docs/RESILIENCE.md" >&2
+      fail=1
+    fi
+  done
+fi
+
+# --- 5. relative markdown links -----------------------------------------
 # Matches ](target) where target is not an absolute URL or an in-page
 # anchor; strips any #fragment before checking existence.
 all_md="$(find "$repo" -name '*.md' -not -path "$repo/build/*" -not -path '*/.*' | sort)"
@@ -108,4 +137,4 @@ if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
-echo "check_docs: OK (env vars, CLI subcommands, CLI flags, markdown links)"
+echo "check_docs: OK (env vars, CLI subcommands, CLI flags, fault points, markdown links)"

@@ -1,0 +1,75 @@
+#include "patch/hot_swap.hpp"
+
+#include <cstdio>
+
+#include "patch/config_file.hpp"
+#include "support/faultpoint.hpp"
+
+namespace ht::patch {
+
+PatchTableSwap::PatchTableSwap(PatchTable&& initial) {
+  auto owned = std::make_unique<const PatchTable>(std::move(initial));
+  serving_.store(owned.get(), std::memory_order_release);
+  retired_.push_back(std::move(owned));
+}
+
+ReloadResult PatchTableSwap::rejected_result(std::vector<std::string> errors) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  ReloadResult result;
+  result.applied = false;
+  result.errors = std::move(errors);
+  const PatchTable* current = serving();
+  if (current != nullptr) {
+    result.generation = current->generation();
+    result.patch_count = current->patch_count();
+  }
+  return result;
+}
+
+ReloadResult PatchTableSwap::reload_from_text(std::string_view text) {
+  if (support::fault_fires(support::FaultPoint::kPatchParse)) {
+    return rejected_result({"injected fault: patch-parse"});
+  }
+  ParseResult parsed = parse_config(text);
+  // Strict where the startup loader is lenient: with a known-good table
+  // already serving, ANY diagnostic means the file is not what the
+  // operator thinks it is — keep serving the old table.
+  if (!parsed.ok()) {
+    return rejected_result(std::move(parsed.errors));
+  }
+  return commit(PatchTable(parsed.patches, /*freeze=*/true));
+}
+
+ReloadResult PatchTableSwap::reload_from_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return rejected_result({"cannot read patch config '" + path + "'"});
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return rejected_result({"read error on patch config '" + path + "'"});
+  }
+  return reload_from_text(text);
+}
+
+ReloadResult PatchTableSwap::commit(PatchTable&& table) {
+  auto owned = std::make_unique<const PatchTable>(std::move(table));
+  ReloadResult result;
+  result.applied = true;
+  result.generation = owned->generation();
+  result.patch_count = owned->patch_count();
+  {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    serving_.store(owned.get(), std::memory_order_release);
+    retired_.push_back(std::move(owned));
+  }
+  applied_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace ht::patch

@@ -1,0 +1,106 @@
+// Validated patch hot-reload: atomic PatchTable swap with
+// parse-validate-then-commit semantics (docs/RESILIENCE.md "hot reload").
+//
+// The paper's deployment story is that code-less patches are "installed
+// without restarting the program". The startup path already delivers that
+// for the first table; this module delivers the *re*-load: an operator
+// appends a new patch to the config file and signals the process (SIGHUP
+// under the preload shim, `htrun --reload-patches` offline), and the next
+// allocation sees the new table.
+//
+// Two properties make a reload safe to trigger against a live allocator:
+//
+//  - ATOMIC SWAP. Readers resolve the serving table through one acquire
+//    load of a pointer; writers build the complete replacement off to the
+//    side, then publish it with one release store. No reader ever observes
+//    a half-built table. Retired tables are kept alive for the process
+//    lifetime (a grace list) so an allocation that loaded the old pointer
+//    just before the swap can finish its lookup — reloads are rare
+//    operator actions and tables are a few KiB, so this "leak" is bounded
+//    by reload count and buys freedom from reader registration on the
+//    allocation hot path.
+//
+//  - VALIDATE THEN COMMIT. The replacement file is parsed and validated
+//    in full BEFORE anything is published. Any parse error rejects the
+//    whole reload and the prior table keeps serving — unlike startup
+//    loading, which is lenient (some protection beats none when there is
+//    no table yet), a reload has a known-good table to fall back to, so
+//    strictness is free. A torn or garbage file can only ever cost the
+//    operator the *new* patches, never the running defense.
+//
+// Memoization stays correct for free: DecisionCache entries are keyed on
+// the table's process-unique generation id, so entries cached against the
+// old table can never satisfy lookups against the new one.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "patch/patch_table.hpp"
+
+namespace ht::patch {
+
+/// Outcome of one reload attempt.
+struct ReloadResult {
+  bool applied = false;            ///< table committed and now serving
+  std::uint64_t generation = 0;    ///< serving generation after the attempt
+  std::size_t patch_count = 0;     ///< patches in the serving table
+  std::vector<std::string> errors; ///< why the reload was rejected (if so)
+};
+
+class PatchTableSwap {
+ public:
+  /// Starts with no serving table (lookups through a null serving() behave
+  /// like "no patches installed").
+  PatchTableSwap() = default;
+  /// Starts serving `initial` (takes ownership).
+  explicit PatchTableSwap(PatchTable&& initial);
+
+  PatchTableSwap(const PatchTableSwap&) = delete;
+  PatchTableSwap& operator=(const PatchTableSwap&) = delete;
+
+  /// The table lookups should use right now; may be null. One acquire
+  /// load — this is the only thing the allocation path ever pays.
+  [[nodiscard]] const PatchTable* serving() const noexcept {
+    return serving_.load(std::memory_order_acquire);
+  }
+
+  /// Strict parse-validate-then-commit reload from config-file text.
+  /// Any diagnostic from the parser (or an armed patch-parse fault)
+  /// rejects the reload; the serving table is untouched. Thread-safe
+  /// against concurrent readers and other reloaders.
+  ReloadResult reload_from_text(std::string_view text);
+
+  /// reload_from_text over the file's contents. An unreadable file is a
+  /// rejection, not an empty table.
+  ReloadResult reload_from_file(const std::string& path);
+
+  /// Commits an already-built table (used by htrun to install its initial
+  /// table and by tests to bypass parsing). Always applies.
+  ReloadResult commit(PatchTable&& table);
+
+  /// Reload attempts so far that were rejected (observability).
+  [[nodiscard]] std::uint64_t rejected_reloads() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Reloads committed so far (excludes the constructor's initial table).
+  [[nodiscard]] std::uint64_t applied_reloads() const noexcept {
+    return applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ReloadResult rejected_result(std::vector<std::string> errors);
+
+  std::atomic<const PatchTable*> serving_{nullptr};
+  std::mutex writer_mutex_;  ///< serializes reloaders, never readers
+  /// Grace list: every table ever served, kept alive until destruction
+  /// (see the file comment for why this is the right trade).
+  std::vector<std::unique_ptr<const PatchTable>> retired_;
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> applied_{0};
+};
+
+}  // namespace ht::patch

@@ -38,6 +38,13 @@ struct GuardedAllocatorConfig {
   /// environments); overflow patches then degrade to the canary defense
   /// below (when enabled) or metadata-only.
   bool use_guard_pages = true;
+  /// Cap on simultaneously live guard pages across the whole engine
+  /// (0 = unlimited). Each guard page costs a 4 KiB mapping plus two
+  /// mprotect calls; a budget keeps a pathological allocation burst from
+  /// exhausting VMAs. When the budget is spent, overflow-patched
+  /// allocations step down the degradation ladder (canary, then plain)
+  /// instead of failing — docs/RESILIENCE.md describes the ladder.
+  std::uint64_t guard_page_budget = 0;
 
   // ---- Extensions beyond the paper (ablatable; see DESIGN.md) ----
   /// Fill quarantined UAF buffers with kPoisonByte so a dangling *read*
@@ -69,6 +76,13 @@ struct AllocatorStats {
   std::uint64_t canaries_planted = 0;        ///< extension: canary defense
   std::uint64_t canary_overflows_on_free = 0;  ///< overflow detected at free
 
+  // Degradation-ladder counters (docs/RESILIENCE.md). Any nonzero value
+  // here moves the snapshot health state from healthy to degraded.
+  std::uint64_t guard_budget_denied = 0;  ///< guard skipped: budget spent
+  std::uint64_t degraded_to_canary = 0;   ///< guard failed -> canary fallback
+  std::uint64_t degraded_to_plain = 0;    ///< enhanced alloc retried plain
+  std::uint64_t alloc_failures = 0;       ///< underlying alloc returned null
+
   /// Accumulates another context's counters (shard merge on snapshot).
   AllocatorStats& operator+=(const AllocatorStats& other) noexcept {
     interceptions += other.interceptions;
@@ -80,6 +94,10 @@ struct AllocatorStats {
     failed_guards += other.failed_guards;
     canaries_planted += other.canaries_planted;
     canary_overflows_on_free += other.canary_overflows_on_free;
+    guard_budget_denied += other.guard_budget_denied;
+    degraded_to_canary += other.degraded_to_canary;
+    degraded_to_plain += other.degraded_to_plain;
+    alloc_failures += other.alloc_failures;
     return *this;
   }
 };

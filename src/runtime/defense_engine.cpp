@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "patch/decision_cache.hpp"
+#include "support/faultpoint.hpp"
 #include "support/hash.hpp"
 
 namespace ht::runtime {
@@ -30,6 +31,11 @@ DefenseEngine::DefenseEngine(const patch::PatchTable* patches,
                              GuardedAllocatorConfig config,
                              UnderlyingAllocator underlying)
     : patches_(patches), config_(config), underlying_(underlying) {}
+
+DefenseEngine::DefenseEngine(const patch::PatchTableSwap& swap,
+                             GuardedAllocatorConfig config,
+                             UnderlyingAllocator underlying)
+    : patches_(nullptr), swap_(&swap), config_(config), underlying_(underlying) {}
 
 std::uint64_t DefenseEngine::read_word(const void* user) noexcept {
   std::uint64_t word;
@@ -82,11 +88,16 @@ void* DefenseEngine::raw_of(void* user, const MetadataWord& meta) noexcept {
 }
 
 std::uint8_t DefenseEngine::lookup_mask(AllocFn fn, std::uint64_t ccid) const noexcept {
-  if (patches_ == nullptr) return 0;
+  // One extra branch (and for the swap case one acquire load) resolves the
+  // hot-reloadable table; generation-keyed memoization makes the cache
+  // self-invalidating when a reload swaps the table underneath us.
+  const patch::PatchTable* table =
+      swap_ != nullptr ? swap_->serving() : patches_;
+  if (table == nullptr) return 0;
   if (config_.memoize_decisions) {
-    return patch::DecisionCache::for_current_thread().lookup(*patches_, fn, ccid);
+    return patch::DecisionCache::for_current_thread().lookup(*table, fn, ccid);
   }
-  return patches_->lookup(fn, ccid);
+  return table->lookup(fn, ccid);
 }
 
 void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
@@ -105,16 +116,67 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
   const std::uint64_t enhance_start =
       (mask != 0 && telemetry != nullptr) ? latency_clock_ns() : 0;
   bool guard = (mask & patch::kOverflow) != 0 && config_.use_guard_pages;
-  const bool canary =
+  // Degradation ladder, rung 1: the guard budget. When the cap on live
+  // guard pages is spent, the allocation steps down to the canary rung
+  // (or plain) instead of waiting or failing. The check is advisory
+  // (racy by a page or two under concurrency); the budget bounds resource
+  // use, it is not a security boundary.
+  if (guard && config_.guard_page_budget > 0 &&
+      live_guard_pages_.load(std::memory_order_relaxed) >=
+          config_.guard_page_budget) {
+    guard = false;
+    ++stats.guard_budget_denied;
+    if (telemetry != nullptr) {
+      telemetry->record_event(TelemetryEvent::kAllocDegrade, ccid, size,
+                              config_.use_canaries ? kDegradeLevelCanary
+                                                   : kDegradeLevelPlain,
+                              static_cast<std::uint8_t>(fn));
+    }
+  }
+  bool canary =
       (mask & patch::kOverflow) != 0 && !guard && config_.use_canaries;
 
   const std::uint64_t norm_align = normalize_alignment(alignment);
-  const BufferLayout layout = compute_layout(size, alignment, guard, canary);
-  char* raw = static_cast<char*>(
-      layout.raw_alignment > 0
-          ? underlying_.memalign_fn(layout.raw_alignment, layout.raw_size)
-          : underlying_.malloc_fn(layout.raw_size));
-  if (raw == nullptr) return nullptr;
+  const auto raw_alloc = [&](const BufferLayout& l) -> char* {
+    if (support::fault_fires(support::FaultPoint::kUnderlyingOom)) {
+      return nullptr;
+    }
+    return static_cast<char*>(
+        l.raw_alignment > 0
+            ? underlying_.memalign_fn(l.raw_alignment, l.raw_size)
+            : underlying_.malloc_fn(l.raw_size));
+  };
+  BufferLayout layout = compute_layout(size, alignment, guard, canary);
+  char* raw = raw_alloc(layout);
+  if (raw == nullptr && (guard || canary)) {
+    // Rung 2: the enhanced footprint (guard page / canary slack) was
+    // refused by the underlying allocator. Retry with the plain layout —
+    // under memory pressure a protected process must keep serving
+    // allocations, metadata-only, rather than fail calls its unprotected
+    // twin would have satisfied.
+    guard = false;
+    canary = false;
+    layout = compute_layout(size, alignment, false, false);
+    raw = raw_alloc(layout);
+    if (raw != nullptr) {
+      ++stats.degraded_to_plain;
+      if (telemetry != nullptr) {
+        telemetry->record_event(TelemetryEvent::kAllocDegrade, ccid, size,
+                                kDegradeLevelPlain,
+                                static_cast<std::uint8_t>(fn));
+      }
+    }
+  }
+  if (raw == nullptr) {
+    // Bottom of the ladder: even the plain layout failed. Return null like
+    // any allocator, but make the failure observable.
+    ++stats.alloc_failures;
+    if (telemetry != nullptr) {
+      telemetry->record_event(TelemetryEvent::kAllocFailure, ccid, size, mask,
+                              static_cast<std::uint8_t>(fn));
+    }
+    return nullptr;
+  }
   char* user = raw + layout.user_offset;
 
   MetadataWord meta;
@@ -127,16 +189,33 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
     // The user size lives in the first word of the guard page (Fig. 6); it
     // must be written before the page becomes inaccessible.
     std::memcpy(reinterpret_cast<void*>(guard_addr), &size, sizeof(size));
-    if (::mprotect(reinterpret_cast<void*>(guard_addr), kPageSize, PROT_NONE) != 0) {
-      // Degrade gracefully: metadata-only protection for this buffer.
+    // An armed guard-map fault short-circuits the mprotect (|| ordering):
+    // the page must stay writable on the simulated-failure path, exactly
+    // as it does when the real call fails.
+    if (support::fault_fires(support::FaultPoint::kGuardMap) ||
+        ::mprotect(reinterpret_cast<void*>(guard_addr), kPageSize,
+                   PROT_NONE) != 0) {
+      // Rung 3: the mapping was refused. Fall back to the canary defense
+      // when it is enabled — the guard page's bytes are still writable, so
+      // the trailing canary lands in memory we own — else metadata-only.
       ++stats.failed_guards;
       if (telemetry != nullptr) {
         telemetry->record_event(TelemetryEvent::kGuardInstallFail, ccid, size,
                                 mask, static_cast<std::uint8_t>(fn));
       }
       guard = false;
+      if (config_.use_canaries) {
+        canary = true;
+        ++stats.degraded_to_canary;
+        if (telemetry != nullptr) {
+          telemetry->record_event(TelemetryEvent::kAllocDegrade, ccid, size,
+                                  kDegradeLevelCanary,
+                                  static_cast<std::uint8_t>(fn));
+        }
+      }
     } else {
       ++stats.guard_pages;
+      live_guard_pages_.fetch_add(1, std::memory_order_relaxed);
       meta.vuln_mask = mask;  // includes the OVERFLOW bit
       meta.guard_page_addr = guard_addr;
     }
@@ -229,6 +308,7 @@ void DefenseEngine::free(void* p, Quarantine& quarantine,
     ::mprotect(reinterpret_cast<void*>(meta.guard_page_addr), kPageSize,
                PROT_READ | PROT_WRITE);
     std::memcpy(&size, reinterpret_cast<void*>(meta.guard_page_addr), sizeof(size));
+    live_guard_pages_.fetch_sub(1, std::memory_order_relaxed);
   }
   void* raw = raw_of(p, meta);
   if ((meta.vuln_mask & patch::kUseAfterFree) != 0 && config_.poison_quarantine &&

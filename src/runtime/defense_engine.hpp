@@ -12,6 +12,14 @@
 // shard hands the engine its own private stats/quarantine and provides
 // whatever synchronization its execution model needs around the call.
 //
+// One deliberate exception to "no engine-owned mutable data": the live
+// guard-page count backing the guard budget (see GuardedAllocatorConfig::
+// guard_page_budget) is a single engine-wide atomic. The budget is a
+// process-global resource cap, so it cannot live per shard; and the
+// counter is touched only on the guarded path, which already pays an
+// mprotect syscall — an atomic increment is noise there. Unpatched
+// traffic never reaches it.
+//
 // Defense semantics (unchanged from the paper):
 //   - no patch match    -> plain buffer with self-maintained metadata
 //                          (Structure 1/3); cost = lookup + metadata word.
@@ -22,8 +30,10 @@
 //                          quarantine, deferring reuse.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
+#include "patch/hot_swap.hpp"
 #include "patch/patch_table.hpp"
 #include "progmodel/values.hpp"
 #include "runtime/allocator_config.hpp"
@@ -39,6 +49,15 @@ class DefenseEngine {
   /// `patches` may be null (no patches installed). The table must outlive
   /// the engine.
   explicit DefenseEngine(const patch::PatchTable* patches = nullptr,
+                         GuardedAllocatorConfig config = {},
+                         UnderlyingAllocator underlying = process_allocator());
+
+  /// Hot-reload variant: the engine resolves its patch table through
+  /// `swap` on every lookup, so a committed reload takes effect on the
+  /// next allocation with no engine rebuild. The swap must outlive the
+  /// engine. Decision memoization stays sound across swaps because the
+  /// cache is keyed on the table's process-unique generation id.
+  explicit DefenseEngine(const patch::PatchTableSwap& swap,
                          GuardedAllocatorConfig config = {},
                          UnderlyingAllocator underlying = process_allocator());
 
@@ -99,7 +118,13 @@ class DefenseEngine {
     return underlying_;
   }
   [[nodiscard]] const patch::PatchTable* patches() const noexcept {
-    return patches_;
+    return swap_ != nullptr ? swap_->serving() : patches_;
+  }
+
+  /// Guard pages currently live (installed minus torn down). Maintained on
+  /// the guarded path only — unpatched traffic never touches the atomic.
+  [[nodiscard]] std::uint64_t live_guard_pages() const noexcept {
+    return live_guard_pages_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -117,8 +142,12 @@ class DefenseEngine {
   [[nodiscard]] static void* raw_of(void* user, const MetadataWord& meta) noexcept;
 
   const patch::PatchTable* patches_;
+  const patch::PatchTableSwap* swap_ = nullptr;
   GuardedAllocatorConfig config_;
   UnderlyingAllocator underlying_;
+  /// See the class comment: the one engine-owned mutable word, backing the
+  /// guard-page budget. Touched only on guarded allocations/frees.
+  mutable std::atomic<std::uint64_t> live_guard_pages_{0};
 };
 
 }  // namespace ht::runtime

@@ -20,6 +20,20 @@ GuardedAllocator::GuardedAllocator(const patch::PatchTable* patches,
   }
 }
 
+GuardedAllocator::GuardedAllocator(const patch::PatchTableSwap& swap,
+                                   GuardedAllocatorConfig config,
+                                   UnderlyingAllocator underlying)
+    : engine_(swap, config, underlying),
+      quarantine_(config.quarantine_quota_bytes, underlying) {
+  telemetry_.configure(config.telemetry);
+  quarantine_.set_telemetry(&telemetry_);
+  if (const patch::PatchTable* table = engine_.patches(); table != nullptr) {
+    telemetry_.record_event(TelemetryEvent::kPatchTableLoad, /*ccid=*/0,
+                            table->patch_count(),
+                            static_cast<std::uint32_t>(table->generation()));
+  }
+}
+
 GuardedAllocator::~GuardedAllocator() = default;
 
 void* GuardedAllocator::malloc(std::uint64_t size, std::uint64_t ccid) {
@@ -75,8 +89,10 @@ TelemetrySnapshot GuardedAllocator::telemetry_snapshot() const {
     snap.table_generation = table->generation();
     snap.table_patches = table->patch_count();
   }
+  snap.bypass = engine_.config().forward_only;
   merge_sink_into_snapshot(snap, telemetry_, /*shard=*/0, stats_,
-                           quarantine_.bytes(), quarantine_.depth());
+                           quarantine_.bytes(), quarantine_.depth(),
+                           quarantine_.pressure_events());
   finalize_snapshot(snap);
   return snap;
 }

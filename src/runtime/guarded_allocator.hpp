@@ -31,6 +31,12 @@ class GuardedAllocator {
   explicit GuardedAllocator(const patch::PatchTable* patches = nullptr,
                             GuardedAllocatorConfig config = {},
                             UnderlyingAllocator underlying = process_allocator());
+  /// Hot-reload variant: patch lookups resolve through `swap`, so a
+  /// committed reload takes effect on the next allocation. The swap must
+  /// outlive the allocator.
+  explicit GuardedAllocator(const patch::PatchTableSwap& swap,
+                            GuardedAllocatorConfig config = {},
+                            UnderlyingAllocator underlying = process_allocator());
   ~GuardedAllocator();
 
   GuardedAllocator(const GuardedAllocator&) = delete;
@@ -85,10 +91,13 @@ class GuardedAllocator {
   }
 
  private:
+  // Declaration order is load-bearing: quarantine_ must be declared AFTER
+  // telemetry_ so it is destroyed first — its destructor drains, and each
+  // eviction records an event through the telemetry pointer it holds.
   DefenseEngine engine_;
-  Quarantine quarantine_;
   AllocatorStats stats_;
   TelemetrySink telemetry_;
+  Quarantine quarantine_;
 };
 
 }  // namespace ht::runtime

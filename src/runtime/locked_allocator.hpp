@@ -26,6 +26,12 @@ class LockedAllocator {
                            GuardedAllocatorConfig config = {},
                            UnderlyingAllocator underlying = process_allocator())
       : inner_(patches, config, underlying) {}
+  /// Hot-reload variant: patch lookups resolve through `swap` (which must
+  /// outlive the allocator), so a committed reload applies immediately.
+  explicit LockedAllocator(const patch::PatchTableSwap& swap,
+                           GuardedAllocatorConfig config = {},
+                           UnderlyingAllocator underlying = process_allocator())
+      : inner_(swap, config, underlying) {}
 
   [[nodiscard]] void* malloc(std::uint64_t size, std::uint64_t ccid) {
     const std::lock_guard<std::recursive_mutex> lock(mutex_);

@@ -27,6 +27,16 @@
 //  - The current CCID is the thread-local `ht_cc_current`, exported with C
 //    linkage; the instrumentation pass (our progmodel interpreter stands in
 //    for it; a real LLVM pass would emit the same symbol) keeps it updated.
+//  - $HEAPTHERAPY_RELOAD=1 (requires $HEAPTHERAPY_CONFIG) enables patch
+//    hot-reload: SIGHUP asks the maintenance thread to re-read the config
+//    file and atomically swap in the new table — but only if it parses
+//    cleanly; a corrupt or torn file is rejected and the prior table keeps
+//    serving (docs/RESILIENCE.md).
+//  - $HEAPTHERAPY_FAULTS arms the deterministic fault-injection points
+//    (docs/RESILIENCE.md) — test/chaos tooling only.
+//  - Numeric env vars are parsed strictly: garbage or overflow falls back
+//    to the documented default with a one-line stderr warning, instead of
+//    silently configuring 0 shards or a 0-byte quarantine.
 //  - The real allocation work is delegated to glibc's __libc_* entry points
 //    — calling std::malloc here would recurse into ourselves.
 //
@@ -36,8 +46,11 @@
 // locks. The only internal allocations happen during construction (patch
 // table, shard array); the t_constructing flag routes those straight to
 // libc, where they stay untagged and are later forwarded on free.
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -50,9 +63,11 @@
 #include <unistd.h>
 
 #include "patch/config_file.hpp"
+#include "patch/hot_swap.hpp"
 #include "patch/patch_table.hpp"
 #include "runtime/sharded_allocator.hpp"
 #include "runtime/telemetry.hpp"
+#include "support/faultpoint.hpp"
 
 // glibc's real entry points.
 extern "C" {
@@ -86,8 +101,13 @@ UnderlyingAllocator libc_allocator() {
 // very last free in the process, so it is constructed in-place and never
 // destroyed (static-destruction-order fiasco avoidance).
 alignas(PatchTable) unsigned char table_storage[sizeof(PatchTable)];
+alignas(ht::patch::PatchTableSwap) unsigned char swap_storage[sizeof(
+    ht::patch::PatchTableSwap)];
 alignas(ShardedAllocator) unsigned char allocator_storage[sizeof(ShardedAllocator)];
 PatchTable* g_table = nullptr;
+// Non-null iff HEAPTHERAPY_RELOAD is enabled; the allocator then resolves
+// patch lookups through the swap instead of a fixed table.
+ht::patch::PatchTableSwap* g_swap = nullptr;
 ShardedAllocator* g_allocator = nullptr;
 // True on the thread currently constructing the global allocator. The
 // constructors themselves allocate (patch table, shard array), and those
@@ -102,6 +122,53 @@ std::mutex& init_mutex() {
   return m;
 }
 
+// ---- Hardened env parsing ----
+// The original shim fed getenv output straight into strtoul, so
+// HEAPTHERAPY_SHARDS=abc silently configured 0 shards and
+// HEAPTHERAPY_QUARANTINE=1e9 a 1-byte quota. Every numeric knob now goes
+// through a strict parser: the whole string must be a non-negative decimal
+// number that fits, or the documented default is kept and one warning line
+// names the offending variable.
+
+bool parse_u64_strict(const char* text, unsigned long long* out) {
+  if (text == nullptr || *text == '\0' || *text == '-' || *text == '+') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+unsigned long long env_u64(const char* name, unsigned long long fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  unsigned long long value = 0;
+  if (!parse_u64_strict(text, &value)) {
+    std::fprintf(stderr,
+                 "heaptherapy: %s='%s' is not a valid number; using default "
+                 "%llu\n",
+                 name, text, fallback);
+    return fallback;
+  }
+  return value;
+}
+
+// Strict boolean: exactly "0" or "1". Anything else keeps the default —
+// HEAPTHERAPY_TELEMETRY_EVENTS=yes must not silently disable the ring.
+bool env_flag(const char* name, bool fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr) return fallback;
+  if (std::strcmp(text, "0") == 0) return false;
+  if (std::strcmp(text, "1") == 0) return true;
+  std::fprintf(stderr,
+               "heaptherapy: %s='%s' is not 0 or 1; using default %d\n", name,
+               text, fallback ? 1 : 0);
+  return fallback;
+}
+
 // ---- Telemetry flusher ($HEAPTHERAPY_TELEMETRY) ----
 // The path is the env template with %p/%% expanded (each process in a
 // fleet writes its own dump). Function-static so first use constructs it;
@@ -113,7 +180,10 @@ std::string& telemetry_path() {
   return path;
 }
 unsigned long g_flush_interval_ms = 1000;
-std::atomic<bool> g_flusher_running{false};
+std::atomic<bool> g_maintenance_running{false};
+// Lifetime count of flush cycles that exhausted every retry; merged into
+// each snapshot (the allocator itself doesn't know about file I/O).
+std::atomic<std::uint64_t> g_flush_failures{0};
 
 // One flush at a time: the periodic thread and the destructor's final
 // flush must not interleave writes to the same file.
@@ -122,29 +192,113 @@ std::mutex& flush_mutex() {
   return m;
 }
 
-void flush_telemetry_file() {
-  if (telemetry_path().empty() || g_allocator == nullptr) return;
-  const std::lock_guard<std::mutex> lock(flush_mutex());
-  const std::string dump =
-      ht::runtime::render_telemetry(g_allocator->telemetry_snapshot());
-  // Write-then-rename so a reader polling the path always sees a complete
-  // dump (the previous one, or the new one) — never a half-written file.
+// Single write-then-rename attempt so a reader polling the path always sees
+// a complete dump (the previous one, or the new one) — never a half-written
+// file. The telemetry-io fault point models fopen failing (disk full,
+// permissions yanked) for the resilience tests.
+bool write_dump_once(const std::string& dump) {
   const std::string tmp = telemetry_path() + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (f == nullptr) return;
+  std::FILE* f =
+      ht::support::fault_fires(ht::support::FaultPoint::kTelemetryIo)
+          ? nullptr
+          : std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
   const bool wrote = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
   const bool closed = std::fclose(f) == 0;
   if (wrote && closed) {
-    std::rename(tmp.c_str(), telemetry_path().c_str());
+    return std::rename(tmp.c_str(), telemetry_path().c_str()) == 0;
+  }
+  std::remove(tmp.c_str());
+  return false;
+}
+
+void flush_telemetry_file() {
+  if (telemetry_path().empty() || g_allocator == nullptr) return;
+  const std::lock_guard<std::mutex> lock(flush_mutex());
+  ht::runtime::TelemetrySnapshot snap = g_allocator->telemetry_snapshot();
+  snap.flush_failures = g_flush_failures.load(std::memory_order_relaxed);
+  // flush_failures feeds the health rollup, so re-derive after merging it.
+  snap.health = ht::runtime::derive_health(snap);
+  const std::string dump = ht::runtime::render_telemetry(snap);
+  // Bounded retry with backoff: transient I/O errors (full disk being
+  // rotated, EINTR-happy filesystems) get two more chances; after that the
+  // failure is counted and recorded, and the previous complete dump keeps
+  // serving at the path — degrade, don't die. Never retries forever: this
+  // runs on the maintenance thread and in the ELF destructor.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (attempt != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(attempt == 1 ? 10 : 40));
+    }
+    if (write_dump_once(dump)) return;
+  }
+  g_flush_failures.fetch_add(1, std::memory_order_relaxed);
+  g_allocator->shard_telemetry(0).record_event(
+      ht::runtime::TelemetryEvent::kTelemetryFlushFail, /*ccid=*/0,
+      /*size=*/dump.size(), /*aux=*/0);
+}
+
+// ---- Patch hot-reload ($HEAPTHERAPY_RELOAD + SIGHUP) ----
+// The signal handler only sets a flag (the allowed sig_atomic_t store);
+// the maintenance thread does the actual file I/O and table swap.
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+std::string& config_path() {
+  static std::string path;
+  return path;
+}
+
+void sighup_handler(int) { g_reload_requested = 1; }
+
+void perform_reload() {
+  if (g_swap == nullptr) return;
+  const ht::patch::ReloadResult result =
+      g_swap->reload_from_file(config_path());
+  if (g_allocator != nullptr) {
+    g_allocator->shard_telemetry(0).record_event(
+        result.applied ? ht::runtime::TelemetryEvent::kPatchReload
+                       : ht::runtime::TelemetryEvent::kPatchReloadRejected,
+        /*ccid=*/0, result.patch_count,
+        static_cast<std::uint32_t>(result.generation));
+  }
+  if (result.applied) {
+    std::fprintf(stderr,
+                 "heaptherapy: reloaded %s: %zu patches (generation %llu)\n",
+                 config_path().c_str(), result.patch_count,
+                 static_cast<unsigned long long>(result.generation));
   } else {
-    std::remove(tmp.c_str());
+    std::fprintf(stderr,
+                 "heaptherapy: reload of %s rejected; generation %llu keeps "
+                 "serving\n",
+                 config_path().c_str(),
+                 static_cast<unsigned long long>(result.generation));
+    for (const std::string& err : result.errors) {
+      std::fprintf(stderr, "heaptherapy:   %s\n", err.c_str());
+    }
   }
 }
 
-void telemetry_flusher() {
-  while (g_flusher_running.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(g_flush_interval_ms));
-    flush_telemetry_file();
+// One background thread handles both periodic telemetry flushes and
+// SIGHUP-requested patch reloads. It sleeps in short slices so a reload
+// request is honored within ~200ms even under a long flush interval.
+void maintenance_thread() {
+  const bool flushing = !telemetry_path().empty();
+  unsigned long since_flush_ms = 0;
+  while (g_maintenance_running.load(std::memory_order_relaxed)) {
+    const unsigned long slice =
+        std::min<unsigned long>(200, g_flush_interval_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      perform_reload();
+    }
+    if (flushing) {
+      since_flush_ms += slice;
+      if (since_flush_ms >= g_flush_interval_ms) {
+        since_flush_ms = 0;
+        flush_telemetry_file();
+      }
+    }
   }
 }
 
@@ -168,9 +322,13 @@ ShardedAllocator& allocator() {
 }
 
 __attribute__((constructor)) void heaptherapy_init() {
+  // Arm fault injection first so even constructor-phase paths see it
+  // (test/chaos tooling only; costs one relaxed load when unset).
+  ht::support::install_faults_from_env();
   const char* path = std::getenv("HEAPTHERAPY_CONFIG");
   std::vector<ht::patch::Patch> patches;
   if (path != nullptr) {
+    config_path() = path;
     if (const auto loaded = ht::patch::load_config_file(path)) {
       patches = loaded->patches;
       for (const std::string& err : loaded->errors) {
@@ -181,12 +339,19 @@ __attribute__((constructor)) void heaptherapy_init() {
     }
   }
   GuardedAllocatorConfig config;
-  if (const char* quota = std::getenv("HEAPTHERAPY_QUARANTINE")) {
-    config.quarantine_quota_bytes = std::strtoull(quota, nullptr, 10);
-  }
+  config.quarantine_quota_bytes =
+      env_u64("HEAPTHERAPY_QUARANTINE", config.quarantine_quota_bytes);
+  config.guard_page_budget =
+      env_u64("HEAPTHERAPY_GUARD_BUDGET", config.guard_page_budget);
   ShardedAllocatorConfig sharding;
-  if (const char* shards = std::getenv("HEAPTHERAPY_SHARDS")) {
-    sharding.shards = static_cast<std::uint32_t>(std::strtoul(shards, nullptr, 10));
+  sharding.shards =
+      static_cast<std::uint32_t>(env_u64("HEAPTHERAPY_SHARDS", sharding.shards));
+  bool reload_enabled = env_flag("HEAPTHERAPY_RELOAD", false);
+  if (reload_enabled && path == nullptr) {
+    std::fprintf(stderr,
+                 "heaptherapy: HEAPTHERAPY_RELOAD ignored without "
+                 "HEAPTHERAPY_CONFIG\n");
+    reload_enabled = false;
   }
   if (const char* telemetry = std::getenv("HEAPTHERAPY_TELEMETRY")) {
     // %p -> pid, %% -> % (docs/OBSERVABILITY.md): each process of a fleet
@@ -196,21 +361,15 @@ __attribute__((constructor)) void heaptherapy_init() {
   }
   // A flush target implies the event ring; explicit knobs override either
   // direction.
-  config.telemetry.events = !telemetry_path().empty();
-  if (const char* events = std::getenv("HEAPTHERAPY_TELEMETRY_EVENTS")) {
-    config.telemetry.events = std::strtoul(events, nullptr, 10) != 0;
-  }
-  if (const char* ring = std::getenv("HEAPTHERAPY_TELEMETRY_RING")) {
-    config.telemetry.ring_capacity =
-        static_cast<std::uint32_t>(std::strtoul(ring, nullptr, 10));
-  }
-  if (const char* counters = std::getenv("HEAPTHERAPY_TELEMETRY_COUNTERS")) {
-    config.telemetry.counters = std::strtoul(counters, nullptr, 10) != 0;
-  }
-  if (const char* interval = std::getenv("HEAPTHERAPY_TELEMETRY_INTERVAL")) {
-    g_flush_interval_ms = std::strtoul(interval, nullptr, 10);
-    if (g_flush_interval_ms == 0) g_flush_interval_ms = 1;
-  }
+  config.telemetry.events =
+      env_flag("HEAPTHERAPY_TELEMETRY_EVENTS", !telemetry_path().empty());
+  config.telemetry.ring_capacity = static_cast<std::uint32_t>(
+      env_u64("HEAPTHERAPY_TELEMETRY_RING", config.telemetry.ring_capacity));
+  config.telemetry.counters =
+      env_flag("HEAPTHERAPY_TELEMETRY_COUNTERS", config.telemetry.counters);
+  g_flush_interval_ms = static_cast<unsigned long>(
+      env_u64("HEAPTHERAPY_TELEMETRY_INTERVAL", g_flush_interval_ms));
+  if (g_flush_interval_ms == 0) g_flush_interval_ms = 1;
   {
     const std::lock_guard<std::mutex> lock(init_mutex());
     // Rebuilding over a bootstrapped instance intentionally leaks its (tiny)
@@ -218,22 +377,43 @@ __attribute__((constructor)) void heaptherapy_init() {
     // tags and layouts are instance-independent. This runs in the ELF
     // constructor phase, before host threads exist.
     t_constructing = true;
-    g_table = new (table_storage) PatchTable(patches, /*freeze=*/true);
-    g_allocator = new (allocator_storage)
-        ShardedAllocator(g_table, config, sharding, libc_allocator());
+    if (reload_enabled) {
+      // Reload mode: the table lives inside a PatchTableSwap and the
+      // allocator resolves lookups through it, so a committed reload takes
+      // effect on the next allocation in any shard.
+      g_swap = new (swap_storage)
+          ht::patch::PatchTableSwap(PatchTable(patches, /*freeze=*/true));
+      g_allocator = new (allocator_storage)
+          ShardedAllocator(*g_swap, config, sharding, libc_allocator());
+    } else {
+      g_table = new (table_storage) PatchTable(patches, /*freeze=*/true);
+      g_allocator = new (allocator_storage)
+          ShardedAllocator(g_table, config, sharding, libc_allocator());
+    }
     t_constructing = false;
   }
-  if (!telemetry_path().empty()) {
-    g_flusher_running.store(true, std::memory_order_relaxed);
-    std::thread(telemetry_flusher).detach();
+  if (reload_enabled) {
+    // Opt-in (HEAPTHERAPY_RELOAD=1), because taking SIGHUP away from the
+    // host process is invasive. The handler only sets a flag; the
+    // maintenance thread performs the reload.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &sighup_handler;
+    sa.sa_flags = SA_RESTART;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGHUP, &sa, nullptr);
+  }
+  if (!telemetry_path().empty() || reload_enabled) {
+    g_maintenance_running.store(true, std::memory_order_relaxed);
+    std::thread(maintenance_thread).detach();
   }
 }
 
 __attribute__((destructor)) void heaptherapy_fini() {
-  // Stop the periodic thread (best effort; it may be mid-sleep — the flush
-  // mutex keeps a straggling iteration from interleaving with ours) and
-  // write the final dump.
-  g_flusher_running.store(false, std::memory_order_relaxed);
+  // Stop the maintenance thread (best effort; it may be mid-sleep — the
+  // flush mutex keeps a straggling iteration from interleaving with ours)
+  // and write the final dump.
+  g_maintenance_running.store(false, std::memory_order_relaxed);
   flush_telemetry_file();
 }
 

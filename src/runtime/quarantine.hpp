@@ -28,6 +28,7 @@
 
 #include "runtime/telemetry.hpp"
 #include "runtime/underlying.hpp"
+#include "support/faultpoint.hpp"
 
 namespace ht::runtime {
 
@@ -35,6 +36,13 @@ class Quarantine {
  public:
   /// Intrusive link size: the minimum size of any pushed block.
   static constexpr std::uint64_t kMinBlockBytes = 16;
+
+  /// Consecutive evicting pushes that count as sustained pressure. When
+  /// every push has to evict, the quota is pinned at its ceiling and each
+  /// free pays an eviction; the adaptive response is one early-eviction
+  /// sweep down to half quota, buying headroom so the next pushes are
+  /// eviction-free again (docs/RESILIENCE.md "quarantine pressure").
+  static constexpr std::uint32_t kPressureStreak = 8;
 
   /// A default-constructed quarantine holds nothing and must be
   /// configure()d before the first push (shard arrays are built default-
@@ -85,7 +93,29 @@ class Quarantine {
                                /*ccid=*/0, bytes,
                                static_cast<std::uint32_t>(depth_));
     }
-    while (bytes_ > quota_ && depth_ > 1) evict_oldest();
+    bool evicted = false;
+    while (bytes_ > quota_ && depth_ > 1) {
+      evict_oldest();
+      evicted = true;
+    }
+    // Adaptive pressure response: a streak of evicting pushes (or an armed
+    // quarantine-pressure fault, which simulates one deterministically)
+    // triggers one sweep down to the low watermark. The just-pushed block
+    // still survives — depth_ > 1 guards it like the quota loop above.
+    eviction_streak_ = evicted ? eviction_streak_ + 1 : 0;
+    if (eviction_streak_ >= kPressureStreak ||
+        support::fault_fires(support::FaultPoint::kQuarantinePressure)) {
+      const std::uint64_t watermark = quota_ / 2;
+      const std::uint64_t before = bytes_;
+      while (bytes_ > watermark && depth_ > 1) evict_oldest();
+      ++pressure_events_;
+      eviction_streak_ = 0;
+      if (telemetry_ != nullptr) {
+        telemetry_->record_event(TelemetryEvent::kQuarantinePressure,
+                                 /*ccid=*/0, before - bytes_,
+                                 static_cast<std::uint32_t>(depth_));
+      }
+    }
   }
 
   /// Releases everything (used at shutdown and in tests).
@@ -98,6 +128,10 @@ class Quarantine {
   [[nodiscard]] std::uint64_t quota() const noexcept { return quota_; }
   [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_pushed_; }
   [[nodiscard]] std::uint64_t total_released() const noexcept { return total_released_; }
+  /// Early-eviction sweeps run in response to sustained pressure.
+  [[nodiscard]] std::uint64_t pressure_events() const noexcept {
+    return pressure_events_;
+  }
 
   /// True if `raw` is currently quarantined (linear scan; test/debug aid,
   /// not on the hot path).
@@ -141,6 +175,8 @@ class Quarantine {
   std::uint64_t bytes_ = 0;
   std::uint64_t total_pushed_ = 0;
   std::uint64_t total_released_ = 0;
+  std::uint32_t eviction_streak_ = 0;
+  std::uint64_t pressure_events_ = 0;
 };
 
 }  // namespace ht::runtime

@@ -40,6 +40,22 @@ ShardedAllocator::ShardedAllocator(const patch::PatchTable* patches,
       shard_count_(resolve_shard_count(sharding.shards)),
       shard_mask_(shard_count_ - 1),
       shards_(new Shard[shard_count_]) {
+  init_shards(config, underlying);
+}
+
+ShardedAllocator::ShardedAllocator(const patch::PatchTableSwap& swap,
+                                   GuardedAllocatorConfig config,
+                                   ShardedAllocatorConfig sharding,
+                                   UnderlyingAllocator underlying)
+    : engine_(swap, config, underlying),
+      shard_count_(resolve_shard_count(sharding.shards)),
+      shard_mask_(shard_count_ - 1),
+      shards_(new Shard[shard_count_]) {
+  init_shards(config, underlying);
+}
+
+void ShardedAllocator::init_shards(const GuardedAllocatorConfig& config,
+                                   UnderlyingAllocator underlying) {
   // Partition the byte quota: each shard's quarantine independently manages
   // a 1/N slice, so the process-wide quarantine footprint still honors the
   // configured quota without any cross-shard accounting. Every shard gets
@@ -52,12 +68,12 @@ ShardedAllocator::ShardedAllocator(const patch::PatchTable* patches,
                                    static_cast<std::uint16_t>(i));
     shards_[i].quarantine.set_telemetry(&shards_[i].telemetry);
   }
-  if (patches != nullptr) {
+  if (const patch::PatchTable* table = engine_.patches(); table != nullptr) {
     // The load event is recorded once, on shard 0 — one table bind, not one
     // per shard.
     shards_[0].telemetry.record_event(
-        TelemetryEvent::kPatchTableLoad, /*ccid=*/0, patches->patch_count(),
-        static_cast<std::uint32_t>(patches->generation()));
+        TelemetryEvent::kPatchTableLoad, /*ccid=*/0, table->patch_count(),
+        static_cast<std::uint32_t>(table->generation()));
   }
 }
 
@@ -186,6 +202,7 @@ TelemetrySnapshot ShardedAllocator::telemetry_snapshot() const {
     ring_total += shards_[i].telemetry.ring().capacity();
   }
   reserve_snapshot(snap, shard_count_, ring_total);
+  snap.bypass = engine_.config().forward_only;
   for (std::uint32_t i = 0; i < shard_count_; ++i) {
     const Shard& shard = shards_[i];
     // Counters and occupancy are copied under the shard lock (the same
@@ -194,7 +211,8 @@ TelemetrySnapshot ShardedAllocator::telemetry_snapshot() const {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     merge_sink_into_snapshot(snap, shard.telemetry, i, shard.stats,
                              shard.quarantine.bytes(),
-                             shard.quarantine.depth());
+                             shard.quarantine.depth(),
+                             shard.quarantine.pressure_events());
   }
   finalize_snapshot(snap);
   return snap;

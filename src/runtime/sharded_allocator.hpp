@@ -56,6 +56,14 @@ class ShardedAllocator {
                             GuardedAllocatorConfig config = {},
                             ShardedAllocatorConfig sharding = {},
                             UnderlyingAllocator underlying = process_allocator());
+  /// Hot-reload variant: patch lookups resolve through `swap`, so a
+  /// committed reload takes effect on the next allocation in any shard.
+  /// The swap must outlive the allocator. This is the preload shim's
+  /// constructor when HEAPTHERAPY_RELOAD is enabled.
+  explicit ShardedAllocator(const patch::PatchTableSwap& swap,
+                            GuardedAllocatorConfig config = {},
+                            ShardedAllocatorConfig sharding = {},
+                            UnderlyingAllocator underlying = process_allocator());
   ~ShardedAllocator() = default;
 
   ShardedAllocator(const ShardedAllocator&) = delete;
@@ -121,10 +129,18 @@ class ShardedAllocator {
   // holding shard B's mutex or counters.
   struct alignas(64) Shard {
     mutable std::mutex mutex;
-    Quarantine quarantine;
     AllocatorStats stats;
+    // telemetry before quarantine: the quarantine's destructor drains and
+    // records eviction events through its telemetry pointer, so the sink
+    // must outlive it (members destroy in reverse declaration order).
     TelemetrySink telemetry;
+    Quarantine quarantine;
   };
+
+  /// Shared constructor tail: partitions the quarantine quota, wires the
+  /// telemetry sinks, and records the table-load event.
+  void init_shards(const GuardedAllocatorConfig& config,
+                   UnderlyingAllocator underlying);
 
   /// The calling thread's home shard (round-robin assigned on first use).
   [[nodiscard]] std::uint32_t home_shard() const noexcept;

@@ -62,8 +62,34 @@ std::string_view telemetry_event_name(TelemetryEvent type) noexcept {
     case TelemetryEvent::kQuarantineEvict: return "quarantine_evict";
     case TelemetryEvent::kQuarantineOverflow: return "quarantine_overflow";
     case TelemetryEvent::kGuardInstallFail: return "guard_install_fail";
+    case TelemetryEvent::kPatchReload: return "patch_reload";
+    case TelemetryEvent::kPatchReloadRejected: return "patch_reload_rejected";
+    case TelemetryEvent::kAllocDegrade: return "alloc_degrade";
+    case TelemetryEvent::kAllocFailure: return "alloc_failure";
+    case TelemetryEvent::kQuarantinePressure: return "quarantine_pressure";
+    case TelemetryEvent::kTelemetryFlushFail: return "telemetry_flush_fail";
   }
   return "unknown";
+}
+
+std::string_view health_state_name(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kBypass: return "bypass";
+  }
+  return "unknown";
+}
+
+bool health_state_from_name(std::string_view name, HealthState& out) noexcept {
+  for (std::uint8_t i = 0; i <= 2; ++i) {
+    const auto state = static_cast<HealthState>(i);
+    if (health_state_name(state) == name) {
+      out = state;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool telemetry_event_from_name(std::string_view name, TelemetryEvent& out) noexcept {
@@ -78,6 +104,10 @@ bool telemetry_event_from_name(std::string_view name, TelemetryEvent& out) noexc
 }
 
 // ---- TelemetryRing ----
+
+/// Claim-spin bound for a wrap-contended slot (see record()); generous for
+/// a 32-byte payload copy, tiny next to blocking.
+constexpr int kClaimAttempts = 256;
 
 void TelemetryRing::configure(std::uint32_t capacity) {
   if (capacity == 0) {
@@ -100,9 +130,26 @@ void TelemetryRing::record(TelemetryRecord rec) noexcept {
   Slot& slot = slots_[seq & mask_];
   // Per-slot seqlock: odd marker while the payload is in flight, even once
   // published. Readers validate the marker before and after their copy.
-  slot.marker.store((seq + 1) * 2 + 1, std::memory_order_relaxed);
-  std::atomic_thread_fence(std::memory_order_release);
-  slot.rec = rec;
+  //
+  // Writers CLAIM the slot by swinging the marker to this lap's odd value;
+  // the CAS serializes wrap-around writers (two writers landing on one slot
+  // are a full capacity_ apart in sequence space, so this only contends
+  // under heavy wrap). The claim spin is bounded: if the slot stays odd —
+  // say its owner was preempted mid-copy — the event is dropped instead of
+  // blocking, which keeps record() safe from any context, including a
+  // guard-trap handler that interrupted a writer on the same slot.
+  std::uint64_t m = slot.marker.load(std::memory_order_relaxed);
+  for (int attempts = 0;; ++attempts) {
+    if ((m & 1) == 0 &&
+        slot.marker.compare_exchange_weak(m, (seq + 1) * 2 + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      break;
+    }
+    if (attempts >= kClaimAttempts) return;  // contended wrap: drop
+    m = slot.marker.load(std::memory_order_relaxed);
+  }
+  slot.store_payload(rec);
   slot.marker.store((seq + 1) * 2, std::memory_order_release);
 }
 
@@ -120,7 +167,8 @@ std::size_t TelemetryRing::snapshot(std::vector<TelemetryRecord>& out) const {
     const Slot& slot = slots_[seq & mask_];
     const std::uint64_t m1 = slot.marker.load(std::memory_order_acquire);
     if (m1 != (seq + 1) * 2) continue;  // not yet published, or overwritten
-    TelemetryRecord copy = slot.rec;
+    TelemetryRecord copy;
+    slot.load_payload(copy);
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint64_t m2 = slot.marker.load(std::memory_order_relaxed);
     if (m1 != m2) continue;  // torn by a concurrent wrap; skip
@@ -226,12 +274,14 @@ void reserve_snapshot(TelemetrySnapshot& snap, std::uint32_t shards,
 void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink,
                               std::uint32_t shard, const AllocatorStats& stats,
                               std::uint64_t quarantine_bytes,
-                              std::uint64_t quarantine_depth) {
+                              std::uint64_t quarantine_depth,
+                              std::uint64_t quarantine_pressure) {
   ShardTelemetry row;
   row.shard = shard;
   row.stats = stats;
   row.quarantine_bytes = quarantine_bytes;
   row.quarantine_depth = quarantine_depth;
+  row.quarantine_pressure = quarantine_pressure;
   row.events_recorded = sink.ring().recorded();
   row.events_dropped = sink.ring().dropped();
   snap.shards.push_back(row);
@@ -239,6 +289,7 @@ void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink
   snap.totals += stats;
   snap.events_recorded += row.events_recorded;
   snap.events_dropped += row.events_dropped;
+  snap.quarantine_pressure += quarantine_pressure;
   snap.patch_hit_overflow += sink.patch_hit_overflow();
   snap.latency += sink.latency();
   // Stack buffer instead of sink.patch_hits(): callers hold the shard lock
@@ -276,6 +327,17 @@ void finalize_snapshot(TelemetrySnapshot& snap) {
               if (a.fn != b.fn) return a.fn < b.fn;
               return a.ccid < b.ccid;
             });
+  snap.health = derive_health(snap);
+}
+
+HealthState derive_health(const TelemetrySnapshot& snap) noexcept {
+  if (snap.bypass) return HealthState::kBypass;
+  const AllocatorStats& t = snap.totals;
+  const std::uint64_t degradations =
+      t.failed_guards + t.guard_budget_denied + t.degraded_to_canary +
+      t.degraded_to_plain + t.alloc_failures + snap.quarantine_pressure +
+      snap.flush_failures;
+  return degradations > 0 ? HealthState::kDegraded : HealthState::kHealthy;
 }
 
 std::string expand_telemetry_path(std::string_view templ, long pid) {
@@ -321,6 +383,10 @@ constexpr CounterField kCounterFields[] = {
     {"failed_guards", &AllocatorStats::failed_guards},
     {"canaries_planted", &AllocatorStats::canaries_planted},
     {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
+    {"guard_budget_denied", &AllocatorStats::guard_budget_denied},
+    {"degraded_to_canary", &AllocatorStats::degraded_to_canary},
+    {"degraded_to_plain", &AllocatorStats::degraded_to_plain},
+    {"alloc_failures", &AllocatorStats::alloc_failures},
 };
 
 }  // namespace
@@ -336,6 +402,9 @@ std::string render_telemetry(const TelemetrySnapshot& snap) {
   append_fmt(out, "table generation=%llu patches=%llu\n",
              static_cast<unsigned long long>(snap.table_generation),
              static_cast<unsigned long long>(snap.table_patches));
+  append_fmt(out, "health %s bypass=%u\n",
+             std::string(health_state_name(snap.health)).c_str(),
+             snap.bypass ? 1u : 0u);
   for (const CounterField& c : kCounterFields) {
     append_fmt(out, "counter %s %llu\n", c.name,
                static_cast<unsigned long long>(snap.totals.*(c.field)));
@@ -346,15 +415,20 @@ std::string render_telemetry(const TelemetrySnapshot& snap) {
              static_cast<unsigned long long>(snap.events_dropped));
   append_fmt(out, "counter patch_hit_overflow %llu\n",
              static_cast<unsigned long long>(snap.patch_hit_overflow));
+  append_fmt(out, "counter quarantine_pressure %llu\n",
+             static_cast<unsigned long long>(snap.quarantine_pressure));
+  append_fmt(out, "counter flush_failures %llu\n",
+             static_cast<unsigned long long>(snap.flush_failures));
   for (const ShardTelemetry& s : snap.shards) {
     append_fmt(out,
                "shard %u interceptions=%llu frees=%llu quarantine_bytes=%llu "
-               "quarantine_depth=%llu events=%llu dropped=%llu\n",
+               "quarantine_depth=%llu pressure=%llu events=%llu dropped=%llu\n",
                s.shard, static_cast<unsigned long long>(s.stats.interceptions),
                static_cast<unsigned long long>(s.stats.plain_frees +
                                                s.stats.quarantined_frees),
                static_cast<unsigned long long>(s.quarantine_bytes),
                static_cast<unsigned long long>(s.quarantine_depth),
+               static_cast<unsigned long long>(s.quarantine_pressure),
                static_cast<unsigned long long>(s.events_recorded),
                static_cast<unsigned long long>(s.events_dropped));
   }
@@ -470,6 +544,18 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
           complain("bad table field '" + std::string(fields[i]) + "'");
         }
       }
+    } else if (directive == "health") {
+      if (fields.size() < 2 || !health_state_from_name(fields[1], snap.health)) {
+        complain("malformed health line");
+        continue;
+      }
+      std::uint64_t bypass = 0;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        if (!parse_kv_u64(fields[i], "bypass", bypass)) {
+          complain("bad health field '" + std::string(fields[i]) + "'");
+        }
+      }
+      snap.bypass = bypass != 0;
     } else if (directive == "counter") {
       const auto value =
           fields.size() == 3 ? support::parse_u64(fields[2]) : std::nullopt;
@@ -494,6 +580,12 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
       } else if (fields[1] == "patch_hit_overflow") {
         snap.patch_hit_overflow = *value;
         known = true;
+      } else if (fields[1] == "quarantine_pressure") {
+        snap.quarantine_pressure = *value;
+        known = true;
+      } else if (fields[1] == "flush_failures") {
+        snap.flush_failures = *value;
+        known = true;
       }
       // Unknown counters are skipped silently: a newer runtime may emit
       // counters an older parser does not know (forward compatibility).
@@ -513,6 +605,7 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
             !parse_kv_u64(fields[i], "frees", frees) &&
             !parse_kv_u64(fields[i], "quarantine_bytes", row.quarantine_bytes) &&
             !parse_kv_u64(fields[i], "quarantine_depth", row.quarantine_depth) &&
+            !parse_kv_u64(fields[i], "pressure", row.quarantine_pressure) &&
             !parse_kv_u64(fields[i], "events", row.events_recorded) &&
             !parse_kv_u64(fields[i], "dropped", row.events_dropped)) {
           complain("bad shard field '" + std::string(fields[i]) + "'");
@@ -609,6 +702,8 @@ std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
   append_fmt(out, "  \"table\": {\"generation\": %llu, \"patches\": %llu},\n",
              static_cast<unsigned long long>(snap.table_generation),
              static_cast<unsigned long long>(snap.table_patches));
+  append_fmt(out, "  \"health\": \"%s\",\n",
+             std::string(health_state_name(snap.health)).c_str());
   out += "  \"counters\": {";
   bool first = true;
   for (const CounterField& c : kCounterFields) {
@@ -617,10 +712,13 @@ std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
     first = false;
   }
   append_fmt(out, ", \"events_recorded\": %llu, \"events_dropped\": %llu"
-                  ", \"patch_hit_overflow\": %llu},\n",
+                  ", \"patch_hit_overflow\": %llu"
+                  ", \"quarantine_pressure\": %llu, \"flush_failures\": %llu},\n",
              static_cast<unsigned long long>(snap.events_recorded),
              static_cast<unsigned long long>(snap.events_dropped),
-             static_cast<unsigned long long>(snap.patch_hit_overflow));
+             static_cast<unsigned long long>(snap.patch_hit_overflow),
+             static_cast<unsigned long long>(snap.quarantine_pressure),
+             static_cast<unsigned long long>(snap.flush_failures));
   out += "  \"patch_hits\": [";
   first = true;
   for (const PatchHitCount& hit : snap.patch_hits) {
@@ -651,14 +749,15 @@ std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
     append_fmt(out,
                "%s\n    {\"shard\": %u, \"interceptions\": %llu, "
                "\"frees\": %llu, \"quarantine_bytes\": %llu, "
-               "\"quarantine_depth\": %llu, \"events\": %llu, "
-               "\"dropped\": %llu}",
+               "\"quarantine_depth\": %llu, \"pressure\": %llu, "
+               "\"events\": %llu, \"dropped\": %llu}",
                first ? "" : ",", s.shard,
                static_cast<unsigned long long>(s.stats.interceptions),
                static_cast<unsigned long long>(s.stats.plain_frees +
                                                s.stats.quarantined_frees),
                static_cast<unsigned long long>(s.quarantine_bytes),
                static_cast<unsigned long long>(s.quarantine_depth),
+               static_cast<unsigned long long>(s.quarantine_pressure),
                static_cast<unsigned long long>(s.events_recorded),
                static_cast<unsigned long long>(s.events_dropped));
     first = false;

@@ -20,12 +20,16 @@
 //    lifecycle events (patch hit, guard trap, canary corruption,
 //    quarantine evict/overflow, patch-table load). One ring per shard, no
 //    shared cursors. Slots are per-slot seqlocks: a writer claims a global
-//    sequence number with one relaxed fetch_add, stamps the slot "busy"
+//    sequence number with one relaxed fetch_add, CASes the slot "busy"
 //    (odd marker), fills the payload, then publishes (even marker,
-//    release). Readers never block writers: a snapshot copies each slot
-//    and discards it if the marker changed mid-copy. When the ring wraps,
-//    old events are overwritten; the drop counter (`sequence - retained`)
-//    says exactly how many are no longer retrievable.
+//    release). The claim CAS serializes wrap-around writers that land on
+//    the same slot (they are a full ring apart in sequence space); the
+//    claim spin is bounded and drops the event rather than blocking, so
+//    record() is safe from any context. Readers never block writers: a
+//    snapshot copies each slot and discards it if the marker changed
+//    mid-copy. When the ring wraps, old events are overwritten; the drop
+//    counter (`sequence - retained`) says exactly how many are no longer
+//    retrievable.
 //
 // Nothing here allocates after configure(): the ring storage, the
 // patch-hit table and the histogram are fixed-size, so recording an event
@@ -41,9 +45,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "progmodel/values.hpp"
@@ -61,9 +67,36 @@ enum class TelemetryEvent : std::uint8_t {
   kQuarantineEvict = 4,   ///< quota eviction released a quarantined block
   kQuarantineOverflow = 5,///< block alone exceeds the quota slice (retained)
   kGuardInstallFail = 6,  ///< mprotect failed; defense degraded for buffer
+  kPatchReload = 7,       ///< hot-reload committed a new patch table
+  kPatchReloadRejected = 8,  ///< hot-reload rejected; prior table serving
+  kAllocDegrade = 9,      ///< allocation stepped down the ladder (aux=level)
+  kAllocFailure = 10,     ///< underlying alloc null even for plain layout
+  kQuarantinePressure = 11,  ///< sustained pressure; early eviction sweep
+  kTelemetryFlushFail = 12,  ///< telemetry flush failed after all retries
 };
 
-inline constexpr std::uint8_t kTelemetryEventCount = 7;
+inline constexpr std::uint8_t kTelemetryEventCount = 13;
+
+/// kAllocDegrade aux values: which rung the allocation landed on.
+inline constexpr std::uint32_t kDegradeLevelCanary = 1;
+inline constexpr std::uint32_t kDegradeLevelPlain = 2;
+
+/// Queryable allocator health (docs/RESILIENCE.md). Computed from the
+/// degradation counters at snapshot time, surfaced by `htctl stats` and
+/// htagg. kBypass = forward-only interposition (protection deliberately
+/// off), reported separately so a fleet dashboard cannot mistake an
+/// unprotected process for a healthy protected one.
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kBypass = 2,
+};
+
+/// Stable token for dumps/JSON ("healthy", "degraded", "bypass").
+[[nodiscard]] std::string_view health_state_name(HealthState state) noexcept;
+/// Inverse of health_state_name; returns false on unknown token.
+[[nodiscard]] bool health_state_from_name(std::string_view name,
+                                          HealthState& out) noexcept;
 
 /// Stable token used by the dump format and JSON export.
 [[nodiscard]] std::string_view telemetry_event_name(TelemetryEvent type) noexcept;
@@ -128,8 +161,34 @@ class TelemetryRing {
   // per slot in steady state; a reader that sees the marker change between
   // its two loads discards the copy.
   struct Slot {
+    static constexpr std::size_t kWords =
+        sizeof(TelemetryRecord) / sizeof(std::uint64_t);
+    static_assert(sizeof(TelemetryRecord) % sizeof(std::uint64_t) == 0,
+                  "payload must convert to whole words");
+    static_assert(std::is_trivially_copyable_v<TelemetryRecord>,
+                  "payload is copied word-wise");
+
     std::atomic<std::uint64_t> marker{0};
-    TelemetryRecord rec;
+    /// Payload as relaxed atomic words. The marker brackets provide all
+    /// ordering; word-wise atomics make the reader's SPECULATIVE copy
+    /// well-defined — with a plain struct the copy would be a formal data
+    /// race even though torn results are discarded by the marker re-check.
+    std::atomic<std::uint64_t> words[kWords] = {};
+
+    void store_payload(const TelemetryRecord& rec) noexcept {
+      std::uint64_t raw[kWords];
+      std::memcpy(raw, &rec, sizeof(rec));
+      for (std::size_t i = 0; i < kWords; ++i) {
+        words[i].store(raw[i], std::memory_order_relaxed);
+      }
+    }
+    void load_payload(TelemetryRecord& rec) const noexcept {
+      std::uint64_t raw[kWords];
+      for (std::size_t i = 0; i < kWords; ++i) {
+        raw[i] = words[i].load(std::memory_order_relaxed);
+      }
+      std::memcpy(&rec, raw, sizeof(rec));
+    }
   };
 
   std::unique_ptr<Slot[]> slots_;
@@ -247,6 +306,7 @@ struct ShardTelemetry {
   AllocatorStats stats;
   std::uint64_t quarantine_bytes = 0;
   std::uint64_t quarantine_depth = 0;
+  std::uint64_t quarantine_pressure = 0;  ///< early-eviction sweeps run
   std::uint64_t events_recorded = 0;
   std::uint64_t events_dropped = 0;
 };
@@ -266,6 +326,17 @@ struct TelemetrySnapshot {
   LatencyHistogram latency;               ///< merged
   std::uint64_t events_recorded = 0;      ///< sum over rings
   std::uint64_t events_dropped = 0;       ///< sum over rings
+  /// Early-eviction pressure sweeps, summed over shard quarantines.
+  std::uint64_t quarantine_pressure = 0;
+  /// Telemetry flushes that failed after all retries (preload/htrun set
+  /// this from their own counter — the flusher lives outside the engine).
+  std::uint64_t flush_failures = 0;
+  /// True when the engine runs forward-only (protection deliberately off).
+  /// Set by the allocator snapshot functions before finalize_snapshot.
+  bool bypass = false;
+  /// Computed by finalize_snapshot from bypass + degradation counters;
+  /// parse_telemetry restores it from the dump's `health` line.
+  HealthState health = HealthState::kHealthy;
   /// Retained events across all rings, ordered by timestamp.
   std::vector<TelemetryRecord> events;
 };
@@ -286,11 +357,17 @@ void reserve_snapshot(TelemetrySnapshot& snap, std::uint32_t shards,
 void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink,
                               std::uint32_t shard, const AllocatorStats& stats,
                               std::uint64_t quarantine_bytes,
-                              std::uint64_t quarantine_depth);
+                              std::uint64_t quarantine_depth,
+                              std::uint64_t quarantine_pressure = 0);
 
-/// Sorts merged events by timestamp and patch hits by {fn, ccid}. Call
-/// once after the last merge_sink_into_snapshot.
+/// Sorts merged events by timestamp and patch hits by {fn, ccid}, then
+/// derives `health` from bypass + the degradation counters. Call once
+/// after the last merge_sink_into_snapshot.
 void finalize_snapshot(TelemetrySnapshot& snap);
+
+/// The health derivation finalize_snapshot applies (also used by htagg to
+/// grade parsed dumps whose producers predate the `health` line).
+[[nodiscard]] HealthState derive_health(const TelemetrySnapshot& snap) noexcept;
 
 /// Expands the HEAPTHERAPY_TELEMETRY path template: "%p" becomes `pid` in
 /// decimal, "%%" a literal '%'. Any other sequence is copied verbatim. A

@@ -41,6 +41,10 @@ constexpr CounterField kCounterFields[] = {
     {"failed_guards", &AllocatorStats::failed_guards},
     {"canaries_planted", &AllocatorStats::canaries_planted},
     {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
+    {"guard_budget_denied", &AllocatorStats::guard_budget_denied},
+    {"degraded_to_canary", &AllocatorStats::degraded_to_canary},
+    {"degraded_to_plain", &AllocatorStats::degraded_to_plain},
+    {"alloc_failures", &AllocatorStats::alloc_failures},
 };
 
 std::string ccid_hex(std::uint64_t ccid) {
@@ -113,7 +117,10 @@ TelemetryAggregate aggregate_telemetry(
     agg.events_recorded += s.events_recorded;
     agg.events_dropped += s.events_dropped;
     agg.patch_hit_overflow += s.patch_hit_overflow;
+    agg.quarantine_pressure += s.quarantine_pressure;
+    agg.flush_failures += s.flush_failures;
     agg.latency += s.latency;
+    if (s.health > agg.worst_health) agg.worst_health = s.health;
     generations.insert(s.table_generation);
 
     ProcessSummary row;
@@ -123,6 +130,7 @@ TelemetryAggregate aggregate_telemetry(
     row.totals = s.totals;
     row.events_recorded = s.events_recorded;
     row.events_dropped = s.events_dropped;
+    row.health = s.health;
     for (const PatchHitCount& h : s.patch_hits) {
       hits[{static_cast<std::uint8_t>(h.fn), h.ccid}] += h.hits;
       row.patch_hits += h.hits;
@@ -152,6 +160,19 @@ std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
   std::string out;
   out += "{\n";
   append_fmt(out, "  \"processes\": %zu,\n", agg.processes);
+  append_fmt(out, "  \"health\": \"%s\",\n",
+             std::string(health_state_name(agg.worst_health)).c_str());
+
+  out += "  \"skipped\": [";
+  for (std::size_t i = 0; i < agg.skipped.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"process\": ";
+    append_json_string(out, agg.skipped[i].label);
+    out += ", \"reason\": ";
+    append_json_string(out, agg.skipped[i].reason);
+    out += "}";
+  }
+  out += "],\n";
 
   out += "  \"generations\": [";
   for (std::size_t i = 0; i < agg.generations.size(); ++i) {
@@ -174,6 +195,9 @@ std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
              agg.events_recorded, agg.events_dropped);
   append_fmt(out, "  \"patch_hit_overflow\": %" PRIu64 ",\n",
              agg.patch_hit_overflow);
+  append_fmt(out, "  \"quarantine_pressure\": %" PRIu64 ",\n",
+             agg.quarantine_pressure);
+  append_fmt(out, "  \"flush_failures\": %" PRIu64 ",\n", agg.flush_failures);
 
   // Latency buckets: le is the exclusive upper bound in ns, null for the
   // unbounded last bucket. Counts are per-bucket (NOT cumulative) here;
@@ -213,10 +237,12 @@ std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
     out += "    {\"process\": ";
     append_json_string(out, r.label);
     append_fmt(out,
+               ", \"health\": \"%s\""
                ", \"table_generation\": %" PRIu64 ", \"table_patches\": %" PRIu64
                ", \"interceptions\": %" PRIu64 ", \"enhanced\": %" PRIu64
                ", \"patch_hits\": %" PRIu64 ", \"events_recorded\": %" PRIu64
                ", \"events_dropped\": %" PRIu64 "}%s\n",
+               std::string(health_state_name(r.health)).c_str(),
                r.table_generation, r.table_patches, r.totals.interceptions,
                r.totals.enhanced, r.patch_hits, r.events_recorded,
                r.events_dropped, i + 1 < agg.rows.size() ? "," : "");
@@ -233,6 +259,15 @@ std::string aggregate_prometheus(const TelemetryAggregate& agg,
   append_fmt(out, "# HELP ht_processes Telemetry dumps merged into this exposition.\n");
   append_fmt(out, "# TYPE ht_processes gauge\n");
   append_fmt(out, "ht_processes %zu\n", agg.processes);
+
+  append_fmt(out, "# HELP ht_inputs_skipped Telemetry dumps that could not be merged (missing/unreadable/empty).\n");
+  append_fmt(out, "# TYPE ht_inputs_skipped gauge\n");
+  append_fmt(out, "ht_inputs_skipped %zu\n", agg.skipped.size());
+
+  append_fmt(out, "# HELP ht_fleet_health Worst health across the fleet: 0 healthy, 1 degraded, 2 bypass.\n");
+  append_fmt(out, "# TYPE ht_fleet_health gauge\n");
+  append_fmt(out, "ht_fleet_health %u\n",
+             static_cast<unsigned>(agg.worst_health));
 
   append_fmt(out, "# HELP ht_table_generations Distinct patch-table generations across the fleet.\n");
   append_fmt(out, "# TYPE ht_table_generations gauge\n");
@@ -266,6 +301,24 @@ std::string aggregate_prometheus(const TelemetryAggregate& agg,
   prom_counter(out, "ht_events_dropped_total",
                "Telemetry ring events overwritten before export.",
                agg.events_dropped);
+  prom_counter(out, "ht_guard_budget_denied_total",
+               "Guard pages skipped because the live-guard budget was exhausted.",
+               agg.totals.guard_budget_denied);
+  prom_counter(out, "ht_degraded_to_canary_total",
+               "Allocations downgraded from guard page to canary.",
+               agg.totals.degraded_to_canary);
+  prom_counter(out, "ht_degraded_to_plain_total",
+               "Allocations downgraded to a plain (undefended) layout.",
+               agg.totals.degraded_to_plain);
+  prom_counter(out, "ht_alloc_failures_total",
+               "Allocations that failed even after degradation.",
+               agg.totals.alloc_failures);
+  prom_counter(out, "ht_quarantine_pressure_total",
+               "Quarantine early-eviction pressure sweeps.",
+               agg.quarantine_pressure);
+  prom_counter(out, "ht_flush_failures_total",
+               "Telemetry flush cycles that exhausted every retry.",
+               agg.flush_failures);
   prom_counter(out, "ht_patch_hit_overflow_total",
                "Enhanced allocations not attributed per-patch (hit table full).",
                agg.patch_hit_overflow);

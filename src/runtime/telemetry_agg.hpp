@@ -40,6 +40,16 @@ struct ProcessSummary {
   std::uint64_t events_recorded = 0;
   std::uint64_t events_dropped = 0;
   std::uint64_t patch_hits = 0;  ///< sum of this process's per-patch hits
+  HealthState health = HealthState::kHealthy;  ///< from the dump's health line
+};
+
+/// An input file htagg could not merge (missing, unreadable, empty). Kept
+/// in the aggregate so the skip is visible in the OUTPUT, not only stderr:
+/// a fleet rollup silently missing a process reads as "that process is
+/// fine" when it may be the one that crashed.
+struct SkippedInput {
+  std::string label;
+  std::string reason;  ///< "unreadable" | "empty"
 };
 
 /// Fleet-wide merge of N snapshots. All counter fields are exact sums.
@@ -49,6 +59,11 @@ struct TelemetryAggregate {
   std::uint64_t events_recorded = 0;
   std::uint64_t events_dropped = 0;
   std::uint64_t patch_hit_overflow = 0;
+  std::uint64_t quarantine_pressure = 0;  ///< early-eviction sweeps, summed
+  std::uint64_t flush_failures = 0;       ///< exhausted flush retries, summed
+  /// Worst health across the fleet (healthy < degraded < bypass): one
+  /// degraded process degrades the whole rollup.
+  HealthState worst_health = HealthState::kHealthy;
   LatencyHistogram latency;               ///< bucket-wise sum
   /// Merged per-patch hits keyed {fn, ccid}, sorted hits-descending
   /// (ties: fn then ccid ascending) so "top K" is a prefix.
@@ -57,6 +72,9 @@ struct TelemetryAggregate {
   /// means the fleet is running mixed patch tables — worth surfacing.
   std::vector<std::uint64_t> generations;
   std::vector<ProcessSummary> rows;       ///< one per input, input order
+  /// Inputs skipped before the merge (filled by the caller — htagg — since
+  /// only it sees the filesystem); surfaced in both export formats.
+  std::vector<SkippedInput> skipped;
 };
 
 /// Merges the inputs. Pure function of the snapshots; never throws.

@@ -1,0 +1,226 @@
+#include "support/faultpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace ht::support {
+
+namespace {
+
+/// Name table — the single source of truth for the env/docs tokens.
+/// scripts/check_docs.sh greps this file for `"[a-z-]+"` entries and
+/// requires each to appear in docs/RESILIENCE.md; keep one entry per line.
+struct FaultPointName {
+  FaultPoint point;
+  std::string_view name;
+};
+constexpr FaultPointName kFaultPointNames[kFaultPointCount] = {
+    {FaultPoint::kUnderlyingOom, "underlying-oom"},
+    {FaultPoint::kGuardMap, "guard-map"},
+    {FaultPoint::kQuarantinePressure, "quarantine-pressure"},
+    {FaultPoint::kTelemetryIo, "telemetry-io"},
+    {FaultPoint::kPatchParse, "patch-parse"},
+};
+
+/// Per-point registry slot. The spec fields are plain (not atomic): they
+/// are written only while the point's armed bit is clear (arm_fault clears
+/// the bit, writes, then sets it with release), and fault_fires_slow reads
+/// them only after observing the bit set — the release/acquire pair on
+/// g_armed_mask orders the accesses.
+struct FaultSlot {
+  FaultSpec spec;
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+FaultSlot g_slots[kFaultPointCount];
+
+std::uint32_t bit_of(FaultPoint point) noexcept {
+  return 1u << static_cast<std::uint32_t>(point);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_armed_mask{0};
+
+bool fault_fires_slow(FaultPoint point) noexcept {
+  // Re-check with acquire: the relaxed fast-path load may have raced a
+  // concurrent arm; acquire pairs with the release store in arm_fault so
+  // the spec fields below are fully visible.
+  if ((g_armed_mask.load(std::memory_order_acquire) & bit_of(point)) == 0) {
+    return false;
+  }
+  FaultSlot& slot = g_slots[static_cast<std::uint32_t>(point)];
+  const std::uint64_t idx =
+      slot.evaluations.fetch_add(1, std::memory_order_relaxed);
+  bool fires = false;
+  switch (slot.spec.mode) {
+    case FaultSpec::Mode::kNever:
+      break;
+    case FaultSpec::Mode::kAlways:
+      fires = true;
+      break;
+    case FaultSpec::Mode::kFirst:
+      fires = idx < slot.spec.n;
+      break;
+    case FaultSpec::Mode::kEvery:
+      fires = slot.spec.n != 0 && idx % slot.spec.n == 0;
+      break;
+    case FaultSpec::Mode::kRate:
+      fires = slot.spec.n != 0 && mix64(slot.spec.seed ^ idx) % slot.spec.n == 0;
+      break;
+  }
+  if (fires) slot.fires.fetch_add(1, std::memory_order_relaxed);
+  return fires;
+}
+
+}  // namespace detail
+
+std::string_view fault_point_name(FaultPoint point) noexcept {
+  for (const auto& e : kFaultPointNames) {
+    if (e.point == point) return e.name;
+  }
+  return "unknown";
+}
+
+bool fault_point_from_name(std::string_view name, FaultPoint& out) noexcept {
+  for (const auto& e : kFaultPointNames) {
+    if (e.name == name) {
+      out = e.point;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_fault_spec(std::string_view text, FaultSpec& out,
+                      std::string* error) {
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  const std::string_view spec = trim(text);
+  if (spec.empty()) return fail("empty fault spec");
+  const auto fields = split(spec, ':');
+  const std::string_view mode = fields[0];
+  FaultSpec parsed;
+  if (mode == "always" || mode == "never") {
+    if (fields.size() != 1) {
+      return fail("'" + std::string(mode) + "' takes no arguments");
+    }
+    parsed.mode = mode == "always" ? FaultSpec::Mode::kAlways
+                                   : FaultSpec::Mode::kNever;
+  } else if (mode == "first" || mode == "every" || mode == "rate") {
+    const bool is_rate = mode == "rate";
+    if (fields.size() < 2 || fields.size() > (is_rate ? 3u : 2u)) {
+      return fail("'" + std::string(mode) + "' expects " +
+                  (is_rate ? "rate:N[:SEED]" : std::string(mode) + ":N"));
+    }
+    const auto n = parse_u64(fields[1]);
+    if (!n) return fail("bad count '" + std::string(fields[1]) + "'");
+    if (*n == 0 && mode != "first") {
+      return fail("'" + std::string(mode) + ":0' would never fire; use 'never'");
+    }
+    parsed.n = *n;
+    parsed.mode = is_rate ? FaultSpec::Mode::kRate
+                : mode == "first" ? FaultSpec::Mode::kFirst
+                                  : FaultSpec::Mode::kEvery;
+    if (is_rate && fields.size() == 3) {
+      const auto seed = parse_u64(fields[2]);
+      if (!seed) return fail("bad seed '" + std::string(fields[2]) + "'");
+      parsed.seed = *seed;
+    }
+  } else {
+    return fail("unknown fault mode '" + std::string(mode) +
+                "' (want always, never, first:K, every:N, rate:N[:SEED])");
+  }
+  out = parsed;
+  return true;
+}
+
+void arm_fault(FaultPoint point, const FaultSpec& spec) noexcept {
+  FaultSlot& slot = g_slots[static_cast<std::uint32_t>(point)];
+  // Clear the bit first so no evaluator reads a half-written spec; the
+  // release store re-arming publishes the new spec and zeroed counters.
+  detail::g_armed_mask.fetch_and(~bit_of(point), std::memory_order_acq_rel);
+  slot.spec = spec;
+  slot.evaluations.store(0, std::memory_order_relaxed);
+  slot.fires.store(0, std::memory_order_relaxed);
+  detail::g_armed_mask.fetch_or(bit_of(point), std::memory_order_release);
+}
+
+void disarm_fault(FaultPoint point) noexcept {
+  detail::g_armed_mask.fetch_and(~bit_of(point), std::memory_order_acq_rel);
+}
+
+void disarm_all_faults() noexcept {
+  detail::g_armed_mask.store(0, std::memory_order_release);
+  for (auto& slot : g_slots) {
+    slot.spec = FaultSpec{};
+    slot.evaluations.store(0, std::memory_order_relaxed);
+    slot.fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+FaultStats fault_stats(FaultPoint point) noexcept {
+  const FaultSlot& slot = g_slots[static_cast<std::uint32_t>(point)];
+  return {slot.evaluations.load(std::memory_order_relaxed),
+          slot.fires.load(std::memory_order_relaxed)};
+}
+
+std::vector<std::string> configure_faults(std::string_view text) {
+  std::vector<std::string> diagnostics;
+  for (const std::string_view raw : split(text, ',')) {
+    const std::string_view entry = trim(raw);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      diagnostics.push_back("fault entry '" + std::string(entry) +
+                            "' has no '=' (want point=spec)");
+      continue;
+    }
+    const std::string_view name = trim(entry.substr(0, eq));
+    FaultPoint point;
+    if (!fault_point_from_name(name, point)) {
+      std::string known;
+      for (const auto& e : kFaultPointNames) {
+        if (!known.empty()) known += ", ";
+        known += e.name;
+      }
+      diagnostics.push_back("unknown fault point '" + std::string(name) +
+                            "' (known: " + known + ")");
+      continue;
+    }
+    FaultSpec spec;
+    std::string error;
+    if (!parse_fault_spec(entry.substr(eq + 1), spec, &error)) {
+      diagnostics.push_back("fault point '" + std::string(name) +
+                            "': " + error);
+      continue;
+    }
+    arm_fault(point, spec);
+  }
+  return diagnostics;
+}
+
+std::size_t install_faults_from_env() {
+  const char* env = std::getenv("HEAPTHERAPY_FAULTS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  for (const std::string& diag : configure_faults(env)) {
+    std::fprintf(stderr, "heaptherapy: HEAPTHERAPY_FAULTS: %s\n", diag.c_str());
+  }
+  // Count live armed bits so the caller sees how many points are active.
+  std::size_t armed = 0;
+  for (std::uint32_t m = detail::g_armed_mask.load(std::memory_order_relaxed);
+       m != 0; m &= m - 1) {
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace ht::support

@@ -1,0 +1,125 @@
+// Seeded, deterministic fault injection for the resilience layer
+// (docs/RESILIENCE.md is the operator/tester-facing reference).
+//
+// The online defense must degrade, not die, when the world around it fails:
+// the underlying allocator returns null, a guard mprotect is refused, the
+// quarantine quota saturates, a telemetry flush hits a full disk, an
+// operator pushes a torn patch file. None of those paths can be exercised
+// reliably by waiting for the failure to happen — this module makes each of
+// them a *named fault point* that tests (and brave operators) can arm with
+// a deterministic firing schedule.
+//
+// Cost contract (the same one the Tracer honors): with no fault armed, a
+// fault point costs ONE relaxed atomic load plus a predicted-not-taken
+// branch — bench/ht_faultpoint_overhead holds the disabled mode to ≤0.5% of
+// allocator throughput, enforced with exit 1. Arming is explicit: via the
+// programmatic API (tests) or install_faults_from_env() reading
+// HEAPTHERAPY_FAULTS (the preload shim and htrun do this at startup).
+//
+// Determinism: every decision is a pure function of the point's spec and
+// its evaluation counter (per-point atomic). "rate:N:SEED" hashes the
+// counter with the seed, so two runs with the same spec fire on the same
+// evaluation indices regardless of timing — a seeded fault sweep is exactly
+// reproducible. There is no wall clock and no global RNG anywhere here.
+//
+// Spec grammar (parse_fault_spec):
+//   always        fire on every evaluation
+//   never         armed but inert (counts evaluations; useful to measure
+//                 how often a site is reached)
+//   first:K       fire on the first K evaluations, then stop
+//   every:N       fire on evaluations 0, N, 2N, ... (N >= 1)
+//   rate:N[:SEED] fire on ~1/N evaluations, chosen by mix64(seed ^ index)
+// Env grammar (HEAPTHERAPY_FAULTS): comma-separated "point=spec" entries,
+// e.g. "underlying-oom=every:64,guard-map=always".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::support {
+
+/// The named failure seams of the runtime. Values index the registry; add
+/// at the end, never renumber (names are part of the env/docs surface).
+enum class FaultPoint : std::uint8_t {
+  kUnderlyingOom = 0,      ///< underlying malloc/memalign returns null
+  kGuardMap = 1,           ///< guard-page mprotect fails
+  kQuarantinePressure = 2, ///< quarantine behaves as if over high watermark
+  kTelemetryIo = 3,        ///< telemetry flush write fails
+  kPatchParse = 4,         ///< patch-config load yields a parse error
+};
+
+inline constexpr std::uint32_t kFaultPointCount = 5;
+
+/// Stable token used by HEAPTHERAPY_FAULTS and the docs ("underlying-oom").
+[[nodiscard]] std::string_view fault_point_name(FaultPoint point) noexcept;
+/// Inverse of fault_point_name; returns false on unknown token.
+[[nodiscard]] bool fault_point_from_name(std::string_view name,
+                                         FaultPoint& out) noexcept;
+
+/// One point's firing schedule. Plain POD so tests can build them inline.
+struct FaultSpec {
+  enum class Mode : std::uint8_t {
+    kNever = 0,  ///< armed but never fires (still counts evaluations)
+    kAlways = 1,
+    kFirst = 2,  ///< fire while evaluation index < n
+    kEvery = 3,  ///< fire when evaluation index % n == 0
+    kRate = 4,   ///< fire when mix64(seed ^ index) % n == 0
+  };
+  Mode mode = Mode::kNever;
+  std::uint64_t n = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Parses the spec grammar above. On failure returns false and, when
+/// `error` is non-null, stores a one-line diagnostic.
+[[nodiscard]] bool parse_fault_spec(std::string_view text, FaultSpec& out,
+                                    std::string* error = nullptr);
+
+/// Arms `point` with `spec` and resets its counters. Thread-safe, but meant
+/// for configuration time (test setup, process start), not hot paths.
+void arm_fault(FaultPoint point, const FaultSpec& spec) noexcept;
+/// Disarms `point` (its fault_fires returns to the one-branch fast path).
+void disarm_fault(FaultPoint point) noexcept;
+/// Disarms every point and zeroes all counters (test teardown).
+void disarm_all_faults() noexcept;
+
+/// Observability of the injector itself: how often each site was reached
+/// and how often it was made to fail. A degradation test asserts fires > 0
+/// to prove the sweep actually exercised the seam it armed.
+struct FaultStats {
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+};
+[[nodiscard]] FaultStats fault_stats(FaultPoint point) noexcept;
+
+/// Applies a full HEAPTHERAPY_FAULTS-style string ("point=spec,..."). Valid
+/// entries arm their points; malformed entries are skipped and reported —
+/// one diagnostic per bad entry, never an abort (a typo in the env must not
+/// take down the protected process). An empty string arms nothing.
+[[nodiscard]] std::vector<std::string> configure_faults(std::string_view text);
+
+/// Reads HEAPTHERAPY_FAULTS from the environment, applies it, and prints
+/// each diagnostic to stderr prefixed "heaptherapy: ". Returns the number
+/// of points armed. No-op (returns 0) when the variable is unset or empty.
+std::size_t install_faults_from_env();
+
+namespace detail {
+/// Bit i set <=> FaultPoint(i) is armed. The ONLY state the disabled fast
+/// path touches.
+extern std::atomic<std::uint32_t> g_armed_mask;
+[[nodiscard]] bool fault_fires_slow(FaultPoint point) noexcept;
+}  // namespace detail
+
+/// The instrumentation hook. Disabled cost: one relaxed load + one branch.
+[[nodiscard]] inline bool fault_fires(FaultPoint point) noexcept {
+  if ((detail::g_armed_mask.load(std::memory_order_relaxed) &
+       (1u << static_cast<std::uint32_t>(point))) == 0) {
+    return false;
+  }
+  return detail::fault_fires_slow(point);
+}
+
+}  // namespace ht::support

@@ -126,6 +126,38 @@ TEST(Htagg, TopKPrunesToHighestHitters) {
   for (const auto& f : {a, out}) std::remove(f.c_str());
 }
 
+// Degrade-don't-die for the fleet rollup itself: bad inputs are skipped
+// with a per-file note *in the output* (so a partial view is never
+// mistaken for a complete one), and only a total lack of readable input
+// is an error.
+TEST(Htagg, SkipsBadInputsButMergesGoodOnes) {
+  const std::string good = temp_file("htagg_good.dump");
+  const std::string empty = temp_file("htagg_empty.dump");
+  const std::string out = temp_file("htagg_skip.txt");
+  (void)make_dump(good, 4);
+  { std::ofstream touch(empty); }
+
+  ASSERT_EQ(run(good + " /nonexistent_htagg_input.dump " + empty +
+                " --format both --out " + out + " 2> /dev/null"),
+            0);
+  const std::string merged = read_file(out);
+  // The good dump merged alone...
+  EXPECT_NE(merged.find("\"processes\": 1"), std::string::npos);
+  // ...and both casualties are named in the output with their reasons.
+  EXPECT_NE(merged.find("\"reason\": \"unreadable\""), std::string::npos);
+  EXPECT_NE(merged.find("\"reason\": \"empty\""), std::string::npos);
+  EXPECT_NE(merged.find("/nonexistent_htagg_input.dump"), std::string::npos);
+  EXPECT_NE(merged.find("ht_inputs_skipped 2"), std::string::npos);
+  for (const auto& f : {good, empty, out}) std::remove(f.c_str());
+}
+
+TEST(Htagg, AllInputsBadExitsThree) {
+  const std::string empty = temp_file("htagg_only_empty.dump");
+  { std::ofstream touch(empty); }
+  EXPECT_EQ(run(empty + " /nonexistent_htagg_input.dump 2> /dev/null"), 3);
+  std::remove(empty.c_str());
+}
+
 TEST(Htagg, PrometheusOnlyOutputToStdout) {
   const std::string a = temp_file("htagg_prom.dump");
   const std::string out = temp_file("htagg_prom.txt");

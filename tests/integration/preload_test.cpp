@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -25,6 +26,13 @@ std::string write_config(const std::string& name, const std::string& body) {
   std::ofstream out(path);
   out << body;
   return path.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
 }
 
 TEST(PreloadIntegration, VictimLeaksWithoutShim) {
@@ -119,6 +127,99 @@ TEST(PreloadIntegration, TelemetryPathExpandsPidTemplate) {
   }
   EXPECT_EQ(dumps, 2u);
   std::filesystem::remove_all(dir);
+}
+
+// Strict env parsing: a typo'd deployment manifest degrades to defaults
+// with a warning, it does not misconfigure (or kill) the host process.
+TEST(PreloadIntegration, GarbageNumericEnvFallsBackToDefault) {
+  const auto err =
+      (std::filesystem::temp_directory_path() / "ht_env_garbage.err").string();
+  ASSERT_EQ(run_command("HEAPTHERAPY_SHARDS=abc"
+                        " HEAPTHERAPY_QUARANTINE=99999999999999999999999"
+                        " LD_PRELOAD=" + shell_quote(kPreload) +
+                        " /bin/ls / > /dev/null 2> " + shell_quote(err)),
+            0);
+  const std::string warnings = slurp(err);
+  EXPECT_NE(warnings.find("HEAPTHERAPY_SHARDS='abc' is not a valid number"),
+            std::string::npos)
+      << warnings;
+  EXPECT_NE(warnings.find("HEAPTHERAPY_QUARANTINE="), std::string::npos)
+      << warnings;
+  std::remove(err.c_str());
+}
+
+TEST(PreloadIntegration, MalformedFaultSpecSkippedWithDiagnostic) {
+  const auto err =
+      (std::filesystem::temp_directory_path() / "ht_faults_bad.err").string();
+  // One bogus point name, one bogus spec: both diagnosed, process fine.
+  ASSERT_EQ(run_command("HEAPTHERAPY_FAULTS='bogus=always,guard-map=sometimes'"
+                        " LD_PRELOAD=" + shell_quote(kPreload) +
+                        " /bin/echo ok > /dev/null 2> " + shell_quote(err)),
+            0);
+  const std::string diags = slurp(err);
+  EXPECT_NE(diags.find("HEAPTHERAPY_FAULTS:"), std::string::npos) << diags;
+  std::remove(err.c_str());
+}
+
+// The acceptance sweep, end to end in a real interposed process: every
+// guard-page installation is made to fail, the host must survive with
+// degraded (not absent, not fatal) protection, and the telemetry dump
+// must say so.
+TEST(PreloadIntegration, InjectedGuardMapFailureDegradesNotDies) {
+  const std::string config = write_config(
+      "ht_faults_guard.cfg", "version 1\npatch malloc 0x0 OVERFLOW\n");
+  const auto dump =
+      (std::filesystem::temp_directory_path() / "ht_faults_guard.dump")
+          .string();
+  ASSERT_EQ(run_command("HEAPTHERAPY_CONFIG=" + shell_quote(config) +
+                        " HEAPTHERAPY_FAULTS=guard-map=always"
+                        " HEAPTHERAPY_TELEMETRY=" + shell_quote(dump) +
+                        " LD_PRELOAD=" + shell_quote(kPreload) +
+                        " /bin/ls /usr > /dev/null 2>&1"),
+            0);
+  const std::string text = slurp(dump);
+  EXPECT_NE(text.find("health degraded"), std::string::npos) << text;
+  EXPECT_EQ(text.find("counter failed_guards 0\n"), std::string::npos) << text;
+  std::remove(config.c_str());
+  std::remove(dump.c_str());
+}
+
+// SIGHUP hot-reload in a real process: the handler is installed only when
+// HEAPTHERAPY_RELOAD=1, the maintenance thread re-reads the config, and
+// the process keeps running.
+TEST(PreloadIntegration, SighupHotReloadAppliesConfig) {
+  const std::string config = write_config(
+      "ht_reload_ok.cfg", "version 1\npatch malloc 0x0 UNINIT\n");
+  const auto err =
+      (std::filesystem::temp_directory_path() / "ht_reload_ok.err").string();
+  const std::string script =
+      "HEAPTHERAPY_CONFIG=" + config + " HEAPTHERAPY_RELOAD=1 LD_PRELOAD=" +
+      std::string(kPreload) + " sleep 3 2> " + err +
+      " & pid=$!; sleep 1; kill -HUP $pid; wait $pid";
+  ASSERT_EQ(run_command("/bin/sh -c " + shell_quote(script)), 0);
+  const std::string log = slurp(err);
+  EXPECT_NE(log.find("reloaded"), std::string::npos) << log;
+  std::remove(config.c_str());
+  std::remove(err.c_str());
+}
+
+TEST(PreloadIntegration, SighupReloadRejectsCorruptConfigAndSurvives) {
+  const std::string config = write_config(
+      "ht_reload_bad.cfg", "version 1\npatch malloc 0x0 UNINIT\n");
+  const auto err =
+      (std::filesystem::temp_directory_path() / "ht_reload_bad.err").string();
+  // Corrupt the config after startup, then ask for a reload: the strict
+  // reload parse must reject it and the process must stay up.
+  const std::string script =
+      "HEAPTHERAPY_CONFIG=" + config + " HEAPTHERAPY_RELOAD=1 LD_PRELOAD=" +
+      std::string(kPreload) + " sleep 3 2> " + err +
+      " & pid=$!; sleep 1; echo torn-garbage > " + config +
+      "; kill -HUP $pid; wait $pid";
+  ASSERT_EQ(run_command("/bin/sh -c " + shell_quote(script)), 0);
+  const std::string log = slurp(err);
+  EXPECT_NE(log.find("rejected"), std::string::npos) << log;
+  std::remove(config.c_str());
+  std::remove(err.c_str());
 }
 
 TEST(PreloadIntegration, TelemetryPathEscapedPercentStaysLiteral) {

@@ -1,0 +1,194 @@
+// Tests for PatchTableSwap (patch/hot_swap.hpp): atomic generation-bumped
+// table swap with parse-validate-then-commit semantics. The property under
+// test is the rollback contract — a malformed or unreadable config file
+// must leave the prior table serving, observable both through the swap and
+// through an allocator that resolves lookups through it mid-reload.
+#include "patch/hot_swap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "patch/config_file.hpp"
+#include "patch/patch.hpp"
+#include "patch/patch_table.hpp"
+#include "runtime/guarded_allocator.hpp"
+#include "support/faultpoint.hpp"
+
+namespace ht::patch {
+namespace {
+
+using progmodel::AllocFn;
+
+// OVERFLOW|UNINIT: without a live guard page the engine strips the
+// OVERFLOW bit from applied_mask, so the UNINIT bit is the observable that
+// survives the canary-only configuration the allocator tests use.
+std::vector<Patch> one_patch(std::uint64_t ccid) {
+  return {Patch{AllocFn::kMalloc, ccid,
+                static_cast<std::uint8_t>(kOverflow | kUninitRead)}};
+}
+
+/// Writes `text` to a temp file and returns its path.
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(PatchTableSwapTest, StartsServingInitialTable) {
+  PatchTableSwap swap(PatchTable(one_patch(7), /*freeze=*/true));
+  ASSERT_NE(swap.serving(), nullptr);
+  EXPECT_EQ(swap.serving()->patch_count(), 1u);
+  EXPECT_EQ(swap.applied_reloads(), 0u);
+  EXPECT_EQ(swap.rejected_reloads(), 0u);
+}
+
+TEST(PatchTableSwapTest, DefaultConstructedServesNothing) {
+  PatchTableSwap swap;
+  EXPECT_EQ(swap.serving(), nullptr);
+}
+
+TEST(PatchTableSwapTest, ValidReloadBumpsGeneration) {
+  PatchTableSwap swap(PatchTable(one_patch(7), /*freeze=*/true));
+  const std::uint64_t gen0 = swap.serving()->generation();
+
+  const ReloadResult result = swap.reload_from_text(
+      "version 1\npatch malloc 8 OVERFLOW\npatch calloc 9 UAF\n");
+  EXPECT_TRUE(result.applied);
+  EXPECT_EQ(result.patch_count, 2u);
+  EXPECT_NE(result.generation, gen0);
+  EXPECT_EQ(swap.serving()->generation(), result.generation);
+  EXPECT_EQ(swap.serving()->patch_count(), 2u);
+  EXPECT_EQ(swap.applied_reloads(), 1u);
+}
+
+TEST(PatchTableSwapTest, MalformedTextRejectedPriorTableServes) {
+  PatchTableSwap swap(PatchTable(one_patch(7), /*freeze=*/true));
+  const PatchTable* before = swap.serving();
+  const std::uint64_t gen0 = before->generation();
+
+  // The lenient startup parser would keep the valid line; the reload path
+  // is strict — ANY error rejects the whole file (a torn write must not
+  // half-apply).
+  const ReloadResult result = swap.reload_from_text(
+      "version 1\npatch malloc 8 OVERFLOW\npatch garbage here\n");
+  EXPECT_FALSE(result.applied);
+  EXPECT_FALSE(result.errors.empty());
+  EXPECT_EQ(result.generation, gen0);  // reports the still-serving table
+  EXPECT_EQ(swap.serving(), before);
+  EXPECT_EQ(swap.serving()->patch_count(), 1u);
+  EXPECT_EQ(swap.rejected_reloads(), 1u);
+  EXPECT_EQ(swap.applied_reloads(), 0u);
+}
+
+TEST(PatchTableSwapTest, MissingFileRejected) {
+  PatchTableSwap swap(PatchTable(one_patch(7), /*freeze=*/true));
+  const ReloadResult result =
+      swap.reload_from_file(::testing::TempDir() + "ht_no_such_file.cfg");
+  EXPECT_FALSE(result.applied);
+  EXPECT_FALSE(result.errors.empty());
+  EXPECT_EQ(swap.serving()->patch_count(), 1u);
+}
+
+TEST(PatchTableSwapTest, FileReloadRoundTrip) {
+  PatchTableSwap swap(PatchTable(one_patch(7), /*freeze=*/true));
+  const std::string path = write_temp(
+      "ht_hot_swap_valid.cfg", serialize_config(one_patch(0x1234)));
+  const ReloadResult result = swap.reload_from_file(path);
+  EXPECT_TRUE(result.applied);
+  ASSERT_EQ(swap.serving()->patch_count(), 1u);
+  EXPECT_NE(swap.serving()->lookup(AllocFn::kMalloc, 0x1234), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(PatchTableSwapTest, PatchParseFaultRejectsReload) {
+  ht::support::disarm_all_faults();
+  PatchTableSwap swap(PatchTable(one_patch(7), /*freeze=*/true));
+  ht::support::FaultSpec spec;
+  spec.mode = ht::support::FaultSpec::Mode::kAlways;
+  ht::support::arm_fault(ht::support::FaultPoint::kPatchParse, spec);
+  const ReloadResult result =
+      swap.reload_from_text("version 1\npatch malloc 8 OVERFLOW\n");
+  ht::support::disarm_all_faults();
+  EXPECT_FALSE(result.applied);
+  EXPECT_EQ(swap.serving()->patch_count(), 1u);
+  EXPECT_EQ(swap.rejected_reloads(), 1u);
+}
+
+// The acceptance-criteria test: an allocator that resolves patch lookups
+// through the swap keeps allocating correctly while a reload (valid, then
+// corrupt) happens, and a corrupt reload leaves the prior table's defenses
+// in force.
+TEST(PatchTableSwapTest, AllocatorThroughSwapSurvivesReloads) {
+  constexpr std::uint64_t kCcid = 0xabc;
+  PatchTableSwap swap(PatchTable(one_patch(kCcid), /*freeze=*/true));
+  runtime::GuardedAllocatorConfig config;
+  config.use_guard_pages = false;  // canary defense keeps the test cheap
+  config.use_canaries = true;
+  runtime::GuardedAllocator allocator(swap, config);
+
+  void* enhanced = allocator.malloc(64, kCcid);
+  ASSERT_NE(enhanced, nullptr);
+  EXPECT_NE(allocator.applied_mask(enhanced), 0u);
+  allocator.free(enhanced);
+
+  // Valid reload: the patched CCID changes.
+  ASSERT_TRUE(
+      swap.reload_from_text("version 1\npatch malloc 0xdef OVERFLOW|UNINIT\n")
+          .applied);
+  void* old_ccid = allocator.malloc(64, kCcid);
+  void* new_ccid = allocator.malloc(64, 0xdef);
+  ASSERT_NE(old_ccid, nullptr);
+  ASSERT_NE(new_ccid, nullptr);
+  EXPECT_EQ(allocator.applied_mask(old_ccid), 0u);
+  EXPECT_NE(allocator.applied_mask(new_ccid), 0u);
+  allocator.free(old_ccid);
+  allocator.free(new_ccid);
+
+  // Corrupt reload: rejected, the 0xdef table keeps serving.
+  EXPECT_FALSE(swap.reload_from_text("torn garbage \x01\x02").applied);
+  void* still_patched = allocator.malloc(64, 0xdef);
+  ASSERT_NE(still_patched, nullptr);
+  EXPECT_NE(allocator.applied_mask(still_patched), 0u);
+  allocator.free(still_patched);
+}
+
+// TSan-facing: allocations race the reload on another thread; the acquire/
+// release pair on serving_ is the synchronization under test.
+TEST(PatchTableSwapTest, ConcurrentAllocationDuringReload) {
+  constexpr std::uint64_t kCcid = 0x77;
+  PatchTableSwap swap(PatchTable(one_patch(kCcid), /*freeze=*/true));
+  runtime::GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.use_canaries = true;
+  runtime::GuardedAllocator allocator(swap, config);
+
+  std::atomic<bool> stop{false};
+  std::thread reloader([&] {
+    for (int i = 0; i < 100; ++i) {
+      (void)swap.reload_from_text(i % 2 == 0
+                                      ? "version 1\npatch malloc 0x77 OVERFLOW\n"
+                                      : "version 1\npatch malloc 0x99 UAF\n");
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::uint64_t allocs = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    void* p = allocator.malloc(32, kCcid);
+    ASSERT_NE(p, nullptr);
+    allocator.free(p);
+    ++allocs;
+  }
+  reloader.join();
+  EXPECT_GT(allocs, 0u);
+  EXPECT_EQ(swap.applied_reloads(), 100u);
+}
+
+}  // namespace
+}  // namespace ht::patch

@@ -5,9 +5,14 @@
 //
 //   htagg <dump>... [--format json|prom|both] [--top K] [--out <path>]
 //
-// Exit codes: 0 ok, 1 usage error, 3 unreadable input file. Parse
-// diagnostics from malformed dump lines go to stderr; the dump is still
-// merged (the parser is lenient and never crashes on corrupt input).
+// Exit codes: 0 ok, 1 usage error, 3 when NO input could be merged or the
+// output path is unwritable. A missing, unreadable, or empty input file is
+// skipped — with a stderr warning AND a per-file entry in the output's
+// skipped list — rather than aborting the whole fleet rollup: in a fleet
+// sweep over HEAPTHERAPY_TELEMETRY dumps, one crashed-early process must
+// not hide every other process's data. Parse diagnostics from malformed
+// dump lines go to stderr; the dump is still merged (the parser is lenient
+// and never crashes on corrupt input).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -63,14 +68,23 @@ int main(int argc, char** argv) {
   if (paths.empty()) return usage();
 
   std::vector<ht::runtime::AggregateInput> inputs;
+  std::vector<ht::runtime::SkippedInput> skipped;
   for (const std::string& path : paths) {
     std::ifstream in(path);
     if (!in) {
-      std::fprintf(stderr, "htagg: cannot read %s\n", path.c_str());
-      return 3;
+      std::fprintf(stderr, "htagg: skipping %s: cannot read\n", path.c_str());
+      skipped.push_back({path, "unreadable"});
+      continue;
     }
     std::ostringstream buf;
     buf << in.rdbuf();
+    if (buf.str().empty()) {
+      // An empty file is a process that died before its first flush (or a
+      // truncated dump) — skip it visibly rather than merging zeros.
+      std::fprintf(stderr, "htagg: skipping %s: empty\n", path.c_str());
+      skipped.push_back({path, "empty"});
+      continue;
+    }
     const ht::runtime::TelemetryParseResult parsed =
         ht::runtime::parse_telemetry(buf.str());
     for (const std::string& e : parsed.errors) {
@@ -78,9 +92,14 @@ int main(int argc, char** argv) {
     }
     inputs.push_back({path, parsed.snapshot});
   }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "htagg: no readable input\n");
+    return 3;
+  }
 
-  const ht::runtime::TelemetryAggregate agg =
+  ht::runtime::TelemetryAggregate agg =
       ht::runtime::aggregate_telemetry(inputs);
+  agg.skipped = std::move(skipped);
   std::string output;
   if (format == "json" || format == "both") {
     output += ht::runtime::aggregate_json(agg, top_k);

@@ -17,16 +17,24 @@
 //   htrun replay <prog.htp> --input a,b,... --config patches.cfg
 //                           [--strategy S] [--defense guard|canary]
 //                           [--poison 1] [--telemetry dump.txt]
+//                           [--reload-patches patches2.cfg]
 //       online replay under the hardened allocator; prints what the
 //       defenses did; --telemetry enables the event ring and writes the
-//       telemetry text dump (docs/FORMATS.md §4) after the run
+//       telemetry text dump (docs/FORMATS.md §4) after the run;
+//       --reload-patches runs the input, hot-reloads the second config
+//       through the validated swap path (docs/RESILIENCE.md) — a malformed
+//       file is rejected and the original table keeps serving — then runs
+//       the input again under whatever table survived
 //
 // Strategies: FCS, TCS, Slim, Incremental (default).
+// HEAPTHERAPY_FAULTS arms the deterministic fault-injection points for
+// resilience testing (docs/RESILIENCE.md).
 // Exit codes: 0 ok / clean, 1 usage, 2 vulnerability found (analyze/search)
 // or attack effect observed (replay), 3 I/O or parse failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,6 +43,8 @@
 #include "cce/plan_io.hpp"
 #include "analysis/report.hpp"
 #include "patch/config_file.hpp"
+#include "patch/hot_swap.hpp"
+#include "support/faultpoint.hpp"
 #include "progmodel/interpreter.hpp"
 #include "progmodel/printer.hpp"
 #include "progmodel/program_io.hpp"
@@ -53,13 +63,13 @@ int usage() {
                "       htrun search  <prog.htp> --space lo:hi,.. [--strategy S]"
                " [--runs N] [--out cfg]\n"
                "       htrun replay  <prog.htp> --input a,b,.. --config cfg"
-               " [--strategy S]\n");
+               " [--strategy S] [--reload-patches cfg2]\n");
   return 1;
 }
 
 struct Args {
   std::string command, program_path, input_text, space_text, config_path, out_path;
-  std::string telemetry_path;
+  std::string telemetry_path, reload_config_path;
   bool dot = false;
   cce::Strategy strategy = cce::Strategy::kIncremental;
   std::uint64_t runs = 512;
@@ -103,6 +113,8 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--telemetry") {
       args.telemetry_path = value;
       args.defenses.telemetry.events = true;
+    } else if (flag == "--reload-patches") {
+      args.reload_config_path = value;
     } else if (flag == "--dot") {
       args.dot = support::parse_u64(value).value_or(0) != 0;
     } else if (flag == "--strategy") {
@@ -252,9 +264,19 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
   const auto plan =
       cce::compute_plan(program.graph(), program.alloc_targets(), args.strategy);
   const cce::PccEncoder encoder(plan);
-  const patch::PatchTable table(loaded->patches, /*freeze=*/true);
-  runtime::GuardedAllocator allocator(&table, args.defenses);
-  runtime::GuardedBackend backend(allocator);
+  // With --reload-patches the table lives inside a PatchTableSwap so the
+  // second run resolves lookups through whatever table survived the reload.
+  std::optional<patch::PatchTable> table;
+  std::optional<patch::PatchTableSwap> swap;
+  std::optional<runtime::GuardedAllocator> allocator;
+  if (args.reload_config_path.empty()) {
+    table.emplace(loaded->patches, /*freeze=*/true);
+    allocator.emplace(&*table, args.defenses);
+  } else {
+    swap.emplace(patch::PatchTable(loaded->patches, /*freeze=*/true));
+    allocator.emplace(*swap, args.defenses);
+  }
+  runtime::GuardedBackend backend(*allocator);
   progmodel::Interpreter interp(program, &encoder, backend);
   const auto run = interp.run(*input);
   const auto& obs = backend.observations();
@@ -262,13 +284,13 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
               "%llu canary(ies)\n",
               run.completed ? "completed" : "aborted",
               static_cast<unsigned long long>(run.total_allocs()),
-              static_cast<unsigned long long>(allocator.stats().enhanced),
-              static_cast<unsigned long long>(allocator.stats().guard_pages),
-              static_cast<unsigned long long>(allocator.stats().canaries_planted));
-  if (allocator.stats().canary_overflows_on_free > 0) {
+              static_cast<unsigned long long>(allocator->stats().enhanced),
+              static_cast<unsigned long long>(allocator->stats().guard_pages),
+              static_cast<unsigned long long>(allocator->stats().canaries_planted));
+  if (allocator->stats().canary_overflows_on_free > 0) {
     std::printf("canary check: %llu overflow(s) detected on free\n",
                 static_cast<unsigned long long>(
-                    allocator.stats().canary_overflows_on_free));
+                    allocator->stats().canary_overflows_on_free));
   }
   std::printf("defenses: %llu OOB blocked, %llu OOB landed, %llu dangling "
               "defused, %llu dangling reached reuse, %llu stale bytes leaked\n",
@@ -279,10 +301,32 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
               static_cast<unsigned long long>(obs.stale_hits_quarantine),
               static_cast<unsigned long long>(obs.stale_hits_reused),
               static_cast<unsigned long long>(obs.leaked_nonzero_bytes));
+  if (!args.reload_config_path.empty()) {
+    const patch::ReloadResult reload =
+        swap->reload_from_file(args.reload_config_path);
+    if (reload.applied) {
+      std::printf("reload applied: %zu patch(es), generation %llu\n",
+                  reload.patch_count,
+                  static_cast<unsigned long long>(reload.generation));
+    } else {
+      std::printf("reload rejected; generation %llu keeps serving\n",
+                  static_cast<unsigned long long>(reload.generation));
+      for (const std::string& err : reload.errors) {
+        std::fprintf(stderr, "htrun: %s: %s\n",
+                     args.reload_config_path.c_str(), err.c_str());
+      }
+    }
+    const auto rerun = interp.run(*input);
+    std::printf("post-reload run %s: %llu allocation(s), %llu enhanced "
+                "(cumulative)\n",
+                rerun.completed ? "completed" : "aborted",
+                static_cast<unsigned long long>(rerun.total_allocs()),
+                static_cast<unsigned long long>(allocator->stats().enhanced));
+  }
   if (!args.telemetry_path.empty()) {
     std::ofstream out(args.telemetry_path);
     if (!out ||
-        !(out << runtime::render_telemetry(allocator.telemetry_snapshot()))) {
+        !(out << runtime::render_telemetry(allocator->telemetry_snapshot()))) {
       std::fprintf(stderr, "htrun: cannot write %s\n",
                    args.telemetry_path.c_str());
       return 3;
@@ -324,6 +368,9 @@ int cmd_plan(const Args& args, const progmodel::Program& program) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Resilience testing: HEAPTHERAPY_FAULTS arms the deterministic fault
+  // points before any allocator is built (docs/RESILIENCE.md).
+  ht::support::install_faults_from_env();
   const Args args = parse_args(argc, argv);
   if (!args.ok) return usage();
   const auto program = load_program(args.program_path);
