@@ -1,0 +1,305 @@
+// Streaming-telemetry cost contract (docs/OBSERVABILITY.md; FORMATS.md §6).
+//
+// The telemetry tier-1 promise is that always-on counters cost under 2% of
+// allocation throughput. Streaming must not quietly break it: a flusher
+// that snapshots the allocator, encodes a binary wire frame, and sends it
+// to a Unix datagram socket every few milliseconds runs CONCURRENTLY with
+// the allocating threads — its snapshot passes take the same shard mutexes
+// the hot path does. This bench holds that line: allocation throughput
+// with an aggressive streaming flusher (a flush every ~5 ms — hundreds of
+// times faster than the 1 s production default) must stay within 2% of the
+// same workload with no flusher at all.
+//
+// Measured as a paired comparison with an A/A control: two identical
+// no-flusher arms plus the streaming arm, interleaved at pass granularity
+// with the arm order ROTATING every pass, so position effects (frequency
+// ramps, cache state left by a preceding arm) cancel instead of landing on
+// one arm. Contracts are checked on the median per-rep split; the whole
+// measurement retries up to kAttempts times and takes the best attempt —
+// a real cost shows in every attempt, a noise burst on a shared host does
+// not. Exit 1 on violation.
+//
+// Also reported (informational price tags, not contracts): encode, decode,
+// and rolling-ingest throughput in frames/sec — the aggregator-side budget
+// that says how many producers one `htagg serve` can absorb.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "patch/patch_table.hpp"
+#include "runtime/sharded_allocator.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/telemetry_agg.hpp"
+#include "runtime/telemetry_wire.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using ht::support::pad_left;
+using ht::support::pad_right;
+using ht::support::with_commas;
+
+constexpr int kReps = 9;
+constexpr int kOpsPerPass = 60000;  ///< malloc/free pairs per timed pass
+constexpr double kContractPct = 2.0;
+constexpr std::uint64_t kPatchedCcid = 0x1102;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One timed pass: kOpsPerPass malloc/free pairs at the patched CCID —
+/// every allocation walks the full enhanced path (patch lookup, canary,
+/// telemetry counters, patch-hit attribution), the worst case for
+/// flusher-vs-hot-path contention.
+std::uint64_t timed_pass(ht::runtime::ShardedAllocator& allocator) {
+  const std::uint64_t t0 = now_ns();
+  for (int i = 0; i < kOpsPerPass; ++i) {
+    void* p = allocator.malloc(64, kPatchedCcid);
+    if (p != nullptr) allocator.free(p);
+  }
+  return now_ns() - t0;
+}
+
+/// The aggregator side of the bench socket: drains (and discards)
+/// datagrams so the sender never hits a full receive buffer.
+void drain_thread(int fd, const std::atomic<bool>* running) {
+  std::vector<char> buf(1 << 20);
+  while (running->load(std::memory_order_relaxed)) {
+    (void)::recv(fd, buf.data(), buf.size(), 0);  // SO_RCVTIMEO bounds this
+  }
+}
+
+/// The producer side: mirrors the preload maintenance thread at a hugely
+/// exaggerated cadence — snapshot + encode + one datagram every ~5 ms,
+/// ~200x the production default, so any hot-path interference is amplified
+/// far above what a real deployment would see.
+void flusher_thread(ht::runtime::ShardedAllocator* allocator,
+                    ht::runtime::WireEmitter* emitter,
+                    const std::atomic<bool>* running,
+                    const std::atomic<bool>* streaming,
+                    std::atomic<std::uint64_t>* flushes) {
+  while (running->load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (!streaming->load(std::memory_order_relaxed)) continue;
+    ht::runtime::TelemetrySnapshot snap = allocator->telemetry_snapshot();
+    snap.health = ht::runtime::derive_health(snap);
+    const std::string frame =
+        ht::runtime::encode_telemetry_frame(snap, "bench");
+    (void)emitter->send_frame(frame);
+    flushes->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== streaming telemetry overhead (wire flusher vs hot path) ==\n");
+
+  const ht::patch::PatchTable table(
+      {ht::patch::Patch{ht::progmodel::AllocFn::kMalloc, kPatchedCcid,
+                        ht::patch::kUninitRead}},
+      /*freeze=*/true);
+  ht::runtime::GuardedAllocatorConfig config;
+  config.telemetry.counters = true;
+  config.telemetry.events = true;
+  ht::runtime::ShardedAllocatorConfig sharding;
+  sharding.shards = 4;
+  ht::runtime::ShardedAllocator allocator(&table, config, sharding);
+
+  // The bench socket: bound receiver + drainer, so sends always land.
+  const std::string sock_path = "/tmp/ht_wire_overhead." +
+                                std::to_string(::getpid()) + ".sock";
+  ::unlink(sock_path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                sock_path.c_str());
+  if (fd < 0 ||
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("ht_wire_overhead: bind");
+    return 1;
+  }
+  {
+    timeval tv{0, 100 * 1000};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  std::atomic<bool> running{true};
+  std::atomic<bool> streaming{false};
+  std::atomic<std::uint64_t> flushes{0};
+  ht::runtime::WireEmitter emitter(sock_path);
+  std::thread drainer(drain_thread, fd, &running);
+  std::thread flusher(flusher_thread, &allocator, &emitter, &running,
+                      &streaming, &flushes);
+
+  std::printf("workload: %s malloc/free pairs per pass at the patched CCID, "
+              "%d shards,\nflush every 5 ms while streaming; %d paired reps "
+              "(median split), 2%% contract\n\n",
+              with_commas(kOpsPerPass).c_str(), sharding.shards, kReps);
+
+  (void)timed_pass(allocator);  // warm-up: page in code, prime the shards
+
+  // Paired reps: per pass, rotate through {baseline A, baseline B,
+  // streaming C}; the flusher streams only during C. Per-rep signed splits
+  // reduce by median; best attempt wins.
+  double aa_split_pct = 0;
+  double stream_pct = 0;
+  std::uint64_t best_a = UINT64_MAX, best_b = UINT64_MAX, best_c = UINT64_MAX;
+  constexpr int kAttempts = 4;
+  constexpr int kPassesPerSweep = 6;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    std::vector<double> aa_splits;
+    std::vector<double> stream_splits;
+    for (int rep = 0; rep < kReps; ++rep) {
+      std::uint64_t arm_ns[3] = {0, 0, 0};  // baseline A, baseline B, stream
+      for (int pass = 0; pass < kPassesPerSweep; ++pass) {
+        for (int k = 0; k < 3; ++k) {
+          const int arm = (k + pass) % 3;
+          streaming.store(arm == 2, std::memory_order_relaxed);
+          arm_ns[arm] += timed_pass(allocator);
+        }
+      }
+      streaming.store(false, std::memory_order_relaxed);
+      if (arm_ns[0] < best_a) best_a = arm_ns[0];
+      if (arm_ns[1] < best_b) best_b = arm_ns[1];
+      if (arm_ns[2] < best_c) best_c = arm_ns[2];
+      aa_splits.push_back(
+          (static_cast<double>(arm_ns[0]) - static_cast<double>(arm_ns[1])) /
+          static_cast<double>(arm_ns[1]) * 100.0);
+      stream_splits.push_back(
+          (static_cast<double>(arm_ns[2]) - static_cast<double>(arm_ns[1])) /
+          static_cast<double>(arm_ns[1]) * 100.0);
+    }
+    const double split = median(stream_splits);
+    if (attempt == 0 || split < stream_pct) {
+      stream_pct = split;
+      aa_split_pct = median(aa_splits);
+    }
+    if (stream_pct <= kContractPct) break;
+    std::printf("attempt %d: streaming split %+.3f%% over contract, "
+                "remeasuring...\n",
+                attempt + 1, split);
+  }
+
+  const auto row = [](const char* name, std::uint64_t ns, double pct) {
+    char ms_s[32], pct_s[32];
+    std::snprintf(ms_s, sizeof(ms_s), "%.2f", static_cast<double>(ns) / 1e6);
+    std::snprintf(pct_s, sizeof(pct_s), "%+.2f%%", pct);
+    std::printf("%s %s %s\n", pad_right(name, 24).c_str(),
+                pad_left(ms_s, 10).c_str(), pad_left(pct_s, 9).c_str());
+  };
+  std::printf("%s %s %s\n", pad_right("arm", 24).c_str(),
+              pad_left("sweep ms", 10).c_str(), pad_left("vs B", 9).c_str());
+  std::printf("%s\n", std::string(45, '-').c_str());
+  row("no flusher (arm A)", best_a, aa_split_pct);
+  row("no flusher (arm B)", best_b, 0.0);
+  row("streaming flusher", best_c, stream_pct);
+  std::printf("\nflushes sent during the whole measurement: %llu\n",
+              static_cast<unsigned long long>(
+                  flushes.load(std::memory_order_relaxed)));
+
+  // ---- Aggregator-side throughput (informational) ----
+  // How fast one frame moves through each stage, on the snapshot this very
+  // workload produced (real shard counts, patch hits, ring events).
+  ht::runtime::TelemetrySnapshot snap = allocator.telemetry_snapshot();
+  snap.health = ht::runtime::derive_health(snap);
+  const std::string frame = ht::runtime::encode_telemetry_frame(snap, "bench");
+
+  constexpr int kFrames = 2000;
+  std::uint64_t t0 = now_ns();
+  std::size_t encoded_bytes = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    encoded_bytes += ht::runtime::encode_telemetry_frame(snap, "bench").size();
+  }
+  const std::uint64_t encode_ns = now_ns() - t0;
+
+  t0 = now_ns();
+  std::size_t decoded_records = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    decoded_records += ht::runtime::decode_telemetry_frame(frame).records;
+  }
+  const std::uint64_t decode_ns = now_ns() - t0;
+
+  ht::runtime::RollingAggregate rolling;
+  const ht::runtime::WireDecodeResult decoded =
+      ht::runtime::decode_telemetry_frame(frame);
+  t0 = now_ns();
+  for (int i = 0; i < kFrames; ++i) {
+    // 16 distinct sources cycling, like a small fleet re-flushing.
+    rolling.ingest("pid-" + std::to_string(i % 16), decoded.snapshot);
+  }
+  const std::uint64_t ingest_ns = now_ns() - t0;
+
+  const auto fps = [](std::uint64_t ns) {
+    return static_cast<double>(kFrames) * 1e9 / static_cast<double>(ns);
+  };
+  std::printf("\nframe: %zu bytes, %zu records (encoded from the live "
+              "workload's snapshot)\n",
+              frame.size(), decoded.records);
+  std::printf("encode: %s frames/s   decode: %s frames/s   ingest: %s "
+              "frames/s\n",
+              with_commas(static_cast<std::uint64_t>(fps(encode_ns))).c_str(),
+              with_commas(static_cast<std::uint64_t>(fps(decode_ns))).c_str(),
+              with_commas(static_cast<std::uint64_t>(fps(ingest_ns))).c_str());
+  (void)encoded_bytes;
+  (void)decoded_records;
+
+  std::printf("\nJSON:\n[\n"
+              "  {\"bench\": \"ht_wire_overhead\", \"arm\": \"baseline_a\", "
+              "\"sweep_ns\": %llu},\n"
+              "  {\"bench\": \"ht_wire_overhead\", \"arm\": \"baseline_b\", "
+              "\"sweep_ns\": %llu},\n"
+              "  {\"bench\": \"ht_wire_overhead\", \"arm\": \"streaming\", "
+              "\"sweep_ns\": %llu},\n"
+              "  {\"bench\": \"ht_wire_overhead\", \"aa_split_pct\": %.3f, "
+              "\"streaming_overhead_pct\": %.3f, \"contract_pct\": %.1f,\n"
+              "   \"frame_bytes\": %zu, \"encode_fps\": %.0f, "
+              "\"decode_fps\": %.0f, \"ingest_fps\": %.0f}\n]\n",
+              static_cast<unsigned long long>(best_a),
+              static_cast<unsigned long long>(best_b),
+              static_cast<unsigned long long>(best_c), aa_split_pct,
+              stream_pct, kContractPct, frame.size(), fps(encode_ns),
+              fps(decode_ns), fps(ingest_ns));
+
+  running.store(false, std::memory_order_relaxed);
+  flusher.join();
+  drainer.join();
+  ::close(fd);
+  ::unlink(sock_path.c_str());
+
+  if (stream_pct > kContractPct) {
+    std::printf("\nFAIL: median streaming split %+.3f%% exceeds the %.1f%% "
+                "contract\n(the wire flusher is stealing allocation "
+                "throughput — check snapshot lock\nhold times and flush "
+                "cadence; or the host is too noisy to certify, rerun on\na "
+                "quiet machine before blaming the code).\n",
+                stream_pct, kContractPct);
+    return 1;
+  }
+  std::printf("\nOK: streaming keeps the hot path within the %.1f%% telemetry "
+              "contract\n(median split %+.3f%%, A/A control %+.3f%%) at a "
+              "flush cadence ~200x the\nproduction default.\n",
+              kContractPct, stream_pct, aa_split_pct);
+  return 0;
+}

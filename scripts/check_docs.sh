@@ -36,6 +36,30 @@ for var in $env_vars; do
   fi
 done
 
+# --- 1b. telemetry transport prefixes ------------------------------------
+# Every *TargetPrefix constant in telemetry_wire.hpp is a
+# HEAPTHERAPY_TELEMETRY value form ("unix:..."); the docs must show each
+# prefix next to the variable so an operator can discover the streaming
+# forms without reading the header.
+wire_hdr="$repo/src/runtime/telemetry_wire.hpp"
+if [ -f "$wire_hdr" ]; then
+  prefixes="$(grep -oE 'TargetPrefix\[\] = "[a-z]+:"' "$wire_hdr" \
+              | grep -oE '"[a-z]+:"' | tr -d '"' | sort -u)"
+  if [ -z "$prefixes" ]; then
+    echo "check_docs: found no *TargetPrefix constants in" \
+         "${wire_hdr#"$repo"/} (extraction pattern broken?)" >&2
+    fail=1
+  fi
+  for prefix in $prefixes; do
+    if ! grep -qE "HEAPTHERAPY_TELEMETRY=?[^ ]*${prefix}" <<<"$doc_corpus"; then
+      echo "check_docs: telemetry transport prefix '$prefix' (declared in" \
+           "${wire_hdr#"$repo"/}) is not documented next to" \
+           "HEAPTHERAPY_TELEMETRY" >&2
+      fail=1
+    fi
+  done
+fi
+
 # --- 2. CLI subcommands --------------------------------------------------
 # htctl and htrun dispatch on `command == "<name>"` (htrun via args.command);
 # htexport compares its mode argument to literal strings the same way.
@@ -59,6 +83,7 @@ check_subcommands() { # tool source_file extraction_regex
 check_subcommands htctl "$repo/tools/htctl.cpp" 'command == "[a-z-]+"'
 check_subcommands htrun "$repo/tools/htrun.cpp" 'command == "[a-z-]+"'
 check_subcommands htexport "$repo/tools/htexport.cpp" '== "[a-z-]+"'
+check_subcommands htagg "$repo/tools/htagg.cpp" 'argv\[1\], "[a-z-]+"'
 
 # --- 3. CLI flags ---------------------------------------------------------
 # Every "--flag" a tool parses must be documented in at least one doc file

@@ -18,6 +18,10 @@
 //    periodically rewrites <path> with the telemetry dump
 //    (docs/FORMATS.md §4; docs/OBSERVABILITY.md), plus one final flush
 //    from an ELF destructor. Setting it also turns the event ring on.
+//    $HEAPTHERAPY_TELEMETRY=unix:<path> streams binary wire frames
+//    (docs/FORMATS.md §6) to an AF_UNIX datagram socket instead — e.g. an
+//    `htagg serve` aggregator — one frame per flush, same cadence, same
+//    retry/backoff, degrading to counted drops when no receiver listens.
 //    $HEAPTHERAPY_TELEMETRY_INTERVAL (ms, default 1000) paces the flush;
 //    $HEAPTHERAPY_TELEMETRY_EVENTS=0/1 forces the ring off/on;
 //    $HEAPTHERAPY_TELEMETRY_RING sets per-shard ring capacity;
@@ -67,6 +71,7 @@
 #include "patch/patch_table.hpp"
 #include "runtime/sharded_allocator.hpp"
 #include "runtime/telemetry.hpp"
+#include "runtime/telemetry_wire.hpp"
 #include "support/faultpoint.hpp"
 
 // glibc's real entry points.
@@ -170,15 +175,28 @@ bool env_flag(const char* name, bool fallback) {
 }
 
 // ---- Telemetry flusher ($HEAPTHERAPY_TELEMETRY) ----
-// The path is the env template with %p/%% expanded (each process in a
-// fleet writes its own dump). Function-static so first use constructs it;
-// it is only ever written in the ELF constructor, before host threads
-// exist. All flushing runs on the background thread or in the ELF
-// destructor — never on an allocation path.
-std::string& telemetry_path() {
-  static std::string path;
-  return path;
+// The env value is %p/%%-expanded, then split into a target: a file path
+// (text dump, write-then-rename) or "unix:<socket>" (one binary wire frame
+// per flush). Function-static so first use constructs it; it is only ever
+// written in the ELF constructor, before host threads exist. All flushing
+// runs on the background thread or in the ELF destructor — never on an
+// allocation path.
+ht::runtime::TelemetryTarget& telemetry_target() {
+  static ht::runtime::TelemetryTarget target;
+  return target;
 }
+// The producer label embedded in streamed frames ("pid-<pid>"): the
+// aggregator keys its rolling per-source state on it.
+std::string& telemetry_source() {
+  static std::string source;
+  return source;
+}
+// Streaming emitter, constructed in the ELF constructor for unix targets.
+// Same never-destroyed placement pattern as the allocator: frames may
+// still flush from the ELF destructor after static destructors ran.
+alignas(ht::runtime::WireEmitter) unsigned char emitter_storage[sizeof(
+    ht::runtime::WireEmitter)];
+ht::runtime::WireEmitter* g_emitter = nullptr;
 unsigned long g_flush_interval_ms = 1000;
 std::atomic<bool> g_maintenance_running{false};
 // Lifetime count of flush cycles that exhausted every retry; merged into
@@ -197,7 +215,8 @@ std::mutex& flush_mutex() {
 // file. The telemetry-io fault point models fopen failing (disk full,
 // permissions yanked) for the resilience tests.
 bool write_dump_once(const std::string& dump) {
-  const std::string tmp = telemetry_path() + ".tmp";
+  const std::string& path = telemetry_target().path;
+  const std::string tmp = path + ".tmp";
   std::FILE* f =
       ht::support::fault_fires(ht::support::FaultPoint::kTelemetryIo)
           ? nullptr
@@ -206,36 +225,71 @@ bool write_dump_once(const std::string& dump) {
   const bool wrote = std::fwrite(dump.data(), 1, dump.size(), f) == dump.size();
   const bool closed = std::fclose(f) == 0;
   if (wrote && closed) {
-    return std::rename(tmp.c_str(), telemetry_path().c_str()) == 0;
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
   }
   std::remove(tmp.c_str());
   return false;
 }
 
-void flush_telemetry_file() {
-  if (telemetry_path().empty() || g_allocator == nullptr) return;
+// One streamed-flush attempt. The telemetry-io fault point models the
+// socket send failing, same as it models fopen failing on the file path —
+// the resilience ladder is transport-agnostic.
+bool send_frame_once(std::string& frame,
+                     const ht::runtime::TelemetrySnapshot& snap) {
+  if (g_emitter == nullptr) return false;
+  if (ht::support::fault_fires(ht::support::FaultPoint::kTelemetryIo)) {
+    return false;
+  }
+  switch (g_emitter->send_frame(frame)) {
+    case ht::runtime::WireEmitter::SendResult::kSent:
+      return true;
+    case ht::runtime::WireEmitter::SendResult::kTooBig:
+      // The event tail blew the datagram limit. Re-encode counters-only —
+      // exact totals still land every flush; the (re-sendable) events are
+      // what gets shed. Retried by the caller's normal backoff loop.
+      frame = ht::runtime::encode_telemetry_frame(snap, telemetry_source(),
+                                                  /*include_events=*/false);
+      return false;
+    case ht::runtime::WireEmitter::SendResult::kError:
+      return false;
+  }
+  return false;
+}
+
+void flush_telemetry() {
+  if (telemetry_target().kind == ht::runtime::TelemetryTarget::Kind::kNone ||
+      g_allocator == nullptr) {
+    return;
+  }
   const std::lock_guard<std::mutex> lock(flush_mutex());
   ht::runtime::TelemetrySnapshot snap = g_allocator->telemetry_snapshot();
   snap.flush_failures = g_flush_failures.load(std::memory_order_relaxed);
   // flush_failures feeds the health rollup, so re-derive after merging it.
   snap.health = ht::runtime::derive_health(snap);
-  const std::string dump = ht::runtime::render_telemetry(snap);
-  // Bounded retry with backoff: transient I/O errors (full disk being
-  // rotated, EINTR-happy filesystems) get two more chances; after that the
-  // failure is counted and recorded, and the previous complete dump keeps
-  // serving at the path — degrade, don't die. Never retries forever: this
-  // runs on the maintenance thread and in the ELF destructor.
+  const bool streaming = telemetry_target().kind ==
+                         ht::runtime::TelemetryTarget::Kind::kUnixDatagram;
+  std::string payload =
+      streaming ? ht::runtime::encode_telemetry_frame(snap, telemetry_source())
+                : ht::runtime::render_telemetry(snap);
+  // Bounded retry with backoff: transient failures (full disk being
+  // rotated, EINTR-happy filesystems, an aggregator mid-restart) get two
+  // more chances; after that the failure is counted and recorded, and the
+  // previous complete flush keeps serving — degrade, don't die. Never
+  // retries forever: this runs on the maintenance thread and in the ELF
+  // destructor, and must never back up into allocation paths.
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (attempt != 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(attempt == 1 ? 10 : 40));
     }
-    if (write_dump_once(dump)) return;
+    if (streaming ? send_frame_once(payload, snap) : write_dump_once(payload)) {
+      return;
+    }
   }
   g_flush_failures.fetch_add(1, std::memory_order_relaxed);
   g_allocator->shard_telemetry(0).record_event(
       ht::runtime::TelemetryEvent::kTelemetryFlushFail, /*ccid=*/0,
-      /*size=*/dump.size(), /*aux=*/0);
+      /*size=*/payload.size(), /*aux=*/0);
 }
 
 // ---- Patch hot-reload ($HEAPTHERAPY_RELOAD + SIGHUP) ----
@@ -282,7 +336,8 @@ void perform_reload() {
 // SIGHUP-requested patch reloads. It sleeps in short slices so a reload
 // request is honored within ~200ms even under a long flush interval.
 void maintenance_thread() {
-  const bool flushing = !telemetry_path().empty();
+  const bool flushing =
+      telemetry_target().kind != ht::runtime::TelemetryTarget::Kind::kNone;
   unsigned long since_flush_ms = 0;
   while (g_maintenance_running.load(std::memory_order_relaxed)) {
     const unsigned long slice =
@@ -296,7 +351,7 @@ void maintenance_thread() {
       since_flush_ms += slice;
       if (since_flush_ms >= g_flush_interval_ms) {
         since_flush_ms = 0;
-        flush_telemetry_file();
+        flush_telemetry();
       }
     }
   }
@@ -356,13 +411,23 @@ __attribute__((constructor)) void heaptherapy_init() {
   if (const char* telemetry = std::getenv("HEAPTHERAPY_TELEMETRY")) {
     // %p -> pid, %% -> % (docs/OBSERVABILITY.md): each process of a fleet
     // sharing this environment writes its own dump for htagg to merge.
-    telemetry_path() =
-        ht::runtime::expand_telemetry_path(telemetry, static_cast<long>(getpid()));
+    // Expansion runs before the target split so %p works in both forms
+    // (it is mostly useful for files; sockets are usually shared).
+    telemetry_target() = ht::runtime::parse_telemetry_target(
+        ht::runtime::expand_telemetry_path(telemetry,
+                                           static_cast<long>(getpid())));
+    if (telemetry_target().kind ==
+        ht::runtime::TelemetryTarget::Kind::kUnixDatagram) {
+      telemetry_source() = "pid-" + std::to_string(getpid());
+      g_emitter = new (emitter_storage)
+          ht::runtime::WireEmitter(telemetry_target().path);
+    }
   }
   // A flush target implies the event ring; explicit knobs override either
   // direction.
-  config.telemetry.events =
-      env_flag("HEAPTHERAPY_TELEMETRY_EVENTS", !telemetry_path().empty());
+  config.telemetry.events = env_flag(
+      "HEAPTHERAPY_TELEMETRY_EVENTS",
+      telemetry_target().kind != ht::runtime::TelemetryTarget::Kind::kNone);
   config.telemetry.ring_capacity = static_cast<std::uint32_t>(
       env_u64("HEAPTHERAPY_TELEMETRY_RING", config.telemetry.ring_capacity));
   config.telemetry.counters =
@@ -403,7 +468,8 @@ __attribute__((constructor)) void heaptherapy_init() {
     sigemptyset(&sa.sa_mask);
     sigaction(SIGHUP, &sa, nullptr);
   }
-  if (!telemetry_path().empty() || reload_enabled) {
+  if (telemetry_target().kind != ht::runtime::TelemetryTarget::Kind::kNone ||
+      reload_enabled) {
     g_maintenance_running.store(true, std::memory_order_relaxed);
     std::thread(maintenance_thread).detach();
   }
@@ -414,7 +480,7 @@ __attribute__((destructor)) void heaptherapy_fini() {
   // flush mutex keeps a straggling iteration from interleaving with ours)
   // and write the final dump.
   g_maintenance_running.store(false, std::memory_order_relaxed);
-  flush_telemetry_file();
+  flush_telemetry();
 }
 
 }  // namespace

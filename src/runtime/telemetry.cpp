@@ -364,32 +364,10 @@ std::string expand_telemetry_path(std::string_view templ, long pid) {
 
 // ---- Text dump (docs/FORMATS.md §4) ----
 
-namespace {
-
-struct CounterField {
-  const char* name;
-  std::uint64_t AllocatorStats::* field;
-};
-
-// Every AllocatorStats counter, by dump name. The dump writer and parser
-// share this table so they cannot drift.
-constexpr CounterField kCounterFields[] = {
-    {"interceptions", &AllocatorStats::interceptions},
-    {"enhanced", &AllocatorStats::enhanced},
-    {"guard_pages", &AllocatorStats::guard_pages},
-    {"zero_fills", &AllocatorStats::zero_fills},
-    {"quarantined_frees", &AllocatorStats::quarantined_frees},
-    {"plain_frees", &AllocatorStats::plain_frees},
-    {"failed_guards", &AllocatorStats::failed_guards},
-    {"canaries_planted", &AllocatorStats::canaries_planted},
-    {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
-    {"guard_budget_denied", &AllocatorStats::guard_budget_denied},
-    {"degraded_to_canary", &AllocatorStats::degraded_to_canary},
-    {"degraded_to_plain", &AllocatorStats::degraded_to_plain},
-    {"alloc_failures", &AllocatorStats::alloc_failures},
-};
-
-}  // namespace
+// The dump writer, the parser and the JSON exporter below all walk
+// kTelemetryCounterFields (telemetry.hpp) — one table, no drift.
+using CounterField = TelemetryCounterField;
+inline constexpr const auto& kCounterFields = kTelemetryCounterFields;
 
 std::string render_telemetry(const TelemetrySnapshot& snap) {
   std::string out;

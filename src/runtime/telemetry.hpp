@@ -300,6 +300,33 @@ class TelemetrySink {
   std::uint64_t hit_overflow_ = 0;
 };
 
+/// One AllocatorStats counter by its stable dump name. The text dump
+/// writer/parser (FORMATS.md §4), the JSON exporters, the fleet aggregator
+/// (§5) and the binary wire format (§6) all index this one table, so the
+/// formats cannot drift. The ORDER is part of the wire format — each
+/// entry's index is its wire counter id — so: add at the end, never
+/// reorder, never remove.
+struct TelemetryCounterField {
+  const char* name;
+  std::uint64_t AllocatorStats::* field;
+};
+
+inline constexpr TelemetryCounterField kTelemetryCounterFields[] = {
+    {"interceptions", &AllocatorStats::interceptions},
+    {"enhanced", &AllocatorStats::enhanced},
+    {"guard_pages", &AllocatorStats::guard_pages},
+    {"zero_fills", &AllocatorStats::zero_fills},
+    {"quarantined_frees", &AllocatorStats::quarantined_frees},
+    {"plain_frees", &AllocatorStats::plain_frees},
+    {"failed_guards", &AllocatorStats::failed_guards},
+    {"canaries_planted", &AllocatorStats::canaries_planted},
+    {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
+    {"guard_budget_denied", &AllocatorStats::guard_budget_denied},
+    {"degraded_to_canary", &AllocatorStats::degraded_to_canary},
+    {"degraded_to_plain", &AllocatorStats::degraded_to_plain},
+    {"alloc_failures", &AllocatorStats::alloc_failures},
+};
+
 /// Per-shard occupancy row of a snapshot.
 struct ShardTelemetry {
   std::uint32_t shard = 0;

@@ -1,5 +1,7 @@
 #include "runtime/telemetry_agg.hpp"
 
+#include "runtime/telemetry_wire.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cinttypes>
@@ -25,27 +27,8 @@ void append_fmt(std::string& out, const char* fmt, ...) {
   if (n > 0) out.append(buf, static_cast<std::size_t>(std::min<int>(n, sizeof(buf) - 1)));
 }
 
-struct CounterField {
-  const char* name;
-  std::uint64_t AllocatorStats::* field;
-};
-
-// Mirrors the dump format's counter list (FORMATS.md §4); keep in sync.
-constexpr CounterField kCounterFields[] = {
-    {"interceptions", &AllocatorStats::interceptions},
-    {"enhanced", &AllocatorStats::enhanced},
-    {"guard_pages", &AllocatorStats::guard_pages},
-    {"zero_fills", &AllocatorStats::zero_fills},
-    {"quarantined_frees", &AllocatorStats::quarantined_frees},
-    {"plain_frees", &AllocatorStats::plain_frees},
-    {"failed_guards", &AllocatorStats::failed_guards},
-    {"canaries_planted", &AllocatorStats::canaries_planted},
-    {"canary_overflows_on_free", &AllocatorStats::canary_overflows_on_free},
-    {"guard_budget_denied", &AllocatorStats::guard_budget_denied},
-    {"degraded_to_canary", &AllocatorStats::degraded_to_canary},
-    {"degraded_to_plain", &AllocatorStats::degraded_to_plain},
-    {"alloc_failures", &AllocatorStats::alloc_failures},
-};
+// The dump format's counter list (telemetry.hpp; FORMATS.md §4).
+inline constexpr const auto& kCounterFields = kTelemetryCounterFields;
 
 std::string ccid_hex(std::uint64_t ccid) {
   char buf[24];
@@ -353,6 +336,107 @@ std::string aggregate_prometheus(const TelemetryAggregate& agg,
              cumulative);
   append_fmt(out, "ht_enhancement_latency_ns_count %" PRIu64 "\n", cumulative);
   return out;
+}
+
+// ---- Shared ingest ----
+
+LoadedTelemetry load_telemetry_content(std::string_view content) {
+  LoadedTelemetry loaded;
+  if (looks_like_wire_frame(content)) {
+    loaded.binary = true;
+    WireDecodeResult decoded = decode_telemetry_frame(content);
+    loaded.snapshot = std::move(decoded.snapshot);
+    loaded.source = std::move(decoded.source);
+    loaded.errors = std::move(decoded.errors);
+    loaded.notes = std::move(decoded.notes);
+    return loaded;
+  }
+  TelemetryParseResult parsed = parse_telemetry(content);
+  loaded.snapshot = std::move(parsed.snapshot);
+  // The text parser is lenient by design (FORMATS.md §4): its diagnostics
+  // are warnings unless nothing parsed at all, which the callers already
+  // detect via the empty-content check before calling here.
+  loaded.notes = std::move(parsed.errors);
+  return loaded;
+}
+
+// ---- Rolling fleet state (htagg serve) ----
+
+void RollingAggregate::ingest(std::string_view source,
+                              const TelemetrySnapshot& snapshot) {
+  const std::string label(source.empty() ? std::string_view("(unnamed)")
+                                         : source);
+  ++frames_ingested_;
+
+  if (decay_ > 0.0 && decay_ < 1.0) {
+    // Every ingest ages every score, then the sender's hit DELTA since its
+    // previous frame lands at full weight — a patch that stopped firing
+    // fades down the ranking even though its exported sum never shrinks.
+    for (auto& [key, score] : scores_) score *= decay_;
+    auto& prev = prev_hits_[label];
+    std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> now;
+    for (const PatchHitCount& h : snapshot.patch_hits) {
+      const auto key = std::make_pair(static_cast<std::uint8_t>(h.fn), h.ccid);
+      now[key] = h.hits;
+      const std::uint64_t before =
+          prev.count(key) != 0 ? prev.at(key) : std::uint64_t{0};
+      // A restarted producer re-counts from zero; treat a shrinking total
+      // as a fresh start rather than a negative delta.
+      const std::uint64_t delta = h.hits >= before ? h.hits - before : h.hits;
+      if (delta != 0) scores_[key] += static_cast<double>(delta);
+    }
+    prev = std::move(now);
+  }
+
+  auto [it, inserted] = latest_.try_emplace(label, snapshot);
+  if (inserted) {
+    order_.push_back(label);
+  } else {
+    it->second = snapshot;  // full-snapshot replacement: never double-count
+  }
+}
+
+void RollingAggregate::note_skipped(std::string_view label,
+                                    std::string_view reason) {
+  ++skipped_total_;
+  constexpr std::size_t kMaxSkipped = 64;
+  for (const SkippedInput& s : skipped_) {
+    if (s.label == label && s.reason == reason) return;  // dedupe
+  }
+  if (skipped_.size() < kMaxSkipped) {
+    skipped_.push_back(SkippedInput{std::string(label), std::string(reason)});
+  }
+}
+
+TelemetryAggregate RollingAggregate::aggregate() const {
+  std::vector<AggregateInput> inputs;
+  inputs.reserve(order_.size());
+  for (const std::string& label : order_) {
+    inputs.push_back(AggregateInput{label, latest_.at(label)});
+  }
+  // Same merge the batch path runs, so daemon exports match a batch run
+  // over the same processes' dumps byte for byte.
+  TelemetryAggregate agg = aggregate_telemetry(inputs);
+  agg.skipped = skipped_;
+
+  if (decay_ > 0.0 && decay_ < 1.0 && !agg.patch_hits.empty()) {
+    // Re-rank (values untouched) by recency-weighted score, exact-sum
+    // hits as the tiebreak so never-decayed entries keep a stable order.
+    std::stable_sort(agg.patch_hits.begin(), agg.patch_hits.end(),
+                     [this](const PatchHitCount& a, const PatchHitCount& b) {
+                       const auto ka = std::make_pair(
+                           static_cast<std::uint8_t>(a.fn), a.ccid);
+                       const auto kb = std::make_pair(
+                           static_cast<std::uint8_t>(b.fn), b.ccid);
+                       const double sa =
+                           scores_.count(ka) != 0 ? scores_.at(ka) : 0.0;
+                       const double sb =
+                           scores_.count(kb) != 0 ? scores_.at(kb) : 0.0;
+                       if (sa != sb) return sa > sb;
+                       return a.hits > b.hits;
+                     });
+  }
+  return agg;
 }
 
 // ---- Prometheus linter ----

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,7 +50,7 @@ struct ProcessSummary {
 /// fine" when it may be the one that crashed.
 struct SkippedInput {
   std::string label;
-  std::string reason;  ///< "unreadable" | "empty"
+  std::string reason;  ///< "unreadable" | "empty" | "corrupt"
 };
 
 /// Fleet-wide merge of N snapshots. All counter fields are exact sums.
@@ -94,6 +95,83 @@ struct TelemetryAggregate {
 /// does not track a latency sum (docs/FORMATS.md §5).
 [[nodiscard]] std::string aggregate_prometheus(const TelemetryAggregate& agg,
                                                std::size_t top_k = 0);
+
+// ---- Shared ingest (batch files and streamed frames) ----
+
+/// One parsed telemetry input, whichever format it arrived in. `binary`
+/// records which path decoded it; `source` is the frame's embedded
+/// producer label (binary only, "" when absent — callers fall back to the
+/// file path / peer identity). `errors` non-empty means the content was
+/// rejected ("corrupt" in SkippedInput terms); `notes` are non-fatal
+/// per-record/per-line diagnostics worth relaying to stderr.
+struct LoadedTelemetry {
+  TelemetrySnapshot snapshot;
+  std::string source;
+  bool binary = false;
+  std::vector<std::string> errors;
+  std::vector<std::string> notes;
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses one telemetry payload, auto-detecting the format by the frame
+/// magic: binary wire frames (docs/FORMATS.md §6) decode via
+/// decode_telemetry_frame, anything else parses as a §4 text dump. This is
+/// the single ingest point shared by htagg (batch files and streamed
+/// datagrams) and htctl, so every consumer accepts both formats.
+[[nodiscard]] LoadedTelemetry load_telemetry_content(std::string_view content);
+
+/// Rolling fleet state for the streaming aggregator (htagg serve). Each
+/// producer re-sends its FULL snapshot every flush (frames carry totals,
+/// not deltas), so ingest REPLACES that source's latest snapshot instead
+/// of summing — re-sent frames never double-count. aggregate() re-derives
+/// the fleet rollup through the same aggregate_telemetry() the batch path
+/// uses, so daemon-mode exports are byte-identical to a batch run over the
+/// same processes' dumps BY CONSTRUCTION.
+///
+/// Optional decay (0 < decay < 1) re-ranks the top-K patch-hit ordering by
+/// a recency-weighted score (each source's per-ingest hit DELTA is added
+/// to a score that is multiplied by `decay` on every ingest of any
+/// source). Exported hit VALUES stay exact lifetime sums — decay only
+/// changes which patches sort first, trading the batch-identical ordering
+/// for "what is hot now" ranking.
+class RollingAggregate {
+ public:
+  explicit RollingAggregate(double decay = 0.0) : decay_(decay) {}
+
+  /// Replaces `source`'s latest snapshot. Empty source labels are filed
+  /// under "(unnamed)" so an unlabeled producer cannot masquerade as many.
+  void ingest(std::string_view source, const TelemetrySnapshot& snapshot);
+
+  /// Records one rejected input (corrupt datagram, unreadable file).
+  /// Deduped by label and capped so a flood of garbage cannot balloon the
+  /// skip list; the count feeds ht_inputs_skipped either way.
+  void note_skipped(std::string_view label, std::string_view reason);
+
+  /// Current fleet rollup across the latest snapshot of every source.
+  [[nodiscard]] TelemetryAggregate aggregate() const;
+
+  [[nodiscard]] std::size_t sources() const noexcept { return order_.size(); }
+  [[nodiscard]] std::size_t frames_ingested() const noexcept {
+    return frames_ingested_;
+  }
+  [[nodiscard]] std::size_t inputs_skipped() const noexcept {
+    return skipped_total_;
+  }
+
+ private:
+  double decay_ = 0.0;
+  std::size_t frames_ingested_ = 0;
+  std::vector<std::string> order_;  ///< first-seen source order
+  std::map<std::string, TelemetrySnapshot> latest_;
+  /// Previous per-source patch hits, for decay deltas.
+  std::map<std::string, std::map<std::pair<std::uint8_t, std::uint64_t>,
+                                 std::uint64_t>>
+      prev_hits_;
+  /// Recency-weighted score per {fn, ccid} (decay > 0 only).
+  std::map<std::pair<std::uint8_t, std::uint64_t>, double> scores_;
+  std::vector<SkippedInput> skipped_;  ///< deduped, capped
+  std::size_t skipped_total_ = 0;
+};
 
 /// Structural linter for Prometheus text exposition. Checks line grammar,
 /// HELP/TYPE presence and ordering, duplicate series, label syntax, and

@@ -1,0 +1,516 @@
+#include "runtime/telemetry_wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ht::runtime {
+
+namespace {
+
+// ---- CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) ----
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrcTable;
+
+// ---- Little-endian serialization helpers ----
+// Field-by-field, never struct memcpy: frames must be byte-identical
+// across producers regardless of padding or host endianness.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/// Appends one record: type byte, u16 body length, body. Bodies above the
+/// u16 limit are truncated (only kSource labels could ever get there).
+void put_record(std::string& out, WireRecord type, std::string_view body) {
+  const std::size_t len = body.size() > 0xFFFF ? 0xFFFF : body.size();
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, static_cast<std::uint16_t>(len));
+  out.append(body.data(), len);
+}
+
+// Wire counter ids. 0..239 index kTelemetryCounterFields (the id IS the
+// table index — append-only there keeps old ids stable); 240+ are the
+// snapshot-level extras that live outside AllocatorStats. Unknown ids are
+// skipped silently on decode, so either side can be newer.
+constexpr std::uint8_t kCounterIdExtraBase = 240;
+constexpr std::uint8_t kCounterIdEventsRecorded = 240;
+constexpr std::uint8_t kCounterIdEventsDropped = 241;
+constexpr std::uint8_t kCounterIdPatchHitOverflow = 242;
+constexpr std::uint8_t kCounterIdQuarantinePressure = 243;
+constexpr std::uint8_t kCounterIdFlushFailures = 244;
+
+constexpr std::size_t kCounterFieldCount =
+    sizeof(kTelemetryCounterFields) / sizeof(kTelemetryCounterFields[0]);
+static_assert(kCounterFieldCount < kCounterIdExtraBase,
+              "AllocatorStats counter ids would collide with the extras");
+
+/// Bounds-checked reader over a frame payload. Every getter validates
+/// before advancing; a short read trips `ok` and returns 0 — the caller
+/// checks `ok` once per record, so no input can cause an over-read.
+struct Cursor {
+  const unsigned char* p;
+  std::size_t size;
+  std::size_t off = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (size - off < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return p[off++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(p[off]) |
+                            static_cast<std::uint16_t>(p[off + 1]) << 8;
+    off += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+    off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+    off += 8;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t len,
+                         std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kCrcTable.entries[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+bool looks_like_wire_frame(std::string_view data) noexcept {
+  return data.size() >= sizeof(kWireMagic) &&
+         std::memcmp(data.data(), kWireMagic, sizeof(kWireMagic)) == 0;
+}
+
+std::string encode_telemetry_frame(const TelemetrySnapshot& snap,
+                                   std::string_view source,
+                                   bool include_events) {
+  std::string payload;
+  payload.reserve(512 + snap.shards.size() * 64 +
+                  snap.patch_hits.size() * 20 +
+                  (include_events ? snap.events.size() * 45 : 0));
+  std::string body;
+  body.reserve(64);
+
+  if (!source.empty()) {
+    put_record(payload, WireRecord::kSource, source);
+  }
+
+  body.clear();
+  put_u8(body, snap.config.counters ? 1 : 0);
+  put_u8(body, snap.config.events ? 1 : 0);
+  put_u32(body, snap.config.ring_capacity);
+  put_u64(body, snap.table_generation);
+  put_u64(body, snap.table_patches);
+  put_u8(body, static_cast<std::uint8_t>(snap.health));
+  put_u8(body, snap.bypass ? 1 : 0);
+  put_record(payload, WireRecord::kMeta, body);
+
+  const auto counter = [&](std::uint8_t id, std::uint64_t value) {
+    body.clear();
+    put_u8(body, id);
+    put_u64(body, value);
+    put_record(payload, WireRecord::kCounter, body);
+  };
+  for (std::size_t i = 0; i < kCounterFieldCount; ++i) {
+    counter(static_cast<std::uint8_t>(i),
+            snap.totals.*(kTelemetryCounterFields[i].field));
+  }
+  counter(kCounterIdEventsRecorded, snap.events_recorded);
+  counter(kCounterIdEventsDropped, snap.events_dropped);
+  counter(kCounterIdPatchHitOverflow, snap.patch_hit_overflow);
+  counter(kCounterIdQuarantinePressure, snap.quarantine_pressure);
+  counter(kCounterIdFlushFailures, snap.flush_failures);
+
+  for (const ShardTelemetry& s : snap.shards) {
+    body.clear();
+    put_u32(body, s.shard);
+    put_u64(body, s.stats.interceptions);
+    // Merged frees, mirroring the text shard line (FORMATS.md §4): the
+    // plain/quarantined split is a process total, not a per-shard field,
+    // so both formats carry the merged count and restore it as
+    // plain_frees. Keeps wire and text round trips field-identical.
+    put_u64(body, s.stats.plain_frees + s.stats.quarantined_frees);
+    put_u64(body, s.quarantine_bytes);
+    put_u64(body, s.quarantine_depth);
+    put_u64(body, s.quarantine_pressure);
+    put_u64(body, s.events_recorded);
+    put_u64(body, s.events_dropped);
+    put_record(payload, WireRecord::kShard, body);
+  }
+
+  for (const PatchHitCount& hit : snap.patch_hits) {
+    body.clear();
+    put_u8(body, static_cast<std::uint8_t>(hit.fn));
+    put_u64(body, hit.ccid);
+    put_u64(body, hit.hits);
+    put_record(payload, WireRecord::kPatchHit, body);
+  }
+
+  for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (snap.latency.buckets[i] == 0) continue;  // sparse, like the dump
+    body.clear();
+    put_u8(body, static_cast<std::uint8_t>(i));
+    put_u64(body, snap.latency.buckets[i]);
+    put_record(payload, WireRecord::kLatency, body);
+  }
+
+  if (include_events) {
+    for (const TelemetryRecord& e : snap.events) {
+      body.clear();
+      put_u64(body, e.seq);
+      put_u64(body, e.timestamp_ns);
+      put_u64(body, e.ccid);
+      put_u64(body, e.size);
+      put_u32(body, e.aux);
+      put_u16(body, e.shard);
+      put_u8(body, static_cast<std::uint8_t>(e.type));
+      put_u8(body, e.fn);
+      put_record(payload, WireRecord::kEvent, body);
+    }
+  }
+
+  std::string frame;
+  frame.reserve(kWireHeaderSize + payload.size());
+  frame.append(kWireMagic, sizeof(kWireMagic));
+  put_u16(frame, kWireVersion);
+  put_u16(frame, 0);  // reserved
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32_ieee(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+WireDecodeResult decode_telemetry_frame(std::string_view frame) {
+  WireDecodeResult r;
+  const auto fatal = [&r](std::string msg) {
+    r.errors.push_back(std::move(msg));
+  };
+
+  if (frame.size() < kWireHeaderSize) {
+    fatal("frame shorter than the " + std::to_string(kWireHeaderSize) +
+          "-byte header (" + std::to_string(frame.size()) + " bytes)");
+    return r;
+  }
+  if (!looks_like_wire_frame(frame)) {
+    fatal("bad frame magic");
+    return r;
+  }
+  const auto* raw = reinterpret_cast<const unsigned char*>(frame.data());
+  Cursor header{raw, frame.size(), sizeof(kWireMagic)};
+  const std::uint16_t version = header.u16();
+  (void)header.u16();  // reserved
+  const std::uint32_t payload_len = header.u32();
+  const std::uint32_t crc_declared = header.u32();
+  if (version != kWireVersion) {
+    fatal("unsupported wire version " + std::to_string(version));
+    return r;
+  }
+  if (payload_len > kMaxWirePayload) {
+    fatal("declared payload of " + std::to_string(payload_len) +
+          " bytes exceeds the " + std::to_string(kMaxWirePayload) +
+          "-byte cap");
+    return r;
+  }
+  if (frame.size() - kWireHeaderSize < payload_len) {
+    fatal("truncated frame: header declares " + std::to_string(payload_len) +
+          " payload bytes, " +
+          std::to_string(frame.size() - kWireHeaderSize) + " present");
+    return r;
+  }
+  const std::uint32_t crc_actual =
+      crc32_ieee(raw + kWireHeaderSize, payload_len);
+  if (crc_actual != crc_declared) {
+    fatal("payload CRC mismatch (frame corrupt)");
+    return r;
+  }
+  if (frame.size() - kWireHeaderSize > payload_len) {
+    r.notes.push_back(
+        std::to_string(frame.size() - kWireHeaderSize - payload_len) +
+        " trailing byte(s) after the payload ignored");
+  }
+
+  TelemetrySnapshot& snap = r.snapshot;
+  Cursor cur{raw + kWireHeaderSize, payload_len};
+  // Per-record notes are capped like the text parser's diagnostics: a
+  // hostile frame that passes CRC must not balloon the note list.
+  constexpr std::size_t kMaxNotes = 50;
+  const auto note = [&](const std::string& what) {
+    ++r.skipped_records;
+    if (r.notes.size() < kMaxNotes) {
+      r.notes.push_back("record " +
+                        std::to_string(r.records + r.skipped_records) + ": " +
+                        what);
+    }
+  };
+
+  while (cur.off < cur.size) {
+    if (cur.size - cur.off < 3) {
+      note("truncated record header; remaining bytes skipped");
+      break;
+    }
+    const std::uint8_t type = cur.u8();
+    const std::uint16_t body_len = cur.u16();
+    if (cur.size - cur.off < body_len) {
+      note("record body overruns the payload; remaining bytes skipped");
+      break;
+    }
+    // Records parse from their own bounded cursor: a body SHORTER than a
+    // record type expects is skipped with a note, a LONGER one has its
+    // tail ignored (a newer producer may append fields — same forward-
+    // compatibility rule as unknown record types).
+    Cursor body{cur.p + cur.off, body_len};
+    cur.off += body_len;
+
+    switch (static_cast<WireRecord>(type)) {
+      case WireRecord::kSource: {
+        r.source.assign(reinterpret_cast<const char*>(body.p), body.size);
+        ++r.records;
+        break;
+      }
+      case WireRecord::kMeta: {
+        const std::uint8_t counters = body.u8();
+        const std::uint8_t events = body.u8();
+        const std::uint32_t ring = body.u32();
+        const std::uint64_t generation = body.u64();
+        const std::uint64_t patches = body.u64();
+        const std::uint8_t health = body.u8();
+        const std::uint8_t bypass = body.u8();
+        if (!body.ok) {
+          note("short meta record skipped");
+          break;
+        }
+        snap.config.counters = counters != 0;
+        snap.config.events = events != 0;
+        snap.config.ring_capacity = ring;
+        snap.table_generation = generation;
+        snap.table_patches = patches;
+        if (health <= static_cast<std::uint8_t>(HealthState::kBypass)) {
+          snap.health = static_cast<HealthState>(health);
+        } else {
+          note("unknown health state " + std::to_string(health) + " ignored");
+        }
+        snap.bypass = bypass != 0;
+        ++r.records;
+        break;
+      }
+      case WireRecord::kCounter: {
+        const std::uint8_t id = body.u8();
+        const std::uint64_t value = body.u64();
+        if (!body.ok) {
+          note("short counter record skipped");
+          break;
+        }
+        if (id < kCounterFieldCount) {
+          snap.totals.*(kTelemetryCounterFields[id].field) = value;
+        } else if (id == kCounterIdEventsRecorded) {
+          snap.events_recorded = value;
+        } else if (id == kCounterIdEventsDropped) {
+          snap.events_dropped = value;
+        } else if (id == kCounterIdPatchHitOverflow) {
+          snap.patch_hit_overflow = value;
+        } else if (id == kCounterIdQuarantinePressure) {
+          snap.quarantine_pressure = value;
+        } else if (id == kCounterIdFlushFailures) {
+          snap.flush_failures = value;
+        } else {
+          // Unknown counter id: a newer producer. Skip silently, exactly
+          // like the text parser skips unknown counter names.
+          ++r.skipped_records;
+          break;
+        }
+        ++r.records;
+        break;
+      }
+      case WireRecord::kShard: {
+        ShardTelemetry row;
+        row.shard = body.u32();
+        row.stats.interceptions = body.u64();
+        row.stats.plain_frees = body.u64();  // merged frees (see encoder)
+        row.quarantine_bytes = body.u64();
+        row.quarantine_depth = body.u64();
+        row.quarantine_pressure = body.u64();
+        row.events_recorded = body.u64();
+        row.events_dropped = body.u64();
+        if (!body.ok) {
+          note("short shard record skipped");
+          break;
+        }
+        snap.shards.push_back(row);
+        ++r.records;
+        break;
+      }
+      case WireRecord::kPatchHit: {
+        const std::uint8_t fn = body.u8();
+        const std::uint64_t ccid = body.u64();
+        const std::uint64_t hits = body.u64();
+        if (!body.ok) {
+          note("short patch-hit record skipped");
+          break;
+        }
+        bool fn_known = false;
+        for (progmodel::AllocFn f : progmodel::kAllAllocFns) {
+          if (static_cast<std::uint8_t>(f) == fn) fn_known = true;
+        }
+        if (!fn_known) {
+          note("patch hit with unknown alloc fn " + std::to_string(fn) +
+               " skipped");
+          break;
+        }
+        snap.patch_hits.push_back(
+            PatchHitCount{static_cast<progmodel::AllocFn>(fn), ccid, hits});
+        ++r.records;
+        break;
+      }
+      case WireRecord::kLatency: {
+        const std::uint8_t bucket = body.u8();
+        const std::uint64_t count = body.u64();
+        if (!body.ok) {
+          note("short latency record skipped");
+          break;
+        }
+        if (bucket >= LatencyHistogram::kBuckets) {
+          note("unknown latency bucket " + std::to_string(bucket) +
+               " skipped");
+          break;
+        }
+        snap.latency.buckets[bucket] = count;
+        ++r.records;
+        break;
+      }
+      case WireRecord::kEvent: {
+        TelemetryRecord rec;
+        rec.seq = body.u64();
+        rec.timestamp_ns = body.u64();
+        rec.ccid = body.u64();
+        rec.size = body.u64();
+        rec.aux = body.u32();
+        rec.shard = body.u16();
+        const std::uint8_t etype = body.u8();
+        rec.fn = body.u8();
+        if (!body.ok) {
+          note("short event record skipped");
+          break;
+        }
+        if (etype >= kTelemetryEventCount) {
+          note("unknown event type " + std::to_string(etype) + " skipped");
+          break;
+        }
+        rec.type = static_cast<TelemetryEvent>(etype);
+        snap.events.push_back(rec);
+        ++r.records;
+        break;
+      }
+      default:
+        // Unknown record type from a newer producer: skip silently (the
+        // CRC already vouched the frame is intact, so this is version
+        // skew, not corruption).
+        ++r.skipped_records;
+        break;
+    }
+  }
+  return r;
+}
+
+// ---- Transport ----
+
+TelemetryTarget parse_telemetry_target(std::string_view value) {
+  TelemetryTarget target;
+  if (value.empty()) return target;
+  constexpr std::string_view prefix = kUnixTargetPrefix;
+  if (value.substr(0, prefix.size()) == prefix) {
+    target.kind = TelemetryTarget::Kind::kUnixDatagram;
+    target.path = std::string(value.substr(prefix.size()));
+    return target;
+  }
+  target.kind = TelemetryTarget::Kind::kFile;
+  target.path = std::string(value);
+  return target;
+}
+
+WireEmitter::WireEmitter(std::string socket_path)
+    : path_(std::move(socket_path)) {}
+
+WireEmitter::~WireEmitter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WireEmitter::SendResult WireEmitter::send_frame(std::string_view frame) noexcept {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path_.empty() || path_.size() >= sizeof(addr.sun_path)) {
+    return SendResult::kError;  // unroutable path: every flush degrades
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  if (fd_ < 0) {
+    fd_ = ::socket(AF_UNIX, SOCK_DGRAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (fd_ < 0) return SendResult::kError;
+    // Ask for headroom over the default datagram budget; the kernel clamps
+    // to wmem_max, and frames past the clamp surface as kTooBig below.
+    int sndbuf = 4 << 20;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  }
+
+  // Connectionless sendto per frame: the aggregator may be restarted (its
+  // socket unlinked and rebound) between any two flushes without this end
+  // holding a stale connection.
+  const ssize_t n =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n == static_cast<ssize_t>(frame.size())) return SendResult::kSent;
+  if (n < 0 && errno == EMSGSIZE) return SendResult::kTooBig;
+  return SendResult::kError;
+}
+
+}  // namespace ht::runtime

@@ -1,0 +1,165 @@
+// Binary telemetry wire format + streaming transport (docs/FORMATS.md §6).
+//
+// The text dump (FORMATS.md §4) is the debug path: greppable, hand-editable,
+// one file per process. Fleet-scale streaming needs something denser and
+// self-delimiting — a process flushing once a second to an aggregator must
+// not cost a filesystem round trip per flush, and the aggregator must be
+// able to reject a torn or corrupt frame without trusting its contents.
+// This module is that path:
+//
+//  - FRAME: one encoded TelemetrySnapshot. Fixed 20-byte header (magic
+//    "HTWIRE1\0", version, payload length, CRC-32 of the payload) followed
+//    by a sequence of length-prefixed records. Everything little-endian,
+//    serialized field-by-field — never struct memcpy — so frames are
+//    byte-identical across producers.
+//  - RECORDS: type byte + u16 body length + body. Record types cover the
+//    source label, table/config/health metadata, counters, per-shard rows,
+//    patch hits, latency buckets, and ring events. Unknown record types and
+//    unknown counter ids are skipped (forward compatibility, same rule as
+//    the text parser's unknown counters); short bodies are skipped with a
+//    note; a failed CRC rejects the whole frame.
+//  - LOSSLESS: decode(encode(snap)) reproduces every field the text dump
+//    carries, so snapshot -> wire -> snapshot -> render_telemetry equals
+//    snapshot -> render_telemetry exactly (tests/runtime/telemetry_wire_test
+//    holds the round trip byte-for-byte).
+//  - TRANSPORT: parse_telemetry_target() splits HEAPTHERAPY_TELEMETRY into
+//    the file form (unchanged) and the streaming form "unix:/path";
+//    WireEmitter sends frames as connectionless AF_UNIX datagrams — one
+//    sendto per frame, non-blocking, never touching an allocation path.
+//    A frame larger than the socket's datagram limit reports kTooBig so the
+//    caller can re-encode without event records (counters stay exact).
+//
+// Decoder hardening: every read is bounds-checked against the declared
+// payload length, the payload length is capped, and no input can make the
+// decoder crash, over-read, or loop — the corruption-sweep test flips every
+// bit and truncates at every boundary to hold that line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+
+namespace ht::runtime {
+
+// ---- Frame constants (all part of the format; see docs/FORMATS.md §6) ----
+
+/// 8-byte frame magic. The trailing NUL is part of the magic, so a text
+/// dump (which never contains NUL in its first line) can never alias it.
+inline constexpr char kWireMagic[8] = {'H', 'T', 'W', 'I', 'R', 'E', '1', '\0'};
+inline constexpr std::uint16_t kWireVersion = 1;
+/// magic(8) + version(u16) + reserved(u16) + payload_len(u32) + crc32(u32).
+inline constexpr std::size_t kWireHeaderSize = 20;
+/// Decoder refuses larger payloads outright: no telemetry snapshot is this
+/// big, so a larger declared length is corruption, not data.
+inline constexpr std::size_t kMaxWirePayload = 16u << 20;
+
+/// Record types inside a frame payload. Part of the wire format: add at
+/// the end, never renumber. Decoders skip unknown types silently (a newer
+/// producer may emit records an older aggregator does not know).
+enum class WireRecord : std::uint8_t {
+  kSource = 0,    ///< producer label (e.g. "pid-4242"); UTF-8 bytes
+  kMeta = 1,      ///< config + table identity + health + bypass
+  kCounter = 2,   ///< one fleet counter: id byte + u64 value
+  kShard = 3,     ///< one per-shard occupancy row
+  kPatchHit = 4,  ///< one {fn, ccid} -> hits entry
+  kLatency = 5,   ///< one latency histogram bucket: index + count
+  kEvent = 6,     ///< one TelemetryRecord from the event ring
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) over `len` bytes.
+/// `seed` chains multi-buffer computations (pass a previous return value).
+[[nodiscard]] std::uint32_t crc32_ieee(const void* data, std::size_t len,
+                                       std::uint32_t seed = 0) noexcept;
+
+/// True when `data` starts with the frame magic — how htctl/htagg tell a
+/// binary frame file from a §4 text dump.
+[[nodiscard]] bool looks_like_wire_frame(std::string_view data) noexcept;
+
+/// Encodes one snapshot as a single frame. `source` tags the producer
+/// (empty = no kSource record); include_events=false omits kEvent records —
+/// the datagram-too-big fallback that keeps counters exact while dropping
+/// the (re-sendable) event tail.
+[[nodiscard]] std::string encode_telemetry_frame(const TelemetrySnapshot& snap,
+                                                 std::string_view source = {},
+                                                 bool include_events = true);
+
+/// Decode outcome. `errors` are fatal (bad magic/version, truncation, CRC
+/// mismatch): the snapshot must not be trusted. `notes` are per-record
+/// skips on a frame whose CRC passed (short body, unknown latency bucket):
+/// the rest of the snapshot is intact and usable — the same skip-with-note
+/// contract htagg applies to unreadable input files.
+struct WireDecodeResult {
+  TelemetrySnapshot snapshot;
+  std::string source;               ///< kSource label, "" when absent
+  std::vector<std::string> errors;  ///< fatal: frame rejected
+  std::vector<std::string> notes;   ///< per-record skips; frame still usable
+  std::size_t records = 0;          ///< records decoded successfully
+  std::size_t skipped_records = 0;  ///< unknown-type + noted skips
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Decodes one frame. Never throws, never over-reads: every declared
+/// length is validated against the actual buffer before use.
+[[nodiscard]] WireDecodeResult decode_telemetry_frame(std::string_view frame);
+
+// ---- Transport targets (HEAPTHERAPY_TELEMETRY / htrun --telemetry) ----
+
+/// The streaming form's prefix. check_docs.sh extracts every *TargetPrefix
+/// constant here and requires the HEAPTHERAPY_TELEMETRY docs to cover it.
+inline constexpr char kUnixTargetPrefix[] = "unix:";
+
+/// Where telemetry flushes go: a file path (atomic write-then-rename of
+/// the text dump, the original form) or a Unix datagram socket (one binary
+/// frame per flush).
+struct TelemetryTarget {
+  enum class Kind : std::uint8_t {
+    kNone = 0,          ///< telemetry flushing disabled
+    kFile = 1,          ///< text dump to a file path
+    kUnixDatagram = 2,  ///< binary frames to an AF_UNIX datagram socket
+  };
+  Kind kind = Kind::kNone;
+  std::string path;  ///< file path, or socket path (prefix stripped)
+};
+
+/// Splits a HEAPTHERAPY_TELEMETRY value: "" -> kNone, "unix:<path>" ->
+/// kUnixDatagram at <path>, anything else -> kFile. Call after
+/// expand_telemetry_path so %p works in both forms.
+[[nodiscard]] TelemetryTarget parse_telemetry_target(std::string_view value);
+
+/// Streams frames to an AF_UNIX datagram socket. Connectionless sendto per
+/// frame: the aggregator can restart without the producers noticing, and a
+/// dead socket costs one failed syscall per flush, never a block. The
+/// socket is created lazily (first send) and is non-blocking — a full
+/// receiver buffer is a drop (kError), not a stall: this runs on the
+/// preload maintenance thread whose failures must degrade, not back up
+/// into allocation paths.
+class WireEmitter {
+ public:
+  enum class SendResult : std::uint8_t {
+    kSent = 0,
+    kTooBig = 1,  ///< frame exceeds the datagram limit: retry without events
+    kError = 2,   ///< transient (no receiver, full buffer): retry/backoff
+  };
+
+  explicit WireEmitter(std::string socket_path);
+  ~WireEmitter();
+  WireEmitter(const WireEmitter&) = delete;
+  WireEmitter& operator=(const WireEmitter&) = delete;
+
+  /// Sends one frame as one datagram. Safe to call repeatedly after
+  /// failures; never blocks, never allocates.
+  SendResult send_frame(std::string_view frame) noexcept;
+
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace ht::runtime

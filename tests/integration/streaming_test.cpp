@@ -1,0 +1,215 @@
+// End-to-end streaming telemetry: real preload child processes flushing
+// binary wire frames over an AF_UNIX datagram socket into a real
+// `htagg serve` daemon (docs/FORMATS.md §6, docs/OBSERVABILITY.md).
+//
+// The load-bearing assertion is batch/daemon parity: the rolling fleet
+// state the daemon accumulates must render the SAME Prometheus exposition
+// a batch `htagg` run produces over the same processes' text dumps —
+// byte-identical, not approximately equal. The daemon's --dump-dir bridge
+// provides those dumps, closing the loop wire -> rolling state -> text ->
+// batch merge.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/telemetry.hpp"
+#include "runtime/telemetry_agg.hpp"
+#include "runtime/telemetry_wire.hpp"
+
+namespace {
+
+const char* kPreloadLib = HT_PRELOAD_LIB;
+const char* kHtagg = HT_HTAGG_BIN;
+const char* kHtctl = HT_HTCTL_BIN;
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Waits for the daemon's socket to appear (bound before the recv loop).
+bool wait_for_socket(const std::string& path) {
+  for (int i = 0; i < 250; ++i) {
+    if (std::filesystem::exists(path)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(StreamingTelemetry, PreloadFleetStreamsToServeAndMatchesBatch) {
+  const std::string sock = temp_path("ht_stream_e2e.sock");
+  const std::string dump_dir = temp_path("ht_stream_dumps");
+  const std::string daemon_out = temp_path("ht_stream_daemon.prom");
+  const std::string batch_out = temp_path("ht_stream_batch.prom");
+  std::filesystem::remove_all(dump_dir);
+  std::filesystem::create_directory(dump_dir);
+  std::remove(sock.c_str());
+  std::remove(daemon_out.c_str());
+
+  // The daemon: accept exactly 3 frames, keep per-source text dumps, emit
+  // Prometheus to --out (final atomic rewrite happens at shutdown).
+  int serve_exit = -1;
+  std::thread daemon([&] {
+    serve_exit = run_command(std::string(kHtagg) + " serve --listen unix:" +
+                             sock + " --max-frames 3 --dump-dir " + dump_dir +
+                             " --format prom --out " + daemon_out);
+  });
+  ASSERT_TRUE(wait_for_socket(sock)) << "htagg serve never bound " << sock;
+
+  // Three real preload children. The flush interval is parked high so each
+  // child sends exactly ONE frame — the ELF destructor's final flush.
+  for (int i = 0; i < 3; ++i) {
+    const int rc = run_command(
+        "HEAPTHERAPY_TELEMETRY=unix:" + sock +
+        " HEAPTHERAPY_TELEMETRY_INTERVAL=60000"
+        " LD_PRELOAD=" + std::string(kPreloadLib) + " /bin/ls / > /dev/null");
+    EXPECT_EQ(rc, 0) << "preload child " << i << " failed";
+  }
+
+  daemon.join();
+  EXPECT_EQ(serve_exit, 0);
+
+  const std::string daemon_prom = read_file(daemon_out);
+  ASSERT_FALSE(daemon_prom.empty());
+  EXPECT_NE(daemon_prom.find("ht_processes 3"), std::string::npos);
+  EXPECT_NE(daemon_prom.find("ht_inputs_skipped 0"), std::string::npos);
+  {
+    const auto errors = ht::runtime::prometheus_lint(daemon_prom);
+    EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  }
+
+  // --dump-dir wrote one §4 text dump per source ("pid-<pid>.dump").
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dump_dir)) {
+    dumps.push_back(entry.path().string());
+  }
+  ASSERT_EQ(dumps.size(), 3u);
+
+  // Batch htagg over those dumps must reproduce the daemon's exposition
+  // byte for byte — same merge code, same snapshots, no drift allowed.
+  std::string batch_cmd = std::string(kHtagg);
+  for (const std::string& d : dumps) batch_cmd += " " + d;
+  batch_cmd += " --format prom --out " + batch_out;
+  ASSERT_EQ(run_command(batch_cmd), 0);
+  EXPECT_EQ(read_file(batch_out), daemon_prom);
+
+  std::filesystem::remove_all(dump_dir);
+  for (const auto& f : {sock, daemon_out, batch_out}) std::remove(f.c_str());
+}
+
+TEST(StreamingTelemetry, ServeSurvivesCorruptDatagrams) {
+  const std::string sock = temp_path("ht_stream_corrupt.sock");
+  const std::string out = temp_path("ht_stream_corrupt.prom");
+  std::remove(sock.c_str());
+
+  int serve_exit = -1;
+  std::thread daemon([&] {
+    serve_exit = run_command(std::string(kHtagg) + " serve --listen unix:" +
+                             sock + " --max-frames 1 --format prom --out " +
+                             out + " 2> /dev/null");
+  });
+  ASSERT_TRUE(wait_for_socket(sock));
+
+  ht::runtime::WireEmitter emitter(sock);
+  using SendResult = ht::runtime::WireEmitter::SendResult;
+  // Garbage first: not a frame at all, then a real frame with its payload
+  // corrupted after the CRC was stamped. Both must be dropped, not fatal.
+  ASSERT_EQ(emitter.send_frame("complete garbage, not a frame"),
+            SendResult::kSent);
+  ht::runtime::TelemetrySnapshot snap;
+  snap.totals.interceptions = 123;
+  std::string torn = ht::runtime::encode_telemetry_frame(snap, "torn");
+  torn[torn.size() - 1] ^= 0x40;
+  ASSERT_EQ(emitter.send_frame(torn), SendResult::kSent);
+  // Then one valid frame, which satisfies --max-frames 1.
+  ASSERT_EQ(emitter.send_frame(
+                ht::runtime::encode_telemetry_frame(snap, "survivor")),
+            SendResult::kSent);
+
+  daemon.join();
+  EXPECT_EQ(serve_exit, 0);
+
+  const std::string prom = read_file(out);
+  EXPECT_NE(prom.find("ht_processes 1"), std::string::npos);
+  // The corrupt datagrams are visible in the rollup (deduped to one
+  // "(datagram)" entry), not silently swallowed.
+  EXPECT_NE(prom.find("ht_inputs_skipped 1"), std::string::npos);
+  EXPECT_NE(prom.find("ht_interceptions_total 123"), std::string::npos);
+
+  for (const auto& f : {sock, out}) std::remove(f.c_str());
+}
+
+TEST(StreamingTelemetry, DroppedFramesDegradeWithoutBlocking) {
+  // No receiver at all: the child's flushes fail, but the process must
+  // run to completion promptly and exit 0 — drops degrade, never block
+  // allocation paths or the exit path.
+  const std::string sock = temp_path("ht_stream_noreceiver.sock");
+  std::remove(sock.c_str());
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = run_command(
+      "HEAPTHERAPY_TELEMETRY=unix:" + sock +
+      " HEAPTHERAPY_TELEMETRY_INTERVAL=60000"
+      " LD_PRELOAD=" + std::string(kPreloadLib) + " /bin/ls / > /dev/null");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(rc, 0);
+  // One flush cycle = 3 attempts with 10ms+40ms backoff; anything taking
+  // whole seconds means the flusher blocked instead of degrading.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            10);
+}
+
+TEST(StreamingTelemetry, HtctlStatsReadsBinaryFrameFiles) {
+  // Satellite: a frame captured to a file (e.g. from a socket recorder)
+  // feeds the same htctl stats/trace pipeline as a text dump.
+  const std::string frame_file = temp_path("ht_stream_frame.bin");
+  const std::string json_out = temp_path("ht_stream_frame.json");
+
+  ht::runtime::TelemetrySnapshot snap;
+  snap.totals.interceptions = 777;
+  snap.totals.enhanced = 111;
+  {
+    std::ofstream out(frame_file, std::ios::binary);
+    out << ht::runtime::encode_telemetry_frame(snap, "capture");
+  }
+
+  ASSERT_EQ(run_command(std::string(kHtctl) + " stats " + frame_file + " > " +
+                        json_out),
+            0);
+  const std::string json = read_file(json_out);
+  EXPECT_NE(json.find("\"interceptions\": 777"), std::string::npos);
+  EXPECT_NE(json.find("\"enhanced\": 111"), std::string::npos);
+
+  // And a corrupt frame is rejected crisply, not half-parsed.
+  {
+    std::ofstream out(frame_file, std::ios::binary | std::ios::trunc);
+    std::string bad = ht::runtime::encode_telemetry_frame(snap);
+    bad[bad.size() - 1] ^= 0x01;
+    out << bad;
+  }
+  EXPECT_NE(run_command(std::string(kHtctl) + " stats " + frame_file +
+                        " > /dev/null 2>&1"),
+            0);
+
+  for (const auto& f : {frame_file, json_out}) std::remove(f.c_str());
+}
+
+}  // namespace

@@ -178,8 +178,10 @@ TEST(PatchTableSwapTest, ConcurrentAllocationDuringReload) {
     }
     stop.store(true, std::memory_order_release);
   });
+  // On a slow host the reloader can finish before this loop runs once, so
+  // also require at least one allocation to keep the race meaningful.
   std::uint64_t allocs = 0;
-  while (!stop.load(std::memory_order_acquire)) {
+  while (!stop.load(std::memory_order_acquire) || allocs == 0) {
     void* p = allocator.malloc(32, kCcid);
     ASSERT_NE(p, nullptr);
     allocator.free(p);

@@ -1,0 +1,442 @@
+// Binary telemetry wire format (runtime/telemetry_wire.hpp): the round
+// trip must be EXACT — snapshot -> frame -> snapshot -> text dump equals
+// snapshot -> text dump byte for byte — and the decoder must survive
+// arbitrary corruption (every truncation boundary, every single-bit flip,
+// bad CRCs, hostile lengths) without crashing or over-reading: frames
+// arrive over a datagram socket from whoever can write to it.
+#include "runtime/telemetry_wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/telemetry_agg.hpp"
+
+namespace ht::runtime {
+namespace {
+
+using progmodel::AllocFn;
+
+/// A snapshot exercising every record type: config off-defaults, table
+/// identity, all 13 counters plus the 5 extras, multiple shards (with both
+/// free kinds, so the merged-frees shard encoding is covered), patch hits
+/// across functions, sparse latency buckets including the unbounded one,
+/// ring events with every field non-zero, and non-healthy health.
+TelemetrySnapshot rich_snapshot() {
+  TelemetrySnapshot s;
+  s.config.counters = true;
+  s.config.events = true;
+  s.config.ring_capacity = 512;
+  s.table_generation = 7;
+  s.table_patches = 3;
+  s.totals.interceptions = 1000;
+  s.totals.enhanced = 400;
+  s.totals.guard_pages = 90;
+  s.totals.zero_fills = 55;
+  s.totals.quarantined_frees = 120;
+  s.totals.plain_frees = 600;
+  s.totals.failed_guards = 4;
+  s.totals.canaries_planted = 310;
+  s.totals.canary_overflows_on_free = 2;
+  s.totals.guard_budget_denied = 12;
+  s.totals.degraded_to_canary = 9;
+  s.totals.degraded_to_plain = 3;
+  s.totals.alloc_failures = 1;
+  s.events_recorded = 77;
+  s.events_dropped = 5;
+  s.patch_hit_overflow = 6;
+  s.quarantine_pressure = 2;
+  s.flush_failures = 1;
+  s.bypass = false;
+  s.health = HealthState::kDegraded;
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ShardTelemetry shard;
+    shard.shard = i;
+    shard.stats.interceptions = 100 + i;
+    shard.stats.plain_frees = 40 + i;
+    shard.stats.quarantined_frees = 10 + i;
+    shard.quarantine_bytes = 4096 * (i + 1);
+    shard.quarantine_depth = 7 + i;
+    shard.quarantine_pressure = i;
+    shard.events_recorded = 20 + i;
+    shard.events_dropped = i;
+    s.shards.push_back(shard);
+  }
+
+  s.patch_hits.push_back({AllocFn::kMalloc, 0x1102aabbccdd0011ULL, 250});
+  s.patch_hits.push_back({AllocFn::kCalloc, 0x99, 150});
+  s.patch_hits.push_back({AllocFn::kRealloc, 0xdeadbeef, 1});
+
+  s.latency.buckets[0] = 12;
+  s.latency.buckets[5] = 8;
+  s.latency.buckets[LatencyHistogram::kBuckets - 1] = 3;  // unbounded
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    TelemetryRecord e{};
+    e.seq = i + 1;
+    e.timestamp_ns = 1000000 + i * 17;
+    e.ccid = 0x1102aabbccdd0011ULL + i;
+    e.size = 64 + i;
+    e.aux = static_cast<std::uint32_t>(i);
+    e.shard = static_cast<std::uint16_t>(i % 3);
+    e.type = i == 0 ? TelemetryEvent::kPatchHit : TelemetryEvent::kGuardTrap;
+    e.fn = i == 3 ? TelemetryRecord::kFnNone
+                  : static_cast<std::uint8_t>(AllocFn::kMalloc);
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+// ---- Lossless round trip ----
+
+TEST(TelemetryWire, RoundTripIsExact) {
+  const TelemetrySnapshot original = rich_snapshot();
+  const std::string frame = encode_telemetry_frame(original, "pid-4242");
+  ASSERT_TRUE(looks_like_wire_frame(frame));
+
+  const WireDecodeResult decoded = decode_telemetry_frame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.errors.front();
+  EXPECT_TRUE(decoded.notes.empty());
+  EXPECT_EQ(decoded.source, "pid-4242");
+  EXPECT_EQ(decoded.skipped_records, 0u);
+
+  // The acceptance criterion verbatim: the decoded snapshot renders the
+  // SAME text dump the original does.
+  EXPECT_EQ(render_telemetry(decoded.snapshot), render_telemetry(original));
+}
+
+TEST(TelemetryWire, RoundTripSurvivesSecondGeneration) {
+  // wire -> snapshot -> wire must be byte-identical too (no drift across
+  // repeated re-encodes, e.g. serve --dump-dir then a batch re-run).
+  const TelemetrySnapshot original = rich_snapshot();
+  const std::string frame = encode_telemetry_frame(original, "pid-1");
+  const WireDecodeResult decoded = decode_telemetry_frame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(encode_telemetry_frame(decoded.snapshot, "pid-1"), frame);
+}
+
+TEST(TelemetryWire, EmptySourceOmitsTheRecord) {
+  const std::string frame = encode_telemetry_frame(rich_snapshot());
+  const WireDecodeResult decoded = decode_telemetry_frame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.source, "");
+}
+
+TEST(TelemetryWire, IncludeEventsFalseDropsOnlyEvents) {
+  TelemetrySnapshot original = rich_snapshot();
+  const std::string frame =
+      encode_telemetry_frame(original, "p", /*include_events=*/false);
+  const WireDecodeResult decoded = decode_telemetry_frame(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.snapshot.events.empty());
+  // Everything else — counters included — must match exactly: this is the
+  // datagram-too-big fallback and totals must not go approximate.
+  original.events.clear();
+  EXPECT_EQ(render_telemetry(decoded.snapshot), render_telemetry(original));
+}
+
+TEST(TelemetryWire, DefaultSnapshotRoundTrips) {
+  const TelemetrySnapshot empty;
+  const WireDecodeResult decoded =
+      decode_telemetry_frame(encode_telemetry_frame(empty));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(render_telemetry(decoded.snapshot), render_telemetry(empty));
+}
+
+// ---- Format detection ----
+
+TEST(TelemetryWire, TextDumpIsNotAFrame) {
+  EXPECT_FALSE(looks_like_wire_frame("version 1\nhealth healthy bypass=0\n"));
+  EXPECT_FALSE(looks_like_wire_frame(""));
+  EXPECT_FALSE(looks_like_wire_frame("HTWIRE1"));  // 7 bytes, no NUL yet
+  // The trailing NUL is part of the magic: a text file starting with the
+  // same 7 characters still cannot alias a frame.
+  EXPECT_FALSE(looks_like_wire_frame("HTWIRE1 extras"));
+}
+
+TEST(TelemetryWire, LoaderAutoDetectsBothFormats) {
+  const TelemetrySnapshot snap = rich_snapshot();
+
+  const LoadedTelemetry from_wire =
+      load_telemetry_content(encode_telemetry_frame(snap, "pid-9"));
+  ASSERT_TRUE(from_wire.ok());
+  EXPECT_TRUE(from_wire.binary);
+  EXPECT_EQ(from_wire.source, "pid-9");
+
+  const LoadedTelemetry from_text = load_telemetry_content(render_telemetry(snap));
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_FALSE(from_text.binary);
+
+  // Both ingest paths land on the same snapshot.
+  EXPECT_EQ(render_telemetry(from_wire.snapshot),
+            render_telemetry(from_text.snapshot));
+}
+
+// ---- Decoder hardening ----
+
+TEST(TelemetryWire, TruncationAtEveryBoundaryNeverCrashes) {
+  const std::string frame = encode_telemetry_frame(rich_snapshot(), "pid-1");
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const WireDecodeResult r =
+        decode_telemetry_frame(std::string_view(frame).substr(0, len));
+    // Any truncation is either a short/invalid header or a payload shorter
+    // than declared — all fatal. Never a crash, never a trusted snapshot.
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(TelemetryWire, SingleBitFlipsNeverCrashAndNeverCorrupt) {
+  const TelemetrySnapshot original = rich_snapshot();
+  const std::string frame = encode_telemetry_frame(original, "pid-1");
+  const std::string rendered = render_telemetry(original);
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = frame;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      const WireDecodeResult r = decode_telemetry_frame(mutated);
+      if (r.ok() && r.notes.empty() && r.source == "pid-1") {
+        // Only flips the CRC does not cover (the reserved header bytes)
+        // may decode clean — and then the content must be untouched.
+        EXPECT_EQ(render_telemetry(r.snapshot), rendered)
+            << "bit " << bit << " of byte " << byte
+            << " decoded clean but changed the snapshot";
+      }
+    }
+  }
+}
+
+TEST(TelemetryWire, PayloadCorruptionIsCaughtByCrc) {
+  std::string frame = encode_telemetry_frame(rich_snapshot());
+  frame[kWireHeaderSize + 5] ^= 0x01;  // flip one payload bit
+  const WireDecodeResult r = decode_telemetry_frame(frame);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors.front().find("CRC"), std::string::npos);
+}
+
+TEST(TelemetryWire, HostileDeclaredLengthIsRejected) {
+  // A header declaring a huge payload must be rejected on the DECLARED
+  // length, before any allocation or read of that size.
+  std::string frame(kWireHeaderSize, '\0');
+  std::memcpy(frame.data(), kWireMagic, sizeof(kWireMagic));
+  frame[8] = 1;                       // version 1 LE
+  frame[12] = static_cast<char>(0xFF);  // payload_len = 0xFFFFFFFF
+  frame[13] = static_cast<char>(0xFF);
+  frame[14] = static_cast<char>(0xFF);
+  frame[15] = static_cast<char>(0xFF);
+  const WireDecodeResult r = decode_telemetry_frame(frame);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.front().find("cap"), std::string::npos);
+}
+
+TEST(TelemetryWire, UnsupportedVersionIsRejected) {
+  std::string frame = encode_telemetry_frame(rich_snapshot());
+  frame[8] = 2;  // version 2
+  const WireDecodeResult r = decode_telemetry_frame(frame);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.errors.front().find("version"), std::string::npos);
+}
+
+/// Rebuilds a frame around `payload` with a VALID header and CRC — the
+/// hostile-but-checksummed case: record-level damage the frame check
+/// cannot catch, which the record loop must absorb.
+std::string frame_with_payload(const std::string& payload) {
+  std::string frame;
+  frame.append(kWireMagic, sizeof(kWireMagic));
+  frame.push_back(1);  // version 1 LE
+  frame.push_back(0);
+  frame.push_back(0);  // reserved
+  frame.push_back(0);
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32_ieee(payload.data(), payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  frame += payload;
+  return frame;
+}
+
+TEST(TelemetryWire, UnknownRecordTypeIsSkippedSilently) {
+  const std::string original = encode_telemetry_frame(rich_snapshot(), "p");
+  std::string payload(original.substr(kWireHeaderSize));
+  payload.push_back(static_cast<char>(0xEE));  // future record type
+  payload.push_back(3);  // body length 3 LE
+  payload.push_back(0);
+  payload += "xyz";
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.notes.empty());  // version skew, not corruption: no noise
+  EXPECT_GE(r.skipped_records, 1u);
+  EXPECT_EQ(render_telemetry(r.snapshot), render_telemetry(rich_snapshot()));
+}
+
+TEST(TelemetryWire, UnknownCounterIdIsSkippedSilently) {
+  std::string payload;
+  payload.push_back(2);  // kCounter
+  payload.push_back(9);  // body length 9 LE
+  payload.push_back(0);
+  payload.push_back(static_cast<char>(200));  // id 200: unassigned
+  payload.append(8, '\x01');
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.skipped_records, 1u);
+}
+
+TEST(TelemetryWire, ShortRecordBodyIsSkippedWithNote) {
+  std::string payload;
+  payload.push_back(4);  // kPatchHit needs 17 bytes
+  payload.push_back(4);  // body length 4 LE
+  payload.push_back(0);
+  payload.append(4, '\x01');
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());  // CRC passed: frame intact, record skipped
+  EXPECT_EQ(r.skipped_records, 1u);
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_TRUE(r.snapshot.patch_hits.empty());
+}
+
+TEST(TelemetryWire, LongerThanExpectedBodyReadsKnownPrefix) {
+  // A newer producer appended a field to the latency record: the known
+  // prefix must decode, the tail must be ignored, no note (version skew).
+  std::string payload;
+  payload.push_back(5);   // kLatency
+  payload.push_back(13);  // 9 known bytes + 4 future bytes, LE
+  payload.push_back(0);
+  payload.push_back(2);   // bucket index 2
+  payload.push_back(42);  // count 42 LE
+  payload.append(7, '\0');
+  payload.append(4, '\x7F');  // the future field
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.notes.empty());
+  EXPECT_EQ(r.snapshot.latency.buckets[2], 42u);
+}
+
+TEST(TelemetryWire, OutOfRangeEnumsAreSkippedWithNote) {
+  std::string payload;
+  payload.push_back(5);  // kLatency with bucket index out of range
+  payload.push_back(9);
+  payload.push_back(0);
+  payload.push_back(static_cast<char>(LatencyHistogram::kBuckets));
+  payload.append(8, '\x01');
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.skipped_records, 1u);
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(TelemetryWire, TrailingGarbageAfterPayloadIsNoted) {
+  std::string frame = encode_telemetry_frame(rich_snapshot());
+  frame += "garbage after the declared payload";
+  const WireDecodeResult r = decode_telemetry_frame(frame);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes.front().find("trailing"), std::string::npos);
+  EXPECT_EQ(render_telemetry(r.snapshot), render_telemetry(rich_snapshot()));
+}
+
+// ---- CRC-32 ----
+
+TEST(TelemetryWire, Crc32MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32_ieee("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32_ieee("", 0), 0u);
+  // Seed chaining: crc(a+b) == crc(b, seed=crc(a)).
+  const std::uint32_t whole = crc32_ieee("123456789", 9);
+  const std::uint32_t first = crc32_ieee("12345", 5);
+  EXPECT_EQ(crc32_ieee("6789", 4, first), whole);
+}
+
+// ---- Transport target parsing ----
+
+TEST(TelemetryWire, ParseTelemetryTargetForms) {
+  EXPECT_EQ(parse_telemetry_target("").kind, TelemetryTarget::Kind::kNone);
+
+  const TelemetryTarget file = parse_telemetry_target("/tmp/ht.dump");
+  EXPECT_EQ(file.kind, TelemetryTarget::Kind::kFile);
+  EXPECT_EQ(file.path, "/tmp/ht.dump");
+
+  const TelemetryTarget sock = parse_telemetry_target("unix:/run/ht.sock");
+  EXPECT_EQ(sock.kind, TelemetryTarget::Kind::kUnixDatagram);
+  EXPECT_EQ(sock.path, "/run/ht.sock");
+
+  // A RELATIVE path that merely contains "unix" stays a file path.
+  const TelemetryTarget odd = parse_telemetry_target("unixish/ht.dump");
+  EXPECT_EQ(odd.kind, TelemetryTarget::Kind::kFile);
+}
+
+// ---- Rolling aggregation (htagg serve's state) ----
+
+TEST(TelemetryWire, RollingAggregateMatchesBatchByteForByte) {
+  const TelemetrySnapshot a = rich_snapshot();
+  TelemetrySnapshot b = rich_snapshot();
+  b.totals.interceptions = 5000;
+  b.table_generation = 8;
+
+  RollingAggregate rolling;
+  rolling.ingest("web", a);
+  rolling.ingest("db", b);
+
+  const TelemetryAggregate batch =
+      aggregate_telemetry({{"web", a}, {"db", b}});
+  // Prometheus carries no per-process labels, so daemon output must equal
+  // a batch run over the same snapshots exactly.
+  EXPECT_EQ(aggregate_prometheus(rolling.aggregate()),
+            aggregate_prometheus(batch));
+  // JSON does carry the labels — and they match here, so it is exact too.
+  EXPECT_EQ(aggregate_json(rolling.aggregate()), aggregate_json(batch));
+}
+
+TEST(TelemetryWire, ReIngestReplacesInsteadOfDoubleCounting) {
+  TelemetrySnapshot first = rich_snapshot();
+  TelemetrySnapshot second = rich_snapshot();
+  second.totals.interceptions = first.totals.interceptions + 50;
+
+  RollingAggregate rolling;
+  rolling.ingest("web", first);
+  rolling.ingest("web", second);  // next flush from the same process
+
+  const TelemetryAggregate agg = rolling.aggregate();
+  EXPECT_EQ(agg.processes, 1u);
+  EXPECT_EQ(agg.totals.interceptions, second.totals.interceptions);
+  EXPECT_EQ(rolling.frames_ingested(), 2u);
+}
+
+TEST(TelemetryWire, DecayReRanksWithoutChangingValues) {
+  TelemetrySnapshot s1;
+  s1.patch_hits.push_back({AllocFn::kMalloc, 0xAAA, 1000});  // old heat
+  s1.patch_hits.push_back({AllocFn::kMalloc, 0xBBB, 10});
+
+  RollingAggregate rolling(/*decay=*/0.5);
+  rolling.ingest("p", s1);
+
+  // 0xBBB keeps firing across later flushes; 0xAAA goes quiet.
+  TelemetrySnapshot s2 = s1;
+  for (int i = 0; i < 8; ++i) {
+    s2.patch_hits[1].hits += 200;
+    rolling.ingest("p", s2);
+  }
+
+  const TelemetryAggregate agg = rolling.aggregate();
+  ASSERT_EQ(agg.patch_hits.size(), 2u);
+  // Recency ranking puts the currently-firing patch first...
+  EXPECT_EQ(agg.patch_hits[0].ccid, 0xBBBu);
+  // ...but the exported values stay exact lifetime sums.
+  EXPECT_EQ(agg.patch_hits[0].hits, s2.patch_hits[1].hits);
+  EXPECT_EQ(agg.patch_hits[1].hits, 1000u);
+}
+
+TEST(TelemetryWire, SkippedInputsAreDedupedButAllCounted) {
+  RollingAggregate rolling;
+  for (int i = 0; i < 5; ++i) rolling.note_skipped("(datagram)", "corrupt");
+  EXPECT_EQ(rolling.inputs_skipped(), 5u);
+  const TelemetryAggregate agg = rolling.aggregate();
+  ASSERT_EQ(agg.skipped.size(), 1u);  // deduped in the visible list
+  EXPECT_EQ(agg.skipped[0].label, "(datagram)");
+  EXPECT_EQ(agg.skipped[0].reason, "corrupt");
+}
+
+}  // namespace
+}  // namespace ht::runtime

@@ -1,76 +1,152 @@
-// htagg — fleet telemetry aggregator. Merges N per-process telemetry
-// dumps (docs/FORMATS.md §4, written by HEAPTHERAPY_TELEMETRY or htctl)
-// into one fleet view and emits JSON and/or Prometheus text exposition
-// (docs/FORMATS.md §5). All sums are exact.
+// htagg — fleet telemetry aggregator. Two modes over the same merge code:
+//
+// BATCH (the original): merges N per-process telemetry inputs — §4 text
+// dumps or §6 binary wire frames, auto-detected per file by the frame
+// magic — into one fleet view and emits JSON and/or Prometheus text
+// exposition (docs/FORMATS.md §5). All sums are exact.
 //
 //   htagg <dump>... [--format json|prom|both] [--top K] [--out <path>]
 //
-// Exit codes: 0 ok, 1 usage error, 3 when NO input could be merged or the
-// output path is unwritable. A missing, unreadable, or empty input file is
-// skipped — with a stderr warning AND a per-file entry in the output's
-// skipped list — rather than aborting the whole fleet rollup: in a fleet
-// sweep over HEAPTHERAPY_TELEMETRY dumps, one crashed-early process must
-// not hide every other process's data. Parse diagnostics from malformed
-// dump lines go to stderr; the dump is still merged (the parser is lenient
-// and never crashes on corrupt input).
+// SERVE (daemon): binds an AF_UNIX datagram socket and ingests binary
+// frames streamed by preload processes running
+// HEAPTHERAPY_TELEMETRY=unix:<socket>. Fleet state is rolling: each
+// producer's latest snapshot replaces its previous one (frames carry
+// totals, so re-sends never double-count), and the rollup re-derives
+// through the same aggregate_telemetry() the batch mode uses — a daemon
+// export is byte-identical to a batch run over the same processes' dumps.
+//
+//   htagg serve --listen unix:<socket> [--format json|prom|both] [--top K]
+//               [--out <path>] [--interval-ms N] [--decay F]
+//               [--max-frames N] [--dump-dir <dir>]
+//
+//   --out          rewritten atomically every interval and at shutdown
+//                  (absent: one final export to stdout at shutdown)
+//   --interval-ms  export cadence, default 1000
+//   --decay        0<F<1 re-ranks top-K patch hits by recency (exported
+//                  values stay exact sums; ordering leaves batch parity)
+//   --max-frames   exit 0 after accepting N frames (tests/scripting)
+//   --dump-dir     also write each source's latest snapshot as a §4 text
+//                  dump <dir>/<source>.dump — the bridge back to batch
+//                  tooling (htctl stats, a later batch htagg run)
+//
+// SIGINT/SIGTERM shut the daemon down cleanly: final export, then exit 0.
+// A corrupt datagram is counted, noted in the output's skipped list as
+// "(datagram)", and dropped — garbage on the socket must not take the
+// aggregator down (the decoder is hardened; docs/FORMATS.md §6).
+//
+// Exit codes: 0 ok, 1 usage error, 3 when NO input could be merged, the
+// output path is unwritable, or the listen socket cannot be bound. A
+// missing, unreadable, empty, or corrupt batch input file is skipped —
+// with a stderr warning AND a per-file entry in the output's skipped
+// list — rather than aborting the whole fleet rollup: in a fleet sweep
+// over HEAPTHERAPY_TELEMETRY dumps, one crashed-early process must not
+// hide every other process's data. Parse diagnostics from malformed text
+// dump lines go to stderr; the dump is still merged (the parser is
+// lenient and never crashes on corrupt input).
+#include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "runtime/telemetry.hpp"
 #include "runtime/telemetry_agg.hpp"
+#include "runtime/telemetry_wire.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
                "usage: htagg <dump>... [--format json|prom|both] [--top K] "
-               "[--out <path>]\n");
+               "[--out <path>]\n"
+               "       htagg serve --listen unix:<socket> [--format "
+               "json|prom|both] [--top K]\n"
+               "             [--out <path>] [--interval-ms N] [--decay F] "
+               "[--max-frames N]\n"
+               "             [--dump-dir <dir>]\n");
   return 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct Options {
   std::vector<std::string> paths;
   std::string format = "json";
   std::string out_path;
   std::size_t top_k = 0;
+  // serve mode
+  std::string listen;
+  unsigned long interval_ms = 1000;
+  double decay = 0.0;
+  unsigned long max_frames = 0;  ///< 0 = run until signalled
+  std::string dump_dir;
+};
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--format") {
-      if (++i >= argc) return usage();
-      format = argv[i];
-      if (format != "json" && format != "prom" && format != "both") {
-        std::fprintf(stderr, "htagg: unknown format '%s'\n", format.c_str());
-        return 1;
-      }
-    } else if (arg == "--top") {
-      if (++i >= argc) return usage();
-      char* end = nullptr;
-      const unsigned long k = std::strtoul(argv[i], &end, 10);
-      if (end == nullptr || *end != '\0') return usage();
-      top_k = static_cast<std::size_t>(k);
-    } else if (arg == "--out") {
-      if (++i >= argc) return usage();
-      out_path = argv[i];
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "htagg: unknown flag '%s'\n", arg.c_str());
-      return usage();
-    } else {
-      paths.push_back(arg);
+bool parse_count(const char* text, unsigned long* out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == nullptr || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::string render_output(const ht::runtime::TelemetryAggregate& agg,
+                          const Options& opt) {
+  std::string output;
+  if (opt.format == "json" || opt.format == "both") {
+    output += ht::runtime::aggregate_json(agg, opt.top_k);
+  }
+  if (opt.format == "prom" || opt.format == "both") {
+    output += ht::runtime::aggregate_prometheus(agg, opt.top_k);
+  }
+  return output;
+}
+
+/// Atomic write-then-rename, same contract as the preload's dump flusher:
+/// a scraper reading --out mid-export sees the previous complete export.
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return false;
+    out << content;
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
     }
   }
-  if (paths.empty()) return usage();
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
 
+int emit_output(const ht::runtime::TelemetryAggregate& agg,
+                const Options& opt) {
+  const std::string output = render_output(agg, opt);
+  if (opt.out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+    return 0;
+  }
+  if (!write_file_atomic(opt.out_path, output)) {
+    std::fprintf(stderr, "htagg: cannot write %s\n", opt.out_path.c_str());
+    return 3;
+  }
+  return 0;
+}
+
+// ---- Batch mode ----
+
+int run_batch(const Options& opt) {
   std::vector<ht::runtime::AggregateInput> inputs;
   std::vector<ht::runtime::SkippedInput> skipped;
-  for (const std::string& path : paths) {
-    std::ifstream in(path);
+  for (const std::string& path : opt.paths) {
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::fprintf(stderr, "htagg: skipping %s: cannot read\n", path.c_str());
       skipped.push_back({path, "unreadable"});
@@ -85,12 +161,23 @@ int main(int argc, char** argv) {
       skipped.push_back({path, "empty"});
       continue;
     }
-    const ht::runtime::TelemetryParseResult parsed =
-        ht::runtime::parse_telemetry(buf.str());
-    for (const std::string& e : parsed.errors) {
+    // Auto-detects §6 binary frames vs §4 text dumps by the frame magic.
+    ht::runtime::LoadedTelemetry loaded =
+        ht::runtime::load_telemetry_content(buf.str());
+    for (const std::string& e : loaded.errors) {
       std::fprintf(stderr, "htagg: %s: %s\n", path.c_str(), e.c_str());
     }
-    inputs.push_back({path, parsed.snapshot});
+    for (const std::string& n : loaded.notes) {
+      std::fprintf(stderr, "htagg: %s: %s\n", path.c_str(), n.c_str());
+    }
+    if (!loaded.ok()) {
+      // A binary frame that fails its CRC carries no trustworthy data —
+      // unlike a half-garbled text dump there is nothing salvageable.
+      std::fprintf(stderr, "htagg: skipping %s: corrupt\n", path.c_str());
+      skipped.push_back({path, "corrupt"});
+      continue;
+    }
+    inputs.push_back({path, std::move(loaded.snapshot)});
   }
   if (inputs.empty()) {
     std::fprintf(stderr, "htagg: no readable input\n");
@@ -100,23 +187,219 @@ int main(int argc, char** argv) {
   ht::runtime::TelemetryAggregate agg =
       ht::runtime::aggregate_telemetry(inputs);
   agg.skipped = std::move(skipped);
-  std::string output;
-  if (format == "json" || format == "both") {
-    output += ht::runtime::aggregate_json(agg, top_k);
+  return emit_output(agg, opt);
+}
+
+// ---- Serve mode ----
+
+volatile std::sig_atomic_t g_stop = 0;
+void stop_handler(int) { g_stop = 1; }
+
+/// Source labels become filenames under --dump-dir; anything outside
+/// [A-Za-z0-9._-] maps to '_' so a hostile label cannot traverse paths.
+std::string sanitize_source(const std::string& source) {
+  std::string name;
+  name.reserve(source.size());
+  for (char c : source) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    name.push_back(ok ? c : '_');
   }
-  if (format == "prom" || format == "both") {
-    output += ht::runtime::aggregate_prometheus(agg, top_k);
+  if (name.empty() || name[0] == '.') name.insert(name.begin(), '_');
+  return name;
+}
+
+int run_serve(const Options& opt) {
+  const ht::runtime::TelemetryTarget target =
+      ht::runtime::parse_telemetry_target(opt.listen);
+  if (target.kind != ht::runtime::TelemetryTarget::Kind::kUnixDatagram ||
+      target.path.empty()) {
+    std::fprintf(stderr, "htagg: serve needs --listen unix:<socket>\n");
+    return 1;
   }
 
-  if (out_path.empty()) {
-    std::fputs(output.c_str(), stdout);
-  } else {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::fprintf(stderr, "htagg: cannot write %s\n", out_path.c_str());
-      return 3;
-    }
-    out << output;
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (target.path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "htagg: socket path too long: %s\n",
+                 target.path.c_str());
+    return 3;
   }
-  return 0;
+  std::memcpy(addr.sun_path, target.path.c_str(), target.path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("htagg: socket");
+    return 3;
+  }
+  ::unlink(target.path.c_str());  // a stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "htagg: cannot bind %s: %s\n", target.path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 3;
+  }
+  {
+    int rcvbuf = 4 << 20;  // headroom for a burst of large frames
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    // Short receive timeout so the loop services the export interval and
+    // shutdown flags even when no frames arrive.
+    timeval tv{0, 200 * 1000};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  ht::runtime::RollingAggregate rolling(opt.decay);
+  std::vector<char> buf(4 << 20);  // one datagram = one whole frame
+  unsigned long accepted = 0;
+  std::size_t corrupt_reported = 0;
+  auto last_export = std::chrono::steady_clock::now();
+  bool dirty = false;
+
+  const auto export_now = [&]() -> bool {
+    if (opt.out_path.empty()) return true;  // stdout export only at exit
+    const std::string output = render_output(rolling.aggregate(), opt);
+    if (!write_file_atomic(opt.out_path, output)) {
+      std::fprintf(stderr, "htagg: cannot write %s\n", opt.out_path.c_str());
+      return false;
+    }
+    return true;
+  };
+  const auto dump_source = [&](const std::string& source,
+                               const ht::runtime::TelemetrySnapshot& snap) {
+    if (opt.dump_dir.empty()) return;
+    const std::string path =
+        opt.dump_dir + "/" + sanitize_source(source) + ".dump";
+    if (!write_file_atomic(path, ht::runtime::render_telemetry(snap))) {
+      std::fprintf(stderr, "htagg: cannot write %s\n", path.c_str());
+    }
+  };
+
+  while (g_stop == 0) {
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks g_stop
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        std::fprintf(stderr, "htagg: recv: %s\n", std::strerror(errno));
+        break;
+      }
+      // Timed out (SO_RCVTIMEO): fall through to the export check.
+    } else if (n > 0) {
+      ht::runtime::LoadedTelemetry loaded = ht::runtime::load_telemetry_content(
+          std::string_view(buf.data(), static_cast<std::size_t>(n)));
+      if (!loaded.binary || !loaded.ok()) {
+        // Garbage on the socket: count it, surface it, carry on. The
+        // stderr reporting is capped — a flood must not spam the log.
+        rolling.note_skipped("(datagram)", "corrupt");
+        if (corrupt_reported < 20) {
+          ++corrupt_reported;
+          std::fprintf(
+              stderr, "htagg: dropped corrupt datagram (%zd bytes): %s\n", n,
+              loaded.errors.empty() ? "not a wire frame"
+                                    : loaded.errors.front().c_str());
+        }
+        continue;
+      }
+      for (const std::string& note : loaded.notes) {
+        std::fprintf(stderr, "htagg: %s: %s\n",
+                     loaded.source.empty() ? "(unnamed)" : loaded.source.c_str(),
+                     note.c_str());
+      }
+      rolling.ingest(loaded.source, loaded.snapshot);
+      dump_source(loaded.source.empty() ? "(unnamed)" : loaded.source,
+                  loaded.snapshot);
+      dirty = true;
+      ++accepted;
+      if (opt.max_frames != 0 && accepted >= opt.max_frames) break;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (dirty &&
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - last_export)
+                .count() >= static_cast<long>(opt.interval_ms)) {
+      last_export = now;
+      dirty = false;
+      if (!export_now()) {
+        ::close(fd);
+        ::unlink(target.path.c_str());
+        return 3;
+      }
+    }
+  }
+
+  ::close(fd);
+  ::unlink(target.path.c_str());
+  // Final export: --out gets one last atomic rewrite; otherwise the rollup
+  // goes to stdout so `htagg serve ... ; echo done` pipelines compose.
+  return emit_output(rolling.aggregate(), opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  const bool serve = argc > 1 && std::strcmp(argv[1], "serve") == 0;
+
+  for (int i = serve ? 2 : 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format") {
+      if (++i >= argc) return usage();
+      opt.format = argv[i];
+      if (opt.format != "json" && opt.format != "prom" &&
+          opt.format != "both") {
+        std::fprintf(stderr, "htagg: unknown format '%s'\n",
+                     opt.format.c_str());
+        return 1;
+      }
+    } else if (arg == "--top") {
+      if (++i >= argc) return usage();
+      unsigned long k = 0;
+      if (!parse_count(argv[i], &k)) return usage();
+      opt.top_k = static_cast<std::size_t>(k);
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage();
+      opt.out_path = argv[i];
+    } else if (serve && arg == "--listen") {
+      if (++i >= argc) return usage();
+      opt.listen = argv[i];
+    } else if (serve && arg == "--interval-ms") {
+      if (++i >= argc) return usage();
+      if (!parse_count(argv[i], &opt.interval_ms) || opt.interval_ms == 0) {
+        return usage();
+      }
+    } else if (serve && arg == "--max-frames") {
+      if (++i >= argc) return usage();
+      if (!parse_count(argv[i], &opt.max_frames)) return usage();
+    } else if (serve && arg == "--dump-dir") {
+      if (++i >= argc) return usage();
+      opt.dump_dir = argv[i];
+    } else if (serve && arg == "--decay") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      opt.decay = std::strtod(argv[i], &end);
+      if (end == nullptr || *end != '\0' || opt.decay < 0.0 ||
+          opt.decay >= 1.0) {
+        std::fprintf(stderr, "htagg: --decay needs 0 <= F < 1\n");
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "htagg: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+
+  if (serve) {
+    if (!opt.paths.empty() || opt.listen.empty()) return usage();
+    return run_serve(opt);
+  }
+  if (opt.paths.empty()) return usage();
+  return run_batch(opt);
 }

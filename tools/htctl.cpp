@@ -46,6 +46,7 @@
 #include "progmodel/program_io.hpp"
 #include "runtime/guarded_backend.hpp"
 #include "runtime/telemetry.hpp"
+#include "runtime/telemetry_agg.hpp"
 #include "support/str.hpp"
 #include "support/trace.hpp"
 
@@ -172,24 +173,36 @@ int cmd_add(const std::string& path, const std::string& fn_name,
 // ---- Telemetry commands ----
 
 std::optional<std::string> read_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
 }
 
+/// Loads either format — §4 text dump or §6 binary wire frame, told apart
+/// by the frame magic — so stats/trace work on files captured from a
+/// streaming socket just as well as on HEAPTHERAPY_TELEMETRY file dumps.
 std::optional<ht::runtime::TelemetrySnapshot> load_dump(const std::string& path) {
-  const auto text = read_file(path);
-  if (!text) {
+  const auto content = read_file(path);
+  if (!content) {
     std::fprintf(stderr, "htctl: cannot read %s\n", path.c_str());
     return std::nullopt;
   }
-  auto parsed = ht::runtime::parse_telemetry(*text);
-  for (const std::string& err : parsed.errors) {
+  auto loaded = ht::runtime::load_telemetry_content(*content);
+  for (const std::string& err : loaded.errors) {
     std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
   }
-  return std::move(parsed.snapshot);
+  for (const std::string& note : loaded.notes) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), note.c_str());
+  }
+  if (!loaded.ok()) {
+    // A wire frame failing its CRC has no salvageable content (the text
+    // parser, by contrast, is lenient and always yields its best effort).
+    std::fprintf(stderr, "htctl: %s is corrupt\n", path.c_str());
+    return std::nullopt;
+  }
+  return std::move(loaded.snapshot);
 }
 
 /// Prints the symbolized patch-hit section under the stats JSON: each

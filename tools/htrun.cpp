@@ -49,6 +49,7 @@
 #include "progmodel/printer.hpp"
 #include "progmodel/program_io.hpp"
 #include "runtime/guarded_backend.hpp"
+#include "runtime/telemetry_wire.hpp"
 #include "support/str.hpp"
 
 namespace {
@@ -324,14 +325,31 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
                 static_cast<unsigned long long>(allocator->stats().enhanced));
   }
   if (!args.telemetry_path.empty()) {
-    std::ofstream out(args.telemetry_path);
-    if (!out ||
-        !(out << runtime::render_telemetry(allocator->telemetry_snapshot()))) {
-      std::fprintf(stderr, "htrun: cannot write %s\n",
-                   args.telemetry_path.c_str());
-      return 3;
+    // Same target grammar as HEAPTHERAPY_TELEMETRY: a file path writes the
+    // §4 text dump; "unix:<socket>" streams one §6 binary frame to a
+    // listening aggregator (htagg serve).
+    const runtime::TelemetryTarget target =
+        runtime::parse_telemetry_target(args.telemetry_path);
+    if (target.kind == runtime::TelemetryTarget::Kind::kUnixDatagram) {
+      runtime::WireEmitter emitter(target.path);
+      const std::string frame = runtime::encode_telemetry_frame(
+          allocator->telemetry_snapshot(), "htrun");
+      if (emitter.send_frame(frame) != runtime::WireEmitter::SendResult::kSent) {
+        std::fprintf(stderr, "htrun: cannot send telemetry to %s\n",
+                     target.path.c_str());
+        return 3;
+      }
+      std::printf("sent telemetry frame to %s\n", target.path.c_str());
+    } else {
+      std::ofstream out(args.telemetry_path);
+      if (!out ||
+          !(out << runtime::render_telemetry(allocator->telemetry_snapshot()))) {
+        std::fprintf(stderr, "htrun: cannot write %s\n",
+                     args.telemetry_path.c_str());
+        return 3;
+      }
+      std::printf("wrote telemetry dump to %s\n", args.telemetry_path.c_str());
     }
-    std::printf("wrote telemetry dump to %s\n", args.telemetry_path.c_str());
   }
   const bool attack_effect = obs.oob_writes_landed > 0 || obs.oob_reads_landed > 0 ||
                              obs.stale_hits_reused > 0;
