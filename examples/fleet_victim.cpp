@@ -1,0 +1,77 @@
+// A tiny uninstrumented "fleet member" binary for the self-healing loop
+// demo and e2e test (docs/SELF_HEALING.md). Two roles:
+//
+//   fleet_victim attack <size> <write_len>
+//       allocate <size> bytes, write <write_len> bytes into them, free,
+//       exit 0. With <write_len> a little past <size> and the preload in
+//       canary mode (HEAPTHERAPY_DEFENSE=canary + an OVERFLOW detection
+//       patch), the overflow smashes the trailing canary, the free
+//       detects it, and — with HEAPTHERAPY_CANDIDATES set — the process
+//       appends a candidate patch to the quarantine journal on exit. The
+//       overflow stays inside the allocator's own trailer bytes, so the
+//       process survives to tell the tale (detect-and-survive).
+//
+//   fleet_victim serve <stop_file>
+//       loop malloc(16)/write/free until <stop_file> appears, then exit 0.
+//       The patient in the fleet-immunity test: started with
+//       HEAPTHERAPY_CONFIG + HEAPTHERAPY_RELOAD=1 + HEAPTHERAPY_TELEMETRY,
+//       it picks up a promoted patch on SIGHUP and its telemetry dump
+//       starts showing patchhit lines — protection arriving WITHOUT a
+//       restart.
+//
+// Like preload_victim, this binary has no HeapTherapy+ linkage: every
+// allocation reports CCID 0, which is also the CCID the single-function
+// replay program used by htpromote computes — so a candidate synthesized
+// here validates there.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace {
+
+int run_attack(std::size_t size, std::size_t write_len) {
+  char* p = static_cast<char*>(std::malloc(size));
+  if (p == nullptr) return 1;
+  // Volatile stores so the overflowing tail is not optimized away.
+  volatile char* vp = p;
+  for (std::size_t i = 0; i < write_len; ++i) vp[i] = 'A';
+  std::free(p);
+  std::printf("attack: wrote %zu bytes into a %zu-byte allocation\n",
+              write_len, size);
+  return 0;
+}
+
+int run_serve(const char* stop_file) {
+  // ~60s cap so an orphaned run can never outlive its test.
+  for (int i = 0; i < 3000; ++i) {
+    char* p = static_cast<char*>(std::malloc(16));
+    if (p == nullptr) return 1;
+    std::memset(p, 'B', 16);
+    std::free(p);
+    if (::access(stop_file, F_OK) == 0) {
+      std::printf("serve: stop file seen after %d round(s)\n", i + 1);
+      return 0;
+    }
+    ::usleep(20 * 1000);
+  }
+  std::fprintf(stderr, "serve: timed out waiting for %s\n", stop_file);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "attack") == 0) {
+    return run_attack(std::strtoull(argv[2], nullptr, 10),
+                      std::strtoull(argv[3], nullptr, 10));
+  }
+  if (argc == 3 && std::strcmp(argv[1], "serve") == 0) {
+    return run_serve(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage: fleet_victim attack <size> <write_len>\n"
+               "       fleet_victim serve <stop_file>\n");
+  return 1;
+}

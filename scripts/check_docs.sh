@@ -4,14 +4,17 @@
 # Checks (all against the repo the script lives in, so it runs from any cwd):
 #   1. every HEAPTHERAPY_* environment variable referenced by src/ or tools/
 #      is documented somewhere in README.md, DESIGN.md, or docs/;
-#   2. every subcommand dispatched by htctl, htrun, and htexport is
-#      documented as "<tool> <subcommand>";
-#   3. every "--flag" string literal parsed by htctl, htrun, and htagg is
-#      documented in at least one doc file that also mentions the tool;
+#   2. every subcommand dispatched by htctl, htrun, htexport, htagg, and
+#      htpromote is documented as "<tool> <subcommand>";
+#   3. every "--flag" string literal parsed by htctl, htrun, htagg, and
+#      htpromote is documented in at least one doc file that also mentions
+#      the tool;
 #   4. every named fault point registered in src/support/faultpoint.cpp is
 #      documented in docs/RESILIENCE.md;
 #   5. every relative markdown link in tracked *.md files resolves to a file
-#      that exists.
+#      that exists (failures name the offending file:line);
+#   6. every file-qualified section reference ("FORMATS.md §7") resolves to
+#      a numbered heading ("## 7.") in the named file.
 #
 # Wired into ctest as `docs.check_docs` (tests/CMakeLists.txt) so a PR that
 # adds a knob without documenting it fails the suite, not a review cycle.
@@ -84,6 +87,7 @@ check_subcommands htctl "$repo/tools/htctl.cpp" 'command == "[a-z-]+"'
 check_subcommands htrun "$repo/tools/htrun.cpp" 'command == "[a-z-]+"'
 check_subcommands htexport "$repo/tools/htexport.cpp" '== "[a-z-]+"'
 check_subcommands htagg "$repo/tools/htagg.cpp" 'argv\[1\], "[a-z-]+"'
+check_subcommands htpromote "$repo/tools/htpromote.cpp" 'command == "[a-z-]+"'
 
 # --- 3. CLI flags ---------------------------------------------------------
 # Every "--flag" a tool parses must be documented in at least one doc file
@@ -110,6 +114,7 @@ check_flags() { # tool source_file
 check_flags htctl "$repo/tools/htctl.cpp"
 check_flags htrun "$repo/tools/htrun.cpp"
 check_flags htagg "$repo/tools/htagg.cpp"
+check_flags htpromote "$repo/tools/htpromote.cpp"
 
 # --- 4. fault points ------------------------------------------------------
 # Every named fault point in the injection registry (src/support/
@@ -140,26 +145,59 @@ fi
 
 # --- 5. relative markdown links -----------------------------------------
 # Matches ](target) where target is not an absolute URL or an in-page
-# anchor; strips any #fragment before checking existence.
+# anchor; strips any #fragment before checking existence. Failures name
+# the offending file:line so the broken link is one click away.
 all_md="$(find "$repo" -name '*.md' -not -path "$repo/build/*" -not -path '*/.*' | sort)"
 for md in $all_md; do
   dir="$(dirname "$md")"
-  links="$(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')" || true
-  for link in $links; do
+  while IFS=: read -r lineno link; do
+    [ -z "$link" ] && continue
+    link="$(sed -E 's/^\]\(//; s/\)$//' <<<"$link")"
     case "$link" in
       http://*|https://*|mailto:*|\#*) continue ;;
     esac
     target="${link%%#*}"
     [ -z "$target" ] && continue
     if [ ! -e "$dir/$target" ] && [ ! -e "$repo/$target" ]; then
-      echo "check_docs: ${md#"$repo"/} links to '$link' which does not exist" >&2
+      echo "check_docs: ${md#"$repo"/}:$lineno links to '$link' which does" \
+           "not exist" >&2
       fail=1
     fi
-  done
+  done < <(grep -noE '\]\([^)]+\)' "$md" || true)
+done
+
+# --- 6. section cross-references ----------------------------------------
+# A file-qualified section reference like "FORMATS.md §7" (with or without
+# backticks around the file name) must resolve: the named file must exist
+# next to the referencing doc or at the repo root, and it must contain a
+# numbered heading "## 7." (any heading level; letter suffixes like §8b
+# match "### 8b."). Keeps prose pointers honest when sections are
+# renumbered. Failures name the offending file:line.
+for md in $all_md; do
+  dir="$(dirname "$md")"
+  while IFS=: read -r lineno ref; do
+    [ -z "$ref" ] && continue
+    target="$(grep -oE '[A-Za-z0-9_/.-]+\.md' <<<"$ref")"
+    section="$(sed -E 's/.*§//' <<<"$ref")"
+    resolved=""
+    for base in "$dir" "$repo" "$repo/docs"; do
+      if [ -e "$base/$target" ]; then resolved="$base/$target"; break; fi
+    done
+    if [ -z "$resolved" ]; then
+      echo "check_docs: ${md#"$repo"/}:$lineno references '$target §$section'" \
+           "but '$target' does not exist" >&2
+      fail=1
+    elif ! grep -qE "^#+ *${section}\." "$resolved"; then
+      echo "check_docs: ${md#"$repo"/}:$lineno references '$target §$section'" \
+           "but ${resolved#"$repo"/} has no '## ${section}.' heading" >&2
+      fail=1
+    fi
+  done < <(grep -noE '[A-Za-z0-9_/.-]+\.md'"\`"'? ?§[0-9]+[a-z]?' "$md" || true)
 done
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1
 fi
-echo "check_docs: OK (env vars, CLI subcommands, CLI flags, fault points, markdown links)"
+echo "check_docs: OK (env vars, CLI subcommands, CLI flags, fault points," \
+     "markdown links, section cross-references)"

@@ -4,24 +4,49 @@
 # multi-threaded service workload) under ThreadSanitizer. CI-friendly:
 # exits non-zero on any build failure, test failure, or TSan report.
 #
-# Usage: scripts/tsan_tests.sh [build-dir] [suite...]
-#   build-dir  defaults to build-tsan (kept separate from the normal build)
-#   suite...   gtest binaries to run, defaults to: test_runtime test_workload
+# Usage: [HT_SANITIZE=thread|address] scripts/tsan_tests.sh [build-dir] [suite[:filter]...]
+#   HT_SANITIZE  sanitizer to build with, defaults to thread; address runs
+#                the same suite matrix under ASan instead
+#   build-dir  defaults to build-<sanitizer> (kept separate from the normal build)
+#   suite...   gtest binaries to run; an optional :filter suffix becomes the
+#              binary's --gtest_filter (e.g. test_integration:SelfHealing.*
+#              runs only the self-healing loop tests from the integration
+#              binary). Defaults to: test_runtime test_workload
+#              test_integration:SelfHealing.*
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+SAN="${HT_SANITIZE:-thread}"
+case "$SAN" in
+  thread)  DEFAULT_DIR=build-tsan ;;
+  address) DEFAULT_DIR=build-asan ;;
+  *) echo "error: HT_SANITIZE must be 'thread' or 'address', got '$SAN'" >&2
+     exit 1 ;;
+esac
+BUILD_DIR="${1:-$DEFAULT_DIR}"
 shift $(( $# > 0 ? 1 : 0 ))
-SUITES=("${@:-test_runtime}" )
-if [ $# -eq 0 ]; then SUITES=(test_runtime test_workload); fi
+SUITES=("$@")
+if [ $# -eq 0 ]; then
+  # The self-healing loop exercises the concurrency-sensitive seams end to
+  # end — lock-free candidate table, flusher thread, SIGHUP hot-reload —
+  # so its suite rides in the default TSan matrix.
+  SUITES=(test_runtime test_workload "test_integration:SelfHealing.*")
+fi
 
-cmake -B "$BUILD_DIR" -S . -DHT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${SUITES[@]}"
+# Build targets are the suite names with any :filter suffix stripped.
+TARGETS=()
+for spec in "${SUITES[@]}"; do TARGETS+=("${spec%%:*}"); done
+
+cmake -B "$BUILD_DIR" -S . -DHT_SANITIZE="$SAN" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
 
 # halt_on_error makes any race fail the run (TSan's default exit code is 66);
 # second_deadlock_stack improves lock-inversion reports.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
-for suite in "${SUITES[@]}"; do
+for spec in "${SUITES[@]}"; do
+  suite="${spec%%:*}"
+  filter="${spec#"$suite"}"
+  filter="${filter#:}"
   # The gtest binaries are run directly (not via ctest): gtest_discover_tests
   # registers per-test names, so a suite-level ctest -R can silently match
   # nothing — running the binary makes "zero tests" impossible to miss.
@@ -30,7 +55,12 @@ for suite in "${SUITES[@]}"; do
     echo "error: suite binary '$suite' not found under $BUILD_DIR/tests" >&2
     exit 1
   fi
-  echo "== $suite (under TSan) =="
-  "$binary"
+  if [ -n "$filter" ]; then
+    echo "== $suite --gtest_filter=$filter (${SAN} sanitizer) =="
+    "$binary" --gtest_filter="$filter"
+  else
+    echo "== $suite (${SAN} sanitizer) =="
+    "$binary"
+  fi
 done
-echo "TSan suite passed: ${SUITES[*]}"
+echo "${SAN}-sanitizer suite passed: ${SUITES[*]}"

@@ -1,0 +1,423 @@
+#include "patch/candidate.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace ht::patch {
+
+namespace {
+
+constexpr const char* kJournalHeader =
+    "# HeapTherapy+ candidate quarantine\nversion 1\n";
+
+std::optional<progmodel::AllocFn> alloc_fn_from_name(std::string_view name) {
+  for (progmodel::AllocFn fn : progmodel::kAllAllocFns) {
+    if (progmodel::alloc_fn_name(fn) == name) return fn;
+  }
+  return std::nullopt;
+}
+
+void append_ccid_hex(std::ostringstream& os, std::uint64_t ccid) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(ccid));
+  os << buf;
+}
+
+/// Single O_APPEND write of `text`, prefixed by the journal header iff the
+/// file is empty at open time. Two processes racing an empty file can both
+/// prepend the header; the parser silently skips the duplicate.
+bool append_journal_text(const std::string& path, const std::string& text) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  struct stat st{};
+  std::string payload;
+  if (::fstat(fd, &st) == 0 && st.st_size == 0) payload += kJournalHeader;
+  payload += text;
+  bool ok = true;
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+const char* candidate_origin_name(CandidateOrigin origin) noexcept {
+  switch (origin) {
+    case CandidateOrigin::kGuardTrap: return "guard_trap";
+    case CandidateOrigin::kOobLanded: return "oob_landed";
+    case CandidateOrigin::kUafReuse: return "uaf_reuse";
+    case CandidateOrigin::kCanary: return "canary";
+  }
+  return "unknown";
+}
+
+bool candidate_origin_from_name(std::string_view text,
+                                CandidateOrigin& origin) noexcept {
+  for (std::size_t i = 0; i < kCandidateOriginCount; ++i) {
+    const auto value = static_cast<CandidateOrigin>(i);
+    if (text == candidate_origin_name(value)) {
+      origin = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint8_t candidate_default_mask(CandidateOrigin origin) noexcept {
+  switch (origin) {
+    case CandidateOrigin::kGuardTrap:
+    case CandidateOrigin::kOobLanded:
+    case CandidateOrigin::kCanary:
+      return kOverflow;
+    case CandidateOrigin::kUafReuse:
+      return kUseAfterFree;
+  }
+  return 0;
+}
+
+const char* candidate_verdict_name(CandidateVerdict verdict) noexcept {
+  switch (verdict) {
+    case CandidateVerdict::kPromoted: return "promoted";
+    case CandidateVerdict::kRejected: return "rejected";
+    case CandidateVerdict::kDemoted: return "demoted";
+  }
+  return "unknown";
+}
+
+bool candidate_verdict_from_name(std::string_view text,
+                                 CandidateVerdict& verdict) noexcept {
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    const auto value = static_cast<CandidateVerdict>(i);
+    if (text == candidate_verdict_name(value)) {
+      verdict = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string serialize_candidate_lines(
+    const std::vector<PatchCandidate>& candidates) {
+  std::ostringstream os;
+  for (const PatchCandidate& c : candidates) {
+    os << "candidate " << progmodel::alloc_fn_name(c.fn) << ' ';
+    append_ccid_hex(os, c.ccid);
+    os << ' ' << vuln_mask_to_string(c.vuln_mask) << ' '
+       << candidate_origin_name(c.origin) << " hits=" << c.hits
+       << " first=" << c.first_seen_ns << '\n';
+  }
+  return os.str();
+}
+
+std::string serialize_verdict_line(const VerdictRecord& verdict) {
+  std::ostringstream os;
+  os << "verdict " << progmodel::alloc_fn_name(verdict.fn) << ' ';
+  append_ccid_hex(os, verdict.ccid);
+  os << ' ' << vuln_mask_to_string(verdict.vuln_mask) << ' '
+     << candidate_verdict_name(verdict.verdict) << ' ';
+  std::string reason = verdict.reason.empty() ? "unspecified" : verdict.reason;
+  for (char& ch : reason) {
+    if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') ch = '-';
+  }
+  os << reason << " t=" << verdict.time_ns << '\n';
+  return os.str();
+}
+
+CandidateParseResult parse_candidate_journal(std::string_view text) {
+  CandidateParseResult result;
+  std::size_t line_no = 0;
+  bool version_seen = false;
+
+  const auto note = [&](const std::string& message) {
+    if (result.notes.size() < kCandidateNoteCap) {
+      result.notes.push_back("line " + std::to_string(line_no) + ": " + message);
+    }
+  };
+  const auto reject = [&](const std::string& reason) {
+    result.rejected = true;
+    result.reject_reason = reason;
+    result.candidates.clear();
+    result.verdicts.clear();
+  };
+
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string_view> fields;
+    for (std::string_view f : support::split(line, ' ')) {
+      if (!support::trim(f).empty()) fields.push_back(support::trim(f));
+    }
+    if (fields.empty()) continue;
+
+    if (fields[0] == "version") {
+      if (fields.size() < 2 || support::parse_u64(fields[1]) != 1) {
+        reject("line " + std::to_string(line_no) +
+               ": unsupported journal version");
+        return result;
+      }
+      // Duplicate "version 1" lines are a benign header race: silent-skip.
+      version_seen = true;
+      continue;
+    }
+
+    if (fields[0] == "candidate") {
+      // candidate <fn> <ccid> <mask> <origin> hits=<N> first=<ns>
+      if (fields.size() != 7) {
+        note("expected: candidate <fn> <ccid> <mask> <origin> hits=N first=NS");
+        continue;
+      }
+      const auto fn = alloc_fn_from_name(fields[1]);
+      if (!fn) {
+        note("unknown allocation function '" + std::string(fields[1]) + "'");
+        continue;
+      }
+      const auto ccid = support::parse_u64(fields[2]);
+      if (!ccid) {
+        note("bad CCID '" + std::string(fields[2]) + "'");
+        continue;
+      }
+      std::uint8_t mask = 0;
+      if (!vuln_mask_from_string(fields[3], mask)) {
+        note("bad vulnerability mask '" + std::string(fields[3]) + "'");
+        continue;
+      }
+      CandidateOrigin origin{};
+      if (!candidate_origin_from_name(fields[4], origin)) {
+        note("unknown origin '" + std::string(fields[4]) + "'");
+        continue;
+      }
+      if (!support::starts_with(fields[5], "hits=") ||
+          !support::starts_with(fields[6], "first=")) {
+        note("expected hits=<N> first=<ns>");
+        continue;
+      }
+      const auto hits = support::parse_u64(fields[5].substr(5));
+      const auto first = support::parse_u64(fields[6].substr(6));
+      if (!hits || !first) {
+        note("bad hits/first value");
+        continue;
+      }
+      // Fold into an existing {fn, ccid, mask, origin} entry.
+      bool folded = false;
+      for (PatchCandidate& existing : result.candidates) {
+        if (existing.fn == *fn && existing.ccid == *ccid &&
+            existing.vuln_mask == mask && existing.origin == origin) {
+          existing.hits += *hits;
+          if (*first != 0 &&
+              (existing.first_seen_ns == 0 || *first < existing.first_seen_ns)) {
+            existing.first_seen_ns = *first;
+          }
+          folded = true;
+          break;
+        }
+      }
+      if (!folded) {
+        result.candidates.push_back(
+            PatchCandidate{*fn, *ccid, mask, origin, *hits, *first});
+      }
+      continue;
+    }
+
+    if (fields[0] == "verdict") {
+      // verdict <fn> <ccid> <mask> <verdict> <reason> t=<ns>
+      if (fields.size() != 7) {
+        note("expected: verdict <fn> <ccid> <mask> <verdict> <reason> t=NS");
+        continue;
+      }
+      const auto fn = alloc_fn_from_name(fields[1]);
+      if (!fn) {
+        note("unknown allocation function '" + std::string(fields[1]) + "'");
+        continue;
+      }
+      const auto ccid = support::parse_u64(fields[2]);
+      if (!ccid) {
+        note("bad CCID '" + std::string(fields[2]) + "'");
+        continue;
+      }
+      std::uint8_t mask = 0;
+      if (!vuln_mask_from_string(fields[3], mask)) {
+        note("bad vulnerability mask '" + std::string(fields[3]) + "'");
+        continue;
+      }
+      CandidateVerdict verdict{};
+      if (!candidate_verdict_from_name(fields[4], verdict)) {
+        note("unknown verdict '" + std::string(fields[4]) + "'");
+        continue;
+      }
+      if (!support::starts_with(fields[6], "t=")) {
+        note("expected t=<ns>");
+        continue;
+      }
+      const auto when = support::parse_u64(fields[6].substr(2));
+      if (!when) {
+        note("bad t= value");
+        continue;
+      }
+      result.verdicts.push_back(VerdictRecord{*fn, *ccid, mask, verdict,
+                                              std::string(fields[5]), *when});
+      continue;
+    }
+
+    note("unknown directive '" + std::string(fields[0]) + "'");
+  }
+
+  if ((!result.candidates.empty() || !result.verdicts.empty()) &&
+      !version_seen) {
+    reject("missing 'version' directive");
+  }
+  return result;
+}
+
+bool append_candidate_journal(const std::string& path,
+                              const std::vector<PatchCandidate>& deltas) {
+  if (deltas.empty()) return true;
+  return append_journal_text(path, serialize_candidate_lines(deltas));
+}
+
+bool append_candidate_verdict(const std::string& path,
+                              const VerdictRecord& verdict) {
+  return append_journal_text(path, serialize_verdict_line(verdict));
+}
+
+std::optional<CandidateParseResult> load_candidate_journal(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_candidate_journal(buffer.str());
+}
+
+std::optional<CandidateVerdict> latest_verdict(
+    const std::vector<VerdictRecord>& verdicts, progmodel::AllocFn fn,
+    std::uint64_t ccid) {
+  std::optional<CandidateVerdict> latest;
+  for (const VerdictRecord& v : verdicts) {
+    if (v.fn == fn && v.ccid == ccid) latest = v.verdict;
+  }
+  return latest;
+}
+
+std::vector<Patch> select_promotable(const CandidateParseResult& journal,
+                                     const PromotionPolicy& policy) {
+  struct Group {
+    Patch patch;
+    std::uint64_t hits = 0;
+    std::uint64_t first_seen_ns = 0;
+  };
+  std::vector<Group> groups;
+  for (const PatchCandidate& c : journal.candidates) {
+    bool merged = false;
+    for (Group& g : groups) {
+      if (g.patch.fn == c.fn && g.patch.ccid == c.ccid) {
+        g.patch.vuln_mask |= c.vuln_mask;
+        g.hits += c.hits;
+        if (c.first_seen_ns != 0 &&
+            (g.first_seen_ns == 0 || c.first_seen_ns < g.first_seen_ns)) {
+          g.first_seen_ns = c.first_seen_ns;
+        }
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      groups.push_back(Group{Patch{c.fn, c.ccid, c.vuln_mask}, c.hits,
+                             c.first_seen_ns});
+    }
+  }
+
+  std::vector<Patch> selected;
+  for (const Group& g : groups) {
+    if (g.hits < policy.min_hits) continue;
+    if (latest_verdict(journal.verdicts, g.patch.fn, g.patch.ccid)) continue;
+    selected.push_back(g.patch);
+  }
+  return selected;
+}
+
+bool CandidateTable::record(progmodel::AllocFn fn, std::uint64_t ccid,
+                            std::uint8_t mask, CandidateOrigin origin,
+                            std::uint64_t now_ns) noexcept {
+  const std::uint64_t key =
+      support::mix64(ccid ^ (static_cast<std::uint64_t>(fn) << 56) ^
+                     (static_cast<std::uint64_t>(mask) << 48) ^
+                     (static_cast<std::uint64_t>(origin) << 40));
+  for (std::size_t probe = 0; probe < kSlots; ++probe) {
+    Slot& slot = slots_[(key + probe) % kSlots];
+    std::uint32_t state = slot.state.load(std::memory_order_acquire);
+    if (state == kPublished) {
+      if (slot.fn == fn && slot.ccid == ccid && slot.mask == mask &&
+          slot.origin == origin) {
+        slot.hits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      continue;
+    }
+    if (state == kEmpty) {
+      if (slot.state.compare_exchange_strong(state, kBusy,
+                                             std::memory_order_acq_rel)) {
+        slot.fn = fn;
+        slot.ccid = ccid;
+        slot.mask = mask;
+        slot.origin = origin;
+        slot.first_seen_ns = now_ns;
+        slot.hits.store(1, std::memory_order_relaxed);
+        slot.drained.store(0, std::memory_order_relaxed);
+        slot.state.store(kPublished, std::memory_order_release);
+        return true;
+      }
+    }
+    // kBusy (or a lost CAS race): another thread is publishing this slot.
+    // Probing on can duplicate a key in rare races; downstream folds dedupe.
+  }
+  overflow_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+std::vector<PatchCandidate> CandidateTable::snapshot() const {
+  std::vector<PatchCandidate> out;
+  for (const Slot& slot : slots_) {
+    if (slot.state.load(std::memory_order_acquire) != kPublished) continue;
+    out.push_back(PatchCandidate{
+        slot.fn, slot.ccid, slot.mask, slot.origin,
+        slot.hits.load(std::memory_order_relaxed), slot.first_seen_ns});
+  }
+  return out;
+}
+
+std::vector<PatchCandidate> CandidateTable::drain_deltas() {
+  std::vector<PatchCandidate> out;
+  for (Slot& slot : slots_) {
+    if (slot.state.load(std::memory_order_acquire) != kPublished) continue;
+    const std::uint64_t total = slot.hits.load(std::memory_order_relaxed);
+    const std::uint64_t seen = slot.drained.load(std::memory_order_relaxed);
+    if (total <= seen) continue;
+    slot.drained.fetch_add(total - seen, std::memory_order_relaxed);
+    out.push_back(PatchCandidate{slot.fn, slot.ccid, slot.mask, slot.origin,
+                                 total - seen, slot.first_seen_ns});
+  }
+  return out;
+}
+
+}  // namespace ht::patch

@@ -1,0 +1,225 @@
+// Candidate patches: the self-healing loop's intermediate artifact.
+//
+// When the online runtime observes evidence of a heap vulnerability (a guard
+// trap, a landed out-of-bounds access under replay, stale-memory reuse, or a
+// canary corruption on free), it already holds the allocation-time
+// {FUN, CCID} from telemetry attribution. A *candidate* is that observation
+// promoted to data: the would-be patch {FUN, CCID, T} plus provenance
+// (origin, hit count, first-seen time). Candidates are NOT patches — they go
+// through a quarantine-of-patches journal and must survive replay validation
+// (htpromote) before they are ever served. "Sound Patch Generation for
+// Vulnerabilities" (PAPERS.md) is the discipline: auto-generated patches are
+// only trustworthy once machine-validated.
+//
+// This header is patch-layer (no runtime dependency) so the journal format,
+// fold logic, and promotion policy are usable from tools without linking the
+// allocator. The lock-free CandidateTable lives here too because it is pure
+// bookkeeping; DefenseEngine owns one instance.
+//
+// Journal format (docs/FORMATS.md §7):
+//
+//   # HeapTherapy+ candidate quarantine
+//   version 1
+//   candidate <alloc_fn> <ccid> <vuln_mask> <origin> hits=<N> first=<ns>
+//   verdict <alloc_fn> <ccid> <vuln_mask> <verdict> <reason> t=<ns>
+//
+// The journal is append-only. Runtime processes append `candidate` lines
+// (hit counts are DELTAS since the process's previous append); htpromote
+// appends `verdict` lines. Each append is a single O_APPEND write, so
+// concurrent writers interleave at line granularity and never corrupt each
+// other. Readers fold: candidates with the same {fn, ccid, mask, origin} sum
+// their hits and keep the minimum first-seen time; the last verdict for a
+// {fn, ccid} wins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "patch/patch.hpp"
+
+namespace ht::patch {
+
+/// Where the runtime observed the evidence that produced a candidate.
+enum class CandidateOrigin : std::uint8_t {
+  kGuardTrap = 0,   ///< OOB access blocked by a guard page
+  kOobLanded = 1,   ///< OOB access observed (landed) under shadow replay
+  kUafReuse = 2,    ///< access to stale memory after quarantine eviction
+  kCanary = 3,      ///< canary word corrupted, detected on free
+};
+
+inline constexpr std::size_t kCandidateOriginCount = 4;
+
+/// Stable journal token, e.g. "guard_trap". Unknown values -> "unknown".
+[[nodiscard]] const char* candidate_origin_name(CandidateOrigin origin) noexcept;
+
+/// Inverse of candidate_origin_name; returns false on unknown token.
+[[nodiscard]] bool candidate_origin_from_name(std::string_view text,
+                                              CandidateOrigin& origin) noexcept;
+
+/// The vulnerability-type mask each origin is evidence for: overflow
+/// origins -> OVERFLOW, stale reuse -> UAF.
+[[nodiscard]] std::uint8_t candidate_default_mask(CandidateOrigin origin) noexcept;
+
+/// One candidate patch with provenance.
+struct PatchCandidate {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  std::uint8_t vuln_mask = 0;
+  CandidateOrigin origin = CandidateOrigin::kGuardTrap;
+  std::uint64_t hits = 0;           ///< observation count (delta in appends)
+  std::uint64_t first_seen_ns = 0;  ///< CLOCK_REALTIME ns of first observation
+
+  bool operator==(const PatchCandidate&) const = default;
+};
+
+/// htpromote's judgement on a candidate, recorded in the journal.
+enum class CandidateVerdict : std::uint8_t {
+  kPromoted = 0,  ///< replay-validated and written to the served patch file
+  kRejected = 1,  ///< failed replay validation; never serve
+  kDemoted = 2,   ///< promoted earlier, rolled back on fleet FP signals
+};
+
+/// Stable journal token, e.g. "promoted". Unknown values -> "unknown".
+[[nodiscard]] const char* candidate_verdict_name(CandidateVerdict verdict) noexcept;
+
+/// Inverse of candidate_verdict_name; returns false on unknown token.
+[[nodiscard]] bool candidate_verdict_from_name(std::string_view text,
+                                               CandidateVerdict& verdict) noexcept;
+
+/// One verdict line. `reason` is a single token (no whitespace); the
+/// serializer replaces embedded whitespace with '-'.
+struct VerdictRecord {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  std::uint8_t vuln_mask = 0;
+  CandidateVerdict verdict = CandidateVerdict::kRejected;
+  std::string reason;
+  std::uint64_t time_ns = 0;
+
+  bool operator==(const VerdictRecord&) const = default;
+};
+
+/// Parse outcome, following the §6/§7 error taxonomy:
+///   - reject: the whole journal is unusable (conflicting version, or
+///     candidates present with no version directive) — no data returned;
+///   - note: a malformed line is skipped, the rest of the journal stands
+///     (notes are capped at kCandidateNoteCap);
+///   - silent-skip: comments, blank lines, duplicate "version 1" lines
+///     (two processes can race the header write on an empty file).
+struct CandidateParseResult {
+  bool rejected = false;
+  std::string reject_reason;
+  std::vector<PatchCandidate> candidates;  ///< folded by {fn,ccid,mask,origin}
+  std::vector<VerdictRecord> verdicts;     ///< journal order
+  std::vector<std::string> notes;          ///< "line N: message"
+
+  [[nodiscard]] bool ok() const noexcept { return !rejected; }
+};
+
+inline constexpr std::size_t kCandidateNoteCap = 50;
+
+/// Serializes candidate lines only (no header) — the unit a runtime appends.
+[[nodiscard]] std::string serialize_candidate_lines(
+    const std::vector<PatchCandidate>& candidates);
+
+/// Serializes one verdict line.
+[[nodiscard]] std::string serialize_verdict_line(const VerdictRecord& verdict);
+
+/// Parses full journal text, folding duplicate candidates.
+[[nodiscard]] CandidateParseResult parse_candidate_journal(std::string_view text);
+
+/// Appends candidate deltas to the journal at `path` with a single O_APPEND
+/// write (line-atomic vs concurrent appenders). Writes the two header lines
+/// first iff the file is empty. No-op success on an empty delta vector.
+[[nodiscard]] bool append_candidate_journal(
+    const std::string& path, const std::vector<PatchCandidate>& deltas);
+
+/// Appends one verdict line (same O_APPEND + header-on-empty discipline).
+[[nodiscard]] bool append_candidate_verdict(const std::string& path,
+                                            const VerdictRecord& verdict);
+
+/// Reads and parses the journal. nullopt if the file cannot be read (a
+/// missing journal is normal before the first trap — callers treat it as
+/// empty, not as an error).
+[[nodiscard]] std::optional<CandidateParseResult> load_candidate_journal(
+    const std::string& path);
+
+/// The latest verdict per {fn, ccid}, or nothing if none recorded.
+[[nodiscard]] std::optional<CandidateVerdict> latest_verdict(
+    const std::vector<VerdictRecord>& verdicts, progmodel::AllocFn fn,
+    std::uint64_t ccid);
+
+/// Promotion selection policy (htpromote's thresholds).
+struct PromotionPolicy {
+  std::uint64_t min_hits = 1;  ///< total folded hits required per {fn, ccid}
+};
+
+/// Groups folded candidates by {fn, ccid}, unions their masks and sums their
+/// hits across origins, and returns the patches that (a) meet the min-hit
+/// threshold and (b) have no verdict yet — promoted, rejected, and demoted
+/// candidates are all skipped (a demoted patch must not flap back in without
+/// a fresh journal). Output order is first-seen order.
+[[nodiscard]] std::vector<Patch> select_promotable(
+    const CandidateParseResult& journal, const PromotionPolicy& policy);
+
+/// Lock-free fixed-capacity accumulator for in-process candidate synthesis.
+///
+/// The hot path (record) is wait-free in the common case, allocation-free,
+/// and signal-safe apart from the atomics: hash-probe for a published slot
+/// with a matching key and bump its hit counter, or claim an empty slot with
+/// a single CAS. A full table drops the observation and counts it in
+/// overflow() — candidates are advisory, the defense itself never depends on
+/// one being recorded.
+///
+/// snapshot() may be called from any thread. drain_deltas() assumes a single
+/// drainer (the preload maintenance thread, or the final flush after it has
+/// been joined); concurrent drainers would split deltas between them, which
+/// is harmless for a sum but noted for clarity.
+class CandidateTable {
+ public:
+  static constexpr std::size_t kSlots = 64;
+
+  CandidateTable() = default;
+  CandidateTable(const CandidateTable&) = delete;
+  CandidateTable& operator=(const CandidateTable&) = delete;
+
+  /// Records one observation. Returns false when the table is full (the
+  /// observation is dropped and counted in overflow()).
+  bool record(progmodel::AllocFn fn, std::uint64_t ccid, std::uint8_t mask,
+              CandidateOrigin origin, std::uint64_t now_ns) noexcept;
+
+  /// Point-in-time copy of published slots; hits are absolute totals.
+  [[nodiscard]] std::vector<PatchCandidate> snapshot() const;
+
+  /// Published slots whose hit count grew since the previous drain; hits are
+  /// the deltas (the unit append_candidate_journal expects).
+  [[nodiscard]] std::vector<PatchCandidate> drain_deltas();
+
+  /// Observations dropped because every slot was taken.
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum : std::uint32_t { kEmpty = 0, kBusy = 1, kPublished = 2 };
+
+  struct Slot {
+    std::atomic<std::uint32_t> state{kEmpty};
+    progmodel::AllocFn fn{};
+    std::uint64_t ccid = 0;
+    std::uint8_t mask = 0;
+    CandidateOrigin origin{};
+    std::uint64_t first_seen_ns = 0;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> drained{0};
+  };
+
+  Slot slots_[kSlots];
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace ht::patch

@@ -59,6 +59,13 @@ struct GuardedAllocatorConfig {
   /// of the read-only patch table (sound because tables are immutable;
   /// ablatable to measure the raw table-lookup cost).
   bool memoize_decisions = true;
+  /// Self-healing loop (docs/SELF_HEALING.md): when the runtime detects a
+  /// vulnerability (guard trap, landed OOB, stale reuse, canary corruption),
+  /// synthesize a candidate patch {FUN, CCID, T} into the engine's lock-free
+  /// candidate table so it can be journaled and validated for promotion.
+  /// (The canary trailer always carries the allocation-time CCID for this
+  /// attribution; the flag only gates recording.)
+  bool synthesize_candidates = false;
   /// Observability tiers (counters / event ring); see above.
   TelemetryConfig telemetry;
 

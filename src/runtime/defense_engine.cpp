@@ -25,6 +25,16 @@ std::uint64_t latency_clock_ns() noexcept {
           .count());
 }
 
+/// Wall-clock nanoseconds for candidate first-seen stamps (journals are
+/// merged across processes, so the stamp must be comparable fleet-wide).
+/// Read only on detection — never on a healthy allocation or free.
+std::uint64_t realtime_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 DefenseEngine::DefenseEngine(const patch::PatchTable* patches,
@@ -225,12 +235,16 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
     // selects the metadata interpretation (guard locator vs. size field).
     meta.vuln_mask = mask & static_cast<std::uint8_t>(~patch::kOverflow);
     meta.user_size = size;
+    meta.fn = static_cast<std::uint8_t>(fn);
     if (canary) {
       // Detect-on-free fallback: plant a pointer-dependent canary directly
-      // after the user region.
+      // after the user region, followed by the allocation-time CCID so a
+      // corruption found on free can be attributed to {FUN, CCID} for
+      // candidate-patch synthesis (docs/SELF_HEALING.md).
       meta.canary = true;
       const std::uint64_t value = canary_for(user);
       std::memcpy(user + size, &value, sizeof(value));
+      std::memcpy(user + size + sizeof(value), &ccid, sizeof(ccid));
       ++stats.canaries_planted;
     }
   }
@@ -296,10 +310,20 @@ void DefenseEngine::free(void* p, Quarantine& quarantine,
     std::memcpy(&found, static_cast<char*>(p) + size, sizeof(found));
     if (found != canary_for(p)) {
       ++stats.canary_overflows_on_free;
+      // Attribute the corruption from the trailer's allocation-time CCID
+      // and the metadata word's AllocFn. An overflow long enough to smash
+      // the CCID word too yields a garbage candidate — harmless, because
+      // candidates only become patches after replay validation.
+      std::uint64_t alloc_ccid = 0;
+      std::memcpy(&alloc_ccid, static_cast<char*>(p) + size + sizeof(found),
+                  sizeof(alloc_ccid));
       if (telemetry != nullptr) {
-        telemetry->record_event(TelemetryEvent::kCanaryCorruption,
-                                /*ccid=*/0, size, meta.vuln_mask);
+        telemetry->record_event(TelemetryEvent::kCanaryCorruption, alloc_ccid,
+                                size, meta.vuln_mask, meta.fn);
       }
+      synthesize_candidate(static_cast<AllocFn>(meta.fn), alloc_ccid,
+                           patch::kOverflow, patch::CandidateOrigin::kCanary,
+                           telemetry);
     }
   }
   if (meta.has_guard()) {
@@ -331,6 +355,24 @@ void DefenseEngine::free(void* p, Quarantine& quarantine,
   } else {
     underlying_.free_fn(raw);
     ++stats.plain_frees;
+  }
+}
+
+void DefenseEngine::synthesize_candidate(AllocFn fn, std::uint64_t ccid,
+                                         std::uint8_t mask,
+                                         patch::CandidateOrigin origin,
+                                         TelemetrySink* telemetry) const {
+  if (!config_.synthesize_candidates) return;
+  if (mask == 0) mask = patch::candidate_default_mask(origin);
+  candidates_.record(fn, ccid, mask, origin, realtime_ns());
+  if (telemetry != nullptr) {
+    // aux packs (origin << 8) | mask so the event ring carries the full
+    // candidate provenance in one record.
+    telemetry->record_event(
+        TelemetryEvent::kCandidateSynthesized, ccid, /*size=*/0,
+        static_cast<std::uint32_t>(
+            (static_cast<std::uint32_t>(origin) << 8) | mask),
+        static_cast<std::uint8_t>(fn));
   }
 }
 

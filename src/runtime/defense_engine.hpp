@@ -12,13 +12,19 @@
 // shard hands the engine its own private stats/quarantine and provides
 // whatever synchronization its execution model needs around the call.
 //
-// One deliberate exception to "no engine-owned mutable data": the live
-// guard-page count backing the guard budget (see GuardedAllocatorConfig::
-// guard_page_budget) is a single engine-wide atomic. The budget is a
-// process-global resource cap, so it cannot live per shard; and the
-// counter is touched only on the guarded path, which already pays an
-// mprotect syscall — an atomic increment is noise there. Unpatched
-// traffic never reaches it.
+// Two deliberate exceptions to "no engine-owned mutable data":
+//   1. the live guard-page count backing the guard budget (see
+//      GuardedAllocatorConfig::guard_page_budget) is a single engine-wide
+//      atomic. The budget is a process-global resource cap, so it cannot
+//      live per shard; and the counter is touched only on the guarded path,
+//      which already pays an mprotect syscall — an atomic increment is
+//      noise there. Unpatched traffic never reaches it.
+//   2. the candidate-patch table (self-healing loop, docs/SELF_HEALING.md)
+//      is a fixed-capacity lock-free accumulator. Candidates must fold
+//      across shards — one vulnerable {FUN, CCID} hammered from N threads
+//      is one candidate, not N — so the table is engine-wide; and it is
+//      touched only on *detection* (guard trap, canary corruption, stale
+//      reuse), never on a healthy allocation or free.
 //
 // Defense semantics (unchanged from the paper):
 //   - no patch match    -> plain buffer with self-maintained metadata
@@ -32,7 +38,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
+#include "patch/candidate.hpp"
 #include "patch/hot_swap.hpp"
 #include "patch/patch_table.hpp"
 #include "progmodel/values.hpp"
@@ -127,6 +135,26 @@ class DefenseEngine {
     return live_guard_pages_.load(std::memory_order_relaxed);
   }
 
+  /// Records one detection observation as a candidate patch (no-op unless
+  /// config().synthesize_candidates). `mask` defaults to the origin's
+  /// characteristic vulnerability type when 0. Called by the free-path
+  /// canary check and by detection backends (GuardedBackend) that hold the
+  /// allocation-time attribution. Also emits a kCandidateSynthesized
+  /// telemetry event through `telemetry` when a ring is attached.
+  void synthesize_candidate(progmodel::AllocFn fn, std::uint64_t ccid,
+                            std::uint8_t mask, patch::CandidateOrigin origin,
+                            TelemetrySink* telemetry = nullptr) const;
+
+  /// The engine-wide candidate accumulator (see class comment, exception 2).
+  [[nodiscard]] const patch::CandidateTable& candidates() const noexcept {
+    return candidates_;
+  }
+  /// Drains candidate hit deltas for journal appends (single drainer).
+  [[nodiscard]] std::vector<patch::PatchCandidate> drain_candidate_deltas()
+      const {
+    return candidates_.drain_deltas();
+  }
+
  private:
   /// {FUN, CCID} -> mask, through the thread-local memo cache when enabled.
   [[nodiscard]] std::uint8_t lookup_mask(progmodel::AllocFn fn,
@@ -145,9 +173,12 @@ class DefenseEngine {
   const patch::PatchTableSwap* swap_ = nullptr;
   GuardedAllocatorConfig config_;
   UnderlyingAllocator underlying_;
-  /// See the class comment: the one engine-owned mutable word, backing the
-  /// guard-page budget. Touched only on guarded allocations/frees.
+  /// See the class comment, exception 1: the guard-page budget word.
+  /// Touched only on guarded allocations/frees.
   mutable std::atomic<std::uint64_t> live_guard_pages_{0};
+  /// See the class comment, exception 2: the candidate accumulator.
+  /// Touched only on detection.
+  mutable patch::CandidateTable candidates_;
 };
 
 }  // namespace ht::runtime

@@ -93,6 +93,8 @@ TelemetrySnapshot GuardedAllocator::telemetry_snapshot() const {
   merge_sink_into_snapshot(snap, telemetry_, /*shard=*/0, stats_,
                            quarantine_.bytes(), quarantine_.depth(),
                            quarantine_.pressure_events());
+  snap.candidates = engine_.candidates().snapshot();
+  snap.candidate_overflow = engine_.candidates().overflow();
   finalize_snapshot(snap);
   return snap;
 }

@@ -79,6 +79,15 @@ void GuardedBackend::record_guard_trap(const BufferInfo& info,
                                        std::uint64_t attempted_len) {
   allocator_.telemetry().record_event(TelemetryEvent::kGuardTrap, info.ccid,
                                       attempted_len, info.mask, info.fn);
+  synthesize(info, patch::CandidateOrigin::kGuardTrap);
+}
+
+void GuardedBackend::synthesize(const BufferInfo& info,
+                                patch::CandidateOrigin origin) {
+  if (info.gen == 0) return;  // no provenance (generations start at 1)
+  allocator_.engine().synthesize_candidate(
+      static_cast<AllocFn>(info.fn), info.ccid, /*mask=*/0, origin,
+      &allocator_.telemetry());
 }
 
 void GuardedBackend::deallocate(std::uint64_t handle) {
@@ -141,6 +150,7 @@ AccessOutcome GuardedBackend::write(std::uint64_t handle, std::uint64_t offset,
     case Owner::kReused: {
       // The attack case: the dangling write lands in another live buffer.
       ++obs_.stale_hits_reused;
+      synthesize(lookup.stale_info, patch::CandidateOrigin::kUafReuse);
       const std::uint64_t addr = handle_addr(handle);
       const std::uint64_t size = lookup.info.size;  // new owner's size
       const std::uint64_t in_bounds =
@@ -165,6 +175,7 @@ AccessOutcome GuardedBackend::write(std::uint64_t handle, std::uint64_t offset,
     return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/true);
   }
   ++obs_.oob_writes_landed;  // silent adjacent-data corruption (simulated)
+  synthesize(lookup.info, patch::CandidateOrigin::kOobLanded);
   return {};
 }
 
@@ -184,6 +195,7 @@ AccessOutcome GuardedBackend::read(std::uint64_t handle, std::uint64_t offset,
     }
     case Owner::kReused: {
       ++obs_.stale_hits_reused;  // dangling read of another object's data
+      synthesize(lookup.stale_info, patch::CandidateOrigin::kUafReuse);
       if (use == ReadUse::kSyscall) {
         const std::uint64_t size = lookup.info.size;
         const std::uint64_t in_bounds =
@@ -216,6 +228,7 @@ AccessOutcome GuardedBackend::read(std::uint64_t handle, std::uint64_t offset,
     return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/false);
   }
   ++obs_.oob_reads_landed;
+  synthesize(lookup.info, patch::CandidateOrigin::kOobLanded);
   if (use == ReadUse::kSyscall) {
     // The overread tail exposes unknown adjacent memory; count it as
     // leaked garbage without physically touching it.
@@ -256,6 +269,7 @@ AccessOutcome GuardedBackend::copy(std::uint64_t src, std::uint64_t src_off,
       return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/false);
     }
     ++obs_.oob_reads_landed;
+    synthesize(s.info, patch::CandidateOrigin::kOobLanded);
     return {};
   }
   if ((d.info.mask & patch::kOverflow) != 0) {
@@ -264,6 +278,7 @@ AccessOutcome GuardedBackend::copy(std::uint64_t src, std::uint64_t src_off,
     return outcome_of(AccessKind::kBlockedByGuard, /*is_write=*/true);
   }
   ++obs_.oob_writes_landed;
+  synthesize(d.info, patch::CandidateOrigin::kOobLanded);
   return {};
 }
 

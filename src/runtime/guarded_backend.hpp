@@ -81,8 +81,14 @@ class GuardedBackend final : public progmodel::AllocatorBackend {
 
   /// Emits a kGuardTrap telemetry event attributed to the trapped buffer's
   /// allocation-time {FUN, CCID} — the interpreter-path analogue of the
-  /// SIGSEGV a real guarded process would take.
+  /// SIGSEGV a real guarded process would take. Also synthesizes a
+  /// guard-trap candidate patch when the engine has synthesis enabled.
   void record_guard_trap(const BufferInfo& info, std::uint64_t attempted_len);
+
+  /// Feeds one detection observation to the engine's candidate synthesis
+  /// (no-op when disabled, or when `info` carries no provenance — e.g. a
+  /// reused address whose stale identity fell out of the freed map).
+  void synthesize(const BufferInfo& info, patch::CandidateOrigin origin);
 
   /// Handles returned to programs are real addresses tagged with a 16-bit
   /// generation in the top bits (x86-64 user VAs fit in 48). The tag is the

@@ -15,6 +15,8 @@ constexpr std::uint64_t kSizeMask = (1ULL << 48) - 1;
 constexpr unsigned kPlainAlignShift = 52;
 constexpr std::uint64_t kAlignMask = 0x3f;
 constexpr std::uint64_t kCanaryBit = 1ULL << 58;
+constexpr unsigned kPlainFnShift = 59;
+constexpr std::uint64_t kFnMask = 0x7;
 }  // namespace
 
 std::uint64_t encode_metadata(const MetadataWord& m) {
@@ -23,6 +25,9 @@ std::uint64_t encode_metadata(const MetadataWord& m) {
   }
   if (m.align_log2 > kAlignMask) {
     throw std::invalid_argument("metadata: alignment exponent exceeds 6 bits");
+  }
+  if (m.fn > kFnMask) {
+    throw std::invalid_argument("metadata: alloc fn exceeds 3 bits");
   }
   std::uint64_t word = m.vuln_mask;
   if (m.aligned) word |= kAlignedBit;
@@ -44,6 +49,7 @@ std::uint64_t encode_metadata(const MetadataWord& m) {
     word |= m.user_size << kSizeShift;
     word |= static_cast<std::uint64_t>(m.align_log2) << kPlainAlignShift;
     if (m.canary) word |= kCanaryBit;
+    word |= static_cast<std::uint64_t>(m.fn) << kPlainFnShift;
   }
   return word;
 }
@@ -59,6 +65,7 @@ MetadataWord decode_metadata(std::uint64_t word) noexcept {
     m.user_size = (word >> kSizeShift) & kSizeMask;
     m.align_log2 = static_cast<std::uint8_t>((word >> kPlainAlignShift) & kAlignMask);
     m.canary = (word & kCanaryBit) != 0;
+    m.fn = static_cast<std::uint8_t>((word >> kPlainFnShift) & kFnMask);
   }
   return m;
 }
@@ -86,7 +93,9 @@ BufferLayout compute_layout(std::uint64_t size, std::uint64_t alignment, bool gu
     layout.raw_alignment = align;
   }
   layout.raw_size = layout.user_offset + size;
-  if (canary && !guard) layout.raw_size += sizeof(std::uint64_t);
+  // Canary trailer: the canary word plus the allocation-time CCID word the
+  // free-path corruption check uses for candidate attribution.
+  if (canary && !guard) layout.raw_size += 2 * sizeof(std::uint64_t);
   if (guard) {
     // Padding up to the next page boundary (worst case kPageSize-1) plus
     // the guard page itself; see file comment for the bound argument.

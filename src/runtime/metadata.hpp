@@ -16,6 +16,9 @@
 //     bits 4..51   user buffer size (48 bits)
 //     bits 52..57  log2(alignment)
 //     bit  58      canary planted after the user buffer (extension)
+//     bits 59..61  allocation function (AllocFn index; extension — lets the
+//                  free-path canary check attribute a corruption to {FUN}
+//                  for candidate-patch synthesis)
 //
 // Buffer layouts:
 //   Structure 1:  [hdr 16B | user]                                (plain)
@@ -47,7 +50,12 @@ struct MetadataWord {
   /// Guard page address; authoritative only for guarded buffers.
   std::uint64_t guard_page_addr = 0;
   /// Extension: a canary word follows the user buffer (plain layouts only).
+  /// When set, the trailer is 16 bytes: the canary word at user+size, then
+  /// the allocation-time CCID at user+size+8 (candidate attribution).
   bool canary = false;
+  /// Extension: AllocFn index of the allocating call (plain layouts only;
+  /// guarded buffers keep their attribution in the BufferInfo side table).
+  std::uint8_t fn = 0;
 
   [[nodiscard]] bool has_guard() const noexcept { return vuln_mask & 1u; }
 };
@@ -70,7 +78,8 @@ struct BufferLayout {
 /// Computes the layout for an allocation of `size` bytes. `alignment` == 0
 /// requests a plain buffer; otherwise it must be a power of two (>= 16
 /// after normalization). `guard` appends a guard page (Structures 2/4);
-/// `canary` reserves a trailing canary word (mutually exclusive with guard).
+/// `canary` reserves the 16-byte canary+CCID trailer (mutually exclusive
+/// with guard).
 [[nodiscard]] BufferLayout compute_layout(std::uint64_t size, std::uint64_t alignment,
                                           bool guard, bool canary = false);
 

@@ -36,6 +36,20 @@
 //    file and atomically swap in the new table — but only if it parses
 //    cleanly; a corrupt or torn file is rejected and the prior table keeps
 //    serving (docs/RESILIENCE.md).
+//  - $HEAPTHERAPY_DEFENSE=guard|canary picks the overflow defense for
+//    patched allocations: guard (default) places a protected page after
+//    the buffer — an overflowing store SIGSEGVs, a crash instead of a
+//    compromise; canary plants a trailing canary verified on free —
+//    detect-and-survive, the mode a process that must keep serving runs
+//    while candidates are gathered (docs/SELF_HEALING.md).
+//  - $HEAPTHERAPY_CANDIDATES=<path> turns on candidate-patch synthesis
+//    (docs/SELF_HEALING.md): every detection the runtime survives
+//    (canary corruption at free; guard traps and landed accesses on the
+//    interpreter path) records a {FUN, CCID, T} candidate, and the
+//    maintenance thread appends the deltas to <path> — the quarantine
+//    journal (docs/FORMATS.md §7) that `htpromote` validates and promotes
+//    from. %p expands to the pid, but the journal is designed to be
+//    SHARED: appends are line-atomic, so a whole fleet writes one file.
 //  - $HEAPTHERAPY_FAULTS arms the deterministic fault-injection points
 //    (docs/RESILIENCE.md) — test/chaos tooling only.
 //  - Numeric env vars are parsed strictly: garbage or overflow falls back
@@ -66,6 +80,7 @@
 
 #include <unistd.h>
 
+#include "patch/candidate.hpp"
 #include "patch/config_file.hpp"
 #include "patch/hot_swap.hpp"
 #include "patch/patch_table.hpp"
@@ -292,6 +307,34 @@ void flush_telemetry() {
       /*size=*/payload.size(), /*aux=*/0);
 }
 
+// ---- Candidate synthesis ($HEAPTHERAPY_CANDIDATES) ----
+// Set iff synthesis is enabled: the quarantine-journal path the maintenance
+// thread appends candidate deltas to (docs/FORMATS.md §7).
+std::string& candidates_path() {
+  static std::string path;
+  return path;
+}
+
+// Drains the engine's candidate deltas and appends them to the journal.
+// Runs under flush_mutex(): drain_candidate_deltas assumes a single drainer
+// (the maintenance thread and the ELF destructor must not interleave).
+// On append failure the drained deltas for this cycle are dropped — the
+// table keeps absolute totals for telemetry either way, and the failure is
+// counted like any other flush failure (degrade, don't die).
+void flush_candidates() {
+  if (candidates_path().empty() || g_allocator == nullptr) return;
+  const std::lock_guard<std::mutex> lock(flush_mutex());
+  const std::vector<ht::patch::PatchCandidate> deltas =
+      g_allocator->engine().drain_candidate_deltas();
+  if (deltas.empty()) return;
+  if (!ht::patch::append_candidate_journal(candidates_path(), deltas)) {
+    g_flush_failures.fetch_add(1, std::memory_order_relaxed);
+    g_allocator->shard_telemetry(0).record_event(
+        ht::runtime::TelemetryEvent::kTelemetryFlushFail, /*ccid=*/0,
+        /*size=*/deltas.size(), /*aux=*/1);
+  }
+}
+
 // ---- Patch hot-reload ($HEAPTHERAPY_RELOAD + SIGHUP) ----
 // The signal handler only sets a flag (the allowed sig_atomic_t store);
 // the maintenance thread does the actual file I/O and table swap.
@@ -337,7 +380,8 @@ void perform_reload() {
 // request is honored within ~200ms even under a long flush interval.
 void maintenance_thread() {
   const bool flushing =
-      telemetry_target().kind != ht::runtime::TelemetryTarget::Kind::kNone;
+      telemetry_target().kind != ht::runtime::TelemetryTarget::Kind::kNone ||
+      !candidates_path().empty();
   unsigned long since_flush_ms = 0;
   while (g_maintenance_running.load(std::memory_order_relaxed)) {
     const unsigned long slice =
@@ -352,6 +396,7 @@ void maintenance_thread() {
       if (since_flush_ms >= g_flush_interval_ms) {
         since_flush_ms = 0;
         flush_telemetry();
+        flush_candidates();
       }
     }
   }
@@ -423,6 +468,24 @@ __attribute__((constructor)) void heaptherapy_init() {
           ht::runtime::WireEmitter(telemetry_target().path);
     }
   }
+  if (const char* defense = std::getenv("HEAPTHERAPY_DEFENSE")) {
+    if (std::strcmp(defense, "canary") == 0) {
+      config.use_guard_pages = false;
+      config.use_canaries = true;
+    } else if (std::strcmp(defense, "guard") != 0) {
+      std::fprintf(stderr,
+                   "heaptherapy: HEAPTHERAPY_DEFENSE='%s' is not guard or "
+                   "canary; using guard\n",
+                   defense);
+    }
+  }
+  if (const char* candidates = std::getenv("HEAPTHERAPY_CANDIDATES")) {
+    // Same %p/%% expansion as the telemetry path, though a shared journal
+    // (no %p) is the normal fleet deployment: appends are line-atomic.
+    candidates_path() = ht::runtime::expand_telemetry_path(
+        candidates, static_cast<long>(getpid()));
+    config.synthesize_candidates = true;
+  }
   // A flush target implies the event ring; explicit knobs override either
   // direction.
   config.telemetry.events = env_flag(
@@ -469,7 +532,7 @@ __attribute__((constructor)) void heaptherapy_init() {
     sigaction(SIGHUP, &sa, nullptr);
   }
   if (telemetry_target().kind != ht::runtime::TelemetryTarget::Kind::kNone ||
-      reload_enabled) {
+      reload_enabled || !candidates_path().empty()) {
     g_maintenance_running.store(true, std::memory_order_relaxed);
     std::thread(maintenance_thread).detach();
   }
@@ -481,6 +544,7 @@ __attribute__((destructor)) void heaptherapy_fini() {
   // and write the final dump.
   g_maintenance_running.store(false, std::memory_order_relaxed);
   flush_telemetry();
+  flush_candidates();
 }
 
 }  // namespace

@@ -214,6 +214,10 @@ TelemetrySnapshot ShardedAllocator::telemetry_snapshot() const {
                              shard.quarantine.depth(),
                              shard.quarantine.pressure_events());
   }
+  // Candidates are engine-wide (not per shard); copied outside any shard
+  // lock because the snapshot allocates its result vector.
+  snap.candidates = engine_.candidates().snapshot();
+  snap.candidate_overflow = engine_.candidates().overflow();
   finalize_snapshot(snap);
   return snap;
 }

@@ -68,6 +68,7 @@ std::string_view telemetry_event_name(TelemetryEvent type) noexcept {
     case TelemetryEvent::kAllocFailure: return "alloc_failure";
     case TelemetryEvent::kQuarantinePressure: return "quarantine_pressure";
     case TelemetryEvent::kTelemetryFlushFail: return "telemetry_flush_fail";
+    case TelemetryEvent::kCandidateSynthesized: return "candidate_synthesized";
   }
   return "unknown";
 }
@@ -327,6 +328,15 @@ void finalize_snapshot(TelemetrySnapshot& snap) {
               if (a.fn != b.fn) return a.fn < b.fn;
               return a.ccid < b.ccid;
             });
+  // Deterministic candidate order keeps dumps (and therefore the daemon's
+  // and the batch aggregator's renderings) byte-identical.
+  std::sort(snap.candidates.begin(), snap.candidates.end(),
+            [](const patch::PatchCandidate& a, const patch::PatchCandidate& b) {
+              if (a.fn != b.fn) return a.fn < b.fn;
+              if (a.ccid != b.ccid) return a.ccid < b.ccid;
+              if (a.vuln_mask != b.vuln_mask) return a.vuln_mask < b.vuln_mask;
+              return a.origin < b.origin;
+            });
   snap.health = derive_health(snap);
 }
 
@@ -397,6 +407,8 @@ std::string render_telemetry(const TelemetrySnapshot& snap) {
              static_cast<unsigned long long>(snap.quarantine_pressure));
   append_fmt(out, "counter flush_failures %llu\n",
              static_cast<unsigned long long>(snap.flush_failures));
+  append_fmt(out, "counter candidate_overflow %llu\n",
+             static_cast<unsigned long long>(snap.candidate_overflow));
   for (const ShardTelemetry& s : snap.shards) {
     append_fmt(out,
                "shard %u interceptions=%llu frees=%llu quarantine_bytes=%llu "
@@ -415,6 +427,15 @@ std::string render_telemetry(const TelemetrySnapshot& snap) {
                std::string(progmodel::alloc_fn_name(hit.fn)).c_str(),
                static_cast<unsigned long long>(hit.ccid),
                static_cast<unsigned long long>(hit.hits));
+  }
+  for (const patch::PatchCandidate& c : snap.candidates) {
+    append_fmt(out, "candidate %s 0x%016llx %s %s hits=%llu first=%llu\n",
+               std::string(progmodel::alloc_fn_name(c.fn)).c_str(),
+               static_cast<unsigned long long>(c.ccid),
+               patch::vuln_mask_to_string(c.vuln_mask).c_str(),
+               patch::candidate_origin_name(c.origin),
+               static_cast<unsigned long long>(c.hits),
+               static_cast<unsigned long long>(c.first_seen_ns));
   }
   for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
     if (snap.latency.buckets[i] == 0) continue;  // sparse: zeros add noise
@@ -564,6 +585,9 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
       } else if (fields[1] == "flush_failures") {
         snap.flush_failures = *value;
         known = true;
+      } else if (fields[1] == "candidate_overflow") {
+        snap.candidate_overflow = *value;
+        known = true;
       }
       // Unknown counters are skipped silently: a newer runtime may emit
       // counters an older parser does not know (forward compatibility).
@@ -604,6 +628,25 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
         continue;
       }
       snap.patch_hits.push_back(PatchHitCount{fn, *ccid, *hits});
+    } else if (directive == "candidate") {
+      // candidate <fn> <ccid> <mask> <origin> hits=N first=N
+      AllocFn fn;
+      patch::PatchCandidate cand;
+      const bool shape_ok = fields.size() == 7;
+      const auto ccid = shape_ok ? support::parse_u64(fields[2]) : std::nullopt;
+      std::uint8_t mask = 0;
+      if (!shape_ok || !parse_alloc_fn(fields[1], fn) || !ccid ||
+          !patch::vuln_mask_from_string(fields[3], mask) ||
+          !patch::candidate_origin_from_name(fields[4], cand.origin) ||
+          !parse_kv_u64(fields[5], "hits", cand.hits) ||
+          !parse_kv_u64(fields[6], "first", cand.first_seen_ns)) {
+        complain("malformed candidate line");
+        continue;
+      }
+      cand.fn = fn;
+      cand.ccid = *ccid;
+      cand.vuln_mask = mask;
+      snap.candidates.push_back(cand);
     } else if (directive == "latency") {
       const auto limit =
           fields.size() == 3 ? support::parse_u64(fields[1]) : std::nullopt;
@@ -691,12 +734,14 @@ std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
   }
   append_fmt(out, ", \"events_recorded\": %llu, \"events_dropped\": %llu"
                   ", \"patch_hit_overflow\": %llu"
-                  ", \"quarantine_pressure\": %llu, \"flush_failures\": %llu},\n",
+                  ", \"quarantine_pressure\": %llu, \"flush_failures\": %llu"
+                  ", \"candidate_overflow\": %llu},\n",
              static_cast<unsigned long long>(snap.events_recorded),
              static_cast<unsigned long long>(snap.events_dropped),
              static_cast<unsigned long long>(snap.patch_hit_overflow),
              static_cast<unsigned long long>(snap.quarantine_pressure),
-             static_cast<unsigned long long>(snap.flush_failures));
+             static_cast<unsigned long long>(snap.flush_failures),
+             static_cast<unsigned long long>(snap.candidate_overflow));
   out += "  \"patch_hits\": [";
   first = true;
   for (const PatchHitCount& hit : snap.patch_hits) {
@@ -706,6 +751,23 @@ std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
                std::string(progmodel::alloc_fn_name(hit.fn)).c_str(),
                static_cast<unsigned long long>(hit.ccid),
                static_cast<unsigned long long>(hit.hits));
+    first = false;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"candidates\": [";
+  first = true;
+  for (const patch::PatchCandidate& c : snap.candidates) {
+    append_fmt(out,
+               "%s\n    {\"fn\": \"%s\", \"ccid\": \"0x%016llx\", "
+               "\"mask\": \"%s\", \"origin\": \"%s\", \"hits\": %llu, "
+               "\"first_seen_ns\": %llu}",
+               first ? "" : ",",
+               std::string(progmodel::alloc_fn_name(c.fn)).c_str(),
+               static_cast<unsigned long long>(c.ccid),
+               patch::vuln_mask_to_string(c.vuln_mask).c_str(),
+               patch::candidate_origin_name(c.origin),
+               static_cast<unsigned long long>(c.hits),
+               static_cast<unsigned long long>(c.first_seen_ns));
     first = false;
   }
   out += first ? "],\n" : "\n  ],\n";

@@ -52,6 +52,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "patch/candidate.hpp"
 #include "progmodel/values.hpp"
 #include "runtime/allocator_config.hpp"
 
@@ -73,9 +74,11 @@ enum class TelemetryEvent : std::uint8_t {
   kAllocFailure = 10,     ///< underlying alloc null even for plain layout
   kQuarantinePressure = 11,  ///< sustained pressure; early eviction sweep
   kTelemetryFlushFail = 12,  ///< telemetry flush failed after all retries
+  kCandidateSynthesized = 13,  ///< detection produced a candidate patch
+                               ///< (aux = (origin << 8) | vuln_mask)
 };
 
-inline constexpr std::uint8_t kTelemetryEventCount = 13;
+inline constexpr std::uint8_t kTelemetryEventCount = 14;
 
 /// kAllocDegrade aux values: which rung the allocation landed on.
 inline constexpr std::uint32_t kDegradeLevelCanary = 1;
@@ -358,6 +361,12 @@ struct TelemetrySnapshot {
   /// Telemetry flushes that failed after all retries (preload/htrun set
   /// this from their own counter — the flusher lives outside the engine).
   std::uint64_t flush_failures = 0;
+  /// Candidate patches synthesized by the self-healing loop (engine-wide;
+  /// copied from DefenseEngine::candidates() by the allocator snapshot
+  /// functions). Hits are absolute totals.
+  std::vector<patch::PatchCandidate> candidates;
+  /// Candidate observations dropped because the fixed table was full.
+  std::uint64_t candidate_overflow = 0;
   /// True when the engine runs forward-only (protection deliberately off).
   /// Set by the allocator snapshot functions before finalize_snapshot.
   bool bypass = false;

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <map>
 #include <set>
+#include <tuple>
 
 namespace ht::runtime {
 
@@ -92,6 +93,11 @@ TelemetryAggregate aggregate_telemetry(
   // Merge per-patch hits through an ordered {fn, ccid} map so equal keys
   // from different processes sum exactly.
   std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> hits;
+  // Candidates merge the same way the journal fold does: equal
+  // {fn, ccid, mask, origin} sum their hits and keep the earliest sighting.
+  std::map<std::tuple<std::uint8_t, std::uint64_t, std::uint8_t, std::uint8_t>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      candidates;
   std::set<std::uint64_t> generations;
 
   for (const AggregateInput& in : inputs) {
@@ -102,6 +108,17 @@ TelemetryAggregate aggregate_telemetry(
     agg.patch_hit_overflow += s.patch_hit_overflow;
     agg.quarantine_pressure += s.quarantine_pressure;
     agg.flush_failures += s.flush_failures;
+    agg.candidate_overflow += s.candidate_overflow;
+    for (const patch::PatchCandidate& c : s.candidates) {
+      auto& merged = candidates[{static_cast<std::uint8_t>(c.fn), c.ccid,
+                                 c.vuln_mask,
+                                 static_cast<std::uint8_t>(c.origin)}];
+      merged.first += c.hits;
+      if (merged.second == 0 ||
+          (c.first_seen_ns != 0 && c.first_seen_ns < merged.second)) {
+        merged.second = c.first_seen_ns;
+      }
+    }
     agg.latency += s.latency;
     if (s.health > agg.worst_health) agg.worst_health = s.health;
     generations.insert(s.table_generation);
@@ -136,6 +153,18 @@ TelemetryAggregate aggregate_telemetry(
                    [](const PatchHitCount& a, const PatchHitCount& b) {
                      return a.hits > b.hits;
                    });
+  agg.candidates.reserve(candidates.size());
+  for (const auto& [key, merged] : candidates) {
+    agg.candidates.push_back(patch::PatchCandidate{
+        static_cast<progmodel::AllocFn>(std::get<0>(key)), std::get<1>(key),
+        std::get<2>(key), static_cast<patch::CandidateOrigin>(std::get<3>(key)),
+        merged.first, merged.second});
+  }
+  // Same hits-descending presentation as patch_hits; the map already
+  // ordered ties by key ascending and stable_sort preserves that.
+  std::stable_sort(agg.candidates.begin(), agg.candidates.end(),
+                   [](const patch::PatchCandidate& a,
+                      const patch::PatchCandidate& b) { return a.hits > b.hits; });
   return agg;
 }
 
@@ -181,6 +210,24 @@ std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
   append_fmt(out, "  \"quarantine_pressure\": %" PRIu64 ",\n",
              agg.quarantine_pressure);
   append_fmt(out, "  \"flush_failures\": %" PRIu64 ",\n", agg.flush_failures);
+  append_fmt(out, "  \"candidate_overflow\": %" PRIu64 ",\n",
+             agg.candidate_overflow);
+
+  out += "  \"candidates\": [\n";
+  for (std::size_t i = 0; i < agg.candidates.size(); ++i) {
+    const patch::PatchCandidate& c = agg.candidates[i];
+    append_fmt(out,
+               "    {\"fn\": \"%s\", \"ccid\": \"%s\", \"mask\": \"%s\""
+               ", \"origin\": \"%s\", \"hits\": %" PRIu64
+               ", \"first_seen_ns\": %" PRIu64 "}%s\n",
+               std::string(progmodel::alloc_fn_name(c.fn)).c_str(),
+               ccid_hex(c.ccid).c_str(),
+               patch::vuln_mask_to_string(c.vuln_mask).c_str(),
+               std::string(patch::candidate_origin_name(c.origin)).c_str(),
+               c.hits, c.first_seen_ns,
+               i + 1 < agg.candidates.size() ? "," : "");
+  }
+  out += "  ],\n";
 
   // Latency buckets: le is the exclusive upper bound in ns, null for the
   // unbounded last bucket. Counts are per-bucket (NOT cumulative) here;
@@ -305,6 +352,20 @@ std::string aggregate_prometheus(const TelemetryAggregate& agg,
   prom_counter(out, "ht_patch_hit_overflow_total",
                "Enhanced allocations not attributed per-patch (hit table full).",
                agg.patch_hit_overflow);
+  prom_counter(out, "ht_candidate_overflow_total",
+               "Synthesized candidates dropped because the candidate table was full.",
+               agg.candidate_overflow);
+
+  append_fmt(out, "# HELP ht_candidates Distinct synthesized candidate patches awaiting validation.\n");
+  append_fmt(out, "# TYPE ht_candidates gauge\n");
+  append_fmt(out, "ht_candidates %zu\n", agg.candidates.size());
+  {
+    std::uint64_t synthesized = 0;
+    for (const patch::PatchCandidate& c : agg.candidates) synthesized += c.hits;
+    prom_counter(out, "ht_candidates_synthesized_total",
+                 "Detections that synthesized (or re-hit) a candidate patch.",
+                 synthesized);
+  }
 
   const std::size_t cap = hit_cap(agg, top_k);
   if (cap > 0) {

@@ -62,6 +62,7 @@ struct TelemetryAggregate {
   std::uint64_t patch_hit_overflow = 0;
   std::uint64_t quarantine_pressure = 0;  ///< early-eviction sweeps, summed
   std::uint64_t flush_failures = 0;       ///< exhausted flush retries, summed
+  std::uint64_t candidate_overflow = 0;   ///< candidate-table overflows, summed
   /// Worst health across the fleet (healthy < degraded < bypass): one
   /// degraded process degrades the whole rollup.
   HealthState worst_health = HealthState::kHealthy;
@@ -69,6 +70,10 @@ struct TelemetryAggregate {
   /// Merged per-patch hits keyed {fn, ccid}, sorted hits-descending
   /// (ties: fn then ccid ascending) so "top K" is a prefix.
   std::vector<PatchHitCount> patch_hits;
+  /// Merged synthesized candidates (docs/SELF_HEALING.md) keyed
+  /// {fn, ccid, mask, origin}: hits summed, first_seen_ns min'd, sorted
+  /// hits-descending (ties: key ascending) so the hottest lead.
+  std::vector<patch::PatchCandidate> candidates;
   /// Distinct patch-table generations observed, ascending. More than one
   /// means the fleet is running mixed patch tables — worth surfacing.
   std::vector<std::uint64_t> generations;

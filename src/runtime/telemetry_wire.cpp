@@ -65,6 +65,7 @@ constexpr std::uint8_t kCounterIdEventsDropped = 241;
 constexpr std::uint8_t kCounterIdPatchHitOverflow = 242;
 constexpr std::uint8_t kCounterIdQuarantinePressure = 243;
 constexpr std::uint8_t kCounterIdFlushFailures = 244;
+constexpr std::uint8_t kCounterIdCandidateOverflow = 245;
 
 constexpr std::size_t kCounterFieldCount =
     sizeof(kTelemetryCounterFields) / sizeof(kTelemetryCounterFields[0]);
@@ -170,6 +171,7 @@ std::string encode_telemetry_frame(const TelemetrySnapshot& snap,
   counter(kCounterIdPatchHitOverflow, snap.patch_hit_overflow);
   counter(kCounterIdQuarantinePressure, snap.quarantine_pressure);
   counter(kCounterIdFlushFailures, snap.flush_failures);
+  counter(kCounterIdCandidateOverflow, snap.candidate_overflow);
 
   for (const ShardTelemetry& s : snap.shards) {
     body.clear();
@@ -194,6 +196,17 @@ std::string encode_telemetry_frame(const TelemetrySnapshot& snap,
     put_u64(body, hit.ccid);
     put_u64(body, hit.hits);
     put_record(payload, WireRecord::kPatchHit, body);
+  }
+
+  for (const patch::PatchCandidate& c : snap.candidates) {
+    body.clear();
+    put_u8(body, static_cast<std::uint8_t>(c.fn));
+    put_u64(body, c.ccid);
+    put_u8(body, c.vuln_mask);
+    put_u8(body, static_cast<std::uint8_t>(c.origin));
+    put_u64(body, c.hits);
+    put_u64(body, c.first_seen_ns);
+    put_record(payload, WireRecord::kCandidate, body);
   }
 
   for (std::uint32_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
@@ -362,6 +375,8 @@ WireDecodeResult decode_telemetry_frame(std::string_view frame) {
           snap.quarantine_pressure = value;
         } else if (id == kCounterIdFlushFailures) {
           snap.flush_failures = value;
+        } else if (id == kCounterIdCandidateOverflow) {
+          snap.candidate_overflow = value;
         } else {
           // Unknown counter id: a newer producer. Skip silently, exactly
           // like the text parser skips unknown counter names.
@@ -447,6 +462,37 @@ WireDecodeResult decode_telemetry_frame(std::string_view frame) {
         }
         rec.type = static_cast<TelemetryEvent>(etype);
         snap.events.push_back(rec);
+        ++r.records;
+        break;
+      }
+      case WireRecord::kCandidate: {
+        const std::uint8_t fn = body.u8();
+        const std::uint64_t ccid = body.u64();
+        const std::uint8_t mask = body.u8();
+        const std::uint8_t origin = body.u8();
+        const std::uint64_t hits = body.u64();
+        const std::uint64_t first = body.u64();
+        if (!body.ok) {
+          note("short candidate record skipped");
+          break;
+        }
+        bool fn_known = false;
+        for (progmodel::AllocFn f : progmodel::kAllAllocFns) {
+          if (static_cast<std::uint8_t>(f) == fn) fn_known = true;
+        }
+        if (!fn_known) {
+          note("candidate with unknown alloc fn " + std::to_string(fn) +
+               " skipped");
+          break;
+        }
+        if (origin >= patch::kCandidateOriginCount) {
+          note("candidate with unknown origin " + std::to_string(origin) +
+               " skipped");
+          break;
+        }
+        snap.candidates.push_back(patch::PatchCandidate{
+            static_cast<progmodel::AllocFn>(fn), ccid, mask,
+            static_cast<patch::CandidateOrigin>(origin), hits, first});
         ++r.records;
         break;
       }

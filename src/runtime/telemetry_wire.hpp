@@ -67,6 +67,7 @@ enum class WireRecord : std::uint8_t {
   kPatchHit = 4,  ///< one {fn, ccid} -> hits entry
   kLatency = 5,   ///< one latency histogram bucket: index + count
   kEvent = 6,     ///< one TelemetryRecord from the event ring
+  kCandidate = 7, ///< one synthesized candidate patch (docs/SELF_HEALING.md)
 };
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) over `len` bytes.

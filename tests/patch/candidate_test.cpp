@@ -1,0 +1,400 @@
+// Candidate journal + CandidateTable tests (docs/FORMATS.md §7).
+//
+// The journal is the shared artifact of the self-healing loop: many
+// uncoordinated runtime processes append to it, one htpromote reads it.
+// That makes parsing hardening (truncation, corruption, interleaved
+// writers) the main subject here, alongside the fold/promotion semantics.
+#include "patch/candidate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ht::patch {
+namespace {
+
+std::string temp_journal_path(const char* tag) {
+  std::ostringstream os;
+  os << std::filesystem::temp_directory_path().string() << "/ht_cand_" << tag
+     << "_" << ::getpid() << ".txt";
+  return os.str();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<PatchCandidate> sample_candidates() {
+  return {
+      {progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+       CandidateOrigin::kCanary, 3, 100},
+      {progmodel::AllocFn::kCalloc, 0x42, kUseAfterFree,
+       CandidateOrigin::kUafReuse, 1, 200},
+      {progmodel::AllocFn::kMalloc, 0xbeef, kOverflow | kUseAfterFree,
+       CandidateOrigin::kGuardTrap, 2, 50},
+  };
+}
+
+TEST(CandidateNames, OriginRoundTrip) {
+  for (std::size_t i = 0; i < kCandidateOriginCount; ++i) {
+    const auto origin = static_cast<CandidateOrigin>(i);
+    CandidateOrigin parsed{};
+    ASSERT_TRUE(candidate_origin_from_name(candidate_origin_name(origin), parsed));
+    EXPECT_EQ(parsed, origin);
+  }
+  CandidateOrigin unused{};
+  EXPECT_FALSE(candidate_origin_from_name("meteor_strike", unused));
+}
+
+TEST(CandidateNames, VerdictRoundTrip) {
+  for (CandidateVerdict verdict :
+       {CandidateVerdict::kPromoted, CandidateVerdict::kRejected,
+        CandidateVerdict::kDemoted}) {
+    CandidateVerdict parsed{};
+    ASSERT_TRUE(
+        candidate_verdict_from_name(candidate_verdict_name(verdict), parsed));
+    EXPECT_EQ(parsed, verdict);
+  }
+  CandidateVerdict unused{};
+  EXPECT_FALSE(candidate_verdict_from_name("maybe", unused));
+}
+
+TEST(CandidateNames, DefaultMaskMatchesOriginEvidence) {
+  EXPECT_EQ(candidate_default_mask(CandidateOrigin::kGuardTrap), kOverflow);
+  EXPECT_EQ(candidate_default_mask(CandidateOrigin::kOobLanded), kOverflow);
+  EXPECT_EQ(candidate_default_mask(CandidateOrigin::kCanary), kOverflow);
+  EXPECT_EQ(candidate_default_mask(CandidateOrigin::kUafReuse), kUseAfterFree);
+}
+
+TEST(CandidateJournal, SerializeParseRoundTrip) {
+  const auto candidates = sample_candidates();
+  const std::string text =
+      "version 1\n" + serialize_candidate_lines(candidates);
+  const CandidateParseResult parsed = parse_candidate_journal(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.reject_reason;
+  EXPECT_TRUE(parsed.notes.empty());
+  // Distinct {fn, ccid, mask, origin} keys: nothing folds here.
+  EXPECT_EQ(parsed.candidates, candidates);
+}
+
+TEST(CandidateJournal, VerdictRoundTripAndWhitespaceReason) {
+  const VerdictRecord verdict{progmodel::AllocFn::kRealloc, 0x77, kOverflow,
+                              CandidateVerdict::kRejected,
+                              "attack still lands", 999};
+  const std::string text = "version 1\n" + serialize_verdict_line(verdict);
+  const CandidateParseResult parsed = parse_candidate_journal(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.verdicts.size(), 1u);
+  EXPECT_EQ(parsed.verdicts[0].verdict, CandidateVerdict::kRejected);
+  // Whitespace in the reason becomes '-' so the line stays 7 fields.
+  EXPECT_EQ(parsed.verdicts[0].reason, "attack-still-lands");
+  EXPECT_EQ(parsed.verdicts[0].time_ns, 999u);
+}
+
+TEST(CandidateJournal, DuplicateCandidatesFold) {
+  const std::string text =
+      "version 1\n"
+      "candidate malloc 0xbeef OVERFLOW canary hits=3 first=500\n"
+      "candidate malloc 0xbeef OVERFLOW canary hits=4 first=200\n"
+      "candidate malloc 0xbeef OVERFLOW canary hits=1 first=900\n";
+  const CandidateParseResult parsed = parse_candidate_journal(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.candidates.size(), 1u);
+  EXPECT_EQ(parsed.candidates[0].hits, 8u);       // deltas sum
+  EXPECT_EQ(parsed.candidates[0].first_seen_ns, 200u);  // min nonzero wins
+}
+
+TEST(CandidateJournal, DuplicateVersionLineSilentlySkipped) {
+  // Two processes racing an empty file can both prepend the header.
+  const std::string text =
+      "# HeapTherapy+ candidate quarantine\n"
+      "version 1\n"
+      "# HeapTherapy+ candidate quarantine\n"
+      "version 1\n"
+      "candidate malloc 0x1 OVERFLOW guard_trap hits=1 first=1\n";
+  const CandidateParseResult parsed = parse_candidate_journal(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.notes.empty());
+  EXPECT_EQ(parsed.candidates.size(), 1u);
+}
+
+TEST(CandidateJournal, UnsupportedVersionRejects) {
+  const CandidateParseResult parsed = parse_candidate_journal(
+      "version 2\ncandidate malloc 0x1 OVERFLOW canary hits=1 first=1\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.candidates.empty());
+  EXPECT_TRUE(parsed.verdicts.empty());
+}
+
+TEST(CandidateJournal, DataWithoutVersionRejects) {
+  const CandidateParseResult parsed = parse_candidate_journal(
+      "candidate malloc 0x1 OVERFLOW canary hits=1 first=1\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.candidates.empty());
+}
+
+TEST(CandidateJournal, EmptyAndCommentOnlyJournalsAreOk) {
+  EXPECT_TRUE(parse_candidate_journal("").ok());
+  EXPECT_TRUE(parse_candidate_journal("# only a comment\n\n").ok());
+}
+
+TEST(CandidateJournal, MalformedLinesNotedOthersSurvive) {
+  const std::string text =
+      "version 1\n"
+      "candidate malloc 0x1 OVERFLOW canary hits=1 first=1\n"
+      "candidate malloc nothex OVERFLOW canary hits=1 first=1\n"
+      "candidate teleport 0x2 OVERFLOW canary hits=1 first=1\n"
+      "candidate malloc 0x3 NOT_A_MASK canary hits=1 first=1\n"
+      "candidate malloc 0x4 OVERFLOW meteor hits=1 first=1\n"
+      "candidate malloc 0x5 OVERFLOW canary hits=x first=1\n"
+      "candidate malloc 0x6 OVERFLOW canary\n"
+      "frobnicate everything\n"
+      "candidate calloc 0x7 UAF uaf_reuse hits=2 first=9\n";
+  const CandidateParseResult parsed = parse_candidate_journal(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.notes.size(), 7u);
+  ASSERT_EQ(parsed.candidates.size(), 2u);
+  EXPECT_EQ(parsed.candidates[0].ccid, 0x1u);
+  EXPECT_EQ(parsed.candidates[1].ccid, 0x7u);
+}
+
+TEST(CandidateJournal, NotesCappedAtFifty) {
+  std::ostringstream os;
+  os << "version 1\n";
+  for (int i = 0; i < 60; ++i) os << "garbage line " << i << "\n";
+  const CandidateParseResult parsed = parse_candidate_journal(os.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.notes.size(), kCandidateNoteCap);
+}
+
+TEST(CandidateJournal, TruncationSweepNeverCrashes) {
+  // Simulate a reader racing a writer: parse every prefix of a valid
+  // journal. A truncated tail line may be noted or folded wrong, but the
+  // parser must never crash and earlier complete lines must survive.
+  const std::string text =
+      "# HeapTherapy+ candidate quarantine\n"
+      "version 1\n"
+      "candidate malloc 0xbeef OVERFLOW canary hits=3 first=100\n"
+      "verdict malloc 0xbeef OVERFLOW promoted replay_validated t=200\n"
+      "candidate calloc 0x42 UAF uaf_reuse hits=1 first=300\n";
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    const CandidateParseResult parsed =
+        parse_candidate_journal(std::string_view(text).substr(0, len));
+    if (parsed.ok() && len == text.size()) {
+      EXPECT_EQ(parsed.candidates.size(), 2u);
+      EXPECT_EQ(parsed.verdicts.size(), 1u);
+    }
+  }
+}
+
+TEST(CandidateJournal, CorruptionSweepNeverCrashes) {
+  const std::string base =
+      "version 1\n"
+      "candidate malloc 0xbeef OVERFLOW canary hits=3 first=100\n"
+      "verdict malloc 0xbeef OVERFLOW promoted replay_validated t=200\n";
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    for (char junk : {'\0', '\xff', ' ', '\n', 'z'}) {
+      std::string mutated = base;
+      mutated[pos] = junk;
+      (void)parse_candidate_journal(mutated);  // must not crash or throw
+    }
+  }
+}
+
+TEST(CandidateJournal, AppendCreatesHeaderOnceAndFoldsAcrossAppends) {
+  const std::string path = temp_journal_path("append");
+  std::remove(path.c_str());
+  ASSERT_TRUE(append_candidate_journal(
+      path, {{progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+              CandidateOrigin::kCanary, 2, 100}}));
+  ASSERT_TRUE(append_candidate_journal(
+      path, {{progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+              CandidateOrigin::kCanary, 5, 100}}));
+  ASSERT_TRUE(append_candidate_verdict(
+      path, {progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+             CandidateVerdict::kPromoted, "replay_validated", 900}));
+
+  const std::string contents = slurp(path);
+  // Header written exactly once, by the first (file-creating) append.
+  EXPECT_EQ(contents.find("version 1"), contents.rfind("version 1"));
+
+  const auto parsed = load_candidate_journal(path);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->ok()) << parsed->reject_reason;
+  ASSERT_EQ(parsed->candidates.size(), 1u);
+  EXPECT_EQ(parsed->candidates[0].hits, 7u);
+  ASSERT_EQ(parsed->verdicts.size(), 1u);
+  EXPECT_EQ(parsed->verdicts[0].verdict, CandidateVerdict::kPromoted);
+  std::remove(path.c_str());
+}
+
+TEST(CandidateJournal, AppendEmptyDeltaIsNoOpSuccess) {
+  const std::string path = temp_journal_path("empty");
+  std::remove(path.c_str());
+  EXPECT_TRUE(append_candidate_journal(path, {}));
+  EXPECT_FALSE(std::filesystem::exists(path));  // nothing written, no file
+}
+
+TEST(CandidateJournal, LoadMissingJournalIsNullopt) {
+  EXPECT_FALSE(load_candidate_journal("/nonexistent/ht/journal.txt").has_value());
+}
+
+TEST(CandidateJournal, ConcurrentAppendsStayLineAtomic) {
+  // 8 uncoordinated writer threads, 50 appends each, all through the
+  // public API against one path (the fleet-shared-journal scenario). A
+  // torn line would show up as a parse note; lost writes as a hit
+  // shortfall.
+  const std::string path = temp_journal_path("concurrent");
+  std::remove(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 50;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&path, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        const PatchCandidate delta{
+            progmodel::AllocFn::kMalloc,
+            /*ccid=*/static_cast<std::uint64_t>(t % 4),  // 4 distinct keys
+            kOverflow, CandidateOrigin::kCanary, /*hits=*/1,
+            /*first_seen_ns=*/static_cast<std::uint64_t>(t * 1000 + i + 1)};
+        ASSERT_TRUE(append_candidate_journal(path, {delta}));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  const auto parsed = load_candidate_journal(path);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->ok()) << parsed->reject_reason;
+  EXPECT_TRUE(parsed->notes.empty())
+      << "torn line detected: " << parsed->notes[0];
+  std::uint64_t total_hits = 0;
+  for (const PatchCandidate& c : parsed->candidates) total_hits += c.hits;
+  EXPECT_EQ(total_hits, static_cast<std::uint64_t>(kThreads * kAppendsPerThread));
+  EXPECT_EQ(parsed->candidates.size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Promotion, ThresholdVerdictSkipAndMaskUnion) {
+  CandidateParseResult journal;
+  journal.candidates = {
+      // Same {fn, ccid} from two origins: masks union, hits sum.
+      {progmodel::AllocFn::kMalloc, 0x1, kOverflow, CandidateOrigin::kCanary,
+       2, 100},
+      {progmodel::AllocFn::kMalloc, 0x1, kUseAfterFree,
+       CandidateOrigin::kUafReuse, 1, 50},
+      // Below threshold.
+      {progmodel::AllocFn::kCalloc, 0x2, kOverflow, CandidateOrigin::kCanary,
+       1, 10},
+      // Already judged (any verdict skips, including demoted).
+      {progmodel::AllocFn::kMalloc, 0x3, kOverflow, CandidateOrigin::kCanary,
+       9, 20},
+  };
+  journal.verdicts = {{progmodel::AllocFn::kMalloc, 0x3, kOverflow,
+                       CandidateVerdict::kDemoted, "fp", 30}};
+  const std::vector<Patch> selected =
+      select_promotable(journal, PromotionPolicy{/*min_hits=*/2});
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0].ccid, 0x1u);
+  EXPECT_EQ(selected[0].fn, progmodel::AllocFn::kMalloc);
+  EXPECT_EQ(selected[0].vuln_mask, kOverflow | kUseAfterFree);
+}
+
+TEST(Promotion, OutputInFirstSeenOrder) {
+  CandidateParseResult journal;
+  journal.candidates = {
+      {progmodel::AllocFn::kMalloc, 0xa, kOverflow, CandidateOrigin::kCanary,
+       1, 300},
+      {progmodel::AllocFn::kMalloc, 0xb, kOverflow, CandidateOrigin::kCanary,
+       1, 100},
+  };
+  const std::vector<Patch> selected =
+      select_promotable(journal, PromotionPolicy{});
+  ASSERT_EQ(selected.size(), 2u);
+  // First-seen order == journal fold order, not sorted by timestamp.
+  EXPECT_EQ(selected[0].ccid, 0xau);
+  EXPECT_EQ(selected[1].ccid, 0xbu);
+}
+
+TEST(Promotion, LatestVerdictWins) {
+  const std::vector<VerdictRecord> verdicts = {
+      {progmodel::AllocFn::kMalloc, 0x1, kOverflow, CandidateVerdict::kPromoted,
+       "replay_validated", 10},
+      {progmodel::AllocFn::kMalloc, 0x1, kOverflow, CandidateVerdict::kDemoted,
+       "guard_budget_pressure", 20},
+  };
+  const auto latest =
+      latest_verdict(verdicts, progmodel::AllocFn::kMalloc, 0x1);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, CandidateVerdict::kDemoted);
+  EXPECT_FALSE(
+      latest_verdict(verdicts, progmodel::AllocFn::kCalloc, 0x1).has_value());
+}
+
+TEST(CandidateTable, RecordSnapshotAndDrain) {
+  CandidateTable table;
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+                           CandidateOrigin::kCanary, 100));
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+                           CandidateOrigin::kCanary, 200));
+
+  const auto snap = table.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].hits, 2u);            // snapshot: absolute totals
+  EXPECT_EQ(snap[0].first_seen_ns, 100u);  // first observation's timestamp
+
+  auto deltas = table.drain_deltas();
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].hits, 2u);
+  EXPECT_TRUE(table.drain_deltas().empty());  // nothing new since last drain
+
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
+                           CandidateOrigin::kCanary, 300));
+  deltas = table.drain_deltas();
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].hits, 1u);  // only the post-drain hit
+  EXPECT_EQ(table.snapshot()[0].hits, 3u);  // totals unaffected by draining
+}
+
+TEST(CandidateTable, DistinctKeysGetDistinctSlots) {
+  CandidateTable table;
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kMalloc, 0x1, kOverflow,
+                           CandidateOrigin::kCanary, 1));
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kMalloc, 0x1, kUseAfterFree,
+                           CandidateOrigin::kUafReuse, 2));
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kCalloc, 0x1, kOverflow,
+                           CandidateOrigin::kCanary, 3));
+  EXPECT_EQ(table.snapshot().size(), 3u);
+}
+
+TEST(CandidateTable, OverflowCountsDroppedObservations) {
+  CandidateTable table;
+  // More distinct keys than slots: the surplus is dropped and counted.
+  std::size_t recorded = 0;
+  for (std::uint64_t ccid = 1; ccid <= CandidateTable::kSlots + 10; ++ccid) {
+    if (table.record(progmodel::AllocFn::kMalloc, ccid, kOverflow,
+                     CandidateOrigin::kCanary, ccid)) {
+      ++recorded;
+    }
+  }
+  EXPECT_EQ(recorded, table.snapshot().size());
+  EXPECT_GE(table.overflow(), 10u);
+  // A known key still records even when the table is full.
+  EXPECT_TRUE(table.record(progmodel::AllocFn::kMalloc, 1, kOverflow,
+                           CandidateOrigin::kCanary, 999));
+}
+
+}  // namespace
+}  // namespace ht::patch

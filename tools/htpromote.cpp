@@ -1,0 +1,445 @@
+// htpromote — the validation-and-promotion stage of the self-healing loop
+// (docs/SELF_HEALING.md).
+//
+// Protected processes synthesize candidate patches from the detections they
+// survive and append them to a quarantine journal (docs/FORMATS.md §7).
+// Candidates are ADVISORY until this tool replays them: a candidate whose
+// attribution came from a smashed canary trailer may point at a perfectly
+// innocent allocation site. htpromote is the soundness gate between "a
+// process saw something" and "the whole fleet changes behavior".
+//
+//   htpromote run   --candidates journal.txt --served served.cfg
+//                   --program prog.htp --attack-input a,b,...
+//                   [--benign-input a,b,...] [--min-hits N] [--strategy S]
+//                   [--notify-pid PID] [--fleet dump.txt]
+//       one promotion round: for every journal candidate above the hit
+//       threshold that has no verdict yet, replay-validate it in process
+//       (baseline run must reproduce the attack effect; the candidate
+//       patch alone must neutralize it; the benign input must still
+//       complete), then union the survivors into the served patch file
+//       (atomic write-then-rename) and record a verdict line either way.
+//       --notify-pid sends the process SIGHUP afterwards so its
+//       HEAPTHERAPY_RELOAD maintenance thread swaps the new table in.
+//       --fleet additionally reads a fleet telemetry dump and DEMOTES
+//       previously promoted OVERFLOW patches when the fleet shows
+//       false-positive pressure (degraded health + guard-budget denials).
+//   htpromote watch ... [--interval-ms N] [--max-rounds N]
+//       run rounds forever (or --max-rounds times), sleeping
+//       --interval-ms between rounds — the daemon form of `run`.
+//
+// Exit codes: 0 ok (including "nothing to promote"), 1 usage,
+// 3 I/O or parse failure.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+
+#include "cce/encoders.hpp"
+#include "patch/candidate.hpp"
+#include "patch/config_file.hpp"
+#include "patch/patch_table.hpp"
+#include "progmodel/interpreter.hpp"
+#include "progmodel/program_io.hpp"
+#include "runtime/guarded_allocator.hpp"
+#include "runtime/guarded_backend.hpp"
+#include "runtime/telemetry_agg.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using namespace ht;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: htpromote run   --candidates journal --served cfg"
+               " --program prog.htp\n"
+               "                       --attack-input a,b,.."
+               " [--benign-input a,b,..] [--min-hits N]\n"
+               "                       [--strategy S] [--notify-pid PID]"
+               " [--fleet dump.txt]\n"
+               "       htpromote watch <same flags> [--interval-ms N]"
+               " [--max-rounds N]\n");
+  return 1;
+}
+
+struct Args {
+  std::string command;
+  std::string candidates_path, served_path, program_path, fleet_path;
+  std::string attack_text, benign_text;
+  std::uint64_t min_hits = 1;
+  std::uint64_t notify_pid = 0;
+  std::uint64_t interval_ms = 1000;
+  std::uint64_t max_rounds = 0;  ///< 0 = run until killed (watch only)
+  cce::Strategy strategy = cce::Strategy::kIncremental;
+  bool ok = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--candidates") {
+      args.candidates_path = value;
+    } else if (flag == "--served") {
+      args.served_path = value;
+    } else if (flag == "--program") {
+      args.program_path = value;
+    } else if (flag == "--attack-input") {
+      args.attack_text = value;
+    } else if (flag == "--benign-input") {
+      args.benign_text = value;
+    } else if (flag == "--fleet") {
+      args.fleet_path = value;
+    } else if (flag == "--min-hits") {
+      args.min_hits = support::parse_u64(value).value_or(1);
+    } else if (flag == "--notify-pid") {
+      args.notify_pid = support::parse_u64(value).value_or(0);
+    } else if (flag == "--interval-ms") {
+      args.interval_ms = support::parse_u64(value).value_or(1000);
+    } else if (flag == "--max-rounds") {
+      args.max_rounds = support::parse_u64(value).value_or(0);
+    } else if (flag == "--strategy") {
+      bool found = false;
+      for (cce::Strategy s : cce::kAllStrategies) {
+        if (value == cce::strategy_name(s)) {
+          args.strategy = s;
+          found = true;
+        }
+      }
+      if (!found) return args;
+    } else {
+      return args;
+    }
+  }
+  // run/watch need the journal, the served file, and a replay harness.
+  if (args.candidates_path.empty() || args.served_path.empty() ||
+      args.program_path.empty() || args.attack_text.empty()) {
+    return args;
+  }
+  args.ok = true;
+  return args;
+}
+
+std::uint64_t realtime_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::optional<progmodel::Program> load_program(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "htpromote: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = progmodel::parse_program(buffer.str());
+  if (!parsed.program) {
+    std::fprintf(stderr, "htpromote: %s: %s\n", path.c_str(),
+                 parsed.error.c_str());
+    return std::nullopt;
+  }
+  return std::move(parsed.program);
+}
+
+std::optional<progmodel::Input> parse_input(const std::string& text) {
+  progmodel::Input input;
+  if (support::trim(text).empty()) return input;
+  for (std::string_view field : support::split(text, ',')) {
+    const auto v = support::parse_u64(field);
+    if (!v) return std::nullopt;
+    input.params.push_back(*v);
+  }
+  return input;
+}
+
+/// One replay of `input` under exactly `patches`; returns whether an attack
+/// effect was observed (landed OOB or reuse of a dangling pointer — the
+/// same predicate as htrun replay's exit code 2) and whether the run
+/// completed.
+struct ReplayOutcome {
+  bool completed = false;
+  bool attack_effect = false;
+};
+
+ReplayOutcome replay(const progmodel::Program& program,
+                     const cce::PccEncoder& encoder,
+                     const std::vector<patch::Patch>& patches,
+                     const progmodel::Input& input) {
+  const patch::PatchTable table(patches, /*freeze=*/true);
+  runtime::GuardedAllocator allocator(&table, {});
+  runtime::GuardedBackend backend(allocator);
+  progmodel::Interpreter interp(program, &encoder, backend);
+  const auto run = interp.run(input);
+  const auto& obs = backend.observations();
+  ReplayOutcome out;
+  out.completed = run.completed;
+  out.attack_effect = obs.oob_writes_landed > 0 || obs.oob_reads_landed > 0 ||
+                      obs.stale_hits_reused > 0;
+  return out;
+}
+
+/// Rewrites the served patch file atomically: a reloading process (SIGHUP)
+/// must only ever see a complete config, exactly like the telemetry dump's
+/// write-then-rename discipline.
+bool save_served(const std::string& path,
+                 const std::vector<patch::Patch>& patches) {
+  const std::string tmp = path + ".tmp";
+  if (!patch::save_config_file(tmp, patches)) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool record_verdict(const std::string& journal_path, const patch::Patch& p,
+                    patch::CandidateVerdict verdict, const char* reason) {
+  patch::VerdictRecord record;
+  record.fn = p.fn;
+  record.ccid = p.ccid;
+  record.vuln_mask = p.vuln_mask;
+  record.verdict = verdict;
+  record.reason = reason;
+  record.time_ns = realtime_ns();
+  if (!patch::append_candidate_verdict(journal_path, record)) {
+    std::fprintf(stderr, "htpromote: cannot append verdict to %s\n",
+                 journal_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void notify(std::uint64_t pid) {
+  if (pid == 0) return;
+  if (::kill(static_cast<pid_t>(pid), SIGHUP) != 0) {
+    std::fprintf(stderr, "htpromote: cannot signal pid %llu: %s\n",
+                 static_cast<unsigned long long>(pid), std::strerror(errno));
+  } else {
+    std::printf("sent SIGHUP to pid %llu\n",
+                static_cast<unsigned long long>(pid));
+  }
+}
+
+/// Merges `add` into the served set: same {fn, ccid} unions the mask, new
+/// pairs append (stable order, so diffs of the served file stay readable).
+void union_into(std::vector<patch::Patch>& served, const patch::Patch& add) {
+  for (patch::Patch& p : served) {
+    if (p.fn == add.fn && p.ccid == add.ccid) {
+      p.vuln_mask |= add.vuln_mask;
+      return;
+    }
+  }
+  served.push_back(add);
+}
+
+/// Fleet false-positive rollback: when the fleet dump shows degraded health
+/// AND guard-budget denials, the promoted OVERFLOW patches are costing more
+/// guard pages than the budget allows — demote them (docs/SELF_HEALING.md,
+/// "Rolling back a false positive"). Returns the number demoted.
+int demote_from_fleet(const Args& args, std::vector<patch::Patch>& served,
+                      const patch::CandidateParseResult& journal,
+                      bool& served_dirty) {
+  std::ifstream in(args.fleet_path);
+  if (!in) {
+    std::fprintf(stderr, "htpromote: cannot read fleet dump %s\n",
+                 args.fleet_path.c_str());
+    return -1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const runtime::LoadedTelemetry loaded =
+      runtime::load_telemetry_content(buffer.str());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "htpromote: fleet dump %s rejected: %s\n",
+                 args.fleet_path.c_str(), loaded.errors.front().c_str());
+    return -1;
+  }
+  const runtime::TelemetrySnapshot& snap = loaded.snapshot;
+  const bool pressure = snap.health != runtime::HealthState::kHealthy &&
+                        snap.totals.guard_budget_denied > 0;
+  if (!pressure) return 0;
+
+  int demoted = 0;
+  for (std::size_t i = 0; i < served.size();) {
+    patch::Patch& p = served[i];
+    const auto verdict = patch::latest_verdict(journal.verdicts, p.fn, p.ccid);
+    // Only roll back patches THIS loop promoted: operator-authored patches
+    // in the served file have no journal verdict and are never touched.
+    if ((p.vuln_mask & patch::kOverflow) == 0 || !verdict ||
+        *verdict != patch::CandidateVerdict::kPromoted) {
+      ++i;
+      continue;
+    }
+    patch::Patch rolled = p;
+    rolled.vuln_mask = patch::kOverflow;  // the bit being rolled back
+    p.vuln_mask &= static_cast<std::uint8_t>(~patch::kOverflow);
+    std::printf("demoted %s 0x%016llx OVERFLOW (fleet guard-budget pressure)\n",
+                std::string(progmodel::alloc_fn_name(p.fn)).c_str(),
+                static_cast<unsigned long long>(p.ccid));
+    if (!record_verdict(args.candidates_path, rolled,
+                        patch::CandidateVerdict::kDemoted,
+                        "guard_budget_pressure")) {
+      return -1;
+    }
+    served_dirty = true;
+    ++demoted;
+    if (p.vuln_mask == 0) {
+      served.erase(served.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return demoted;
+}
+
+int run_round(const Args& args, const progmodel::Program& program,
+              const cce::PccEncoder& encoder, const progmodel::Input& attack,
+              const progmodel::Input& benign, bool run_benign) {
+  const auto journal_opt = patch::load_candidate_journal(args.candidates_path);
+  // A missing journal is normal before the first trap: nothing to do yet.
+  patch::CandidateParseResult journal;
+  if (journal_opt) {
+    journal = *journal_opt;
+    if (journal.rejected) {
+      std::fprintf(stderr, "htpromote: journal %s rejected: %s\n",
+                   args.candidates_path.c_str(), journal.reject_reason.c_str());
+      return 3;
+    }
+    for (const std::string& note : journal.notes) {
+      std::fprintf(stderr, "htpromote: %s: %s\n", args.candidates_path.c_str(),
+                   note.c_str());
+    }
+  }
+
+  std::vector<patch::Patch> served;
+  if (const auto loaded = patch::load_config_file(args.served_path)) {
+    served = loaded->patches;
+    for (const std::string& err : loaded->errors) {
+      std::fprintf(stderr, "htpromote: %s: %s\n", args.served_path.c_str(),
+                   err.c_str());
+    }
+  }
+
+  patch::PromotionPolicy policy;
+  policy.min_hits = args.min_hits;
+  const std::vector<patch::Patch> promotable =
+      patch::select_promotable(journal, policy);
+
+  bool served_dirty = false;
+  int promoted = 0;
+  for (const patch::Patch& candidate : promotable) {
+    // Baseline: the attack input must actually misbehave with no patch —
+    // otherwise "the candidate neutralized it" proves nothing and a garbage
+    // candidate (e.g. attribution read from a smashed canary trailer) would
+    // sail through.
+    const ReplayOutcome baseline = replay(program, encoder, {}, attack);
+    const char* reason = nullptr;
+    if (!baseline.attack_effect) {
+      reason = "attack_not_reproduced";
+    } else {
+      const ReplayOutcome patched =
+          replay(program, encoder, {candidate}, attack);
+      if (patched.attack_effect) {
+        reason = "attack_still_lands";
+      } else if (run_benign) {
+        const ReplayOutcome ok = replay(program, encoder, {candidate}, benign);
+        if (!ok.completed) reason = "benign_run_broken";
+      }
+    }
+    if (reason != nullptr) {
+      std::printf("rejected %s 0x%016llx %s (%s)\n",
+                  std::string(progmodel::alloc_fn_name(candidate.fn)).c_str(),
+                  static_cast<unsigned long long>(candidate.ccid),
+                  patch::vuln_mask_to_string(candidate.vuln_mask).c_str(),
+                  reason);
+      if (!record_verdict(args.candidates_path, candidate,
+                          patch::CandidateVerdict::kRejected, reason)) {
+        return 3;
+      }
+      continue;
+    }
+    std::printf("promoted %s 0x%016llx %s\n",
+                std::string(progmodel::alloc_fn_name(candidate.fn)).c_str(),
+                static_cast<unsigned long long>(candidate.ccid),
+                patch::vuln_mask_to_string(candidate.vuln_mask).c_str());
+    union_into(served, candidate);
+    if (!record_verdict(args.candidates_path, candidate,
+                        patch::CandidateVerdict::kPromoted, "replay_validated")) {
+      return 3;
+    }
+    served_dirty = true;
+    ++promoted;
+  }
+
+  int demoted = 0;
+  if (!args.fleet_path.empty()) {
+    demoted = demote_from_fleet(args, served, journal, served_dirty);
+    if (demoted < 0) return 3;
+  }
+
+  if (served_dirty) {
+    if (!save_served(args.served_path, served)) {
+      std::fprintf(stderr, "htpromote: cannot write %s\n",
+                   args.served_path.c_str());
+      return 3;
+    }
+    std::printf("served file %s now carries %zu patch(es)\n",
+                args.served_path.c_str(), served.size());
+    notify(args.notify_pid);
+  } else {
+    std::printf("nothing to promote (%zu candidate(s) above threshold)\n",
+                promotable.size());
+  }
+  (void)promoted;
+  (void)demoted;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) return usage();
+  const auto program = load_program(args.program_path);
+  if (!program) return 3;
+  const auto attack = parse_input(args.attack_text);
+  if (!attack) return usage();
+  const auto benign = parse_input(args.benign_text);
+  if (!benign) return usage();
+  const bool run_benign = !args.benign_text.empty();
+  const auto plan = cce::compute_plan(program->graph(),
+                                      program->alloc_targets(), args.strategy);
+  const cce::PccEncoder encoder(plan);
+
+  if (args.command == "run") {
+    return run_round(args, *program, encoder, *attack, *benign, run_benign);
+  }
+  if (args.command == "watch") {
+    std::uint64_t round = 0;
+    while (args.max_rounds == 0 || round < args.max_rounds) {
+      ++round;
+      const int rc =
+          run_round(args, *program, encoder, *attack, *benign, run_benign);
+      if (rc != 0) return rc;
+      if (args.max_rounds != 0 && round == args.max_rounds) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+    }
+    return 0;
+  }
+  return usage();
+}

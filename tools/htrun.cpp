@@ -18,13 +18,17 @@
 //                           [--strategy S] [--defense guard|canary]
 //                           [--poison 1] [--telemetry dump.txt]
 //                           [--reload-patches patches2.cfg]
+//                           [--candidates journal.txt]
 //       online replay under the hardened allocator; prints what the
 //       defenses did; --telemetry enables the event ring and writes the
 //       telemetry text dump (docs/FORMATS.md §4) after the run;
 //       --reload-patches runs the input, hot-reloads the second config
 //       through the validated swap path (docs/RESILIENCE.md) — a malformed
 //       file is rejected and the original table keeps serving — then runs
-//       the input again under whatever table survived
+//       the input again under whatever table survived; --candidates turns
+//       on candidate-patch synthesis (docs/SELF_HEALING.md) and appends
+//       the run's synthesized candidates to the quarantine journal
+//       (docs/FORMATS.md §7) — the feeder for `htpromote`
 //
 // Strategies: FCS, TCS, Slim, Incremental (default).
 // HEAPTHERAPY_FAULTS arms the deterministic fault-injection points for
@@ -42,6 +46,7 @@
 #include "analysis/input_search.hpp"
 #include "cce/plan_io.hpp"
 #include "analysis/report.hpp"
+#include "patch/candidate.hpp"
 #include "patch/config_file.hpp"
 #include "patch/hot_swap.hpp"
 #include "support/faultpoint.hpp"
@@ -70,7 +75,7 @@ int usage() {
 
 struct Args {
   std::string command, program_path, input_text, space_text, config_path, out_path;
-  std::string telemetry_path, reload_config_path;
+  std::string telemetry_path, reload_config_path, candidates_path;
   bool dot = false;
   cce::Strategy strategy = cce::Strategy::kIncremental;
   std::uint64_t runs = 512;
@@ -116,6 +121,9 @@ Args parse_args(int argc, char** argv) {
       args.defenses.telemetry.events = true;
     } else if (flag == "--reload-patches") {
       args.reload_config_path = value;
+    } else if (flag == "--candidates") {
+      args.candidates_path = value;
+      args.defenses.synthesize_candidates = true;
     } else if (flag == "--dot") {
       args.dot = support::parse_u64(value).value_or(0) != 0;
     } else if (flag == "--strategy") {
@@ -323,6 +331,17 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
                 rerun.completed ? "completed" : "aborted",
                 static_cast<unsigned long long>(rerun.total_allocs()),
                 static_cast<unsigned long long>(allocator->stats().enhanced));
+  }
+  if (!args.candidates_path.empty()) {
+    const std::vector<patch::PatchCandidate> deltas =
+        allocator->engine().drain_candidate_deltas();
+    if (!patch::append_candidate_journal(args.candidates_path, deltas)) {
+      std::fprintf(stderr, "htrun: cannot append candidates to %s\n",
+                   args.candidates_path.c_str());
+      return 3;
+    }
+    std::printf("appended %zu candidate(s) to %s\n", deltas.size(),
+                args.candidates_path.c_str());
   }
   if (!args.telemetry_path.empty()) {
     // Same target grammar as HEAPTHERAPY_TELEMETRY: a file path writes the
