@@ -1,0 +1,51 @@
+// A deliberately LEAKY victim binary with NO HeapTherapy+ linkage, used to
+// demonstrate the sampled heap profiler over the LD_PRELOAD path
+// (docs/OBSERVABILITY.md §9):
+//
+//   env HEAPTHERAPY_HEAPPROF=1
+//       HEAPTHERAPY_TELEMETRY=/tmp/leak.dump
+//       LD_PRELOAD=$PWD/build/src/runtime/libheaptherapy_preload.so
+//       ./build/examples/leaky_victim          (one command line)
+//   htctl heap /tmp/leak.dump
+//
+// The victim "forgets" one 64 KiB session buffer and then churns thousands
+// of short-lived request buffers. The exit-time telemetry flush's §8
+// section shows the 64 KiB still live — attributed to CCID 0, since the
+// binary is uninstrumented — with a nonzero leak-suspect count: the buffer
+// outlived the churn's lifetime percentile by orders of magnitude.
+//
+// The leak is the point of the exercise, so it is never freed (sanitizer
+// runs must disable leak detection for this binary).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+int main() {
+  constexpr std::size_t kLeakBytes = 64 * 1024;
+  constexpr int kRequests = 5000;
+
+  // The "session cache" nothing ever tears down. The volatile write keeps
+  // the allocation observable.
+  char* leak = static_cast<char*>(std::malloc(kLeakBytes));
+  if (leak == nullptr) return 1;
+  volatile char* vleak = leak;
+  vleak[0] = 'L';
+
+  // Request churn: short-lived buffers allocated and freed briskly. Their
+  // frees populate the lifetime histogram the leak threshold derives from.
+  for (int i = 0; i < kRequests; ++i) {
+    char* req = static_cast<char*>(std::malloc(256));
+    if (req == nullptr) return 1;
+    volatile char* vreq = req;
+    vreq[0] = 'r';
+    std::free(req);
+  }
+
+  // Let the leak age well past the churn's lifetime percentile before the
+  // exit-time telemetry flush takes its snapshot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::printf("leaked %zu bytes, churned %d request buffers\n", kLeakBytes,
+              kRequests);
+  return 0;
+}

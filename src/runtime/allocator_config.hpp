@@ -26,6 +26,14 @@ struct TelemetryConfig {
   /// Per-context (per-shard) ring capacity in events; rounded up to a
   /// power of two. Ignored unless `events` is set.
   std::uint32_t ring_capacity = 256;
+  /// Heap-profiling sampling rate: ~1 in N allocations is sampled into the
+  /// live census + age histogram (docs/OBSERVABILITY.md §9). 0 disables
+  /// the profiler behind a single branch on the allocation path.
+  /// HEAPTHERAPY_HEAPPROF sets this under the preload shim.
+  std::uint32_t heap_profile_rate = 0;
+  /// Percentile of the observed object-lifetime distribution used as the
+  /// leak-suspect age threshold (1..100; HEAPTHERAPY_HEAPPROF_PCTL).
+  std::uint8_t heap_age_percentile = 99;
 };
 
 struct GuardedAllocatorConfig {

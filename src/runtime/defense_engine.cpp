@@ -40,12 +40,16 @@ std::uint64_t realtime_ns() noexcept {
 DefenseEngine::DefenseEngine(const patch::PatchTable* patches,
                              GuardedAllocatorConfig config,
                              UnderlyingAllocator underlying)
-    : patches_(patches), config_(config), underlying_(underlying) {}
+    : patches_(patches), config_(config), underlying_(underlying) {
+  if (config_.telemetry.heap_profile_rate != 0) heap_registry_.configure();
+}
 
 DefenseEngine::DefenseEngine(const patch::PatchTableSwap& swap,
                              GuardedAllocatorConfig config,
                              UnderlyingAllocator underlying)
-    : patches_(nullptr), swap_(&swap), config_(config), underlying_(underlying) {}
+    : patches_(nullptr), swap_(&swap), config_(config), underlying_(underlying) {
+  if (config_.telemetry.heap_profile_rate != 0) heap_registry_.configure();
+}
 
 std::uint64_t DefenseEngine::read_word(const void* user) noexcept {
   std::uint64_t word;
@@ -247,6 +251,19 @@ void* DefenseEngine::allocate(AllocFn fn, std::uint64_t size,
       std::memcpy(user + size + sizeof(value), &ccid, sizeof(ccid));
       ++stats.canaries_planted;
     }
+    // Heap profiler (docs/OBSERVABILITY.md §9): one branch when disabled.
+    // Only plain-layout buffers are profiled (the metadata word's spare
+    // bit 62 exists only there); the sampled allocation enters the live
+    // registry and the sink's census, and the PROFILED bit tells the free
+    // path to take it back out. Registry overflow leaves the bit clear —
+    // the allocation simply goes unprofiled.
+    if (config_.telemetry.heap_profile_rate != 0 && telemetry != nullptr &&
+        telemetry->heap_sample() &&
+        heap_registry_.insert(user, static_cast<std::uint8_t>(fn), ccid, size,
+                              heap_profile_clock_ns())) {
+      meta.profiled = true;
+      telemetry->record_heap_alloc(static_cast<std::uint8_t>(fn), ccid, size);
+    }
   }
 
   if ((mask & patch::kUninitRead) != 0 && size > 0) {
@@ -305,6 +322,15 @@ void DefenseEngine::free(void* p, Quarantine& quarantine,
   }
   MetadataWord meta = decode_metadata(read_word(p));
   std::uint64_t size = meta.user_size;
+  if (meta.profiled) {
+    // The registry entry is removed even when no sink is attached (slots
+    // must never leak); the census/age record needs the sink.
+    HeapLiveEntry entry;
+    if (heap_registry_.remove(p, entry) && telemetry != nullptr) {
+      telemetry->record_heap_free(entry.fn, entry.ccid, entry.size,
+                                  heap_profile_clock_ns() - entry.alloc_ns);
+    }
+  }
   if (meta.canary) {
     std::uint64_t found;
     std::memcpy(&found, static_cast<char*>(p) + size, sizeof(found));
@@ -373,6 +399,31 @@ void DefenseEngine::synthesize_candidate(AllocFn fn, std::uint64_t ccid,
         static_cast<std::uint32_t>(
             (static_cast<std::uint32_t>(origin) << 8) | mask),
         static_cast<std::uint8_t>(fn));
+  }
+}
+
+void DefenseEngine::collect_heap_suspects(TelemetrySnapshot& snap) const {
+  snap.heap_registry_overflow = heap_registry_.overflow();
+  if (!heap_registry_.enabled()) return;
+  const std::uint64_t threshold = snap.heap_age.percentile_limit_ns(
+      config_.telemetry.heap_age_percentile);
+  snap.heap_threshold_ns = threshold;
+  if (threshold == 0) return;  // no lifetime distribution observed yet
+  std::vector<HeapLiveEntry> live(HeapProfileRegistry::kSlots);
+  const std::uint32_t n = heap_registry_.snapshot_live(
+      live.data(), static_cast<std::uint32_t>(live.size()));
+  const std::uint64_t now = heap_profile_clock_ns();
+  const std::uint32_t rate = config_.telemetry.heap_profile_rate;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (now - live[i].alloc_ns <= threshold) continue;
+    // Appended as a suspects-only row; finalize_snapshot's {fn, ccid} fold
+    // merges it into the context's census row (or keeps it standalone when
+    // the census overflowed that context — the attribution still shows).
+    HeapCensusRow row;
+    row.fn = live[i].fn;
+    row.ccid = live[i].ccid;
+    row.suspects = rate;
+    snap.heap_census.push_back(row);
   }
 }
 

@@ -25,6 +25,12 @@
 //      is one candidate, not N — so the table is engine-wide; and it is
 //      touched only on *detection* (guard trap, canary corruption, stale
 //      reuse), never on a healthy allocation or free.
+//   3. the heap-profiler live registry (docs/OBSERVABILITY.md §9) is an
+//      engine-wide lock-free pointer table. It must be engine-wide because
+//      frees route by pointer hash — the shard that frees a sampled object
+//      is rarely the shard that allocated it. It is touched only on the
+//      SAMPLED path (~1 in HEAPTHERAPY_HEAPPROF allocations and their
+//      frees); rate 0 leaves it unallocated and the paths one branch long.
 //
 // Defense semantics (unchanged from the paper):
 //   - no patch match    -> plain buffer with self-maintained metadata
@@ -45,6 +51,7 @@
 #include "patch/patch_table.hpp"
 #include "progmodel/values.hpp"
 #include "runtime/allocator_config.hpp"
+#include "runtime/heap_profile.hpp"
 #include "runtime/metadata.hpp"
 #include "runtime/quarantine.hpp"
 #include "runtime/telemetry.hpp"
@@ -155,6 +162,20 @@ class DefenseEngine {
     return candidates_.drain_deltas();
   }
 
+  /// The engine-wide heap-profiler registry (class comment, exception 3).
+  [[nodiscard]] const HeapProfileRegistry& heap_registry() const noexcept {
+    return heap_registry_;
+  }
+  /// Snapshot-time leak aging (docs/OBSERVABILITY.md §9): derives the age
+  /// threshold from `snap`'s already-merged age histogram (the configured
+  /// percentile of observed lifetimes), scans the live registry for
+  /// sampled objects older than it, and folds them into `snap`'s census
+  /// as `suspects` rows (scaled by the sampling rate). Also publishes the
+  /// registry overflow counter and the threshold. Call after the last
+  /// merge_sink_into_snapshot, before finalize_snapshot. Allocates — must
+  /// run outside any shard lock.
+  void collect_heap_suspects(TelemetrySnapshot& snap) const;
+
  private:
   /// {FUN, CCID} -> mask, through the thread-local memo cache when enabled.
   [[nodiscard]] std::uint8_t lookup_mask(progmodel::AllocFn fn,
@@ -179,6 +200,9 @@ class DefenseEngine {
   /// See the class comment, exception 2: the candidate accumulator.
   /// Touched only on detection.
   mutable patch::CandidateTable candidates_;
+  /// See the class comment, exception 3: the heap-profiler live registry.
+  /// Touched only on the sampled path; unallocated when the rate is 0.
+  mutable HeapProfileRegistry heap_registry_;
 };
 
 }  // namespace ht::runtime

@@ -95,6 +95,7 @@ TelemetrySnapshot GuardedAllocator::telemetry_snapshot() const {
                            quarantine_.pressure_events());
   snap.candidates = engine_.candidates().snapshot();
   snap.candidate_overflow = engine_.candidates().overflow();
+  engine_.collect_heap_suspects(snap);
   finalize_snapshot(snap);
   return snap;
 }

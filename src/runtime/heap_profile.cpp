@@ -1,0 +1,142 @@
+#include "runtime/heap_profile.hpp"
+
+#include <chrono>
+
+#include "support/hash.hpp"
+
+namespace ht::runtime {
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SIZEOF_INT128__)
+#define HT_HEAP_PROFILE_TSC 1
+/// ns-per-TSC-tick in 32.32 fixed point; 0 until calibrated (or forever,
+/// when the TSC is unusable — heap_profile_clock_ns then falls back).
+std::atomic<std::uint64_t> g_tsc_mult{0};
+#endif
+
+}  // namespace
+
+void heap_profile_clock_init() noexcept {
+#ifdef HT_HEAP_PROFILE_TSC
+  if (g_tsc_mult.load(std::memory_order_relaxed) != 0) return;
+  // Measure the tick rate against the steady clock over ~200us: the
+  // steady clock's ~30ns read granularity puts the rate error well under
+  // 0.1%, far inside what log2 age buckets can resolve.
+  const std::uint64_t t0 = __builtin_ia32_rdtsc();
+  const std::uint64_t n0 = steady_ns();
+  std::uint64_t n1;
+  do {
+    n1 = steady_ns();
+  } while (n1 - n0 < 200000);
+  const std::uint64_t t1 = __builtin_ia32_rdtsc();
+  if (t1 <= t0) return;  // TSC not monotonic here; keep the fallback
+  const double ns_per_tick =
+      static_cast<double>(n1 - n0) / static_cast<double>(t1 - t0);
+  const auto mult = static_cast<std::uint64_t>(ns_per_tick * 4294967296.0);
+  if (mult == 0) return;
+  g_tsc_mult.store(mult, std::memory_order_relaxed);
+#endif
+}
+
+std::uint64_t heap_profile_clock_ns() noexcept {
+#ifdef HT_HEAP_PROFILE_TSC
+  const std::uint64_t mult = g_tsc_mult.load(std::memory_order_relaxed);
+  if (mult != 0) {
+    const unsigned __int128 ns =
+        static_cast<unsigned __int128>(__builtin_ia32_rdtsc()) * mult;
+    return static_cast<std::uint64_t>(ns >> 32);
+  }
+#endif
+  return steady_ns();
+}
+
+void HeapProfileRegistry::configure() {
+  heap_profile_clock_init();
+  if (slots_ == nullptr) slots_ = std::make_unique<Slot[]>(kSlots);
+}
+
+bool HeapProfileRegistry::insert(const void* user, std::uint8_t fn,
+                                 std::uint64_t ccid, std::uint64_t size,
+                                 std::uint64_t alloc_ns) noexcept {
+  if (slots_ == nullptr) return false;
+  const std::uintptr_t p = reinterpret_cast<std::uintptr_t>(user);
+  const std::uint64_t h = support::mix64(static_cast<std::uint64_t>(p));
+  for (std::uint32_t i = 0; i < kProbeCap; ++i) {
+    Slot& s = slots_[(h + i) % kSlots];
+    std::uintptr_t expected = 0;
+    // Claim: CAS the pointer word from empty to busy, fill the payload,
+    // then publish with a release store of the real pointer. A concurrent
+    // snapshot_live acquire-loads the pointer and therefore sees the
+    // payload stores.
+    if (s.ptr.compare_exchange_strong(expected, kBusy,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      s.ccid.store(ccid, std::memory_order_relaxed);
+      s.size_fn.store((size << 8) | fn, std::memory_order_relaxed);
+      s.alloc_ns.store(alloc_ns, std::memory_order_relaxed);
+      s.ptr.store(p, std::memory_order_release);
+      return true;
+    }
+  }
+  overflow_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool HeapProfileRegistry::remove(const void* user, HeapLiveEntry& out) noexcept {
+  if (slots_ == nullptr) return false;
+  const std::uintptr_t p = reinterpret_cast<std::uintptr_t>(user);
+  const std::uint64_t h = support::mix64(static_cast<std::uint64_t>(p));
+  // Removals leave holes, so a probe cannot stop at the first empty slot:
+  // the insert that placed `p` may have probed past entries freed since.
+  for (std::uint32_t i = 0; i < kProbeCap; ++i) {
+    Slot& s = slots_[(h + i) % kSlots];
+    if (s.ptr.load(std::memory_order_acquire) != p) continue;
+    // No claim needed: the freer of `p` is unique (a second free of the
+    // same pointer is UB upstream of here), and inserts only ever claim
+    // EMPTY slots, so after the acquire load this slot is ours to read.
+    // The release store of 0 orders the payload reads before the slot
+    // becomes claimable — this runs on the sampled free path, where the
+    // lock-prefixed CAS this replaces was a measurable share of the ≤2%
+    // budget (bench/ht_heapprof_overhead).
+    out.ccid = s.ccid.load(std::memory_order_relaxed);
+    const std::uint64_t size_fn = s.size_fn.load(std::memory_order_relaxed);
+    out.size = size_fn >> 8;
+    out.fn = static_cast<std::uint8_t>(size_fn & 0xFF);
+    out.alloc_ns = s.alloc_ns.load(std::memory_order_relaxed);
+    s.ptr.store(0, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t HeapProfileRegistry::snapshot_live(HeapLiveEntry* out,
+                                                 std::uint32_t max) const noexcept {
+  if (slots_ == nullptr) return 0;
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < kSlots && n < max; ++i) {
+    const Slot& s = slots_[i];
+    const std::uintptr_t p = s.ptr.load(std::memory_order_acquire);
+    if (p == 0 || p == kBusy) continue;
+    // The acquire load orders the payload reads after publication. A slot
+    // recycled between the pointer load and the field loads yields a
+    // mixed-generation entry — one plausible live object, never torn
+    // values — which a sampled estimate tolerates.
+    out[n].ccid = s.ccid.load(std::memory_order_relaxed);
+    const std::uint64_t size_fn = s.size_fn.load(std::memory_order_relaxed);
+    out[n].size = size_fn >> 8;
+    out[n].fn = static_cast<std::uint8_t>(size_fn & 0xFF);
+    out[n].alloc_ns = s.alloc_ns.load(std::memory_order_relaxed);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ht::runtime

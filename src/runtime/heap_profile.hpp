@@ -1,0 +1,281 @@
+// Continuous CCID-attributed heap profiling (docs/OBSERVABILITY.md §9).
+//
+// The paper's premise is that the allocation-time calling context
+// {FUN, CCID} is cheap enough to compute on EVERY allocation — so once it
+// is paid for, the same context can attribute the heap itself, not just
+// the defenses. This module turns that into an always-on sampled profiler:
+//
+//  - HeapCensus      per-sink {FUN, CCID} -> live bytes/objects + cumulative
+//                    alloc/free counts. Plain (non-atomic) fields bumped
+//                    under the owning context's serialization, exactly like
+//                    the patch-hit table. Sampled values are scaled by the
+//                    sampling rate so the census is an unbiased estimator
+//                    of the exact census.
+//  - AgeHistogram    log2 object-lifetime histogram, recorded at free time
+//                    for sampled objects. Counts are UNSCALED — a uniform
+//                    1-in-N sample leaves every percentile unchanged, and
+//                    percentiles are all this histogram feeds.
+//  - HeapProfileRegistry
+//                    engine-wide open-addressing pointer -> {fn, ccid,
+//                    size, alloc_ns} table for the sampled live set. All
+//                    fields are atomics (pointer CAS claims a slot, release
+//                    store publishes it) so inserts/removes from any shard
+//                    and concurrent snapshot scans stay data-race-free
+//                    without a lock. Snapshot scans tolerate generation
+//                    mixing: a slot reused mid-scan yields one plausible
+//                    entry, never a torn one.
+//
+// Sampling (HEAPTHERAPY_HEAPPROF=N => profile ~1 in N allocations) keeps
+// the enabled cost inside the ≤2% contract enforced by
+// bench/ht_heapprof_overhead; rate 0 disables the whole path behind a
+// single branch. Only plain-layout allocations are profiled: guarded
+// buffers keep their size in the guard page and have no spare metadata
+// bit, and they are rare by construction (one per patched overflow site).
+//
+// Leak aging: at snapshot time the engine computes a threshold from the
+// merged age histogram (the configured percentile of observed lifetimes,
+// default p99) and counts live sampled objects older than that threshold
+// as leak suspects, attributed to their {FUN, CCID}. A context whose
+// objects persistently outlive the fleet's p99 lifetime is either a cache
+// or a leak — either way the operator can now see it.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+namespace ht::runtime {
+
+/// Calibrates the profiler timestamp clock (idempotent; the first call
+/// spins ~200us against the steady clock to measure the TSC rate). Called
+/// from HeapProfileRegistry::configure(), i.e. before any sample can be
+/// taken, so every timestamp a process records shares one epoch.
+void heap_profile_clock_init() noexcept;
+
+/// Monotonic nanoseconds since an arbitrary per-process epoch, for
+/// profiler timestamps (allocation stamps, ages at free, suspect scans).
+/// On x86 this is one RDTSC plus a fixed-point multiply (~7ns) instead of
+/// a ~30ns clock_gettime — the profiler reads a clock twice per sampled
+/// object, and those two calls would otherwise dominate the sampled-path
+/// budget (bench/ht_heapprof_overhead). Falls back to the steady clock on
+/// other architectures or when calibration failed. Log2 age buckets
+/// tolerate the calibration error (well under 0.1%).
+std::uint64_t heap_profile_clock_ns() noexcept;
+
+/// Log2 histogram of sampled object lifetimes (free_ns - alloc_ns).
+/// Bucket i counts frees whose age was < 2^(i + kAgeShift) ns; the last
+/// bucket is unbounded. Mirrors LatencyHistogram, but with more buckets
+/// and a higher base: object lifetimes span microseconds to minutes.
+struct AgeHistogram {
+  static constexpr std::uint32_t kBuckets = 32;
+  static constexpr std::uint32_t kAgeShift = 10;  ///< bucket 0: < 1024 ns
+
+  std::uint64_t buckets[kBuckets] = {};
+
+  void record(std::uint64_t ns) noexcept {
+    // Bit-scan instead of a limit-by-limit walk: this runs on the sampled
+    // free path, and a minutes-old object would walk ~30 limits.
+    const std::uint32_t b = static_cast<std::uint32_t>(
+        std::bit_width(ns >> kAgeShift));
+    ++buckets[b < kBuckets ? b : kBuckets - 1];
+  }
+  /// Upper bound (exclusive) of bucket `i` in ns; 0 for the unbounded last.
+  [[nodiscard]] static std::uint64_t bucket_limit_ns(std::uint32_t i) noexcept {
+    return i + 1 < kBuckets ? (1ULL << (i + kAgeShift)) : 0;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : buckets) sum += c;
+    return sum;
+  }
+  /// Smallest bucket limit whose cumulative count reaches `pct` percent of
+  /// all recorded frees. Returns 0 when the histogram is empty (no
+  /// threshold can be derived yet). A percentile landing in the unbounded
+  /// last bucket yields the largest finite limit.
+  [[nodiscard]] std::uint64_t percentile_limit_ns(std::uint8_t pct) const noexcept {
+    const std::uint64_t sum = total();
+    if (sum == 0) return 0;
+    // ceil(sum * pct / 100) observations must fall at or below the limit.
+    const std::uint64_t need = (sum * pct + 99) / 100;
+    std::uint64_t cum = 0;
+    for (std::uint32_t i = 0; i < kBuckets; ++i) {
+      cum += buckets[i];
+      if (cum >= need) {
+        return i + 1 < kBuckets ? bucket_limit_ns(i)
+                                : bucket_limit_ns(kBuckets - 2);
+      }
+    }
+    return bucket_limit_ns(kBuckets - 2);
+  }
+  AgeHistogram& operator+=(const AgeHistogram& other) noexcept {
+    for (std::uint32_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+    return *this;
+  }
+};
+
+/// One merged census row of a snapshot or aggregate. live_* fields are
+/// SIGNED: with pointer-hash free routing an object sampled on shard A can
+/// be freed on shard B, so a single shard's contribution may be negative;
+/// the totals over all shards are non-negative.
+struct HeapCensusRow {
+  std::uint8_t fn = 0;            ///< progmodel::AllocFn index
+  std::uint64_t ccid = 0;
+  std::int64_t live_bytes = 0;    ///< estimated bytes currently live
+  std::int64_t live_objects = 0;  ///< estimated objects currently live
+  std::uint64_t allocs = 0;       ///< estimated cumulative allocations
+  std::uint64_t frees = 0;        ///< estimated cumulative frees
+  std::uint64_t suspects = 0;     ///< estimated live objects past age threshold
+};
+
+/// Fixed-size open-addressing {FUN, CCID} -> census table, one per
+/// TelemetrySink. Same discipline as the patch-hit table: plain fields,
+/// bumped under the owning context's serialization, allocation-free copy
+/// for snapshot merges. Sampled contributions are pre-scaled by the
+/// sampling rate by the caller. Overflow (more distinct contexts than
+/// kSlots) is counted, never dropped silently.
+class HeapCensus {
+ public:
+  static constexpr std::uint32_t kSlots = 256;
+
+  void record_alloc(std::uint8_t fn, std::uint64_t ccid, std::uint64_t size,
+                    std::uint32_t rate) noexcept {
+    Slot* s = find_or_insert(fn, ccid);
+    if (s == nullptr) {
+      ++overflow_;
+      return;
+    }
+    s->live_bytes += static_cast<std::int64_t>(size * rate);
+    s->live_objects += rate;
+    s->allocs += rate;
+  }
+  void record_free(std::uint8_t fn, std::uint64_t ccid, std::uint64_t size,
+                   std::uint32_t rate) noexcept {
+    Slot* s = find_or_insert(fn, ccid);
+    if (s == nullptr) {
+      ++overflow_;
+      return;
+    }
+    s->live_bytes -= static_cast<std::int64_t>(size * rate);
+    s->live_objects -= rate;
+    s->frees += rate;
+  }
+
+  /// Allocation-free copy of the used slots into the caller's buffer
+  /// (kSlots is always enough); returns the count. Mirrors
+  /// TelemetrySink::copy_patch_hits — snapshot merges run under shard
+  /// locks of an interposed allocator, where allocating can self-deadlock.
+  std::uint32_t copy_rows(HeapCensusRow* out, std::uint32_t max) const noexcept {
+    std::uint32_t n = 0;
+    for (const Slot& s : slots_) {
+      if (!s.used || n >= max) continue;
+      out[n].fn = s.fn;
+      out[n].ccid = s.ccid;
+      out[n].live_bytes = s.live_bytes;
+      out[n].live_objects = s.live_objects;
+      out[n].allocs = s.allocs;
+      out[n].frees = s.frees;
+      out[n].suspects = 0;
+      ++n;
+    }
+    return n;
+  }
+  /// Sampled operations not counted because the fixed table filled up.
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+ private:
+  struct Slot {
+    std::uint64_t ccid = 0;
+    std::int64_t live_bytes = 0;
+    std::int64_t live_objects = 0;
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint8_t fn = 0;
+    bool used = false;
+  };
+
+  Slot* find_or_insert(std::uint8_t fn, std::uint64_t ccid) noexcept {
+    // Same multiplicative hash as the patch-hit table.
+    const std::uint64_t h =
+        (ccid * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(fn);
+    for (std::uint32_t i = 0; i < kSlots; ++i) {
+      Slot& s = slots_[(h + i) % kSlots];
+      if (s.used && s.ccid == ccid && s.fn == fn) return &s;
+      if (!s.used) {
+        s.used = true;
+        s.ccid = ccid;
+        s.fn = fn;
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+
+  Slot slots_[kSlots] = {};
+  std::uint64_t overflow_ = 0;
+};
+
+/// One live sampled allocation, as copied out of the registry.
+struct HeapLiveEntry {
+  std::uint8_t fn = 0;
+  std::uint64_t ccid = 0;
+  std::uint64_t size = 0;
+  std::uint64_t alloc_ns = 0;  ///< steady-clock allocation timestamp
+};
+
+/// Engine-wide pointer -> {fn, ccid, size, alloc_ns} table for the sampled
+/// live set. Lock-free: every field is an atomic, and the pointer word is
+/// the publication flag (0 = empty, kBusy = mid-transition, else the user
+/// pointer, store-released after the payload fields). Inserts and removes
+/// race freely across shards; a full probe window without a free slot
+/// counts as overflow (the allocation simply goes unprofiled — its
+/// metadata bit stays clear, so the free side never looks for it).
+class HeapProfileRegistry {
+ public:
+  static constexpr std::uint32_t kSlots = 4096;  ///< power of two
+  static constexpr std::uint32_t kProbeCap = 64;
+  static constexpr std::uintptr_t kBusy = 1;
+
+  HeapProfileRegistry() = default;
+  HeapProfileRegistry(const HeapProfileRegistry&) = delete;
+  HeapProfileRegistry& operator=(const HeapProfileRegistry&) = delete;
+
+  /// Allocates the slot array (construction time only; ~128 KiB). Leaving
+  /// the registry unconfigured keeps insert/remove as cheap no-ops.
+  void configure();
+  [[nodiscard]] bool enabled() const noexcept { return slots_ != nullptr; }
+
+  /// Claims a slot for `user`. Returns false (and counts overflow) when no
+  /// slot frees up within the probe window — the caller must then NOT mark
+  /// the allocation as profiled.
+  bool insert(const void* user, std::uint8_t fn, std::uint64_t ccid,
+              std::uint64_t size, std::uint64_t alloc_ns) noexcept;
+  /// Removes the entry for `user`, filling `out`. Returns false when the
+  /// pointer is not present (which a correctly maintained metadata bit
+  /// makes impossible — the check is defensive).
+  bool remove(const void* user, HeapLiveEntry& out) noexcept;
+
+  /// Copies up to `max` currently live entries into `out`; returns the
+  /// count. Entries inserted or removed during the scan may or may not
+  /// appear — the scan is a point-in-time estimate, not a barrier.
+  std::uint32_t snapshot_live(HeapLiveEntry* out, std::uint32_t max) const noexcept;
+
+  /// Sampled allocations that found no free slot (went unprofiled).
+  [[nodiscard]] std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uintptr_t> ptr{0};
+    std::atomic<std::uint64_t> ccid{0};
+    /// (size << 8) | fn — packed so the payload stays three words.
+    std::atomic<std::uint64_t> size_fn{0};
+    std::atomic<std::uint64_t> alloc_ns{0};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> overflow_{0};
+};
+
+}  // namespace ht::runtime

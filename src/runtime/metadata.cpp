@@ -17,6 +17,7 @@ constexpr std::uint64_t kAlignMask = 0x3f;
 constexpr std::uint64_t kCanaryBit = 1ULL << 58;
 constexpr unsigned kPlainFnShift = 59;
 constexpr std::uint64_t kFnMask = 0x7;
+constexpr std::uint64_t kProfiledBit = 1ULL << 62;
 }  // namespace
 
 std::uint64_t encode_metadata(const MetadataWord& m) {
@@ -50,6 +51,7 @@ std::uint64_t encode_metadata(const MetadataWord& m) {
     word |= static_cast<std::uint64_t>(m.align_log2) << kPlainAlignShift;
     if (m.canary) word |= kCanaryBit;
     word |= static_cast<std::uint64_t>(m.fn) << kPlainFnShift;
+    if (m.profiled) word |= kProfiledBit;
   }
   return word;
 }
@@ -66,6 +68,7 @@ MetadataWord decode_metadata(std::uint64_t word) noexcept {
     m.align_log2 = static_cast<std::uint8_t>((word >> kPlainAlignShift) & kAlignMask);
     m.canary = (word & kCanaryBit) != 0;
     m.fn = static_cast<std::uint8_t>((word >> kPlainFnShift) & kFnMask);
+    m.profiled = (word & kProfiledBit) != 0;
   }
   return m;
 }

@@ -19,6 +19,10 @@
 //     bits 59..61  allocation function (AllocFn index; extension — lets the
 //                  free-path canary check attribute a corruption to {FUN}
 //                  for candidate-patch synthesis)
+//     bit  62      PROFILED: this allocation was sampled into the heap
+//                  profiler's live registry (extension; the free path uses
+//                  it to know a registry entry must be removed). Guarded
+//                  buffers are never profiled, so the bit exists only here.
 //
 // Buffer layouts:
 //   Structure 1:  [hdr 16B | user]                                (plain)
@@ -56,6 +60,9 @@ struct MetadataWord {
   /// Extension: AllocFn index of the allocating call (plain layouts only;
   /// guarded buffers keep their attribution in the BufferInfo side table).
   std::uint8_t fn = 0;
+  /// Extension: the allocation was sampled into the heap profiler's live
+  /// registry (plain layouts only; docs/OBSERVABILITY.md §9).
+  bool profiled = false;
 
   [[nodiscard]] bool has_guard() const noexcept { return vuln_mask & 1u; }
 };

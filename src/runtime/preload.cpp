@@ -50,6 +50,14 @@
 //    journal (docs/FORMATS.md §7) that `htpromote` validates and promotes
 //    from. %p expands to the pid, but the journal is designed to be
 //    SHARED: appends are line-atomic, so a whole fleet writes one file.
+//  - $HEAPTHERAPY_HEAPPROF=<N> turns on the sampled heap profiler
+//    (docs/OBSERVABILITY.md §9): 1-in-N plain-layout allocations join a
+//    live census keyed {FUN, CCID} — live bytes/objects, cumulative
+//    alloc/free counts, an object-age histogram at free, and an age-based
+//    leak-suspect set, all flushed in the telemetry dump (FORMATS.md §8).
+//    0 (default) keeps the profiler off at one branch per allocation.
+//    $HEAPTHERAPY_HEAPPROF_PCTL=<1..100> sets the age percentile that
+//    defines the leak-suspect threshold (default 99).
 //  - $HEAPTHERAPY_FAULTS arms the deterministic fault-injection points
 //    (docs/RESILIENCE.md) — test/chaos tooling only.
 //  - Numeric env vars are parsed strictly: garbage or overflow falls back
@@ -498,6 +506,24 @@ __attribute__((constructor)) void heaptherapy_init() {
   g_flush_interval_ms = static_cast<unsigned long>(
       env_u64("HEAPTHERAPY_TELEMETRY_INTERVAL", g_flush_interval_ms));
   if (g_flush_interval_ms == 0) g_flush_interval_ms = 1;
+  // Heap profiler (docs/OBSERVABILITY.md §9): sample 1-in-N plain-layout
+  // allocations into the live census. 0 (the default) keeps the profiler
+  // entirely off — one predicted-false branch per allocation.
+  config.telemetry.heap_profile_rate = static_cast<std::uint32_t>(
+      env_u64("HEAPTHERAPY_HEAPPROF", config.telemetry.heap_profile_rate));
+  {
+    const unsigned long long pctl = env_u64(
+        "HEAPTHERAPY_HEAPPROF_PCTL", config.telemetry.heap_age_percentile);
+    if (pctl >= 1 && pctl <= 100) {
+      config.telemetry.heap_age_percentile = static_cast<std::uint8_t>(pctl);
+    } else if (pctl != config.telemetry.heap_age_percentile) {
+      std::fprintf(stderr,
+                   "heaptherapy: HEAPTHERAPY_HEAPPROF_PCTL=%llu is not in "
+                   "1..100; using default %u\n",
+                   pctl,
+                   static_cast<unsigned>(config.telemetry.heap_age_percentile));
+    }
+  }
   {
     const std::lock_guard<std::mutex> lock(init_mutex());
     // Rebuilding over a bootstrapped instance intentionally leaks its (tiny)

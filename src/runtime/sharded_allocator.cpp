@@ -218,6 +218,9 @@ TelemetrySnapshot ShardedAllocator::telemetry_snapshot() const {
   // lock because the snapshot allocates its result vector.
   snap.candidates = engine_.candidates().snapshot();
   snap.candidate_overflow = engine_.candidates().overflow();
+  // Leak suspects likewise run outside the shard locks: the live-registry
+  // scan appends census rows, which may grow the vector.
+  engine_.collect_heap_suspects(snap);
   finalize_snapshot(snap);
   return snap;
 }

@@ -51,6 +51,16 @@ void append_fmt(std::string& out, const char* fmt, ...) {
   if (n > 0) out.append(buf, std::min<std::size_t>(n, sizeof(buf) - 1));
 }
 
+/// The §8 heap-profiler section is omitted entirely when the profiler
+/// never ran and nothing was parsed into the snapshot — a dump from a
+/// profiler-less process stays byte-identical to one from older runtimes.
+bool heap_profile_active(const TelemetrySnapshot& snap) noexcept {
+  return snap.config.heap_profile_rate != 0 || snap.heap_sampled != 0 ||
+         snap.heap_registry_overflow != 0 || snap.heap_census_overflow != 0 ||
+         snap.heap_threshold_ns != 0 || !snap.heap_census.empty() ||
+         snap.heap_age.total() != 0;
+}
+
 }  // namespace
 
 std::string_view telemetry_event_name(TelemetryEvent type) noexcept {
@@ -184,6 +194,16 @@ void TelemetrySink::configure(const TelemetryConfig& config, std::uint16_t shard
   counters_ = config.counters;
   shard_ = shard;
   ring_.configure(config.events ? config.ring_capacity : 0);
+  heap_rate_ = config.heap_profile_rate;
+  // Distinct, nonzero xorshift seed per shard so sibling sinks do not
+  // sample in lockstep.
+  heap_rng_ = (static_cast<std::uint64_t>(shard) + 1) * 0x9e3779b97f4a7c15ULL;
+  // Seed the sampling countdown inside the first gap so sibling sinks do
+  // not all sample their very first allocation (rate 1 still samples every
+  // allocation: the draw below is always 1 when the rate is 1).
+  if (heap_rate_ != 0) {
+    heap_countdown_ = 1 + heap_rng_ % heap_rate_;
+  }
 }
 
 void TelemetrySink::record_patch_hit(AllocFn fn, std::uint64_t ccid,
@@ -270,6 +290,9 @@ void reserve_snapshot(TelemetrySnapshot& snap, std::uint32_t shards,
                           static_cast<std::size_t>(shards) *
                               TelemetrySink::kHitSlots);
   snap.events.reserve(snap.events.size() + total_ring_capacity);
+  snap.heap_census.reserve(snap.heap_census.size() +
+                           static_cast<std::size_t>(shards) *
+                               HeapCensus::kSlots);
 }
 
 void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink,
@@ -311,6 +334,18 @@ void merge_sink_into_snapshot(TelemetrySnapshot& snap, const TelemetrySink& sink
     }
     if (!merged) snap.patch_hits.push_back(hit);
   }
+  // Heap census: appended per shard (allocation-free within the reserved
+  // capacity), folded by {fn, ccid} in finalize_snapshot. Per-shard live
+  // contributions may be negative — frees route by pointer hash, so the
+  // freeing shard is rarely the allocating one — and only the fold makes
+  // them meaningful.
+  HeapCensusRow census[HeapCensus::kSlots];
+  const std::uint32_t rows =
+      sink.heap_census().copy_rows(census, HeapCensus::kSlots);
+  for (std::uint32_t i = 0; i < rows; ++i) snap.heap_census.push_back(census[i]);
+  snap.heap_age += sink.heap_age();
+  snap.heap_sampled += sink.heap_sampled();
+  snap.heap_census_overflow += sink.heap_census().overflow();
   sink.ring().snapshot(snap.events);
 }
 
@@ -337,6 +372,33 @@ void finalize_snapshot(TelemetrySnapshot& snap) {
               if (a.vuln_mask != b.vuln_mask) return a.vuln_mask < b.vuln_mask;
               return a.origin < b.origin;
             });
+  // Fold the per-shard census rows by {fn, ccid}: after the fold every
+  // sampled alloc/free pair has met, so the live fields are non-negative
+  // (the clamp guards hand-edited dumps, not the runtime).
+  std::sort(snap.heap_census.begin(), snap.heap_census.end(),
+            [](const HeapCensusRow& a, const HeapCensusRow& b) {
+              if (a.fn != b.fn) return a.fn < b.fn;
+              return a.ccid < b.ccid;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < snap.heap_census.size(); ++i) {
+    if (out > 0 && snap.heap_census[out - 1].fn == snap.heap_census[i].fn &&
+        snap.heap_census[out - 1].ccid == snap.heap_census[i].ccid) {
+      HeapCensusRow& dst = snap.heap_census[out - 1];
+      dst.live_bytes += snap.heap_census[i].live_bytes;
+      dst.live_objects += snap.heap_census[i].live_objects;
+      dst.allocs += snap.heap_census[i].allocs;
+      dst.frees += snap.heap_census[i].frees;
+      dst.suspects += snap.heap_census[i].suspects;
+    } else {
+      snap.heap_census[out++] = snap.heap_census[i];
+    }
+  }
+  snap.heap_census.resize(out);
+  for (HeapCensusRow& row : snap.heap_census) {
+    if (row.live_bytes < 0) row.live_bytes = 0;
+    if (row.live_objects < 0) row.live_objects = 0;
+  }
   snap.health = derive_health(snap);
 }
 
@@ -444,6 +506,37 @@ std::string render_telemetry(const TelemetrySnapshot& snap) {
                    LatencyHistogram::bucket_limit_ns(i)),
                static_cast<unsigned long long>(snap.latency.buckets[i]));
   }
+  // Heap profiler (docs/FORMATS.md §8).
+  if (heap_profile_active(snap)) {
+    append_fmt(out,
+               "heapprof rate=%u pctl=%u sampled=%llu registry_overflow=%llu "
+               "census_overflow=%llu threshold_ns=%llu\n",
+               snap.config.heap_profile_rate,
+               static_cast<unsigned>(snap.config.heap_age_percentile),
+               static_cast<unsigned long long>(snap.heap_sampled),
+               static_cast<unsigned long long>(snap.heap_registry_overflow),
+               static_cast<unsigned long long>(snap.heap_census_overflow),
+               static_cast<unsigned long long>(snap.heap_threshold_ns));
+    for (const HeapCensusRow& row : snap.heap_census) {
+      append_fmt(out,
+                 "heapcensus %s 0x%016llx live_bytes=%lld live_objects=%lld "
+                 "allocs=%llu frees=%llu suspects=%llu\n",
+                 std::string(progmodel::alloc_fn_name(fn_from_u8(row.fn))).c_str(),
+                 static_cast<unsigned long long>(row.ccid),
+                 static_cast<long long>(row.live_bytes),
+                 static_cast<long long>(row.live_objects),
+                 static_cast<unsigned long long>(row.allocs),
+                 static_cast<unsigned long long>(row.frees),
+                 static_cast<unsigned long long>(row.suspects));
+    }
+    for (std::uint32_t i = 0; i < AgeHistogram::kBuckets; ++i) {
+      if (snap.heap_age.buckets[i] == 0) continue;  // sparse, like latency
+      append_fmt(out, "heapage %llu %llu\n",
+                 static_cast<unsigned long long>(
+                     AgeHistogram::bucket_limit_ns(i)),
+                 static_cast<unsigned long long>(snap.heap_age.buckets[i]));
+    }
+  }
   for (const TelemetryRecord& e : snap.events) {
     append_fmt(out,
                "event %llu %u %s %s 0x%016llx size=%llu aux=%u t=%llu\n",
@@ -480,6 +573,23 @@ bool parse_alloc_fn(std::string_view name, AllocFn& out) noexcept {
     }
   }
   return false;
+}
+
+/// Signed variant of parse_kv_u64 for the census live fields (a hand-split
+/// or truncated dump can legitimately carry negative per-shard values).
+bool parse_kv_i64(std::string_view field, std::string_view key,
+                  std::int64_t& out) noexcept {
+  if (!support::starts_with(field, key) || field.size() <= key.size() ||
+      field[key.size()] != '=') {
+    return false;
+  }
+  std::string_view value = field.substr(key.size() + 1);
+  const bool negative = !value.empty() && value[0] == '-';
+  if (negative) value.remove_prefix(1);
+  const auto v = support::parse_u64(value);
+  if (!v || *v > static_cast<std::uint64_t>(INT64_MAX)) return false;
+  out = negative ? -static_cast<std::int64_t>(*v) : static_cast<std::int64_t>(*v);
+  return true;
 }
 
 }  // namespace
@@ -665,6 +775,71 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
         }
       }
       if (!matched) complain("unknown latency bucket limit");
+    } else if (directive == "heapprof") {
+      std::uint64_t rate = 0, pctl = snap.config.heap_age_percentile;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        if (!parse_kv_u64(fields[i], "rate", rate) &&
+            !parse_kv_u64(fields[i], "pctl", pctl) &&
+            !parse_kv_u64(fields[i], "sampled", snap.heap_sampled) &&
+            !parse_kv_u64(fields[i], "registry_overflow",
+                          snap.heap_registry_overflow) &&
+            !parse_kv_u64(fields[i], "census_overflow",
+                          snap.heap_census_overflow) &&
+            !parse_kv_u64(fields[i], "threshold_ns", snap.heap_threshold_ns)) {
+          complain("bad heapprof field '" + std::string(fields[i]) + "'");
+        }
+      }
+      if (rate > UINT32_MAX) {
+        complain("heapprof rate out of range");
+        rate = 0;
+      }
+      if (pctl == 0 || pctl > 100) {
+        complain("heapprof percentile out of range");
+        pctl = 99;
+      }
+      snap.config.heap_profile_rate = static_cast<std::uint32_t>(rate);
+      snap.config.heap_age_percentile = static_cast<std::uint8_t>(pctl);
+    } else if (directive == "heapcensus") {
+      // heapcensus <fn> <ccid> live_bytes=N live_objects=N allocs=N
+      //            frees=N suspects=N
+      AllocFn fn;
+      const auto ccid =
+          fields.size() >= 3 ? support::parse_u64(fields[2]) : std::nullopt;
+      if (fields.size() < 3 || !parse_alloc_fn(fields[1], fn) || !ccid) {
+        complain("malformed heapcensus line");
+        continue;
+      }
+      HeapCensusRow row;
+      row.fn = static_cast<std::uint8_t>(fn);
+      row.ccid = *ccid;
+      for (std::size_t i = 3; i < fields.size(); ++i) {
+        if (!parse_kv_i64(fields[i], "live_bytes", row.live_bytes) &&
+            !parse_kv_i64(fields[i], "live_objects", row.live_objects) &&
+            !parse_kv_u64(fields[i], "allocs", row.allocs) &&
+            !parse_kv_u64(fields[i], "frees", row.frees) &&
+            !parse_kv_u64(fields[i], "suspects", row.suspects)) {
+          complain("bad heapcensus field '" + std::string(fields[i]) + "'");
+        }
+      }
+      snap.heap_census.push_back(row);
+    } else if (directive == "heapage") {
+      const auto limit =
+          fields.size() == 3 ? support::parse_u64(fields[1]) : std::nullopt;
+      const auto count =
+          fields.size() == 3 ? support::parse_u64(fields[2]) : std::nullopt;
+      if (!limit || !count) {
+        complain("malformed heapage line");
+        continue;
+      }
+      bool matched = false;
+      for (std::uint32_t i = 0; i < AgeHistogram::kBuckets; ++i) {
+        if (AgeHistogram::bucket_limit_ns(i) == *limit) {
+          snap.heap_age.buckets[i] = *count;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) complain("unknown heapage bucket limit");
     } else if (directive == "event") {
       // event <seq> <shard> <type> <fn> <ccid> size=N aux=N t=N
       TelemetryRecord rec;
@@ -783,6 +958,43 @@ std::string telemetry_stats_json(const TelemetrySnapshot& snap) {
     first = false;
   }
   out += first ? "],\n" : "\n  ],\n";
+  append_fmt(out,
+             "  \"heap\": {\"rate\": %u, \"pctl\": %u, \"sampled\": %llu, "
+             "\"registry_overflow\": %llu, \"census_overflow\": %llu, "
+             "\"threshold_ns\": %llu, \"census\": [",
+             snap.config.heap_profile_rate,
+             static_cast<unsigned>(snap.config.heap_age_percentile),
+             static_cast<unsigned long long>(snap.heap_sampled),
+             static_cast<unsigned long long>(snap.heap_registry_overflow),
+             static_cast<unsigned long long>(snap.heap_census_overflow),
+             static_cast<unsigned long long>(snap.heap_threshold_ns));
+  first = true;
+  for (const HeapCensusRow& row : snap.heap_census) {
+    append_fmt(out,
+               "%s\n    {\"fn\": \"%s\", \"ccid\": \"0x%016llx\", "
+               "\"live_bytes\": %lld, \"live_objects\": %lld, "
+               "\"allocs\": %llu, \"frees\": %llu, \"suspects\": %llu}",
+               first ? "" : ",",
+               std::string(progmodel::alloc_fn_name(fn_from_u8(row.fn))).c_str(),
+               static_cast<unsigned long long>(row.ccid),
+               static_cast<long long>(row.live_bytes),
+               static_cast<long long>(row.live_objects),
+               static_cast<unsigned long long>(row.allocs),
+               static_cast<unsigned long long>(row.frees),
+               static_cast<unsigned long long>(row.suspects));
+    first = false;
+  }
+  out += first ? "], \"age_ns\": [" : "\n  ], \"age_ns\": [";
+  first = true;
+  for (std::uint32_t i = 0; i < AgeHistogram::kBuckets; ++i) {
+    if (snap.heap_age.buckets[i] == 0) continue;
+    append_fmt(out, "%s\n    {\"limit\": %llu, \"count\": %llu}",
+               first ? "" : ",",
+               static_cast<unsigned long long>(AgeHistogram::bucket_limit_ns(i)),
+               static_cast<unsigned long long>(snap.heap_age.buckets[i]));
+    first = false;
+  }
+  out += first ? "]},\n" : "\n  ]},\n";
   out += "  \"shards\": [";
   first = true;
   for (const ShardTelemetry& s : snap.shards) {

@@ -55,6 +55,7 @@
 #include "patch/candidate.hpp"
 #include "progmodel/values.hpp"
 #include "runtime/allocator_config.hpp"
+#include "runtime/heap_profile.hpp"
 
 namespace ht::runtime {
 
@@ -281,6 +282,54 @@ class TelemetrySink {
     return hit_overflow_;
   }
 
+  // ---- Heap profiler (docs/OBSERVABILITY.md §9) ----
+  /// Sampling rate copied from TelemetryConfig::heap_profile_rate.
+  [[nodiscard]] std::uint32_t heap_profile_rate() const noexcept {
+    return heap_rate_;
+  }
+  /// Returns true for ~1 in rate calls (always false when the rate is 0;
+  /// always true at rate 1). Countdown sampling: the common path is one
+  /// decrement-and-compare — no PRNG draw, no division — and only the
+  /// sampled 1-in-N path pays for drawing the next gap, a uniform pick in
+  /// [1, 2*rate-1] (mean exactly rate, so scaled census counts stay
+  /// unbiased, and the randomized stride cannot phase-lock with a
+  /// periodic allocation pattern the way a fixed stride would). Called
+  /// under the owning context's serialization, like every counter here.
+  [[nodiscard]] bool heap_sample() noexcept {
+    if (heap_rate_ == 0) return false;
+    if (--heap_countdown_ != 0) return false;
+    // xorshift64: deterministic per sink for reproducible tests.
+    heap_rng_ ^= heap_rng_ << 13;
+    heap_rng_ ^= heap_rng_ >> 7;
+    heap_rng_ ^= heap_rng_ << 17;
+    heap_countdown_ = 1 + heap_rng_ % (2 * static_cast<std::uint64_t>(heap_rate_) - 1);
+    ++heap_sampled_;
+    return true;
+  }
+  /// Census entry for a sampled allocation (values scaled by the rate).
+  void record_heap_alloc(std::uint8_t fn, std::uint64_t ccid,
+                         std::uint64_t size) noexcept {
+    heap_census_.record_alloc(fn, ccid, size, heap_rate_);
+  }
+  /// Census exit + age-histogram entry for the free of a sampled object.
+  /// The age count stays UNSCALED: uniform sampling leaves percentiles
+  /// unchanged, and percentiles are all the histogram feeds.
+  void record_heap_free(std::uint8_t fn, std::uint64_t ccid,
+                        std::uint64_t size, std::uint64_t age_ns) noexcept {
+    heap_census_.record_free(fn, ccid, size, heap_rate_);
+    heap_age_.record(age_ns);
+  }
+  [[nodiscard]] const HeapCensus& heap_census() const noexcept {
+    return heap_census_;
+  }
+  [[nodiscard]] const AgeHistogram& heap_age() const noexcept {
+    return heap_age_;
+  }
+  /// Allocations this sink sampled into the profiler.
+  [[nodiscard]] std::uint64_t heap_sampled() const noexcept {
+    return heap_sampled_;
+  }
+
   /// Fixed-size open-addressing {FUN, CCID} -> hits table. Patch tables
   /// hold a handful of entries in practice (one per discovered
   /// vulnerability), so 128 slots is generous; overflow is counted, never
@@ -301,6 +350,13 @@ class TelemetrySink {
   LatencyHistogram latency_;
   HitSlot hit_slots_[kHitSlots] = {};
   std::uint64_t hit_overflow_ = 0;
+  // Heap profiler (all bumped under the owning context's serialization).
+  std::uint32_t heap_rate_ = 0;
+  std::uint64_t heap_countdown_ = 1;  ///< allocations until the next sample
+  std::uint64_t heap_rng_ = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t heap_sampled_ = 0;
+  HeapCensus heap_census_;
+  AgeHistogram heap_age_;
 };
 
 /// One AllocatorStats counter by its stable dump name. The text dump
@@ -375,6 +431,17 @@ struct TelemetrySnapshot {
   HealthState health = HealthState::kHealthy;
   /// Retained events across all rings, ordered by timestamp.
   std::vector<TelemetryRecord> events;
+
+  // ---- Heap profiler (docs/OBSERVABILITY.md §9; FORMATS.md §8) ----
+  /// Merged census, sorted {fn, ccid} by finalize_snapshot. live_* fields
+  /// are non-negative after the fold (per-shard contributions may not be).
+  std::vector<HeapCensusRow> heap_census;
+  AgeHistogram heap_age;                     ///< merged lifetime histogram
+  std::uint64_t heap_sampled = 0;            ///< allocations sampled, all sinks
+  std::uint64_t heap_registry_overflow = 0;  ///< registry full; went unprofiled
+  std::uint64_t heap_census_overflow = 0;    ///< census table full; uncounted
+  /// Leak-suspect age threshold derived at snapshot time (0 = none yet).
+  std::uint64_t heap_threshold_ns = 0;
 };
 
 /// Pre-reserves `snap`'s vectors for `shards` contexts whose rings hold

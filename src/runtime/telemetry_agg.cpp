@@ -98,6 +98,9 @@ TelemetryAggregate aggregate_telemetry(
   std::map<std::tuple<std::uint8_t, std::uint64_t, std::uint8_t, std::uint8_t>,
            std::pair<std::uint64_t, std::uint64_t>>
       candidates;
+  // Heap census rows merge by {fn, ccid}; finalize_snapshot already folded
+  // and clamped each input, so every field sums exactly here.
+  std::map<std::pair<std::uint8_t, std::uint64_t>, HeapCensusRow> heap;
   std::set<std::uint64_t> generations;
 
   for (const AggregateInput& in : inputs) {
@@ -120,6 +123,20 @@ TelemetryAggregate aggregate_telemetry(
       }
     }
     agg.latency += s.latency;
+    for (const HeapCensusRow& r : s.heap_census) {
+      HeapCensusRow& m = heap[{r.fn, r.ccid}];
+      m.fn = r.fn;
+      m.ccid = r.ccid;
+      m.live_bytes += r.live_bytes;
+      m.live_objects += r.live_objects;
+      m.allocs += r.allocs;
+      m.frees += r.frees;
+      m.suspects += r.suspects;
+    }
+    agg.heap_age += s.heap_age;
+    agg.heap_sampled += s.heap_sampled;
+    agg.heap_registry_overflow += s.heap_registry_overflow;
+    agg.heap_census_overflow += s.heap_census_overflow;
     if (s.health > agg.worst_health) agg.worst_health = s.health;
     generations.insert(s.table_generation);
 
@@ -165,7 +182,52 @@ TelemetryAggregate aggregate_telemetry(
   std::stable_sort(agg.candidates.begin(), agg.candidates.end(),
                    [](const patch::PatchCandidate& a,
                       const patch::PatchCandidate& b) { return a.hits > b.hits; });
+  agg.heap_census.reserve(heap.size());
+  for (const auto& [key, row] : heap) agg.heap_census.push_back(row);
+  // Biggest live footprint first; the map already ordered ties by
+  // {fn, ccid} ascending and stable_sort preserves that, so equal-sized
+  // rows list in a deterministic order every run.
+  std::stable_sort(agg.heap_census.begin(), agg.heap_census.end(),
+                   [](const HeapCensusRow& a, const HeapCensusRow& b) {
+                     return a.live_bytes > b.live_bytes;
+                   });
   return agg;
+}
+
+std::vector<TimeToImmunityRow> compute_time_to_immunity(
+    const patch::CandidateParseResult& journal) {
+  // Earliest nonzero first-seen per {fn, ccid}, across masks and origins —
+  // the clock starts at the FIRST evidence, whichever origin produced it.
+  std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> first_seen;
+  for (const patch::PatchCandidate& c : journal.candidates) {
+    if (c.first_seen_ns == 0) continue;
+    auto& seen = first_seen[{static_cast<std::uint8_t>(c.fn), c.ccid}];
+    if (seen == 0 || c.first_seen_ns < seen) seen = c.first_seen_ns;
+  }
+  // Journal order = verdict order, so the last write wins per key (the §7
+  // fold rule): a later demotion removes the key from the promoted set.
+  std::map<std::pair<std::uint8_t, std::uint64_t>, std::uint64_t> promoted_at;
+  for (const patch::VerdictRecord& v : journal.verdicts) {
+    const auto key = std::make_pair(static_cast<std::uint8_t>(v.fn), v.ccid);
+    if (v.verdict == patch::CandidateVerdict::kPromoted) {
+      promoted_at[key] = v.time_ns;
+    } else {
+      promoted_at.erase(key);
+    }
+  }
+  std::vector<TimeToImmunityRow> rows;
+  for (const auto& [key, t] : promoted_at) {
+    const auto seen = first_seen.find(key);
+    if (seen == first_seen.end()) continue;  // no interval to measure
+    TimeToImmunityRow row;
+    row.fn = static_cast<progmodel::AllocFn>(key.first);
+    row.ccid = key.second;
+    row.seconds = t > seen->second
+                      ? static_cast<double>(t - seen->second) / 1e9
+                      : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
@@ -247,6 +309,58 @@ std::string aggregate_json(const TelemetryAggregate& agg, std::size_t top_k) {
     latency_count += agg.latency.buckets[i];
   }
   append_fmt(out, "], \"count\": %" PRIu64 "},\n", latency_count);
+
+  // Heap profiler rollup (docs/OBSERVABILITY.md §9). Census rows honor the
+  // same top_k cap as patch hits; age buckets mirror the latency shape.
+  const std::size_t heap_cap =
+      top_k == 0 ? agg.heap_census.size()
+                 : std::min(top_k, agg.heap_census.size());
+  out += "  \"heap\": {";
+  append_fmt(out,
+             "\"sampled\": %" PRIu64 ", \"registry_overflow\": %" PRIu64
+             ", \"census_overflow\": %" PRIu64
+             ", \"census_shown\": %zu, \"census_distinct\": %zu,\n",
+             agg.heap_sampled, agg.heap_registry_overflow,
+             agg.heap_census_overflow, heap_cap, agg.heap_census.size());
+  out += "    \"census\": [\n";
+  for (std::size_t i = 0; i < heap_cap; ++i) {
+    const HeapCensusRow& r = agg.heap_census[i];
+    append_fmt(out,
+               "      {\"fn\": \"%s\", \"ccid\": \"%s\", \"live_bytes\": %" PRId64
+               ", \"live_objects\": %" PRId64 ", \"allocs\": %" PRIu64
+               ", \"frees\": %" PRIu64 ", \"suspects\": %" PRIu64 "}%s\n",
+               std::string(progmodel::alloc_fn_name(
+                               static_cast<progmodel::AllocFn>(r.fn)))
+                   .c_str(),
+               ccid_hex(r.ccid).c_str(), r.live_bytes, r.live_objects,
+               r.allocs, r.frees, r.suspects, i + 1 < heap_cap ? "," : "");
+  }
+  out += "    ],\n";
+  std::uint64_t age_count = 0;
+  out += "    \"age_ns\": {\"buckets\": [";
+  for (std::uint32_t i = 0; i < AgeHistogram::kBuckets; ++i) {
+    if (i != 0) out += ", ";
+    const std::uint64_t limit = AgeHistogram::bucket_limit_ns(i);
+    out += "{\"le\": ";
+    if (limit == 0) {
+      out += "null";
+    } else {
+      append_fmt(out, "%" PRIu64, limit);
+    }
+    append_fmt(out, ", \"count\": %" PRIu64 "}", agg.heap_age.buckets[i]);
+    age_count += agg.heap_age.buckets[i];
+  }
+  append_fmt(out, "], \"count\": %" PRIu64 "},\n", age_count);
+  out += "    \"time_to_immunity\": [\n";
+  for (std::size_t i = 0; i < agg.time_to_immunity.size(); ++i) {
+    const TimeToImmunityRow& t = agg.time_to_immunity[i];
+    append_fmt(out,
+               "      {\"fn\": \"%s\", \"ccid\": \"%s\", \"seconds\": %.6f}%s\n",
+               std::string(progmodel::alloc_fn_name(t.fn)).c_str(),
+               ccid_hex(t.ccid).c_str(), t.seconds,
+               i + 1 < agg.time_to_immunity.size() ? "," : "");
+  }
+  out += "    ]},\n";
 
   const std::size_t cap = hit_cap(agg, top_k);
   append_fmt(out, "  \"patch_hits_shown\": %zu,\n", cap);
@@ -396,6 +510,89 @@ std::string aggregate_prometheus(const TelemetryAggregate& agg,
   append_fmt(out, "ht_enhancement_latency_ns_bucket{le=\"+Inf\"} %" PRIu64 "\n",
              cumulative);
   append_fmt(out, "ht_enhancement_latency_ns_count %" PRIu64 "\n", cumulative);
+
+  // ---- Heap profiler (docs/OBSERVABILITY.md §9) ----
+  prom_counter(out, "ht_heap_sampled_total",
+               "Allocations sampled by the heap profiler.", agg.heap_sampled);
+  prom_counter(out, "ht_heap_registry_overflow_total",
+               "Sampled allocations dropped because the live registry was full.",
+               agg.heap_registry_overflow);
+  prom_counter(out, "ht_heap_census_overflow_total",
+               "Census updates dropped because the per-shard table was full.",
+               agg.heap_census_overflow);
+
+  const std::size_t heap_cap =
+      top_k == 0 ? agg.heap_census.size()
+                 : std::min(top_k, agg.heap_census.size());
+  if (heap_cap > 0) {
+    // Gauges, not counters: live footprint shrinks when contexts free.
+    // Values are sampling-scaled estimates (census rows carry rate-scaled
+    // sums); the ordering (live_bytes descending, ties {fn, ccid}
+    // ascending) is the aggregate's and identical batch vs. serve.
+    struct HeapSeries {
+      const char* name;
+      const char* help;
+      std::int64_t HeapCensusRow::* signed_field;
+      std::uint64_t HeapCensusRow::* unsigned_field;
+    };
+    const HeapSeries series[] = {
+        {"ht_heap_live_bytes",
+         "Estimated live heap bytes per {FUN, CCID} (sampling-scaled).",
+         &HeapCensusRow::live_bytes, nullptr},
+        {"ht_heap_live_objects",
+         "Estimated live objects per {FUN, CCID} (sampling-scaled).",
+         &HeapCensusRow::live_objects, nullptr},
+        {"ht_heap_leak_suspects",
+         "Live objects older than the leak-age threshold per {FUN, CCID}.",
+         nullptr, &HeapCensusRow::suspects},
+    };
+    for (const HeapSeries& m : series) {
+      append_fmt(out, "# HELP %s %s\n", m.name, m.help);
+      append_fmt(out, "# TYPE %s gauge\n", m.name);
+      for (std::size_t i = 0; i < heap_cap; ++i) {
+        const HeapCensusRow& r = agg.heap_census[i];
+        out += m.name;
+        out += "{fn=";
+        append_label_value(out, progmodel::alloc_fn_name(
+                                    static_cast<progmodel::AllocFn>(r.fn)));
+        out += ",ccid=";
+        append_label_value(out, ccid_hex(r.ccid));
+        if (m.signed_field != nullptr) {
+          append_fmt(out, "} %" PRId64 "\n", r.*(m.signed_field));
+        } else {
+          append_fmt(out, "} %" PRIu64 "\n", r.*(m.unsigned_field));
+        }
+      }
+    }
+  }
+
+  // Object-age histogram: same cumulative shape as the latency histogram,
+  // and the same no-_sum rule (the runtime tracks bucket counts only).
+  append_fmt(out, "# HELP ht_heap_age_ns Sampled object lifetime at free; bucket counts only, no _sum is tracked.\n");
+  append_fmt(out, "# TYPE ht_heap_age_ns histogram\n");
+  std::uint64_t age_cumulative = 0;
+  for (std::uint32_t i = 0; i < AgeHistogram::kBuckets; ++i) {
+    age_cumulative += agg.heap_age.buckets[i];
+    const std::uint64_t limit = AgeHistogram::bucket_limit_ns(i);
+    if (limit == 0) break;  // unbounded bucket is the +Inf sample below
+    append_fmt(out, "ht_heap_age_ns_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+               limit, age_cumulative);
+  }
+  append_fmt(out, "ht_heap_age_ns_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+             age_cumulative);
+  append_fmt(out, "ht_heap_age_ns_count %" PRIu64 "\n", age_cumulative);
+
+  if (!agg.time_to_immunity.empty()) {
+    append_fmt(out, "# HELP ht_time_to_immunity_seconds Seconds from a candidate's first sighting to its promotion verdict.\n");
+    append_fmt(out, "# TYPE ht_time_to_immunity_seconds gauge\n");
+    for (const TimeToImmunityRow& t : agg.time_to_immunity) {
+      out += "ht_time_to_immunity_seconds{fn=";
+      append_label_value(out, progmodel::alloc_fn_name(t.fn));
+      out += ",ccid=";
+      append_label_value(out, ccid_hex(t.ccid));
+      append_fmt(out, "} %.6f\n", t.seconds);
+    }
+  }
   return out;
 }
 

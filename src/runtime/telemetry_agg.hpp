@@ -53,6 +53,16 @@ struct SkippedInput {
   std::string reason;  ///< "unreadable" | "empty" | "corrupt"
 };
 
+/// Seconds from a candidate's first sighting to its promotion verdict, per
+/// {fn, ccid} — the fleet's "time to immunity" (docs/SELF_HEALING.md).
+/// Computed from the candidate journal, not from telemetry dumps, so the
+/// caller (htagg --candidates) fills TelemetryAggregate::time_to_immunity.
+struct TimeToImmunityRow {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  double seconds = 0.0;
+};
+
 /// Fleet-wide merge of N snapshots. All counter fields are exact sums.
 struct TelemetryAggregate {
   std::size_t processes = 0;
@@ -81,7 +91,29 @@ struct TelemetryAggregate {
   /// Inputs skipped before the merge (filled by the caller — htagg — since
   /// only it sees the filesystem); surfaced in both export formats.
   std::vector<SkippedInput> skipped;
+  /// Merged heap census (docs/OBSERVABILITY.md §9) keyed {fn, ccid}: all
+  /// five count fields summed exactly, sorted live_bytes-descending (ties:
+  /// fn then ccid ascending) so "top K" is a prefix.
+  std::vector<HeapCensusRow> heap_census;
+  AgeHistogram heap_age;                     ///< bucket-wise sum
+  std::uint64_t heap_sampled = 0;            ///< sampled allocations, summed
+  std::uint64_t heap_registry_overflow = 0;  ///< registry-full drops, summed
+  std::uint64_t heap_census_overflow = 0;    ///< census-full drops, summed
+  /// Time-to-immunity rows, {fn, ccid} ascending. Filled by the CALLER from
+  /// compute_time_to_immunity (the journal lives on the filesystem, which
+  /// aggregate_telemetry never touches); empty when no journal was given.
+  std::vector<TimeToImmunityRow> time_to_immunity;
 };
+
+/// Derives time-to-immunity rows from a parsed candidate journal
+/// (docs/FORMATS.md §7): for every {fn, ccid} whose LATEST verdict is
+/// `promoted`, seconds = (verdict time − earliest nonzero first-seen across
+/// that key's candidates) / 1e9, clamped at 0 (clock skew between the
+/// observing process and htpromote must not produce negative immunity).
+/// Keys with no nonzero first-seen time are omitted — there is no interval
+/// to measure. Rows come back {fn, ccid} ascending; never throws.
+[[nodiscard]] std::vector<TimeToImmunityRow> compute_time_to_immunity(
+    const patch::CandidateParseResult& journal);
 
 /// Merges the inputs. Pure function of the snapshots; never throws.
 [[nodiscard]] TelemetryAggregate aggregate_telemetry(

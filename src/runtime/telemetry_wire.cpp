@@ -217,6 +217,48 @@ std::string encode_telemetry_frame(const TelemetrySnapshot& snap,
     put_record(payload, WireRecord::kLatency, body);
   }
 
+  // Heap profiler (docs/FORMATS.md §8): the meta record gates the section
+  // exactly like the text dump's `heapprof` line — a profiler-less
+  // snapshot emits none of these, keeping its frames byte-identical to
+  // older producers'.
+  const bool heap_active =
+      snap.config.heap_profile_rate != 0 || snap.heap_sampled != 0 ||
+      snap.heap_registry_overflow != 0 || snap.heap_census_overflow != 0 ||
+      snap.heap_threshold_ns != 0 || !snap.heap_census.empty() ||
+      snap.heap_age.total() != 0;
+  if (heap_active) {
+    body.clear();
+    put_u32(body, snap.config.heap_profile_rate);
+    put_u8(body, snap.config.heap_age_percentile);
+    put_u64(body, snap.heap_sampled);
+    put_u64(body, snap.heap_registry_overflow);
+    put_u64(body, snap.heap_census_overflow);
+    put_u64(body, snap.heap_threshold_ns);
+    put_record(payload, WireRecord::kHeapMeta, body);
+
+    for (const HeapCensusRow& row : snap.heap_census) {
+      body.clear();
+      put_u8(body, row.fn);
+      put_u64(body, row.ccid);
+      // live_* fields are signed in memory; two's-complement u64 on the
+      // wire (the decoder casts back).
+      put_u64(body, static_cast<std::uint64_t>(row.live_bytes));
+      put_u64(body, static_cast<std::uint64_t>(row.live_objects));
+      put_u64(body, row.allocs);
+      put_u64(body, row.frees);
+      put_u64(body, row.suspects);
+      put_record(payload, WireRecord::kHeapCensus, body);
+    }
+
+    for (std::uint32_t i = 0; i < AgeHistogram::kBuckets; ++i) {
+      if (snap.heap_age.buckets[i] == 0) continue;  // sparse
+      body.clear();
+      put_u8(body, static_cast<std::uint8_t>(i));
+      put_u64(body, snap.heap_age.buckets[i]);
+      put_record(payload, WireRecord::kHeapAge, body);
+    }
+  }
+
   if (include_events) {
     for (const TelemetryRecord& e : snap.events) {
       body.clear();
@@ -493,6 +535,73 @@ WireDecodeResult decode_telemetry_frame(std::string_view frame) {
         snap.candidates.push_back(patch::PatchCandidate{
             static_cast<progmodel::AllocFn>(fn), ccid, mask,
             static_cast<patch::CandidateOrigin>(origin), hits, first});
+        ++r.records;
+        break;
+      }
+      case WireRecord::kHeapMeta: {
+        const std::uint32_t rate = body.u32();
+        const std::uint8_t pctl = body.u8();
+        const std::uint64_t sampled = body.u64();
+        const std::uint64_t reg_overflow = body.u64();
+        const std::uint64_t census_overflow = body.u64();
+        const std::uint64_t threshold = body.u64();
+        if (!body.ok) {
+          note("short heap-meta record skipped");
+          break;
+        }
+        if (pctl == 0 || pctl > 100) {
+          note("heap-meta with percentile " + std::to_string(pctl) +
+               " out of range skipped");
+          break;
+        }
+        snap.config.heap_profile_rate = rate;
+        snap.config.heap_age_percentile = pctl;
+        snap.heap_sampled = sampled;
+        snap.heap_registry_overflow = reg_overflow;
+        snap.heap_census_overflow = census_overflow;
+        snap.heap_threshold_ns = threshold;
+        ++r.records;
+        break;
+      }
+      case WireRecord::kHeapCensus: {
+        HeapCensusRow row;
+        row.fn = body.u8();
+        row.ccid = body.u64();
+        row.live_bytes = static_cast<std::int64_t>(body.u64());
+        row.live_objects = static_cast<std::int64_t>(body.u64());
+        row.allocs = body.u64();
+        row.frees = body.u64();
+        row.suspects = body.u64();
+        if (!body.ok) {
+          note("short heap-census record skipped");
+          break;
+        }
+        bool fn_known = false;
+        for (progmodel::AllocFn f : progmodel::kAllAllocFns) {
+          if (static_cast<std::uint8_t>(f) == row.fn) fn_known = true;
+        }
+        if (!fn_known) {
+          note("heap census with unknown alloc fn " + std::to_string(row.fn) +
+               " skipped");
+          break;
+        }
+        snap.heap_census.push_back(row);
+        ++r.records;
+        break;
+      }
+      case WireRecord::kHeapAge: {
+        const std::uint8_t bucket = body.u8();
+        const std::uint64_t count = body.u64();
+        if (!body.ok) {
+          note("short heap-age record skipped");
+          break;
+        }
+        if (bucket >= AgeHistogram::kBuckets) {
+          note("unknown heap-age bucket " + std::to_string(bucket) +
+               " skipped");
+          break;
+        }
+        snap.heap_age.buckets[bucket] = count;
         ++r.records;
         break;
       }

@@ -68,6 +68,9 @@ enum class WireRecord : std::uint8_t {
   kLatency = 5,   ///< one latency histogram bucket: index + count
   kEvent = 6,     ///< one TelemetryRecord from the event ring
   kCandidate = 7, ///< one synthesized candidate patch (docs/SELF_HEALING.md)
+  kHeapMeta = 8,  ///< heap-profiler summary (rate, pctl, overflow, threshold)
+  kHeapCensus = 9,///< one {fn, ccid} census row (docs/OBSERVABILITY.md §9)
+  kHeapAge = 10,  ///< one object-age histogram bucket: index + count
 };
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) over `len` bytes.

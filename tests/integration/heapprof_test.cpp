@@ -1,0 +1,296 @@
+// End-to-end heap profiling (docs/OBSERVABILITY.md §9): a leaky synthetic
+// service replayed under `htrun --heapprof`, a leaky uninstrumented victim
+// under the LD_PRELOAD shim, `htctl heap` rendering (table and collapsed
+// flamegraph), and htagg's heap series + time-to-immunity export — with
+// the serve-vs-batch byte-identity contract extended to all of it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/telemetry_agg.hpp"
+
+namespace {
+
+const char* kPreloadLib = HT_PRELOAD_LIB;
+const char* kLeakyVictim = HT_LEAKY_VICTIM_BIN;
+const char* kHtrun = HT_HTRUN_BIN;
+const char* kHtctl = HT_HTCTL_BIN;
+const char* kHtagg = HT_HTAGG_BIN;
+const char* kLeakyHtp = HT_LEAKY_HTP;
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+}
+
+/// First line of `text` containing `needle`, or "" when absent.
+std::string line_with(const std::string& text, const std::string& needle) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(needle) != std::string::npos) return line;
+  }
+  return "";
+}
+
+/// Value of a "key=<integer>" field inside a dump line; -1 when absent.
+long long field_value(const std::string& line, const std::string& key) {
+  const std::size_t pos = line.find(key + "=");
+  if (pos == std::string::npos) return -1;
+  return std::stoll(line.substr(pos + key.size() + 1));
+}
+
+/// A candidate journal (FORMATS.md §7) whose one candidate was sighted at
+/// t=1s and promoted at t=4s: time to immunity exactly 3 seconds.
+std::string write_journal(const std::string& name) {
+  const std::string path = temp_path(name);
+  write_file(path,
+             "# HeapTherapy+ candidate quarantine\n"
+             "version 1\n"
+             "candidate malloc 0x0000000000000042 OVERFLOW guard_trap "
+             "hits=3 first=1000000000\n"
+             "verdict malloc 0x0000000000000042 OVERFLOW promoted "
+             "validated t=4000000000\n");
+  return path;
+}
+
+/// Replays the leaky service with 1-in-1 sampling under an empty patch
+/// config and returns the §4 dump text (also leaving it at `dump_path`
+/// for the CLI tests).
+std::string replay_leaky_dump(const std::string& dump_path) {
+  const std::string cfg = temp_path("ht_heapprof_empty.cfg");
+  write_file(cfg, "version 1\n");
+  const int rc = run_command(
+      std::string(kHtrun) + " replay " + kLeakyHtp +
+      " --input 4096,64 --config " + cfg + " --heapprof 1 --telemetry " +
+      dump_path + " > /dev/null");
+  EXPECT_EQ(rc, 0);
+  std::remove(cfg.c_str());
+  return read_file(dump_path);
+}
+
+TEST(HeapProfIntegration, ReplayAttributesLeakToAllocationContext) {
+  const std::string dump_path = temp_path("ht_heapprof_replay.dump");
+  const std::string dump = replay_leaky_dump(dump_path);
+
+  EXPECT_NE(dump.find("heapprof rate=1"), std::string::npos) << dump;
+
+  // The leaked session buffer: 4096 bytes still live, one object, never
+  // freed, old enough to be a leak suspect.
+  const std::string leak_line = line_with(dump, "live_bytes=4096");
+  ASSERT_FALSE(leak_line.empty()) << dump;
+  EXPECT_EQ(field_value(leak_line, "live_objects"), 1);
+  EXPECT_EQ(field_value(leak_line, "allocs"), 1);
+  EXPECT_EQ(field_value(leak_line, "frees"), 0);
+  EXPECT_EQ(field_value(leak_line, "suspects"), 1);
+
+  // The churn context: 2000 allocations, all freed, nothing suspect.
+  const std::string churn_line = line_with(dump, "allocs=2000");
+  ASSERT_FALSE(churn_line.empty()) << dump;
+  EXPECT_EQ(field_value(churn_line, "live_bytes"), 0);
+  EXPECT_EQ(field_value(churn_line, "frees"), 2000);
+  EXPECT_EQ(field_value(churn_line, "suspects"), 0);
+
+  // A threshold was derived from the churn's lifetime histogram.
+  const std::string meta_line = line_with(dump, "heapprof rate=");
+  EXPECT_GT(field_value(meta_line, "threshold_ns"), 0);
+  std::remove(dump_path.c_str());
+}
+
+TEST(HeapProfIntegration, HtctlHeapRendersSymbolizedTableAndFlamegraph) {
+  const std::string dump_path = temp_path("ht_heapprof_ctl.dump");
+  replay_leaky_dump(dump_path);
+  const std::string table_out = temp_path("ht_heapprof_table.txt");
+  const std::string folded_out = temp_path("ht_heapprof_folded.txt");
+
+  ASSERT_EQ(run_command(std::string(kHtctl) + " heap " + dump_path +
+                        " --program " + kLeakyHtp + " > " + table_out),
+            0);
+  const std::string table = read_file(table_out);
+  EXPECT_NE(table.find("heap profile: rate=1"), std::string::npos) << table;
+  EXPECT_NE(table.find("top 2 of 2 contexts"), std::string::npos) << table;
+  // The leak ranks first (4096 live bytes beat 0) and symbolizes to its
+  // allocation context chain.
+  EXPECT_NE(table.find("main -> session_init -> malloc"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("handle_request"), std::string::npos) << table;
+  EXPECT_NE(table.find("object age at free (sampled):"), std::string::npos)
+      << table;
+
+  // Collapsed flamegraph: one folded stack per context with live bytes as
+  // the sample count; zero-byte contexts (the churn) carry no area.
+  ASSERT_EQ(run_command(std::string(kHtctl) + " heap " + dump_path +
+                        " --collapsed --program " + kLeakyHtp + " > " +
+                        folded_out),
+            0);
+  const std::string folded = read_file(folded_out);
+  EXPECT_NE(folded.find("main;session_init;malloc 4096\n"), std::string::npos)
+      << folded;
+  EXPECT_EQ(folded.find("handle_request"), std::string::npos) << folded;
+  // Strict folded-stack shape: every line is "frames <count>".
+  std::istringstream lines(folded);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find(' '), space) << line;  // exactly one space
+    EXPECT_EQ(line.substr(space + 1).find_first_not_of("0123456789"),
+              std::string::npos)
+        << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);  // only the leak carries live bytes
+
+  std::remove(dump_path.c_str());
+  std::remove(table_out.c_str());
+  std::remove(folded_out.c_str());
+}
+
+TEST(HeapProfIntegration, PreloadLeakyVictimSurfacesLeakSuspect) {
+  const std::string dump_path = temp_path("ht_heapprof_preload.dump");
+  std::remove(dump_path.c_str());
+  // detect_leaks=0: the victim leaks BY DESIGN; a sanitizer-built tree
+  // must not fail the exercise for demonstrating the thing it profiles.
+  ASSERT_EQ(run_command("ASAN_OPTIONS=detect_leaks=0"
+                        " HEAPTHERAPY_HEAPPROF=1 HEAPTHERAPY_HEAPPROF_PCTL=50"
+                        " HEAPTHERAPY_TELEMETRY=" + dump_path +
+                        " LD_PRELOAD='" + std::string(kPreloadLib) + "' '" +
+                        kLeakyVictim + "' > /dev/null"),
+            0);
+  const std::string dump = read_file(dump_path);
+  EXPECT_NE(dump.find("heapprof rate=1 pctl=50"), std::string::npos) << dump;
+  // Uninstrumented victim: every allocation reports CCID 0, so the leaked
+  // 64 KiB lands in the 0x0 census row (plus whatever libc keeps live).
+  const std::string row = line_with(dump, "heapcensus malloc 0x0000000000000000");
+  ASSERT_FALSE(row.empty()) << dump;
+  EXPECT_GE(field_value(row, "live_bytes"), 64 * 1024);
+  EXPECT_GE(field_value(row, "suspects"), 1);
+  std::remove(dump_path.c_str());
+}
+
+TEST(HeapProfIntegration, HtaggExportsHeapSeriesAndTimeToImmunity) {
+  const std::string dump_path = temp_path("ht_heapprof_agg.dump");
+  replay_leaky_dump(dump_path);
+  const std::string journal = write_journal("ht_heapprof_agg.journal");
+  const std::string out = temp_path("ht_heapprof_agg.prom");
+
+  ASSERT_EQ(run_command(std::string(kHtagg) + " " + dump_path +
+                        " --format prom --candidates " + journal + " --out " +
+                        out + " > /dev/null"),
+            0);
+  const std::string prom = read_file(out);
+  const auto errors = ht::runtime::prometheus_lint(prom);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_NE(prom.find("ht_heap_sampled_total 2001"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("ht_heap_live_bytes{fn=\"malloc\",ccid=\"0x"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("} 4096\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("ht_heap_age_ns_bucket{le=\"+Inf\"} 2000"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("ht_time_to_immunity_seconds{fn=\"malloc\","
+                      "ccid=\"0x0000000000000042\"} 3.000000"),
+            std::string::npos)
+      << prom;
+
+  std::remove(dump_path.c_str());
+  std::remove(journal.c_str());
+  std::remove(out.c_str());
+}
+
+/// Waits for the daemon's socket to appear (bound before the recv loop).
+bool wait_for_socket(const std::string& path) {
+  for (int i = 0; i < 250; ++i) {
+    if (std::filesystem::exists(path)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+TEST(HeapProfIntegration, ServeMatchesBatchByteForByteWithHeapSeries) {
+  const std::string sock = temp_path("ht_heapprof_e2e.sock");
+  const std::string dump_dir = temp_path("ht_heapprof_dumps");
+  const std::string daemon_out = temp_path("ht_heapprof_daemon.prom");
+  const std::string batch_out = temp_path("ht_heapprof_batch.prom");
+  const std::string journal = write_journal("ht_heapprof_serve.journal");
+  std::filesystem::remove_all(dump_dir);
+  std::filesystem::create_directory(dump_dir);
+  std::remove(sock.c_str());
+  std::remove(daemon_out.c_str());
+
+  int serve_exit = -1;
+  std::thread daemon([&] {
+    serve_exit = run_command(std::string(kHtagg) + " serve --listen unix:" +
+                             sock + " --max-frames 1 --dump-dir " + dump_dir +
+                             " --format prom --candidates " + journal +
+                             " --out " + daemon_out);
+  });
+  ASSERT_TRUE(wait_for_socket(sock)) << "htagg serve never bound " << sock;
+
+  // One leaky profiled victim streaming its exit-time frame — the flush
+  // interval is parked high so exactly one frame arrives.
+  ASSERT_EQ(run_command("ASAN_OPTIONS=detect_leaks=0"
+                        " HEAPTHERAPY_HEAPPROF=1"
+                        " HEAPTHERAPY_TELEMETRY=unix:" + sock +
+                        " HEAPTHERAPY_TELEMETRY_INTERVAL=60000"
+                        " LD_PRELOAD='" + std::string(kPreloadLib) + "' '" +
+                        kLeakyVictim + "' > /dev/null"),
+            0);
+  daemon.join();
+  EXPECT_EQ(serve_exit, 0);
+
+  const std::string daemon_prom = read_file(daemon_out);
+  ASSERT_FALSE(daemon_prom.empty());
+  EXPECT_NE(daemon_prom.find("ht_heap_live_bytes"), std::string::npos)
+      << daemon_prom;
+  EXPECT_NE(daemon_prom.find("ht_time_to_immunity_seconds"), std::string::npos)
+      << daemon_prom;
+
+  // Batch over the daemon's own --dump-dir bridge must reproduce the
+  // exposition byte for byte — heap census, age histogram, immunity rows
+  // and all.
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dump_dir)) {
+    dumps.push_back(entry.path().string());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  ASSERT_EQ(run_command(std::string(kHtagg) + " " + dumps[0] +
+                        " --format prom --candidates " + journal + " --out " +
+                        batch_out + " > /dev/null"),
+            0);
+  EXPECT_EQ(read_file(batch_out), daemon_prom);
+
+  std::filesystem::remove_all(dump_dir);
+  std::remove(journal.c_str());
+  std::remove(daemon_out.c_str());
+  std::remove(batch_out.c_str());
+  std::remove(sock.c_str());
+}
+
+}  // namespace

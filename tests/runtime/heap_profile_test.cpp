@@ -1,0 +1,317 @@
+// Sampled heap profiler (runtime/heap_profile.hpp and its engine wiring,
+// docs/OBSERVABILITY.md §9): age-histogram bucket/percentile math, census
+// rate scaling and overflow accounting, the lock-free live registry, and
+// the end-to-end contract through GuardedAllocator — rate 1 is an exact
+// census, rate N an unbiased estimate, and a long-lived allocation
+// surfaces as a leak suspect attributed to its {FUN, CCID}.
+#include "runtime/heap_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/guarded_allocator.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/telemetry_agg.hpp"
+
+namespace ht::runtime {
+namespace {
+
+using progmodel::AllocFn;
+
+constexpr std::uint8_t kMallocFn = static_cast<std::uint8_t>(AllocFn::kMalloc);
+
+// ---- AgeHistogram ----
+
+TEST(AgeHistogram, BucketPlacementFollowsLog2Limits) {
+  AgeHistogram h;
+  h.record(0);        // < 1024 ns
+  h.record(1023);     // still bucket 0
+  h.record(1024);     // exactly the bucket-0 limit -> bucket 1
+  h.record(1 << 20);  // 2^20 -> bucket 11 (limit 2^21)
+  h.record(~0ULL);    // unbounded last bucket
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[11], 1u);
+  EXPECT_EQ(h.buckets[AgeHistogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(AgeHistogram, BucketLimits) {
+  EXPECT_EQ(AgeHistogram::bucket_limit_ns(0), 1024u);
+  EXPECT_EQ(AgeHistogram::bucket_limit_ns(1), 2048u);
+  // The last bucket is unbounded: no finite limit.
+  EXPECT_EQ(AgeHistogram::bucket_limit_ns(AgeHistogram::kBuckets - 1), 0u);
+}
+
+TEST(AgeHistogram, PercentileLimits) {
+  AgeHistogram h;
+  EXPECT_EQ(h.percentile_limit_ns(99), 0u);  // empty: no threshold yet
+
+  for (int i = 0; i < 90; ++i) h.record(100);    // bucket 0
+  for (int i = 0; i < 10; ++i) h.record(5000);   // bucket 3 (< 8192)
+  EXPECT_EQ(h.percentile_limit_ns(50), 1024u);
+  EXPECT_EQ(h.percentile_limit_ns(90), 1024u);   // exactly covered by bucket 0
+  EXPECT_EQ(h.percentile_limit_ns(91), 8192u);
+  EXPECT_EQ(h.percentile_limit_ns(100), 8192u);
+}
+
+TEST(AgeHistogram, PercentileInUnboundedBucketYieldsLargestFiniteLimit) {
+  AgeHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(~0ULL);
+  EXPECT_EQ(h.percentile_limit_ns(99),
+            AgeHistogram::bucket_limit_ns(AgeHistogram::kBuckets - 2));
+}
+
+TEST(AgeHistogram, MergeSumsBuckets) {
+  AgeHistogram a;
+  AgeHistogram b;
+  a.record(10);
+  b.record(10);
+  b.record(4096);  // exactly the bucket-2 limit -> bucket 3
+  a += b;
+  EXPECT_EQ(a.buckets[0], 2u);
+  EXPECT_EQ(a.buckets[3], 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+// ---- HeapCensus ----
+
+TEST(HeapCensus, ScalesSampledValuesByRate) {
+  HeapCensus c;
+  c.record_alloc(kMallocFn, 0xABC, 100, 8);
+  HeapCensusRow rows[HeapCensus::kSlots];
+  ASSERT_EQ(c.copy_rows(rows, HeapCensus::kSlots), 1u);
+  EXPECT_EQ(rows[0].fn, kMallocFn);
+  EXPECT_EQ(rows[0].ccid, 0xABCu);
+  EXPECT_EQ(rows[0].live_bytes, 800);
+  EXPECT_EQ(rows[0].live_objects, 8);
+  EXPECT_EQ(rows[0].allocs, 8u);
+  EXPECT_EQ(rows[0].frees, 0u);
+
+  c.record_free(kMallocFn, 0xABC, 100, 8);
+  ASSERT_EQ(c.copy_rows(rows, HeapCensus::kSlots), 1u);
+  EXPECT_EQ(rows[0].live_bytes, 0);
+  EXPECT_EQ(rows[0].live_objects, 0);
+  EXPECT_EQ(rows[0].allocs, 8u);
+  EXPECT_EQ(rows[0].frees, 8u);
+}
+
+TEST(HeapCensus, SingleContextFreeCanGoNegative) {
+  // Pointer-hash free routing: a shard can see the free of an object it
+  // never saw allocated. Its contribution must go negative, not saturate.
+  HeapCensus c;
+  c.record_free(kMallocFn, 0x1, 64, 4);
+  HeapCensusRow rows[HeapCensus::kSlots];
+  ASSERT_EQ(c.copy_rows(rows, HeapCensus::kSlots), 1u);
+  EXPECT_EQ(rows[0].live_bytes, -256);
+  EXPECT_EQ(rows[0].live_objects, -4);
+}
+
+TEST(HeapCensus, OverflowIsCountedNotSilent) {
+  HeapCensus c;
+  const std::uint32_t attempts = HeapCensus::kSlots + 10;
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    c.record_alloc(kMallocFn, 0x1000 + i, 16, 1);
+  }
+  HeapCensusRow rows[HeapCensus::kSlots];
+  EXPECT_EQ(c.copy_rows(rows, HeapCensus::kSlots), HeapCensus::kSlots);
+  EXPECT_EQ(c.overflow(), 10u);
+}
+
+// ---- HeapProfileRegistry ----
+
+TEST(HeapProfileRegistry, UnconfiguredIsInertNoop) {
+  HeapProfileRegistry reg;
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(reg.insert(&reg, kMallocFn, 0x1, 16, 100));
+  HeapLiveEntry e;
+  EXPECT_FALSE(reg.remove(&reg, e));
+  EXPECT_EQ(reg.snapshot_live(&e, 1), 0u);
+  // An unconfigured registry is OFF, not overflowing.
+  EXPECT_EQ(reg.overflow(), 0u);
+}
+
+TEST(HeapProfileRegistry, InsertRemoveRoundTripsFields) {
+  HeapProfileRegistry reg;
+  reg.configure();
+  ASSERT_TRUE(reg.enabled());
+  int dummy = 0;
+  ASSERT_TRUE(reg.insert(&dummy, kMallocFn, 0xCC1DULL, 4096, 777));
+  HeapLiveEntry e;
+  ASSERT_TRUE(reg.remove(&dummy, e));
+  EXPECT_EQ(e.fn, kMallocFn);
+  EXPECT_EQ(e.ccid, 0xCC1DULL);
+  EXPECT_EQ(e.size, 4096u);
+  EXPECT_EQ(e.alloc_ns, 777u);
+  // Removal frees the slot: a second remove finds nothing.
+  EXPECT_FALSE(reg.remove(&dummy, e));
+  EXPECT_EQ(reg.snapshot_live(&e, 1), 0u);
+}
+
+TEST(HeapProfileRegistry, SnapshotSeesLiveEntries) {
+  HeapProfileRegistry reg;
+  reg.configure();
+  int anchors[3];
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(reg.insert(&anchors[i], kMallocFn, 0x100 + i, 32 + i, 1000 + i));
+  }
+  HeapLiveEntry out[8];
+  EXPECT_EQ(reg.snapshot_live(out, 8), 3u);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < 3; ++i) seen |= 1ULL << (out[i].ccid - 0x100);
+  EXPECT_EQ(seen, 0b111u);
+}
+
+TEST(HeapProfileRegistry, RemovalHolesDoNotStrandLaterEntries) {
+  // Probe chains must survive interleaved removals: a remove cannot stop
+  // at the first empty slot, because the insert it is looking for may have
+  // probed past entries freed since.
+  HeapProfileRegistry reg;
+  reg.configure();
+  std::vector<int> anchors(1000);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    ASSERT_TRUE(reg.insert(&anchors[i], kMallocFn, i, 16, i));
+  }
+  // Remove evens (punching holes), then odds (probing across the holes).
+  HeapLiveEntry e;
+  for (std::size_t i = 0; i < anchors.size(); i += 2) {
+    EXPECT_TRUE(reg.remove(&anchors[i], e)) << i;
+  }
+  for (std::size_t i = 1; i < anchors.size(); i += 2) {
+    EXPECT_TRUE(reg.remove(&anchors[i], e)) << i;
+    EXPECT_EQ(e.ccid, i);
+  }
+}
+
+TEST(HeapProfileRegistry, OverflowCountsFailedInsertsAtCapacity) {
+  HeapProfileRegistry reg;
+  reg.configure();
+  const std::uint32_t attempts = HeapProfileRegistry::kSlots * 2;
+  std::uint32_t ok = 0;
+  for (std::uint32_t i = 0; i < attempts; ++i) {
+    // Distinct fake pointers; never 0 or kBusy.
+    const void* p = reinterpret_cast<const void*>(
+        static_cast<std::uintptr_t>(0x10000 + i * 16));
+    if (reg.insert(p, kMallocFn, i, 16, i)) ++ok;
+  }
+  EXPECT_LE(ok, HeapProfileRegistry::kSlots);
+  EXPECT_EQ(reg.overflow(), attempts - ok);
+  EXPECT_GE(reg.overflow(), static_cast<std::uint64_t>(
+                                HeapProfileRegistry::kSlots));
+}
+
+// ---- End to end through GuardedAllocator ----
+
+TEST(HeapProfileE2E, RateOneCensusIsExact) {
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.telemetry.heap_profile_rate = 1;
+  GuardedAllocator allocator(nullptr, config);
+
+  std::vector<void*> live;
+  for (int i = 0; i < 10; ++i) live.push_back(allocator.malloc(64, 0xAB));
+  for (int i = 0; i < 4; ++i) {
+    allocator.free(live.back());
+    live.pop_back();
+  }
+
+  const TelemetrySnapshot snap = allocator.telemetry_snapshot();
+  EXPECT_EQ(snap.heap_sampled, 10u);
+  EXPECT_EQ(snap.heap_registry_overflow, 0u);
+  EXPECT_EQ(snap.heap_census_overflow, 0u);
+  ASSERT_EQ(snap.heap_census.size(), 1u);
+  const HeapCensusRow& row = snap.heap_census[0];
+  EXPECT_EQ(row.fn, kMallocFn);
+  EXPECT_EQ(row.ccid, 0xABu);
+  EXPECT_EQ(row.live_bytes, 6 * 64);
+  EXPECT_EQ(row.live_objects, 6);
+  EXPECT_EQ(row.allocs, 10u);
+  EXPECT_EQ(row.frees, 4u);
+  for (void* p : live) allocator.free(p);
+}
+
+TEST(HeapProfileE2E, SampledCensusIsAnUnbiasedEstimate) {
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.telemetry.heap_profile_rate = 8;
+  GuardedAllocator allocator(nullptr, config);
+
+  constexpr int kAllocs = 20000;
+  std::vector<void*> live;
+  live.reserve(kAllocs);
+  for (int i = 0; i < kAllocs; ++i) live.push_back(allocator.malloc(32, 0x77));
+
+  const TelemetrySnapshot snap = allocator.telemetry_snapshot();
+  // ~1-in-8 sampling over 20k draws: the estimate concentrates far inside
+  // ±20% (the binomial sd here is under 2% of the mean).
+  EXPECT_GT(snap.heap_sampled, 0u);
+  ASSERT_EQ(snap.heap_census.size(), 1u);
+  const HeapCensusRow& row = snap.heap_census[0];
+  EXPECT_GE(row.live_objects, kAllocs * 8 / 10);
+  EXPECT_LE(row.live_objects, kAllocs * 12 / 10);
+  EXPECT_EQ(row.live_bytes, row.live_objects * 32);
+  EXPECT_EQ(row.allocs, static_cast<std::uint64_t>(row.live_objects));
+  EXPECT_EQ(row.frees, 0u);
+  for (void* p : live) allocator.free(p);
+}
+
+TEST(HeapProfileE2E, LongLivedAllocationBecomesLeakSuspect) {
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  config.telemetry.heap_profile_rate = 1;
+  config.telemetry.heap_age_percentile = 50;
+  GuardedAllocator allocator(nullptr, config);
+
+  // The "leak": allocated first, never freed.
+  void* leak = allocator.malloc(128, 0x1EAC);
+  ASSERT_NE(leak, nullptr);
+  // Churn: plenty of short-lived objects to pin the lifetime p50 low.
+  for (int i = 0; i < 1000; ++i) allocator.free(allocator.malloc(32, 0xFEED));
+  // Let the leak age well past any plausible churn median (the churn
+  // lifetimes are sub-millisecond even under sanitizers).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const TelemetrySnapshot snap = allocator.telemetry_snapshot();
+  EXPECT_GT(snap.heap_threshold_ns, 0u);
+  ASSERT_EQ(snap.heap_census.size(), 2u);
+  // finalize_snapshot sorts {fn, ccid}: 0x1EAC before 0xFEED.
+  const HeapCensusRow& leak_row = snap.heap_census[0];
+  EXPECT_EQ(leak_row.ccid, 0x1EACu);
+  EXPECT_EQ(leak_row.live_objects, 1);
+  EXPECT_EQ(leak_row.live_bytes, 128);
+  EXPECT_GE(leak_row.suspects, 1u);
+  const HeapCensusRow& churn_row = snap.heap_census[1];
+  EXPECT_EQ(churn_row.ccid, 0xFEEDu);
+  EXPECT_EQ(churn_row.live_objects, 0);
+  EXPECT_EQ(churn_row.suspects, 0u);
+
+  // The profiled snapshot must survive the §8 text round trip too.
+  const LoadedTelemetry reloaded =
+      load_telemetry_content(render_telemetry(snap));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(render_telemetry(reloaded.snapshot), render_telemetry(snap));
+
+  allocator.free(leak);
+}
+
+TEST(HeapProfileE2E, RateZeroLeavesNoTrace) {
+  GuardedAllocatorConfig config;
+  config.use_guard_pages = false;
+  GuardedAllocator allocator(nullptr, config);
+  void* p = allocator.malloc(64, 0xAB);
+  allocator.free(p);
+  const TelemetrySnapshot snap = allocator.telemetry_snapshot();
+  EXPECT_EQ(snap.heap_sampled, 0u);
+  EXPECT_TRUE(snap.heap_census.empty());
+  EXPECT_EQ(snap.heap_age.total(), 0u);
+  EXPECT_EQ(snap.heap_threshold_ns, 0u);
+  // A profiler-less snapshot renders no §8 section at all.
+  EXPECT_EQ(render_telemetry(snap).find("heapprof"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::runtime

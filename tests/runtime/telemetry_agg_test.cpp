@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "patch/candidate.hpp"
+
 namespace ht::runtime {
 namespace {
 
@@ -187,6 +189,162 @@ TEST(TelemetryAgg, LintCatchesSeededViolations) {
                               "a_total{x=\"y\"} 1\n"
                               "a_total{x=\"z\"} 2\n")
                   .empty());
+}
+
+TEST(TelemetryAgg, HeapCensusMergesKeyWiseAndRanksByLiveBytes) {
+  TelemetrySnapshot a;
+  a.config.heap_profile_rate = 8;
+  a.heap_census.push_back({0 /*malloc*/, 0x1, 100, 2, 10, 8, 1});
+  a.heap_census.push_back({0 /*malloc*/, 0x2, 500, 5, 5, 0, 0});
+  a.heap_sampled = 15;
+  a.heap_registry_overflow = 1;
+  a.heap_age.buckets[0] = 4;
+  TelemetrySnapshot b;
+  b.config.heap_profile_rate = 8;
+  // Cross-shard routing: b saw frees for 0x1 it never saw allocated.
+  b.heap_census.push_back({0 /*malloc*/, 0x1, -40, -1, 0, 3, 0});
+  b.heap_sampled = 3;
+  b.heap_census_overflow = 2;
+  b.heap_age.buckets[0] = 1;
+  b.heap_age.buckets[5] = 2;
+
+  const TelemetryAggregate agg = aggregate_telemetry({{"a", a}, {"b", b}});
+  EXPECT_EQ(agg.heap_sampled, 18u);
+  EXPECT_EQ(agg.heap_registry_overflow, 1u);
+  EXPECT_EQ(agg.heap_census_overflow, 2u);
+  EXPECT_EQ(agg.heap_age.buckets[0], 5u);
+  EXPECT_EQ(agg.heap_age.buckets[5], 2u);
+  ASSERT_EQ(agg.heap_census.size(), 2u);
+  // Ranked by merged live_bytes descending: 0x2 (500) above 0x1 (60).
+  EXPECT_EQ(agg.heap_census[0].ccid, 0x2u);
+  EXPECT_EQ(agg.heap_census[0].live_bytes, 500);
+  EXPECT_EQ(agg.heap_census[1].ccid, 0x1u);
+  EXPECT_EQ(agg.heap_census[1].live_bytes, 60);
+  EXPECT_EQ(agg.heap_census[1].live_objects, 1);
+  EXPECT_EQ(agg.heap_census[1].allocs, 10u);
+  EXPECT_EQ(agg.heap_census[1].frees, 11u);
+  EXPECT_EQ(agg.heap_census[1].suspects, 1u);
+}
+
+TEST(TelemetryAgg, HeapCensusTiesBreakByFnThenCcidAscending) {
+  TelemetrySnapshot s;
+  s.config.heap_profile_rate = 1;
+  // Three rows with identical live_bytes: order must be {fn, ccid} asc,
+  // reproducibly, whatever the input order was.
+  s.heap_census.push_back({1 /*calloc*/, 0x3, 64, 1, 1, 0, 0});
+  s.heap_census.push_back({0 /*malloc*/, 0x9, 64, 1, 1, 0, 0});
+  s.heap_census.push_back({0 /*malloc*/, 0x3, 64, 1, 1, 0, 0});
+  const TelemetryAggregate agg = aggregate_telemetry({{"s", s}});
+  ASSERT_EQ(agg.heap_census.size(), 3u);
+  EXPECT_EQ(agg.heap_census[0].fn, 0);
+  EXPECT_EQ(agg.heap_census[0].ccid, 0x3u);
+  EXPECT_EQ(agg.heap_census[1].fn, 0);
+  EXPECT_EQ(agg.heap_census[1].ccid, 0x9u);
+  EXPECT_EQ(agg.heap_census[2].fn, 1);
+  EXPECT_EQ(agg.heap_census[2].ccid, 0x3u);
+}
+
+TEST(TelemetryAgg, HeapSeriesPassLintAndExportEstimates) {
+  TelemetrySnapshot s;
+  s.config.heap_profile_rate = 8;
+  s.heap_census.push_back({0 /*malloc*/, 0x42, 800, 8, 16, 8, 2});
+  s.heap_sampled = 16;
+  s.heap_age.buckets[0] = 5;
+  s.heap_age.buckets[2] = 3;
+  TelemetryAggregate agg = aggregate_telemetry({{"s", s}});
+  agg.time_to_immunity.push_back({AllocFn::kMalloc, 0x42, 2.5});
+
+  const std::string prom = aggregate_prometheus(agg);
+  const std::vector<std::string> errors = prometheus_lint(prom);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_NE(prom.find("ht_heap_sampled_total 16"), std::string::npos);
+  EXPECT_NE(prom.find("ht_heap_live_bytes{fn=\"malloc\",ccid=\"0x0000000000000042\"} 800"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ht_heap_live_objects{fn=\"malloc\",ccid=\"0x0000000000000042\"} 8"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ht_heap_leak_suspects{fn=\"malloc\",ccid=\"0x0000000000000042\"} 2"),
+            std::string::npos);
+  // Cumulative age histogram: bucket 0 (5) then bucket 2 adds 3.
+  EXPECT_NE(prom.find("ht_heap_age_ns_bucket{le=\"1024\"} 5"), std::string::npos);
+  EXPECT_NE(prom.find("ht_heap_age_ns_bucket{le=\"4096\"} 8"), std::string::npos);
+  EXPECT_NE(prom.find("ht_heap_age_ns_bucket{le=\"+Inf\"} 8"), std::string::npos);
+  EXPECT_NE(prom.find("ht_heap_age_ns_count 8"), std::string::npos);
+  EXPECT_EQ(prom.find("ht_heap_age_ns_sum"), std::string::npos);
+  EXPECT_NE(prom.find("ht_time_to_immunity_seconds{fn=\"malloc\",ccid=\"0x0000000000000042\"} 2.500000"),
+            std::string::npos);
+}
+
+TEST(TelemetryAgg, TimeToImmunityFromPromotionVerdicts) {
+  patch::CandidateParseResult journal;
+  // Two sightings of the same key: the EARLIEST nonzero first-seen wins.
+  journal.candidates.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                                patch::CandidateOrigin::kGuardTrap, 3,
+                                2'000'000'000ULL});
+  journal.candidates.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                                patch::CandidateOrigin::kCanary, 1,
+                                1'000'000'000ULL});
+  journal.verdicts.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                              patch::CandidateVerdict::kPromoted, "ok",
+                              4'000'000'000ULL});
+  const std::vector<TimeToImmunityRow> rows =
+      compute_time_to_immunity(journal);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].fn, AllocFn::kMalloc);
+  EXPECT_EQ(rows[0].ccid, 0xAu);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 3.0);
+}
+
+TEST(TelemetryAgg, TimeToImmunityLatestVerdictWins) {
+  patch::CandidateParseResult journal;
+  journal.candidates.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                                patch::CandidateOrigin::kGuardTrap, 1,
+                                1'000'000'000ULL});
+  journal.candidates.push_back({AllocFn::kCalloc, 0xB, patch::kOverflow,
+                                patch::CandidateOrigin::kGuardTrap, 1,
+                                1'000'000'000ULL});
+  // 0xA: promoted then demoted -> immune no more, no row.
+  journal.verdicts.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                              patch::CandidateVerdict::kPromoted, "ok",
+                              2'000'000'000ULL});
+  journal.verdicts.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                              patch::CandidateVerdict::kDemoted, "fp",
+                              3'000'000'000ULL});
+  // 0xB: rejected then promoted on re-validation -> row stands.
+  journal.verdicts.push_back({AllocFn::kCalloc, 0xB, patch::kOverflow,
+                              patch::CandidateVerdict::kRejected, "flaky",
+                              2'000'000'000ULL});
+  journal.verdicts.push_back({AllocFn::kCalloc, 0xB, patch::kOverflow,
+                              patch::CandidateVerdict::kPromoted, "ok",
+                              5'000'000'000ULL});
+  const std::vector<TimeToImmunityRow> rows =
+      compute_time_to_immunity(journal);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].fn, AllocFn::kCalloc);
+  EXPECT_EQ(rows[0].ccid, 0xBu);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 4.0);
+}
+
+TEST(TelemetryAgg, TimeToImmunityClampsSkewAndOmitsUnseen) {
+  patch::CandidateParseResult journal;
+  // Clock skew: promotion stamped BEFORE the first sighting -> 0, not
+  // negative.
+  journal.candidates.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                                patch::CandidateOrigin::kGuardTrap, 1,
+                                5'000'000'000ULL});
+  journal.verdicts.push_back({AllocFn::kMalloc, 0xA, patch::kOverflow,
+                              patch::CandidateVerdict::kPromoted, "ok",
+                              1'000'000'000ULL});
+  // No nonzero first-seen: no interval to measure, key omitted.
+  journal.candidates.push_back({AllocFn::kCalloc, 0xB, patch::kOverflow,
+                                patch::CandidateOrigin::kGuardTrap, 1, 0});
+  journal.verdicts.push_back({AllocFn::kCalloc, 0xB, patch::kOverflow,
+                              patch::CandidateVerdict::kPromoted, "ok",
+                              9'000'000'000ULL});
+  const std::vector<TimeToImmunityRow> rows =
+      compute_time_to_immunity(journal);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].ccid, 0xAu);
+  EXPECT_DOUBLE_EQ(rows[0].seconds, 0.0);
 }
 
 TEST(TelemetryAgg, AggregateOfParsedDumpsMatchesDirectAggregate) {

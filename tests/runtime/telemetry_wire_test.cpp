@@ -74,6 +74,23 @@ TelemetrySnapshot rich_snapshot() {
   s.latency.buckets[5] = 8;
   s.latency.buckets[LatencyHistogram::kBuckets - 1] = 3;  // unbounded
 
+  // Heap profiler section (FORMATS.md §8) in its post-finalize shape:
+  // rows sorted {fn, ccid} ascending, live fields clamped non-negative,
+  // one suspects-only row, sparse ages including the unbounded bucket.
+  s.config.heap_profile_rate = 64;
+  s.config.heap_age_percentile = 95;
+  s.heap_census.push_back({static_cast<std::uint8_t>(AllocFn::kMalloc),
+                           0x1102aabbccdd0011ULL, 8192, 4, 320, 316, 64});
+  s.heap_census.push_back({static_cast<std::uint8_t>(AllocFn::kCalloc), 0x99,
+                           0, 0, 128, 128, 0});
+  s.heap_sampled = 448;
+  s.heap_registry_overflow = 2;
+  s.heap_census_overflow = 1;
+  s.heap_threshold_ns = 1048576;
+  s.heap_age.buckets[0] = 100;
+  s.heap_age.buckets[7] = 40;
+  s.heap_age.buckets[AgeHistogram::kBuckets - 1] = 6;  // unbounded
+
   for (std::uint64_t i = 0; i < 4; ++i) {
     TelemetryRecord e{};
     e.seq = i + 1;
@@ -325,6 +342,58 @@ TEST(TelemetryWire, OutOfRangeEnumsAreSkippedWithNote) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.skipped_records, 1u);
   EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(TelemetryWire, HeapMetaPercentileOutOfRangeIsSkippedWithNote) {
+  for (const std::uint8_t pctl : {std::uint8_t{0}, std::uint8_t{101}}) {
+    std::string payload;
+    payload.push_back(8);   // kHeapMeta, 37-byte body
+    payload.push_back(37);  // body length LE
+    payload.push_back(0);
+    payload.push_back(64);  // rate = 64 LE
+    payload.append(3, '\0');
+    payload.push_back(static_cast<char>(pctl));
+    payload.append(32, '\x01');  // sampled/overflows/threshold
+    const WireDecodeResult r =
+        decode_telemetry_frame(frame_with_payload(payload));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.skipped_records, 1u);
+    ASSERT_FALSE(r.notes.empty());
+    EXPECT_NE(r.notes.front().find("percentile"), std::string::npos);
+    // The poisoned meta must not half-apply: the snapshot stays inert.
+    EXPECT_EQ(r.snapshot.config.heap_profile_rate, 0u);
+    EXPECT_EQ(r.snapshot.heap_sampled, 0u);
+  }
+}
+
+TEST(TelemetryWire, HeapCensusUnknownAllocFnIsSkippedWithNote) {
+  std::string payload;
+  payload.push_back(9);   // kHeapCensus, 49-byte body
+  payload.push_back(49);  // body length LE
+  payload.push_back(0);
+  payload.push_back(static_cast<char>(0xEE));  // no such alloc fn
+  payload.append(48, '\x01');
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.skipped_records, 1u);
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes.front().find("alloc fn"), std::string::npos);
+  EXPECT_TRUE(r.snapshot.heap_census.empty());
+}
+
+TEST(TelemetryWire, HeapAgeBucketOutOfRangeIsSkippedWithNote) {
+  std::string payload;
+  payload.push_back(10);  // kHeapAge, 9-byte body
+  payload.push_back(9);   // body length LE
+  payload.push_back(0);
+  payload.push_back(static_cast<char>(AgeHistogram::kBuckets));
+  payload.append(8, '\x01');
+  const WireDecodeResult r = decode_telemetry_frame(frame_with_payload(payload));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.skipped_records, 1u);
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes.front().find("heap-age"), std::string::npos);
+  EXPECT_EQ(r.snapshot.heap_age.total(), 0u);
 }
 
 TEST(TelemetryWire, TrailingGarbageAfterPayloadIsNoted) {

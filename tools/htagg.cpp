@@ -28,6 +28,11 @@
 //   --dump-dir     also write each source's latest snapshot as a §4 text
 //                  dump <dir>/<source>.dump — the bridge back to batch
 //                  tooling (htctl stats, a later batch htagg run)
+//   --candidates   candidate journal (docs/FORMATS.md §7); exports add
+//                  ht_time_to_immunity_seconds per promoted {FUN, CCID} —
+//                  first sighting to promotion verdict. Re-read on every
+//                  export so running htpromote updates a live daemon.
+//                  Accepted in batch mode too.
 //
 // SIGINT/SIGTERM shut the daemon down cleanly: final export, then exit 0.
 // A corrupt datagram is counted, noted in the output's skipped list as
@@ -59,6 +64,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "patch/candidate.hpp"
 #include "runtime/telemetry.hpp"
 #include "runtime/telemetry_agg.hpp"
 #include "runtime/telemetry_wire.hpp"
@@ -68,12 +74,12 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: htagg <dump>... [--format json|prom|both] [--top K] "
-               "[--out <path>]\n"
+               "[--out <path>] [--candidates <journal>]\n"
                "       htagg serve --listen unix:<socket> [--format "
                "json|prom|both] [--top K]\n"
                "             [--out <path>] [--interval-ms N] [--decay F] "
                "[--max-frames N]\n"
-               "             [--dump-dir <dir>]\n");
+               "             [--dump-dir <dir>] [--candidates <journal>]\n");
   return 1;
 }
 
@@ -81,6 +87,7 @@ struct Options {
   std::vector<std::string> paths;
   std::string format = "json";
   std::string out_path;
+  std::string candidates_path;  ///< journal for time-to-immunity rows
   std::size_t top_k = 0;
   // serve mode
   std::string listen;
@@ -96,6 +103,28 @@ bool parse_count(const char* text, unsigned long* out) {
   if (end == nullptr || end == text || *end != '\0') return false;
   *out = v;
   return true;
+}
+
+/// Fills agg.time_to_immunity from --candidates (docs/SELF_HEALING.md).
+/// The journal is re-read on every export: htpromote appends verdicts
+/// while a serve-mode aggregator runs, and each export should reflect
+/// them. A missing journal is normal (no trap yet) — empty rows, no
+/// error; a rejected journal is surfaced once per distinct reason.
+void fill_time_to_immunity(ht::runtime::TelemetryAggregate& agg,
+                           const Options& opt) {
+  if (opt.candidates_path.empty()) return;
+  const auto journal = ht::patch::load_candidate_journal(opt.candidates_path);
+  if (!journal) return;
+  if (!journal->ok()) {
+    static std::string last_reported;
+    if (journal->reject_reason != last_reported) {
+      last_reported = journal->reject_reason;
+      std::fprintf(stderr, "htagg: %s: %s\n", opt.candidates_path.c_str(),
+                   journal->reject_reason.c_str());
+    }
+    return;
+  }
+  agg.time_to_immunity = ht::runtime::compute_time_to_immunity(*journal);
 }
 
 std::string render_output(const ht::runtime::TelemetryAggregate& agg,
@@ -187,6 +216,7 @@ int run_batch(const Options& opt) {
   ht::runtime::TelemetryAggregate agg =
       ht::runtime::aggregate_telemetry(inputs);
   agg.skipped = std::move(skipped);
+  fill_time_to_immunity(agg, opt);
   return emit_output(agg, opt);
 }
 
@@ -265,7 +295,9 @@ int run_serve(const Options& opt) {
 
   const auto export_now = [&]() -> bool {
     if (opt.out_path.empty()) return true;  // stdout export only at exit
-    const std::string output = render_output(rolling.aggregate(), opt);
+    ht::runtime::TelemetryAggregate agg = rolling.aggregate();
+    fill_time_to_immunity(agg, opt);
+    const std::string output = render_output(agg, opt);
     if (!write_file_atomic(opt.out_path, output)) {
       std::fprintf(stderr, "htagg: cannot write %s\n", opt.out_path.c_str());
       return false;
@@ -337,7 +369,9 @@ int run_serve(const Options& opt) {
   ::unlink(target.path.c_str());
   // Final export: --out gets one last atomic rewrite; otherwise the rollup
   // goes to stdout so `htagg serve ... ; echo done` pipelines compose.
-  return emit_output(rolling.aggregate(), opt);
+  ht::runtime::TelemetryAggregate agg = rolling.aggregate();
+  fill_time_to_immunity(agg, opt);
+  return emit_output(agg, opt);
 }
 
 }  // namespace
@@ -365,6 +399,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (++i >= argc) return usage();
       opt.out_path = argv[i];
+    } else if (arg == "--candidates") {
+      if (++i >= argc) return usage();
+      opt.candidates_path = argv[i];
     } else if (serve && arg == "--listen") {
       if (++i >= argc) return usage();
       opt.listen = argv[i];

@@ -28,9 +28,11 @@
 //                                      --tree 1 also prints the span tree
 //
 // Exit codes: 0 ok, 1 usage, 2 validation errors, 3 I/O failure.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -62,6 +64,8 @@ int usage() {
                "       htctl merge <out> <in>...\n"
                "       htctl add <config> <alloc_fn> <ccid> <vuln_mask>\n"
                "       htctl stats <telemetry_dump>"
+               " [--program p.htp] [--strategy S] [--plan plan.txt]\n"
+               "       htctl heap <telemetry_dump> [--top N] [--collapsed]"
                " [--program p.htp] [--strategy S] [--plan plan.txt]\n"
                "       htctl trace <telemetry_dump>\n"
                "       htctl trace <prog.htp> --input a,b,..."
@@ -205,26 +209,36 @@ std::optional<ht::runtime::TelemetrySnapshot> load_dump(const std::string& path)
   return std::move(loaded.snapshot);
 }
 
-/// Prints the symbolized patch-hit section under the stats JSON: each
-/// {FUN, CCID} the runtime counted is decoded to a calling-context chain
-/// through the same encoder the offline phase uses. Degraded lookups
-/// (unknown CCID, collision, stale plan) print the raw id plus a warning.
-int print_symbolized_hits(const ht::runtime::TelemetrySnapshot& snap,
-                          const std::string& program_path,
-                          ht::cce::Strategy strategy,
-                          const std::string& plan_path) {
+/// Program + encoder + symbolizer, loaded once and shared by every command
+/// that decodes CCIDs (`stats --program`, `heap --program`). Heap-allocated
+/// members so the symbolizer's references survive moving the bundle.
+struct SymbolizerBundle {
+  std::unique_ptr<ht::progmodel::Program> program;
+  std::unique_ptr<ht::cce::PccEncoder> encoder;
+  std::unique_ptr<ht::analysis::CcidSymbolizer> symbolizer;
+};
+
+/// Builds the symbolizer the way `stats --program` always has: parse the
+/// program, load the plan file if given (a stale or foreign plan degrades
+/// every lookup rather than decoding wrongly), else recompute the plan.
+/// nullopt = unreadable/unparseable inputs, already reported to stderr.
+std::optional<SymbolizerBundle> make_symbolizer(const std::string& program_path,
+                                                ht::cce::Strategy strategy,
+                                                const std::string& plan_path) {
   const auto source = read_file(program_path);
   if (!source) {
     std::fprintf(stderr, "htctl: cannot read %s\n", program_path.c_str());
-    return 3;
+    return std::nullopt;
   }
   auto parsed = ht::progmodel::parse_program(*source);
   if (!parsed.program) {
     std::fprintf(stderr, "htctl: %s: %s\n", program_path.c_str(),
                  parsed.error.c_str());
-    return 3;
+    return std::nullopt;
   }
-  const ht::progmodel::Program& program = *parsed.program;
+  SymbolizerBundle bundle;
+  bundle.program =
+      std::make_unique<ht::progmodel::Program>(std::move(*parsed.program));
 
   std::optional<ht::cce::InstrumentationPlan> plan;
   std::string plan_error;
@@ -232,9 +246,9 @@ int print_symbolized_hits(const ht::runtime::TelemetrySnapshot& snap,
     const auto plan_text = read_file(plan_path);
     if (!plan_text) {
       std::fprintf(stderr, "htctl: cannot read %s\n", plan_path.c_str());
-      return 3;
+      return std::nullopt;
     }
-    auto plan_parsed = ht::cce::parse_plan(*plan_text, program.graph());
+    auto plan_parsed = ht::cce::parse_plan(*plan_text, bundle.program->graph());
     if (plan_parsed.plan) {
       plan = std::move(*plan_parsed.plan);
     } else {
@@ -246,19 +260,167 @@ int print_symbolized_hits(const ht::runtime::TelemetrySnapshot& snap,
     }
   }
   if (!plan) {
-    plan = ht::cce::compute_plan(program.graph(), program.alloc_targets(),
-                                 strategy);
+    plan = ht::cce::compute_plan(bundle.program->graph(),
+                                 bundle.program->alloc_targets(), strategy);
   }
-  const ht::cce::PccEncoder encoder(*plan);
-  ht::analysis::CcidSymbolizer symbolizer(program, encoder);
-  if (!plan_error.empty()) symbolizer.mark_mismatch(plan_error);
+  bundle.encoder = std::make_unique<ht::cce::PccEncoder>(*plan);
+  bundle.symbolizer = std::make_unique<ht::analysis::CcidSymbolizer>(
+      *bundle.program, *bundle.encoder);
+  if (!plan_error.empty()) bundle.symbolizer->mark_mismatch(plan_error);
+  return bundle;
+}
+
+/// Prints the symbolized patch-hit section under the stats JSON: each
+/// {FUN, CCID} the runtime counted is decoded to a calling-context chain
+/// through the same encoder the offline phase uses. Degraded lookups
+/// (unknown CCID, collision, stale plan) print the raw id plus a warning.
+int print_symbolized_hits(const ht::runtime::TelemetrySnapshot& snap,
+                          const std::string& program_path,
+                          ht::cce::Strategy strategy,
+                          const std::string& plan_path) {
+  const auto bundle = make_symbolizer(program_path, strategy, plan_path);
+  if (!bundle) return 3;
 
   std::printf("symbolized patch hits (%zu):\n", snap.patch_hits.size());
   for (const ht::runtime::PatchHitCount& h : snap.patch_hits) {
     std::printf("  %-14s %6llu hit(s)  %s\n",
                 std::string(ht::progmodel::alloc_fn_name(h.fn)).c_str(),
                 static_cast<unsigned long long>(h.hits),
-                symbolizer.render(h.fn, h.ccid).c_str());
+                bundle->symbolizer->render(h.fn, h.ccid).c_str());
+  }
+  return 0;
+}
+
+/// `htctl heap`: the heap-profiler view of a telemetry dump
+/// (docs/OBSERVABILITY.md §9). Default output is a human table — summary
+/// line, top-K census rows by live bytes, the object-age histogram.
+/// --collapsed instead emits collapsed-stack lines ("frame;frame;frame
+/// <live_bytes>"), the folded format flamegraph tooling consumes; rows
+/// that cannot be symbolized (or runs without --program) emit the raw
+/// "<alloc_fn>;0x<ccid>" frame pair, so the flamegraph is never silently
+/// missing live bytes.
+int cmd_heap(int argc, char** argv) {
+  const std::string path = argv[2];
+  std::string program_path, plan_path;
+  ht::cce::Strategy strategy = ht::cce::Strategy::kIncremental;
+  std::size_t top = 20;  // 0 = all
+  bool collapsed = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--collapsed") {
+      collapsed = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    const std::string value = argv[++i];
+    if (flag == "--top") {
+      const auto v = ht::support::parse_u64(value);
+      if (!v) return usage();
+      top = static_cast<std::size_t>(*v);
+    } else if (flag == "--program") {
+      program_path = value;
+    } else if (flag == "--plan") {
+      plan_path = value;
+    } else if (flag == "--strategy") {
+      if (!parse_strategy(value, strategy)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  const auto snap = load_dump(path);
+  if (!snap) return 3;
+
+  std::optional<SymbolizerBundle> bundle;
+  if (!program_path.empty()) {
+    bundle = make_symbolizer(program_path, strategy, plan_path);
+    if (!bundle) return 3;
+  }
+
+  // Biggest live footprint first; the snapshot's census is already
+  // {fn, ccid}-ascending and stable_sort keeps that for equal sizes, so
+  // the listing is deterministic run to run (and matches htagg's order).
+  std::vector<ht::runtime::HeapCensusRow> rows = snap->heap_census;
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const ht::runtime::HeapCensusRow& a,
+                      const ht::runtime::HeapCensusRow& b) {
+                     return a.live_bytes > b.live_bytes;
+                   });
+
+  auto frame_chain = [&](const ht::runtime::HeapCensusRow& r) -> std::string {
+    const auto fn = static_cast<ht::progmodel::AllocFn>(r.fn);
+    if (bundle) {
+      const auto sym = bundle->symbolizer->symbolize(fn, r.ccid);
+      if (sym.decoded()) return sym.chain;
+    }
+    return std::string(ht::progmodel::alloc_fn_name(fn)) + " -> " +
+           ht::analysis::ccid_hex(r.ccid);
+  };
+
+  if (collapsed) {
+    // Folded stacks: root;...;leaf <count>. Zero-byte rows (everything
+    // sampled was freed) carry no area and are skipped.
+    for (const ht::runtime::HeapCensusRow& r : rows) {
+      if (r.live_bytes <= 0) continue;
+      std::string frames = frame_chain(r);
+      std::size_t pos = 0;
+      while ((pos = frames.find(" -> ", pos)) != std::string::npos) {
+        frames.replace(pos, 4, ";");
+      }
+      std::printf("%s %lld\n", frames.c_str(),
+                  static_cast<long long>(r.live_bytes));
+    }
+    return 0;
+  }
+
+  std::printf("heap profile: rate=%u pctl=%u sampled=%llu threshold_ns=%llu"
+              " registry_overflow=%llu census_overflow=%llu\n",
+              snap->config.heap_profile_rate,
+              static_cast<unsigned>(snap->config.heap_age_percentile),
+              static_cast<unsigned long long>(snap->heap_sampled),
+              static_cast<unsigned long long>(snap->heap_threshold_ns),
+              static_cast<unsigned long long>(snap->heap_registry_overflow),
+              static_cast<unsigned long long>(snap->heap_census_overflow));
+  const std::size_t cap =
+      top == 0 ? rows.size() : std::min<std::size_t>(top, rows.size());
+  std::printf("top %zu of %zu contexts by live bytes"
+              " (counts are sampling-scaled estimates):\n",
+              cap, rows.size());
+  std::printf("  %-10s %12s %10s %10s %10s %9s  %s\n", "alloc_fn",
+              "live_bytes", "live_objs", "allocs", "frees", "suspects",
+              "context");
+  for (std::size_t i = 0; i < cap; ++i) {
+    const ht::runtime::HeapCensusRow& r = rows[i];
+    std::printf("  %-10s %12lld %10lld %10llu %10llu %9llu  %s\n",
+                std::string(ht::progmodel::alloc_fn_name(
+                                static_cast<ht::progmodel::AllocFn>(r.fn)))
+                    .c_str(),
+                static_cast<long long>(r.live_bytes),
+                static_cast<long long>(r.live_objects),
+                static_cast<unsigned long long>(r.allocs),
+                static_cast<unsigned long long>(r.frees),
+                static_cast<unsigned long long>(r.suspects),
+                frame_chain(r).c_str());
+  }
+
+  if (snap->heap_age.total() != 0) {
+    std::printf("object age at free (sampled):\n");
+    for (std::uint32_t i = 0; i < ht::runtime::AgeHistogram::kBuckets; ++i) {
+      const std::uint64_t count = snap->heap_age.buckets[i];
+      if (count == 0) continue;
+      const std::uint64_t limit =
+          ht::runtime::AgeHistogram::bucket_limit_ns(i);
+      if (limit != 0) {
+        std::printf("  <=%lluns %llu\n",
+                    static_cast<unsigned long long>(limit),
+                    static_cast<unsigned long long>(count));
+      } else {
+        std::printf("  >%lluns %llu\n",
+                    static_cast<unsigned long long>(
+                        ht::runtime::AgeHistogram::bucket_limit_ns(
+                            ht::runtime::AgeHistogram::kBuckets - 2)),
+                    static_cast<unsigned long long>(count));
+      }
+    }
   }
   return 0;
 }
@@ -459,6 +621,7 @@ int main(int argc, char** argv) {
     return cmd_add(argv[2], argv[3], argv[4], argv[5]);
   }
   if (command == "stats") return cmd_stats(argc, argv);
+  if (command == "heap") return cmd_heap(argc, argv);
   if (command == "trace") return cmd_trace(argc, argv);
   if (command == "trace-offline") return cmd_trace_offline(argc, argv);
   return usage();

@@ -17,6 +17,7 @@
 //   htrun replay <prog.htp> --input a,b,... --config patches.cfg
 //                           [--strategy S] [--defense guard|canary]
 //                           [--poison 1] [--telemetry dump.txt]
+//                           [--heapprof N]
 //                           [--reload-patches patches2.cfg]
 //                           [--candidates journal.txt]
 //       online replay under the hardened allocator; prints what the
@@ -28,7 +29,10 @@
 //       the input again under whatever table survived; --candidates turns
 //       on candidate-patch synthesis (docs/SELF_HEALING.md) and appends
 //       the run's synthesized candidates to the quarantine journal
-//       (docs/FORMATS.md §7) — the feeder for `htpromote`
+//       (docs/FORMATS.md §7) — the feeder for `htpromote`; --heapprof N
+//       samples 1-in-N allocations into the live heap census
+//       (docs/OBSERVABILITY.md §9), flushed with the telemetry dump and
+//       read back with `htctl heap`
 //
 // Strategies: FCS, TCS, Slim, Incremental (default).
 // HEAPTHERAPY_FAULTS arms the deterministic fault-injection points for
@@ -119,6 +123,11 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--telemetry") {
       args.telemetry_path = value;
       args.defenses.telemetry.events = true;
+    } else if (flag == "--heapprof") {
+      // Sampled heap profiler (docs/OBSERVABILITY.md §9), 1-in-N; same
+      // semantics as HEAPTHERAPY_HEAPPROF under the preload shim.
+      args.defenses.telemetry.heap_profile_rate =
+          static_cast<std::uint32_t>(support::parse_u64(value).value_or(0));
     } else if (flag == "--reload-patches") {
       args.reload_config_path = value;
     } else if (flag == "--candidates") {
