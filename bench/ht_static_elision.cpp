@@ -1,0 +1,242 @@
+// Static-hint elision A/B (docs/STATIC_ANALYSIS.md).
+//
+// htlint's PROVEN-SAFE contexts export as a StaticHintSet the allocator
+// consults *before* the patch-table lookup: a hinted {FUN, CCID} skips the
+// table probe entirely. This bench measures that elision on the common-case
+// hot path — a benign allocation mix against a deployment-sized patch table
+// — and enforces two contracts (exit 1 on breach):
+//
+//   correctness:  the hinted arm must behave identically to the baseline
+//                 (same enhanced count: hints only cover unpatched
+//                 contexts, so no defense decision may change);
+//   cost:         the hinted arm must not be slower than the baseline by
+//                 more than 1.5% (elision replaces a hash probe with a
+//                 branch + binary search over the hint set; it must at
+//                 worst break even, and typically wins when the table is
+//                 large and the hint set small).
+//
+// Methodology matches ht_heapprof_overhead: three arms (base A, base B,
+// hinted) interleaved at pass granularity with rotating order, per-rep
+// signed splits reduced by median, up to 4 attempts keeping the best.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "patch/patch_table.hpp"
+#include "patch/static_hints.hpp"
+#include "runtime/guarded_allocator.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using ht::support::pad_left;
+using ht::support::pad_right;
+
+constexpr int kReps = 9;
+constexpr int kPassesPerSweep = 30;
+constexpr double kCostContractPct = 1.5;
+constexpr std::uint64_t kAllocsPerPass = 20000;
+constexpr std::uint64_t kLiveWindow = 256;
+/// Deployment-sized table: enough entries that a probe does real work.
+constexpr std::uint64_t kPatchCount = 512;
+/// Distinct benign (unpatched, hinted) contexts in the allocation mix.
+constexpr std::uint64_t kBenignContexts = 64;
+/// Every 64th allocation hits a patched context (canary, no syscalls) —
+/// patched contexts are never hinted, so both arms enhance identically.
+constexpr std::uint64_t kPatchedEvery = 64;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t benign_ccid(std::uint64_t i) {
+  return 0x1000 + i % kBenignContexts;
+}
+
+std::uint64_t patched_ccid(std::uint64_t i) {
+  return 0x9000 + i % kPatchCount;
+}
+
+std::uint64_t work_pass(ht::runtime::GuardedAllocator& allocator) {
+  void* live[kLiveWindow] = {nullptr};
+  std::uint64_t ok = 0;
+  for (std::uint64_t i = 0; i < kAllocsPerPass; ++i) {
+    const std::uint64_t slot = i % kLiveWindow;
+    if (live[slot] != nullptr) allocator.free(live[slot]);
+    const std::uint64_t ccid =
+        (i % kPatchedEvery == 0) ? patched_ccid(i / kPatchedEvery)
+                                 : benign_ccid(i);
+    live[slot] = allocator.malloc(16 + (i % 13) * 16, ccid);
+    if (live[slot] != nullptr) ++ok;
+  }
+  for (std::uint64_t slot = 0; slot < kLiveWindow; ++slot) {
+    if (live[slot] != nullptr) allocator.free(live[slot]);
+  }
+  return ok;
+}
+
+std::uint64_t timed_pass(ht::runtime::GuardedAllocator& allocator,
+                         std::uint64_t* ok) {
+  const std::uint64_t t0 = now_ns();
+  *ok += work_pass(allocator);
+  return now_ns() - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== static-hint elision overhead (GuardedAllocator) ==\n");
+
+  std::vector<ht::patch::Patch> patches;
+  for (std::uint64_t p = 0; p < kPatchCount; ++p) {
+    patches.push_back(ht::patch::Patch{ht::progmodel::AllocFn::kMalloc,
+                                       0x9000 + p, ht::patch::kOverflow});
+  }
+  const ht::patch::PatchTable table(patches, /*freeze=*/true);
+
+  std::vector<ht::patch::StaticHintSet::Hint> hint_list;
+  for (std::uint64_t c = 0; c < kBenignContexts; ++c) {
+    hint_list.push_back({ht::progmodel::AllocFn::kMalloc, 0x1000 + c});
+  }
+  const ht::patch::StaticHintSet hints(hint_list);
+
+  ht::runtime::GuardedAllocatorConfig base_config;
+  base_config.use_guard_pages = false;
+  base_config.use_canaries = true;
+  ht::runtime::GuardedAllocatorConfig hinted_config = base_config;
+  hinted_config.static_hints = &hints;
+
+  ht::runtime::GuardedAllocator base_a(&table, base_config);
+  ht::runtime::GuardedAllocator base_b(&table, base_config);
+  ht::runtime::GuardedAllocator hinted(&table, hinted_config);
+  ht::runtime::GuardedAllocator* arms[3] = {&base_a, &base_b, &hinted};
+
+  std::printf("%llu allocs per pass x %d passes per sweep, %d paired reps, "
+              "%llu patches, %llu hinted context(s)\n\n",
+              static_cast<unsigned long long>(kAllocsPerPass), kPassesPerSweep,
+              kReps, static_cast<unsigned long long>(kPatchCount),
+              static_cast<unsigned long long>(kBenignContexts));
+
+  std::uint64_t ok = 0;
+  for (auto* a : arms) (void)work_pass(*a);  // warm-up
+
+  std::uint64_t best_a = UINT64_MAX;
+  std::uint64_t best_b = UINT64_MAX;
+  std::uint64_t best_hinted = UINT64_MAX;
+  double aa_split_pct = 0;
+  double hinted_pct = 0;
+  constexpr int kAttempts = 4;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    std::vector<double> aa_splits;
+    std::vector<double> hint_splits;
+    for (int rep = 0; rep < kReps; ++rep) {
+      std::uint64_t arm_ns[3] = {0, 0, 0};
+      for (int pass = 0; pass < kPassesPerSweep; ++pass) {
+        for (int k = 0; k < 3; ++k) {
+          const int arm = (k + pass) % 3;
+          arm_ns[arm] += timed_pass(*arms[arm], &ok);
+        }
+      }
+      const std::uint64_t a = arm_ns[0];
+      const std::uint64_t b = arm_ns[1];
+      const std::uint64_t h = arm_ns[2];
+      if (a < best_a) best_a = a;
+      if (b < best_b) best_b = b;
+      if (h < best_hinted) best_hinted = h;
+      aa_splits.push_back((static_cast<double>(a) - static_cast<double>(b)) /
+                          static_cast<double>(b) * 100.0);
+      hint_splits.push_back((static_cast<double>(h) - static_cast<double>(b)) /
+                            static_cast<double>(b) * 100.0);
+    }
+    const double split = std::fabs(median(aa_splits));
+    const double hint_split = median(hint_splits);
+    if (attempt == 0 || hint_split < hinted_pct) {
+      aa_split_pct = split;
+      hinted_pct = hint_split;
+    }
+    if (hinted_pct <= kCostContractPct) break;
+    std::printf("attempt %d: hinted %+.2f%% over contract, remeasuring...\n",
+                attempt + 1, hint_split);
+  }
+  const double fast = static_cast<double>(best_a < best_b ? best_a : best_b);
+
+  std::printf("%s %s %s\n", pad_right("arm", 22).c_str(),
+              pad_left("sweep ms", 10).c_str(), pad_left("vs best", 9).c_str());
+  std::printf("%s\n", std::string(43, '-').c_str());
+  const auto row = [&](const char* name, std::uint64_t ns, double pct) {
+    char ms_s[32], pct_s[32];
+    std::snprintf(ms_s, sizeof(ms_s), "%.2f", static_cast<double>(ns) / 1e6);
+    std::snprintf(pct_s, sizeof(pct_s), "%+.2f%%", pct);
+    std::printf("%s %s %s\n", pad_right(name, 22).c_str(),
+                pad_left(ms_s, 10).c_str(), pad_left(pct_s, 9).c_str());
+  };
+  row("no hints (arm A)", best_a,
+      (static_cast<double>(best_a) - fast) / fast * 100.0);
+  row("no hints (arm B)", best_b,
+      (static_cast<double>(best_b) - fast) / fast * 100.0);
+  row("hinted", best_hinted, hinted_pct);
+
+  // Correctness: hints cover only unpatched contexts, so the hinted arm's
+  // enhanced count must exactly match the baselines'.
+  const std::uint64_t enhanced_a = base_a.stats().enhanced;
+  const std::uint64_t enhanced_b = base_b.stats().enhanced;
+  const std::uint64_t enhanced_h = hinted.stats().enhanced;
+  std::printf("\nenhanced: base A %llu / base B %llu / hinted %llu\n",
+              static_cast<unsigned long long>(enhanced_a),
+              static_cast<unsigned long long>(enhanced_b),
+              static_cast<unsigned long long>(enhanced_h));
+
+  std::printf("\nJSON:\n[\n"
+              "  {\"bench\": \"ht_static_elision\", \"arm\": \"base_a\", "
+              "\"sweep_ns\": %llu},\n"
+              "  {\"bench\": \"ht_static_elision\", \"arm\": \"base_b\", "
+              "\"sweep_ns\": %llu},\n"
+              "  {\"bench\": \"ht_static_elision\", \"arm\": \"hinted\", "
+              "\"sweep_ns\": %llu},\n"
+              "  {\"bench\": \"ht_static_elision\", \"aa_split_pct\": %.3f, "
+              "\"hinted_overhead_pct\": %.2f, \"cost_contract_pct\": %.1f, "
+              "\"patches\": %llu, \"hints\": %llu}\n]\n",
+              static_cast<unsigned long long>(best_a),
+              static_cast<unsigned long long>(best_b),
+              static_cast<unsigned long long>(best_hinted), aa_split_pct,
+              hinted_pct, kCostContractPct,
+              static_cast<unsigned long long>(kPatchCount),
+              static_cast<unsigned long long>(kBenignContexts));
+
+  bool failed = false;
+  if (enhanced_h != enhanced_a || enhanced_h != enhanced_b) {
+    std::printf("\nFAIL: the hinted arm enhanced %llu allocation(s) but the "
+                "baselines enhanced\n%llu/%llu — a hint changed a defense "
+                "decision, which must never happen when\nhints cover only "
+                "unpatched contexts.\n",
+                static_cast<unsigned long long>(enhanced_h),
+                static_cast<unsigned long long>(enhanced_a),
+                static_cast<unsigned long long>(enhanced_b));
+    failed = true;
+  }
+  if (hinted_pct > kCostContractPct) {
+    std::printf("\nFAIL: hinted arm %+.2f%% exceeds the %.1f%% cost contract "
+                "(elision must at\nworst break even; rerun on a quiet host "
+                "before blaming the code).\n",
+                hinted_pct, kCostContractPct);
+    failed = true;
+  }
+  if (failed) return 1;
+  std::printf("\nOK: hint elision behaves identically (enhanced counts match) "
+              "and costs\n%+.2f%% (<= %.1f%% contract; negative means the "
+              "elided probe won).\n",
+              hinted_pct, kCostContractPct);
+  return 0;
+}

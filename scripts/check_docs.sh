@@ -4,11 +4,11 @@
 # Checks (all against the repo the script lives in, so it runs from any cwd):
 #   1. every HEAPTHERAPY_* environment variable referenced by src/ or tools/
 #      is documented somewhere in README.md, DESIGN.md, or docs/;
-#   2. every subcommand dispatched by htctl, htrun, htexport, htagg, and
-#      htpromote is documented as "<tool> <subcommand>";
-#   3. every "--flag" string literal parsed by htctl, htrun, htagg, and
-#      htpromote is documented in at least one doc file that also mentions
-#      the tool;
+#   2. every subcommand dispatched by htctl, htrun, htexport, htagg,
+#      htpromote, and htlint is documented as "<tool> <subcommand>";
+#   3. every "--flag" string literal parsed by htctl, htrun, htagg,
+#      htpromote, and htlint is documented in at least one doc file that
+#      also mentions the tool;
 #   4. every named fault point registered in src/support/faultpoint.cpp is
 #      documented in docs/RESILIENCE.md;
 #   5. every relative markdown link in tracked *.md files resolves to a file
@@ -88,6 +88,7 @@ check_subcommands htrun "$repo/tools/htrun.cpp" 'command == "[a-z-]+"'
 check_subcommands htexport "$repo/tools/htexport.cpp" '== "[a-z-]+"'
 check_subcommands htagg "$repo/tools/htagg.cpp" 'argv\[1\], "[a-z-]+"'
 check_subcommands htpromote "$repo/tools/htpromote.cpp" 'command == "[a-z-]+"'
+check_subcommands htlint "$repo/tools/htlint.cpp" 'command == "[a-z-]+"'
 
 # --- 3. CLI flags ---------------------------------------------------------
 # Every "--flag" a tool parses must be documented in at least one doc file
@@ -115,6 +116,7 @@ check_flags htctl "$repo/tools/htctl.cpp"
 check_flags htrun "$repo/tools/htrun.cpp"
 check_flags htagg "$repo/tools/htagg.cpp"
 check_flags htpromote "$repo/tools/htpromote.cpp"
+check_flags htlint "$repo/tools/htlint.cpp"
 
 # --- 4. fault points ------------------------------------------------------
 # Every named fault point in the injection registry (src/support/

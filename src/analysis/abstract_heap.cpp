@@ -1,0 +1,108 @@
+#include "analysis/abstract_heap.hpp"
+
+#include <algorithm>
+
+namespace ht::analysis {
+
+std::string interval_bound_string(std::uint64_t bound) {
+  return bound == kIntervalMax ? "inf" : std::to_string(bound);
+}
+
+std::string interval_string(const Interval& iv) {
+  return "[" + interval_bound_string(iv.lo) + ", " +
+         interval_bound_string(iv.hi) + "]";
+}
+
+Interval resolve_interval(const progmodel::Value& value,
+                          const std::vector<ParamBounds>& space) {
+  if (!value.is_input()) return Interval::exact(value.literal());
+  const std::uint32_t index = value.input_index();
+  if (index < space.size()) return Interval{space[index].lo, space[index].hi};
+  return Interval::top();
+}
+
+const char* buffer_state_name(BufferState state) noexcept {
+  switch (state) {
+    case BufferState::kUnallocated: return "unallocated";
+    case BufferState::kLive: return "live";
+    case BufferState::kPossiblyFreed: return "possibly-freed";
+    case BufferState::kFreed: return "freed";
+  }
+  return "?";
+}
+
+BufferState join_buffer_state(BufferState a, BufferState b) noexcept {
+  if (a == b) return a;
+  // kUnallocated joined with anything allocated means "exists on one path
+  // only"; the facts stay those of the allocating path (see join_heaps).
+  if (a == BufferState::kUnallocated) return b;
+  if (b == BufferState::kUnallocated) return a;
+  // live vs freed (either flavour) disagree about liveness.
+  return BufferState::kPossiblyFreed;
+}
+
+void BufferFacts::add_poison(std::uint32_t origin, const Interval& bytes) {
+  for (PoisonTaint& taint : poison) {
+    if (taint.origin == origin) {
+      taint.bytes = taint.bytes.join(bytes);
+      return;
+    }
+  }
+  poison.push_back(PoisonTaint{origin, bytes});
+  std::sort(poison.begin(), poison.end(),
+            [](const PoisonTaint& x, const PoisonTaint& y) {
+              return x.origin < y.origin;
+            });
+}
+
+BufferFacts join_buffer_facts(const BufferFacts& a, const BufferFacts& b) {
+  BufferFacts out;
+  out.state = join_buffer_state(a.state, b.state);
+  out.size = a.size.join(b.size);
+  out.must_init_end = std::min(a.must_init_end, b.must_init_end);
+  out.poison = a.poison;
+  for (const PoisonTaint& taint : b.poison) {
+    out.add_poison(taint.origin, taint.bytes);
+  }
+  return out;
+}
+
+BufferFacts& AbstractHeap::facts(std::uint32_t id) {
+  if (id >= buffers.size()) buffers.resize(id + 1);
+  return buffers[id];
+}
+
+void AbstractHeap::set_slot(std::uint32_t slot, std::uint32_t id) {
+  if (slot >= slots.size()) slots.resize(slot + 1);
+  slots[slot].assign(1, id);
+}
+
+AbstractHeap join_heaps(const AbstractHeap& a, const AbstractHeap& b) {
+  AbstractHeap out;
+  out.buffers.resize(std::max(a.buffers.size(), b.buffers.size()));
+  for (std::size_t i = 0; i < out.buffers.size(); ++i) {
+    const bool in_a = i < a.buffers.size();
+    const bool in_b = i < b.buffers.size();
+    if (in_a && in_b) {
+      out.buffers[i] = join_buffer_facts(a.buffers[i], b.buffers[i]);
+    } else if (in_a) {
+      out.buffers[i] = a.buffers[i];
+    } else {
+      out.buffers[i] = b.buffers[i];
+    }
+  }
+  out.slots.resize(std::max(a.slots.size(), b.slots.size()));
+  for (std::size_t i = 0; i < out.slots.size(); ++i) {
+    std::vector<std::uint32_t> merged;
+    if (i < a.slots.size()) merged = a.slots[i];
+    if (i < b.slots.size()) {
+      merged.insert(merged.end(), b.slots[i].begin(), b.slots[i].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    out.slots[i] = std::move(merged);
+  }
+  return out;
+}
+
+}  // namespace ht::analysis

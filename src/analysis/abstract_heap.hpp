@@ -1,0 +1,143 @@
+// Abstract heap domains for the static analyzer (htlint).
+//
+// The static analyzer executes Program bodies over *abstract* values: every
+// size / offset / length / loop count becomes an interval [lo, hi] covering
+// all values it can take (literals are exact; input parameters span the
+// analyst-provided ParamRange space, or [0, 2^64-1] when unbounded), and
+// every allocation context gets one summary buffer whose facts form a
+// lattice:
+//
+//  - a liveness state (unallocated -> live -> possibly-freed / freed),
+//  - a definitely-initialized byte prefix [0, must_init_end) — the
+//    interval-domain analogue of the shadow heap's V-bits,
+//  - a set of poison taints: byte ranges that may hold *another* buffer's
+//    uninitialized bytes, carried origin-tagged through kCopy actions
+//    exactly like the shadow heap's origin tracking, so UNINIT findings
+//    attribute to the allocation that produced the bytes, not the buffer
+//    they were read from.
+//
+// Joins are pointwise and conservative: states meet upward (live vs freed
+// -> possibly-freed), sizes take the hull, init prefixes take the minimum,
+// taints union. All arithmetic saturates at 2^64-1 so "unbounded" inputs
+// stay representable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "progmodel/values.hpp"
+
+namespace ht::analysis {
+
+inline constexpr std::uint64_t kIntervalMax = ~0ULL;
+
+[[nodiscard]] constexpr std::uint64_t sat_add(std::uint64_t a,
+                                              std::uint64_t b) noexcept {
+  return a > kIntervalMax - b ? kIntervalMax : a + b;
+}
+
+/// Closed unsigned interval [lo, hi]; the domain for every abstract value.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] static constexpr Interval exact(std::uint64_t v) noexcept {
+    return Interval{v, v};
+  }
+  [[nodiscard]] static constexpr Interval top() noexcept {
+    return Interval{0, kIntervalMax};
+  }
+
+  [[nodiscard]] constexpr bool is_exact() const noexcept { return lo == hi; }
+
+  /// Hull of the two intervals.
+  [[nodiscard]] constexpr Interval join(const Interval& o) const noexcept {
+    return Interval{lo < o.lo ? lo : o.lo, hi > o.hi ? hi : o.hi};
+  }
+  /// Interval sum with saturation.
+  [[nodiscard]] constexpr Interval add(const Interval& o) const noexcept {
+    return Interval{sat_add(lo, o.lo), sat_add(hi, o.hi)};
+  }
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Renders an interval bound, with the saturation point printed as "inf".
+[[nodiscard]] std::string interval_bound_string(std::uint64_t bound);
+/// "[lo, hi]" (or "[lo, inf]") — deterministic report form.
+[[nodiscard]] std::string interval_string(const Interval& iv);
+
+/// Resolves a program Value over the analysis input space: literals are
+/// exact; input parameter i spans space[i] when provided, else top.
+struct ParamBounds {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = kIntervalMax;  ///< inclusive
+};
+
+[[nodiscard]] Interval resolve_interval(const progmodel::Value& value,
+                                        const std::vector<ParamBounds>& space);
+
+/// Liveness lattice for a summary buffer. Join moves upward to
+/// kPossiblyFreed whenever the two sides disagree about liveness.
+enum class BufferState : std::uint8_t {
+  kUnallocated,
+  kLive,
+  kPossiblyFreed,
+  kFreed,
+};
+
+[[nodiscard]] const char* buffer_state_name(BufferState state) noexcept;
+[[nodiscard]] BufferState join_buffer_state(BufferState a, BufferState b) noexcept;
+
+/// One origin-tagged taint: bytes [bytes.lo, bytes.hi) of the holding
+/// buffer may contain uninitialized bytes that originated in buffer
+/// `origin` (an abstract buffer id). Kept as one hull per origin.
+struct PoisonTaint {
+  std::uint32_t origin = 0;
+  Interval bytes;
+
+  bool operator==(const PoisonTaint&) const = default;
+};
+
+/// Flow-sensitive facts for one summary buffer (one {alloc site, CCID}).
+struct BufferFacts {
+  BufferState state = BufferState::kUnallocated;
+  Interval size;
+  /// Bytes [0, must_init_end) are initialized on every path/input.
+  /// kIntervalMax models calloc's "everything, whatever the size".
+  std::uint64_t must_init_end = 0;
+  std::vector<PoisonTaint> poison;  ///< sorted by origin, one hull each
+
+  void add_poison(std::uint32_t origin, const Interval& bytes);
+
+  bool operator==(const BufferFacts&) const = default;
+};
+
+[[nodiscard]] BufferFacts join_buffer_facts(const BufferFacts& a,
+                                            const BufferFacts& b);
+
+/// The abstract machine state: per-buffer facts (indexed by abstract buffer
+/// id, assigned in walk order) plus per-slot points-to sets. A slot set
+/// with several members means the slot may hold any of them (loop joins);
+/// accesses then apply to each member at demoted certainty.
+struct AbstractHeap {
+  std::vector<BufferFacts> buffers;
+  std::vector<std::vector<std::uint32_t>> slots;  ///< sorted id sets
+
+  /// Facts for `id`, materializing defaults as needed.
+  [[nodiscard]] BufferFacts& facts(std::uint32_t id);
+
+  /// Strong update: the slot now holds exactly `id`.
+  void set_slot(std::uint32_t slot, std::uint32_t id);
+
+  bool operator==(const AbstractHeap&) const = default;
+};
+
+/// Pointwise join; buffers present on one side only are taken verbatim
+/// (their facts are conditional on the path that created them — accesses
+/// reach them only through slot sets that also record that path).
+[[nodiscard]] AbstractHeap join_heaps(const AbstractHeap& a,
+                                      const AbstractHeap& b);
+
+}  // namespace ht::analysis

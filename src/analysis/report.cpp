@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/symbolize.hpp"
@@ -27,8 +28,15 @@ std::string render_report(const progmodel::Program& program,
   // Decoded patches (symbolization with the degradation policy of
   // analysis/symbolize.hpp: never a silent wrong chain).
   const CcidSymbolizer symbolizer(program, encoder, options.decoder_context_limit);
-  os << "patches (" << report.patches.size() << "):\n";
-  for (const patch::Patch& p : report.patches) {
+  // Render in {FUN, CCID} order, not first-detection order: the report must
+  // be byte-stable across interpreter scheduling changes (the htlint
+  // tie-break discipline).
+  std::vector<patch::Patch> patches = report.patches;
+  std::sort(patches.begin(), patches.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.fn, a.ccid, a.vuln_mask) < std::tie(b.fn, b.ccid, b.vuln_mask);
+  });
+  os << "patches (" << patches.size() << "):\n";
+  for (const patch::Patch& p : patches) {
     os << "  { FUN=" << progmodel::alloc_fn_name(p.fn) << ", CCID=" << hex(p.ccid)
        << ", T=" << patch::vuln_mask_to_string(p.vuln_mask) << " }\n";
     const SymbolizedCcid sym = symbolizer.symbolize(p.fn, p.ccid);

@@ -26,6 +26,8 @@ struct ReportOptions {
 /// configuration used for `report` should be passed so the leak summary is
 /// consistent; the leak section is produced by re-running the attack (the
 /// report is an offline artifact — a second heavyweight run is fine).
+/// Patches render in {FUN, CCID} order regardless of detection order, so
+/// the report is byte-stable for a given program + input.
 [[nodiscard]] std::string render_report(const progmodel::Program& program,
                                         const cce::Encoder& encoder,
                                         const progmodel::Input& attack_input,

@@ -1,0 +1,850 @@
+#include "analysis/static_analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "support/str.hpp"
+
+namespace ht::analysis {
+
+namespace {
+
+using progmodel::Action;
+using progmodel::AllocFn;
+using progmodel::ReadUse;
+
+std::optional<AllocFn> alloc_fn_from_name(std::string_view name) {
+  for (AllocFn fn : progmodel::kAllAllocFns) {
+    if (progmodel::alloc_fn_name(fn) == name) return fn;
+  }
+  return std::nullopt;
+}
+
+/// The walker: one pass from the program entry, mirroring the
+/// interpreter's CCID register discipline action-for-action.
+class Walker {
+ public:
+  Walker(const progmodel::Program& program, const cce::Encoder* encoder,
+         const StaticAnalysisOptions& options)
+      : program_(program),
+        options_(options),
+        fallback_(cce::InstrumentationPlan{}),
+        reg_(encoder != nullptr ? *encoder
+                                : static_cast<const cce::Encoder&>(fallback_)),
+        active_(program.graph().function_count(), 0) {}
+
+  StaticAnalysisResult run() {
+    state_.slots.resize(program_.slot_count());
+    walk_body(program_.entry(), program_.body(program_.entry()));
+    return finalize();
+  }
+
+ private:
+  struct BufferMeta {
+    AllocFn fn = AllocFn::kMalloc;
+    std::uint64_t ccid = 0;
+  };
+
+  using ContextKey = std::pair<std::uint8_t, std::uint64_t>;
+
+  static ContextKey context_key(AllocFn fn, std::uint64_t ccid) {
+    return ContextKey{static_cast<std::uint8_t>(fn), ccid};
+  }
+
+  Interval resolve(const progmodel::Value& value) const {
+    return resolve_interval(value, options_.space);
+  }
+
+  std::uint32_t buffer_id(cce::CallSiteId site, std::uint64_t ccid,
+                          AllocFn fn) {
+    const auto key = std::make_pair(static_cast<std::uint32_t>(site), ccid);
+    const auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(meta_.size());
+    ids_.emplace(key, id);
+    meta_.push_back(BufferMeta{fn, ccid});
+    return id;
+  }
+
+  void note_context(AllocFn fn, std::uint64_t ccid) {
+    context_masks_.try_emplace(context_key(fn, ccid), 0);
+  }
+
+  void emit(FindingKind kind, std::uint32_t id, cce::FunctionId in_function,
+            std::string detail) {
+    const BufferMeta& meta = meta_[id];
+    auto key = std::make_tuple(static_cast<std::uint8_t>(kind),
+                               static_cast<std::uint8_t>(meta.fn), meta.ccid,
+                               static_cast<std::uint32_t>(in_function), detail);
+    if (!seen_.insert(std::move(key)).second) return;
+    findings_.push_back(StaticFinding{meta.fn, meta.ccid, kind, in_function,
+                                      std::move(detail)});
+    context_masks_[context_key(meta.fn, meta.ccid)] |= finding_vuln_bit(kind);
+  }
+
+  /// Copy of the points-to set (walk mutations must not invalidate it).
+  std::vector<std::uint32_t> slot_set(std::uint32_t slot) const {
+    if (slot >= state_.slots.size()) return {};
+    return state_.slots[slot];
+  }
+
+  void check_uaf(cce::FunctionId f, std::uint32_t id, const char* what) {
+    const BufferFacts& fb = state_.facts(id);
+    if (fb.state == BufferState::kFreed ||
+        fb.state == BufferState::kPossiblyFreed) {
+      emit(FindingKind::kUseAfterFree, id, f,
+           std::string(what) + " of " + buffer_state_name(fb.state) +
+               " buffer");
+    }
+  }
+
+  void check_overflow(cce::FunctionId f, std::uint32_t id, const Interval& off,
+                      const Interval& len, bool must_access, const char* what) {
+    if (len.hi == 0) return;  // zero-length accesses touch nothing
+    const BufferFacts& fb = state_.facts(id);
+    const Interval end = off.add(len);
+    const std::string range =
+        "[" + std::to_string(off.lo) + ", " + interval_bound_string(end.hi) +
+        ")";
+    if (len.lo > 0 && end.lo > fb.size.hi && must_access) {
+      emit(FindingKind::kMustOverflow, id, f,
+           std::string(what) + " range " + range + " exceeds buffer size " +
+               interval_string(fb.size));
+    } else if (end.hi > fb.size.lo) {
+      emit(FindingKind::kMayOverflow, id, f,
+           std::string(what) + " range " + range + " may exceed buffer size " +
+               interval_string(fb.size));
+    }
+  }
+
+  void check_uninit_read(cce::FunctionId f, std::uint32_t id,
+                         const Interval& off, const Interval& len,
+                         ReadUse use) {
+    if (use == ReadUse::kData || len.hi == 0) return;
+    const BufferFacts& fb = state_.facts(id);
+    const std::uint64_t end = sat_add(off.hi, len.hi);
+    // Clamp to in-buffer bytes: bytes past the end are an overflow finding,
+    // not an uninit one (a fully-initialized buffer overread must not
+    // double-flag).
+    const std::uint64_t end_clamped = std::min(end, fb.size.hi);
+    if (end_clamped > fb.must_init_end) {
+      emit(FindingKind::kUninitRead, id, f,
+           std::string(progmodel::read_use_name(use)) + "-use read of bytes [" +
+               std::to_string(off.lo) + ", " +
+               interval_bound_string(end_clamped) +
+               ") beyond initialized prefix " +
+               interval_bound_string(fb.must_init_end));
+    }
+    // Origin-tagged taint: bytes copied in from another buffer's
+    // uninitialized region flag the *origin* allocation.
+    for (const PoisonTaint& taint : fb.poison) {
+      if (taint.bytes.lo < end_clamped && off.lo < taint.bytes.hi) {
+        emit(FindingKind::kUninitRead, taint.origin, f,
+             std::string(progmodel::read_use_name(use)) +
+                 "-use read of copied bytes that may be uninitialized at "
+                 "their origin");
+      }
+    }
+  }
+
+  void extend_init(std::uint32_t id, const Interval& off, const Interval& len,
+                   bool strong) {
+    if (!strong) return;
+    BufferFacts& fb = state_.facts(id);
+    // The definitely-written region over all inputs is [off.hi,
+    // off.lo + len.lo); it extends the prefix only gap-free.
+    if (off.hi > fb.must_init_end) return;
+    fb.must_init_end = std::max(fb.must_init_end, sat_add(off.lo, len.lo));
+  }
+
+  bool walk_body(cce::FunctionId f, const std::vector<Action>& body) {
+    for (const Action& action : body) {
+      if (!walk_action(f, action)) return false;
+    }
+    return true;
+  }
+
+  bool walk_loop(cce::FunctionId f, const Action& action) {
+    const Interval count = resolve(action.count);
+    if (count.hi == 0) return true;
+    const std::uint64_t definite = count.lo >= 1 ? 1 : 0;
+    if (definite != 0) {
+      if (!walk_body(f, action.body)) return false;
+    }
+    if (count.hi <= definite) return true;
+
+    // Possible further iterations: walk the body at full strength (intra-
+    // iteration sequencing like write-before-read must hold), then join
+    // with the pre-iteration state so the body's effects become
+    // conditional at the loop boundary. Values carry no induction
+    // variables, so the transfer function usually reaches fixpoint on the
+    // second application; a cap guards pathological cases.
+    const bool single_extra = count.hi - definite == 1;
+    const std::uint32_t iters =
+        single_extra ? 1
+                     : std::max<std::uint32_t>(options_.loop_fixpoint_iters, 1);
+    const bool saved_must = must_;
+    must_ = false;
+    bool ok = true;
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      AbstractHeap before = state_;
+      ok = walk_body(f, action.body);
+      state_ = join_heaps(state_, before);
+      if (!ok) break;
+      if (state_ == before) break;
+      if (!single_extra && i + 1 == iters) truncated_ = true;
+    }
+    must_ = saved_must;
+    return ok;
+  }
+
+  bool walk_action(cce::FunctionId f, const Action& action) {
+    if (++steps_ > options_.max_steps) {
+      truncated_ = true;
+      return false;
+    }
+
+    switch (action.kind) {
+      case Action::Kind::kCall: {
+        reg_.on_call(action.site);
+        const cce::FunctionId callee = program_.graph().site(action.site).callee;
+        bool ok = true;
+        if (active_[callee] >= options_.max_recursion) {
+          // Beyond the recursion bound: skip the call (its effects are
+          // unanalyzed, so no PROVEN-SAFE verdict may survive).
+          truncated_ = true;
+        } else {
+          ++active_[callee];
+          ok = walk_body(callee, program_.body(callee));
+          --active_[callee];
+        }
+        reg_.on_return();
+        return ok;
+      }
+
+      case Action::Kind::kAlloc: {
+        reg_.on_call(action.site);
+        const std::uint64_t ccid = reg_.value();
+        reg_.on_return();
+        const std::uint32_t id = buffer_id(action.site, ccid, action.alloc_fn);
+        BufferFacts& fb = state_.facts(id);
+        // Strong update: the facts describe the newest concrete instance
+        // of this summary buffer. Conditionality (loops) is restored by
+        // the loop-boundary joins.
+        fb.state = BufferState::kLive;
+        fb.size = resolve(action.size);
+        fb.must_init_end =
+            action.alloc_fn == AllocFn::kCalloc ? kIntervalMax : 0;
+        fb.poison.clear();
+        state_.set_slot(action.slot, id);
+        note_context(action.alloc_fn, ccid);
+        return true;
+      }
+
+      case Action::Kind::kRealloc: {
+        reg_.on_call(action.site);
+        const std::uint64_t ccid = reg_.value();
+        reg_.on_return();
+        const std::vector<std::uint32_t> old_ids = slot_set(action.slot);
+        // Gather carried facts before materializing the new summary (which
+        // may grow the facts arena).
+        std::uint64_t carried_init = 0;
+        std::vector<PoisonTaint> carried_poison;
+        bool any_old = false;
+        for (std::uint32_t old : old_ids) {
+          check_uaf(f, old, "realloc");
+          BufferFacts& of = state_.facts(old);
+          const std::uint64_t kept =
+              std::min(of.must_init_end, of.size.lo);
+          carried_init = any_old ? std::min(carried_init, kept) : kept;
+          any_old = true;
+          for (const PoisonTaint& taint : of.poison) {
+            carried_poison.push_back(taint);
+          }
+          // The old allocation is consumed; the slot repoints below.
+          of.state = BufferState::kFreed;
+        }
+        const std::uint32_t id = buffer_id(action.site, ccid, AllocFn::kRealloc);
+        BufferFacts& fb = state_.facts(id);
+        fb.state = BufferState::kLive;
+        fb.size = resolve(action.size);
+        fb.must_init_end = carried_init;
+        fb.poison.clear();
+        for (const PoisonTaint& taint : carried_poison) {
+          fb.add_poison(taint.origin, taint.bytes);
+        }
+        state_.set_slot(action.slot, id);
+        note_context(AllocFn::kRealloc, ccid);
+        return true;
+      }
+
+      case Action::Kind::kFree: {
+        reg_.on_call(action.site);
+        const std::vector<std::uint32_t> ids = slot_set(action.slot);
+        const bool strong = ids.size() == 1;
+        for (std::uint32_t id : ids) {
+          BufferFacts& fb = state_.facts(id);
+          switch (fb.state) {
+            case BufferState::kLive:
+              fb.state = strong ? BufferState::kFreed
+                                : BufferState::kPossiblyFreed;
+              break;
+            case BufferState::kPossiblyFreed:
+            case BufferState::kFreed:
+              emit(FindingKind::kDoubleFree, id, f,
+                   std::string("free of ") + buffer_state_name(fb.state) +
+                       " buffer");
+              fb.state = BufferState::kFreed;
+              break;
+            case BufferState::kUnallocated:
+              break;
+          }
+        }
+        reg_.on_return();
+        return true;
+      }
+
+      case Action::Kind::kWrite: {
+        const std::vector<std::uint32_t> ids = slot_set(action.slot);
+        const Interval off = resolve(action.offset);
+        const Interval len = resolve(action.size);
+        const bool strong = ids.size() == 1;
+        for (std::uint32_t id : ids) {
+          check_uaf(f, id, "write");
+          check_overflow(f, id, off, len, must_ && strong, "write");
+          extend_init(id, off, len, strong);
+        }
+        return true;
+      }
+
+      case Action::Kind::kRead: {
+        const std::vector<std::uint32_t> ids = slot_set(action.slot);
+        const Interval off = resolve(action.offset);
+        const Interval len = resolve(action.size);
+        const bool strong = ids.size() == 1;
+        for (std::uint32_t id : ids) {
+          check_uaf(f, id, "read");
+          check_overflow(f, id, off, len, must_ && strong, "read");
+          check_uninit_read(f, id, off, len, action.use);
+        }
+        return true;
+      }
+
+      case Action::Kind::kCopy: {
+        const std::vector<std::uint32_t> src_ids = slot_set(action.src_slot);
+        const std::vector<std::uint32_t> dst_ids = slot_set(action.slot);
+        const Interval src_off = resolve(action.src_offset);
+        const Interval dst_off = resolve(action.offset);
+        const Interval len = resolve(action.size);
+        const bool src_strong = src_ids.size() == 1;
+        const bool dst_strong = dst_ids.size() == 1;
+        for (std::uint32_t sid : src_ids) {
+          check_uaf(f, sid, "copy-read");
+          check_overflow(f, sid, src_off, len, must_ && src_strong,
+                         "copy-read");
+        }
+        for (std::uint32_t did : dst_ids) {
+          check_uaf(f, did, "copy-write");
+          check_overflow(f, did, dst_off, len, must_ && dst_strong,
+                         "copy-write");
+        }
+        if (len.hi > 0) {
+          for (std::uint32_t did : dst_ids) {
+            for (std::uint32_t sid : src_ids) {
+              const BufferFacts& sf = state_.facts(sid);
+              const std::uint64_t src_end =
+                  std::min(sat_add(src_off.hi, len.hi), sf.size.hi);
+              const Interval dst_bytes{dst_off.lo, sat_add(dst_off.hi, len.hi)};
+              // Copying bytes that may be uninitialized in the source
+              // taints the destination, origin-tagged at the source — V-bit
+              // propagation without a warning (kCopy is a data use).
+              if (src_end > sf.must_init_end) {
+                state_.facts(did).add_poison(sid, dst_bytes);
+              }
+              const std::vector<PoisonTaint> src_poison = sf.poison;
+              for (const PoisonTaint& taint : src_poison) {
+                if (taint.bytes.lo < src_end && src_off.lo < taint.bytes.hi) {
+                  state_.facts(did).add_poison(taint.origin, dst_bytes);
+                }
+              }
+            }
+          }
+          for (std::uint32_t did : dst_ids) {
+            extend_init(did, dst_off, len, dst_strong);
+          }
+        }
+        return true;
+      }
+
+      case Action::Kind::kLoop:
+        return walk_loop(f, action);
+    }
+    return true;
+  }
+
+  StaticAnalysisResult finalize() {
+    StaticAnalysisResult result;
+    result.truncated = truncated_;
+    result.steps = steps_;
+    result.findings = std::move(findings_);
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const StaticFinding& a, const StaticFinding& b) {
+                return std::tie(a.fn, a.ccid, a.kind, a.in_function, a.detail) <
+                       std::tie(b.fn, b.ccid, b.kind, b.in_function, b.detail);
+              });
+    for (const auto& [key, mask] : context_masks_) {
+      result.contexts.push_back(ContextVerdict{
+          static_cast<AllocFn>(key.first), key.second, mask,
+          mask == 0 && !truncated_});
+    }
+    return result;
+  }
+
+  const progmodel::Program& program_;
+  StaticAnalysisOptions options_;
+  cce::PccEncoder fallback_;
+  cce::CcidRegister reg_;
+  std::vector<std::uint32_t> active_;
+
+  AbstractHeap state_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> ids_;
+  std::vector<BufferMeta> meta_;
+  /// Ordered by {fn, ccid} — finalize() emits contexts in map order.
+  std::map<ContextKey, std::uint8_t> context_masks_;
+  std::set<std::tuple<std::uint8_t, std::uint8_t, std::uint64_t, std::uint32_t,
+                      std::string>>
+      seen_;
+  std::vector<StaticFinding> findings_;
+  bool must_ = true;
+  bool truncated_ = false;
+  std::uint64_t steps_ = 0;
+};
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::size_t count_flagged(const StaticAnalysisResult& result) {
+  std::size_t flagged = 0;
+  for (const ContextVerdict& c : result.contexts) {
+    if (c.finding_mask != 0) ++flagged;
+  }
+  return flagged;
+}
+
+}  // namespace
+
+const char* finding_kind_name(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kMustOverflow: return "MUST-OVERFLOW";
+    case FindingKind::kMayOverflow: return "MAY-OVERFLOW";
+    case FindingKind::kUseAfterFree: return "UAF";
+    case FindingKind::kDoubleFree: return "DOUBLE-FREE";
+    case FindingKind::kUninitRead: return "UNINIT-READ";
+  }
+  return "?";
+}
+
+bool finding_kind_from_name(std::string_view text, FindingKind& kind) noexcept {
+  for (std::size_t i = 0; i < kFindingKindCount; ++i) {
+    const auto value = static_cast<FindingKind>(i);
+    if (text == finding_kind_name(value)) {
+      kind = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint8_t finding_vuln_bit(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kMustOverflow:
+    case FindingKind::kMayOverflow:
+      return patch::kOverflow;
+    case FindingKind::kUseAfterFree:
+    case FindingKind::kDoubleFree:
+      return patch::kUseAfterFree;
+    case FindingKind::kUninitRead:
+      return patch::kUninitRead;
+  }
+  return 0;
+}
+
+std::uint8_t StaticAnalysisResult::finding_mask(progmodel::AllocFn fn,
+                                                std::uint64_t ccid) const noexcept {
+  for (const ContextVerdict& c : contexts) {
+    if (c.fn == fn && c.ccid == ccid) return c.finding_mask;
+  }
+  return 0;
+}
+
+std::vector<patch::PatchCandidate> StaticAnalysisResult::candidates(
+    std::uint64_t now_ns) const {
+  std::vector<patch::PatchCandidate> out;
+  for (const ContextVerdict& c : contexts) {
+    if (c.finding_mask == 0) continue;
+    std::uint64_t hits = 0;
+    for (const StaticFinding& finding : findings) {
+      if (finding.fn == c.fn && finding.ccid == c.ccid) ++hits;
+    }
+    out.push_back(patch::PatchCandidate{c.fn, c.ccid, c.finding_mask,
+                                        patch::CandidateOrigin::kStatic, hits,
+                                        now_ns});
+  }
+  return out;
+}
+
+patch::StaticHintSet StaticAnalysisResult::proven_safe_hints() const {
+  std::vector<patch::StaticHintSet::Hint> hints;
+  for (const ContextVerdict& c : contexts) {
+    if (c.proven_safe) hints.push_back({c.fn, c.ccid});
+  }
+  return patch::StaticHintSet(std::move(hints));
+}
+
+StaticAnalysisResult analyze_program(const progmodel::Program& program,
+                                     const cce::Encoder* encoder,
+                                     const StaticAnalysisOptions& options) {
+  Walker walker(program, encoder, options);
+  return walker.run();
+}
+
+std::string render_static_report(const progmodel::Program& program,
+                                 const StaticAnalysisResult& result,
+                                 const CcidSymbolizer* symbolizer) {
+  std::ostringstream os;
+  std::size_t safe = 0;
+  for (const ContextVerdict& c : result.contexts) {
+    if (c.proven_safe) ++safe;
+  }
+  os << "# htlint static analysis\n";
+  os << "summary: contexts=" << result.contexts.size()
+     << " flagged=" << count_flagged(result) << " proven-safe=" << safe
+     << " findings=" << result.findings.size()
+     << " truncated=" << (result.truncated ? "yes" : "no")
+     << " steps=" << result.steps << "\n\n";
+  for (const StaticFinding& finding : result.findings) {
+    os << "finding " << finding_kind_name(finding.kind) << ' '
+       << progmodel::alloc_fn_name(finding.fn) << ' ' << ccid_hex(finding.ccid)
+       << " bit=" << patch::vuln_mask_to_string(finding_vuln_bit(finding.kind))
+       << " in=" << program.graph().function_name(finding.in_function) << '\n';
+    os << "  detail: " << finding.detail << '\n';
+    if (symbolizer != nullptr) {
+      os << "  context: " << symbolizer->render(finding.fn, finding.ccid)
+         << '\n';
+    }
+  }
+  if (!result.findings.empty()) os << '\n';
+  for (const ContextVerdict& c : result.contexts) {
+    os << "context " << progmodel::alloc_fn_name(c.fn) << ' '
+       << ccid_hex(c.ccid) << " mask="
+       << patch::vuln_mask_to_string(c.finding_mask);
+    if (c.proven_safe) os << " proven-safe";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string static_report_json(const progmodel::Program& program,
+                               const StaticAnalysisResult& result,
+                               const CcidSymbolizer* symbolizer) {
+  std::ostringstream os;
+  const std::size_t flagged = count_flagged(result);
+  std::size_t safe = 0;
+  for (const ContextVerdict& c : result.contexts) {
+    if (c.proven_safe) ++safe;
+  }
+  os << "{\n  \"summary\": {\n";
+  os << "    \"contexts\": " << result.contexts.size() << ",\n";
+  os << "    \"flagged\": " << flagged << ",\n";
+  os << "    \"proven_safe\": " << safe << ",\n";
+  os << "    \"findings\": " << result.findings.size() << ",\n";
+  os << "    \"truncated\": " << (result.truncated ? "true" : "false") << ",\n";
+  os << "    \"steps\": " << result.steps << "\n  },\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const StaticFinding& finding = result.findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"kind\": \"" << finding_kind_name(finding.kind)
+       << "\", \"fn\": \"" << progmodel::alloc_fn_name(finding.fn)
+       << "\", \"ccid\": \"" << ccid_hex(finding.ccid) << "\", \"bit\": \""
+       << patch::vuln_mask_to_string(finding_vuln_bit(finding.kind))
+       << "\", \"in_function\": \""
+       << json_escape(program.graph().function_name(finding.in_function))
+       << "\", \"detail\": \"" << json_escape(finding.detail) << '"';
+    if (symbolizer != nullptr) {
+      os << ", \"context\": \""
+         << json_escape(symbolizer->render(finding.fn, finding.ccid)) << '"';
+    }
+    os << '}';
+  }
+  os << "\n  ],\n  \"contexts\": [";
+  for (std::size_t i = 0; i < result.contexts.size(); ++i) {
+    const ContextVerdict& c = result.contexts[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"fn\": \"" << progmodel::alloc_fn_name(c.fn)
+       << "\", \"ccid\": \"" << ccid_hex(c.ccid) << "\", \"mask\": \""
+       << patch::vuln_mask_to_string(c.finding_mask) << "\", \"proven_safe\": "
+       << (c.proven_safe ? "true" : "false") << '}';
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+// ---- Baseline (JSON report) reader ----
+
+namespace {
+
+/// Minimal recursive-descent JSON scanner, sufficient for reports produced
+/// by static_report_json (and tolerant of equivalent hand-written JSON).
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : s_(text) {}
+
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  [[nodiscard]] bool eof() {
+    skip_ws();
+    return i_ >= s_.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return i_ < s_.size() ? s_[i_] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return i_; }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) return false;
+      const char esc = s_[i_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  /// Skips any well-formed value; false on malformed input.
+  bool skip_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    const char c = s_[i_];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++i_;
+      if (consume(close)) return true;
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!parse_string(key) || !consume(':')) return false;
+        }
+        if (!skip_value()) return false;
+        if (consume(',')) continue;
+        return consume(close);
+      }
+    }
+    // number / true / false / null: consume the token characters.
+    const std::size_t start = i_;
+    while (i_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.')) {
+      ++i_;
+    }
+    return i_ > start;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+BaselineParseResult parse_baseline_report(std::string_view json) {
+  BaselineParseResult result;
+  support::NoteLimiter limiter(result.notes, support::kParseNoteCap);
+  JsonCursor cur(json);
+
+  const auto reject = [&](const std::string& reason) {
+    result.rejected = true;
+    result.reject_reason =
+        reason + " (offset " + std::to_string(cur.pos()) + ")";
+    result.findings.clear();
+  };
+
+  if (!cur.consume('{')) {
+    reject("expected top-level object");
+    return result;
+  }
+  if (cur.consume('}')) return result;
+  while (true) {
+    std::string key;
+    if (!cur.parse_string(key) || !cur.consume(':')) {
+      reject("malformed object key");
+      return result;
+    }
+    if (key != "findings") {
+      if (!cur.skip_value()) {
+        reject("malformed value for key '" + key + "'");
+        return result;
+      }
+    } else {
+      if (!cur.consume('[')) {
+        reject("'findings' is not an array");
+        return result;
+      }
+      if (!cur.consume(']')) {
+        std::size_t entry = 0;
+        while (true) {
+          ++entry;
+          if (!cur.consume('{')) {
+            reject("findings entry is not an object");
+            return result;
+          }
+          std::string kind_text, fn_text, ccid_text, detail;
+          bool have_kind = false, have_fn = false, have_ccid = false,
+               have_detail = false;
+          bool entry_ok = true;
+          if (!cur.consume('}')) {
+            while (true) {
+              std::string field;
+              if (!cur.parse_string(field) || !cur.consume(':')) {
+                reject("malformed findings entry");
+                return result;
+              }
+              if (field == "kind" || field == "fn" || field == "ccid" ||
+                  field == "detail") {
+                std::string value;
+                if (!cur.parse_string(value)) {
+                  reject("non-string '" + field + "' in findings entry");
+                  return result;
+                }
+                if (field == "kind") { kind_text = value; have_kind = true; }
+                else if (field == "fn") { fn_text = value; have_fn = true; }
+                else if (field == "ccid") { ccid_text = value; have_ccid = true; }
+                else { detail = value; have_detail = true; }
+              } else if (!cur.skip_value()) {
+                reject("malformed findings entry");
+                return result;
+              }
+              if (cur.consume(',')) continue;
+              if (cur.consume('}')) break;
+              reject("malformed findings entry");
+              return result;
+            }
+          }
+          // Field validation is a per-entry note, not a reject: one odd
+          // entry must not void the rest of the baseline.
+          StaticFinding finding;
+          if (!have_kind || !have_fn || !have_ccid || !have_detail) {
+            limiter.add("findings entry " + std::to_string(entry) +
+                        ": missing kind/fn/ccid/detail");
+            entry_ok = false;
+          } else if (!finding_kind_from_name(kind_text, finding.kind)) {
+            limiter.add("findings entry " + std::to_string(entry) +
+                        ": unknown kind '" + kind_text + "'");
+            entry_ok = false;
+          } else if (const auto fn = alloc_fn_from_name(fn_text); !fn) {
+            limiter.add("findings entry " + std::to_string(entry) +
+                        ": unknown fn '" + fn_text + "'");
+            entry_ok = false;
+          } else if (const auto ccid = support::parse_u64(ccid_text); !ccid) {
+            limiter.add("findings entry " + std::to_string(entry) +
+                        ": bad ccid '" + ccid_text + "'");
+            entry_ok = false;
+          } else {
+            finding.fn = *fn;
+            finding.ccid = *ccid;
+            finding.detail = std::move(detail);
+          }
+          if (entry_ok) result.findings.push_back(std::move(finding));
+          if (cur.consume(',')) continue;
+          if (cur.consume(']')) break;
+          reject("malformed findings array");
+          return result;
+        }
+      }
+    }
+    if (cur.consume(',')) continue;
+    if (cur.consume('}')) break;
+    reject("malformed top-level object");
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ht::analysis

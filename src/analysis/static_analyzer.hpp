@@ -1,0 +1,160 @@
+// Context-sensitive static heap-vulnerability analysis (the htlint engine).
+//
+// Walks Program bodies by abstract interpretation over the domains of
+// abstract_heap.hpp, maintaining the *same* TCCE register discipline the
+// interpreter uses (cce::CcidRegister updated at exactly the instrumented
+// call sites), so every finding and every safety verdict is keyed by the
+// {FUN, CCID} identity that patches, telemetry, and the online allocator
+// already speak. Each allocation context is classified:
+//
+//   MUST-OVERFLOW  an access provably exceeds the buffer on every input in
+//                  the analysis space
+//   MAY-OVERFLOW   some input/path in the space can exceed the buffer
+//   UAF            an access can reach a freed (or possibly-freed) buffer
+//   DOUBLE-FREE    a buffer can be freed twice (patched as UAF: the
+//                  quarantine absorbs the second free)
+//   UNINIT-READ    a checked use (branch/address/syscall) can read bytes
+//                  never definitely initialized, attributed to the
+//                  *origin* allocation (copies carry taint like the shadow
+//                  heap's origin tracking)
+//   PROVEN-SAFE    no finding attributes to the context and the walk was
+//                  exhaustive (never claimed when truncation occurred)
+//
+// MUST/MAY findings feed the candidate journal (origin "static") for
+// htpromote replay-validation — zero-trap immunity; PROVEN-SAFE contexts
+// export as a StaticHintSet the runtime uses to elide patch lookups.
+// Soundness caveats are documented in docs/STATIC_ANALYSIS.md; the
+// differential fuzz suite (tests/analysis/static_soundness_fuzz_test.cpp)
+// enforces the load-bearing direction: PROVEN-SAFE is never claimed for a
+// context the interpreter can make trap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/abstract_heap.hpp"
+#include "analysis/symbolize.hpp"
+#include "cce/encoders.hpp"
+#include "patch/candidate.hpp"
+#include "patch/static_hints.hpp"
+#include "progmodel/program.hpp"
+
+namespace ht::analysis {
+
+/// Finding severity/kind, in report order. Overflow distinguishes must/may;
+/// the other kinds are inherently "may" (reaching them at all depends on
+/// path/input choices the analysis over-approximates).
+enum class FindingKind : std::uint8_t {
+  kMustOverflow,
+  kMayOverflow,
+  kUseAfterFree,
+  kDoubleFree,
+  kUninitRead,
+};
+
+inline constexpr std::size_t kFindingKindCount = 5;
+
+/// Stable report token, e.g. "MUST-OVERFLOW".
+[[nodiscard]] const char* finding_kind_name(FindingKind kind) noexcept;
+
+/// Inverse of finding_kind_name; false on unknown token.
+[[nodiscard]] bool finding_kind_from_name(std::string_view text,
+                                          FindingKind& kind) noexcept;
+
+/// The patch vulnerability bit a finding maps to (§V's T field).
+[[nodiscard]] std::uint8_t finding_vuln_bit(FindingKind kind) noexcept;
+
+/// One static finding, keyed by the allocation context of the buffer the
+/// vulnerability targets (for UNINIT-READ via copies: the origin buffer).
+struct StaticFinding {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  FindingKind kind = FindingKind::kMayOverflow;
+  cce::FunctionId in_function = cce::kInvalidFunction;
+  std::string detail;
+
+  bool operator==(const StaticFinding&) const = default;
+};
+
+/// Verdict for one allocation context encountered during the walk.
+struct ContextVerdict {
+  progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+  std::uint64_t ccid = 0;
+  std::uint8_t finding_mask = 0;  ///< union of finding_vuln_bit per finding
+  bool proven_safe = false;       ///< mask == 0 and the walk was exhaustive
+
+  bool operator==(const ContextVerdict&) const = default;
+};
+
+struct StaticAnalysisOptions {
+  /// Per-parameter bounds for Value::input references; parameters beyond
+  /// the vector (or the whole space when empty) resolve to [0, 2^64-1].
+  std::vector<ParamBounds> space;
+  /// Abstract-action budget; exceeding it truncates (findings stand,
+  /// PROVEN-SAFE verdicts are withdrawn).
+  std::uint64_t max_steps = 1ULL << 22;
+  /// Max simultaneously-active walks of one function (recursion bound,
+  /// mirroring enumerate_contexts' cycle-visit cap). Deeper calls are
+  /// skipped and truncate the analysis.
+  std::uint32_t max_recursion = 2;
+  /// Loop fixpoint iteration cap; non-convergence truncates.
+  std::uint32_t loop_fixpoint_iters = 4;
+};
+
+struct StaticAnalysisResult {
+  /// Sorted by {fn, ccid, kind} (then in_function, detail) — byte-stable.
+  std::vector<StaticFinding> findings;
+  /// Every allocation context walked, sorted by {fn, ccid}.
+  std::vector<ContextVerdict> contexts;
+  /// The walk hit a bound (steps, recursion, or loop fixpoint): findings
+  /// remain genuine path-witnessed facts, but no context is proven safe.
+  bool truncated = false;
+  std::uint64_t steps = 0;
+
+  /// Union of finding bits for one context (0 when unflagged).
+  [[nodiscard]] std::uint8_t finding_mask(progmodel::AllocFn fn,
+                                          std::uint64_t ccid) const noexcept;
+  /// Flagged contexts as candidate patches (origin "static", hits = the
+  /// per-context finding count, first_seen_ns = `now_ns`) — the journal
+  /// unit htpromote replay-validates.
+  [[nodiscard]] std::vector<patch::PatchCandidate> candidates(
+      std::uint64_t now_ns) const;
+  /// PROVEN-SAFE contexts as a runtime elision hint set.
+  [[nodiscard]] patch::StaticHintSet proven_safe_hints() const;
+};
+
+/// Runs the analysis. `encoder` may be null (uninstrumented: every context
+/// reports CCID 0, exactly like the interpreter's fallback).
+[[nodiscard]] StaticAnalysisResult analyze_program(
+    const progmodel::Program& program, const cce::Encoder* encoder,
+    const StaticAnalysisOptions& options = {});
+
+/// Deterministic human-readable report. `symbolizer` (optional) resolves
+/// each finding's context chain; pass null for raw CCIDs only.
+[[nodiscard]] std::string render_static_report(
+    const progmodel::Program& program, const StaticAnalysisResult& result,
+    const CcidSymbolizer* symbolizer);
+
+/// Deterministic JSON report (same content; machine-readable).
+[[nodiscard]] std::string static_report_json(
+    const progmodel::Program& program, const StaticAnalysisResult& result,
+    const CcidSymbolizer* symbolizer);
+
+/// Baseline reader: parses the findings array back out of a JSON report so
+/// CI can suppress known findings. Follows the shared reject /
+/// note(capped) / silent-skip policy (support/parse_policy.hpp): a
+/// structurally-unparseable file rejects; a findings entry with missing or
+/// malformed fields is skipped with a note.
+struct BaselineParseResult {
+  bool rejected = false;
+  std::string reject_reason;
+  std::vector<StaticFinding> findings;  ///< identity fields only
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool ok() const noexcept { return !rejected; }
+};
+
+[[nodiscard]] BaselineParseResult parse_baseline_report(std::string_view json);
+
+}  // namespace ht::analysis

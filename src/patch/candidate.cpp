@@ -66,6 +66,7 @@ const char* candidate_origin_name(CandidateOrigin origin) noexcept {
     case CandidateOrigin::kOobLanded: return "oob_landed";
     case CandidateOrigin::kUafReuse: return "uaf_reuse";
     case CandidateOrigin::kCanary: return "canary";
+    case CandidateOrigin::kStatic: return "static";
   }
   return "unknown";
 }
@@ -90,6 +91,11 @@ std::uint8_t candidate_default_mask(CandidateOrigin origin) noexcept {
       return kOverflow;
     case CandidateOrigin::kUafReuse:
       return kUseAfterFree;
+    case CandidateOrigin::kStatic:
+      // Static findings always carry an explicit per-finding mask; the
+      // default only matters if a tool forgets, in which case enhancing for
+      // every type is the safe over-approximation.
+      return kAllVulnBits;
   }
   return 0;
 }
@@ -138,7 +144,15 @@ std::string serialize_verdict_line(const VerdictRecord& verdict) {
   for (char& ch : reason) {
     if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') ch = '-';
   }
-  os << reason << " t=" << verdict.time_ns << '\n';
+  os << reason << " t=" << verdict.time_ns;
+  if (!verdict.origin_token.empty()) {
+    std::string origin = verdict.origin_token;
+    for (char& ch : origin) {
+      if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') ch = '-';
+    }
+    os << " origin=" << origin;
+  }
+  os << '\n';
   return os.str();
 }
 
@@ -147,10 +161,9 @@ CandidateParseResult parse_candidate_journal(std::string_view text) {
   std::size_t line_no = 0;
   bool version_seen = false;
 
+  support::NoteLimiter limiter(result.notes, kCandidateNoteCap);
   const auto note = [&](const std::string& message) {
-    if (result.notes.size() < kCandidateNoteCap) {
-      result.notes.push_back("line " + std::to_string(line_no) + ": " + message);
-    }
+    limiter.add("line " + std::to_string(line_no) + ": " + message);
   };
   const auto reject = [&](const std::string& reason) {
     result.rejected = true;
@@ -240,9 +253,10 @@ CandidateParseResult parse_candidate_journal(std::string_view text) {
     }
 
     if (fields[0] == "verdict") {
-      // verdict <fn> <ccid> <mask> <verdict> <reason> t=<ns>
-      if (fields.size() != 7) {
-        note("expected: verdict <fn> <ccid> <mask> <verdict> <reason> t=NS");
+      // verdict <fn> <ccid> <mask> <verdict> <reason> t=<ns> [origin=<tok>]
+      if (fields.size() != 7 && fields.size() != 8) {
+        note("expected: verdict <fn> <ccid> <mask> <verdict> <reason> t=NS "
+             "[origin=TOK]");
         continue;
       }
       const auto fn = alloc_fn_from_name(fields[1]);
@@ -274,8 +288,18 @@ CandidateParseResult parse_candidate_journal(std::string_view text) {
         note("bad t= value");
         continue;
       }
+      std::string origin_token;
+      if (fields.size() == 8) {
+        if (!support::starts_with(fields[7], "origin=") ||
+            fields[7].size() == 7) {
+          note("expected origin=<token>");
+          continue;
+        }
+        origin_token = std::string(fields[7].substr(7));
+      }
       result.verdicts.push_back(VerdictRecord{*fn, *ccid, mask, verdict,
-                                              std::string(fields[5]), *when});
+                                              std::string(fields[5]), *when,
+                                              std::move(origin_token)});
       continue;
     }
 
@@ -319,20 +343,17 @@ std::optional<CandidateVerdict> latest_verdict(
   return latest;
 }
 
-std::vector<Patch> select_promotable(const CandidateParseResult& journal,
-                                     const PromotionPolicy& policy) {
-  struct Group {
-    Patch patch;
-    std::uint64_t hits = 0;
-    std::uint64_t first_seen_ns = 0;
-  };
-  std::vector<Group> groups;
+std::vector<PromotableGroup> select_promotable_groups(
+    const CandidateParseResult& journal, const PromotionPolicy& policy) {
+  std::vector<PromotableGroup> groups;
   for (const PatchCandidate& c : journal.candidates) {
     bool merged = false;
-    for (Group& g : groups) {
+    for (PromotableGroup& g : groups) {
       if (g.patch.fn == c.fn && g.patch.ccid == c.ccid) {
         g.patch.vuln_mask |= c.vuln_mask;
         g.hits += c.hits;
+        g.origin_bits |= static_cast<std::uint8_t>(
+            1u << static_cast<unsigned>(c.origin));
         if (c.first_seen_ns != 0 &&
             (g.first_seen_ns == 0 || c.first_seen_ns < g.first_seen_ns)) {
           g.first_seen_ns = c.first_seen_ns;
@@ -342,15 +363,25 @@ std::vector<Patch> select_promotable(const CandidateParseResult& journal,
       }
     }
     if (!merged) {
-      groups.push_back(Group{Patch{c.fn, c.ccid, c.vuln_mask}, c.hits,
-                             c.first_seen_ns});
+      groups.push_back(PromotableGroup{
+          Patch{c.fn, c.ccid, c.vuln_mask}, c.hits, c.first_seen_ns,
+          static_cast<std::uint8_t>(1u << static_cast<unsigned>(c.origin))});
     }
   }
 
-  std::vector<Patch> selected;
-  for (const Group& g : groups) {
+  std::vector<PromotableGroup> selected;
+  for (const PromotableGroup& g : groups) {
     if (g.hits < policy.min_hits) continue;
     if (latest_verdict(journal.verdicts, g.patch.fn, g.patch.ccid)) continue;
+    selected.push_back(g);
+  }
+  return selected;
+}
+
+std::vector<Patch> select_promotable(const CandidateParseResult& journal,
+                                     const PromotionPolicy& policy) {
+  std::vector<Patch> selected;
+  for (const PromotableGroup& g : select_promotable_groups(journal, policy)) {
     selected.push_back(g.patch);
   }
   return selected;

@@ -40,18 +40,23 @@
 #include <vector>
 
 #include "patch/patch.hpp"
+#include "support/parse_policy.hpp"
 
 namespace ht::patch {
 
-/// Where the runtime observed the evidence that produced a candidate.
+/// Where the evidence that produced a candidate was observed. The first four
+/// are runtime observations (a process already experienced the attack); the
+/// last is the static analyzer's zero-trap path (htlint) — no process ever
+/// saw the vulnerability trigger.
 enum class CandidateOrigin : std::uint8_t {
   kGuardTrap = 0,   ///< OOB access blocked by a guard page
   kOobLanded = 1,   ///< OOB access observed (landed) under shadow replay
   kUafReuse = 2,    ///< access to stale memory after quarantine eviction
   kCanary = 3,      ///< canary word corrupted, detected on free
+  kStatic = 4,      ///< htlint abstract-interpretation finding (zero traps)
 };
 
-inline constexpr std::size_t kCandidateOriginCount = 4;
+inline constexpr std::size_t kCandidateOriginCount = 5;
 
 /// Stable journal token, e.g. "guard_trap". Unknown values -> "unknown".
 [[nodiscard]] const char* candidate_origin_name(CandidateOrigin origin) noexcept;
@@ -91,7 +96,10 @@ enum class CandidateVerdict : std::uint8_t {
                                                CandidateVerdict& verdict) noexcept;
 
 /// One verdict line. `reason` is a single token (no whitespace); the
-/// serializer replaces embedded whitespace with '-'.
+/// serializer replaces embedded whitespace with '-'. `origin_token`
+/// optionally records the provenance of the evidence the verdict judged
+/// (e.g. "static" for htlint findings promoted before any trap); empty means
+/// unrecorded, and legacy 7-field verdict lines parse to empty.
 struct VerdictRecord {
   progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
   std::uint64_t ccid = 0;
@@ -99,6 +107,7 @@ struct VerdictRecord {
   CandidateVerdict verdict = CandidateVerdict::kRejected;
   std::string reason;
   std::uint64_t time_ns = 0;
+  std::string origin_token;  ///< optional "origin=<token>" field
 
   bool operator==(const VerdictRecord&) const = default;
 };
@@ -120,7 +129,8 @@ struct CandidateParseResult {
   [[nodiscard]] bool ok() const noexcept { return !rejected; }
 };
 
-inline constexpr std::size_t kCandidateNoteCap = 50;
+/// Journal notes share the fleet-wide cap (support/parse_policy.hpp).
+inline constexpr std::size_t kCandidateNoteCap = support::kParseNoteCap;
 
 /// Serializes candidate lines only (no header) — the unit a runtime appends.
 [[nodiscard]] std::string serialize_candidate_lines(
@@ -158,11 +168,34 @@ struct PromotionPolicy {
   std::uint64_t min_hits = 1;  ///< total folded hits required per {fn, ccid}
 };
 
+/// One promotable {fn, ccid} group with its provenance: the unioned mask,
+/// summed hits, minimum first-seen time, and the set of origins that
+/// contributed evidence (bit i set iff CandidateOrigin(i) appeared).
+struct PromotableGroup {
+  Patch patch;
+  std::uint64_t hits = 0;
+  std::uint64_t first_seen_ns = 0;
+  std::uint8_t origin_bits = 0;
+
+  [[nodiscard]] bool has_origin(CandidateOrigin origin) const noexcept {
+    return (origin_bits & (1u << static_cast<unsigned>(origin))) != 0;
+  }
+  /// True when every contributing observation came from the static analyzer
+  /// — i.e. no process ever experienced the attack.
+  [[nodiscard]] bool static_only() const noexcept {
+    return origin_bits == (1u << static_cast<unsigned>(CandidateOrigin::kStatic));
+  }
+};
+
 /// Groups folded candidates by {fn, ccid}, unions their masks and sums their
-/// hits across origins, and returns the patches that (a) meet the min-hit
+/// hits across origins, and returns the groups that (a) meet the min-hit
 /// threshold and (b) have no verdict yet — promoted, rejected, and demoted
 /// candidates are all skipped (a demoted patch must not flap back in without
 /// a fresh journal). Output order is first-seen order.
+[[nodiscard]] std::vector<PromotableGroup> select_promotable_groups(
+    const CandidateParseResult& journal, const PromotionPolicy& policy);
+
+/// select_promotable_groups reduced to the patches (legacy shape).
 [[nodiscard]] std::vector<Patch> select_promotable(
     const CandidateParseResult& journal, const PromotionPolicy& policy);
 

@@ -1,0 +1,161 @@
+#include "patch/static_hints.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/hash.hpp"
+#include "support/str.hpp"
+
+namespace ht::patch {
+
+namespace {
+
+constexpr const char* kHintHeader = "# HeapTherapy+ static elision hints\n";
+
+std::optional<progmodel::AllocFn> alloc_fn_from_name(std::string_view name) {
+  for (progmodel::AllocFn fn : progmodel::kAllAllocFns) {
+    if (progmodel::alloc_fn_name(fn) == name) return fn;
+  }
+  return std::nullopt;
+}
+
+/// Same key mixing as PatchTable::slot_hash: the elision probe must cost no
+/// more than the table probe it replaces.
+std::uint64_t hint_hash(progmodel::AllocFn fn, std::uint64_t ccid) noexcept {
+  const std::uint64_t h =
+      support::mix64(ccid ^ (static_cast<std::uint64_t>(fn) << 56));
+  return h == 0 ? 1 : h;  // reserve 0 for "empty slot"
+}
+
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+StaticHintSet::StaticHintSet(std::vector<Hint> hints) : hints_(std::move(hints)) {
+  std::sort(hints_.begin(), hints_.end());
+  hints_.erase(std::unique(hints_.begin(), hints_.end()), hints_.end());
+  // Low load factor (<= 25%) keeps probe sequences short on the hot path.
+  slots_.resize(round_up_pow2(hints_.size() * 4 + 8));
+  for (const Hint& h : hints_) {
+    const std::uint64_t hash = hint_hash(h.fn, h.ccid);
+    std::size_t i = static_cast<std::size_t>(hash) & (slots_.size() - 1);
+    while (slots_[i].key_hash != 0) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = Slot{hash, h.ccid, static_cast<std::uint8_t>(h.fn)};
+  }
+}
+
+bool StaticHintSet::contains(progmodel::AllocFn fn,
+                             std::uint64_t ccid) const noexcept {
+  if (hints_.empty()) return false;
+  const std::uint64_t hash = hint_hash(fn, ccid);
+  std::size_t i = static_cast<std::size_t>(hash) & (slots_.size() - 1);
+  for (;;) {
+    const Slot& slot = slots_[i];
+    if (slot.key_hash == 0) return false;
+    if (slot.key_hash == hash && slot.ccid == ccid &&
+        slot.fn == static_cast<std::uint8_t>(fn)) {
+      return true;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+std::string StaticHintSet::serialize() const {
+  std::ostringstream os;
+  os << kHintHeader << "version 1\n";
+  for (const Hint& h : hints_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(h.ccid));
+    os << "safe " << progmodel::alloc_fn_name(h.fn) << ' ' << buf << '\n';
+  }
+  return os.str();
+}
+
+StaticHintParseResult parse_static_hints(std::string_view text) {
+  StaticHintParseResult result;
+  std::size_t line_no = 0;
+  bool version_seen = false;
+  std::vector<StaticHintSet::Hint> hints;
+
+  support::NoteLimiter limiter(result.notes, support::kParseNoteCap);
+  const auto note = [&](const std::string& message) {
+    limiter.add("line " + std::to_string(line_no) + ": " + message);
+  };
+
+  for (std::string_view raw_line : support::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = support::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string_view> fields;
+    for (std::string_view f : support::split(line, ' ')) {
+      if (!support::trim(f).empty()) fields.push_back(support::trim(f));
+    }
+    if (fields.empty()) continue;
+
+    if (fields[0] == "version") {
+      if (fields.size() < 2 || support::parse_u64(fields[1]) != 1) {
+        result.rejected = true;
+        result.reject_reason =
+            "line " + std::to_string(line_no) + ": unsupported hints version";
+        return result;
+      }
+      version_seen = true;
+      continue;
+    }
+
+    if (fields[0] == "safe") {
+      if (fields.size() != 3) {
+        note("expected: safe <fn> <ccid>");
+        continue;
+      }
+      const auto fn = alloc_fn_from_name(fields[1]);
+      if (!fn) {
+        note("unknown allocation function '" + std::string(fields[1]) + "'");
+        continue;
+      }
+      const auto ccid = support::parse_u64(fields[2]);
+      if (!ccid) {
+        note("bad CCID '" + std::string(fields[2]) + "'");
+        continue;
+      }
+      hints.push_back(StaticHintSet::Hint{*fn, *ccid});
+      continue;
+    }
+
+    note("unknown directive '" + std::string(fields[0]) + "'");
+  }
+
+  if (!hints.empty() && !version_seen) {
+    result.rejected = true;
+    result.reject_reason = "missing 'version' directive";
+    return result;
+  }
+  limiter.append_suppressed_summary();
+  result.hints = StaticHintSet(std::move(hints));
+  return result;
+}
+
+std::optional<StaticHintParseResult> load_static_hints(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_static_hints(buffer.str());
+}
+
+bool save_static_hints(const std::string& path, const StaticHintSet& hints) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << hints.serialize();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ht::patch

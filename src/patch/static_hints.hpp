@@ -1,0 +1,93 @@
+// Static elision hints: the PROVEN-SAFE half of the analyze-then-immunize
+// loop.
+//
+// htlint's abstract interpretation classifies allocation contexts; the
+// MUST/MAY findings feed the candidate journal, and the PROVEN-SAFE contexts
+// are exported here — a {FUN, CCID} set the runtime may treat as "no patch
+// will ever target this context", skipping the patch-table lookup entirely
+// on the allocation hot path (ShadowBound-style check elision, PAPERS.md).
+// Hints are advisory: a context absent from the set merely takes the normal
+// lookup path, and a hint for a context that later acquires a patch is a
+// soundness bug in the *analyzer*, never in the runtime.
+//
+// File format (docs/FORMATS.md §9):
+//
+//   # HeapTherapy+ static elision hints
+//   version 1
+//   safe <alloc_fn> <ccid>
+//
+// Parsing follows the shared reject / note(capped) / silent-skip policy
+// (support/parse_policy.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "progmodel/values.hpp"
+#include "support/parse_policy.hpp"
+
+namespace ht::patch {
+
+/// Sorted immutable {FUN, CCID} set with O(log n) allocation-path lookups.
+class StaticHintSet {
+ public:
+  struct Hint {
+    progmodel::AllocFn fn = progmodel::AllocFn::kMalloc;
+    std::uint64_t ccid = 0;
+
+    bool operator==(const Hint&) const = default;
+    auto operator<=>(const Hint&) const = default;
+  };
+
+  StaticHintSet() = default;
+  explicit StaticHintSet(std::vector<Hint> hints);
+
+  /// True iff {fn, ccid} was proven safe. Hot-path: one open-addressing
+  /// probe (same shape and cost as the PatchTable lookup it elides), no
+  /// allocation, noexcept.
+  [[nodiscard]] bool contains(progmodel::AllocFn fn,
+                              std::uint64_t ccid) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return hints_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return hints_.empty(); }
+  [[nodiscard]] const std::vector<Hint>& hints() const noexcept { return hints_; }
+
+  /// Text form (header + sorted `safe` lines) — byte-stable for a given set.
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  struct Slot {
+    std::uint64_t key_hash = 0;  ///< 0 = empty (hash is forced non-zero)
+    std::uint64_t ccid = 0;
+    std::uint8_t fn = 0;
+  };
+
+  std::vector<Hint> hints_;  // sorted, deduplicated
+  std::vector<Slot> slots_;  // open addressing, power-of-two, <=25% load
+};
+
+/// Parse outcome under the shared error taxonomy: reject voids the file,
+/// notes are capped at kParseNoteCap, comments/blanks silently skip.
+struct StaticHintParseResult {
+  bool rejected = false;
+  std::string reject_reason;
+  StaticHintSet hints;
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool ok() const noexcept { return !rejected; }
+};
+
+[[nodiscard]] StaticHintParseResult parse_static_hints(std::string_view text);
+
+/// Reads and parses a hint file. nullopt when the file cannot be read.
+[[nodiscard]] std::optional<StaticHintParseResult> load_static_hints(
+    const std::string& path);
+
+/// Writes the serialized set to `path`. Returns false on I/O failure.
+[[nodiscard]] bool save_static_hints(const std::string& path,
+                                     const StaticHintSet& hints);
+
+}  // namespace ht::patch

@@ -96,6 +96,14 @@ class Value {
 
   [[nodiscard]] constexpr bool is_input() const noexcept { return kind_ == Kind::kInput; }
 
+  /// The literal payload; meaningful only when !is_input().
+  [[nodiscard]] constexpr std::uint64_t literal() const noexcept { return payload_; }
+
+  /// The referenced parameter index; meaningful only when is_input().
+  [[nodiscard]] constexpr std::uint32_t input_index() const noexcept {
+    return static_cast<std::uint32_t>(payload_);
+  }
+
  private:
   enum class Kind : std::uint8_t { kLiteral, kInput };
   Kind kind_;

@@ -11,6 +11,10 @@
 
 #include <cstdint>
 
+namespace ht::patch {
+class StaticHintSet;
+}  // namespace ht::patch
+
 namespace ht::runtime {
 
 /// Observability configuration (src/runtime/telemetry.hpp implements it;
@@ -74,6 +78,14 @@ struct GuardedAllocatorConfig {
   /// (The canary trailer always carries the allocation-time CCID for this
   /// attribution; the flag only gates recording.)
   bool synthesize_candidates = false;
+  /// Static elision hints (htlint's PROVEN-SAFE contexts; see
+  /// docs/STATIC_ANALYSIS.md). When set, the engine skips the patch-table
+  /// lookup for hinted {FUN, CCID} pairs — those allocations are never
+  /// enhanced, even if a patch names them (a hinted-and-patched context is
+  /// an analyzer soundness bug, surfaced by the differential fuzz tests,
+  /// not something the runtime arbitrates). Null disables. The set must
+  /// outlive the allocator.
+  const patch::StaticHintSet* static_hints = nullptr;
   /// Observability tiers (counters / event ring); see above.
   TelemetryConfig telemetry;
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "patch/decision_cache.hpp"
+#include "patch/static_hints.hpp"
 #include "support/faultpoint.hpp"
 #include "support/hash.hpp"
 
@@ -102,6 +103,13 @@ void* DefenseEngine::raw_of(void* user, const MetadataWord& meta) noexcept {
 }
 
 std::uint8_t DefenseEngine::lookup_mask(AllocFn fn, std::uint64_t ccid) const noexcept {
+  // Statically proven-safe contexts skip the table entirely — the elision
+  // half of analyze-then-immunize (docs/STATIC_ANALYSIS.md). One predicted
+  // branch when no hint set is loaded.
+  if (config_.static_hints != nullptr &&
+      config_.static_hints->contains(fn, ccid)) {
+    return 0;
+  }
   // One extra branch (and for the swap case one acquire load) resolves the
   // hot-reloadable table; generation-keyed memoization makes the cache
   // self-invalidating when a reload swaps the table underneath us.

@@ -5,6 +5,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "support/parse_policy.hpp"
 #include "support/str.hpp"
 
 namespace ht::runtime {
@@ -600,17 +601,11 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
   bool version_seen = false;
   std::size_t line_no = 0;
 
-  // Diagnostics are capped: a corrupt multi-megabyte dump must not balloon
-  // the error list (each entry allocates). The count past the cap is still
-  // reported, so "how broken" survives even when the details do not.
-  constexpr std::size_t kMaxErrors = 100;
-  std::size_t suppressed = 0;
+  // Diagnostics follow the shared reject / note(capped) / silent-skip
+  // policy (support/parse_policy.hpp); text dumps use the larger error cap.
+  support::NoteLimiter errors(result.errors, support::kParseErrorCap);
   const auto complain = [&](const std::string& what) {
-    if (result.errors.size() >= kMaxErrors) {
-      ++suppressed;
-      return;
-    }
-    result.errors.push_back("line " + std::to_string(line_no) + ": " + what);
+    errors.add("line " + std::to_string(line_no) + ": " + what);
   };
 
   for (std::string_view raw : support::split(text, '\n')) {
@@ -882,10 +877,7 @@ TelemetryParseResult parse_telemetry(std::string_view text) {
       complain("unknown directive '" + std::string(directive) + "'");
     }
   }
-  if (suppressed > 0) {
-    result.errors.push_back("(" + std::to_string(suppressed) +
-                            " further error(s) suppressed)");
-  }
+  errors.append_suppressed_summary();
   if (!version_seen) result.errors.insert(result.errors.begin(),
                                           "missing version directive");
   return result;

@@ -7,6 +7,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "support/parse_policy.hpp"
+
 namespace ht::runtime {
 
 namespace {
@@ -336,16 +338,14 @@ WireDecodeResult decode_telemetry_frame(std::string_view frame) {
 
   TelemetrySnapshot& snap = r.snapshot;
   Cursor cur{raw + kWireHeaderSize, payload_len};
-  // Per-record notes are capped like the text parser's diagnostics: a
-  // hostile frame that passes CRC must not balloon the note list.
-  constexpr std::size_t kMaxNotes = 50;
+  // Per-record notes follow the shared reject / note(capped) / silent-skip
+  // policy (support/parse_policy.hpp): a hostile frame that passes CRC must
+  // not balloon the note list.
+  support::NoteLimiter notes(r.notes, support::kParseNoteCap);
   const auto note = [&](const std::string& what) {
     ++r.skipped_records;
-    if (r.notes.size() < kMaxNotes) {
-      r.notes.push_back("record " +
-                        std::to_string(r.records + r.skipped_records) + ": " +
-                        what);
-    }
+    notes.add("record " + std::to_string(r.records + r.skipped_records) +
+              ": " + what);
   };
 
   while (cur.off < cur.size) {

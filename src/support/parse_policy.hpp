@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Shared diagnostic policy for every text / binary parser in the tree
+/// (telemetry dumps, wire frames, candidate journals, htlint baselines).
+///
+/// All parsers classify malformed input into exactly three buckets:
+///
+///   - reject:       structural damage (missing or unsupported `version`
+///                   directive, bad magic/CRC). The whole input is voided;
+///                   nothing parsed so far may be trusted.
+///   - note (capped): a single bad line or record. The line/record is
+///                   dropped, a human-readable note is recorded, and parsing
+///                   continues. Notes are capped so a corrupt multi-megabyte
+///                   input cannot balloon the diagnostic list; the count past
+///                   the cap is still tracked so "how broken" survives even
+///                   when the details do not.
+///   - silent skip:  blank lines and `#` comments. Not diagnostics at all.
+///
+/// The caps below are the single source of truth; parsers must not restate
+/// the numbers locally.
+namespace ht::support {
+
+/// Cap for per-line / per-record notes (wire frames, candidate journals,
+/// htlint baseline files).
+inline constexpr std::size_t kParseNoteCap = 50;
+
+/// Cap for the text telemetry parser's error list. Text dumps are larger and
+/// hand-edited more often than the other formats, so they get more headroom.
+inline constexpr std::size_t kParseErrorCap = 100;
+
+/// Bounded appender implementing the note(capped) bucket: records up to
+/// `cap` messages into `sink`, counts the rest as suppressed.
+class NoteLimiter {
+ public:
+  NoteLimiter(std::vector<std::string>& sink, std::size_t cap)
+      : sink_(sink), cap_(cap) {}
+
+  /// Returns true when the message was recorded, false when capped.
+  bool add(std::string message) {
+    if (sink_.size() >= cap_) {
+      ++suppressed_;
+      return false;
+    }
+    sink_.push_back(std::move(message));
+    return true;
+  }
+
+  std::size_t suppressed() const { return suppressed_; }
+
+  /// Appends the canonical "(N further error(s) suppressed)" trailer when
+  /// any messages were dropped. The trailer does not count against the cap.
+  void append_suppressed_summary() {
+    if (suppressed_ == 0) return;
+    sink_.push_back("(" + std::to_string(suppressed_) +
+                    " further error(s) suppressed)");
+  }
+
+ private:
+  std::vector<std::string>& sink_;
+  std::size_t cap_;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace ht::support

@@ -1,0 +1,154 @@
+// Unit tests for the static analyzer's abstract domains
+// (analysis/abstract_heap.hpp): interval arithmetic saturates, joins are
+// conservative in the documented directions, and poison taints stay one
+// hull per origin.
+#include "analysis/abstract_heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ht;
+using analysis::AbstractHeap;
+using analysis::BufferFacts;
+using analysis::BufferState;
+using analysis::Interval;
+using analysis::kIntervalMax;
+
+TEST(IntervalTest, ExactAndTop) {
+  EXPECT_EQ(Interval::exact(7), (Interval{7, 7}));
+  EXPECT_TRUE(Interval::exact(7).is_exact());
+  EXPECT_EQ(Interval::top(), (Interval{0, kIntervalMax}));
+  EXPECT_FALSE(Interval::top().is_exact());
+}
+
+TEST(IntervalTest, JoinIsHull) {
+  EXPECT_EQ((Interval{2, 5}).join(Interval{4, 9}), (Interval{2, 9}));
+  EXPECT_EQ((Interval{4, 9}).join(Interval{2, 5}), (Interval{2, 9}));
+  EXPECT_EQ((Interval{3, 3}).join(Interval{3, 3}), (Interval{3, 3}));
+}
+
+TEST(IntervalTest, AddSaturates) {
+  EXPECT_EQ((Interval{1, 2}).add(Interval{10, 20}), (Interval{11, 22}));
+  const Interval sum = Interval::top().add(Interval{1, 1});
+  EXPECT_EQ(sum.lo, 1u);
+  EXPECT_EQ(sum.hi, kIntervalMax);  // saturated, not wrapped
+  EXPECT_EQ(analysis::sat_add(kIntervalMax, kIntervalMax), kIntervalMax);
+}
+
+TEST(IntervalTest, BoundRendering) {
+  EXPECT_EQ(analysis::interval_bound_string(42), "42");
+  EXPECT_EQ(analysis::interval_bound_string(kIntervalMax), "inf");
+  EXPECT_EQ(analysis::interval_string(Interval{1, kIntervalMax}), "[1, inf]");
+}
+
+TEST(ResolveIntervalTest, LiteralsAreExact) {
+  const Interval iv = analysis::resolve_interval(progmodel::Value(128), {});
+  EXPECT_EQ(iv, Interval::exact(128));
+}
+
+TEST(ResolveIntervalTest, InputsSpanTheSpace) {
+  const std::vector<analysis::ParamBounds> space = {{4, 64}};
+  EXPECT_EQ(analysis::resolve_interval(progmodel::Value::input(0), space),
+            (Interval{4, 64}));
+  // Parameter beyond the space (and an empty space) resolves to top.
+  EXPECT_EQ(analysis::resolve_interval(progmodel::Value::input(1), space),
+            Interval::top());
+  EXPECT_EQ(analysis::resolve_interval(progmodel::Value::input(0), {}),
+            Interval::top());
+}
+
+TEST(BufferStateTest, JoinLattice) {
+  using analysis::join_buffer_state;
+  EXPECT_EQ(join_buffer_state(BufferState::kLive, BufferState::kLive),
+            BufferState::kLive);
+  // Liveness disagreement meets upward at possibly-freed.
+  EXPECT_EQ(join_buffer_state(BufferState::kLive, BufferState::kFreed),
+            BufferState::kPossiblyFreed);
+  EXPECT_EQ(join_buffer_state(BufferState::kPossiblyFreed, BufferState::kLive),
+            BufferState::kPossiblyFreed);
+  // One-sided existence keeps the allocating path's facts.
+  EXPECT_EQ(join_buffer_state(BufferState::kUnallocated, BufferState::kLive),
+            BufferState::kLive);
+  EXPECT_EQ(join_buffer_state(BufferState::kFreed, BufferState::kUnallocated),
+            BufferState::kFreed);
+}
+
+TEST(BufferFactsTest, JoinTakesMinInitAndSizeHull) {
+  BufferFacts a;
+  a.state = BufferState::kLive;
+  a.size = Interval::exact(64);
+  a.must_init_end = 64;
+  BufferFacts b;
+  b.state = BufferState::kLive;
+  b.size = Interval::exact(32);
+  b.must_init_end = 8;
+  const BufferFacts joined = analysis::join_buffer_facts(a, b);
+  EXPECT_EQ(joined.size, (Interval{32, 64}));
+  EXPECT_EQ(joined.must_init_end, 8u);  // definitely-initialized = min
+}
+
+TEST(BufferFactsTest, PoisonIsOneHullPerOrigin) {
+  BufferFacts f;
+  f.add_poison(3, Interval{0, 8});
+  f.add_poison(3, Interval{16, 32});
+  f.add_poison(1, Interval{4, 4});
+  ASSERT_EQ(f.poison.size(), 2u);
+  EXPECT_EQ(f.poison[0].origin, 1u);  // sorted by origin
+  EXPECT_EQ(f.poison[1].origin, 3u);
+  EXPECT_EQ(f.poison[1].bytes, (Interval{0, 32}));  // hull of the two ranges
+}
+
+TEST(BufferFactsTest, JoinUnionsPoison) {
+  BufferFacts a;
+  a.add_poison(1, Interval{0, 8});
+  BufferFacts b;
+  b.add_poison(1, Interval{8, 16});
+  b.add_poison(2, Interval{0, 4});
+  const BufferFacts joined = analysis::join_buffer_facts(a, b);
+  ASSERT_EQ(joined.poison.size(), 2u);
+  EXPECT_EQ(joined.poison[0].bytes, (Interval{0, 16}));
+  EXPECT_EQ(joined.poison[1].origin, 2u);
+}
+
+TEST(AbstractHeapTest, SetSlotIsStrong) {
+  AbstractHeap h;
+  h.set_slot(0, 3);
+  h.set_slot(0, 5);
+  ASSERT_EQ(h.slots.size(), 1u);
+  EXPECT_EQ(h.slots[0], (std::vector<std::uint32_t>{5}));
+}
+
+TEST(AbstractHeapTest, FactsMaterializeDefaults) {
+  AbstractHeap h;
+  EXPECT_EQ(h.facts(4).state, BufferState::kUnallocated);
+  EXPECT_EQ(h.buffers.size(), 5u);
+}
+
+TEST(AbstractHeapTest, JoinUnionsSlotSetsSorted) {
+  AbstractHeap a;
+  a.set_slot(0, 7);
+  a.facts(7).state = BufferState::kLive;
+  AbstractHeap b;
+  b.set_slot(0, 2);
+  b.facts(2).state = BufferState::kLive;
+  b.facts(7).state = BufferState::kFreed;
+  const AbstractHeap joined = analysis::join_heaps(a, b);
+  EXPECT_EQ(joined.slots[0], (std::vector<std::uint32_t>{2, 7}));
+  // Pointwise facts join: 7 is live in a, freed in b.
+  ASSERT_GE(joined.buffers.size(), 8u);
+  EXPECT_EQ(joined.buffers[7].state, BufferState::kPossiblyFreed);
+  // 2 exists only in b: taken verbatim.
+  EXPECT_EQ(joined.buffers[2].state, BufferState::kLive);
+}
+
+TEST(AbstractHeapTest, JoinIsIdempotent) {
+  AbstractHeap a;
+  a.set_slot(1, 4);
+  a.facts(4).state = BufferState::kLive;
+  a.facts(4).size = Interval::exact(32);
+  a.facts(4).must_init_end = 32;
+  EXPECT_EQ(analysis::join_heaps(a, a), a);
+}
+
+}  // namespace

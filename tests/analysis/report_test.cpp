@@ -24,6 +24,25 @@ TEST(Report, HeartbleedReportNamesContextAndTypes) {
   EXPECT_NE(text.find("patches (1)"), std::string::npos);
 }
 
+TEST(Report, PatchesRenderInFunCcidOrderByteStable) {
+  // The report must not depend on detection order: feed it patches in
+  // deliberately shuffled order and expect {FUN, CCID}-sorted output.
+  const auto v = corpus::make_heartbleed();
+  const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  auto report = analyze_attack(v.program, &encoder, v.attack);
+  report.patches.push_back({progmodel::AllocFn::kMalloc, 0x2, patch::kOverflow});
+  report.patches.push_back({progmodel::AllocFn::kMalloc, 0x1, patch::kOverflow});
+  const std::string text = render_report(v.program, encoder, v.attack, report);
+
+  std::swap(report.patches[0], report.patches[report.patches.size() - 1]);
+  const std::string reordered = render_report(v.program, encoder, v.attack, report);
+  EXPECT_EQ(text, reordered);
+  EXPECT_LT(text.find("CCID=0x0000000000000001"),
+            text.find("CCID=0x0000000000000002"));
+}
+
 TEST(Report, CleanRunReportsNoPatches) {
   const auto v = corpus::make_bc();
   const auto plan = cce::compute_plan(v.program.graph(), v.program.alloc_targets(),

@@ -1,0 +1,515 @@
+// Unit tests for the static analyzer (analysis/static_analyzer.hpp): one
+// small .htp program per semantic rule, plus report determinism and the
+// baseline JSON reader's error taxonomy.
+#include "analysis/static_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "progmodel/program_io.hpp"
+
+namespace {
+
+using namespace ht;
+using analysis::FindingKind;
+using analysis::StaticAnalysisOptions;
+using analysis::StaticAnalysisResult;
+
+progmodel::Program parse(const std::string& text) {
+  auto parsed = progmodel::parse_program("program v1\nentry main\n" + text);
+  EXPECT_TRUE(parsed.program.has_value()) << parsed.error;
+  return std::move(*parsed.program);
+}
+
+StaticAnalysisResult analyze(const std::string& text,
+                             std::vector<analysis::ParamBounds> space = {},
+                             StaticAnalysisOptions extra = {}) {
+  const progmodel::Program program = parse(text);
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  extra.space = std::move(space);
+  return analysis::analyze_program(program, &encoder, extra);
+}
+
+std::vector<FindingKind> kinds_of(const StaticAnalysisResult& r) {
+  std::vector<FindingKind> out;
+  for (const auto& f : r.findings) out.push_back(f.kind);
+  return out;
+}
+
+bool has_kind(const StaticAnalysisResult& r, FindingKind kind) {
+  for (const auto& f : r.findings) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(StaticAnalyzerTest, CleanProgramIsProvenSafe) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(64)\n"
+      "  write(s0, 0, 64)\n"
+      "  read(s0, 0, 32, branch)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.contexts.size(), 1u);
+  EXPECT_TRUE(r.contexts[0].proven_safe);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(StaticAnalyzerTest, LiteralOverflowIsMust) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 32)\n"
+      "  free(s0)\n"
+      "}\n");
+  ASSERT_TRUE(has_kind(r, FindingKind::kMustOverflow));
+  EXPECT_EQ(r.contexts.size(), 1u);
+  EXPECT_EQ(r.contexts[0].finding_mask, patch::kOverflow);
+  EXPECT_FALSE(r.contexts[0].proven_safe);
+}
+
+TEST(StaticAnalyzerTest, InputDrivenOverflowIsMay) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, $0)\n"
+      "  free(s0)\n"
+      "}\n",
+      {{0, 64}});
+  EXPECT_TRUE(has_kind(r, FindingKind::kMayOverflow));
+  EXPECT_FALSE(has_kind(r, FindingKind::kMustOverflow));
+}
+
+TEST(StaticAnalyzerTest, BoundedInputSpaceProvesSafe) {
+  // Same program, but the analysis space caps $0 at the buffer size.
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, $0)\n"
+      "  read(s0, 0, 0, branch)\n"
+      "  free(s0)\n"
+      "}\n",
+      {{0, 16}});
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.contexts.size(), 1u);
+  EXPECT_TRUE(r.contexts[0].proven_safe);
+}
+
+TEST(StaticAnalyzerTest, UseAfterFree) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 16)\n"
+      "  free(s0)\n"
+      "  read(s0, 0, 8, branch)\n"
+      "}\n");
+  EXPECT_TRUE(has_kind(r, FindingKind::kUseAfterFree));
+  EXPECT_EQ(r.finding_mask(progmodel::AllocFn::kMalloc, r.contexts[0].ccid) &
+                patch::kUseAfterFree,
+            patch::kUseAfterFree);
+}
+
+TEST(StaticAnalyzerTest, DoubleFree) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  free(s0)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_TRUE(has_kind(r, FindingKind::kDoubleFree));
+}
+
+TEST(StaticAnalyzerTest, UninitCheckedRead) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  read(s0, 0, 8, syscall)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_TRUE(has_kind(r, FindingKind::kUninitRead));
+}
+
+TEST(StaticAnalyzerTest, DataUseNeverWarnsUninit) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  read(s0, 0, 8, data)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_FALSE(has_kind(r, FindingKind::kUninitRead));
+}
+
+TEST(StaticAnalyzerTest, CallocIsFullyInitialized) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = calloc(16)\n"
+      "  read(s0, 0, 16, syscall)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_FALSE(has_kind(r, FindingKind::kUninitRead));
+  EXPECT_TRUE(r.contexts[0].proven_safe);
+}
+
+TEST(StaticAnalyzerTest, FullyInitializedOverreadIsOverflowNotUninit) {
+  // The overread past the end is an OVERFLOW finding only: the in-buffer
+  // bytes are all initialized, and out-of-buffer bytes are not "uninit".
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 16)\n"
+      "  read(s0, 0, 32, syscall)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_TRUE(has_kind(r, FindingKind::kMustOverflow));
+  EXPECT_FALSE(has_kind(r, FindingKind::kUninitRead));
+}
+
+TEST(StaticAnalyzerTest, ReallocCarriesInitPrefix) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 16)\n"
+      "  s0 = realloc(s0, 64)\n"
+      "  read(s0, 0, 64, syscall)\n"
+      "  free(s0)\n"
+      "}\n");
+  // The grown tail was never initialized: UNINIT, attributed to the
+  // realloc context (not the original malloc).
+  ASSERT_TRUE(has_kind(r, FindingKind::kUninitRead));
+  for (const auto& f : r.findings) {
+    if (f.kind == FindingKind::kUninitRead) {
+      EXPECT_EQ(f.fn, progmodel::AllocFn::kRealloc);
+    }
+  }
+  // Reading only the carried prefix is fine.
+  const auto ok = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 16)\n"
+      "  s0 = realloc(s0, 64)\n"
+      "  read(s0, 0, 16, syscall)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_FALSE(has_kind(ok, FindingKind::kUninitRead));
+}
+
+TEST(StaticAnalyzerTest, ReallocOfFreedBufferIsUaf) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  free(s0)\n"
+      "  s0 = realloc(s0, 64)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_TRUE(has_kind(r, FindingKind::kUseAfterFree));
+}
+
+TEST(StaticAnalyzerTest, CopyPoisonAttributesToOrigin) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(32)\n"
+      "  s1 = malloc(32)\n"
+      "  copy(s0+0 -> s1+0, 16)\n"
+      "  read(s1, 0, 16, syscall)\n"
+      "  free(s0)\n"
+      "  free(s1)\n"
+      "}\n");
+  // The checked read is of s1's buffer, but the uninitialized bytes
+  // originated in s0's allocation: the finding must attribute there.
+  ASSERT_TRUE(has_kind(r, FindingKind::kUninitRead));
+  ASSERT_EQ(r.contexts.size(), 2u);
+  std::size_t uninit_contexts = 0;
+  for (const auto& c : r.contexts) {
+    if ((c.finding_mask & patch::kUninitRead) != 0) ++uninit_contexts;
+  }
+  EXPECT_EQ(uninit_contexts, 1u);
+}
+
+TEST(StaticAnalyzerTest, LoopedCleanBodyStaysClean) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  loop 5 {\n"
+      "    s0 = malloc(32)\n"
+      "    write(s0, 0, 32)\n"
+      "    read(s0, 0, 16, branch)\n"
+      "    free(s0)\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.findings.empty()) << analysis::finding_kind_name(
+      r.findings.empty() ? FindingKind::kMayOverflow : r.findings[0].kind);
+  EXPECT_FALSE(r.truncated);
+  for (const auto& c : r.contexts) EXPECT_TRUE(c.proven_safe);
+}
+
+TEST(StaticAnalyzerTest, MaybeZeroLoopDoesNotDoubleFree) {
+  // Count in [0, 1]: the body may run zero times or once — never twice, so
+  // the in-loop free must not report DOUBLE-FREE against itself.
+  const auto r = analyze(
+      "fn main {\n"
+      "  loop $0 {\n"
+      "    s0 = malloc(32)\n"
+      "    write(s0, 0, 32)\n"
+      "    free(s0)\n"
+      "  }\n"
+      "}\n",
+      {{0, 1}});
+  EXPECT_FALSE(has_kind(r, FindingKind::kDoubleFree));
+}
+
+TEST(StaticAnalyzerTest, UseAfterLoopFreeIsUaf) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(32)\n"
+      "  write(s0, 0, 32)\n"
+      "  free(s0)\n"
+      "  loop $0 {\n"
+      "    read(s0, 0, 8, branch)\n"
+      "  }\n"
+      "}\n",
+      {{0, 4}});
+  EXPECT_TRUE(has_kind(r, FindingKind::kUseAfterFree));
+}
+
+TEST(StaticAnalyzerTest, MustDemotesToMayInsideMayLoop) {
+  // The overflowing write sits in a loop that may run zero times: the
+  // access is not guaranteed to execute, so MUST demotes to MAY.
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  loop $0 {\n"
+      "    write(s0, 0, 32)\n"
+      "  }\n"
+      "  free(s0)\n"
+      "}\n",
+      {{0, 1}});
+  EXPECT_TRUE(has_kind(r, FindingKind::kMayOverflow));
+  EXPECT_FALSE(has_kind(r, FindingKind::kMustOverflow));
+}
+
+TEST(StaticAnalyzerTest, ContextSensitivityDistinguishesCallChains) {
+  // Two call chains into the same allocating helper: only one chain writes
+  // out of bounds... the program model keys every access to the buffer the
+  // slot points at, so the distinguishing factor is the per-chain CCID.
+  const auto r = analyze(
+      "fn main {\n"
+      "  call safe_path\n"
+      "  call unsafe_path\n"
+      "}\n"
+      "fn safe_path {\n"
+      "  s0 = malloc(64)\n"
+      "  write(s0, 0, 64)\n"
+      "  free(s0)\n"
+      "}\n"
+      "fn unsafe_path {\n"
+      "  s1 = malloc(16)\n"
+      "  write(s1, 0, 64)\n"
+      "  free(s1)\n"
+      "}\n");
+  ASSERT_EQ(r.contexts.size(), 2u);
+  std::size_t safe = 0, flagged = 0;
+  for (const auto& c : r.contexts) {
+    if (c.proven_safe) ++safe;
+    if (c.finding_mask != 0) ++flagged;
+  }
+  EXPECT_EQ(safe, 1u);
+  EXPECT_EQ(flagged, 1u);
+}
+
+TEST(StaticAnalyzerTest, RecursionTruncatesAndWithdrawsSafety) {
+  auto parsed = progmodel::parse_program(
+      "program v1\nentry main\n"
+      "fn main {\n"
+      "  call main\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 16)\n"
+      "  free(s0)\n"
+      "}\n");
+  ASSERT_TRUE(parsed.program.has_value()) << parsed.error;
+  // Null encoder: all contexts report CCID 0 (the interpreter's fallback).
+  const auto r = analysis::analyze_program(*parsed.program, nullptr, {});
+  EXPECT_TRUE(r.truncated);
+  for (const auto& c : r.contexts) EXPECT_FALSE(c.proven_safe);
+}
+
+TEST(StaticAnalyzerTest, StepBudgetTruncates) {
+  StaticAnalysisOptions options;
+  options.max_steps = 2;
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(64)\n"
+      "  write(s0, 0, 64)\n"
+      "  read(s0, 0, 32, branch)\n"
+      "  free(s0)\n"
+      "}\n",
+      {}, options);
+  EXPECT_TRUE(r.truncated);
+  for (const auto& c : r.contexts) EXPECT_FALSE(c.proven_safe);
+}
+
+TEST(StaticAnalyzerTest, FindingsSortedByFnCcidKind) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  read(s0, 0, 8, syscall)\n"
+      "  write(s0, 0, 32)\n"
+      "  free(s0)\n"
+      "  free(s0)\n"
+      "}\n");
+  ASSERT_GE(r.findings.size(), 2u);
+  for (std::size_t i = 1; i < r.findings.size(); ++i) {
+    const auto& a = r.findings[i - 1];
+    const auto& b = r.findings[i];
+    EXPECT_LE(std::tie(a.fn, a.ccid, a.kind), std::tie(b.fn, b.ccid, b.kind));
+  }
+  // Contexts sort by {fn, ccid}.
+  for (std::size_t i = 1; i < r.contexts.size(); ++i) {
+    EXPECT_LT(std::tie(r.contexts[i - 1].fn, r.contexts[i - 1].ccid),
+              std::tie(r.contexts[i].fn, r.contexts[i].ccid));
+  }
+}
+
+TEST(StaticAnalyzerTest, ReportsAreByteStable) {
+  const std::string text =
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, $0)\n"
+      "  read(s0, 0, 8, syscall)\n"
+      "  free(s0)\n"
+      "}\n";
+  const progmodel::Program program = parse(text);
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  const auto r1 = analysis::analyze_program(program, &encoder, {});
+  const auto r2 = analysis::analyze_program(program, &encoder, {});
+  EXPECT_EQ(r1.findings, r2.findings);
+  EXPECT_EQ(r1.contexts, r2.contexts);
+  const analysis::CcidSymbolizer symbolizer(program, encoder);
+  EXPECT_EQ(analysis::render_static_report(program, r1, &symbolizer),
+            analysis::render_static_report(program, r2, &symbolizer));
+  EXPECT_EQ(analysis::static_report_json(program, r1, &symbolizer),
+            analysis::static_report_json(program, r2, &symbolizer));
+}
+
+TEST(StaticAnalyzerTest, CandidatesCarryStaticOrigin) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 32)\n"
+      "  free(s0)\n"
+      "}\n");
+  const auto candidates = r.candidates(/*now_ns=*/12345);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].origin, patch::CandidateOrigin::kStatic);
+  EXPECT_EQ(candidates[0].vuln_mask, patch::kOverflow);
+  EXPECT_EQ(candidates[0].first_seen_ns, 12345u);
+  EXPECT_GE(candidates[0].hits, 1u);
+}
+
+TEST(StaticAnalyzerTest, ProvenSafeHintsMatchVerdicts) {
+  const auto r = analyze(
+      "fn main {\n"
+      "  call safe_path\n"
+      "  call unsafe_path\n"
+      "}\n"
+      "fn safe_path {\n"
+      "  s0 = malloc(64)\n"
+      "  write(s0, 0, 64)\n"
+      "  free(s0)\n"
+      "}\n"
+      "fn unsafe_path {\n"
+      "  s1 = malloc(16)\n"
+      "  write(s1, 0, 64)\n"
+      "  free(s1)\n"
+      "}\n");
+  const patch::StaticHintSet hints = r.proven_safe_hints();
+  EXPECT_EQ(hints.size(), 1u);
+  for (const auto& c : r.contexts) {
+    EXPECT_EQ(hints.contains(c.fn, c.ccid), c.proven_safe);
+  }
+}
+
+TEST(BaselineParseTest, RoundTripsTheJsonReport) {
+  const std::string text =
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 32)\n"
+      "  read(s0, 0, 8, syscall)\n"
+      "  free(s0)\n"
+      "}\n";
+  const progmodel::Program program = parse(text);
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  const auto r = analysis::analyze_program(program, &encoder, {});
+  ASSERT_FALSE(r.findings.empty());
+  const std::string json = analysis::static_report_json(program, r, nullptr);
+  const auto baseline = analysis::parse_baseline_report(json);
+  ASSERT_TRUE(baseline.ok()) << baseline.reject_reason;
+  EXPECT_TRUE(baseline.notes.empty());
+  ASSERT_EQ(baseline.findings.size(), r.findings.size());
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    EXPECT_EQ(baseline.findings[i].kind, r.findings[i].kind);
+    EXPECT_EQ(baseline.findings[i].fn, r.findings[i].fn);
+    EXPECT_EQ(baseline.findings[i].ccid, r.findings[i].ccid);
+    EXPECT_EQ(baseline.findings[i].detail, r.findings[i].detail);
+  }
+}
+
+TEST(BaselineParseTest, StructuralGarbageRejects) {
+  EXPECT_FALSE(analysis::parse_baseline_report("not json").ok());
+  EXPECT_FALSE(analysis::parse_baseline_report("{\"findings\": [{").ok());
+  EXPECT_FALSE(analysis::parse_baseline_report("{\"findings\": 7}").ok());
+}
+
+TEST(BaselineParseTest, BadEntryIsNotedAndSkipped) {
+  const std::string json =
+      "{\"findings\": ["
+      "{\"kind\": \"NOT-A-KIND\", \"fn\": \"malloc\", \"ccid\": \"0x1\","
+      " \"detail\": \"d\"},"
+      "{\"kind\": \"UAF\", \"fn\": \"malloc\", \"ccid\": \"0x2\","
+      " \"detail\": \"ok\", \"extra\": [1, {\"nested\": true}]}"
+      "]}";
+  const auto baseline = analysis::parse_baseline_report(json);
+  ASSERT_TRUE(baseline.ok()) << baseline.reject_reason;
+  ASSERT_EQ(baseline.findings.size(), 1u);
+  EXPECT_EQ(baseline.findings[0].kind, FindingKind::kUseAfterFree);
+  EXPECT_EQ(baseline.findings[0].ccid, 2u);
+  ASSERT_EQ(baseline.notes.size(), 1u);
+  EXPECT_NE(baseline.notes[0].find("unknown kind"), std::string::npos);
+}
+
+TEST(BaselineParseTest, EmptyObjectIsOkAndEmpty) {
+  const auto baseline = analysis::parse_baseline_report("{}");
+  EXPECT_TRUE(baseline.ok());
+  EXPECT_TRUE(baseline.findings.empty());
+}
+
+TEST(FindingKindTest, NamesRoundTrip) {
+  for (std::size_t i = 0; i < analysis::kFindingKindCount; ++i) {
+    const auto kind = static_cast<FindingKind>(i);
+    FindingKind back{};
+    ASSERT_TRUE(
+        analysis::finding_kind_from_name(analysis::finding_kind_name(kind), back));
+    EXPECT_EQ(back, kind);
+    EXPECT_NE(analysis::finding_vuln_bit(kind), 0);
+  }
+  FindingKind ignored{};
+  EXPECT_FALSE(analysis::finding_kind_from_name("nope", ignored));
+}
+
+TEST(StaticAnalyzerTest, KindsOrderMatchesSeverity) {
+  // Sanity anchor for the report order documented in the header.
+  const auto r = analyze(
+      "fn main {\n"
+      "  s0 = malloc(16)\n"
+      "  write(s0, 0, 32)\n"
+      "  free(s0)\n"
+      "}\n");
+  EXPECT_EQ(kinds_of(r), std::vector<FindingKind>{FindingKind::kMustOverflow});
+}
+
+}  // namespace

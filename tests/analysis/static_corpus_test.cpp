@@ -1,0 +1,92 @@
+// Static-analysis parity with the dynamic corpus: htlint must flag every
+// vulnerable program (Table II twins, the extended scenarios, and the full
+// SAMATE-like suite) with a finding mask that is a superset of the
+// corpus-recorded expected mask — without executing a single input — and
+// must stay silent (all contexts PROVEN-SAFE) on the memory-clean random
+// program corpus.
+#include <gtest/gtest.h>
+
+#include "analysis/static_analyzer.hpp"
+#include "corpus/extended_corpus.hpp"
+#include "corpus/vulnerable_programs.hpp"
+#include "progmodel/random_program.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ht;
+
+analysis::StaticAnalysisResult analyze_full_space(
+    const progmodel::Program& program) {
+  const auto plan = cce::compute_plan(program.graph(), program.alloc_targets(),
+                                      cce::Strategy::kIncremental);
+  const cce::PccEncoder encoder(plan);
+  // Empty space = every input parameter spans [0, 2^64-1]: the analysis
+  // must witness the attack without ever being shown it.
+  return analysis::analyze_program(program, &encoder, {});
+}
+
+std::uint8_t total_mask(const analysis::StaticAnalysisResult& result) {
+  std::uint8_t mask = 0;
+  for (const auto& f : result.findings) {
+    mask |= analysis::finding_vuln_bit(f.kind);
+  }
+  return mask;
+}
+
+void expect_mask_superset(const corpus::VulnerableProgram& vp) {
+  const auto result = analyze_full_space(vp.program);
+  const std::uint8_t found = total_mask(result);
+  EXPECT_EQ(found & vp.expected_mask, vp.expected_mask)
+      << vp.name << " (" << vp.reference << "): expected mask 0x" << std::hex
+      << unsigned(vp.expected_mask) << ", static analysis found 0x"
+      << unsigned(found);
+  EXPECT_FALSE(result.findings.empty()) << vp.name;
+}
+
+TEST(StaticCorpusTest, FlagsEveryTable2Twin) {
+  for (const auto& vp : corpus::make_table2_corpus()) {
+    expect_mask_superset(vp);
+  }
+}
+
+TEST(StaticCorpusTest, FlagsEveryExtendedScenario) {
+  for (const auto& vp : corpus::make_extended_corpus()) {
+    expect_mask_superset(vp);
+  }
+}
+
+TEST(StaticCorpusTest, FlagsEverySamateCase) {
+  const auto suite = corpus::make_samate_suite();
+  ASSERT_EQ(suite.size(), 23u);
+  for (const auto& vp : suite) {
+    expect_mask_superset(vp);
+  }
+}
+
+TEST(StaticCorpusTest, BenignRandomProgramsAreProvenSafe) {
+  // Random programs are memory-clean by construction: any finding here is
+  // a false positive, and every context must earn PROVEN-SAFE (the elision
+  // hint set depends on it).
+  progmodel::RandomProgramParams params;
+  params.layers = 3;
+  params.functions_per_layer = 3;
+  params.allocs_per_leaf = 2;
+  params.loop_count = 3;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    support::Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+    const progmodel::Program program =
+        progmodel::make_random_program(rng, params);
+    const auto result = analyze_full_space(program);
+    EXPECT_TRUE(result.findings.empty())
+        << "seed " << seed << ": "
+        << analysis::render_static_report(program, result, nullptr);
+    EXPECT_FALSE(result.truncated) << "seed " << seed;
+    EXPECT_FALSE(result.contexts.empty()) << "seed " << seed;
+    for (const auto& c : result.contexts) {
+      EXPECT_TRUE(c.proven_safe) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Differential soundness fuzz: the load-bearing guarantee of the static
+// analyzer is that PROVEN-SAFE is never claimed for a context the
+// interpreter can make trap (a wrong hint would elide a patch lookup the
+// runtime needed). We generate memory-clean random programs, inject one
+// bug class into the serialized .htp text, re-parse, and compare the
+// static verdicts against the ground truth from the dynamic pipeline
+// (analysis::analyze_attack, which executes the program on the shadow
+// heap and emits the {FUN, CCID, mask} patches).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "analysis/patch_generator.hpp"
+#include "analysis/static_analyzer.hpp"
+#include "progmodel/program_io.hpp"
+#include "progmodel/random_program.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ht;
+
+constexpr std::uint64_t kSeeds = 500;
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string indent_of(const std::string& line) {
+  return line.substr(0, line.find_first_not_of(' '));
+}
+
+/// Extracts the "sN" token from a line like "  free(s3)" or "  s3 = ...".
+std::string slot_token(const std::string& line, std::size_t from) {
+  const std::size_t s = line.find('s', from);
+  std::size_t end = s + 1;
+  while (end < line.size() && std::isdigit(static_cast<unsigned char>(line[end]))) {
+    ++end;
+  }
+  return line.substr(s, end - s);
+}
+
+enum class Mutation { kOverflowWrite, kReadAfterFree, kUninitSyscallRead };
+
+/// Applies `wanted` to the text (picking the `pick`-th eligible site); falls
+/// back to the other mutations when no site matches. Returns empty when the
+/// program offers no mutation site at all (never happens with leaves that
+/// allocate, but kept total).
+std::string mutate(const std::string& text, Mutation wanted, std::uint64_t pick) {
+  std::vector<std::string> lines = split_lines(text);
+  const auto sites = [&](const char* needle) {
+    std::vector<std::size_t> found;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].find(needle) != std::string::npos) found.push_back(i);
+    }
+    return found;
+  };
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const Mutation m = static_cast<Mutation>(
+        (static_cast<int>(wanted) + attempt) % 3);
+    switch (m) {
+      case Mutation::kOverflowWrite: {
+        const auto ws = sites("write(s");
+        if (ws.empty()) continue;
+        // Blow up the length argument: no random buffer exceeds
+        // max_alloc_size, so a 1 MB write always overflows.
+        std::string& line = lines[ws[pick % ws.size()]];
+        const std::size_t comma = line.rfind(',');
+        const std::size_t close = line.rfind(')');
+        if (comma == std::string::npos || close == std::string::npos) continue;
+        line = line.substr(0, comma) + ", 1048576)";
+        return join_lines(lines);
+      }
+      case Mutation::kReadAfterFree: {
+        const auto fs = sites("free(s");
+        if (fs.empty()) continue;
+        const std::size_t i = fs[pick % fs.size()];
+        const std::string slot = slot_token(lines[i], lines[i].find('('));
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     indent_of(lines[i]) + "read(" + slot + ", 0, 8, branch)");
+        return join_lines(lines);
+      }
+      case Mutation::kUninitSyscallRead: {
+        const auto ms = sites("= malloc(");
+        if (ms.empty()) continue;
+        const std::size_t i = ms[pick % ms.size()];
+        const std::string slot = slot_token(lines[i], 0);
+        // Checked read straight after malloc, before the leaf's init write.
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     indent_of(lines[i]) + "read(" + slot + ", 0, 8, syscall)");
+        return join_lines(lines);
+      }
+    }
+  }
+  return {};
+}
+
+TEST(StaticSoundnessFuzzTest, NeverProvenSafeWhereInterpreterTraps) {
+  progmodel::RandomProgramParams params;
+  params.layers = 3;
+  params.functions_per_layer = 2;
+  params.calls_per_function = 2;
+  params.allocs_per_leaf = 2;
+  params.loop_count = 2;
+
+  std::uint64_t dynamic_violations = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    support::Rng rng(seed * 0x2545f4914f6cdd1dULL + 1);
+    const progmodel::Program clean = progmodel::make_random_program(rng, params);
+    const std::string mutated_text =
+        mutate(progmodel::serialize_program(clean),
+               static_cast<Mutation>(seed % 3), seed / 3);
+    ASSERT_FALSE(mutated_text.empty()) << "seed " << seed;
+    auto parsed = progmodel::parse_program(mutated_text);
+    ASSERT_TRUE(parsed.program.has_value())
+        << "seed " << seed << ": " << parsed.error;
+    const progmodel::Program& program = *parsed.program;
+
+    const auto plan = cce::compute_plan(
+        program.graph(), program.alloc_targets(), cce::Strategy::kIncremental);
+    const cce::PccEncoder encoder(plan);
+
+    // Ground truth: execute the program, collect {FUN, CCID, mask} patches.
+    const auto dynamic = analysis::analyze_attack(program, &encoder, {});
+    // Static verdicts over the same encoder.
+    const auto result = analysis::analyze_program(program, &encoder, {});
+
+    dynamic_violations += dynamic.patches.size();
+    for (const auto& patch : dynamic.patches) {
+      bool context_seen = false;
+      for (const auto& c : result.contexts) {
+        if (c.fn != patch.fn || c.ccid != patch.ccid) continue;
+        context_seen = true;
+        // The hard soundness direction: a dynamically-trapping context must
+        // never be proven safe.
+        EXPECT_FALSE(c.proven_safe)
+            << "seed " << seed << ": context {"
+            << progmodel::alloc_fn_name(patch.fn) << ", " << std::hex
+            << patch.ccid << "} trapped dynamically (mask 0x"
+            << unsigned(patch.vuln_mask) << ") yet was proven safe";
+        // And the static mask must cover every dynamically-observed bit.
+        EXPECT_EQ(c.finding_mask & patch.vuln_mask, patch.vuln_mask)
+            << "seed " << seed << ": static mask 0x" << std::hex
+            << unsigned(c.finding_mask) << " misses dynamic bits 0x"
+            << unsigned(patch.vuln_mask);
+      }
+      EXPECT_TRUE(context_seen)
+          << "seed " << seed << ": dynamic context {"
+          << progmodel::alloc_fn_name(patch.fn) << ", " << std::hex
+          << patch.ccid << "} never visited statically";
+    }
+  }
+  // The mutations must actually bite: a fuzz run where the interpreter
+  // never trapped would make the test vacuous.
+  EXPECT_GT(dynamic_violations, kSeeds / 2);
+}
+
+}  // namespace

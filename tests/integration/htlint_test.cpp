@@ -1,0 +1,240 @@
+// htlint CLI integration tests, ending in the zero-trap loop the tool was
+// built for (docs/STATIC_ANALYSIS.md): htlint finds the vulnerability by
+// abstract interpretation alone, appends an origin=static candidate to the
+// quarantine journal, htpromote replay-validates and promotes it, and an
+// htrun victim replays the attack fully protected — no process ever
+// experienced the attack before the patch existed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+const char* kHtlint = HT_HTLINT_BIN;
+const char* kHtrun = HT_HTRUN_BIN;
+const char* kHtpromote = HT_HTPROMOTE_BIN;
+const char* kFleetHtp = HT_FLEET_HTP;
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string shell_quote(const std::string& s) { return "'" + s + "'"; }
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ht_htlint_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+std::string write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+const char* kCleanProgram =
+    "program v1\n"
+    "entry main\n"
+    "fn main {\n"
+    "  s0 = malloc(64)\n"
+    "  write(s0, 0, 64)\n"
+    "  read(s0, 0, 32, branch)\n"
+    "  free(s0)\n"
+    "}\n";
+
+const char* kOverflowProgram =
+    "program v1\n"
+    "entry main\n"
+    "fn main {\n"
+    "  s0 = malloc(16)\n"
+    "  write(s0, 0, 32)\n"
+    "  free(s0)\n"
+    "}\n";
+
+TEST(HtlintCli, CleanProgramExitsZero) {
+  const std::string prog = write_file(temp_path("clean.htp"), kCleanProgram);
+  const std::string out = temp_path("clean_report.txt");
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " --out " + shell_quote(out)),
+            0);
+  const std::string report = slurp(out);
+  EXPECT_NE(report.find("proven-safe=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("findings=0"), std::string::npos) << report;
+  std::remove(prog.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(HtlintCli, FindingsExitTwoWithSymbolizedReport) {
+  const std::string prog = write_file(temp_path("vuln.htp"), kOverflowProgram);
+  const std::string out = temp_path("vuln_report.txt");
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " --out " + shell_quote(out)),
+            2);
+  const std::string report = slurp(out);
+  EXPECT_NE(report.find("MUST-OVERFLOW"), std::string::npos) << report;
+  EXPECT_NE(report.find("main"), std::string::npos) << report;  // symbolized
+  std::remove(prog.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(HtlintCli, JsonReportIsValidBaseline) {
+  const std::string prog = write_file(temp_path("json.htp"), kOverflowProgram);
+  const std::string baseline = temp_path("baseline.json");
+  // First run records the findings as JSON (exit 2: they are new).
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " --json 1 --out " + shell_quote(baseline)),
+            2);
+  EXPECT_NE(slurp(baseline).find("MUST-OVERFLOW"), std::string::npos);
+  // Second run against the baseline: same findings, nothing new, exit 0.
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " --baseline " + shell_quote(baseline) +
+                        " > /dev/null"),
+            0);
+  std::remove(prog.c_str());
+  std::remove(baseline.c_str());
+}
+
+TEST(HtlintCli, MissingAndMalformedInputsExitThree) {
+  EXPECT_EQ(run_command(shell_quote(kHtlint) +
+                        " check /nonexistent/prog.htp 2> /dev/null"),
+            3);
+  const std::string junk = write_file(temp_path("junk.htp"), "not a program\n");
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(junk) +
+                        " 2> /dev/null"),
+            3);
+  std::remove(junk.c_str());
+}
+
+TEST(HtlintCli, BadUsageExitsOne) {
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " 2> /dev/null"), 1);
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " frobnicate x 2> /dev/null"), 1);
+}
+
+TEST(HtlintCli, SpaceBoundsChangeTheVerdict) {
+  // $1 is the write length into a 16-byte buffer: capped at 16 the program
+  // is proven safe, uncapped it may overflow.
+  const std::string prog = write_file(temp_path("space.htp"),
+                                      "program v1\n"
+                                      "entry main\n"
+                                      "fn main {\n"
+                                      "  s0 = malloc(16)\n"
+                                      "  write(s0, 0, $0)\n"
+                                      "  free(s0)\n"
+                                      "}\n");
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " --space 0:16 > /dev/null"),
+            0);
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " > /dev/null"),
+            2);
+  std::remove(prog.c_str());
+}
+
+TEST(HtlintCli, HintsExportFeedsHtrunElision) {
+  const std::string prog = write_file(temp_path("hints.htp"), kCleanProgram);
+  const std::string hints = temp_path("hints.txt");
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " + shell_quote(prog) +
+                        " --hints " + shell_quote(hints) + " > /dev/null"),
+            0);
+  const std::string text = slurp(hints);
+  EXPECT_NE(text.find("version 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("safe malloc"), std::string::npos) << text;
+
+  // htrun replay loads the hint file; an empty patch config keeps the run
+  // benign — the point is the load path and the loaded-count banner.
+  const std::string cfg = write_file(temp_path("empty.cfg"), "version 1\n");
+  const std::string out = temp_path("replay_out.txt");
+  EXPECT_EQ(run_command(shell_quote(kHtrun) + " replay " + shell_quote(prog) +
+                        " --input '' --config " + shell_quote(cfg) +
+                        " --static-hints " + shell_quote(hints) + " > " +
+                        shell_quote(out)),
+            0);
+  EXPECT_NE(slurp(out).find("static hints: 1 proven-safe context(s) loaded"),
+            std::string::npos)
+      << slurp(out);
+  std::remove(prog.c_str());
+  std::remove(hints.c_str());
+  std::remove(cfg.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(StaticLoop, ZeroTrapPromotionProtectsNeverAttackedVictim) {
+  // The acceptance scenario: the whole loop runs before any process ever
+  // sees the attack input.
+  const std::string journal = temp_path("static_journal.txt");
+  const std::string served = temp_path("static_served.cfg");
+  std::remove(journal.c_str());
+  write_file(served, "version 1\n");
+
+  // 1. htlint finds the overflow in the replay harness program statically
+  //    ($1 unbounded writes into a $0-byte buffer) and journals it.
+  EXPECT_EQ(run_command(shell_quote(kHtlint) + " check " +
+                        shell_quote(kFleetHtp) + " --candidates " +
+                        shell_quote(journal) + " > /dev/null"),
+            2);
+  const std::string journal_after_lint = slurp(journal);
+  EXPECT_NE(journal_after_lint.find(
+                "candidate malloc 0x0000000000000000 OVERFLOW static"),
+            std::string::npos)
+      << journal_after_lint;
+
+  // 2. htpromote replay-validates the static candidate (attack blocked
+  //    with the patch, benign unaffected) and promotes it zero-trap.
+  const std::string promote_out = temp_path("promote_out.txt");
+  EXPECT_EQ(run_command(shell_quote(kHtpromote) + " run --candidates " +
+                        shell_quote(journal) + " --served " +
+                        shell_quote(served) + " --program " +
+                        shell_quote(kFleetHtp) +
+                        " --attack-input 16,24 --benign-input 16,16 > " +
+                        shell_quote(promote_out)),
+            0);
+  const std::string promote_log = slurp(promote_out);
+  EXPECT_NE(promote_log.find("promoted"), std::string::npos) << promote_log;
+  EXPECT_NE(promote_log.find("origin=static"), std::string::npos) << promote_log;
+  EXPECT_NE(promote_log.find("zero-trap"), std::string::npos) << promote_log;
+  EXPECT_NE(slurp(journal).find("origin=static"), std::string::npos);
+  EXPECT_NE(slurp(served).find("patch malloc"), std::string::npos);
+
+  // 3. A victim that never experienced the attack replays it under the
+  //    promoted config: the OOB write is blocked (exit 0, not 2).
+  const std::string replay_out = temp_path("victim_out.txt");
+  EXPECT_EQ(run_command(shell_quote(kHtrun) + " replay " +
+                        shell_quote(kFleetHtp) +
+                        " --input 16,24 --config " + shell_quote(served) +
+                        " > " + shell_quote(replay_out)),
+            0);
+  const std::string replay_log = slurp(replay_out);
+  EXPECT_NE(replay_log.find("1 enhanced"), std::string::npos) << replay_log;
+  EXPECT_NE(replay_log.find("1 OOB blocked"), std::string::npos) << replay_log;
+
+  // Control: without the promoted config the same attack lands (exit 2).
+  const std::string empty_cfg = write_file(temp_path("noprot.cfg"), "version 1\n");
+  EXPECT_EQ(run_command(shell_quote(kHtrun) + " replay " +
+                        shell_quote(kFleetHtp) +
+                        " --input 16,24 --config " + shell_quote(empty_cfg) +
+                        " > /dev/null"),
+            2);
+
+  std::remove(journal.c_str());
+  std::remove(served.c_str());
+  std::remove(promote_out.c_str());
+  std::remove(replay_out.c_str());
+  std::remove(empty_cfg.c_str());
+}
+
+}  // namespace

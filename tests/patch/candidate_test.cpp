@@ -91,7 +91,7 @@ TEST(CandidateJournal, SerializeParseRoundTrip) {
 TEST(CandidateJournal, VerdictRoundTripAndWhitespaceReason) {
   const VerdictRecord verdict{progmodel::AllocFn::kRealloc, 0x77, kOverflow,
                               CandidateVerdict::kRejected,
-                              "attack still lands", 999};
+                              "attack still lands", 999, ""};
   const std::string text = "version 1\n" + serialize_verdict_line(verdict);
   const CandidateParseResult parsed = parse_candidate_journal(text);
   ASSERT_TRUE(parsed.ok());
@@ -223,7 +223,7 @@ TEST(CandidateJournal, AppendCreatesHeaderOnceAndFoldsAcrossAppends) {
               CandidateOrigin::kCanary, 5, 100}}));
   ASSERT_TRUE(append_candidate_verdict(
       path, {progmodel::AllocFn::kMalloc, 0xbeef, kOverflow,
-             CandidateVerdict::kPromoted, "replay_validated", 900}));
+             CandidateVerdict::kPromoted, "replay_validated", 900, ""}));
 
   const std::string contents = slurp(path);
   // Header written exactly once, by the first (file-creating) append.
@@ -303,7 +303,7 @@ TEST(Promotion, ThresholdVerdictSkipAndMaskUnion) {
        9, 20},
   };
   journal.verdicts = {{progmodel::AllocFn::kMalloc, 0x3, kOverflow,
-                       CandidateVerdict::kDemoted, "fp", 30}};
+                       CandidateVerdict::kDemoted, "fp", 30, ""}};
   const std::vector<Patch> selected =
       select_promotable(journal, PromotionPolicy{/*min_hits=*/2});
   ASSERT_EQ(selected.size(), 1u);
@@ -331,9 +331,9 @@ TEST(Promotion, OutputInFirstSeenOrder) {
 TEST(Promotion, LatestVerdictWins) {
   const std::vector<VerdictRecord> verdicts = {
       {progmodel::AllocFn::kMalloc, 0x1, kOverflow, CandidateVerdict::kPromoted,
-       "replay_validated", 10},
+       "replay_validated", 10, ""},
       {progmodel::AllocFn::kMalloc, 0x1, kOverflow, CandidateVerdict::kDemoted,
-       "guard_budget_pressure", 20},
+       "guard_budget_pressure", 20, ""},
   };
   const auto latest =
       latest_verdict(verdicts, progmodel::AllocFn::kMalloc, 0x1);
@@ -341,6 +341,64 @@ TEST(Promotion, LatestVerdictWins) {
   EXPECT_EQ(*latest, CandidateVerdict::kDemoted);
   EXPECT_FALSE(
       latest_verdict(verdicts, progmodel::AllocFn::kCalloc, 0x1).has_value());
+}
+
+TEST(Promotion, GroupsCarryOriginBits) {
+  CandidateParseResult journal;
+  journal.candidates = {
+      // Pure static evidence: zero-trap promotion path.
+      {progmodel::AllocFn::kMalloc, 0x1, kOverflow, CandidateOrigin::kStatic,
+       1, 100},
+      // Mixed: a trap plus a static finding for the same context.
+      {progmodel::AllocFn::kMalloc, 0x2, kOverflow, CandidateOrigin::kStatic,
+       1, 200},
+      {progmodel::AllocFn::kMalloc, 0x2, kOverflow, CandidateOrigin::kGuardTrap,
+       3, 150},
+  };
+  const auto groups = select_promotable_groups(journal, PromotionPolicy{});
+  ASSERT_EQ(groups.size(), 2u);
+
+  EXPECT_EQ(groups[0].patch.ccid, 0x1u);
+  EXPECT_TRUE(groups[0].has_origin(CandidateOrigin::kStatic));
+  EXPECT_TRUE(groups[0].static_only());
+
+  EXPECT_EQ(groups[1].patch.ccid, 0x2u);
+  EXPECT_TRUE(groups[1].has_origin(CandidateOrigin::kStatic));
+  EXPECT_TRUE(groups[1].has_origin(CandidateOrigin::kGuardTrap));
+  EXPECT_FALSE(groups[1].static_only());
+  EXPECT_EQ(groups[1].hits, 4u);
+  EXPECT_EQ(groups[1].first_seen_ns, 150u);  // min across origins
+}
+
+TEST(CandidateJournal, VerdictOriginTokenRoundTrip) {
+  const VerdictRecord with_origin{progmodel::AllocFn::kMalloc, 0x9, kOverflow,
+                                  CandidateVerdict::kPromoted,
+                                  "replay_validated", 42, "static"};
+  const std::string line = serialize_verdict_line(with_origin);
+  EXPECT_NE(line.find("origin=static"), std::string::npos);
+  const auto parsed = parse_candidate_journal("version 1\n" + line);
+  ASSERT_TRUE(parsed.ok()) << parsed.reject_reason;
+  ASSERT_EQ(parsed.verdicts.size(), 1u);
+  EXPECT_EQ(parsed.verdicts[0], with_origin);
+
+  // Legacy 7-field verdict lines parse with an empty origin token.
+  const VerdictRecord legacy{progmodel::AllocFn::kMalloc, 0x9, kOverflow,
+                             CandidateVerdict::kPromoted, "replay_validated",
+                             42, ""};
+  const std::string legacy_line = serialize_verdict_line(legacy);
+  EXPECT_EQ(legacy_line.find("origin="), std::string::npos);
+  const auto reparsed = parse_candidate_journal("version 1\n" + legacy_line);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed.verdicts.size(), 1u);
+  EXPECT_TRUE(reparsed.verdicts[0].origin_token.empty());
+}
+
+TEST(CandidateJournal, VerdictOriginTokenWhitespaceSanitized) {
+  const VerdictRecord verdict{progmodel::AllocFn::kMalloc, 0x9, kOverflow,
+                              CandidateVerdict::kPromoted, "ok", 1,
+                              "static and trap"};
+  const std::string line = serialize_verdict_line(verdict);
+  EXPECT_NE(line.find("origin=static-and-trap"), std::string::npos);
 }
 
 TEST(CandidateTable, RecordSnapshotAndDrain) {

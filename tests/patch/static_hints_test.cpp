@@ -1,0 +1,141 @@
+// StaticHintSet tests (docs/FORMATS.md §9): the PROVEN-SAFE contexts
+// htlint exports for runtime patch-lookup elision. The set is hot-path
+// data — contains() is probed on every allocation when hints are loaded —
+// so the hash index is tested against the sorted-vector source of truth.
+#include "patch/static_hints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ht::patch {
+namespace {
+
+using Hint = StaticHintSet::Hint;
+
+std::string temp_hints_path(const char* tag) {
+  std::ostringstream os;
+  os << std::filesystem::temp_directory_path().string() << "/ht_hints_" << tag
+     << "_" << ::getpid() << ".txt";
+  return os.str();
+}
+
+TEST(StaticHintSetTest, EmptySetContainsNothing) {
+  const StaticHintSet hints;
+  EXPECT_TRUE(hints.empty());
+  EXPECT_FALSE(hints.contains(progmodel::AllocFn::kMalloc, 0));
+  EXPECT_FALSE(hints.contains(progmodel::AllocFn::kMalloc, 0xdead));
+}
+
+TEST(StaticHintSetTest, SortsAndDeduplicates) {
+  const StaticHintSet hints({
+      {progmodel::AllocFn::kCalloc, 9},
+      {progmodel::AllocFn::kMalloc, 7},
+      {progmodel::AllocFn::kMalloc, 7},  // duplicate
+      {progmodel::AllocFn::kMalloc, 3},
+  });
+  EXPECT_EQ(hints.size(), 3u);
+  ASSERT_EQ(hints.hints().size(), 3u);
+  EXPECT_EQ(hints.hints()[0], (Hint{progmodel::AllocFn::kMalloc, 3}));
+  EXPECT_EQ(hints.hints()[1], (Hint{progmodel::AllocFn::kMalloc, 7}));
+  EXPECT_EQ(hints.hints()[2], (Hint{progmodel::AllocFn::kCalloc, 9}));
+}
+
+TEST(StaticHintSetTest, HashIndexMatchesVectorTruth) {
+  // Dense CCIDs plus adversarial high bits: the open-addressing probe must
+  // agree with membership in the sorted vector for hits and misses alike.
+  std::vector<Hint> hints;
+  for (std::uint64_t c = 0; c < 256; c += 2) {
+    hints.push_back({progmodel::AllocFn::kMalloc, c});
+    hints.push_back({progmodel::AllocFn::kRealloc, c << 32});
+  }
+  const StaticHintSet set(std::move(hints));
+  for (std::uint64_t c = 0; c < 256; ++c) {
+    EXPECT_EQ(set.contains(progmodel::AllocFn::kMalloc, c), c % 2 == 0) << c;
+    EXPECT_EQ(set.contains(progmodel::AllocFn::kRealloc, c << 32), c % 2 == 0)
+        << c;
+    // Same CCID, different allocation function: distinct key.
+    EXPECT_FALSE(set.contains(progmodel::AllocFn::kCalloc, c)) << c;
+  }
+}
+
+TEST(StaticHintSetTest, SerializeParsesBackByteStable) {
+  const StaticHintSet set({
+      {progmodel::AllocFn::kMalloc, 0x123},
+      {progmodel::AllocFn::kCalloc, 0xabcdef0123456789},
+  });
+  const std::string text = set.serialize();
+  const auto parsed = parse_static_hints(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.reject_reason;
+  EXPECT_TRUE(parsed.notes.empty());
+  EXPECT_EQ(parsed.hints.hints(), set.hints());
+  // Round trip again: serialization of a parse is byte-identical.
+  EXPECT_EQ(parsed.hints.serialize(), text);
+}
+
+TEST(StaticHintParseTest, UnsupportedVersionRejects) {
+  const auto parsed = parse_static_hints("version 2\nsafe malloc 0x1\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.reject_reason.find("version"), std::string::npos);
+}
+
+TEST(StaticHintParseTest, HintsWithoutVersionReject) {
+  const auto parsed = parse_static_hints("safe malloc 0x1\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(StaticHintParseTest, EmptyAndCommentOnlyFilesAreOkAndEmpty) {
+  EXPECT_TRUE(parse_static_hints("").ok());
+  const auto parsed = parse_static_hints("# just a comment\n\n");
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.hints.empty());
+  EXPECT_TRUE(parsed.notes.empty());
+}
+
+TEST(StaticHintParseTest, MalformedLinesNoteAndSkip) {
+  const auto parsed = parse_static_hints(
+      "version 1\n"
+      "safe malloc 0x10\n"
+      "safe malloc\n"            // missing ccid
+      "safe mallocx 0x11\n"      // unknown fn
+      "safe malloc zzz\n"        // bad ccid
+      "bogus directive here\n"   // unknown directive
+      "safe calloc 0x12\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.reject_reason;
+  EXPECT_EQ(parsed.hints.size(), 2u);
+  EXPECT_TRUE(parsed.hints.contains(progmodel::AllocFn::kMalloc, 0x10));
+  EXPECT_TRUE(parsed.hints.contains(progmodel::AllocFn::kCalloc, 0x12));
+  EXPECT_EQ(parsed.notes.size(), 4u);
+}
+
+TEST(StaticHintParseTest, NotesAreCapped) {
+  std::string text = "version 1\n";
+  for (int i = 0; i < 100; ++i) text += "bogus\n";
+  const auto parsed = parse_static_hints(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_LE(parsed.notes.size(), support::kParseNoteCap + 1);  // +1 summary
+}
+
+TEST(StaticHintFileTest, SaveLoadRoundTrip) {
+  const std::string path = temp_hints_path("roundtrip");
+  const StaticHintSet set({{progmodel::AllocFn::kMemalign, 0x777}});
+  ASSERT_TRUE(save_static_hints(path, set));
+  const auto loaded = load_static_hints(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded->ok());
+  EXPECT_EQ(loaded->hints.hints(), set.hints());
+  std::remove(path.c_str());
+}
+
+TEST(StaticHintFileTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(load_static_hints("/nonexistent/ht_hints.txt").has_value());
+}
+
+}  // namespace
+}  // namespace ht::patch

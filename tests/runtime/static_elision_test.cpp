@@ -1,0 +1,77 @@
+// Static-hint elision through the allocator (docs/STATIC_ANALYSIS.md): a
+// context in the loaded StaticHintSet skips the patch-table lookup, so
+// even a patch targeting that exact {FUN, CCID} applies nothing. Hints are
+// produced only for PROVEN-SAFE contexts — when analyzer and patch file
+// disagree, the hint wins by design, which is why the differential fuzz
+// suite guards the analyzer side.
+#include <gtest/gtest.h>
+
+#include "patch/static_hints.hpp"
+#include "runtime/guarded_allocator.hpp"
+
+namespace ht::runtime {
+namespace {
+
+using patch::Patch;
+using patch::PatchTable;
+using patch::StaticHintSet;
+using progmodel::AllocFn;
+
+constexpr std::uint64_t kPatchedCcid = 0xbeef;
+constexpr std::uint64_t kHintedCcid = 0xf00d;
+
+TEST(StaticElision, HintedContextSkipsMatchingPatch) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kPatchedCcid, patch::kOverflow}});
+  const StaticHintSet hints({{AllocFn::kMalloc, kPatchedCcid}});
+  GuardedAllocatorConfig config;
+  config.static_hints = &hints;
+  GuardedAllocator alloc(&table, config);
+
+  void* p = alloc.malloc(100, kPatchedCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.applied_mask(p), 0u);
+  EXPECT_FALSE(alloc.guard_active(p));
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().enhanced, 0u);
+}
+
+TEST(StaticElision, UnhintedContextStillEnhances) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kPatchedCcid, patch::kOverflow}});
+  const StaticHintSet hints({{AllocFn::kMalloc, kHintedCcid}});  // other ctx
+  GuardedAllocatorConfig config;
+  config.static_hints = &hints;
+  GuardedAllocator alloc(&table, config);
+
+  void* p = alloc.malloc(100, kPatchedCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.applied_mask(p), patch::kOverflow);
+  EXPECT_TRUE(alloc.guard_active(p));
+  alloc.free(p);
+  EXPECT_EQ(alloc.stats().enhanced, 1u);
+}
+
+TEST(StaticElision, HintIsPerAllocFn) {
+  // The hint keys on {FUN, CCID}: a malloc hint must not suppress a calloc
+  // patch for the same CCID.
+  const PatchTable table({Patch{AllocFn::kCalloc, kPatchedCcid, patch::kOverflow}});
+  const StaticHintSet hints({{AllocFn::kMalloc, kPatchedCcid}});
+  GuardedAllocatorConfig config;
+  config.static_hints = &hints;
+  GuardedAllocator alloc(&table, config);
+
+  void* p = alloc.calloc(10, 10, kPatchedCcid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(alloc.applied_mask(p), patch::kOverflow);
+  alloc.free(p);
+}
+
+TEST(StaticElision, NullHintSetChangesNothing) {
+  const PatchTable table({Patch{AllocFn::kMalloc, kPatchedCcid, patch::kOverflow}});
+  GuardedAllocator alloc(&table);  // default config: no hints
+  void* p = alloc.malloc(100, kPatchedCcid);
+  EXPECT_EQ(alloc.applied_mask(p), patch::kOverflow);
+  alloc.free(p);
+}
+
+}  // namespace
+}  // namespace ht::runtime

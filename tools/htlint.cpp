@@ -1,0 +1,259 @@
+// htlint — context-sensitive static heap-vulnerability analysis
+// (docs/STATIC_ANALYSIS.md). The zero-trap front half of the self-healing
+// loop: where htrun/htpromote learn from attacks a process survived, htlint
+// classifies every allocation context *before any input runs*.
+//
+//   htlint check <prog.htp> [--strategy S] [--space lo:hi,lo:hi,...]
+//                [--json 1] [--out report] [--candidates journal.txt]
+//                [--hints hints.txt] [--baseline report.json]
+//                [--max-contexts N]
+//       abstract-interpret the program over the given input space
+//       ([0, 2^64-1] per parameter when --space is omitted) and classify
+//       each allocation context MUST-OVERFLOW / MAY-OVERFLOW / UAF /
+//       DOUBLE-FREE / UNINIT-READ / PROVEN-SAFE, keyed by the same
+//       {FUN, CCID} identities the deployed encoder produces (--strategy,
+//       default Incremental). Reports are byte-stable: findings sort by
+//       {fn, ccid, kind} — the htctl-table tie-break discipline.
+//
+//       --json 1        emit the JSON report instead of text
+//       --out FILE      write the report to FILE instead of stdout
+//       --candidates J  append MUST/MAY findings to the quarantine journal
+//                       (docs/FORMATS.md §7) as origin=static candidates —
+//                       `htpromote run` replay-validates and promotes them
+//                       with no process ever trapping
+//       --hints FILE    export PROVEN-SAFE contexts as an elision hint list
+//                       (docs/FORMATS.md §9) for `htrun replay
+//                       --static-hints`
+//       --baseline R    suppress findings already present in a previous
+//                       JSON report: only *new* findings drive exit code 2
+//                       (CI ratchet)
+//       --max-contexts N  symbolization context-enumeration limit
+//                       (default 65536); findings still report raw CCIDs
+//                       when the limit is exceeded
+//
+// Exit codes: 0 clean (no findings, or none beyond the baseline),
+// 1 usage, 2 findings, 3 I/O or parse failure.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/static_analyzer.hpp"
+#include "analysis/symbolize.hpp"
+#include "cce/encoders.hpp"
+#include "patch/candidate.hpp"
+#include "patch/static_hints.hpp"
+#include "progmodel/program_io.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using namespace ht;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: htlint check <prog.htp> [--strategy S]"
+               " [--space lo:hi,..] [--json 1]\n"
+               "                    [--out report] [--candidates journal]"
+               " [--hints hints.txt]\n"
+               "                    [--baseline report.json]"
+               " [--max-contexts N]\n");
+  return 1;
+}
+
+struct Args {
+  std::string command, program_path, space_text, out_path;
+  std::string candidates_path, hints_path, baseline_path;
+  bool json = false;
+  std::uint64_t max_contexts = 1 << 16;
+  cce::Strategy strategy = cce::Strategy::kIncremental;
+  bool ok = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 3) return args;
+  args.command = argv[1];
+  args.program_path = argv[2];
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--space") {
+      args.space_text = value;
+    } else if (flag == "--out") {
+      args.out_path = value;
+    } else if (flag == "--json") {
+      args.json = support::parse_u64(value).value_or(0) != 0;
+    } else if (flag == "--candidates") {
+      args.candidates_path = value;
+    } else if (flag == "--hints") {
+      args.hints_path = value;
+    } else if (flag == "--baseline") {
+      args.baseline_path = value;
+    } else if (flag == "--max-contexts") {
+      args.max_contexts = support::parse_u64(value).value_or(1 << 16);
+    } else if (flag == "--strategy") {
+      bool found = false;
+      for (cce::Strategy s : cce::kAllStrategies) {
+        if (value == cce::strategy_name(s)) {
+          args.strategy = s;
+          found = true;
+        }
+      }
+      if (!found) return args;
+    } else {
+      return args;
+    }
+  }
+  args.ok = true;
+  return args;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::optional<progmodel::Program> load_program(const std::string& path) {
+  const auto text = slurp(path);
+  if (!text) {
+    std::fprintf(stderr, "htlint: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  auto parsed = progmodel::parse_program(*text);
+  if (!parsed.program) {
+    std::fprintf(stderr, "htlint: %s: %s\n", path.c_str(),
+                 parsed.error.c_str());
+    return std::nullopt;
+  }
+  return std::move(parsed.program);
+}
+
+std::optional<std::vector<analysis::ParamBounds>> parse_space(
+    const std::string& text) {
+  std::vector<analysis::ParamBounds> space;
+  if (support::trim(text).empty()) return space;
+  for (std::string_view field : support::split(text, ',')) {
+    const auto parts = support::split(field, ':');
+    if (parts.size() != 2) return std::nullopt;
+    const auto lo = support::parse_u64(parts[0]);
+    const auto hi = support::parse_u64(parts[1]);
+    if (!lo || !hi || *lo > *hi) return std::nullopt;
+    space.push_back(analysis::ParamBounds{*lo, *hi});
+  }
+  return space;
+}
+
+std::uint64_t realtime_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+int cmd_check(const Args& args) {
+  const auto program = load_program(args.program_path);
+  if (!program) return 3;
+  const auto space = parse_space(args.space_text);
+  if (!space) return usage();
+
+  const auto plan = cce::compute_plan(program->graph(),
+                                      program->alloc_targets(), args.strategy);
+  const cce::PccEncoder encoder(plan);
+  analysis::StaticAnalysisOptions options;
+  options.space = *space;
+  const analysis::StaticAnalysisResult result =
+      analysis::analyze_program(*program, &encoder, options);
+
+  const analysis::CcidSymbolizer symbolizer(
+      *program, encoder, static_cast<std::size_t>(args.max_contexts));
+  const std::string report =
+      args.json ? analysis::static_report_json(*program, result, &symbolizer)
+                : analysis::render_static_report(*program, result, &symbolizer);
+  if (args.out_path.empty()) {
+    std::printf("%s", report.c_str());
+  } else {
+    std::ofstream out(args.out_path);
+    if (!out || !(out << report)) {
+      std::fprintf(stderr, "htlint: cannot write %s\n", args.out_path.c_str());
+      return 3;
+    }
+    std::printf("wrote report to %s\n", args.out_path.c_str());
+  }
+
+  if (!args.candidates_path.empty()) {
+    const std::vector<patch::PatchCandidate> candidates =
+        result.candidates(realtime_ns());
+    if (!patch::append_candidate_journal(args.candidates_path, candidates)) {
+      std::fprintf(stderr, "htlint: cannot append candidates to %s\n",
+                   args.candidates_path.c_str());
+      return 3;
+    }
+    std::printf("appended %zu static candidate(s) to %s\n", candidates.size(),
+                args.candidates_path.c_str());
+  }
+
+  if (!args.hints_path.empty()) {
+    const patch::StaticHintSet hints = result.proven_safe_hints();
+    if (!patch::save_static_hints(args.hints_path, hints)) {
+      std::fprintf(stderr, "htlint: cannot write %s\n",
+                   args.hints_path.c_str());
+      return 3;
+    }
+    std::printf("wrote %zu elision hint(s) to %s\n", hints.size(),
+                args.hints_path.c_str());
+  }
+
+  std::size_t fresh = result.findings.size();
+  if (!args.baseline_path.empty()) {
+    const auto text = slurp(args.baseline_path);
+    if (!text) {
+      std::fprintf(stderr, "htlint: cannot read baseline %s\n",
+                   args.baseline_path.c_str());
+      return 3;
+    }
+    const analysis::BaselineParseResult baseline =
+        analysis::parse_baseline_report(*text);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "htlint: baseline %s rejected: %s\n",
+                   args.baseline_path.c_str(), baseline.reject_reason.c_str());
+      return 3;
+    }
+    for (const std::string& note : baseline.notes) {
+      std::fprintf(stderr, "htlint: %s: %s\n", args.baseline_path.c_str(),
+                   note.c_str());
+    }
+    // Baseline identity is {kind, fn, ccid, detail}: in_function is a
+    // rendering detail the baseline may not carry.
+    fresh = 0;
+    for (const analysis::StaticFinding& finding : result.findings) {
+      bool known = false;
+      for (const analysis::StaticFinding& base : baseline.findings) {
+        if (base.kind == finding.kind && base.fn == finding.fn &&
+            base.ccid == finding.ccid && base.detail == finding.detail) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) ++fresh;
+    }
+    std::printf("baseline: %zu finding(s), %zu new\n", result.findings.size(),
+                fresh);
+  }
+  return fresh > 0 ? 2 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) return usage();
+  if (args.command == "check") return cmd_check(args);
+  return usage();
+}

@@ -17,7 +17,10 @@
 //       (baseline run must reproduce the attack effect; the candidate
 //       patch alone must neutralize it; the benign input must still
 //       complete), then union the survivors into the served patch file
-//       (atomic write-then-rename) and record a verdict line either way.
+//       (atomic write-then-rename) and record a verdict line either way —
+//       tagged origin=<tokens> so `origin=static` lines audit zero-trap
+//       promotions seeded by `htlint check --candidates` (the analyze-
+//       then-immunize path: no process ever experienced the attack).
 //       --notify-pid sends the process SIGHUP afterwards so its
 //       HEAPTHERAPY_RELOAD maintenance thread swaps the new table in.
 //       --fleet additionally reads a fleet telemetry dump and DEMOTES
@@ -208,7 +211,8 @@ bool save_served(const std::string& path,
 }
 
 bool record_verdict(const std::string& journal_path, const patch::Patch& p,
-                    patch::CandidateVerdict verdict, const char* reason) {
+                    patch::CandidateVerdict verdict, const char* reason,
+                    const std::string& origin_token = {}) {
   patch::VerdictRecord record;
   record.fn = p.fn;
   record.ccid = p.ccid;
@@ -216,6 +220,7 @@ bool record_verdict(const std::string& journal_path, const patch::Patch& p,
   record.verdict = verdict;
   record.reason = reason;
   record.time_ns = realtime_ns();
+  record.origin_token = origin_token;
   if (!patch::append_candidate_verdict(journal_path, record)) {
     std::fprintf(stderr, "htpromote: cannot append verdict to %s\n",
                  journal_path.c_str());
@@ -337,12 +342,23 @@ int run_round(const Args& args, const progmodel::Program& program,
 
   patch::PromotionPolicy policy;
   policy.min_hits = args.min_hits;
-  const std::vector<patch::Patch> promotable =
-      patch::select_promotable(journal, policy);
+  const std::vector<patch::PromotableGroup> promotable =
+      patch::select_promotable_groups(journal, policy);
 
   bool served_dirty = false;
   int promoted = 0;
-  for (const patch::Patch& candidate : promotable) {
+  for (const patch::PromotableGroup& group : promotable) {
+    const patch::Patch& candidate = group.patch;
+    // Verdict lines carry where the evidence came from; `origin=static`
+    // marks zero-trap promotions (the htlint path — no process ever
+    // experienced the attack before immunity shipped).
+    std::string origin_token;
+    for (std::size_t o = 0; o < patch::kCandidateOriginCount; ++o) {
+      const auto origin = static_cast<patch::CandidateOrigin>(o);
+      if (!group.has_origin(origin)) continue;
+      if (!origin_token.empty()) origin_token += '+';
+      origin_token += patch::candidate_origin_name(origin);
+    }
     // Baseline: the attack input must actually misbehave with no patch —
     // otherwise "the candidate neutralized it" proves nothing and a garbage
     // candidate (e.g. attribution read from a smashed canary trailer) would
@@ -368,18 +384,21 @@ int run_round(const Args& args, const progmodel::Program& program,
                   patch::vuln_mask_to_string(candidate.vuln_mask).c_str(),
                   reason);
       if (!record_verdict(args.candidates_path, candidate,
-                          patch::CandidateVerdict::kRejected, reason)) {
+                          patch::CandidateVerdict::kRejected, reason,
+                          origin_token)) {
         return 3;
       }
       continue;
     }
-    std::printf("promoted %s 0x%016llx %s\n",
+    std::printf("promoted %s 0x%016llx %s (origin=%s%s)\n",
                 std::string(progmodel::alloc_fn_name(candidate.fn)).c_str(),
                 static_cast<unsigned long long>(candidate.ccid),
-                patch::vuln_mask_to_string(candidate.vuln_mask).c_str());
+                patch::vuln_mask_to_string(candidate.vuln_mask).c_str(),
+                origin_token.c_str(), group.static_only() ? ", zero-trap" : "");
     union_into(served, candidate);
     if (!record_verdict(args.candidates_path, candidate,
-                        patch::CandidateVerdict::kPromoted, "replay_validated")) {
+                        patch::CandidateVerdict::kPromoted, "replay_validated",
+                        origin_token)) {
       return 3;
     }
     served_dirty = true;

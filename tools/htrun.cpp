@@ -20,6 +20,7 @@
 //                           [--heapprof N]
 //                           [--reload-patches patches2.cfg]
 //                           [--candidates journal.txt]
+//                           [--static-hints hints.txt]
 //       online replay under the hardened allocator; prints what the
 //       defenses did; --telemetry enables the event ring and writes the
 //       telemetry text dump (docs/FORMATS.md §4) after the run;
@@ -29,7 +30,10 @@
 //       the input again under whatever table survived; --candidates turns
 //       on candidate-patch synthesis (docs/SELF_HEALING.md) and appends
 //       the run's synthesized candidates to the quarantine journal
-//       (docs/FORMATS.md §7) — the feeder for `htpromote`; --heapprof N
+//       (docs/FORMATS.md §7) — the feeder for `htpromote`; --static-hints
+//       loads an htlint elision hint list (docs/FORMATS.md §9): contexts
+//       statically PROVEN-SAFE skip the patch-table lookup entirely (the
+//       elision half of analyze-then-immunize); --heapprof N
 //       samples 1-in-N allocations into the live heap census
 //       (docs/OBSERVABILITY.md §9), flushed with the telemetry dump and
 //       read back with `htctl heap`
@@ -53,6 +57,7 @@
 #include "patch/candidate.hpp"
 #include "patch/config_file.hpp"
 #include "patch/hot_swap.hpp"
+#include "patch/static_hints.hpp"
 #include "support/faultpoint.hpp"
 #include "progmodel/interpreter.hpp"
 #include "progmodel/printer.hpp"
@@ -73,13 +78,15 @@ int usage() {
                "       htrun search  <prog.htp> --space lo:hi,.. [--strategy S]"
                " [--runs N] [--out cfg]\n"
                "       htrun replay  <prog.htp> --input a,b,.. --config cfg"
-               " [--strategy S] [--reload-patches cfg2]\n");
+               " [--strategy S] [--reload-patches cfg2]"
+               " [--static-hints hints.txt]\n");
   return 1;
 }
 
 struct Args {
   std::string command, program_path, input_text, space_text, config_path, out_path;
   std::string telemetry_path, reload_config_path, candidates_path;
+  std::string static_hints_path;
   bool dot = false;
   cce::Strategy strategy = cce::Strategy::kIncremental;
   std::uint64_t runs = 512;
@@ -133,6 +140,10 @@ Args parse_args(int argc, char** argv) {
     } else if (flag == "--candidates") {
       args.candidates_path = value;
       args.defenses.synthesize_candidates = true;
+    } else if (flag == "--static-hints") {
+      // htlint's PROVEN-SAFE elision list (docs/FORMATS.md §9): hinted
+      // contexts skip the patch table entirely.
+      args.static_hints_path = value;
     } else if (flag == "--dot") {
       args.dot = support::parse_u64(value).value_or(0) != 0;
     } else if (flag == "--strategy") {
@@ -282,6 +293,27 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
   const auto plan =
       cce::compute_plan(program.graph(), program.alloc_targets(), args.strategy);
   const cce::PccEncoder encoder(plan);
+  runtime::GuardedAllocatorConfig defenses = args.defenses;
+  // The hint set must outlive the allocator (the config holds a pointer).
+  std::optional<patch::StaticHintSet> hints;
+  if (!args.static_hints_path.empty()) {
+    const auto parsed = patch::load_static_hints(args.static_hints_path);
+    if (!parsed || !parsed->ok()) {
+      std::fprintf(stderr, "htrun: cannot load static hints %s%s%s\n",
+                   args.static_hints_path.c_str(),
+                   parsed ? ": " : "",
+                   parsed ? parsed->reject_reason.c_str() : "");
+      return 3;
+    }
+    for (const std::string& note : parsed->notes) {
+      std::fprintf(stderr, "htrun: %s: %s\n", args.static_hints_path.c_str(),
+                   note.c_str());
+    }
+    hints = parsed->hints;
+    defenses.static_hints = &*hints;
+    std::printf("static hints: %zu proven-safe context(s) loaded\n",
+                hints->size());
+  }
   // With --reload-patches the table lives inside a PatchTableSwap so the
   // second run resolves lookups through whatever table survived the reload.
   std::optional<patch::PatchTable> table;
@@ -289,10 +321,10 @@ int cmd_replay(const Args& args, const progmodel::Program& program) {
   std::optional<runtime::GuardedAllocator> allocator;
   if (args.reload_config_path.empty()) {
     table.emplace(loaded->patches, /*freeze=*/true);
-    allocator.emplace(&*table, args.defenses);
+    allocator.emplace(&*table, defenses);
   } else {
     swap.emplace(patch::PatchTable(loaded->patches, /*freeze=*/true));
-    allocator.emplace(*swap, args.defenses);
+    allocator.emplace(*swap, defenses);
   }
   runtime::GuardedBackend backend(*allocator);
   progmodel::Interpreter interp(program, &encoder, backend);
